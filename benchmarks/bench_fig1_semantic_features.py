@@ -1,0 +1,57 @@
+"""E2 (Fig 1): semantic features of an entity and the entity-type view.
+
+Figure 1 of the paper shows (a) the semantic features around
+``Forrest_Gump`` and (b) the entity types those features point at (Actor,
+Director, ...), i.e. the possible search directions.  This bench reproduces
+both views and measures feature-extraction throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import print_experiment
+from repro.features import (
+    SemanticFeatureIndex,
+    anchor_type_directions,
+    features_of_entity,
+)
+
+
+def test_fig1_views(movie_kg):
+    """Print Fig 1-a (semantic features) and Fig 1-b (type directions)."""
+    features = features_of_entity(movie_kg, "dbr:Forrest_Gump")
+    feature_rows = [
+        {
+            "semantic_feature": feature.notation(),
+            "anchor_type": movie_kg.dominant_type(feature.anchor) or "(untyped)",
+        }
+        for feature in sorted(features, key=lambda f: f.notation())
+    ]
+    print_experiment("E2 / Fig 1-a — semantic features of Forrest_Gump", feature_rows)
+
+    directions = anchor_type_directions(movie_kg, "dbr:Forrest_Gump")
+    direction_rows = [
+        {"entity_type": type_id, "features": count}
+        for type_id, count in sorted(directions.items(), key=lambda kv: -kv[1])
+    ]
+    print_experiment("E2 / Fig 1-b — possible search directions", direction_rows)
+
+    notations = {feature.notation() for feature in features}
+    assert "dbr:Tom_Hanks:dbo:starring" in notations
+    assert directions.get("dbo:Actor", 0) >= 3  # Hanks, Sinise, Wright
+    assert directions.get("dbo:Director", 0) >= 1
+
+
+@pytest.mark.benchmark(group="fig1-features")
+def test_bench_feature_extraction_one_entity(benchmark, movie_kg):
+    """Time to extract the semantic features of one entity."""
+    features = benchmark(features_of_entity, movie_kg, "dbr:Forrest_Gump")
+    assert features
+
+
+@pytest.mark.benchmark(group="fig1-features")
+def test_bench_feature_index_build(benchmark, movie_kg):
+    """Time to materialise the semantic-feature index for the whole graph."""
+    index = benchmark(SemanticFeatureIndex.build, movie_kg)
+    assert index.num_features() > 0

@@ -1,0 +1,62 @@
+"""E3 (Fig 2): the end-to-end architecture pipeline.
+
+Figure 2 shows the architecture: a query flows from the interface to the
+search engine and the recommendation engine and back.  This bench measures
+the latency of each stage and of the full keyword-to-matrix pipeline, which
+is the paper's implicit "interactive response" claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import Stopwatch, print_experiment
+
+
+def test_fig2_stage_breakdown(movie_system):
+    """Print a per-stage latency breakdown of the pipeline."""
+    watch = Stopwatch()
+    keywords = "forrest gump"
+
+    for _ in range(5):
+        with watch.measure("1-search-engine"):
+            hits = movie_system.search(keywords)
+        seeds = [hit.entity_id for hit in hits[:3]]
+        with watch.measure("2-recommendation-engine"):
+            recommendation = movie_system.recommend(seeds)
+        with watch.measure("3-heatmap+matrix"):
+            movie_system.matrix_for(recommendation)
+
+    rows = [
+        {"stage": label, **{k: v for k, v in stats.items() if k in ("mean_ms", "p95_ms")}}
+        for label, stats in watch.report().items()
+    ]
+    print_experiment("E3 / Fig 2 — pipeline latency breakdown", rows)
+    assert hits and recommendation.entities
+
+
+@pytest.mark.benchmark(group="fig2-pipeline")
+def test_bench_search_stage(benchmark, movie_system):
+    hits = benchmark(movie_system.search, "forrest gump")
+    assert hits[0].entity_id == "dbr:Forrest_Gump"
+
+
+@pytest.mark.benchmark(group="fig2-pipeline")
+def test_bench_recommendation_stage(benchmark, movie_system):
+    recommendation = benchmark(
+        movie_system.recommend, ["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"]
+    )
+    assert recommendation.entities
+
+
+@pytest.mark.benchmark(group="fig2-pipeline")
+def test_bench_full_pipeline(benchmark, movie_system):
+    """Keyword query -> hits -> recommendation -> matrix, end to end."""
+
+    def pipeline():
+        session = movie_system.start_session()
+        response = movie_system.submit_keywords(session, "forrest gump")
+        return response
+
+    response = benchmark(pipeline)
+    assert response.matrix is not None

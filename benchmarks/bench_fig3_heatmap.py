@@ -1,0 +1,64 @@
+"""E4 (Fig 3): the matrix interface and the seven-level heat map.
+
+Figure 3 is the PivotE workspace: recommended entities (x-axis), recommended
+semantic features (y-axis) and the correlation heat map (explanation area).
+This bench reproduces the matrix for the "Forrest Gump" query, verifies the
+seven discrete levels and measures matrix/heat-map construction time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import print_experiment
+from repro.ranking import build_correlation_matrix
+from repro.viz import build_heatmap, render_matrix_ascii
+
+
+@pytest.fixture(scope="module")
+def recommendation(movie_system):
+    return movie_system.recommend(["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"])
+
+
+def test_fig3_matrix_contents(movie_system, recommendation):
+    """Print the reproduced matrix and verify its structure."""
+    matrix = movie_system.matrix_for(recommendation)
+    print(render_matrix_ascii(matrix, max_entities=8, max_features=12))
+
+    level_rows = [
+        {"level": level, "cells": count}
+        for level, count in sorted(matrix.heatmap.level_counts().items())
+    ]
+    print_experiment("E4 / Fig 3 — heat-map level distribution (7 levels)", level_rows)
+
+    assert matrix.heatmap.num_levels == 7
+    assert matrix.heatmap.levels.max() <= 6
+    # Entities recommended for the two Tom Hanks seeds are other Tom Hanks films.
+    top = recommendation.entity_ids()[:4]
+    assert any(entity in top for entity in ("dbr:Cast_Away", "dbr:The_Green_Mile_(film)", "dbr:Saving_Private_Ryan", "dbr:Philadelphia_(film)"))
+    # The y-axis surfaces the shared-star feature.
+    assert any("Tom_Hanks" in notation for notation in recommendation.feature_notations()[:5])
+
+
+@pytest.mark.benchmark(group="fig3-heatmap")
+def test_bench_correlation_matrix(benchmark, movie_system, recommendation):
+    """Time to compute the raw entity x feature correlation matrix."""
+    model = movie_system.recommendation_engine.expander.feature_ranker.probability_model
+    matrix = benchmark(
+        build_correlation_matrix, model, recommendation.entities, recommendation.features
+    )
+    assert matrix.shape[0] == len(recommendation.entities)
+
+
+@pytest.mark.benchmark(group="fig3-heatmap")
+def test_bench_heatmap_bucketing(benchmark, movie_system, recommendation):
+    """Time to discretise the correlations into the seven levels."""
+    heatmap = benchmark(build_heatmap, recommendation.correlations)
+    assert heatmap.num_levels == 7
+
+
+@pytest.mark.benchmark(group="fig3-heatmap")
+def test_bench_full_matrix_view(benchmark, movie_system, recommendation):
+    """Time to assemble the complete matrix view shown to the user."""
+    matrix = benchmark(movie_system.matrix_for, recommendation)
+    assert matrix.entities

@@ -1,0 +1,72 @@
+"""E5 (Fig 4): the exploratory search path over a scripted demo session.
+
+Figure 4 shows the exploratory path of a session (queries as nodes,
+operations as edges).  This bench scripts the two demo scenarios of §3
+(entity investigation, then a pivot into the Actor domain and a timeline
+traceback), verifies the resulting path structure, and measures the cost of
+replaying the whole session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import print_experiment
+from repro.features import SemanticFeature
+from repro.viz import render_path_ascii, session_to_dict
+
+TOM_HANKS_STARRING = SemanticFeature("dbr:Tom_Hanks", "dbo:starring")
+
+
+def run_demo_session(system, name: str = "fig4"):
+    """Replay the §3 demo scenarios and return the session."""
+    session = system.start_session(name)
+    system.submit_keywords(session, "Forrest Gump")
+    system.lookup_in_session(session, "dbr:Forrest_Gump")
+    system.select_entity(session, "dbr:Forrest_Gump")
+    system.pin_feature(session, TOM_HANKS_STARRING)
+    system.pivot(session, "dbr:Tom_Hanks")
+    session.revisit(2)  # traceback to the investigation query
+    system.select_entity(session, "dbr:Apollo_13_(film)")
+    return session
+
+
+def test_fig4_path_structure(movie_system):
+    """Print the reproduced exploratory path and verify its shape."""
+    session = run_demo_session(movie_system, "fig4-structure")
+    print(render_path_ascii(session.path))
+
+    payload = session_to_dict(session)
+    rows = [
+        {"metric": "timeline steps", "value": len(payload["timeline"])},
+        {"metric": "path nodes", "value": len(payload["path"]["nodes"])},
+        {"metric": "path edges", "value": len(payload["path"]["edges"])},
+        {"metric": "lookups", "value": len(payload["lookups"])},
+        {"metric": "pivots", "value": payload["behaviour"].get("pivot", 0)},
+    ]
+    print_experiment("E5 / Fig 4 — exploratory path statistics", rows)
+
+    assert payload["behaviour"]["pivot"] == 1
+    assert payload["behaviour"]["submit"] == 1
+    # The traceback creates a branch: one node has two outgoing edges.
+    out_degrees = {}
+    for edge in payload["path"]["edges"]:
+        out_degrees[edge["source"]] = out_degrees.get(edge["source"], 0) + 1
+    assert max(out_degrees.values()) >= 2
+
+
+@pytest.mark.benchmark(group="fig4-session")
+def test_bench_full_demo_session(benchmark, movie_system):
+    """Time to replay the full scripted demo session (all recommendations)."""
+    session = benchmark(run_demo_session, movie_system)
+    # submit + lookup + select + pin + pivot + select = 6 recorded operations
+    # (the timeline traceback itself is not an operation).
+    assert len(session.timeline) == 6
+
+
+@pytest.mark.benchmark(group="fig4-session")
+def test_bench_session_export(benchmark, movie_system):
+    """Time to serialise a finished session for the UI."""
+    session = run_demo_session(movie_system, "fig4-export")
+    payload = benchmark(session_to_dict, session)
+    assert payload["path"]["nodes"]

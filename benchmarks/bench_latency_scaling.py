@@ -1,0 +1,94 @@
+"""E8: recommendation latency scaling with graph size and seed count.
+
+The demo claims interactive exploration where recommendations are computed
+"on the fly".  This bench measures how the recommendation latency grows with
+the size of the knowledge graph and with the number of seed entities, using
+the configurable random KG generator.  Expected shape: sub-second latency at
+laptop scale, roughly linear growth in the number of candidate entities
+touched, and mild growth with seed count (the commonality product adds one
+p(pi|e) evaluation per seed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import RandomKGConfig, build_random_kg
+from repro.eval import Stopwatch, print_experiment
+from repro.expansion import EntitySetExpander
+
+SIZES = (200, 500, 1000, 2000)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {size: build_random_kg(RandomKGConfig(num_entities=size, seed=42)) for size in SIZES}
+
+
+@pytest.fixture(scope="module")
+def expanders(graphs):
+    return {size: EntitySetExpander(graph) for size, graph in graphs.items()}
+
+
+def _seeds(graph, count: int):
+    """Pick deterministic seeds from the largest type of a random KG."""
+    largest_type = max(graph.types(), key=lambda t: (graph.type_count(t), t))
+    members = sorted(graph.entities_of_type(largest_type))
+    return members[:count]
+
+
+def test_latency_vs_graph_size(graphs, expanders):
+    """Latency of one expansion (2 seeds) as the graph grows."""
+    watch = Stopwatch()
+    rows = []
+    for size in SIZES:
+        graph, expander = graphs[size], expanders[size]
+        seeds = _seeds(graph, 2)
+        label = f"entities={size}"
+        for _ in range(3):
+            with watch.measure(label):
+                expander.expand(seeds, top_k=20)
+        stats = watch.stats(label).as_dict()
+        rows.append({"entities": size, "edges": graph.num_edges(), "mean_ms": stats["mean_ms"], "p95_ms": stats["p95_ms"]})
+    print_experiment(
+        "E8a — recommendation latency vs. KG size (2 seeds, top-20)",
+        rows,
+        notes="expected shape: roughly linear in graph size, interactive (< 1s) at laptop scale",
+    )
+    assert rows[-1]["mean_ms"] > 0
+
+
+def test_latency_vs_seed_count(graphs, expanders):
+    """Latency of one expansion as the number of seeds grows (fixed graph)."""
+    size = 1000
+    graph, expander = graphs[size], expanders[size]
+    watch = Stopwatch()
+    rows = []
+    for count in (1, 2, 4, 8):
+        seeds = _seeds(graph, count)
+        label = f"seeds={count}"
+        for _ in range(3):
+            with watch.measure(label):
+                expander.expand(seeds, top_k=20)
+        stats = watch.stats(label).as_dict()
+        rows.append({"seeds": count, "mean_ms": stats["mean_ms"], "p95_ms": stats["p95_ms"]})
+    print_experiment("E8b — recommendation latency vs. seed count (1000 entities)", rows)
+    assert len(rows) == 4
+
+
+@pytest.mark.benchmark(group="latency-scaling")
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_expand_by_graph_size(benchmark, expanders, graphs, size):
+    expander = expanders[size]
+    seeds = _seeds(graphs[size], 2)
+    result = benchmark(expander.expand, seeds, 20)
+    assert result.entities
+
+
+@pytest.mark.benchmark(group="latency-scaling")
+@pytest.mark.parametrize("seed_count", (1, 2, 4, 8))
+def test_bench_expand_by_seed_count(benchmark, expanders, graphs, seed_count):
+    expander = expanders[1000]
+    seeds = _seeds(graphs[1000], seed_count)
+    result = benchmark(expander.expand, seeds, 20)
+    assert result.seeds == tuple(seeds)

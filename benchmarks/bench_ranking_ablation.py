@@ -1,0 +1,78 @@
+"""E9: ablation of the semantic-feature ranking model.
+
+DESIGN.md calls out three design choices of the ranking model (§2.3):
+discriminability, commonality and type smoothing.  This bench removes each
+in turn and re-runs the expansion-quality workload, reporting the MAP drop.
+Expected shape: the full model is best; removing discriminability hurts most
+(frequent generic features drown specific ones); removing type smoothing
+hurts multi-seed queries where some seed misses an edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RankingConfig
+from repro.datasets import expansion_tasks_from_features, tom_hanks_task
+from repro.eval import ExpansionEvaluator, print_experiment
+from repro.expansion import EntitySetExpander
+
+ABLATIONS = {
+    "full-model": RankingConfig(),
+    "no-discriminability": RankingConfig(use_discriminability=False),
+    "no-commonality": RankingConfig(use_commonality=False),
+    "no-type-smoothing": RankingConfig(type_smoothing=False),
+}
+
+
+@pytest.fixture(scope="module")
+def tasks(movie_kg):
+    tasks = expansion_tasks_from_features(movie_kg, num_tasks=12, seeds_per_task=2)
+    tasks.append(tom_hanks_task(movie_kg))
+    return tasks
+
+
+@pytest.fixture(scope="module")
+def ablation_results(movie_kg, tasks):
+    results = {}
+    for name, config in ABLATIONS.items():
+        expander = EntitySetExpander(movie_kg, config=config)
+        evaluator = ExpansionEvaluator(movie_kg, expander=expander, top_k=20)
+
+        def method(seeds, top_k, _expander=expander):
+            return _expander.expand(seeds, top_k=top_k).entity_ids()
+
+        results[name] = evaluator.evaluate_method(method, tasks, name=name)
+    return results
+
+
+def test_ablation_table(ablation_results):
+    """Print the ablation table and check the expected ordering."""
+    rows = [
+        {
+            "variant": name,
+            "ap": result.metric("ap"),
+            "p@10": result.metric("p@10"),
+            "recall@20": result.metric("recall@20"),
+        }
+        for name, result in ablation_results.items()
+    ]
+    print_experiment(
+        "E9 — ablation of the SF ranking model (movie KG, 13 tasks)",
+        rows,
+        notes="expected shape: full-model best; dropping either score component hurts",
+    )
+    full = ablation_results["full-model"].metric("ap")
+    assert full >= ablation_results["no-discriminability"].metric("ap") - 1e-9
+    assert full >= ablation_results["no-commonality"].metric("ap") - 0.05
+    assert full >= ablation_results["no-type-smoothing"].metric("ap") - 0.05
+    assert full > 0.1
+
+
+@pytest.mark.benchmark(group="ranking-ablation")
+@pytest.mark.parametrize("variant", list(ABLATIONS))
+def test_bench_ablation_variants(benchmark, movie_kg, variant):
+    """Latency of one expansion under each ablated configuration."""
+    expander = EntitySetExpander(movie_kg, config=ABLATIONS[variant])
+    result = benchmark(expander.expand, ("dbr:Forrest_Gump", "dbr:Apollo_13_(film)"), 20)
+    assert result.features

@@ -1,0 +1,91 @@
+"""E10 (extension): session-level evaluation with simulated users.
+
+The demo's claim is that the exploration loop ("learn-as-you-go") lets a
+user recover a concept through clicks alone.  This extension experiment
+quantifies that with the simulated users of :mod:`repro.explore.simulation`:
+
+* a **focused investigator** clicking relevant recommendations recovers the
+  target concept within a small click budget (session recall / steps);
+* a **random explorer** provides the lower bound and a robustness check
+  (random clicking across domains never crashes the session machinery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import expansion_tasks_from_features, tom_hanks_task
+from repro.eval import print_experiment
+from repro.explore import FocusedInvestigator, RandomExplorer, run_investigation_workload
+
+
+@pytest.fixture(scope="module")
+def investigation_tasks(movie_kg):
+    tasks = expansion_tasks_from_features(movie_kg, num_tasks=6, seeds_per_task=2, min_concept_size=6)
+    tasks.append(tom_hanks_task(movie_kg))
+    return [(task.seeds, task.relevant) for task in tasks]
+
+
+def test_session_recall_table(movie_system, investigation_tasks):
+    """Print per-task session recall for the focused investigator."""
+    results = run_investigation_workload(movie_system, investigation_tasks, max_steps=8)
+    rows = []
+    for (seeds, target), result in zip(investigation_tasks, results):
+        rows.append(
+            {
+                "task": result.session_id,
+                "target_size": len(target),
+                "steps": result.steps,
+                "recall": result.recall,
+                "steps_to_half_recall": result.steps_to_recall(0.5) or -1,
+            }
+        )
+    print_experiment(
+        "E10 — focused-investigator session recall (8-step budget)",
+        rows,
+        notes="expected shape: most concepts recovered to >= 0.5 recall within the budget",
+    )
+    mean_recall = sum(result.recall for result in results) / len(results)
+    assert mean_recall >= 0.5
+
+
+def test_random_explorer_robustness(movie_system):
+    """The random explorer exercises the whole surface without failures."""
+    explorer = RandomExplorer(movie_system, steps=20, pivot_probability=0.3, seed=11)
+    result = explorer.run("forrest gump", session_id="e10-random")
+    rows = [
+        {"metric": "timeline steps", "value": result.steps},
+        {"metric": "distinct domains visited", "value": len(result.found)},
+        {"metric": "pivots", "value": result.operations.get("pivot", 0)},
+        {"metric": "selections", "value": result.operations.get("select-entity", 0)},
+    ]
+    print_experiment("E10 — random-explorer robustness walk", rows)
+    assert result.steps >= 10
+
+
+@pytest.mark.benchmark(group="session-simulation")
+def test_bench_focused_investigation(benchmark, movie_system, movie_kg):
+    """Latency of one full focused-investigation session (Tom Hanks concept)."""
+    task = tom_hanks_task(movie_kg)
+
+    counter = iter(range(1_000_000))
+
+    def run():
+        investigator = FocusedInvestigator(movie_system, task.relevant, max_steps=6)
+        return investigator.run(task.seeds, session_id=f"bench-invest-{next(counter)}")
+
+    result = benchmark(run)
+    assert result.recall > 0
+
+
+@pytest.mark.benchmark(group="session-simulation")
+def test_bench_random_walk(benchmark, movie_system):
+    """Latency of a 10-step random exploration walk."""
+    counter = iter(range(1_000_000))
+
+    def run():
+        explorer = RandomExplorer(movie_system, steps=10, pivot_probability=0.25, seed=3)
+        return explorer.run("tom hanks", session_id=f"bench-random-{next(counter)}")
+
+    result = benchmark(run)
+    assert result.steps >= 1

@@ -1,0 +1,41 @@
+"""E1 (Table 1): the five-field entity representation.
+
+Reproduces Table 1 of the paper — the multi-fielded representation of
+``Forrest_Gump`` — and measures how fast fielded documents are built for a
+single entity and for the whole collection (the indexing cost of the search
+engine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import print_experiment
+from repro.search import build_all_documents, build_entity_document
+
+
+def test_table1_contents(movie_kg):
+    """Print the reproduced Table 1 and check the paper's field contents."""
+    document = build_entity_document(movie_kg, "dbr:Forrest_Gump")
+    rows = [{"field": field, "content": content} for field, content in document.as_table()]
+    print_experiment("E1 / Table 1 — multi-fielded representation of Forrest_Gump", rows)
+    table = dict(document.as_table())
+    assert table["names"] == "Forrest Gump"
+    assert "142 minutes" in table["attributes"]
+    assert "American films" in table["categories"]
+    assert "Gumpian" in table["similar_entity_names"]
+    assert "Tom Hanks" in table["related_entity_names"]
+
+
+@pytest.mark.benchmark(group="table1-fields")
+def test_bench_build_single_document(benchmark, movie_kg):
+    """Time to derive the five-field document of one entity."""
+    document = benchmark(build_entity_document, movie_kg, "dbr:Forrest_Gump")
+    assert document.field_text("names")
+
+
+@pytest.mark.benchmark(group="table1-fields")
+def test_bench_build_all_documents(benchmark, movie_kg):
+    """Time to derive fielded documents for the whole collection."""
+    documents = benchmark(build_all_documents, movie_kg)
+    assert len(documents) == movie_kg.num_entities()

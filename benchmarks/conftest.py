@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks reuse one movie KG / PivotE system per session so that the
+measured time is the operation under test, not dataset construction.  Each
+benchmark module prints the rows of the experiment it reproduces (the
+"table" of EXPERIMENTS.md) in addition to the pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import PivotE  # noqa: E402
+from repro.datasets import MovieKGConfig, build_movie_kg  # noqa: E402
+from repro.expansion import EntitySetExpander  # noqa: E402
+from repro.kg import KnowledgeGraph  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def movie_kg() -> KnowledgeGraph:
+    """The standard movie KG used by the quality benchmarks."""
+    return build_movie_kg(MovieKGConfig())
+
+
+@pytest.fixture(scope="session")
+def movie_system(movie_kg: KnowledgeGraph) -> PivotE:
+    """A fully built PivotE system over the movie KG."""
+    return PivotE(movie_kg)
+
+
+@pytest.fixture(scope="session")
+def movie_expander(movie_system: PivotE) -> EntitySetExpander:
+    """The expansion engine sharing the system's feature index."""
+    return movie_system.recommendation_engine.expander

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree ``src`` layout importable.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs may fail; inserting ``src`` at the front of ``sys.path`` lets the
+test and benchmark suites run against the working tree either way.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

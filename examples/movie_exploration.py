@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Demo scenario 1 and 2 (§3): a full interactive exploration session.
+
+Replays the paper's demo scenarios against the full synthetic movie KG:
+
+1. *Entity investigation* — keyword query "Forrest Gump", look up the
+   entity, express "films similar to Forrest Gump" by selecting the entity,
+   and "films starring Tom Hanks" by pinning the semantic feature
+   ``Tom_Hanks:starring``.
+2. *Search domain exploration* — pivot into the Actor domain via Tom Hanks,
+   investigate co-stars, then trace back through the query timeline and
+   print the exploratory path (Fig 4).
+
+Run with:  python examples/movie_exploration.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PivotE
+from repro.datasets import build_movie_kg
+from repro.features import SemanticFeature
+from repro.viz import render_matrix_ascii, render_path_ascii
+
+
+def show_response(system: PivotE, response, title: str, max_rows: int = 6) -> None:
+    print(f"\n=== {title} ===")
+    if response.hits:
+        print("hits:")
+        for hit in response.hits[:max_rows]:
+            print(f"  {hit.score:8.3f}  {hit.label}")
+    if response.recommendation is not None:
+        print("recommended entities:")
+        for entity in response.recommendation.entities[:max_rows]:
+            print(f"  {entity.score:8.4f}  {system.graph.label(entity.entity_id)}")
+        print("recommended features:")
+        for scored in response.recommendation.features[:max_rows]:
+            print(f"  {scored.score:8.4f}  {scored.feature.notation()}")
+
+
+def main() -> None:
+    graph = build_movie_kg()
+    system = PivotE(graph)
+    session = system.start_session("movie-exploration")
+
+    # --- Scenario 1: entity investigation ------------------------------- #
+    response = system.submit_keywords(session, "Forrest Gump")
+    show_response(system, response, 'submit keywords "Forrest Gump"')
+
+    profile = system.lookup_in_session(session, "dbr:Forrest_Gump")
+    print(f"\nlooked up: {profile.title} -> {profile.external_url}")
+
+    response = system.select_entity(session, "dbr:Forrest_Gump")
+    show_response(system, response, "investigate: films similar to Forrest Gump")
+
+    response = system.pin_feature(session, SemanticFeature("dbr:Tom_Hanks", "dbo:starring"))
+    show_response(system, response, "pin feature Tom_Hanks:starring (films starring Tom Hanks)")
+
+    print("\n=== heat-map matrix for the current query ===")
+    if response.matrix is not None:
+        print(render_matrix_ascii(response.matrix, max_entities=6, max_features=10))
+
+    # --- Scenario 2: search domain exploration --------------------------- #
+    response = system.pivot(session, "dbr:Tom_Hanks")
+    show_response(system, response, "pivot into the Actor domain via Tom Hanks")
+
+    explanation = system.explain("dbr:Forrest_Gump", "dbr:Apollo_13_(film)")
+    print(f"\nexplanation: {explanation.text}")
+
+    # Trace back to the investigation query and branch in a new direction.
+    session.revisit(2)
+    response = system.select_entity(session, "dbr:Apollo_13_(film)")
+    show_response(system, response, "traceback + add Apollo 13 as a second example")
+
+    print("\n=== exploratory path (Fig 4) ===")
+    print(render_path_ascii(session.path))
+
+    print("\n=== behaviour summary ===")
+    for kind, count in sorted(session.behaviour_summary().items()):
+        print(f"  {kind:<16} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""PivotE reproduction: entity-oriented exploratory search over knowledge graphs.
+
+This package reimplements the PivotE system (Han et al., PVLDB 2019) in pure
+Python: an RDF knowledge-graph substrate, a five-field keyword entity search
+engine, the semantic-feature ranking model used for entity recommendation
+and entity set expansion, the exploration-session model (investigate /
+pivot / timeline / exploratory path) and the heat-map matrix visualisation.
+
+Quickstart
+----------
+>>> from repro import PivotE
+>>> from repro.datasets import small_movie_kg
+>>> system = PivotE(small_movie_kg())
+>>> hits = system.search("forrest gump")
+>>> rec = system.recommend([hits[0].entity_id])
+>>> print(rec.entity_ids()[:3])
+"""
+
+from .config import HeatmapConfig, PivotEConfig, RankingConfig, SearchConfig
+from .engine import PivotE, PivotEApi
+from .exceptions import PivotEError
+from .explore import ExplorationQuery, ExplorationSession
+from .expansion import EntitySetExpander
+from .features import Direction, SemanticFeature
+from .kg import KnowledgeGraph
+from .ranking import EntityRanker, SemanticFeatureRanker
+from .search import SearchEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Direction",
+    "EntityRanker",
+    "EntitySetExpander",
+    "ExplorationQuery",
+    "ExplorationSession",
+    "HeatmapConfig",
+    "KnowledgeGraph",
+    "PivotE",
+    "PivotEApi",
+    "PivotEConfig",
+    "PivotEError",
+    "RankingConfig",
+    "SearchConfig",
+    "SearchEngine",
+    "SemanticFeature",
+    "SemanticFeatureRanker",
+    "__version__",
+]

@@ -1,0 +1,198 @@
+"""Command-line interface to the PivotE system.
+
+The original demo is a web application; this CLI provides the same
+interaction surface in a terminal, which is both a convenient way to try
+the system and the programmatic entry point the examples and docs refer to.
+
+Subcommands
+-----------
+``stats``       print dataset statistics for one of the built-in KGs
+``search``      keyword entity search (Fig 3-a/c)
+``recommend``   entity + semantic-feature recommendation for seed entities
+``matrix``      render the heat-map matrix for seed entities (Fig 3-f)
+``profile``     show an entity's profile (Fig 3-d)
+``explain``     explain why two entities are related (the explanation area)
+``explore``     replay a scripted exploration session and print the path (Fig 4)
+
+Usage::
+
+    python -m repro.cli search "forrest gump"
+    python -m repro.cli recommend dbr:Forrest_Gump "dbr:Apollo_13_(film)"
+    python -m repro.cli matrix dbr:Forrest_Gump --top-entities 6
+    python -m repro.cli explain dbr:Forrest_Gump "dbr:Apollo_13_(film)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .datasets import build_academic_kg, build_geography_kg, build_movie_kg, small_movie_kg
+from .engine import PivotE
+from .features import SemanticFeature
+from .kg import KnowledgeGraph, compute_statistics, load_ntriples
+from .viz import render_matrix_ascii, render_path_ascii, render_profile_text
+
+#: Registry of built-in datasets selectable with ``--dataset``.
+DATASETS: Dict[str, Callable[[], KnowledgeGraph]] = {
+    "movies": build_movie_kg,
+    "movies-small": small_movie_kg,
+    "academic": build_academic_kg,
+    "geography": build_geography_kg,
+}
+
+
+def load_graph(dataset: str, graph_file: Optional[str]) -> KnowledgeGraph:
+    """Load the requested dataset (or an N-Triples file)."""
+    if graph_file:
+        return load_ntriples(graph_file)
+    if dataset not in DATASETS:
+        raise SystemExit(f"unknown dataset {dataset!r}; choose from {sorted(DATASETS)}")
+    return DATASETS[dataset]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="pivote",
+        description="PivotE: entity-oriented exploratory search over knowledge graphs",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="movies-small",
+        help=f"built-in dataset to load ({', '.join(sorted(DATASETS))})",
+    )
+    parser.add_argument(
+        "--graph-file",
+        default=None,
+        help="load the knowledge graph from an N-Triples file instead",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("stats", help="print dataset statistics")
+
+    search = subparsers.add_parser("search", help="keyword entity search")
+    search.add_argument("keywords", help="the keyword query")
+    search.add_argument("--top-k", type=int, default=10)
+
+    recommend = subparsers.add_parser("recommend", help="recommend similar entities")
+    recommend.add_argument("seeds", nargs="+", help="seed entity identifiers")
+    recommend.add_argument("--top-entities", type=int, default=10)
+    recommend.add_argument("--top-features", type=int, default=10)
+    recommend.add_argument("--feature", action="append", default=[], help="pin a semantic feature (anchor:predicate)")
+
+    matrix = subparsers.add_parser("matrix", help="render the heat-map matrix")
+    matrix.add_argument("seeds", nargs="+", help="seed entity identifiers")
+    matrix.add_argument("--top-entities", type=int, default=8)
+    matrix.add_argument("--top-features", type=int, default=12)
+
+    profile = subparsers.add_parser("profile", help="show an entity profile")
+    profile.add_argument("entity", help="the entity identifier")
+
+    explain = subparsers.add_parser("explain", help="explain why two entities are related")
+    explain.add_argument("left")
+    explain.add_argument("right")
+
+    explore = subparsers.add_parser("explore", help="replay a scripted exploration session")
+    explore.add_argument("keywords", help="initial keyword query")
+    explore.add_argument("--select", action="append", default=[], help="entity to select as example")
+    explore.add_argument("--pivot", default=None, help="entity to pivot on at the end")
+
+    return parser
+
+
+def _print_hits(system: PivotE, keywords: str, top_k: int) -> None:
+    hits = system.search(keywords, top_k=top_k)
+    if not hits:
+        print("(no matching entities)")
+        return
+    for hit in hits:
+        print(f"{hit.score:10.3f}  {hit.label:<36} {hit.entity_id}")
+
+
+def _print_recommendation(system: PivotE, recommendation, top_entities: int, top_features: int) -> None:
+    print("entities:")
+    for entity in recommendation.entities[:top_entities]:
+        print(f"  {entity.score:10.4f}  {system.graph.label(entity.entity_id):<36} {entity.entity_id}")
+    print("semantic features:")
+    for scored in recommendation.features[:top_features]:
+        print(f"  {scored.score:10.4f}  {scored.feature.notation()}")
+
+
+def run_command(args: argparse.Namespace) -> int:
+    """Execute a parsed CLI command; return the process exit code."""
+    graph = load_graph(args.dataset, args.graph_file)
+
+    if args.command == "stats":
+        print(compute_statistics(graph).summary())
+        return 0
+
+    system = PivotE(graph)
+
+    if args.command == "search":
+        _print_hits(system, args.keywords, args.top_k)
+        return 0
+
+    if args.command == "recommend":
+        pinned = [SemanticFeature.parse(notation) for notation in args.feature]
+        recommendation = system.recommend(
+            args.seeds,
+            pinned_features=pinned,
+            top_entities=args.top_entities,
+            top_features=args.top_features,
+        )
+        _print_recommendation(system, recommendation, args.top_entities, args.top_features)
+        return 0
+
+    if args.command == "matrix":
+        recommendation = system.recommend(
+            args.seeds, top_entities=args.top_entities, top_features=args.top_features
+        )
+        print(
+            render_matrix_ascii(
+                system.matrix_for(recommendation),
+                max_entities=args.top_entities,
+                max_features=args.top_features,
+            )
+        )
+        return 0
+
+    if args.command == "profile":
+        print(render_profile_text(system.lookup(args.entity)))
+        return 0
+
+    if args.command == "explain":
+        print(system.explain(args.left, args.right).text)
+        return 0
+
+    if args.command == "explore":
+        session = system.start_session("cli")
+        response = system.submit_keywords(session, args.keywords)
+        _print_hits(system, args.keywords, 5)
+        for entity in args.select:
+            response = system.select_entity(session, entity)
+        if args.pivot:
+            response = system.pivot(session, args.pivot)
+        if response.recommendation is not None:
+            _print_recommendation(system, response.recommendation, 8, 8)
+        print("\nexploratory path:")
+        print(render_path_ascii(session.path))
+        return 0
+
+    raise SystemExit(f"unhandled command: {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run_command(args)
+    except Exception as exc:  # surfaced as a message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

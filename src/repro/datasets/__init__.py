@@ -1,0 +1,43 @@
+"""Deterministic synthetic knowledge graphs and evaluation workloads."""
+
+from .academic import (
+    AcademicKGConfig,
+    build_academic_kg,
+    small_academic_kg,
+)
+from .geography import build_geography_kg
+from .movies import (
+    CURATED_TOM_HANKS_FILMS,
+    MovieKGConfig,
+    build_movie_kg,
+    small_movie_kg,
+)
+from .random_kg import RandomKGConfig, build_random_kg, scaling_series
+from .workloads import (
+    ExpansionTask,
+    SearchTask,
+    expansion_tasks_from_features,
+    search_tasks_from_labels,
+    seed_count_sweep,
+    tom_hanks_task,
+)
+
+__all__ = [
+    "AcademicKGConfig",
+    "CURATED_TOM_HANKS_FILMS",
+    "ExpansionTask",
+    "MovieKGConfig",
+    "RandomKGConfig",
+    "SearchTask",
+    "build_academic_kg",
+    "build_geography_kg",
+    "build_movie_kg",
+    "build_random_kg",
+    "expansion_tasks_from_features",
+    "scaling_series",
+    "search_tasks_from_labels",
+    "seed_count_sweep",
+    "small_academic_kg",
+    "small_movie_kg",
+    "tom_hanks_task",
+]

@@ -1,0 +1,142 @@
+"""Synthetic academic-domain knowledge graph.
+
+The related-work section of the paper contrasts PivotE with academic search
+engines (PandaSearch); the academic KG gives the library a second,
+structurally different domain: papers, authors, venues, institutions and
+research fields, with citation edges.  It is used by the second exploration
+example and by the expansion-quality experiment to show the model is not
+tuned to the movie domain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..kg import GraphBuilder, KnowledgeGraph
+
+TYPE_PAPER = "pivote:Paper"
+TYPE_AUTHOR = "pivote:Author"
+TYPE_VENUE = "pivote:Venue"
+TYPE_INSTITUTION = "pivote:Institution"
+TYPE_FIELD = "pivote:ResearchField"
+
+REL_AUTHOR = "pivote:author"
+REL_VENUE = "pivote:publishedIn"
+REL_CITES = "pivote:cites"
+REL_AFFILIATION = "pivote:affiliation"
+REL_FIELD = "pivote:field"
+
+ATTR_YEAR = "pivote:year"
+ATTR_PAGES = "pivote:pages"
+
+_VENUES = ["VLDB", "SIGMOD", "ICDE", "SIGIR", "WWW", "KDD", "CIKM", "EDBT"]
+_FIELDS = [
+    "Databases", "Information_Retrieval", "Data_Mining", "Machine_Learning",
+    "Knowledge_Graphs", "Query_Processing", "Data_Integration", "Semantic_Web",
+]
+_INSTITUTIONS = [
+    "Renmin_University", "University_of_Helsinki", "MIT", "Stanford_University",
+    "Tsinghua_University", "ETH_Zurich", "University_of_Toronto", "NUS",
+]
+_TOPIC_WORDS = [
+    "Scalable", "Adaptive", "Efficient", "Distributed", "Interactive",
+    "Incremental", "Robust", "Learned", "Approximate", "Parallel",
+]
+_TOPIC_NOUNS = [
+    "Query_Processing", "Entity_Search", "Graph_Exploration", "Index_Structures",
+    "Join_Algorithms", "Data_Cleaning", "Keyword_Search", "Set_Expansion",
+    "Stream_Processing", "Knowledge_Extraction",
+]
+
+_FIRST = ["Wei", "Xin", "Jun", "Li", "Anna", "Peter", "Maria", "John", "Yuki", "Olga",
+          "Chen", "Hanna", "Marco", "Elena", "Raj", "Sofia", "Lars", "Mei", "Ivan", "Aisha"]
+_LAST = ["Zhang", "Wang", "Li", "Chen", "Liu", "Smith", "Muller", "Kim", "Tanaka",
+         "Novak", "Garcia", "Singh", "Kumar", "Johansson", "Rossi", "Silva", "Popov", "Dubois"]
+
+
+@dataclass(frozen=True)
+class AcademicKGConfig:
+    """Size knobs of the synthetic academic KG."""
+
+    num_papers: int = 150
+    num_authors: int = 60
+    authors_per_paper: tuple[int, int] = (1, 4)
+    citations_per_paper: tuple[int, int] = (0, 6)
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.num_papers <= 0 or self.num_authors <= 0:
+            raise ValueError("num_papers and num_authors must be positive")
+        if self.authors_per_paper[0] <= 0 or self.authors_per_paper[1] < self.authors_per_paper[0]:
+            raise ValueError("authors_per_paper must be a valid (min, max) range")
+        if self.citations_per_paper[0] < 0 or self.citations_per_paper[1] < self.citations_per_paper[0]:
+            raise ValueError("citations_per_paper must be a valid (min, max) range")
+
+
+def build_academic_kg(config: AcademicKGConfig | None = None) -> KnowledgeGraph:
+    """Build the synthetic academic knowledge graph (deterministic)."""
+    config = config or AcademicKGConfig()
+    rng = random.Random(config.seed)
+    builder = GraphBuilder("academic")
+
+    for venue in _VENUES:
+        builder.entity(f"pv:{venue}", label=venue, types=[TYPE_VENUE])
+    for field_name in _FIELDS:
+        builder.entity(f"pv:{field_name}", label=field_name.replace("_", " "), types=[TYPE_FIELD])
+    for institution in _INSTITUTIONS:
+        builder.entity(f"pv:{institution}", label=institution.replace("_", " "), types=[TYPE_INSTITUTION])
+
+    authors: List[str] = []
+    used: set[str] = set()
+    while len(authors) < config.num_authors:
+        name = f"{rng.choice(_FIRST)}_{rng.choice(_LAST)}"
+        if name in used:
+            name = f"{name}_{len(authors)}"
+        used.add(name)
+        identifier = f"pv:{name}"
+        authors.append(identifier)
+        builder.entity(
+            identifier,
+            label=name.replace("_", " "),
+            types=[TYPE_AUTHOR],
+            categories=["pvc:Researchers"],
+        )
+        builder.edge(identifier, REL_AFFILIATION, f"pv:{rng.choice(_INSTITUTIONS)}")
+        builder.edge(identifier, REL_FIELD, f"pv:{rng.choice(_FIELDS)}")
+
+    papers: List[str] = []
+    used_titles: set[str] = set()
+    for index in range(config.num_papers):
+        title = f"{rng.choice(_TOPIC_WORDS)}_{rng.choice(_TOPIC_NOUNS)}"
+        if title in used_titles:
+            title = f"{title}_{index}"
+        used_titles.add(title)
+        identifier = f"pv:{title}"
+        papers.append(identifier)
+        year = rng.randint(2000, 2019)
+        builder.entity(
+            identifier,
+            label=title.replace("_", " "),
+            types=[TYPE_PAPER],
+            categories=[f"pvc:{year}_papers"],
+            attributes={ATTR_YEAR: str(year), ATTR_PAGES: str(rng.randint(4, 16))},
+        )
+        low, high = config.authors_per_paper
+        for author in rng.sample(authors, rng.randint(low, min(high, len(authors)))):
+            builder.edge(identifier, REL_AUTHOR, author)
+        builder.edge(identifier, REL_VENUE, f"pv:{rng.choice(_VENUES)}")
+        builder.edge(identifier, REL_FIELD, f"pv:{rng.choice(_FIELDS)}")
+        low_c, high_c = config.citations_per_paper
+        if papers[:-1]:
+            cited_count = min(rng.randint(low_c, high_c), len(papers) - 1)
+            for cited in rng.sample(papers[:-1], cited_count):
+                builder.edge(identifier, REL_CITES, cited)
+
+    return builder.build()
+
+
+def small_academic_kg() -> KnowledgeGraph:
+    """A small academic KG for unit tests."""
+    return build_academic_kg(AcademicKGConfig(num_papers=40, num_authors=20))

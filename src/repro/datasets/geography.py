@@ -1,0 +1,80 @@
+"""Small geography knowledge graph (countries, cities, rivers, continents).
+
+A third domain used mainly for the cross-domain pivot example: starting from
+the movie KG one can pivot via ``dbo:country`` edges into the geography
+domain when the graphs are merged, which exercises the "switch across
+multi-domains freely" behaviour the paper's challenge (3) describes.
+"""
+
+from __future__ import annotations
+
+from ..kg import GraphBuilder, KnowledgeGraph
+
+TYPE_COUNTRY = "dbo:Country"
+TYPE_CITY = "dbo:City"
+TYPE_RIVER = "dbo:River"
+TYPE_CONTINENT = "dbo:Continent"
+
+REL_CAPITAL = "dbo:capital"
+REL_CONTINENT = "dbo:continent"
+REL_FLOWS_THROUGH = "dbo:flowsThrough"
+REL_LARGEST_CITY = "dbo:largestCity"
+REL_LOCATED_IN = "dbo:locatedIn"
+
+ATTR_POPULATION = "dbo:population"
+ATTR_AREA = "dbo:area"
+
+_COUNTRIES = {
+    "United_States": ("Washington_DC", "New_York_City", "North_America", "331 million"),
+    "United_Kingdom": ("London", "London", "Europe", "67 million"),
+    "France": ("Paris", "Paris", "Europe", "68 million"),
+    "Germany": ("Berlin", "Berlin", "Europe", "83 million"),
+    "Italy": ("Rome", "Rome", "Europe", "59 million"),
+    "Japan": ("Tokyo", "Tokyo", "Asia", "125 million"),
+    "Canada": ("Ottawa", "Toronto", "North_America", "38 million"),
+    "Australia": ("Canberra", "Sydney", "Oceania", "26 million"),
+    "Spain": ("Madrid", "Madrid", "Europe", "47 million"),
+    "South_Korea": ("Seoul", "Seoul", "Asia", "52 million"),
+    "China": ("Beijing", "Shanghai", "Asia", "1412 million"),
+    "Finland": ("Helsinki", "Helsinki", "Europe", "5.5 million"),
+}
+
+_RIVERS = {
+    "Mississippi_River": ["United_States"],
+    "Thames": ["United_Kingdom"],
+    "Seine": ["France"],
+    "Rhine": ["Germany", "France"],
+    "Yangtze": ["China"],
+    "Danube": ["Germany"],
+}
+
+
+def build_geography_kg() -> KnowledgeGraph:
+    """Build the (fixed, deterministic) geography knowledge graph."""
+    builder = GraphBuilder("geography")
+    continents = {"North_America", "Europe", "Asia", "Oceania"}
+    for continent in sorted(continents):
+        builder.entity(f"dbr:{continent}", label=continent.replace("_", " "), types=[TYPE_CONTINENT])
+
+    for country, (capital, largest, continent, population) in _COUNTRIES.items():
+        builder.entity(
+            f"dbr:{country}",
+            label=country.replace("_", " "),
+            types=[TYPE_COUNTRY],
+            categories=[f"dbc:Countries_in_{continent}"],
+            attributes={ATTR_POPULATION: population},
+        )
+        for city in {capital, largest}:
+            builder.entity(f"dbr:{city}", label=city.replace("_", " "), types=[TYPE_CITY])
+            builder.edge(f"dbr:{city}", REL_LOCATED_IN, f"dbr:{country}")
+            builder.edge(f"dbr:{city}", REL_CONTINENT, f"dbr:{continent}")
+        builder.edge(f"dbr:{country}", REL_CAPITAL, f"dbr:{capital}")
+        builder.edge(f"dbr:{country}", REL_LARGEST_CITY, f"dbr:{largest}")
+        builder.edge(f"dbr:{country}", REL_CONTINENT, f"dbr:{continent}")
+
+    for river, countries in _RIVERS.items():
+        builder.entity(f"dbr:{river}", label=river.replace("_", " "), types=[TYPE_RIVER])
+        for country in countries:
+            builder.edge(f"dbr:{river}", REL_FLOWS_THROUGH, f"dbr:{country}")
+
+    return builder.build()

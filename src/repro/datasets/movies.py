@@ -1,0 +1,455 @@
+"""Synthetic movie-domain knowledge graph (the paper's running example).
+
+The paper demonstrates PivotE on DBpedia with the Forrest Gump / Tom Hanks
+neighbourhood.  This module builds a deterministic DBpedia-like movie KG
+with two layers:
+
+* a **hand-curated core** reproducing the entities the paper names
+  (Forrest Gump, Apollo 13, Tom Hanks, Gary Sinise, Robert Zemeckis, ...)
+  with exactly the relationships the demo scenarios rely on; and
+* a **procedurally generated extension** (films, actors, directors,
+  composers, studios, genres, countries) whose size is controlled by a
+  scale parameter, so that the latency experiments can grow the graph while
+  the quality experiments keep the recognisable core.
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..kg import GraphBuilder, KnowledgeGraph
+
+# --------------------------------------------------------------------------- #
+# Ontology
+# --------------------------------------------------------------------------- #
+TYPE_FILM = "dbo:Film"
+TYPE_ACTOR = "dbo:Actor"
+TYPE_DIRECTOR = "dbo:Director"
+TYPE_COMPOSER = "dbo:MusicComposer"
+TYPE_STUDIO = "dbo:Company"
+TYPE_GENRE = "dbo:Genre"
+TYPE_COUNTRY = "dbo:Country"
+TYPE_AWARD = "dbo:Award"
+
+REL_STARRING = "dbo:starring"
+REL_DIRECTOR = "dbo:director"
+REL_MUSIC = "dbo:musicComposer"
+REL_STUDIO = "dbo:studio"
+REL_GENRE = "dbo:genre"
+REL_COUNTRY = "dbo:country"
+REL_AWARD = "dbo:award"
+REL_SPOUSE = "dbo:spouse"
+REL_BIRTH_PLACE = "dbo:birthPlace"
+
+ATTR_RUNTIME = "dbo:runtime"
+ATTR_BUDGET = "dbo:budget"
+ATTR_RELEASE = "dbo:releaseDate"
+ATTR_BIRTH_YEAR = "dbo:birthYear"
+
+_FIRST_NAMES = [
+    "James", "Mary", "Robert", "Linda", "Michael", "Susan", "David", "Karen",
+    "Richard", "Nancy", "Joseph", "Betty", "Thomas", "Helen", "Charles",
+    "Sandra", "Daniel", "Donna", "Matthew", "Carol", "Anthony", "Ruth",
+    "Mark", "Sharon", "Paul", "Michelle", "Steven", "Laura", "Andrew",
+    "Sarah", "Kenneth", "Kimberly", "George", "Deborah", "Brian", "Jessica",
+]
+_LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin", "Lee",
+    "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark", "Ramirez",
+    "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+]
+_FILM_ADJECTIVES = [
+    "Silent", "Golden", "Broken", "Hidden", "Lost", "Eternal", "Midnight",
+    "Crimson", "Distant", "Burning", "Frozen", "Secret", "Savage", "Gentle",
+    "Electric", "Silver", "Falling", "Rising", "Wandering", "Forgotten",
+]
+_FILM_NOUNS = [
+    "Horizon", "River", "Empire", "Promise", "Garden", "Station", "Harvest",
+    "Voyage", "Letter", "Symphony", "Shadow", "Kingdom", "Journey", "Echo",
+    "Harbor", "Mountain", "Crossing", "Memory", "Tide", "Lantern",
+]
+_GENRES = [
+    "Drama", "Comedy", "Thriller", "Romance", "Science_Fiction", "War",
+    "Adventure", "Biography", "Crime", "Fantasy", "Western", "Mystery",
+]
+_COUNTRIES = [
+    "United_States", "United_Kingdom", "France", "Germany", "Italy", "Japan",
+    "Canada", "Australia", "Spain", "South_Korea",
+]
+_STUDIOS = [
+    "Paramount_Pictures", "Universal_Pictures", "Warner_Bros", "Columbia_Pictures",
+    "20th_Century_Studios", "Metro_Goldwyn_Mayer", "DreamWorks_Pictures",
+    "Lionsgate_Films",
+]
+_CITIES = [
+    "Los_Angeles", "New_York_City", "London", "Paris", "Chicago", "Boston",
+    "San_Francisco", "Toronto", "Sydney", "Berlin",
+]
+
+
+@dataclass(frozen=True)
+class MovieKGConfig:
+    """Size and randomness knobs of the synthetic movie KG."""
+
+    #: Number of procedurally generated films in addition to the curated core.
+    num_films: int = 120
+    #: Number of procedurally generated actors.
+    num_actors: int = 80
+    #: Number of procedurally generated directors.
+    num_directors: int = 20
+    #: Number of procedurally generated composers.
+    num_composers: int = 12
+    #: Actors per generated film (min, max).
+    actors_per_film: tuple[int, int] = (2, 5)
+    #: Random seed for deterministic generation.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_films < 0 or self.num_actors <= 0 or self.num_directors <= 0:
+            raise ValueError("counts must be positive")
+        low, high = self.actors_per_film
+        if low <= 0 or high < low:
+            raise ValueError("actors_per_film must be a valid (min, max) range")
+
+
+# --------------------------------------------------------------------------- #
+# Curated core: the paper's running example
+# --------------------------------------------------------------------------- #
+def _add_curated_core(builder: GraphBuilder) -> None:
+    """Add the entities the paper names, with the edges the demo uses."""
+    builder.entity(
+        "dbr:Forrest_Gump",
+        label="Forrest Gump",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:1994_films", "dbc:Films_about_Vietnam_War"],
+        attributes={ATTR_RUNTIME: "142 minutes", ATTR_BUDGET: "55 million dollars", ATTR_RELEASE: "1994"},
+        aliases=["dbr:Greenbow", "dbr:Gumpian"],
+    )
+    builder.entity(
+        "dbr:Apollo_13_(film)",
+        label="Apollo 13",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:1995_films", "dbc:Films_about_astronauts"],
+        attributes={ATTR_RUNTIME: "140 minutes", ATTR_BUDGET: "52 million dollars", ATTR_RELEASE: "1995"},
+    )
+    builder.entity(
+        "dbr:Cast_Away",
+        label="Cast Away",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:2000_films", "dbc:Survival_films"],
+        attributes={ATTR_RUNTIME: "143 minutes", ATTR_RELEASE: "2000"},
+    )
+    builder.entity(
+        "dbr:The_Green_Mile_(film)",
+        label="The Green Mile",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:1999_films", "dbc:Prison_films"],
+        attributes={ATTR_RUNTIME: "189 minutes", ATTR_RELEASE: "1999"},
+    )
+    builder.entity(
+        "dbr:Saving_Private_Ryan",
+        label="Saving Private Ryan",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:1998_films", "dbc:War_films"],
+        attributes={ATTR_RUNTIME: "169 minutes", ATTR_RELEASE: "1998"},
+    )
+    builder.entity(
+        "dbr:Philadelphia_(film)",
+        label="Philadelphia",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:1993_films", "dbc:Legal_films"],
+        attributes={ATTR_RUNTIME: "126 minutes", ATTR_RELEASE: "1993"},
+    )
+    builder.entity(
+        "dbr:Back_to_the_Future",
+        label="Back to the Future",
+        types=[TYPE_FILM],
+        categories=["dbc:American_films", "dbc:1985_films", "dbc:Time_travel_films"],
+        attributes={ATTR_RUNTIME: "116 minutes", ATTR_RELEASE: "1985"},
+    )
+
+    builder.entity(
+        "dbr:Tom_Hanks",
+        label="Tom Hanks",
+        types=[TYPE_ACTOR],
+        categories=["dbc:American_male_actors", "dbc:Best_Actor_Academy_Award_winners"],
+        attributes={ATTR_BIRTH_YEAR: "1956"},
+    )
+    builder.entity(
+        "dbr:Gary_Sinise",
+        label="Gary Sinise",
+        types=[TYPE_ACTOR],
+        categories=["dbc:American_male_actors"],
+        attributes={ATTR_BIRTH_YEAR: "1955"},
+    )
+    builder.entity(
+        "dbr:Robin_Wright",
+        label="Robin Wright",
+        types=[TYPE_ACTOR],
+        categories=["dbc:American_actresses"],
+        attributes={ATTR_BIRTH_YEAR: "1966"},
+    )
+    builder.entity(
+        "dbr:Kevin_Bacon",
+        label="Kevin Bacon",
+        types=[TYPE_ACTOR],
+        categories=["dbc:American_male_actors"],
+        attributes={ATTR_BIRTH_YEAR: "1958"},
+    )
+    builder.entity(
+        "dbr:Bill_Paxton",
+        label="Bill Paxton",
+        types=[TYPE_ACTOR],
+        categories=["dbc:American_male_actors"],
+        attributes={ATTR_BIRTH_YEAR: "1955"},
+    )
+    builder.entity(
+        "dbr:Michael_J_Fox",
+        label="Michael J. Fox",
+        types=[TYPE_ACTOR],
+        categories=["dbc:Canadian_male_actors"],
+        attributes={ATTR_BIRTH_YEAR: "1961"},
+    )
+    builder.entity(
+        "dbr:Denzel_Washington",
+        label="Denzel Washington",
+        types=[TYPE_ACTOR],
+        categories=["dbc:American_male_actors", "dbc:Best_Actor_Academy_Award_winners"],
+        attributes={ATTR_BIRTH_YEAR: "1954"},
+    )
+
+    builder.entity(
+        "dbr:Robert_Zemeckis",
+        label="Robert Zemeckis",
+        types=[TYPE_DIRECTOR],
+        categories=["dbc:American_film_directors", "dbc:Best_Director_Academy_Award_winners"],
+        attributes={ATTR_BIRTH_YEAR: "1952"},
+    )
+    builder.entity(
+        "dbr:Ron_Howard",
+        label="Ron Howard",
+        types=[TYPE_DIRECTOR],
+        categories=["dbc:American_film_directors"],
+        attributes={ATTR_BIRTH_YEAR: "1954"},
+    )
+    builder.entity(
+        "dbr:Steven_Spielberg",
+        label="Steven Spielberg",
+        types=[TYPE_DIRECTOR],
+        categories=["dbc:American_film_directors", "dbc:Best_Director_Academy_Award_winners"],
+        attributes={ATTR_BIRTH_YEAR: "1946"},
+    )
+    builder.entity(
+        "dbr:Frank_Darabont",
+        label="Frank Darabont",
+        types=[TYPE_DIRECTOR],
+        categories=["dbc:American_film_directors"],
+        attributes={ATTR_BIRTH_YEAR: "1959"},
+    )
+    builder.entity(
+        "dbr:Alan_Silvestri",
+        label="Alan Silvestri",
+        types=[TYPE_COMPOSER],
+        categories=["dbc:American_film_score_composers"],
+        attributes={ATTR_BIRTH_YEAR: "1950"},
+    )
+    builder.entity(
+        "dbr:Academy_Award_for_Best_Picture",
+        label="Academy Award for Best Picture",
+        types=[TYPE_AWARD],
+        categories=["dbc:Academy_Awards"],
+    )
+    builder.entity("dbr:Paramount_Pictures", label="Paramount Pictures", types=[TYPE_STUDIO])
+    builder.entity("dbr:Universal_Pictures", label="Universal Pictures", types=[TYPE_STUDIO])
+    builder.entity("dbr:Drama", label="Drama", types=[TYPE_GENRE])
+    builder.entity("dbr:War", label="War", types=[TYPE_GENRE])
+    builder.entity("dbr:Science_Fiction", label="Science Fiction", types=[TYPE_GENRE])
+    builder.entity("dbr:United_States", label="United States", types=[TYPE_COUNTRY])
+
+    # Forrest Gump neighbourhood (Fig 1-a).
+    builder.edges("dbr:Forrest_Gump", REL_STARRING, ["dbr:Tom_Hanks", "dbr:Gary_Sinise", "dbr:Robin_Wright"])
+    builder.edge("dbr:Forrest_Gump", REL_DIRECTOR, "dbr:Robert_Zemeckis")
+    builder.edge("dbr:Forrest_Gump", REL_MUSIC, "dbr:Alan_Silvestri")
+    builder.edge("dbr:Forrest_Gump", REL_STUDIO, "dbr:Paramount_Pictures")
+    builder.edge("dbr:Forrest_Gump", REL_GENRE, "dbr:Drama")
+    builder.edge("dbr:Forrest_Gump", REL_COUNTRY, "dbr:United_States")
+    builder.edge("dbr:Forrest_Gump", REL_AWARD, "dbr:Academy_Award_for_Best_Picture")
+
+    # Apollo 13: shares Tom Hanks and Gary Sinise (the paper's explanation example).
+    builder.edges("dbr:Apollo_13_(film)", REL_STARRING, ["dbr:Tom_Hanks", "dbr:Gary_Sinise", "dbr:Kevin_Bacon", "dbr:Bill_Paxton"])
+    builder.edge("dbr:Apollo_13_(film)", REL_DIRECTOR, "dbr:Ron_Howard")
+    builder.edge("dbr:Apollo_13_(film)", REL_STUDIO, "dbr:Universal_Pictures")
+    builder.edge("dbr:Apollo_13_(film)", REL_GENRE, "dbr:Drama")
+    builder.edge("dbr:Apollo_13_(film)", REL_COUNTRY, "dbr:United_States")
+
+    builder.edge("dbr:Cast_Away", REL_STARRING, "dbr:Tom_Hanks")
+    builder.edge("dbr:Cast_Away", REL_DIRECTOR, "dbr:Robert_Zemeckis")
+    builder.edge("dbr:Cast_Away", REL_MUSIC, "dbr:Alan_Silvestri")
+    builder.edge("dbr:Cast_Away", REL_GENRE, "dbr:Drama")
+    builder.edge("dbr:Cast_Away", REL_COUNTRY, "dbr:United_States")
+
+    builder.edge("dbr:The_Green_Mile_(film)", REL_STARRING, "dbr:Tom_Hanks")
+    builder.edge("dbr:The_Green_Mile_(film)", REL_DIRECTOR, "dbr:Frank_Darabont")
+    builder.edge("dbr:The_Green_Mile_(film)", REL_GENRE, "dbr:Drama")
+    builder.edge("dbr:The_Green_Mile_(film)", REL_COUNTRY, "dbr:United_States")
+
+    builder.edges("dbr:Saving_Private_Ryan", REL_STARRING, ["dbr:Tom_Hanks"])
+    builder.edge("dbr:Saving_Private_Ryan", REL_DIRECTOR, "dbr:Steven_Spielberg")
+    builder.edge("dbr:Saving_Private_Ryan", REL_GENRE, "dbr:War")
+    builder.edge("dbr:Saving_Private_Ryan", REL_COUNTRY, "dbr:United_States")
+
+    builder.edges("dbr:Philadelphia_(film)", REL_STARRING, ["dbr:Tom_Hanks", "dbr:Denzel_Washington"])
+    builder.edge("dbr:Philadelphia_(film)", REL_GENRE, "dbr:Drama")
+    builder.edge("dbr:Philadelphia_(film)", REL_COUNTRY, "dbr:United_States")
+
+    builder.edge("dbr:Back_to_the_Future", REL_STARRING, "dbr:Michael_J_Fox")
+    builder.edge("dbr:Back_to_the_Future", REL_DIRECTOR, "dbr:Robert_Zemeckis")
+    builder.edge("dbr:Back_to_the_Future", REL_MUSIC, "dbr:Alan_Silvestri")
+    builder.edge("dbr:Back_to_the_Future", REL_GENRE, "dbr:Science_Fiction")
+    builder.edge("dbr:Back_to_the_Future", REL_COUNTRY, "dbr:United_States")
+
+    builder.edge("dbr:Tom_Hanks", REL_BIRTH_PLACE, "dbr:United_States")
+    builder.edge("dbr:Gary_Sinise", REL_BIRTH_PLACE, "dbr:United_States")
+
+
+#: Identifiers of the curated core, exposed for tests and workloads.
+CURATED_TOM_HANKS_FILMS: tuple[str, ...] = (
+    "dbr:Forrest_Gump",
+    "dbr:Apollo_13_(film)",
+    "dbr:Cast_Away",
+    "dbr:The_Green_Mile_(film)",
+    "dbr:Saving_Private_Ryan",
+    "dbr:Philadelphia_(film)",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Procedural extension
+# --------------------------------------------------------------------------- #
+def _person_name(rng: random.Random, used: set[str]) -> str:
+    while True:
+        name = f"{rng.choice(_FIRST_NAMES)}_{rng.choice(_LAST_NAMES)}"
+        if name not in used:
+            used.add(name)
+            return name
+
+
+def _film_title(rng: random.Random, used: set[str]) -> str:
+    while True:
+        title = f"The_{rng.choice(_FILM_ADJECTIVES)}_{rng.choice(_FILM_NOUNS)}"
+        if title not in used:
+            used.add(title)
+            return title
+        # Disambiguate collisions with a year-like suffix.
+        title = f"{title}_{rng.randint(1960, 2019)}"
+        if title not in used:
+            used.add(title)
+            return title
+
+
+def _add_procedural_extension(builder: GraphBuilder, config: MovieKGConfig) -> None:
+    rng = random.Random(config.seed)
+    used_names: set[str] = set()
+
+    for genre in _GENRES:
+        builder.entity(f"dbr:{genre}", label=genre.replace("_", " "), types=[TYPE_GENRE])
+    for country in _COUNTRIES:
+        builder.entity(f"dbr:{country}", label=country.replace("_", " "), types=[TYPE_COUNTRY])
+    for studio in _STUDIOS:
+        builder.entity(f"dbr:{studio}", label=studio.replace("_", " "), types=[TYPE_STUDIO])
+    for city in _CITIES:
+        builder.entity(f"dbr:{city}", label=city.replace("_", " "), types=["dbo:City"])
+
+    actors: List[str] = []
+    for _ in range(config.num_actors):
+        name = _person_name(rng, used_names)
+        identifier = f"dbr:{name}"
+        actors.append(identifier)
+        builder.entity(
+            identifier,
+            label=name.replace("_", " "),
+            types=[TYPE_ACTOR],
+            categories=["dbc:Film_actors"],
+            attributes={ATTR_BIRTH_YEAR: str(rng.randint(1930, 1995))},
+        )
+        builder.edge(identifier, REL_BIRTH_PLACE, f"dbr:{rng.choice(_CITIES)}")
+
+    directors: List[str] = []
+    for _ in range(config.num_directors):
+        name = _person_name(rng, used_names)
+        identifier = f"dbr:{name}"
+        directors.append(identifier)
+        builder.entity(
+            identifier,
+            label=name.replace("_", " "),
+            types=[TYPE_DIRECTOR],
+            categories=["dbc:Film_directors"],
+            attributes={ATTR_BIRTH_YEAR: str(rng.randint(1930, 1985))},
+        )
+
+    composers: List[str] = []
+    for _ in range(config.num_composers):
+        name = _person_name(rng, used_names)
+        identifier = f"dbr:{name}"
+        composers.append(identifier)
+        builder.entity(
+            identifier,
+            label=name.replace("_", " "),
+            types=[TYPE_COMPOSER],
+            categories=["dbc:Film_score_composers"],
+        )
+
+    used_titles: set[str] = set()
+    for _ in range(config.num_films):
+        title = _film_title(rng, used_titles)
+        identifier = f"dbr:{title}"
+        year = rng.randint(1960, 2019)
+        builder.entity(
+            identifier,
+            label=title.replace("_", " "),
+            types=[TYPE_FILM],
+            categories=[f"dbc:{year}_films", "dbc:Feature_films"],
+            attributes={
+                ATTR_RUNTIME: f"{rng.randint(80, 200)} minutes",
+                ATTR_RELEASE: str(year),
+                ATTR_BUDGET: f"{rng.randint(5, 250)} million dollars",
+            },
+        )
+        low, high = config.actors_per_film
+        cast_size = rng.randint(low, min(high, len(actors)))
+        for actor in rng.sample(actors, cast_size):
+            builder.edge(identifier, REL_STARRING, actor)
+        builder.edge(identifier, REL_DIRECTOR, rng.choice(directors))
+        if composers and rng.random() < 0.7:
+            builder.edge(identifier, REL_MUSIC, rng.choice(composers))
+        builder.edge(identifier, REL_STUDIO, f"dbr:{rng.choice(_STUDIOS)}")
+        builder.edge(identifier, REL_GENRE, f"dbr:{rng.choice(_GENRES)}")
+        builder.edge(identifier, REL_COUNTRY, f"dbr:{rng.choice(_COUNTRIES)}")
+
+
+def build_movie_kg(config: MovieKGConfig | None = None) -> KnowledgeGraph:
+    """Build the synthetic movie knowledge graph.
+
+    The graph always contains the curated Forrest Gump core; the procedural
+    extension is sized by the configuration.
+    """
+    config = config or MovieKGConfig()
+    builder = GraphBuilder("movies")
+    _add_curated_core(builder)
+    _add_procedural_extension(builder, config)
+    return builder.build()
+
+
+def small_movie_kg() -> KnowledgeGraph:
+    """A small movie KG (curated core + a light procedural extension).
+
+    Suitable for unit tests and the quickstart example: a few hundred
+    entities, generated in well under a second.
+    """
+    return build_movie_kg(MovieKGConfig(num_films=30, num_actors=25, num_directors=8, num_composers=4))

@@ -1,0 +1,180 @@
+"""Query workloads and ground truth for the quantitative experiments.
+
+The demo paper does not publish relevance judgements, so the workloads are
+constructed from the graphs themselves, the standard protocol of the
+underlying entity-set-expansion papers:
+
+* **expansion workloads** pick a target concept definable as a crisp set
+  (e.g. "films starring Tom Hanks" = ``E(Tom_Hanks:starring)``), sample a
+  few members as seeds, and treat the remaining members as the relevant
+  set to be recovered;
+* **search workloads** derive keyword queries from entity names, attributes
+  and categories, with the source entity as the single relevant answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import DatasetError
+from ..features import Direction, SemanticFeature, matching_entities
+from ..kg import KnowledgeGraph, label_from_identifier
+
+
+@dataclass(frozen=True)
+class ExpansionTask:
+    """One entity-set-expansion task: seeds plus the held-out relevant set."""
+
+    name: str
+    seeds: Tuple[str, ...]
+    relevant: Tuple[str, ...]
+    concept_feature: str = ""
+
+    def __post_init__(self) -> None:
+        overlap = set(self.seeds) & set(self.relevant)
+        if overlap:
+            raise DatasetError(f"seeds and relevant sets overlap: {sorted(overlap)}")
+
+
+@dataclass(frozen=True)
+class SearchTask:
+    """One keyword-search task: a query string and its relevant entities."""
+
+    query: str
+    relevant: Tuple[str, ...]
+    description: str = ""
+
+
+def expansion_tasks_from_features(
+    graph: KnowledgeGraph,
+    num_tasks: int = 20,
+    seeds_per_task: int = 2,
+    min_concept_size: int = 5,
+    seed: int = 17,
+) -> List[ExpansionTask]:
+    """Build expansion tasks from the graph's own semantic features.
+
+    Every (anchor, predicate) pair whose matching set has at least
+    ``min_concept_size`` members defines a concept; seeds are sampled from
+    the members, the rest are the relevant set.
+    """
+    if seeds_per_task <= 0:
+        raise DatasetError("seeds_per_task must be positive")
+    if min_concept_size <= seeds_per_task:
+        raise DatasetError("min_concept_size must exceed seeds_per_task")
+    rng = random.Random(seed)
+    concepts: List[Tuple[SemanticFeature, List[str]]] = []
+    seen_keys: set[Tuple[str, str, str]] = set()
+    for entity_id in sorted(graph.entities()):
+        for predicate, target in graph.outgoing(entity_id):
+            feature = SemanticFeature(anchor=target, predicate=predicate, direction=Direction.OBJECT_OF)
+            if feature.key in seen_keys:
+                continue
+            seen_keys.add(feature.key)
+            members = sorted(matching_entities(graph, feature))
+            if len(members) >= min_concept_size:
+                concepts.append((feature, members))
+    if not concepts:
+        raise DatasetError("graph contains no concept large enough for expansion tasks")
+    rng.shuffle(concepts)
+    tasks: List[ExpansionTask] = []
+    for feature, members in concepts[:num_tasks]:
+        seeds = rng.sample(members, seeds_per_task)
+        relevant = [member for member in members if member not in seeds]
+        tasks.append(
+            ExpansionTask(
+                name=feature.notation(),
+                seeds=tuple(seeds),
+                relevant=tuple(relevant),
+                concept_feature=feature.notation(),
+            )
+        )
+    return tasks
+
+
+def tom_hanks_task(graph: KnowledgeGraph, seeds: Sequence[str] = ("dbr:Forrest_Gump", "dbr:Apollo_13_(film)")) -> ExpansionTask:
+    """The paper's demo scenario as an expansion task.
+
+    Seeds are Forrest Gump and Apollo 13; the relevant set is every other
+    film starring Tom Hanks present in the graph.
+    """
+    feature = SemanticFeature("dbr:Tom_Hanks", "dbo:starring", Direction.OBJECT_OF)
+    members = sorted(matching_entities(graph, feature))
+    if not members:
+        raise DatasetError("graph does not contain Tom Hanks films")
+    relevant = tuple(member for member in members if member not in set(seeds))
+    return ExpansionTask(
+        name="films starring Tom Hanks",
+        seeds=tuple(seeds),
+        relevant=relevant,
+        concept_feature=feature.notation(),
+    )
+
+
+def search_tasks_from_labels(
+    graph: KnowledgeGraph,
+    num_tasks: int = 30,
+    seed: int = 23,
+    drop_token_probability: float = 0.3,
+) -> List[SearchTask]:
+    """Build keyword-search tasks from entity names and categories.
+
+    Each task's query is the entity's label, sometimes with a token dropped
+    and sometimes with a category word appended — simulating the partial,
+    noisy queries users type.  The originating entity is the relevant
+    answer.
+    """
+    if not 0.0 <= drop_token_probability < 1.0:
+        raise DatasetError("drop_token_probability must lie in [0, 1)")
+    rng = random.Random(seed)
+    candidates = [
+        entity_id
+        for entity_id in sorted(graph.entities())
+        if graph.labels_of(entity_id) or graph.categories_of(entity_id)
+    ]
+    if not candidates:
+        raise DatasetError("graph has no labelled entities to derive search tasks from")
+    rng.shuffle(candidates)
+    tasks: List[SearchTask] = []
+    for entity_id in candidates:
+        if len(tasks) >= num_tasks:
+            break
+        label = graph.label(entity_id)
+        tokens = label.split()
+        if len(tokens) > 1 and rng.random() < drop_token_probability:
+            drop = rng.randrange(len(tokens))
+            tokens = [token for index, token in enumerate(tokens) if index != drop]
+        query = " ".join(tokens)
+        categories = sorted(graph.categories_of(entity_id))
+        if categories and rng.random() < 0.4:
+            category_word = label_from_identifier(categories[0]).split()[-1]
+            query = f"{query} {category_word}"
+        if not query.strip():
+            continue
+        tasks.append(SearchTask(query=query, relevant=(entity_id,), description=f"find {label}"))
+    return tasks
+
+
+def seed_count_sweep(
+    task: ExpansionTask, max_seeds: int = 5, seed: int = 31
+) -> Dict[int, ExpansionTask]:
+    """Derive tasks with 1..max_seeds seeds from one expansion task.
+
+    Used by the scalability and quality experiments to study the effect of
+    the number of example entities.
+    """
+    rng = random.Random(seed)
+    all_members = list(task.seeds) + list(task.relevant)
+    sweep: Dict[int, ExpansionTask] = {}
+    for count in range(1, min(max_seeds, len(all_members) - 1) + 1):
+        seeds = rng.sample(all_members, count)
+        relevant = tuple(member for member in all_members if member not in seeds)
+        sweep[count] = ExpansionTask(
+            name=f"{task.name} ({count} seeds)",
+            seeds=tuple(seeds),
+            relevant=relevant,
+            concept_feature=task.concept_feature,
+        )
+    return sweep

@@ -1,0 +1,14 @@
+"""The PivotE system facade, explanation builder and the in-process API."""
+
+from .api import PivotEApi
+from .explanation import CellExplanation, EntityPairExplanation, ExplanationBuilder
+from .pivote import PivotE, QueryResponse
+
+__all__ = [
+    "CellExplanation",
+    "EntityPairExplanation",
+    "ExplanationBuilder",
+    "PivotE",
+    "PivotEApi",
+    "QueryResponse",
+]

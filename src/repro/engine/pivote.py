@@ -1,0 +1,240 @@
+"""The PivotE system facade (Fig 2).
+
+:class:`PivotE` wires the three components of the architecture — the user
+interface model (sessions), the search engine and the recommendation engine
+— into a single object with the interaction surface the demo exposes:
+
+* ``search(keywords)``             — the initial keyword query (Fig 3-a);
+* ``start_session()``              — open an exploration session;
+* ``submit_keywords(...)``         — submit keywords inside a session;
+* ``select_entity / pin_feature``  — reformulate the query by clicks;
+* ``investigate()``                — expand the current seed set (x-axis);
+* ``pivot(...)``                   — switch to another entity domain;
+* ``lookup(entity)``               — the presentation area;
+* ``explain(left, right)``         — the explanation area;
+* ``matrix()``                     — the heat-map matrix for the current state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import PivotEConfig
+from ..exceptions import NoSeedEntitiesError
+from ..explore import (
+    ExplorationQuery,
+    ExplorationSession,
+    LookupEntity,
+    PinFeature,
+    Pivot,
+    Recommendation,
+    RecommendationEngine,
+    SelectEntity,
+    DeselectEntity,
+    SetDomain,
+    SubmitKeywords,
+    UnpinFeature,
+)
+from ..features import SemanticFeature, SemanticFeatureIndex
+from ..kg import EntityProfile, KnowledgeGraph
+from ..search import SearchEngine, SearchHit
+from ..viz import (
+    Heatmap,
+    MatrixView,
+    build_heatmap,
+    build_matrix_view,
+    entity_profile,
+)
+from .explanation import EntityPairExplanation, ExplanationBuilder
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Everything the UI displays after a query is (re)formulated."""
+
+    hits: Tuple[SearchHit, ...]
+    recommendation: Optional[Recommendation]
+    matrix: Optional[MatrixView]
+
+    @property
+    def has_recommendation(self) -> bool:
+        return self.recommendation is not None
+
+
+class PivotE:
+    """The entity-oriented exploratory search system."""
+
+    def __init__(self, graph: KnowledgeGraph, config: Optional[PivotEConfig] = None) -> None:
+        self._graph = graph
+        self._config = config or PivotEConfig.default()
+        self._search = SearchEngine.from_graph(graph, config=self._config.search)
+        self._feature_index = SemanticFeatureIndex.build(graph)
+        self._recommender = RecommendationEngine(
+            graph, feature_index=self._feature_index, config=self._config.ranking
+        )
+        self._explainer = ExplanationBuilder(
+            graph,
+            self._feature_index,
+            probability_model=self._recommender.expander.feature_ranker.probability_model,
+        )
+        self._sessions: Dict[str, ExplorationSession] = {}
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Component access
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._graph
+
+    @property
+    def search_engine(self) -> SearchEngine:
+        return self._search
+
+    @property
+    def recommendation_engine(self) -> RecommendationEngine:
+        return self._recommender
+
+    @property
+    def feature_index(self) -> SemanticFeatureIndex:
+        return self._feature_index
+
+    @property
+    def explainer(self) -> ExplanationBuilder:
+        return self._explainer
+
+    @property
+    def config(self) -> PivotEConfig:
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Stateless operations
+    # ------------------------------------------------------------------ #
+    def search(self, keywords: str, top_k: Optional[int] = None) -> List[SearchHit]:
+        """Keyword entity search (the search-engine component alone)."""
+        return self._search.search(keywords, top_k=top_k)
+
+    def recommend(self, seeds: Sequence[str], **kwargs: object) -> Recommendation:
+        """Entity/feature recommendation for explicit seeds."""
+        return self._recommender.recommend_for_seeds(seeds, **kwargs)  # type: ignore[arg-type]
+
+    def lookup(self, entity_id: str) -> EntityProfile:
+        """The entity presentation area (Fig 3-d)."""
+        return entity_profile(self._graph, entity_id)
+
+    def explain(self, left: str, right: str) -> EntityPairExplanation:
+        """The explanation area: why are two entities related?"""
+        return self._explainer.explain_pair(left, right)
+
+    def heatmap_for(self, recommendation: Recommendation) -> Heatmap:
+        """Discretise a recommendation's correlations into the 7-level map."""
+        return build_heatmap(recommendation.correlations, self._config.heatmap)
+
+    def matrix_for(self, recommendation: Recommendation) -> MatrixView:
+        """The full matrix view for a recommendation."""
+        heatmap = self.heatmap_for(recommendation)
+        return build_matrix_view(self._graph, recommendation, heatmap)
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def start_session(self, session_id: Optional[str] = None) -> ExplorationSession:
+        """Open a new exploration session."""
+        if session_id is None:
+            self._session_counter += 1
+            session_id = f"session-{self._session_counter}"
+        session = ExplorationSession(session_id)
+        self._sessions[session_id] = session
+        return session
+
+    def session(self, session_id: str) -> ExplorationSession:
+        """Retrieve an existing session."""
+        if session_id not in self._sessions:
+            raise KeyError(f"unknown session: {session_id!r}")
+        return self._sessions[session_id]
+
+    # ------------------------------------------------------------------ #
+    # Session-level interaction surface
+    # ------------------------------------------------------------------ #
+    def submit_keywords(self, session: ExplorationSession, keywords: str, top_k: Optional[int] = None) -> QueryResponse:
+        """Submit a keyword query inside a session (Fig 3-a).
+
+        The top search hits seed the recommendation so that the matrix is
+        populated immediately, matching the demo's behaviour of returning
+        relevant entities *and* their semantic features for a keyword query.
+        """
+        session.apply(SubmitKeywords(keywords))
+        hits = self._search.search(keywords, top_k=top_k)
+        recommendation: Optional[Recommendation] = None
+        matrix: Optional[MatrixView] = None
+        if hits:
+            seeds = [hit.entity_id for hit in hits[: min(3, len(hits))]]
+            recommendation = self._recommender.recommend_for_seeds(
+                seeds,
+                pinned_features=session.current_query.pinned_features,
+                domain_type=session.current_query.domain_type,
+            )
+            matrix = self.matrix_for(recommendation)
+        return QueryResponse(hits=tuple(hits), recommendation=recommendation, matrix=matrix)
+
+    def select_entity(self, session: ExplorationSession, entity_id: str) -> QueryResponse:
+        """Click an entity to add it as an example seed."""
+        self._graph.require_entity(entity_id)
+        session.apply(SelectEntity(entity_id))
+        return self._respond(session)
+
+    def deselect_entity(self, session: ExplorationSession, entity_id: str) -> QueryResponse:
+        """Remove an example seed from the query."""
+        session.apply(DeselectEntity(entity_id))
+        return self._respond(session)
+
+    def pin_feature(self, session: ExplorationSession, feature: SemanticFeature) -> QueryResponse:
+        """Add a semantic feature as a query condition."""
+        session.apply(PinFeature(feature))
+        return self._respond(session)
+
+    def unpin_feature(self, session: ExplorationSession, feature: SemanticFeature) -> QueryResponse:
+        """Remove a pinned semantic feature."""
+        session.apply(UnpinFeature(feature))
+        return self._respond(session)
+
+    def set_domain(self, session: ExplorationSession, domain_type: str) -> QueryResponse:
+        """Filter the x-axis to one entity type."""
+        session.apply(SetDomain(domain_type))
+        return self._respond(session)
+
+    def lookup_in_session(self, session: ExplorationSession, entity_id: str) -> EntityProfile:
+        """Open an entity profile, recording the lookup in the session."""
+        session.apply(LookupEntity(entity_id))
+        return self.lookup(entity_id)
+
+    def investigate(self, session: ExplorationSession) -> QueryResponse:
+        """Run the investigation process on the current seed set."""
+        return self._respond(session)
+
+    def pivot(self, session: ExplorationSession, target_entity: str) -> QueryResponse:
+        """Pivot the x-axis into the domain of ``target_entity``.
+
+        The target's dominant type becomes the new search domain and the
+        target itself the new seed — the "browse" operation of the paper.
+        """
+        self._graph.require_entity(target_entity)
+        target_type = self._graph.dominant_type(target_entity)
+        session.apply(Pivot(target_entity=target_entity, target_type=target_type))
+        return self._respond(session)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _respond(self, session: ExplorationSession) -> QueryResponse:
+        """Compute the response for the session's current query state."""
+        query = session.current_query
+        if not query.seed_entities:
+            if query.keywords.strip():
+                hits = self._search.search(query.keywords)
+                return QueryResponse(hits=tuple(hits), recommendation=None, matrix=None)
+            return QueryResponse(hits=(), recommendation=None, matrix=None)
+        recommendation = self._recommender.recommend(query)
+        matrix = self.matrix_for(recommendation)
+        return QueryResponse(hits=(), recommendation=recommendation, matrix=matrix)

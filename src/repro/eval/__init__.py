@@ -1,0 +1,58 @@
+"""Evaluation harness: metrics, quality comparisons, latency, reporting."""
+
+from .harness import ExpansionEvaluator, MethodResult, SearchEvaluator
+from .latency import LatencyStats, Stopwatch
+from .significance import (
+    SignificanceResult,
+    mean_difference,
+    paired_bootstrap_test,
+    paired_randomization_test,
+)
+from .metrics import (
+    aggregate_metrics,
+    average_precision,
+    dcg_at_k,
+    evaluate_ranking,
+    mean_average_precision,
+    mean_of,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    r_precision,
+    recall_at_k,
+    reciprocal_rank,
+)
+from .report import (
+    format_table,
+    method_comparison_rows,
+    print_experiment,
+    write_report_json,
+)
+
+__all__ = [
+    "ExpansionEvaluator",
+    "LatencyStats",
+    "MethodResult",
+    "SearchEvaluator",
+    "SignificanceResult",
+    "Stopwatch",
+    "aggregate_metrics",
+    "average_precision",
+    "dcg_at_k",
+    "evaluate_ranking",
+    "format_table",
+    "mean_average_precision",
+    "mean_difference",
+    "mean_of",
+    "mean_reciprocal_rank",
+    "method_comparison_rows",
+    "ndcg_at_k",
+    "paired_bootstrap_test",
+    "paired_randomization_test",
+    "precision_at_k",
+    "print_experiment",
+    "r_precision",
+    "recall_at_k",
+    "reciprocal_rank",
+    "write_report_json",
+]

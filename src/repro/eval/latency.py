@@ -1,0 +1,108 @@
+"""Latency measurement utilities.
+
+The demo claims interactive ("on the fly") response; experiment E8 measures
+how the recommendation latency scales with graph size and seed count.  The
+timer is a tiny wall-clock stopwatch that collects repeated measurements
+and reports robust summary statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Sequence
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of repeated latency samples, in seconds."""
+
+    label: str
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a latency sample cannot be negative")
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 < q < 100) of the samples."""
+        if not 0 < q < 100:
+            raise ValueError("q must lie strictly between 0 and 100")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = (len(ordered) - 1) * q / 100.0
+        lower = int(index)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = index - lower
+        return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1000.0,
+            "median_ms": self.median * 1000.0,
+            "p95_ms": self.percentile(95) * 1000.0 if self.samples else 0.0,
+            "min_ms": self.minimum * 1000.0,
+            "max_ms": self.maximum * 1000.0,
+        }
+
+
+class Stopwatch:
+    """Collects named latency measurements."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, LatencyStats] = {}
+
+    def stats(self, label: str) -> LatencyStats:
+        if label not in self._stats:
+            self._stats[label] = LatencyStats(label=label)
+        return self._stats[label]
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Time one block of code under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats(label).add(time.perf_counter() - start)
+
+    def time_callable(self, label: str, fn: Callable[[], object], repeats: int = 1) -> LatencyStats:
+        """Time a callable ``repeats`` times."""
+        if repeats <= 0:
+            raise ValueError("repeats must be positive")
+        for _ in range(repeats):
+            with self.measure(label):
+                fn()
+        return self.stats(label)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """All collected statistics as a plain dictionary."""
+        return {label: stats.as_dict() for label, stats in sorted(self._stats.items())}
+
+    def labels(self) -> List[str]:
+        return sorted(self._stats)

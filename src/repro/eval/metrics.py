@@ -1,0 +1,134 @@
+"""Ranking-quality metrics.
+
+Standard IR metrics over ranked entity lists against a relevant set:
+precision@k, recall@k, average precision (and MAP over tasks), reciprocal
+rank (and MRR), NDCG@k and R-precision.  All functions accept the ranked
+list as a sequence of entity identifiers and the relevant set as any
+iterable of identifiers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def _relevant_set(relevant: Iterable[str]) -> set[str]:
+    result = set(relevant)
+    if not result:
+        raise ValueError("the relevant set must not be empty")
+    return result
+
+
+def precision_at_k(ranked: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Fraction of the top-``k`` results that are relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _relevant_set(relevant)
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for entity in top if entity in relevant_set)
+    return hits / k
+
+
+def recall_at_k(ranked: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Fraction of relevant entities found in the top-``k`` results."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = _relevant_set(relevant)
+    hits = sum(1 for entity in ranked[:k] if entity in relevant_set)
+    return hits / len(relevant_set)
+
+
+def r_precision(ranked: Sequence[str], relevant: Iterable[str]) -> float:
+    """Precision at the number of relevant entities."""
+    relevant_set = _relevant_set(relevant)
+    return precision_at_k(ranked, relevant_set, len(relevant_set))
+
+
+def average_precision(ranked: Sequence[str], relevant: Iterable[str]) -> float:
+    """Average precision of one ranking."""
+    relevant_set = _relevant_set(relevant)
+    hits = 0
+    precision_sum = 0.0
+    for index, entity in enumerate(ranked, start=1):
+        if entity in relevant_set:
+            hits += 1
+            precision_sum += hits / index
+    return precision_sum / len(relevant_set)
+
+
+def reciprocal_rank(ranked: Sequence[str], relevant: Iterable[str]) -> float:
+    """Reciprocal of the rank of the first relevant result (0 when absent)."""
+    relevant_set = _relevant_set(relevant)
+    for index, entity in enumerate(ranked, start=1):
+        if entity in relevant_set:
+            return 1.0 / index
+    return 0.0
+
+
+def dcg_at_k(gains: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a gain vector."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return sum(gain / math.log2(position + 1) for position, gain in enumerate(gains[:k], start=1))
+
+
+def ndcg_at_k(ranked: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Normalised DCG@k with binary gains."""
+    relevant_set = _relevant_set(relevant)
+    gains = [1.0 if entity in relevant_set else 0.0 for entity in ranked]
+    ideal = [1.0] * min(len(relevant_set), k)
+    ideal_dcg = dcg_at_k(ideal, k)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg_at_k(gains, k) / ideal_dcg
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def mean_average_precision(rankings: Sequence[Sequence[str]], relevants: Sequence[Iterable[str]]) -> float:
+    """MAP over a set of tasks."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must have the same length")
+    return mean_of([average_precision(r, rel) for r, rel in zip(rankings, relevants)])
+
+
+def mean_reciprocal_rank(rankings: Sequence[Sequence[str]], relevants: Sequence[Iterable[str]]) -> float:
+    """MRR over a set of tasks."""
+    if len(rankings) != len(relevants):
+        raise ValueError("rankings and relevants must have the same length")
+    return mean_of([reciprocal_rank(r, rel) for r, rel in zip(rankings, relevants)])
+
+
+def evaluate_ranking(
+    ranked: Sequence[str], relevant: Iterable[str], ks: Sequence[int] = (1, 5, 10, 20)
+) -> Dict[str, float]:
+    """All metrics of one ranking in a flat dictionary."""
+    relevant_set = _relevant_set(relevant)
+    result: Dict[str, float] = {
+        "ap": average_precision(ranked, relevant_set),
+        "rr": reciprocal_rank(ranked, relevant_set),
+        "r_precision": r_precision(ranked, relevant_set),
+    }
+    for k in ks:
+        result[f"p@{k}"] = precision_at_k(ranked, relevant_set, k)
+        result[f"recall@{k}"] = recall_at_k(ranked, relevant_set, k)
+        result[f"ndcg@{k}"] = ndcg_at_k(ranked, relevant_set, k)
+    return result
+
+
+def aggregate_metrics(per_task: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+    """Average per-task metric dictionaries key-wise."""
+    if not per_task:
+        return {}
+    keys = set()
+    for metrics in per_task:
+        keys.update(metrics)
+    return {key: mean_of([metrics.get(key, 0.0) for metrics in per_task]) for key in sorted(keys)}

@@ -1,0 +1,89 @@
+"""Textual reporting of experiment results.
+
+The benchmark harness prints each experiment as rows comparable to the
+paper's artefacts.  This module renders the tables: fixed-width text tables
+from per-method metric dictionaries or arbitrary row dictionaries, and a
+small helper to dump the same data as JSON next to the printed output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+_PathLike = Union[str, Path]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render dictionaries as a fixed-width text table.
+
+    Column order follows ``columns`` when given, otherwise the keys of the
+    first row.  Floats are formatted with ``float_format``; everything else
+    with ``str``.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * widths[index] for index in range(len(columns)))
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def method_comparison_rows(
+    results: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str] = ("ap", "p@5", "p@10", "recall@20", "ndcg@10"),
+) -> List[Dict[str, object]]:
+    """Turn ``method -> metrics`` mappings into table rows."""
+    rows: List[Dict[str, object]] = []
+    for method, values in results.items():
+        row: Dict[str, object] = {"method": method}
+        for metric in metrics:
+            row[metric] = float(values.get(metric, 0.0))
+        rows.append(row)
+    rows.sort(key=lambda row: -float(row.get(metrics[0], 0.0)))
+    return rows
+
+
+def print_experiment(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    notes: str = "",
+) -> str:
+    """Print an experiment table with a title banner; return the text."""
+    banner = "=" * max(len(title), 8)
+    parts = [banner, title, banner, format_table(rows, columns=columns)]
+    if notes:
+        parts.append(notes)
+    text = "\n".join(parts)
+    print(text)
+    return text
+
+
+def write_report_json(payload: Mapping[str, object], path: _PathLike) -> Path:
+    """Dump an experiment payload as JSON (for EXPERIMENTS.md bookkeeping)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path

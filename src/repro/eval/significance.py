@@ -1,0 +1,112 @@
+"""Statistical significance testing for method comparisons.
+
+The quality experiments compare per-task metric vectors of two methods
+(e.g. PivotE vs. Jaccard MAP over the same tasks).  This module provides the
+two standard paired tests used in IR evaluation:
+
+* the **paired randomization (permutation) test** — the sign of each
+  per-task difference is flipped at random; the p-value is the fraction of
+  permutations whose mean absolute difference reaches the observed one;
+* the **paired bootstrap test** — tasks are resampled with replacement; the
+  p-value estimates how often the mean difference falls at or below zero.
+
+Both are deterministic given the seed and need no scipy; results are
+reported by the E6 quality bench alongside the raw metric table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of one paired significance test."""
+
+    method: str
+    mean_difference: float
+    p_value: float
+    iterations: int
+    significant_at_05: bool
+
+    def describe(self) -> str:
+        marker = "significant" if self.significant_at_05 else "not significant"
+        return (
+            f"{self.method}: mean diff = {self.mean_difference:+.4f}, "
+            f"p = {self.p_value:.4f} ({marker} at 0.05, {self.iterations} iterations)"
+        )
+
+
+def _check_paired(first: Sequence[float], second: Sequence[float]) -> None:
+    if len(first) != len(second):
+        raise EvaluationError("paired tests need equally long score vectors")
+    if not first:
+        raise EvaluationError("paired tests need at least one task")
+
+
+def mean_difference(first: Sequence[float], second: Sequence[float]) -> float:
+    """Mean of the per-task differences ``first[i] - second[i]``."""
+    _check_paired(first, second)
+    return sum(a - b for a, b in zip(first, second)) / len(first)
+
+
+def paired_randomization_test(
+    first: Sequence[float],
+    second: Sequence[float],
+    iterations: int = 10000,
+    seed: int = 97,
+) -> SignificanceResult:
+    """Two-sided paired randomization (permutation) test."""
+    _check_paired(first, second)
+    if iterations <= 0:
+        raise EvaluationError("iterations must be positive")
+    rng = random.Random(seed)
+    differences = [a - b for a, b in zip(first, second)]
+    observed = abs(sum(differences) / len(differences))
+    at_least_as_extreme = 0
+    for _ in range(iterations):
+        total = 0.0
+        for difference in differences:
+            total += difference if rng.random() < 0.5 else -difference
+        if abs(total / len(differences)) >= observed - 1e-12:
+            at_least_as_extreme += 1
+    p_value = at_least_as_extreme / iterations
+    return SignificanceResult(
+        method="paired-randomization",
+        mean_difference=sum(differences) / len(differences),
+        p_value=p_value,
+        iterations=iterations,
+        significant_at_05=p_value < 0.05,
+    )
+
+
+def paired_bootstrap_test(
+    first: Sequence[float],
+    second: Sequence[float],
+    iterations: int = 10000,
+    seed: int = 83,
+) -> SignificanceResult:
+    """One-sided paired bootstrap test of ``mean(first) > mean(second)``."""
+    _check_paired(first, second)
+    if iterations <= 0:
+        raise EvaluationError("iterations must be positive")
+    rng = random.Random(seed)
+    differences = [a - b for a, b in zip(first, second)]
+    count_non_positive = 0
+    size = len(differences)
+    for _ in range(iterations):
+        resampled = [differences[rng.randrange(size)] for _ in range(size)]
+        if sum(resampled) / size <= 0.0:
+            count_non_positive += 1
+    p_value = count_non_positive / iterations
+    return SignificanceResult(
+        method="paired-bootstrap",
+        mean_difference=sum(differences) / size,
+        p_value=p_value,
+        iterations=iterations,
+        significant_at_05=p_value < 0.05,
+    )

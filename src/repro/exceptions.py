@@ -1,0 +1,92 @@
+"""Exception hierarchy for the PivotE reproduction.
+
+Every error raised by the library derives from :class:`PivotEError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class PivotEError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class KnowledgeGraphError(PivotEError):
+    """Base class for errors raised by the knowledge-graph substrate."""
+
+
+class EntityNotFoundError(KnowledgeGraphError):
+    """Raised when an entity identifier is not present in the graph."""
+
+    def __init__(self, entity_id: str) -> None:
+        super().__init__(f"entity not found in knowledge graph: {entity_id!r}")
+        self.entity_id = entity_id
+
+
+class PredicateNotFoundError(KnowledgeGraphError):
+    """Raised when a predicate is not present in the graph."""
+
+    def __init__(self, predicate: str) -> None:
+        super().__init__(f"predicate not found in knowledge graph: {predicate!r}")
+        self.predicate = predicate
+
+
+class InvalidTripleError(KnowledgeGraphError):
+    """Raised when a triple is malformed (empty subject/predicate/object)."""
+
+
+class GraphIOError(KnowledgeGraphError):
+    """Raised when loading or saving a knowledge graph fails."""
+
+
+class IndexError_(PivotEError):
+    """Base class for errors raised by the inverted-index substrate."""
+
+
+class FieldNotFoundError(IndexError_):
+    """Raised when a retrieval field is not part of the index schema."""
+
+    def __init__(self, field: str) -> None:
+        super().__init__(f"unknown retrieval field: {field!r}")
+        self.field = field
+
+
+class SearchError(PivotEError):
+    """Base class for errors raised by the search engine."""
+
+
+class EmptyQueryError(SearchError):
+    """Raised when a keyword query contains no indexable terms."""
+
+
+class RankingError(PivotEError):
+    """Base class for errors raised by the recommendation engine."""
+
+
+class NoSeedEntitiesError(RankingError):
+    """Raised when a ranking request is issued with an empty seed set."""
+
+
+class ExplorationError(PivotEError):
+    """Base class for errors raised by the exploration-session layer."""
+
+
+class InvalidOperationError(ExplorationError):
+    """Raised when an exploration operation cannot be applied to the state."""
+
+
+class SessionStateError(ExplorationError):
+    """Raised when session history is accessed inconsistently."""
+
+
+class VisualizationError(PivotEError):
+    """Base class for errors raised by the visualisation layer."""
+
+
+class DatasetError(PivotEError):
+    """Raised when a synthetic dataset cannot be generated as requested."""
+
+
+class EvaluationError(PivotEError):
+    """Raised when an evaluation run is misconfigured."""

@@ -1,0 +1,164 @@
+"""Entity set expansion with semantic features (paper refs [1] and [6]).
+
+Given a few example entities of a target concept ("Forrest Gump",
+"Apollo 13"), entity set expansion returns further entities of the same
+concept (more Tom Hanks films).  PivotE applies this as the model behind the
+*investigation* operation: clicking entities in the x-axis provides seeds,
+and the x-axis is expanded with similar entities of the same type.
+
+The expander is a thin, user-facing wrapper around the two-stage ranking
+model of :mod:`repro.ranking`, adding the options the investigation UI
+exposes: restricting results to the seeds' type and pinning mandatory
+semantic features chosen by the user.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import RankingConfig
+from ..exceptions import NoSeedEntitiesError
+from ..features import SemanticFeature, SemanticFeatureIndex
+from ..kg import KnowledgeGraph
+from ..ranking import EntityRanker, ScoredEntity, ScoredFeature, SemanticFeatureRanker
+
+
+@dataclass(frozen=True)
+class ExpansionResult:
+    """The outcome of one expansion call."""
+
+    seeds: Tuple[str, ...]
+    entities: Tuple[ScoredEntity, ...]
+    features: Tuple[ScoredFeature, ...]
+    restricted_type: str = ""
+
+    def entity_ids(self) -> List[str]:
+        """The recommended entity identifiers in rank order."""
+        return [entity.entity_id for entity in self.entities]
+
+    def feature_notations(self) -> List[str]:
+        """The recommended semantic features in rank order."""
+        return [scored.feature.notation() for scored in self.features]
+
+
+class EntitySetExpander:
+    """Expand a seed set of entities using semantic features."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        feature_index: Optional[SemanticFeatureIndex] = None,
+        config: Optional[RankingConfig] = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or RankingConfig()
+        self._index = feature_index or SemanticFeatureIndex.build(graph)
+        self._feature_ranker = SemanticFeatureRanker(graph, self._index, config=self._config)
+        self._entity_ranker = EntityRanker(
+            graph, self._index, config=self._config, feature_ranker=self._feature_ranker
+        )
+
+    @property
+    def feature_index(self) -> SemanticFeatureIndex:
+        """The shared semantic-feature index."""
+        return self._index
+
+    @property
+    def entity_ranker(self) -> EntityRanker:
+        """The underlying entity ranker."""
+        return self._entity_ranker
+
+    @property
+    def feature_ranker(self) -> SemanticFeatureRanker:
+        """The underlying semantic-feature ranker."""
+        return self._feature_ranker
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def dominant_seed_type(self, seeds: Sequence[str]) -> str:
+        """The most common dominant type among the seeds (may be "")."""
+        if not seeds:
+            return ""
+        counts = Counter(
+            self._graph.dominant_type(seed) for seed in seeds if self._graph.dominant_type(seed)
+        )
+        if not counts:
+            return ""
+        # Most common; ties broken by type name for determinism.
+        best = sorted(counts.items(), key=lambda item: (-item[1], item[0]))[0]
+        return best[0]
+
+    def expand(
+        self,
+        seeds: Sequence[str],
+        top_k: Optional[int] = None,
+        restrict_to_seed_type: bool = False,
+        required_features: Sequence[SemanticFeature] = (),
+    ) -> ExpansionResult:
+        """Expand the seed set.
+
+        Parameters
+        ----------
+        seeds:
+            Example entities of the target concept.
+        top_k:
+            How many similar entities to return.
+        restrict_to_seed_type:
+            Keep only candidates whose types intersect the dominant seed
+            type — the investigation mode of the UI, which stays within one
+            domain.
+        required_features:
+            Semantic features the user pinned as query conditions
+            (Fig 3-b); candidates not matching all of them are filtered
+            out, and the pinned features are added to the scored pool.
+        """
+        if not seeds:
+            raise NoSeedEntitiesError("entity set expansion needs at least one seed")
+        top_k = top_k or self._config.top_entities
+
+        scored_features = self._feature_ranker.rank(seeds)
+        pinned = [feature for feature in required_features]
+        if pinned:
+            existing = {scored.feature for scored in scored_features}
+            extra = [
+                self._feature_ranker.score_feature(feature, seeds)
+                for feature in pinned
+                if feature not in existing
+            ]
+            scored_features = sorted(
+                list(scored_features) + extra,
+                key=lambda item: (-item.score, item.feature.notation()),
+            )
+
+        # Over-fetch before filtering so that type/feature restrictions do
+        # not empty the result list.
+        fetch = max(top_k * 5, top_k + 10)
+        ranked = self._entity_ranker.rank(
+            seeds, top_k=fetch, scored_features=scored_features
+        )
+
+        restricted_type = ""
+        if restrict_to_seed_type:
+            restricted_type = self.dominant_seed_type(seeds)
+            if restricted_type:
+                ranked = [
+                    entity
+                    for entity in ranked
+                    if restricted_type in self._graph.types_of(entity.entity_id)
+                ]
+        if pinned:
+            ranked = [
+                entity
+                for entity in ranked
+                if all(self._index.holds(entity.entity_id, feature) for feature in pinned)
+            ]
+
+        return ExpansionResult(
+            seeds=tuple(seeds),
+            entities=tuple(ranked[:top_k]),
+            features=tuple(scored_features[: self._config.top_features]),
+            restricted_type=restricted_type,
+        )

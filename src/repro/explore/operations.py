@@ -1,0 +1,172 @@
+"""Exploration operations: the verbs of the PivotE interaction model.
+
+The paper identifies *investigation* and *browse* (pivot) as the two core
+operations of exploratory search, both driven by clicks:
+
+* :class:`SubmitKeywords` — type an initial keyword query (Fig 3-a);
+* :class:`SelectEntity` / :class:`DeselectEntity` — add/remove an example
+  entity in the query area (investigation seeds);
+* :class:`PinFeature` / :class:`UnpinFeature` — add/remove a semantic
+  feature as a query condition;
+* :class:`LookupEntity` — open an entity's profile (Fig 3-d);
+* :class:`Pivot` — double-click an entity/feature to switch the search
+  domain: the x-axis is re-seeded with the entities of another type reached
+  through a semantic feature.
+
+Each operation is a small immutable object with an ``apply`` method taking
+the current :class:`ExplorationQuery` and returning the next one, so that a
+session is simply a fold of operations over query states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..exceptions import InvalidOperationError
+from ..features import SemanticFeature
+from .query_state import ExplorationQuery
+
+
+class Operation:
+    """Base class for exploration operations."""
+
+    #: Short operation kind used by the timeline / path visualisation.
+    kind: str = "operation"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        """Return the query state resulting from applying this operation."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description for the timeline."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SubmitKeywords(Operation):
+    """Submit (or replace) the keyword part of the query."""
+
+    keywords: str
+    kind: str = "submit"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        if not self.keywords.strip():
+            raise InvalidOperationError("cannot submit an empty keyword query")
+        return query.with_keywords(self.keywords)
+
+    def describe(self) -> str:
+        return f'submit keywords "{self.keywords}"'
+
+
+@dataclass(frozen=True)
+class SelectEntity(Operation):
+    """Click an entity to add it as an example (investigation seed)."""
+
+    entity_id: str
+    kind: str = "select-entity"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        return query.add_entity(self.entity_id)
+
+    def describe(self) -> str:
+        return f"select entity {self.entity_id}"
+
+
+@dataclass(frozen=True)
+class DeselectEntity(Operation):
+    """Remove an example entity from the query."""
+
+    entity_id: str
+    kind: str = "deselect-entity"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        return query.remove_entity(self.entity_id)
+
+    def describe(self) -> str:
+        return f"deselect entity {self.entity_id}"
+
+
+@dataclass(frozen=True)
+class PinFeature(Operation):
+    """Add a semantic feature as a query condition."""
+
+    feature: SemanticFeature
+    kind: str = "pin-feature"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        return query.add_feature(self.feature)
+
+    def describe(self) -> str:
+        return f"pin feature {self.feature.notation()}"
+
+
+@dataclass(frozen=True)
+class UnpinFeature(Operation):
+    """Remove a pinned semantic feature."""
+
+    feature: SemanticFeature
+    kind: str = "unpin-feature"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        return query.remove_feature(self.feature)
+
+    def describe(self) -> str:
+        return f"unpin feature {self.feature.notation()}"
+
+
+@dataclass(frozen=True)
+class LookupEntity(Operation):
+    """Open an entity's profile; does not change the query state."""
+
+    entity_id: str
+    kind: str = "lookup"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        return query
+
+    def describe(self) -> str:
+        return f"look up entity {self.entity_id}"
+
+
+@dataclass(frozen=True)
+class Pivot(Operation):
+    """Pivot the x-axis into another entity domain.
+
+    Double-clicking an entity (or a feature's anchor) of another type makes
+    that entity the new seed and its dominant type the new search domain;
+    pinned features of the old domain are dropped because they no longer
+    constrain entities of the new type.
+    """
+
+    target_entity: str
+    target_type: str = ""
+    kind: str = "pivot"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        if not self.target_entity:
+            raise InvalidOperationError("pivot requires a target entity")
+        return (
+            query.replace_seeds((self.target_entity,))
+            .clear_features()
+            .with_domain(self.target_type)
+            .with_keywords("")
+        )
+
+    def describe(self) -> str:
+        domain = f" into domain {self.target_type}" if self.target_type else ""
+        return f"pivot on {self.target_entity}{domain}"
+
+
+@dataclass(frozen=True)
+class SetDomain(Operation):
+    """Restrict (or clear) the entity-type filter of the x-axis."""
+
+    domain_type: str
+    kind: str = "set-domain"
+
+    def apply(self, query: ExplorationQuery) -> ExplorationQuery:
+        return query.with_domain(self.domain_type)
+
+    def describe(self) -> str:
+        return f"set domain to {self.domain_type or '(any)'}"

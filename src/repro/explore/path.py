@@ -1,0 +1,133 @@
+"""The exploratory search path (Fig 4).
+
+The demo lets users view their exploration as a path: queries are nodes,
+operations (submitting keywords, looking up an entity, pivoting) are edges.
+:class:`ExplorationPath` is that graph, built incrementally by the session
+and rendered by the visualisation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .operations import Operation
+from .query_state import ExplorationQuery
+
+
+@dataclass(frozen=True)
+class PathNode:
+    """One visited query state."""
+
+    node_id: int
+    query: ExplorationQuery
+    label: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"id": self.node_id, "label": self.label, "query": self.query.describe()}
+
+
+@dataclass(frozen=True)
+class PathEdge:
+    """The operation that led from one query state to the next."""
+
+    source: int
+    target: int
+    operation_kind: str
+    description: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "kind": self.operation_kind,
+            "description": self.description,
+        }
+
+
+class ExplorationPath:
+    """A growing graph of visited query states and the operations between them."""
+
+    def __init__(self) -> None:
+        self._nodes: List[PathNode] = []
+        self._edges: List[PathEdge] = []
+        self._current: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_state(self, query: ExplorationQuery, operation: Optional[Operation] = None) -> PathNode:
+        """Record a new query state reached via ``operation``.
+
+        The first state is added with ``operation=None`` (the session
+        start).  Returns the created node.
+        """
+        node = PathNode(node_id=len(self._nodes), query=query, label=query.describe())
+        self._nodes.append(node)
+        if operation is not None and self._current is not None:
+            self._edges.append(
+                PathEdge(
+                    source=self._current,
+                    target=node.node_id,
+                    operation_kind=operation.kind,
+                    description=operation.describe(),
+                )
+            )
+        self._current = node.node_id
+        return node
+
+    def jump_to(self, node_id: int) -> PathNode:
+        """Revisit a historical node (timeline traceback) without adding edges."""
+        node = self.node(node_id)
+        self._current = node.node_id
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def node(self, node_id: int) -> PathNode:
+        if node_id < 0 or node_id >= len(self._nodes):
+            raise IndexError(f"no path node with id {node_id}")
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> Tuple[PathNode, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> Tuple[PathEdge, ...]:
+        return tuple(self._edges)
+
+    @property
+    def current_node(self) -> Optional[PathNode]:
+        if self._current is None:
+            return None
+        return self._nodes[self._current]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def branches_from(self, node_id: int) -> List[PathEdge]:
+        """Outgoing edges of a node (a node revisited and re-explored branches)."""
+        return [edge for edge in self._edges if edge.source == node_id]
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation consumed by the web UI."""
+        return {
+            "nodes": [node.as_dict() for node in self._nodes],
+            "edges": [edge.as_dict() for edge in self._edges],
+            "current": self._current,
+        }
+
+    def describe(self) -> str:
+        """Multi-line textual rendering of the path (Fig 4 as text)."""
+        lines: List[str] = []
+        for node in self._nodes:
+            marker = "*" if self._current == node.node_id else " "
+            lines.append(f"[{node.node_id}]{marker} {node.label}")
+            for edge in self.branches_from(node.node_id):
+                lines.append(f"      --{edge.operation_kind}--> [{edge.target}] {edge.description}")
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""The exploration query state.
+
+A PivotE query is not a keyword string but a structured state built up by
+clicks (Fig 3-b): a set of example (seed) entities plus a set of pinned
+semantic features, optionally restricted to one entity type (the current
+search domain).  Queries are immutable; every manipulation (add/remove an
+entity or feature, change the domain) produces a new state, which is what
+makes the timeline and revisiting of historical queries trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..exceptions import InvalidOperationError
+from ..features import SemanticFeature
+
+
+@dataclass(frozen=True)
+class ExplorationQuery:
+    """An immutable exploration query state.
+
+    Attributes
+    ----------
+    keywords:
+        The free-text keywords of the initial query (may be empty once the
+        user has switched to example-based querying).
+    seed_entities:
+        Example entities selected by the user (clicking in Fig 3-c).
+    pinned_features:
+        Semantic features added as query conditions (clicking in Fig 3-e).
+    domain_type:
+        The entity type currently investigated (the x-axis domain); empty
+        means unrestricted.
+    """
+
+    keywords: str = ""
+    seed_entities: Tuple[str, ...] = ()
+    pinned_features: Tuple[SemanticFeature, ...] = ()
+    domain_type: str = ""
+
+    def __post_init__(self) -> None:
+        # Deduplicate while preserving order so that repeated clicks are no-ops.
+        deduped_entities = tuple(dict.fromkeys(self.seed_entities))
+        deduped_features = tuple(dict.fromkeys(self.pinned_features))
+        object.__setattr__(self, "seed_entities", deduped_entities)
+        object.__setattr__(self, "pinned_features", deduped_features)
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the query has neither keywords, seeds nor features."""
+        return not self.keywords.strip() and not self.seed_entities and not self.pinned_features
+
+    @property
+    def is_keyword_only(self) -> bool:
+        """True when only keywords constrain the query (the initial state)."""
+        return bool(self.keywords.strip()) and not self.seed_entities and not self.pinned_features
+
+    def has_seed(self, entity_id: str) -> bool:
+        return entity_id in self.seed_entities
+
+    def has_feature(self, feature: SemanticFeature) -> bool:
+        return feature in self.pinned_features
+
+    # ------------------------------------------------------------------ #
+    # Manipulations (each returns a new query)
+    # ------------------------------------------------------------------ #
+    def with_keywords(self, keywords: str) -> "ExplorationQuery":
+        """Replace the keyword part of the query."""
+        return replace(self, keywords=keywords)
+
+    def add_entity(self, entity_id: str) -> "ExplorationQuery":
+        """Add an example entity (selection in the recommendation area)."""
+        if not entity_id:
+            raise InvalidOperationError("cannot add an empty entity identifier")
+        if entity_id in self.seed_entities:
+            return self
+        return replace(self, seed_entities=self.seed_entities + (entity_id,))
+
+    def remove_entity(self, entity_id: str) -> "ExplorationQuery":
+        """Remove an example entity (deletion in the query area)."""
+        if entity_id not in self.seed_entities:
+            raise InvalidOperationError(f"entity not part of the query: {entity_id!r}")
+        return replace(
+            self,
+            seed_entities=tuple(e for e in self.seed_entities if e != entity_id),
+        )
+
+    def add_feature(self, feature: SemanticFeature) -> "ExplorationQuery":
+        """Pin a semantic feature as a query condition."""
+        if feature in self.pinned_features:
+            return self
+        return replace(self, pinned_features=self.pinned_features + (feature,))
+
+    def remove_feature(self, feature: SemanticFeature) -> "ExplorationQuery":
+        """Unpin a semantic feature."""
+        if feature not in self.pinned_features:
+            raise InvalidOperationError(f"feature not part of the query: {feature.notation()}")
+        return replace(
+            self,
+            pinned_features=tuple(f for f in self.pinned_features if f != feature),
+        )
+
+    def with_domain(self, domain_type: str) -> "ExplorationQuery":
+        """Switch the investigated entity type (the pivot target domain)."""
+        return replace(self, domain_type=domain_type)
+
+    def replace_seeds(self, entities: Iterable[str]) -> "ExplorationQuery":
+        """Replace all seed entities at once (used by the pivot operation)."""
+        return replace(self, seed_entities=tuple(dict.fromkeys(entities)))
+
+    def clear_features(self) -> "ExplorationQuery":
+        """Drop all pinned features (used when pivoting to a new domain)."""
+        return replace(self, pinned_features=())
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Compact, human-readable description shown in the timeline."""
+        parts = []
+        if self.keywords.strip():
+            parts.append(f'keywords="{self.keywords.strip()}"')
+        if self.seed_entities:
+            parts.append("entities=[" + ", ".join(self.seed_entities) + "]")
+        if self.pinned_features:
+            parts.append(
+                "features=[" + ", ".join(f.notation() for f in self.pinned_features) + "]"
+            )
+        if self.domain_type:
+            parts.append(f"domain={self.domain_type}")
+        return "; ".join(parts) if parts else "(empty query)"
+
+    def signature(self) -> Tuple:
+        """A hashable signature used to detect revisits of the same query."""
+        return (
+            self.keywords.strip().lower(),
+            self.seed_entities,
+            tuple(f.key for f in self.pinned_features),
+            self.domain_type,
+        )

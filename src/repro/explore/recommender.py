@@ -1,0 +1,161 @@
+"""The recommendation engine (Fig 2, §2.3).
+
+Given the current exploration query (seed entities, pinned features,
+optional domain restriction) the recommendation engine produces everything
+the matrix interface needs:
+
+* the ranked similar entities (x-axis, Fig 3-c);
+* the ranked semantic features (y-axis, Fig 3-e);
+* the entity x feature correlation matrix behind the heat map (Fig 3-f).
+
+It is a thin coordinator over :mod:`repro.expansion` and
+:mod:`repro.ranking`; keyword-only queries are resolved to seeds by the
+search engine before they reach this class (the PivotE facade does that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import RankingConfig
+from ..exceptions import NoSeedEntitiesError
+from ..expansion import EntitySetExpander, ExpansionResult
+from ..features import SemanticFeature, SemanticFeatureIndex
+from ..kg import KnowledgeGraph
+from ..ranking import (
+    CorrelationMatrix,
+    ScoredEntity,
+    ScoredFeature,
+    build_correlation_matrix,
+)
+from .query_state import ExplorationQuery
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The recommendation payload for one query state."""
+
+    query: ExplorationQuery
+    entities: Tuple[ScoredEntity, ...]
+    features: Tuple[ScoredFeature, ...]
+    correlations: CorrelationMatrix
+
+    def entity_ids(self) -> List[str]:
+        return [entity.entity_id for entity in self.entities]
+
+    def feature_notations(self) -> List[str]:
+        return [scored.feature.notation() for scored in self.features]
+
+
+class RecommendationEngine:
+    """Produces entity and semantic-feature recommendations for query states."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        feature_index: Optional[SemanticFeatureIndex] = None,
+        config: Optional[RankingConfig] = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or RankingConfig()
+        self._index = feature_index or SemanticFeatureIndex.build(graph)
+        self._expander = EntitySetExpander(graph, feature_index=self._index, config=self._config)
+
+    @property
+    def feature_index(self) -> SemanticFeatureIndex:
+        return self._index
+
+    @property
+    def expander(self) -> EntitySetExpander:
+        return self._expander
+
+    # ------------------------------------------------------------------ #
+    # Recommendation
+    # ------------------------------------------------------------------ #
+    def recommend_for_seeds(
+        self,
+        seeds: Sequence[str],
+        pinned_features: Sequence[SemanticFeature] = (),
+        domain_type: str = "",
+        top_entities: Optional[int] = None,
+        top_features: Optional[int] = None,
+    ) -> Recommendation:
+        """Recommend entities and features for an explicit seed set."""
+        if not seeds:
+            raise NoSeedEntitiesError("recommendation requires at least one seed entity")
+        result: ExpansionResult = self._expander.expand(
+            seeds,
+            top_k=top_entities or self._config.top_entities,
+            restrict_to_seed_type=bool(domain_type),
+            required_features=pinned_features,
+        )
+        entities = result.entities
+        features = result.features[: (top_features or self._config.top_features)]
+        if domain_type:
+            entities = tuple(
+                entity
+                for entity in entities
+                if domain_type in self._graph.types_of(entity.entity_id)
+            )
+        probability_model = self._expander.feature_ranker.probability_model
+        matrix = build_correlation_matrix(probability_model, entities, features)
+        query = ExplorationQuery(
+            seed_entities=tuple(seeds),
+            pinned_features=tuple(pinned_features),
+            domain_type=domain_type,
+        )
+        return Recommendation(
+            query=query,
+            entities=entities,
+            features=features,
+            correlations=matrix,
+        )
+
+    def recommend(self, query: ExplorationQuery) -> Recommendation:
+        """Recommend for a full query state (seeds must already be present).
+
+        Keyword-only queries cannot be answered here — the PivotE facade
+        first resolves keywords to seed entities via the search engine.
+        """
+        if not query.seed_entities:
+            raise NoSeedEntitiesError(
+                "query has no seed entities; resolve keywords to entities first"
+            )
+        recommendation = self.recommend_for_seeds(
+            query.seed_entities,
+            pinned_features=query.pinned_features,
+            domain_type=query.domain_type,
+        )
+        # Preserve the original query (including keywords) in the payload.
+        return Recommendation(
+            query=query,
+            entities=recommendation.entities,
+            features=recommendation.features,
+            correlations=recommendation.correlations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pivot support
+    # ------------------------------------------------------------------ #
+    def pivot_targets(self, recommendation: Recommendation, max_targets: int = 10) -> List[Tuple[str, str, int]]:
+        """Possible pivot directions from a recommendation.
+
+        Returns ``(anchor_entity, anchor_type, support)`` triples: the
+        anchors of the recommended semantic features grouped by their
+        dominant type, with how many recommended features point at them.
+        Targets are ordered by the total relevance score of the features
+        anchored at them, so the most query-relevant anchors (e.g. the
+        shared star of the seed films) come first.  These are the
+        "exploration pointers" guiding users to other domains.
+        """
+        support: dict[tuple[str, str], int] = {}
+        strength: dict[tuple[str, str], float] = {}
+        for scored in recommendation.features:
+            anchor = scored.feature.anchor
+            anchor_type = self._graph.dominant_type(anchor) or "(untyped)"
+            key = (anchor, anchor_type)
+            support[key] = support.get(key, 0) + 1
+            strength[key] = strength.get(key, 0.0) + scored.score
+        ranked = sorted(support.items(), key=lambda item: (-strength[item[0]], -item[1], item[0]))
+        return [(anchor, anchor_type, count) for (anchor, anchor_type), count in ranked[:max_targets]]

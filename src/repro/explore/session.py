@@ -1,0 +1,149 @@
+"""Exploration sessions: query timeline, history and the exploratory path.
+
+The session is the stateful part of the UI model (Fig 3-g and Fig 4): it
+applies operations to the current query, keeps every visited query in a
+timeline for traceback, and grows the exploratory path graph.  The session
+does not compute recommendations itself — the PivotE facade asks the
+recommendation engine for each new state — but it records which entities
+were looked up so the search-behaviour visualisation can be reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import SessionStateError
+from .operations import LookupEntity, Operation
+from .path import ExplorationPath, PathNode
+from .query_state import ExplorationQuery
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One entry of the query timeline (Fig 3-g)."""
+
+    step: int
+    query: ExplorationQuery
+    operation_kind: str
+    description: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "step": self.step,
+            "query": self.query.describe(),
+            "operation": self.operation_kind,
+            "description": self.description,
+        }
+
+
+class ExplorationSession:
+    """A stateful exploratory-search session."""
+
+    def __init__(self, session_id: str = "session") -> None:
+        self.session_id = session_id
+        self._current = ExplorationQuery()
+        self._timeline: List[TimelineEntry] = []
+        self._path = ExplorationPath()
+        self._path.add_state(self._current)
+        self._lookups: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def current_query(self) -> ExplorationQuery:
+        """The query state the UI currently displays."""
+        return self._current
+
+    @property
+    def timeline(self) -> Tuple[TimelineEntry, ...]:
+        """All recorded steps, oldest first."""
+        return tuple(self._timeline)
+
+    @property
+    def path(self) -> ExplorationPath:
+        """The exploratory path graph (Fig 4)."""
+        return self._path
+
+    @property
+    def lookups(self) -> Tuple[str, ...]:
+        """Entities the user looked up, in order."""
+        return tuple(self._lookups)
+
+    def __len__(self) -> int:
+        return len(self._timeline)
+
+    # ------------------------------------------------------------------ #
+    # Applying operations
+    # ------------------------------------------------------------------ #
+    def apply(self, operation: Operation) -> ExplorationQuery:
+        """Apply an operation, record it, and return the new query state."""
+        new_query = operation.apply(self._current)
+        if isinstance(operation, LookupEntity):
+            self._lookups.append(operation.entity_id)
+        entry = TimelineEntry(
+            step=len(self._timeline),
+            query=new_query,
+            operation_kind=operation.kind,
+            description=operation.describe(),
+        )
+        self._timeline.append(entry)
+        if new_query.signature() != self._current.signature():
+            self._path.add_state(new_query, operation)
+        self._current = new_query
+        return new_query
+
+    def apply_all(self, operations: List[Operation]) -> ExplorationQuery:
+        """Apply a scripted list of operations (used by the examples)."""
+        for operation in operations:
+            self.apply(operation)
+        return self._current
+
+    # ------------------------------------------------------------------ #
+    # Timeline traceback
+    # ------------------------------------------------------------------ #
+    def revisit(self, step: int) -> ExplorationQuery:
+        """Jump back to a historical query from the timeline.
+
+        Revisiting does not erase history: the restored query becomes the
+        current state, and subsequent operations branch the exploratory
+        path from that point.
+        """
+        if step < 0 or step >= len(self._timeline):
+            raise SessionStateError(
+                f"timeline step {step} out of range (0..{len(self._timeline) - 1})"
+            )
+        entry = self._timeline[step]
+        self._current = entry.query
+        # Find the path node carrying this query state and make it current.
+        for node in self._path.nodes:
+            if node.query.signature() == entry.query.signature():
+                self._path.jump_to(node.node_id)
+                break
+        return self._current
+
+    def visited_queries(self) -> List[ExplorationQuery]:
+        """Unique query states visited, in first-visit order."""
+        seen: Dict[Tuple, ExplorationQuery] = {}
+        for entry in self._timeline:
+            seen.setdefault(entry.query.signature(), entry.query)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def behaviour_summary(self) -> Dict[str, int]:
+        """Counts of each operation kind — the search-behaviour overview."""
+        counts: Dict[str, int] = {}
+        for entry in self._timeline:
+            counts[entry.operation_kind] = counts.get(entry.operation_kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """Readable session transcript."""
+        lines = [f"Session {self.session_id}: {len(self._timeline)} steps"]
+        for entry in self._timeline:
+            lines.append(f"  {entry.step:>3}. [{entry.operation_kind}] {entry.description}")
+        lines.append(f"  current: {self._current.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Simulated users for session-level evaluation.
+
+A demonstration paper shows the system to real users; to evaluate the
+exploration loop offline we simulate them.  Two user models are provided:
+
+* :class:`FocusedInvestigator` — has a target concept (a relevant entity
+  set); clicks recommended entities that belong to the concept, pins the
+  strongest semantic feature when recall stalls, and stops when the concept
+  is recovered or a step budget is exhausted.  Measures how quickly the
+  investigation loop recovers a concept (session-level recall@steps).
+* :class:`RandomExplorer` — clicks uniformly at random among the
+  recommendations and pivots occasionally; a lower bound / sanity baseline
+  that also exercises session robustness (it should never crash and never
+  corrupt the timeline).
+
+Both run against the real :class:`~repro.engine.pivote.PivotE` facade so
+that every simulated click goes through exactly the code path of the UI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ExplorationError
+from .session import ExplorationSession
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.engine
+    from ..engine.pivote import PivotE, QueryResponse
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The outcome of one simulated session."""
+
+    session_id: str
+    steps: int
+    found: Tuple[str, ...]
+    target_size: int
+    recall_per_step: Tuple[float, ...] = ()
+    operations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def recall(self) -> float:
+        """Final recall of the target concept."""
+        if self.target_size == 0:
+            return 0.0
+        return len(self.found) / self.target_size
+
+    def steps_to_recall(self, threshold: float) -> Optional[int]:
+        """First step at which recall reached ``threshold`` (None if never)."""
+        for step, recall in enumerate(self.recall_per_step, start=1):
+            if recall >= threshold:
+                return step
+        return None
+
+
+class FocusedInvestigator:
+    """A cooperative user investigating one target concept."""
+
+    def __init__(
+        self,
+        system: "PivotE",
+        target: Sequence[str],
+        max_steps: int = 10,
+        clicks_per_step: int = 2,
+    ) -> None:
+        if not target:
+            raise ExplorationError("the simulated investigator needs a non-empty target set")
+        if max_steps <= 0 or clicks_per_step <= 0:
+            raise ExplorationError("max_steps and clicks_per_step must be positive")
+        self._system = system
+        self._target: Set[str] = set(target)
+        self._max_steps = max_steps
+        self._clicks_per_step = clicks_per_step
+
+    def run(self, initial_seeds: Sequence[str], session_id: str = "investigator") -> SimulationResult:
+        """Run the investigation starting from explicit seed entities."""
+        system = self._system
+        session = system.start_session(session_id)
+        found: Set[str] = set(seed for seed in initial_seeds if seed in self._target)
+        recall_per_step: List[float] = []
+
+        response: Optional["QueryResponse"] = None
+        for seed in initial_seeds:
+            response = system.select_entity(session, seed)
+
+        for _ in range(self._max_steps):
+            if response is None or response.recommendation is None:
+                break
+            recommended = response.recommendation.entity_ids()
+            hits = [entity for entity in recommended if entity in self._target and entity not in found]
+            if not hits:
+                # Recall stalls: pin the strongest feature to tighten the query.
+                features = response.recommendation.features
+                pinnable = [
+                    scored.feature
+                    for scored in features
+                    if scored.feature not in session.current_query.pinned_features
+                ]
+                if not pinnable:
+                    break
+                response = system.pin_feature(session, pinnable[0])
+                recall_per_step.append(len(found) / len(self._target))
+                continue
+            for entity in hits[: self._clicks_per_step]:
+                found.add(entity)
+                response = system.select_entity(session, entity)
+            recall_per_step.append(len(found) / len(self._target))
+            if found >= self._target:
+                break
+
+        return SimulationResult(
+            session_id=session.session_id,
+            steps=len(session.timeline),
+            found=tuple(sorted(found)),
+            target_size=len(self._target),
+            recall_per_step=tuple(recall_per_step),
+            operations=session.behaviour_summary(),
+        )
+
+
+class RandomExplorer:
+    """A user clicking uniformly at random; a robustness / lower-bound model."""
+
+    def __init__(
+        self,
+        system: "PivotE",
+        steps: int = 15,
+        pivot_probability: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if steps <= 0:
+            raise ExplorationError("steps must be positive")
+        if not 0.0 <= pivot_probability <= 1.0:
+            raise ExplorationError("pivot_probability must lie in [0, 1]")
+        self._system = system
+        self._steps = steps
+        self._pivot_probability = pivot_probability
+        self._rng = random.Random(seed)
+
+    def run(self, initial_keywords: str, session_id: str = "random-explorer") -> SimulationResult:
+        """Run a random walk over the interface starting from a keyword query."""
+        system = self._system
+        session = system.start_session(session_id)
+        response = system.submit_keywords(session, initial_keywords)
+        visited_domains: Set[str] = set()
+
+        for _ in range(self._steps):
+            candidates: List[str] = []
+            if response.recommendation is not None:
+                candidates = response.recommendation.entity_ids()
+            elif response.hits:
+                candidates = [hit.entity_id for hit in response.hits]
+            if not candidates:
+                break
+            choice = self._rng.choice(candidates)
+            if self._rng.random() < self._pivot_probability:
+                response = system.pivot(session, choice)
+                visited_domains.add(session.current_query.domain_type)
+            else:
+                response = system.select_entity(session, choice)
+
+        return SimulationResult(
+            session_id=session.session_id,
+            steps=len(session.timeline),
+            found=tuple(sorted(visited_domains)),
+            target_size=max(len(visited_domains), 1),
+            operations=session.behaviour_summary(),
+        )
+
+
+def run_investigation_workload(
+    system: "PivotE",
+    tasks: Sequence[Tuple[Sequence[str], Sequence[str]]],
+    max_steps: int = 10,
+) -> List[SimulationResult]:
+    """Run the focused investigator over many (seeds, target) tasks."""
+    results: List[SimulationResult] = []
+    for index, (seeds, target) in enumerate(tasks):
+        investigator = FocusedInvestigator(system, target, max_steps=max_steps)
+        results.append(investigator.run(seeds, session_id=f"investigation-{index}"))
+    return results

@@ -1,0 +1,114 @@
+"""Extraction of semantic features from the knowledge graph.
+
+Two directions of extraction are needed:
+
+* the semantic features *held by* an entity (used to learn about the
+  properties of e.g. ``Forrest_Gump`` in many aspects, Fig 1-a), and
+* the entity set ``E(pi)`` matching a given feature (used by the ranking
+  model's discriminability and by candidate generation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..kg import KnowledgeGraph
+from .semantic_feature import Direction, SemanticFeature
+
+
+def features_of_entity(graph: KnowledgeGraph, entity_id: str) -> List[SemanticFeature]:
+    """All semantic features held by ``entity_id``.
+
+    An outgoing edge ``<e, p, a>`` means ``e`` holds the feature
+    ``(a, p, OBJECT_OF)`` (e is among the entities pointing at ``a``); an
+    incoming edge ``<a, p, e>`` means ``e`` holds ``(a, p, SUBJECT_OF)``.
+    """
+    graph.require_entity(entity_id)
+    features: List[SemanticFeature] = []
+    for predicate, target in graph.outgoing(entity_id):
+        features.append(SemanticFeature(anchor=target, predicate=predicate, direction=Direction.OBJECT_OF))
+    for predicate, source in graph.incoming(entity_id):
+        features.append(SemanticFeature(anchor=source, predicate=predicate, direction=Direction.SUBJECT_OF))
+    return features
+
+
+def matching_entities(graph: KnowledgeGraph, feature: SemanticFeature) -> Set[str]:
+    """``E(pi)``: the set of entities matching a semantic feature."""
+    if feature.direction is Direction.OBJECT_OF:
+        return graph.subjects(feature.predicate, feature.anchor)
+    return graph.objects(feature.anchor, feature.predicate)
+
+
+def entity_matches(graph: KnowledgeGraph, entity_id: str, feature: SemanticFeature) -> bool:
+    """``e |= pi``: does the entity hold the feature?"""
+    if feature.direction is Direction.OBJECT_OF:
+        return feature.anchor in graph.objects(entity_id, feature.predicate)
+    return feature.anchor in graph.subjects(feature.predicate, entity_id)
+
+
+def features_of_entities(
+    graph: KnowledgeGraph, entity_ids: Iterable[str]
+) -> Dict[SemanticFeature, Set[str]]:
+    """Features held by any of the given entities, with the holders.
+
+    Returns ``feature -> subset of entity_ids holding it``.  This is the
+    candidate feature pool ``Phi(Q)`` the ranking model scores.
+    """
+    holders: Dict[SemanticFeature, Set[str]] = defaultdict(set)
+    for entity_id in entity_ids:
+        for feature in features_of_entity(graph, entity_id):
+            holders[feature].add(entity_id)
+    return dict(holders)
+
+
+def candidate_entities(
+    graph: KnowledgeGraph,
+    features: Iterable[SemanticFeature],
+    exclude: Iterable[str] = (),
+    limit: int | None = None,
+) -> List[str]:
+    """Entities matching any of the features, ordered by how many they match.
+
+    The ordering (most shared features first, then identifier for
+    determinism) makes truncation by ``limit`` keep the most promising
+    candidates, mirroring the candidate-generation step of the entity-set
+    expansion model.
+    """
+    excluded = set(exclude)
+    counts: Counter[str] = Counter()
+    for feature in features:
+        for entity_id in matching_entities(graph, feature):
+            if entity_id not in excluded:
+                counts[entity_id] += 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    if limit is not None:
+        ranked = ranked[:limit]
+    return [entity_id for entity_id, _ in ranked]
+
+
+def feature_target_types(graph: KnowledgeGraph, feature: SemanticFeature) -> Counter:
+    """Distribution of (dominant) types among ``E(pi)``.
+
+    This is what powers the pivot operation: the types of the entities
+    matching ``Tom_Hanks:starring`` tell the UI that following this feature
+    leads into the Film domain.
+    """
+    distribution: Counter[str] = Counter()
+    for entity_id in matching_entities(graph, feature):
+        dominant = graph.dominant_type(entity_id)
+        distribution[dominant or "(untyped)"] += 1
+    return distribution
+
+
+def anchor_type_directions(graph: KnowledgeGraph, entity_id: str) -> Dict[str, int]:
+    """Possible search directions from an entity, as type -> count (Fig 1-b).
+
+    Groups the anchors of the entity's semantic features by their dominant
+    type, e.g. Forrest_Gump -> {Actor: 5, Director: 1, ...}.
+    """
+    directions: Dict[str, int] = defaultdict(int)
+    for feature in features_of_entity(graph, entity_id):
+        anchor_type = graph.dominant_type(feature.anchor) or "(untyped)"
+        directions[anchor_type] += 1
+    return dict(directions)

@@ -1,0 +1,117 @@
+"""A precomputed index of semantic features over the whole graph.
+
+For large graphs, recomputing ``E(pi)`` and the features of every entity on
+each query is wasteful.  :class:`SemanticFeatureIndex` materialises both maps
+once; it is also the place where global feature statistics (frequencies,
+type-conditional counts) used by the ranking model's smoothing live.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..kg import KnowledgeGraph
+from .extraction import features_of_entity
+from .semantic_feature import Direction, SemanticFeature
+
+
+class SemanticFeatureIndex:
+    """Bidirectional map between entities and their semantic features."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+        self._entity_features: Dict[str, FrozenSet[SemanticFeature]] = {}
+        self._feature_entities: Dict[SemanticFeature, Set[str]] = defaultdict(set)
+        self._built = False
+
+    @classmethod
+    def build(cls, graph: KnowledgeGraph) -> "SemanticFeatureIndex":
+        """Materialise the index for every entity in the graph."""
+        index = cls(graph)
+        index.rebuild()
+        return index
+
+    def rebuild(self) -> None:
+        """(Re)compute the index from the graph's current contents."""
+        self._entity_features.clear()
+        self._feature_entities = defaultdict(set)
+        for entity_id in self._graph.entities():
+            features = frozenset(features_of_entity(self._graph, entity_id))
+            self._entity_features[entity_id] = features
+            for feature in features:
+                self._feature_entities[feature].add(entity_id)
+        self._built = True
+
+    def _ensure_built(self) -> None:
+        if not self._built:
+            self.rebuild()
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def features_of(self, entity_id: str) -> FrozenSet[SemanticFeature]:
+        """Features held by an entity (empty set for unknown entities)."""
+        self._ensure_built()
+        return self._entity_features.get(entity_id, frozenset())
+
+    def entities_matching(self, feature: SemanticFeature) -> Set[str]:
+        """``E(pi)`` from the materialised index."""
+        self._ensure_built()
+        return set(self._feature_entities.get(feature, set()))
+
+    def matching_count(self, feature: SemanticFeature) -> int:
+        """``||E(pi)||`` without copying the entity set."""
+        self._ensure_built()
+        return len(self._feature_entities.get(feature, set()))
+
+    def holds(self, entity_id: str, feature: SemanticFeature) -> bool:
+        """``e |= pi`` from the materialised index."""
+        self._ensure_built()
+        return feature in self._entity_features.get(entity_id, frozenset())
+
+    def all_features(self) -> List[SemanticFeature]:
+        """Every distinct semantic feature in the graph."""
+        self._ensure_built()
+        return sorted(self._feature_entities.keys())
+
+    def num_features(self) -> int:
+        self._ensure_built()
+        return len(self._feature_entities)
+
+    # ------------------------------------------------------------------ #
+    # Aggregations used by ranking
+    # ------------------------------------------------------------------ #
+    def features_of_any(self, entity_ids: Iterable[str]) -> Dict[SemanticFeature, Set[str]]:
+        """Features held by any of the entities, with their holders."""
+        self._ensure_built()
+        holders: Dict[SemanticFeature, Set[str]] = defaultdict(set)
+        for entity_id in entity_ids:
+            for feature in self._entity_features.get(entity_id, frozenset()):
+                holders[feature].add(entity_id)
+        return dict(holders)
+
+    def type_conditional_count(self, feature: SemanticFeature, type_id: str) -> Tuple[int, int]:
+        """``(||E(pi) ∩ E(c)||, ||E(c)||)`` for the type-based smoothing.
+
+        ``E(c)`` is the set of instances of ``type_id``.
+        """
+        self._ensure_built()
+        type_members = self._graph.entities_of_type(type_id)
+        if not type_members:
+            return 0, 0
+        matching = self._feature_entities.get(feature, set())
+        return len(matching & type_members), len(type_members)
+
+    def shared_features(self, left: str, right: str) -> FrozenSet[SemanticFeature]:
+        """Features held by both entities — the explanation evidence."""
+        self._ensure_built()
+        return self.features_of(left) & self.features_of(right)
+
+    def feature_frequency_histogram(self) -> Dict[int, int]:
+        """Histogram of ``||E(pi)||`` values, for dataset reporting."""
+        self._ensure_built()
+        histogram: Dict[int, int] = defaultdict(int)
+        for entities in self._feature_entities.values():
+            histogram[len(entities)] += 1
+        return dict(histogram)

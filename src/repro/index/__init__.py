@@ -1,0 +1,18 @@
+"""Fielded inverted-index substrate used by the entity search engine."""
+
+from .fielded_index import FieldedIndex
+from .inverted_index import InvertedIndex
+from .postings import Posting, PostingList, intersect, merge_frequencies, union
+from .statistics import CollectionStatistics, FieldStatistics
+
+__all__ = [
+    "CollectionStatistics",
+    "FieldStatistics",
+    "FieldedIndex",
+    "InvertedIndex",
+    "Posting",
+    "PostingList",
+    "intersect",
+    "merge_frequencies",
+    "union",
+]

@@ -1,0 +1,114 @@
+"""Fielded inverted index over multi-field entity documents.
+
+This is the index the search engine of §2.2 runs against: every entity is a
+structured document with the five fields of Table 1, and every field has its
+own inverted index, document lengths and collection statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+from ..exceptions import FieldNotFoundError
+from .inverted_index import InvertedIndex
+from .statistics import CollectionStatistics
+
+
+class FieldedIndex:
+    """A collection of per-field inverted indexes sharing a document space."""
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise ValueError("a fielded index needs at least one field")
+        self._fields: tuple[str, ...] = tuple(fields)
+        self._indexes: Dict[str, InvertedIndex] = {
+            field: InvertedIndex(name=field) for field in self._fields
+        }
+        self._documents: Set[str] = set()
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """The field schema of this index."""
+        return self._fields
+
+    def _require_field(self, field: str) -> InvertedIndex:
+        index = self._indexes.get(field)
+        if index is None:
+            raise FieldNotFoundError(field)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def add_document(self, doc_id: str, field_terms: Mapping[str, Iterable[str]]) -> None:
+        """Index a document given its analyzed terms per field.
+
+        Fields missing from ``field_terms`` are indexed as empty; unknown
+        field names raise :class:`FieldNotFoundError`.
+        """
+        for field in field_terms:
+            if field not in self._indexes:
+                raise FieldNotFoundError(field)
+        self._documents.add(doc_id)
+        for field in self._fields:
+            terms = list(field_terms.get(field, ()))
+            self._indexes[field].add_document(doc_id, terms)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def field_index(self, field: str) -> InvertedIndex:
+        """The single-field index for ``field``."""
+        return self._require_field(field)
+
+    def term_frequency(self, field: str, term: str, doc_id: str) -> int:
+        return self._require_field(field).term_frequency(term, doc_id)
+
+    def document_length(self, field: str, doc_id: str) -> int:
+        return self._require_field(field).document_length(doc_id)
+
+    def collection_probability(self, field: str, term: str) -> float:
+        return self._require_field(field).collection_probability(term)
+
+    def document_frequency(self, field: str, term: str) -> int:
+        return self._require_field(field).document_frequency(term)
+
+    def documents(self) -> Set[str]:
+        """All indexed document identifiers."""
+        return set(self._documents)
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._documents)
+
+    def candidate_documents(self, terms: Iterable[str]) -> Set[str]:
+        """Documents containing any query term in any field.
+
+        This is the candidate-generation step of the retrieval pipeline:
+        scoring is then restricted to these documents instead of the whole
+        collection.
+        """
+        terms = list(terms)
+        result: Set[str] = set()
+        for field in self._fields:
+            result.update(self._indexes[field].documents_containing_any(terms))
+        return result
+
+    def statistics(self) -> CollectionStatistics:
+        """Compute collection statistics for all fields."""
+        stats = CollectionStatistics(num_documents=len(self._documents))
+        for field in self._fields:
+            index = self._indexes[field]
+            field_stats = stats.field(field)
+            field_stats.document_count = index.num_documents
+            field_stats.total_terms = index.total_terms
+            for term in index.vocabulary():
+                field_stats.term_collection_frequency[term] = index.collection_frequency(term)
+                field_stats.term_document_frequency[term] = index.document_frequency(term)
+        return stats
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)

@@ -1,0 +1,114 @@
+"""Single-field inverted index.
+
+Maps terms to posting lists and keeps per-document lengths.  The fielded
+index of :mod:`repro.index.fielded_index` composes one of these per
+retrieval field.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Set
+
+from .postings import PostingList
+
+
+class InvertedIndex:
+    """A term -> postings map for a single field."""
+
+    def __init__(self, name: str = "field") -> None:
+        self.name = name
+        self._postings: Dict[str, PostingList] = {}
+        self._doc_lengths: Dict[str, int] = {}
+        self._total_terms = 0
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def add_document(self, doc_id: str, terms: Iterable[str]) -> None:
+        """Index (or extend) a document given its analyzed terms."""
+        counts = Counter(terms)
+        added = sum(counts.values())
+        if added == 0 and doc_id not in self._doc_lengths:
+            # Register empty documents so that document counts are correct.
+            self._doc_lengths.setdefault(doc_id, 0)
+            return
+        for term, count in counts.items():
+            posting_list = self._postings.get(term)
+            if posting_list is None:
+                posting_list = PostingList()
+                self._postings[term] = posting_list
+            posting_list.add(doc_id, count)
+        self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + added
+        self._total_terms += added
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def postings(self, term: str) -> PostingList:
+        """Posting list for a term (empty list when the term is unknown)."""
+        return self._postings.get(term, PostingList())
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Occurrences of ``term`` in ``doc_id``."""
+        return self.postings(term).frequency(doc_id)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return self.postings(term).document_frequency()
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` across the collection."""
+        return self.postings(term).collection_frequency()
+
+    def collection_probability(self, term: str) -> float:
+        """Maximum-likelihood collection model probability of ``term``."""
+        if self._total_terms == 0:
+            return 0.0
+        return self.collection_frequency(term) / self._total_terms
+
+    def document_length(self, doc_id: str) -> int:
+        """Number of terms indexed for ``doc_id`` (0 when unknown)."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def documents(self) -> Set[str]:
+        """All indexed document identifiers."""
+        return set(self._doc_lengths)
+
+    def documents_containing(self, term: str) -> List[str]:
+        """Document identifiers containing ``term``."""
+        return self.postings(term).doc_ids()
+
+    def documents_containing_any(self, terms: Iterable[str]) -> Set[str]:
+        """Documents containing at least one of ``terms``."""
+        result: Set[str] = set()
+        for term in terms:
+            result.update(self.documents_containing(term))
+        return result
+
+    def vocabulary(self) -> Set[str]:
+        """All indexed terms."""
+        return set(self._postings)
+
+    @property
+    def total_terms(self) -> int:
+        """Number of term occurrences in the whole field collection."""
+        return self._total_terms
+
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    @property
+    def average_document_length(self) -> float:
+        """Average indexed length per document."""
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_terms / len(self._doc_lengths)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)

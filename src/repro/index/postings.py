@@ -1,0 +1,93 @@
+"""Posting lists for the fielded inverted index.
+
+A posting records how often a term occurs in one document field.  Posting
+lists keep their entries sorted by document identifier so that they can be
+merged and intersected efficiently; the index itself only ever appends via
+:meth:`PostingList.add`, which maintains the invariant.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (document, term-frequency) pair."""
+
+    doc_id: str
+    term_frequency: int
+
+    def __post_init__(self) -> None:
+        if self.term_frequency <= 0:
+            raise ValueError("term frequency must be positive")
+
+
+@dataclass
+class PostingList:
+    """An ordered list of postings for one term in one field."""
+
+    _doc_ids: List[str] = field(default_factory=list)
+    _frequencies: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, doc_id: str, count: int = 1) -> None:
+        """Add ``count`` occurrences of the term in ``doc_id``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if doc_id in self._frequencies:
+            self._frequencies[doc_id] += count
+            return
+        position = bisect_left(self._doc_ids, doc_id)
+        self._doc_ids.insert(position, doc_id)
+        self._frequencies[doc_id] = count
+
+    def frequency(self, doc_id: str) -> int:
+        """Term frequency in ``doc_id`` (0 when absent)."""
+        return self._frequencies.get(doc_id, 0)
+
+    def document_frequency(self) -> int:
+        """Number of documents containing the term."""
+        return len(self._doc_ids)
+
+    def collection_frequency(self) -> int:
+        """Total number of occurrences across all documents."""
+        return sum(self._frequencies.values())
+
+    def doc_ids(self) -> List[str]:
+        """Sorted document identifiers containing the term."""
+        return list(self._doc_ids)
+
+    def __iter__(self) -> Iterator[Posting]:
+        for doc_id in self._doc_ids:
+            yield Posting(doc_id=doc_id, term_frequency=self._frequencies[doc_id])
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._frequencies
+
+
+def intersect(left: PostingList, right: PostingList) -> List[str]:
+    """Document identifiers present in both posting lists."""
+    if len(left) > len(right):
+        left, right = right, left
+    return [doc_id for doc_id in left.doc_ids() if doc_id in right]
+
+
+def union(left: PostingList, right: PostingList) -> List[str]:
+    """Document identifiers present in either posting list, sorted."""
+    merged = set(left.doc_ids())
+    merged.update(right.doc_ids())
+    return sorted(merged)
+
+
+def merge_frequencies(lists: List[PostingList]) -> Dict[str, int]:
+    """Sum term frequencies document-wise across several posting lists."""
+    totals: Dict[str, int] = {}
+    for posting_list in lists:
+        for posting in posting_list:
+            totals[posting.doc_id] = totals.get(posting.doc_id, 0) + posting.term_frequency
+    return totals

@@ -1,0 +1,68 @@
+"""Collection statistics needed by the retrieval models.
+
+Language-model smoothing needs collection term frequencies and field
+lengths; BM25F needs document frequencies and average field lengths.  The
+statistics object is computed once per index and shared by all scorers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass
+class FieldStatistics:
+    """Statistics of a single retrieval field across the collection."""
+
+    name: str
+    total_terms: int = 0
+    document_count: int = 0
+    term_collection_frequency: Dict[str, int] = field(default_factory=dict)
+    term_document_frequency: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def average_length(self) -> float:
+        """Average number of terms per document in this field."""
+        if self.document_count == 0:
+            return 0.0
+        return self.total_terms / self.document_count
+
+    def collection_probability(self, term: str) -> float:
+        """Maximum-likelihood probability of ``term`` in the field's collection model."""
+        if self.total_terms == 0:
+            return 0.0
+        return self.term_collection_frequency.get(term, 0) / self.total_terms
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents whose field contains ``term``."""
+        return self.term_document_frequency.get(term, 0)
+
+
+@dataclass
+class CollectionStatistics:
+    """Statistics of the whole fielded collection."""
+
+    num_documents: int = 0
+    fields: Dict[str, FieldStatistics] = field(default_factory=dict)
+
+    def field(self, name: str) -> FieldStatistics:
+        """Statistics for one field, creating an empty record if unknown."""
+        if name not in self.fields:
+            self.fields[name] = FieldStatistics(name=name)
+        return self.fields[name]
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct terms across all fields."""
+        vocabulary: set[str] = set()
+        for stats in self.fields.values():
+            vocabulary.update(stats.term_collection_frequency)
+        return len(vocabulary)
+
+    def summary(self) -> Mapping[str, float]:
+        """Per-field average lengths plus global counts, for reporting."""
+        report: Dict[str, float] = {"documents": float(self.num_documents)}
+        for name, stats in sorted(self.fields.items()):
+            report[f"avg_len[{name}]"] = stats.average_length
+            report[f"terms[{name}]"] = float(stats.total_terms)
+        return report

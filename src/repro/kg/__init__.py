@@ -1,0 +1,93 @@
+"""Knowledge-graph substrate: triples, entities, the indexed store and IO.
+
+This package implements the RDF knowledge graph the paper's system operates
+on (``kappa`` in §2.3): a set of ``<s, p, o>`` triples with entity types,
+labels, categories, literal attributes and alias (redirect) links, indexed
+for the access patterns PivotE needs.
+"""
+
+from .builder import GraphBuilder
+from .entity import Entity, EntityProfile, build_profile, wikipedia_url
+from .graph import STRUCTURAL_PREDICATES, KnowledgeGraph
+from .io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    load_ntriples,
+    load_tsv,
+    save_json,
+    save_ntriples,
+    save_tsv,
+)
+from .namespaces import (
+    DCT_SUBJECT,
+    DEFAULT_NAMESPACES,
+    DISAMBIGUATES,
+    NamespaceRegistry,
+    RDF_TYPE,
+    RDFS_LABEL,
+    REDIRECT,
+    label_from_identifier,
+)
+from .query import Binding, Filter, QueryEngine, SelectQuery, TriplePattern
+from .paths import (
+    Path,
+    PathStep,
+    bfs_reachable,
+    connecting_entities,
+    paths_between,
+    shortest_path,
+)
+from .statistics import (
+    GraphStatistics,
+    TypeCoupling,
+    compute_statistics,
+    type_couplings,
+    type_distribution_of_neighbours,
+)
+from .triple import Literal, Triple, make_triple
+
+__all__ = [
+    "Binding",
+    "Filter",
+    "QueryEngine",
+    "SelectQuery",
+    "TriplePattern",
+    "DCT_SUBJECT",
+    "DEFAULT_NAMESPACES",
+    "DISAMBIGUATES",
+    "Entity",
+    "EntityProfile",
+    "GraphBuilder",
+    "GraphStatistics",
+    "KnowledgeGraph",
+    "Literal",
+    "NamespaceRegistry",
+    "Path",
+    "PathStep",
+    "RDF_TYPE",
+    "RDFS_LABEL",
+    "REDIRECT",
+    "STRUCTURAL_PREDICATES",
+    "Triple",
+    "TypeCoupling",
+    "bfs_reachable",
+    "build_profile",
+    "compute_statistics",
+    "connecting_entities",
+    "graph_from_dict",
+    "graph_to_dict",
+    "label_from_identifier",
+    "load_json",
+    "load_ntriples",
+    "load_tsv",
+    "make_triple",
+    "paths_between",
+    "save_json",
+    "save_ntriples",
+    "save_tsv",
+    "shortest_path",
+    "type_couplings",
+    "type_distribution_of_neighbours",
+    "wikipedia_url",
+]

@@ -1,0 +1,152 @@
+"""Entity view objects over the knowledge graph.
+
+An :class:`Entity` is a lightweight, immutable snapshot of everything the
+graph knows about one identifier: its labels, types, literal attributes,
+categories, aliases (redirects/disambiguations) and its neighbourhood.  The
+snapshot is what the search engine turns into a five-field document and what
+the UI shows in the entity-presentation area (Fig 3-d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from .namespaces import label_from_identifier
+
+
+@dataclass(frozen=True)
+class Entity:
+    """An immutable snapshot of a single entity.
+
+    Attributes
+    ----------
+    identifier:
+        The entity identifier, e.g. ``"dbr:Forrest_Gump"``.
+    labels:
+        Human-readable names (``rdfs:label`` values).
+    types:
+        Entity types (``rdf:type`` objects), e.g. ``("dbo:Film",)``.
+    categories:
+        Category memberships (``dct:subject`` objects).
+    attributes:
+        Literal attributes keyed by predicate.
+    aliases:
+        Names of redirected / disambiguated entities ("similar entity
+        names" in Table 1 of the paper).
+    related:
+        Identifiers of entities connected by any object property, in either
+        direction ("related entity names" in Table 1).
+    outgoing:
+        Object-property edges leaving this entity as ``(predicate, target)``.
+    incoming:
+        Object-property edges arriving at this entity as
+        ``(predicate, source)``.
+    """
+
+    identifier: str
+    labels: Tuple[str, ...] = ()
+    types: Tuple[str, ...] = ()
+    categories: Tuple[str, ...] = ()
+    attributes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    aliases: Tuple[str, ...] = ()
+    related: Tuple[str, ...] = ()
+    outgoing: Tuple[Tuple[str, str], ...] = ()
+    incoming: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def name(self) -> str:
+        """The preferred display name of the entity.
+
+        The first explicit label wins; otherwise the name is derived from the
+        identifier (``dbr:Forrest_Gump`` -> ``"Forrest Gump"``).
+        """
+        if self.labels:
+            return self.labels[0]
+        return label_from_identifier(self.identifier)
+
+    @property
+    def primary_type(self) -> str:
+        """The first (most specific, by convention) type, or ``""``."""
+        return self.types[0] if self.types else ""
+
+    def has_type(self, type_id: str) -> bool:
+        """True when the entity is an instance of ``type_id``."""
+        return type_id in self.types
+
+    def attribute_values(self) -> Tuple[str, ...]:
+        """All literal attribute values, flattened, in predicate order."""
+        values: list[str] = []
+        for predicate in sorted(self.attributes):
+            values.extend(self.attributes[predicate])
+        return tuple(values)
+
+    def degree(self) -> int:
+        """Total number of object-property edges touching this entity."""
+        return len(self.outgoing) + len(self.incoming)
+
+    def neighbours(self) -> Tuple[str, ...]:
+        """Unique neighbouring entity identifiers (both directions)."""
+        seen: dict[str, None] = {}
+        for _, target in self.outgoing:
+            seen.setdefault(target, None)
+        for _, source in self.incoming:
+            seen.setdefault(source, None)
+        return tuple(seen)
+
+    def summary(self, max_items: int = 5) -> str:
+        """A short human-readable profile used by the presentation area."""
+        parts = [f"{self.name} ({self.identifier})"]
+        if self.types:
+            parts.append("types: " + ", ".join(self.types[:max_items]))
+        if self.categories:
+            parts.append("categories: " + ", ".join(self.categories[:max_items]))
+        attrs = self.attribute_values()
+        if attrs:
+            parts.append("attributes: " + ", ".join(attrs[:max_items]))
+        if self.related:
+            parts.append("related: " + ", ".join(self.related[:max_items]))
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class EntityProfile:
+    """The entity-presentation payload of the UI (Fig 3-d).
+
+    Besides the entity snapshot itself, the profile carries the
+    Wikipedia-style external link the demo redirects to and a ranked list of
+    the entity's most informative facts.
+    """
+
+    entity: Entity
+    external_url: str
+    top_facts: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def title(self) -> str:
+        return self.entity.name
+
+
+def wikipedia_url(identifier: str) -> str:
+    """Derive the Wikipedia URL the demo links entity names to."""
+    local = identifier.rsplit(":", 1)[-1]
+    return f"https://en.wikipedia.org/wiki/{local}"
+
+
+def build_profile(entity: Entity, max_facts: int = 10) -> EntityProfile:
+    """Build the presentation-area profile for an entity.
+
+    Facts are ordered attributes first (they are the most specific), then
+    outgoing edges, then incoming edges, truncated to ``max_facts``.
+    """
+    facts: list[Tuple[str, str]] = []
+    for predicate in sorted(entity.attributes):
+        for value in entity.attributes[predicate]:
+            facts.append((predicate, value))
+    facts.extend(entity.outgoing)
+    facts.extend((f"^{predicate}", source) for predicate, source in entity.incoming)
+    return EntityProfile(
+        entity=entity,
+        external_url=wikipedia_url(entity.identifier),
+        top_facts=tuple(facts[:max_facts]),
+    )

@@ -1,0 +1,375 @@
+"""The in-memory knowledge-graph store.
+
+:class:`KnowledgeGraph` is the substrate every other component builds on.  It
+stores triples with three access-path indexes (by subject, by predicate and by
+object) plus dedicated indexes for the structures PivotE relies on heavily:
+
+* a type index (``rdf:type``) used for the type-based smoothing ``p(pi|c*)``
+  and for the entity-type view of Fig 1-b;
+* a label/alias index used to build the five-field entity representation of
+  Table 1;
+* per-predicate subject/object maps so that ``E(pi)`` — the set of entities
+  matching a semantic feature — can be computed in O(1) lookups.
+
+The store is deliberately simple (dictionaries of sets) but the interface is
+what a production triple store would expose, so swapping in a disk-backed
+implementation would not change any caller.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import EntityNotFoundError, InvalidTripleError
+from .entity import Entity
+from .namespaces import (
+    DCT_SUBJECT,
+    DISAMBIGUATES,
+    NamespaceRegistry,
+    RDF_TYPE,
+    RDFS_LABEL,
+    REDIRECT,
+    label_from_identifier,
+)
+from .triple import Literal, Triple, TripleObject
+
+#: Predicates that describe an entity rather than connect it to another
+#: domain entity.  They are excluded from "related entities" and from the
+#: semantic-feature space, matching how the paper treats labels, types and
+#: categories as dedicated fields instead of exploration pointers.
+STRUCTURAL_PREDICATES: frozenset[str] = frozenset(
+    {RDF_TYPE, RDFS_LABEL, DCT_SUBJECT, REDIRECT, DISAMBIGUATES}
+)
+
+
+class KnowledgeGraph:
+    """A mutable, indexed, in-memory RDF knowledge graph."""
+
+    def __init__(self, name: str = "kg", namespaces: Optional[NamespaceRegistry] = None) -> None:
+        self.name = name
+        self.namespaces = namespaces or NamespaceRegistry()
+        self._triples: List[Triple] = []
+        self._triple_set: Set[Tuple[str, str, TripleObject]] = set()
+        # Access-path indexes over entity edges (object properties).
+        self._spo: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        # Literal attributes: subject -> predicate -> [values]
+        self._literals: Dict[str, Dict[str, List[Literal]]] = defaultdict(lambda: defaultdict(list))
+        # Special-purpose indexes.
+        self._types: Dict[str, Set[str]] = defaultdict(set)          # entity -> types
+        self._type_members: Dict[str, Set[str]] = defaultdict(set)   # type -> entities
+        self._labels: Dict[str, List[str]] = defaultdict(list)       # entity -> labels
+        self._categories: Dict[str, Set[str]] = defaultdict(set)     # entity -> categories
+        self._category_members: Dict[str, Set[str]] = defaultdict(set)
+        self._aliases: Dict[str, Set[str]] = defaultdict(set)        # entity -> alias entity ids
+        self._entities: Set[str] = set()
+        self._predicates: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, subject: str, predicate: str, obj: TripleObject) -> bool:
+        """Add a triple; return False when it was already present."""
+        triple = Triple(subject, predicate, obj)
+        return self.add_triple(triple)
+
+    def add_triple(self, triple: Triple) -> bool:
+        """Add a :class:`Triple`; return False when it was already present."""
+        key = triple.as_tuple()
+        if key in self._triple_set:
+            return False
+        self._triple_set.add(key)
+        self._triples.append(triple)
+        subject, predicate = triple.subject, triple.predicate
+        self._entities.add(subject)
+        self._predicates.add(predicate)
+
+        if triple.is_literal:
+            assert isinstance(triple.object, Literal)
+            self._literals[subject][predicate].append(triple.object)
+            if predicate == RDFS_LABEL:
+                self._labels[subject].append(triple.object.value)
+            return True
+
+        obj = triple.object
+        assert isinstance(obj, str)
+        if predicate == RDF_TYPE:
+            self._types[subject].add(obj)
+            self._type_members[obj].add(subject)
+            return True
+        if predicate == DCT_SUBJECT:
+            self._categories[subject].add(obj)
+            self._category_members[obj].add(subject)
+            return True
+        if predicate in (REDIRECT, DISAMBIGUATES):
+            self._aliases[subject].add(obj)
+            self._entities.add(obj)
+            return True
+
+        # A genuine entity edge.
+        self._entities.add(obj)
+        self._spo[subject][predicate].add(obj)
+        self._pos[predicate][obj].add(subject)
+        self._osp[obj][subject].add(predicate)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return how many were new."""
+        return sum(1 for triple in triples if self.add_triple(triple))
+
+    def add_label(self, entity: str, label: str) -> None:
+        """Attach an ``rdfs:label`` to ``entity``."""
+        self.add(entity, RDFS_LABEL, Literal(label))
+
+    def add_type(self, entity: str, type_id: str) -> None:
+        """Declare ``entity rdf:type type_id``."""
+        self.add(entity, RDF_TYPE, type_id)
+
+    def add_category(self, entity: str, category: str) -> None:
+        """Declare ``entity dct:subject category``."""
+        self.add(entity, DCT_SUBJECT, category)
+
+    def add_attribute(self, entity: str, predicate: str, value: str, datatype: str = "string") -> None:
+        """Attach a literal attribute to ``entity``."""
+        self.add(entity, predicate, Literal(value, datatype=datatype))
+
+    def add_alias(self, entity: str, alias_entity: str) -> None:
+        """Declare that ``alias_entity`` redirects to ``entity``."""
+        self.add(entity, REDIRECT, alias_entity)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    @property
+    def triples(self) -> Sequence[Triple]:
+        """All triples in insertion order."""
+        return tuple(self._triples)
+
+    def entities(self) -> Set[str]:
+        """All entity identifiers (subjects and object-entities)."""
+        return set(self._entities)
+
+    def predicates(self) -> Set[str]:
+        """All predicates appearing in the graph."""
+        return set(self._predicates)
+
+    def edge_predicates(self) -> Set[str]:
+        """Predicates that connect entities (exploration-relevant relations)."""
+        return set(self._pos.keys())
+
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    def num_edges(self) -> int:
+        """Number of object-property edges (excluding structural predicates)."""
+        return sum(
+            len(objs)
+            for by_pred in self._spo.values()
+            for objs in by_pred.values()
+        )
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def require_entity(self, entity_id: str) -> None:
+        """Raise :class:`EntityNotFoundError` unless the entity exists."""
+        if entity_id not in self._entities:
+            raise EntityNotFoundError(entity_id)
+
+    # ------------------------------------------------------------------ #
+    # Pattern queries
+    # ------------------------------------------------------------------ #
+    def objects(self, subject: str, predicate: str) -> Set[str]:
+        """Entities ``o`` with ``<subject, predicate, o>`` in the graph."""
+        return set(self._spo.get(subject, {}).get(predicate, set()))
+
+    def subjects(self, predicate: str, obj: str) -> Set[str]:
+        """Entities ``s`` with ``<s, predicate, obj>`` in the graph."""
+        return set(self._pos.get(predicate, {}).get(obj, set()))
+
+    def predicates_between(self, subject: str, obj: str) -> Set[str]:
+        """Predicates ``p`` with ``<subject, p, obj>`` in the graph."""
+        return set(self._osp.get(obj, {}).get(subject, set()))
+
+    def outgoing(self, entity_id: str) -> List[Tuple[str, str]]:
+        """Object-property edges leaving ``entity_id`` as ``(predicate, target)``."""
+        result: List[Tuple[str, str]] = []
+        for predicate, objs in self._spo.get(entity_id, {}).items():
+            result.extend((predicate, obj) for obj in sorted(objs))
+        return result
+
+    def incoming(self, entity_id: str) -> List[Tuple[str, str]]:
+        """Object-property edges arriving at ``entity_id`` as ``(predicate, source)``."""
+        result: List[Tuple[str, str]] = []
+        for subject, predicates in self._osp.get(entity_id, {}).items():
+            result.extend((predicate, subject) for predicate in sorted(predicates))
+        return result
+
+    def neighbours(self, entity_id: str) -> Set[str]:
+        """Entities one object-property hop away (either direction)."""
+        result: Set[str] = set()
+        for objs in self._spo.get(entity_id, {}).values():
+            result.update(objs)
+        result.update(self._osp.get(entity_id, {}).keys())
+        return result
+
+    def degree(self, entity_id: str) -> int:
+        """Number of object-property edges touching ``entity_id``."""
+        out = sum(len(objs) for objs in self._spo.get(entity_id, {}).values())
+        inc = sum(len(preds) for preds in self._osp.get(entity_id, {}).values())
+        return out + inc
+
+    def subjects_of_predicate(self, predicate: str) -> Set[str]:
+        """All subjects that have at least one edge with ``predicate``."""
+        result: Set[str] = set()
+        for obj_subjects in self._pos.get(predicate, {}).values():
+            result.update(obj_subjects)
+        return result
+
+    def objects_of_predicate(self, predicate: str) -> Set[str]:
+        """All objects reachable via ``predicate``."""
+        return set(self._pos.get(predicate, {}).keys())
+
+    def predicate_frequency(self, predicate: str) -> int:
+        """Number of edges labelled with ``predicate``."""
+        return sum(len(subjects) for subjects in self._pos.get(predicate, {}).values())
+
+    # ------------------------------------------------------------------ #
+    # Types, labels, categories
+    # ------------------------------------------------------------------ #
+    def types_of(self, entity_id: str) -> Set[str]:
+        """Types of an entity (``rdf:type`` objects)."""
+        return set(self._types.get(entity_id, set()))
+
+    def entities_of_type(self, type_id: str) -> Set[str]:
+        """All instances of a type."""
+        return set(self._type_members.get(type_id, set()))
+
+    def types(self) -> Set[str]:
+        """All entity types used in the graph."""
+        return set(self._type_members.keys())
+
+    def type_count(self, type_id: str) -> int:
+        """Number of instances of a type."""
+        return len(self._type_members.get(type_id, set()))
+
+    def dominant_type(self, entity_id: str) -> str:
+        """The most specific type of an entity.
+
+        Following the entity-set-expansion papers, the dominant type ``c*``
+        of an entity is its *least populated* type — the rarest type is the
+        most specific one.  Entities without a type return ``""``.
+        """
+        entity_types = self._types.get(entity_id)
+        if not entity_types:
+            return ""
+        return min(entity_types, key=lambda t: (len(self._type_members[t]), t))
+
+    def labels_of(self, entity_id: str) -> List[str]:
+        """Explicit labels of an entity (may be empty)."""
+        return list(self._labels.get(entity_id, []))
+
+    def label(self, entity_id: str) -> str:
+        """Preferred display label, falling back to the identifier."""
+        labels = self._labels.get(entity_id)
+        if labels:
+            return labels[0]
+        return label_from_identifier(entity_id)
+
+    def categories_of(self, entity_id: str) -> Set[str]:
+        """Categories of an entity (``dct:subject`` objects)."""
+        return set(self._categories.get(entity_id, set()))
+
+    def entities_in_category(self, category: str) -> Set[str]:
+        """All entities carrying the given category."""
+        return set(self._category_members.get(category, set()))
+
+    def aliases_of(self, entity_id: str) -> Set[str]:
+        """Alias entities (redirects/disambiguations) of an entity."""
+        return set(self._aliases.get(entity_id, set()))
+
+    def attributes_of(self, entity_id: str) -> Dict[str, List[str]]:
+        """Literal attributes of an entity keyed by predicate.
+
+        Structural literals (labels) are excluded — they are exposed via
+        :meth:`labels_of`.
+        """
+        result: Dict[str, List[str]] = {}
+        for predicate, literals in self._literals.get(entity_id, {}).items():
+            if predicate == RDFS_LABEL:
+                continue
+            result[predicate] = [lit.value for lit in literals]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Entity snapshots
+    # ------------------------------------------------------------------ #
+    def entity(self, entity_id: str) -> Entity:
+        """Build the full :class:`Entity` snapshot for an identifier."""
+        self.require_entity(entity_id)
+        outgoing = tuple(self.outgoing(entity_id))
+        incoming = tuple(self.incoming(entity_id))
+        related: list[str] = []
+        seen: set[str] = set()
+        for _, target in outgoing:
+            if target not in seen:
+                seen.add(target)
+                related.append(target)
+        for _, source in incoming:
+            if source not in seen:
+                seen.add(source)
+                related.append(source)
+        attributes = {
+            predicate: tuple(values)
+            for predicate, values in sorted(self.attributes_of(entity_id).items())
+        }
+        alias_names = tuple(self.label(alias) for alias in sorted(self.aliases_of(entity_id)))
+        return Entity(
+            identifier=entity_id,
+            labels=tuple(self.labels_of(entity_id)),
+            types=tuple(sorted(self.types_of(entity_id), key=lambda t: (self.type_count(t), t))),
+            categories=tuple(sorted(self.categories_of(entity_id))),
+            attributes=attributes,
+            aliases=alias_names,
+            related=tuple(related),
+            outgoing=outgoing,
+            incoming=incoming,
+        )
+
+    def entity_or_none(self, entity_id: str) -> Optional[Entity]:
+        """Like :meth:`entity` but returning ``None`` for unknown identifiers."""
+        if entity_id not in self._entities:
+            return None
+        return self.entity(entity_id)
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line description used by logging and the examples."""
+        return (
+            f"KnowledgeGraph({self.name!r}: {len(self._triples)} triples, "
+            f"{len(self._entities)} entities, {len(self._type_members)} types, "
+            f"{len(self._pos)} edge predicates)"
+        )
+
+    def copy(self, name: Optional[str] = None) -> "KnowledgeGraph":
+        """Return an independent copy of the graph."""
+        clone = KnowledgeGraph(name or self.name, namespaces=self.namespaces)
+        clone.add_all(self._triples)
+        return clone
+
+    def merge(self, other: "KnowledgeGraph") -> int:
+        """Merge another graph into this one; return number of new triples."""
+        return self.add_all(other.triples)

@@ -1,0 +1,192 @@
+"""Serialization of knowledge graphs.
+
+Three formats are supported:
+
+* a simplified **N-Triples** dialect (one ``<s> <p> <o> .`` statement per
+  line, CURIEs allowed) — the format DBpedia dumps come in;
+* a **TSV** format (``subject<TAB>predicate<TAB>object<TAB>kind``) that is
+  convenient to inspect and diff;
+* a **JSON** document grouping triples per subject, used by the examples to
+  snapshot small graphs.
+
+All loaders are forgiving about blank lines and ``#`` comments.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..exceptions import GraphIOError
+from .graph import KnowledgeGraph
+from .triple import Literal, Triple
+
+_PathLike = Union[str, Path]
+
+_NT_PATTERN = re.compile(
+    r"""^\s*
+        (?:<(?P<s_iri>[^>]+)>|(?P<s_curie>\S+))\s+
+        (?:<(?P<p_iri>[^>]+)>|(?P<p_curie>\S+))\s+
+        (?:<(?P<o_iri>[^>]+)>|"(?P<o_lit>(?:[^"\\]|\\.)*)"(?:@(?P<lang>[A-Za-z-]+))?|(?P<o_curie>\S+))
+        \s*\.\s*$""",
+    re.VERBOSE,
+)
+
+
+def _unescape(value: str) -> str:
+    return value.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def parse_ntriples_line(line: str) -> Triple | None:
+    """Parse a single N-Triples statement; return ``None`` for blanks/comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    match = _NT_PATTERN.match(stripped)
+    if match is None:
+        raise GraphIOError(f"malformed N-Triples line: {line!r}")
+    subject = match.group("s_iri") or match.group("s_curie")
+    predicate = match.group("p_iri") or match.group("p_curie")
+    if match.group("o_lit") is not None:
+        obj: str | Literal = Literal(
+            _unescape(match.group("o_lit")), language=match.group("lang") or ""
+        )
+    else:
+        obj = match.group("o_iri") or match.group("o_curie")
+    return Triple(subject, predicate, obj)
+
+
+def iter_ntriples(lines: Iterable[str]) -> Iterator[Triple]:
+    """Yield triples from an iterable of N-Triples lines."""
+    for number, line in enumerate(lines, start=1):
+        try:
+            triple = parse_ntriples_line(line)
+        except GraphIOError as exc:
+            raise GraphIOError(f"line {number}: {exc}") from exc
+        if triple is not None:
+            yield triple
+
+
+def load_ntriples(path: _PathLike, name: str | None = None) -> KnowledgeGraph:
+    """Load a knowledge graph from an N-Triples file."""
+    path = Path(path)
+    graph = KnowledgeGraph(name or path.stem)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            graph.add_all(iter_ntriples(handle))
+    except OSError as exc:
+        raise GraphIOError(f"cannot read {path}: {exc}") from exc
+    return graph
+
+
+def triple_to_ntriples(triple: Triple) -> str:
+    """Serialize one triple as an N-Triples statement (CURIEs kept as-is)."""
+    if triple.is_literal:
+        literal = triple.object
+        assert isinstance(literal, Literal)
+        lang = f"@{literal.language}" if literal.language else ""
+        return f'{triple.subject} {triple.predicate} "{_escape(literal.value)}"{lang} .'
+    return f"{triple.subject} {triple.predicate} {triple.object} ."
+
+
+def save_ntriples(graph: KnowledgeGraph, path: _PathLike) -> None:
+    """Write a knowledge graph to an N-Triples file."""
+    path = Path(path)
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            for triple in graph.triples:
+                handle.write(triple_to_ntriples(triple) + "\n")
+    except OSError as exc:
+        raise GraphIOError(f"cannot write {path}: {exc}") from exc
+
+
+def load_tsv(path: _PathLike, name: str | None = None) -> KnowledgeGraph:
+    """Load a graph from the TSV format produced by :func:`save_tsv`."""
+    path = Path(path)
+    graph = KnowledgeGraph(name or path.stem)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                stripped = line.rstrip("\n")
+                if not stripped or stripped.startswith("#"):
+                    continue
+                parts = stripped.split("\t")
+                if len(parts) not in (3, 4):
+                    raise GraphIOError(f"line {number}: expected 3 or 4 columns, got {len(parts)}")
+                subject, predicate, obj = parts[0], parts[1], parts[2]
+                kind = parts[3] if len(parts) == 4 else "entity"
+                if kind == "literal":
+                    graph.add(subject, predicate, Literal(obj))
+                else:
+                    graph.add(subject, predicate, obj)
+    except OSError as exc:
+        raise GraphIOError(f"cannot read {path}: {exc}") from exc
+    return graph
+
+
+def save_tsv(graph: KnowledgeGraph, path: _PathLike) -> None:
+    """Write a graph as TSV (``subject  predicate  object  kind``)."""
+    path = Path(path)
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            for triple in graph.triples:
+                kind = "literal" if triple.is_literal else "entity"
+                handle.write(
+                    f"{triple.subject}\t{triple.predicate}\t{triple.object_value}\t{kind}\n"
+                )
+    except OSError as exc:
+        raise GraphIOError(f"cannot write {path}: {exc}") from exc
+
+
+def graph_to_dict(graph: KnowledgeGraph) -> dict:
+    """Serialize a graph to a JSON-compatible dictionary grouped by subject."""
+    subjects: dict[str, List[dict]] = {}
+    for triple in graph.triples:
+        record = {
+            "predicate": triple.predicate,
+            "object": triple.object_value,
+            "literal": triple.is_literal,
+        }
+        subjects.setdefault(triple.subject, []).append(record)
+    return {"name": graph.name, "subjects": subjects}
+
+
+def graph_from_dict(payload: dict) -> KnowledgeGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    if "subjects" not in payload:
+        raise GraphIOError("missing 'subjects' key in graph document")
+    graph = KnowledgeGraph(payload.get("name", "kg"))
+    for subject, records in payload["subjects"].items():
+        for record in records:
+            obj: str | Literal
+            if record.get("literal"):
+                obj = Literal(record["object"])
+            else:
+                obj = record["object"]
+            graph.add(subject, record["predicate"], obj)
+    return graph
+
+
+def save_json(graph: KnowledgeGraph, path: _PathLike) -> None:
+    """Write a graph as a JSON document."""
+    path = Path(path)
+    try:
+        path.write_text(json.dumps(graph_to_dict(graph), indent=2), encoding="utf-8")
+    except OSError as exc:
+        raise GraphIOError(f"cannot write {path}: {exc}") from exc
+
+
+def load_json(path: _PathLike) -> KnowledgeGraph:
+    """Load a graph from a JSON document produced by :func:`save_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GraphIOError(f"cannot read {path}: {exc}") from exc
+    return graph_from_dict(payload)

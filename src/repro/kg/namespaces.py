@@ -1,0 +1,117 @@
+"""Namespace handling for knowledge-graph identifiers.
+
+Web-scale KGs such as DBpedia identify entities and predicates with IRIs.
+This module provides a tiny namespace registry so that the rest of the
+library can work with short, readable CURIEs (``dbr:Forrest_Gump``) while
+still being able to expand them to full IRIs for serialization and to
+compact full IRIs back when loading external data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+#: Namespaces used by the synthetic datasets; modelled on DBpedia.
+DEFAULT_NAMESPACES: Mapping[str, str] = {
+    "dbr": "http://dbpedia.org/resource/",
+    "dbo": "http://dbpedia.org/ontology/",
+    "dbp": "http://dbpedia.org/property/",
+    "rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+    "rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+    "dct": "http://purl.org/dc/terms/",
+    "pivote": "http://pivote.example.org/ontology/",
+}
+
+#: Well-known predicates referenced throughout the library.
+RDF_TYPE = "rdf:type"
+RDFS_LABEL = "rdfs:label"
+DCT_SUBJECT = "dct:subject"
+REDIRECT = "dbo:wikiPageRedirects"
+DISAMBIGUATES = "dbo:wikiPageDisambiguates"
+
+
+@dataclass
+class NamespaceRegistry:
+    """Bidirectional mapping between namespace prefixes and IRI bases.
+
+    The registry is deliberately forgiving: identifiers that do not match a
+    registered prefix are passed through unchanged, which lets the library
+    operate on plain string identifiers without requiring full IRIs.
+    """
+
+    prefixes: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_NAMESPACES)
+    )
+
+    def register(self, prefix: str, base_iri: str) -> None:
+        """Register (or overwrite) a namespace prefix."""
+        if not prefix or ":" in prefix:
+            raise ValueError(f"invalid namespace prefix: {prefix!r}")
+        if not base_iri:
+            raise ValueError("base IRI must be non-empty")
+        self.prefixes[prefix] = base_iri
+
+    def expand(self, curie: str) -> str:
+        """Expand ``prefix:local`` into a full IRI.
+
+        Unknown prefixes and identifiers without a colon are returned
+        unchanged.
+        """
+        prefix, sep, local = curie.partition(":")
+        if not sep or prefix not in self.prefixes:
+            return curie
+        return self.prefixes[prefix] + local
+
+    def compact(self, iri: str) -> str:
+        """Compact a full IRI into ``prefix:local`` when a prefix matches.
+
+        The longest matching base IRI wins; non-matching IRIs are returned
+        unchanged.
+        """
+        best: Tuple[int, str] | None = None
+        for prefix, base in self.prefixes.items():
+            if iri.startswith(base):
+                candidate = (len(base), prefix)
+                if best is None or candidate > best:
+                    best = candidate
+        if best is None:
+            return iri
+        _, prefix = best
+        return f"{prefix}:{iri[len(self.prefixes[prefix]):]}"
+
+    def split(self, curie: str) -> Tuple[str, str]:
+        """Split a CURIE into ``(prefix, local_name)``.
+
+        Identifiers without a registered prefix are returned with an empty
+        prefix and the original string as the local name.
+        """
+        prefix, sep, local = curie.partition(":")
+        if sep and prefix in self.prefixes:
+            return prefix, local
+        return "", curie
+
+    def local_name(self, curie: str) -> str:
+        """Return the local (human-oriented) part of an identifier."""
+        return self.split(curie)[1]
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self.prefixes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.prefixes)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+
+def label_from_identifier(identifier: str) -> str:
+    """Derive a human-readable label from an entity identifier.
+
+    ``dbr:Forrest_Gump`` becomes ``"Forrest Gump"``.  This mirrors how
+    DBpedia resource names map to rdfs labels and is used as a fallback when
+    an entity carries no explicit label triple.
+    """
+    local = identifier.rsplit(":", 1)[-1]
+    local = local.rsplit("/", 1)[-1]
+    return local.replace("_", " ").strip()

@@ -1,0 +1,167 @@
+"""Path utilities over the knowledge graph.
+
+The recommendation model is *path-based*: semantic features are length-one
+paths anchored at an entity, and explanations ("Forrest Gump and Apollo 13
+are both performed by Tom Hanks") are length-two paths through a shared
+anchor.  This module provides the small amount of graph traversal the rest
+of the library needs: shortest paths, bounded breadth-first expansion and
+connecting-path enumeration between entity pairs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of a path: predicate, direction and the entity reached."""
+
+    predicate: str
+    #: ``True`` when the hop follows the edge subject->object.
+    forward: bool
+    entity: str
+
+    def describe(self) -> str:
+        arrow = "->" if self.forward else "<-"
+        return f"{arrow}[{self.predicate}]{arrow} {self.entity}"
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path through the KG starting at ``start``."""
+
+    start: str
+    steps: Tuple[PathStep, ...] = ()
+
+    @property
+    def end(self) -> str:
+        return self.steps[-1].entity if self.steps else self.start
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def entities(self) -> Tuple[str, ...]:
+        return (self.start,) + tuple(step.entity for step in self.steps)
+
+    def describe(self) -> str:
+        return self.start + " " + " ".join(step.describe() for step in self.steps)
+
+
+def _expand(graph: KnowledgeGraph, entity: str) -> Iterator[PathStep]:
+    """All single hops leaving ``entity`` in both directions."""
+    for predicate, target in graph.outgoing(entity):
+        yield PathStep(predicate=predicate, forward=True, entity=target)
+    for predicate, source in graph.incoming(entity):
+        yield PathStep(predicate=predicate, forward=False, entity=source)
+
+
+def bfs_reachable(graph: KnowledgeGraph, start: str, max_hops: int = 2) -> Dict[str, int]:
+    """Entities reachable from ``start`` within ``max_hops``, with distances."""
+    graph.require_entity(start)
+    distances: Dict[str, int] = {start: 0}
+    frontier = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        depth = distances[current]
+        if depth >= max_hops:
+            continue
+        for step in _expand(graph, current):
+            if step.entity not in distances:
+                distances[step.entity] = depth + 1
+                frontier.append(step.entity)
+    return distances
+
+
+def shortest_path(graph: KnowledgeGraph, start: str, end: str, max_hops: int = 4) -> Optional[Path]:
+    """Breadth-first shortest path between two entities (undirected)."""
+    graph.require_entity(start)
+    graph.require_entity(end)
+    if start == end:
+        return Path(start=start)
+    parents: Dict[str, Tuple[str, PathStep]] = {}
+    visited: Set[str] = {start}
+    frontier = deque([(start, 0)])
+    while frontier:
+        current, depth = frontier.popleft()
+        if depth >= max_hops:
+            continue
+        for step in _expand(graph, current):
+            if step.entity in visited:
+                continue
+            visited.add(step.entity)
+            parents[step.entity] = (current, step)
+            if step.entity == end:
+                return _reconstruct(start, end, parents)
+            frontier.append((step.entity, depth + 1))
+    return None
+
+
+def _reconstruct(start: str, end: str, parents: Dict[str, Tuple[str, PathStep]]) -> Path:
+    steps: List[PathStep] = []
+    node = end
+    while node != start:
+        parent, step = parents[node]
+        steps.append(step)
+        node = parent
+    steps.reverse()
+    return Path(start=start, steps=tuple(steps))
+
+
+def connecting_entities(graph: KnowledgeGraph, left: str, right: str) -> List[Tuple[str, str, str]]:
+    """Entities that connect ``left`` and ``right`` through length-two paths.
+
+    Returns ``(anchor_entity, predicate_from_left, predicate_from_right)``
+    tuples — exactly the evidence the explanation area verbalises ("both are
+    performed by Tom Hanks").
+    """
+    graph.require_entity(left)
+    graph.require_entity(right)
+    left_anchors: Dict[str, Set[str]] = {}
+    for step in _expand(graph, left):
+        left_anchors.setdefault(step.entity, set()).add(step.predicate)
+    results: List[Tuple[str, str, str]] = []
+    for step in _expand(graph, right):
+        if step.entity in left_anchors and step.entity not in (left, right):
+            for left_predicate in sorted(left_anchors[step.entity]):
+                results.append((step.entity, left_predicate, step.predicate))
+    results.sort()
+    return results
+
+
+def paths_between(
+    graph: KnowledgeGraph,
+    start: str,
+    end: str,
+    max_hops: int = 2,
+    limit: int = 100,
+) -> List[Path]:
+    """Enumerate simple paths of length <= ``max_hops`` between two entities."""
+    graph.require_entity(start)
+    graph.require_entity(end)
+    results: List[Path] = []
+
+    def recurse(current: str, steps: List[PathStep], visited: Set[str]) -> None:
+        if len(results) >= limit:
+            return
+        if current == end and steps:
+            results.append(Path(start=start, steps=tuple(steps)))
+            return
+        if len(steps) >= max_hops:
+            return
+        for step in _expand(graph, current):
+            if step.entity in visited and step.entity != end:
+                continue
+            steps.append(step)
+            visited.add(step.entity)
+            recurse(step.entity, steps, visited)
+            visited.discard(step.entity)
+            steps.pop()
+
+    recurse(start, [], {start})
+    return results

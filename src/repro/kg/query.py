@@ -1,0 +1,302 @@
+"""A minimal SPARQL-like structured query engine over the knowledge graph.
+
+The paper positions PivotE against "effective accesses of the KGs in a
+structured manner like SPARQL".  To make that comparison concrete (and to
+give power users a structured escape hatch), this module implements basic
+graph-pattern matching over :class:`~repro.kg.graph.KnowledgeGraph`:
+
+* **triple patterns** with variables (``?film dbo:starring dbr:Tom_Hanks``),
+  including ``rdf:type`` and literal-attribute patterns;
+* **basic graph patterns** (conjunctions of triple patterns) solved with a
+  straightforward binding-propagation join, most-selective pattern first;
+* ``SELECT``-style projection with ``DISTINCT``, ``LIMIT`` and simple
+  equality / substring ``FILTER`` predicates.
+
+The engine is intentionally small — it is a substrate for tests, examples
+and the comparison experiment, not a standards-compliant SPARQL
+implementation — but the query surface mirrors how the demo's users would
+have written structured queries instead of exploring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import KnowledgeGraphError
+from .graph import KnowledgeGraph
+from .namespaces import RDF_TYPE
+
+#: A variable binding: variable name (without ``?``) -> bound value.
+Binding = Dict[str, str]
+
+
+def is_variable(term: str) -> bool:
+    """True when a query term is a variable (``?name``)."""
+    return term.startswith("?")
+
+
+def variable_name(term: str) -> str:
+    """Strip the leading ``?`` of a variable term."""
+    return term[1:] if term.startswith("?") else term
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One triple pattern; any position may be a variable (``?x``)."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __post_init__(self) -> None:
+        for position, term in (("subject", self.subject), ("predicate", self.predicate), ("object", self.object)):
+            if not term:
+                raise KnowledgeGraphError(f"empty {position} in triple pattern")
+
+    def variables(self) -> Set[str]:
+        """The variable names used by this pattern."""
+        return {
+            variable_name(term)
+            for term in (self.subject, self.predicate, self.object)
+            if is_variable(term)
+        }
+
+    def bound(self, binding: Binding) -> "TriplePattern":
+        """Substitute bound variables into the pattern."""
+
+        def resolve(term: str) -> str:
+            if is_variable(term) and variable_name(term) in binding:
+                return binding[variable_name(term)]
+            return term
+
+        return TriplePattern(resolve(self.subject), resolve(self.predicate), resolve(self.object))
+
+    def describe(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A simple filter over one variable.
+
+    ``op`` is one of ``"eq"``, ``"neq"``, ``"contains"`` (case-insensitive
+    substring over the value or, for entities, over their label).
+    """
+
+    variable: str
+    op: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("eq", "neq", "contains"):
+            raise KnowledgeGraphError(f"unknown filter operator: {self.op!r}")
+
+    def accepts(self, graph: KnowledgeGraph, binding: Binding) -> bool:
+        bound = binding.get(variable_name(self.variable))
+        if bound is None:
+            return True
+        if self.op == "eq":
+            return bound == self.value
+        if self.op == "neq":
+            return bound != self.value
+        haystack = bound.lower()
+        if graph.has_entity(bound):
+            haystack = f"{haystack} {graph.label(bound).lower()}"
+        return self.value.lower() in haystack
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A SELECT query: projection + basic graph pattern + filters."""
+
+    variables: Tuple[str, ...]
+    patterns: Tuple[TriplePattern, ...]
+    filters: Tuple[Filter, ...] = ()
+    distinct: bool = True
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise KnowledgeGraphError("a SELECT query needs at least one triple pattern")
+        if self.limit is not None and self.limit <= 0:
+            raise KnowledgeGraphError("LIMIT must be positive")
+        pattern_vars: Set[str] = set()
+        for pattern in self.patterns:
+            pattern_vars |= pattern.variables()
+        unknown = [v for v in self.variables if variable_name(v) not in pattern_vars]
+        if unknown:
+            raise KnowledgeGraphError(f"projected variables not used in any pattern: {unknown}")
+
+    def describe(self) -> str:
+        head = "SELECT " + ("DISTINCT " if self.distinct else "") + " ".join(self.variables)
+        body = " ".join(pattern.describe() for pattern in self.patterns)
+        tail = f" LIMIT {self.limit}" if self.limit is not None else ""
+        return f"{head} WHERE {{ {body} }}{tail}"
+
+
+class QueryEngine:
+    """Evaluates :class:`SelectQuery` objects against a knowledge graph."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self._graph = graph
+
+    # ------------------------------------------------------------------ #
+    # Triple-pattern matching
+    # ------------------------------------------------------------------ #
+    def _match_pattern(self, pattern: TriplePattern) -> Iterator[Binding]:
+        """Yield bindings for one (possibly partially bound) pattern."""
+        graph = self._graph
+        s_var = is_variable(pattern.subject)
+        p_var = is_variable(pattern.predicate)
+        o_var = is_variable(pattern.object)
+
+        def emit(subject: str, predicate: str, obj: str) -> Binding:
+            binding: Binding = {}
+            if s_var:
+                binding[variable_name(pattern.subject)] = subject
+            if p_var:
+                binding[variable_name(pattern.predicate)] = predicate
+            if o_var:
+                binding[variable_name(pattern.object)] = obj
+            return binding
+
+        # rdf:type patterns use the dedicated type index.
+        if not p_var and pattern.predicate == RDF_TYPE:
+            if not o_var:
+                subjects = graph.entities_of_type(pattern.object) if s_var else (
+                    {pattern.subject} if pattern.object in graph.types_of(pattern.subject) else set()
+                )
+                for subject in sorted(subjects):
+                    yield emit(subject, RDF_TYPE, pattern.object)
+            else:
+                subjects = graph.entities() if s_var else {pattern.subject}
+                for subject in sorted(subjects):
+                    for type_id in sorted(graph.types_of(subject)):
+                        yield emit(subject, RDF_TYPE, type_id)
+            return
+
+        if not p_var:
+            predicate = pattern.predicate
+            if not s_var and not o_var:
+                matched = pattern.object in graph.objects(pattern.subject, predicate)
+                attribute_match = pattern.object in graph.attributes_of(pattern.subject).get(predicate, [])
+                if matched or attribute_match:
+                    yield emit(pattern.subject, predicate, pattern.object)
+                return
+            if not s_var:
+                for obj in sorted(graph.objects(pattern.subject, predicate)):
+                    yield emit(pattern.subject, predicate, obj)
+                for value in graph.attributes_of(pattern.subject).get(predicate, []):
+                    yield emit(pattern.subject, predicate, value)
+                return
+            if not o_var:
+                for subject in sorted(graph.subjects(predicate, pattern.object)):
+                    yield emit(subject, predicate, pattern.object)
+                return
+            # Both subject and object are variables.
+            for obj in sorted(graph.objects_of_predicate(predicate)):
+                for subject in sorted(graph.subjects(predicate, obj)):
+                    yield emit(subject, predicate, obj)
+            return
+
+        # Variable predicate: enumerate edges around bound endpoints, or all edges.
+        if not s_var:
+            for predicate, obj in self._graph.outgoing(pattern.subject):
+                if o_var or obj == pattern.object:
+                    yield emit(pattern.subject, predicate, obj)
+            for predicate, values in self._graph.attributes_of(pattern.subject).items():
+                for value in values:
+                    if o_var or value == pattern.object:
+                        yield emit(pattern.subject, predicate, value)
+            return
+        if not o_var:
+            for predicate, subject in self._graph.incoming(pattern.object):
+                yield emit(subject, predicate, pattern.object)
+            return
+        for triple in self._graph.triples:
+            if triple.is_entity_edge:
+                yield emit(triple.subject, triple.predicate, triple.object)  # type: ignore[arg-type]
+
+    def _pattern_selectivity(self, pattern: TriplePattern, bound_vars: Set[str]) -> int:
+        """Lower = more selective; used to order the join."""
+        score = 0
+        for term in (pattern.subject, pattern.predicate, pattern.object):
+            if is_variable(term) and variable_name(term) not in bound_vars:
+                score += 1
+        return score
+
+    # ------------------------------------------------------------------ #
+    # Query evaluation
+    # ------------------------------------------------------------------ #
+    def solve(self, query: SelectQuery) -> List[Binding]:
+        """Evaluate a SELECT query and return projected bindings."""
+        bindings: List[Binding] = [{}]
+        remaining = list(query.patterns)
+        while remaining:
+            bound_vars: Set[str] = set()
+            for binding in bindings:
+                bound_vars |= set(binding)
+            remaining.sort(key=lambda p: self._pattern_selectivity(p, bound_vars))
+            pattern = remaining.pop(0)
+            next_bindings: List[Binding] = []
+            for binding in bindings:
+                for match in self._match_pattern(pattern.bound(binding)):
+                    merged = dict(binding)
+                    conflict = False
+                    for variable, value in match.items():
+                        if variable in merged and merged[variable] != value:
+                            conflict = True
+                            break
+                        merged[variable] = value
+                    if not conflict:
+                        next_bindings.append(merged)
+            bindings = next_bindings
+            if not bindings:
+                return []
+
+        for filter_ in query.filters:
+            bindings = [b for b in bindings if filter_.accepts(self._graph, b)]
+
+        projected: List[Binding] = []
+        seen: Set[Tuple[Tuple[str, str], ...]] = set()
+        for binding in bindings:
+            row = {variable_name(v): binding.get(variable_name(v), "") for v in query.variables}
+            if query.distinct:
+                key = tuple(sorted(row.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+            projected.append(row)
+            if query.limit is not None and len(projected) >= query.limit:
+                break
+        return projected
+
+    def select(
+        self,
+        variables: Sequence[str],
+        patterns: Sequence[Tuple[str, str, str]],
+        filters: Sequence[Filter] = (),
+        distinct: bool = True,
+        limit: Optional[int] = None,
+    ) -> List[Binding]:
+        """Convenience wrapper building and solving a :class:`SelectQuery`."""
+        query = SelectQuery(
+            variables=tuple(variables),
+            patterns=tuple(TriplePattern(*pattern) for pattern in patterns),
+            filters=tuple(filters),
+            distinct=distinct,
+            limit=limit,
+        )
+        return self.solve(query)
+
+    def ask(self, patterns: Sequence[Tuple[str, str, str]]) -> bool:
+        """ASK-style query: does the basic graph pattern have any solution?"""
+        pattern_objects = tuple(TriplePattern(*pattern) for pattern in patterns)
+        all_vars = sorted({f"?{v}" for p in pattern_objects for v in p.variables()})
+        if not all_vars:
+            # Fully ground pattern: evaluate with an empty projection.
+            probe = SelectQuery(variables=(), patterns=pattern_objects, limit=1)
+            return bool(self.solve(probe))
+        query = SelectQuery(variables=tuple(all_vars), patterns=pattern_objects, limit=1)
+        return bool(self.solve(query))

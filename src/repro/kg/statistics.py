@@ -1,0 +1,165 @@
+"""Descriptive statistics over a knowledge graph.
+
+The statistics serve two purposes: they power the dataset summaries printed
+by the examples and benchmarks, and they expose the *statistical coupling of
+types via relations* that the paper's introduction describes (films and
+actors coupled via ``starring``) — the quantity the pivot operation exploits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from .graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Aggregate statistics of a knowledge graph."""
+
+    name: str
+    num_triples: int
+    num_entities: int
+    num_edges: int
+    num_literals: int
+    num_types: int
+    num_edge_predicates: int
+    num_categories: int
+    type_histogram: Mapping[str, int] = field(default_factory=dict)
+    predicate_histogram: Mapping[str, int] = field(default_factory=dict)
+    avg_out_degree: float = 0.0
+    avg_in_degree: float = 0.0
+    max_degree: int = 0
+
+    def summary(self, top: int = 8) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"Knowledge graph: {self.name}",
+            f"  triples           : {self.num_triples}",
+            f"  entities          : {self.num_entities}",
+            f"  entity edges      : {self.num_edges}",
+            f"  literal attributes: {self.num_literals}",
+            f"  types             : {self.num_types}",
+            f"  edge predicates   : {self.num_edge_predicates}",
+            f"  categories        : {self.num_categories}",
+            f"  avg out-degree    : {self.avg_out_degree:.2f}",
+            f"  avg in-degree     : {self.avg_in_degree:.2f}",
+            f"  max degree        : {self.max_degree}",
+        ]
+        if self.type_histogram:
+            lines.append("  largest types:")
+            for type_id, count in Counter(self.type_histogram).most_common(top):
+                lines.append(f"    {type_id:<30} {count}")
+        if self.predicate_histogram:
+            lines.append("  most frequent predicates:")
+            for predicate, count in Counter(self.predicate_histogram).most_common(top):
+                lines.append(f"    {predicate:<30} {count}")
+        return "\n".join(lines)
+
+
+def compute_statistics(graph: KnowledgeGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for a graph."""
+    num_literals = sum(1 for triple in graph.triples if triple.is_literal)
+    type_histogram = {type_id: graph.type_count(type_id) for type_id in graph.types()}
+    predicate_histogram = {
+        predicate: graph.predicate_frequency(predicate)
+        for predicate in graph.edge_predicates()
+    }
+    out_degrees: List[int] = []
+    in_degrees: List[int] = []
+    max_degree = 0
+    for entity in graph.entities():
+        out_d = len(graph.outgoing(entity))
+        in_d = len(graph.incoming(entity))
+        out_degrees.append(out_d)
+        in_degrees.append(in_d)
+        max_degree = max(max_degree, out_d + in_d)
+    num_entities = graph.num_entities()
+    return GraphStatistics(
+        name=graph.name,
+        num_triples=len(graph),
+        num_entities=num_entities,
+        num_edges=graph.num_edges(),
+        num_literals=num_literals,
+        num_types=len(graph.types()),
+        num_edge_predicates=len(graph.edge_predicates()),
+        num_categories=len({c for e in graph.entities() for c in graph.categories_of(e)}),
+        type_histogram=type_histogram,
+        predicate_histogram=predicate_histogram,
+        avg_out_degree=(sum(out_degrees) / num_entities) if num_entities else 0.0,
+        avg_in_degree=(sum(in_degrees) / num_entities) if num_entities else 0.0,
+        max_degree=max_degree,
+    )
+
+
+@dataclass(frozen=True)
+class TypeCoupling:
+    """Statistical coupling of two entity types via a predicate.
+
+    ``strength`` is the fraction of instances of ``source_type`` that have at
+    least one ``predicate`` edge to an instance of ``target_type`` — the
+    quantity that makes "films are likely to be coupled with actors via
+    starring" precise.
+    """
+
+    source_type: str
+    predicate: str
+    target_type: str
+    edge_count: int
+    strength: float
+
+
+def type_couplings(graph: KnowledgeGraph, min_strength: float = 0.0) -> List[TypeCoupling]:
+    """Compute all type couplings present in the graph.
+
+    Returns couplings sorted by descending strength then edge count; the list
+    is what the entity-type view of Fig 1-b summarises.
+    """
+    pair_edges: Dict[Tuple[str, str, str], int] = defaultdict(int)
+    pair_sources: Dict[Tuple[str, str, str], set] = defaultdict(set)
+    for predicate in graph.edge_predicates():
+        for obj in graph.objects_of_predicate(predicate):
+            target_types = graph.types_of(obj) or {""}
+            for subject in graph.subjects(predicate, obj):
+                source_types = graph.types_of(subject) or {""}
+                for source_type in source_types:
+                    for target_type in target_types:
+                        key = (source_type, predicate, target_type)
+                        pair_edges[key] += 1
+                        pair_sources[key].add(subject)
+    couplings: List[TypeCoupling] = []
+    for (source_type, predicate, target_type), count in pair_edges.items():
+        population = graph.type_count(source_type) if source_type else graph.num_entities()
+        strength = len(pair_sources[(source_type, predicate, target_type)]) / population if population else 0.0
+        if strength >= min_strength:
+            couplings.append(
+                TypeCoupling(
+                    source_type=source_type,
+                    predicate=predicate,
+                    target_type=target_type,
+                    edge_count=count,
+                    strength=strength,
+                )
+            )
+    couplings.sort(key=lambda c: (-c.strength, -c.edge_count, c.source_type, c.predicate, c.target_type))
+    return couplings
+
+
+def type_distribution_of_neighbours(graph: KnowledgeGraph, entity_id: str) -> Dict[str, int]:
+    """Distribution of neighbour types around one entity (Fig 1-b).
+
+    For ``dbr:Forrest_Gump`` this yields e.g. ``{"dbo:Actor": 5,
+    "dbo:Director": 1, ...}`` — the "possible search directions" the paper
+    highlights.
+    """
+    distribution: Dict[str, int] = defaultdict(int)
+    for neighbour in graph.neighbours(entity_id):
+        types = graph.types_of(neighbour)
+        if not types:
+            distribution["(untyped)"] += 1
+            continue
+        dominant = graph.dominant_type(neighbour)
+        distribution[dominant] += 1
+    return dict(distribution)

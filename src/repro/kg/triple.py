@@ -1,0 +1,116 @@
+"""Triple and literal primitives of the RDF knowledge-graph substrate.
+
+The paper represents the KG as a set of triples ``<s, p, o>``.  Subjects and
+predicates are always identifiers (CURIEs or IRIs); objects are either
+identifiers (object properties, i.e. edges between entities) or literals
+(datatype properties such as ``"142 minutes"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..exceptions import InvalidTripleError
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value attached to an entity.
+
+    Parameters
+    ----------
+    value:
+        The lexical form, e.g. ``"142 minutes"`` or ``"1994"``.
+    datatype:
+        Optional datatype tag (``"string"``, ``"integer"``, ``"float"``,
+        ``"date"``); purely informational.
+    language:
+        Optional BCP-47 language tag, e.g. ``"en"``.
+    """
+
+    value: str
+    datatype: str = "string"
+    language: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, str):
+            raise InvalidTripleError(
+                f"literal value must be a string, got {type(self.value).__name__}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: The object position of a triple: an entity identifier or a literal.
+TripleObject = Union[str, Literal]
+
+
+@dataclass(frozen=True)
+class Triple:
+    """An RDF triple ``<subject, predicate, object>``.
+
+    Examples
+    --------
+    >>> Triple("dbr:Forrest_Gump", "dbo:starring", "dbr:Tom_Hanks")
+    Triple(subject='dbr:Forrest_Gump', predicate='dbo:starring', object='dbr:Tom_Hanks')
+    >>> Triple("dbr:Forrest_Gump", "dbo:runtime", Literal("142 minutes"))
+    Triple(subject='dbr:Forrest_Gump', predicate='dbo:runtime', object=Literal(value='142 minutes', datatype='string', language=''))
+    """
+
+    subject: str
+    predicate: str
+    object: TripleObject
+
+    def __post_init__(self) -> None:
+        if not self.subject or not isinstance(self.subject, str):
+            raise InvalidTripleError(f"invalid subject: {self.subject!r}")
+        if not self.predicate or not isinstance(self.predicate, str):
+            raise InvalidTripleError(f"invalid predicate: {self.predicate!r}")
+        if isinstance(self.object, str):
+            if not self.object:
+                raise InvalidTripleError("object identifier must be non-empty")
+        elif not isinstance(self.object, Literal):
+            raise InvalidTripleError(
+                f"object must be an identifier or Literal, got {type(self.object).__name__}"
+            )
+
+    @property
+    def is_literal(self) -> bool:
+        """True when the object is a literal value."""
+        return isinstance(self.object, Literal)
+
+    @property
+    def is_entity_edge(self) -> bool:
+        """True when the object is an entity identifier (an edge in the KG)."""
+        return isinstance(self.object, str)
+
+    @property
+    def object_value(self) -> str:
+        """The object as a plain string (identifier or literal lexical form)."""
+        return self.object.value if isinstance(self.object, Literal) else self.object
+
+    def reversed(self) -> "Triple":
+        """Return the triple with subject and object swapped.
+
+        Only defined for entity edges; reversing a literal triple is
+        meaningless and raises :class:`InvalidTripleError`.
+        """
+        if not self.is_entity_edge:
+            raise InvalidTripleError("cannot reverse a literal triple")
+        return Triple(subject=self.object, predicate=self.predicate, object=self.subject)  # type: ignore[arg-type]
+
+    def as_tuple(self) -> tuple[str, str, TripleObject]:
+        """Return the triple as a plain ``(s, p, o)`` tuple."""
+        return (self.subject, self.predicate, self.object)
+
+    def __str__(self) -> str:
+        if self.is_literal:
+            return f'<{self.subject}, {self.predicate}, "{self.object_value}">'
+        return f"<{self.subject}, {self.predicate}, {self.object}>"
+
+
+def make_triple(subject: str, predicate: str, obj: TripleObject) -> Triple:
+    """Convenience constructor mirroring :class:`Triple` with validation."""
+    return Triple(subject=subject, predicate=predicate, object=obj)

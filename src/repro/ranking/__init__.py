@@ -1,0 +1,33 @@
+"""The recommendation engine's ranking models (paper §2.3)."""
+
+from .baselines import (
+    BaselineRanker,
+    CoOccurrenceRanker,
+    JaccardRanker,
+    PersonalizedPageRankRanker,
+    make_baselines,
+)
+from .correlation import CorrelationMatrix, build_correlation_matrix
+from .diversification import DiversifiedEntity, MMRDiversifier, coverage, jaccard
+from .entity_ranking import EntityRanker, ScoredEntity
+from .probability import FeatureProbabilityModel
+from .sf_ranking import ScoredFeature, SemanticFeatureRanker
+
+__all__ = [
+    "BaselineRanker",
+    "CoOccurrenceRanker",
+    "CorrelationMatrix",
+    "DiversifiedEntity",
+    "EntityRanker",
+    "FeatureProbabilityModel",
+    "JaccardRanker",
+    "MMRDiversifier",
+    "PersonalizedPageRankRanker",
+    "ScoredEntity",
+    "ScoredFeature",
+    "SemanticFeatureRanker",
+    "build_correlation_matrix",
+    "coverage",
+    "jaccard",
+    "make_baselines",
+]

@@ -1,0 +1,89 @@
+"""Entity-feature correlation used by the explanation heat map.
+
+The paper visualises "the correlation of entities and semantic features in
+the form of a heat map" divided into seven levels (§2.3.2, Fig 3-f).  The
+correlation of an entity ``e`` with a feature ``pi`` under query ``Q`` is
+the entity's contribution for that feature in the ranking model:
+
+    corr(e, pi; Q) = p(pi | e) * r(pi, Q)
+
+which is exactly one addend of ``r(e, Q)``.  The heat map therefore *is* a
+visual decomposition of the entity ranking, which is what lets users
+"understand the recommendation of the system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..features import SemanticFeature
+from .entity_ranking import ScoredEntity
+from .probability import FeatureProbabilityModel
+from .sf_ranking import ScoredFeature
+
+
+@dataclass(frozen=True)
+class CorrelationMatrix:
+    """A dense entity x feature correlation matrix.
+
+    Rows are entities (the x-axis of the UI), columns are semantic features
+    (the y-axis); ``values[i, j]`` is the raw correlation of entity ``i``
+    with feature ``j``.
+    """
+
+    entities: Tuple[str, ...]
+    features: Tuple[SemanticFeature, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (len(self.entities), len(self.features))
+        if self.values.shape != expected:
+            raise ValueError(
+                f"matrix shape {self.values.shape} does not match "
+                f"{len(self.entities)} entities x {len(self.features)} features"
+            )
+
+    def value(self, entity_id: str, feature: SemanticFeature) -> float:
+        """The correlation of one (entity, feature) cell."""
+        row = self.entities.index(entity_id)
+        column = self.features.index(feature)
+        return float(self.values[row, column])
+
+    def entity_row(self, entity_id: str) -> Dict[str, float]:
+        """All feature correlations of one entity, keyed by notation."""
+        row = self.entities.index(entity_id)
+        return {
+            feature.notation(): float(self.values[row, column])
+            for column, feature in enumerate(self.features)
+        }
+
+    def feature_column(self, feature: SemanticFeature) -> Dict[str, float]:
+        """All entity correlations of one feature."""
+        column = self.features.index(feature)
+        return {
+            entity: float(self.values[row, column])
+            for row, entity in enumerate(self.entities)
+        }
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.entities), len(self.features))
+
+
+def build_correlation_matrix(
+    probability_model: FeatureProbabilityModel,
+    scored_entities: Sequence[ScoredEntity],
+    scored_features: Sequence[ScoredFeature],
+) -> CorrelationMatrix:
+    """Build the correlation matrix for ranked entities and features."""
+    entities = tuple(entity.entity_id for entity in scored_entities)
+    features = tuple(scored.feature for scored in scored_features)
+    values = np.zeros((len(entities), len(features)), dtype=float)
+    for row, entity_id in enumerate(entities):
+        for column, scored in enumerate(scored_features):
+            probability = probability_model.probability(scored.feature, entity_id)
+            values[row, column] = probability * scored.score
+    return CorrelationMatrix(entities=entities, features=features, values=values)

@@ -1,0 +1,148 @@
+"""The ranking model of entities (§2.3.2).
+
+The relevance of a candidate entity ``e`` to a query ``Q`` combines, over
+the query's ranked semantic features ``Phi(Q)``, how likely ``e`` is to hold
+each feature and how relevant the feature itself is to the query:
+
+    r(e, Q) = sum_{pi in Phi(Q)} p(pi | e) * r(pi, Q)
+
+The same ``p(pi | e)`` model (with type smoothing) is shared with the
+semantic-feature ranker, so an entity of the right type that is missing one
+edge still receives partial credit — the "error-tolerant" behaviour the
+paper emphasises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..config import RankingConfig
+from ..exceptions import NoSeedEntitiesError
+from ..features import SemanticFeature, SemanticFeatureIndex, candidate_entities
+from ..kg import KnowledgeGraph
+from .probability import FeatureProbabilityModel
+from .sf_ranking import ScoredFeature, SemanticFeatureRanker
+
+
+@dataclass(frozen=True)
+class ScoredEntity:
+    """A ranked entity with its per-feature score contributions."""
+
+    entity_id: str
+    score: float
+    contributions: Mapping[str, float]
+
+    def top_contributions(self, k: int = 5) -> List[tuple[str, float]]:
+        """The ``k`` features contributing most to the score."""
+        ranked = sorted(self.contributions.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "entity": self.entity_id,
+            "score": self.score,
+            "contributions": dict(self.contributions),
+        }
+
+
+class EntityRanker:
+    """Ranks candidate entities against a seed-set query (the x-axis)."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        feature_index: SemanticFeatureIndex,
+        config: Optional[RankingConfig] = None,
+        feature_ranker: Optional[SemanticFeatureRanker] = None,
+    ) -> None:
+        self._graph = graph
+        self._index = feature_index
+        self._config = config or RankingConfig()
+        self._feature_ranker = feature_ranker or SemanticFeatureRanker(
+            graph, feature_index, config=self._config
+        )
+        self._probability: FeatureProbabilityModel = self._feature_ranker.probability_model
+
+    @property
+    def feature_ranker(self) -> SemanticFeatureRanker:
+        """The semantic-feature ranker this entity ranker builds on."""
+        return self._feature_ranker
+
+    # ------------------------------------------------------------------ #
+    # Candidate generation
+    # ------------------------------------------------------------------ #
+    def candidates(
+        self, seeds: Sequence[str], scored_features: Sequence[ScoredFeature]
+    ) -> List[str]:
+        """Candidate entities: anything matching a query feature, minus seeds."""
+        features = [scored.feature for scored in scored_features]
+        return candidate_entities(
+            self._graph,
+            features,
+            exclude=seeds,
+            limit=self._config.max_candidates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score_entity(
+        self, entity_id: str, scored_features: Sequence[ScoredFeature]
+    ) -> ScoredEntity:
+        """``r(e, Q) = sum_pi p(pi|e) * r(pi, Q)`` with per-feature detail."""
+        contributions: Dict[str, float] = {}
+        total = 0.0
+        for scored in scored_features:
+            probability = self._probability.probability(scored.feature, entity_id)
+            contribution = probability * scored.score
+            if contribution > 0.0:
+                contributions[scored.feature.notation()] = contribution
+            total += contribution
+        return ScoredEntity(entity_id=entity_id, score=total, contributions=contributions)
+
+    def rank(
+        self,
+        seeds: Sequence[str],
+        top_k: Optional[int] = None,
+        scored_features: Optional[Sequence[ScoredFeature]] = None,
+        candidates: Optional[Sequence[str]] = None,
+    ) -> List[ScoredEntity]:
+        """Rank entities similar to the seed set.
+
+        The method mirrors the two-stage process of §2.3: semantic features
+        are ranked first (or supplied by the caller), then candidate
+        entities are scored against those ranked features.
+        """
+        if not seeds:
+            raise NoSeedEntitiesError("cannot rank entities for an empty seed set")
+        for seed in seeds:
+            self._graph.require_entity(seed)
+        top_k = top_k or self._config.top_entities
+        if scored_features is None:
+            scored_features = self._feature_ranker.rank(seeds)
+        if candidates is None:
+            candidates = self.candidates(seeds, scored_features)
+        scored = [self.score_entity(entity_id, scored_features) for entity_id in candidates]
+        scored.sort(key=lambda item: (-item.score, item.entity_id))
+        return scored[:top_k]
+
+    def rank_with_features(
+        self,
+        seeds: Sequence[str],
+        top_entities: Optional[int] = None,
+        top_features: Optional[int] = None,
+    ) -> tuple[List[ScoredEntity], List[ScoredFeature]]:
+        """Rank both entities and features for a query in one call.
+
+        This is the recommendation-engine entry point the PivotE facade
+        uses: the returned pair is exactly the x-axis and y-axis of the
+        matrix interface.
+        """
+        if not seeds:
+            raise NoSeedEntitiesError("cannot rank an empty seed set")
+        scored_features = self._feature_ranker.rank(seeds, top_k=top_features)
+        scored_entities = self.rank(
+            seeds, top_k=top_entities, scored_features=scored_features
+        )
+        return scored_entities, scored_features

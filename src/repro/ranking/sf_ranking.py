@@ -1,0 +1,163 @@
+"""The ranking model of semantic features (§2.3.1).
+
+The relevance of a semantic feature ``pi`` to a query ``Q`` (a set of seed
+entities) is the product of its *discriminability* and its *commonality*:
+
+    r(pi, Q) = d(pi) * c(pi, Q)
+
+* discriminability ``d(pi) = 1 / ||E(pi)||`` — an IDF-style weight that
+  damps features shared by many entities;
+* commonality ``c(pi, Q) = prod_{e in Q} p(pi | e)`` — how consistently the
+  seeds hold (or, via type smoothing, are expected to hold) the feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import RankingConfig
+from ..exceptions import NoSeedEntitiesError
+from ..features import SemanticFeature, SemanticFeatureIndex
+from ..kg import KnowledgeGraph
+from .probability import FeatureProbabilityModel
+
+
+@dataclass(frozen=True)
+class ScoredFeature:
+    """A ranked semantic feature with its score decomposition."""
+
+    feature: SemanticFeature
+    score: float
+    discriminability: float
+    commonality: float
+    seed_probabilities: Mapping[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "feature": self.feature.notation(),
+            "score": self.score,
+            "discriminability": self.discriminability,
+            "commonality": self.commonality,
+            "seed_probabilities": dict(self.seed_probabilities),
+        }
+
+
+class SemanticFeatureRanker:
+    """Ranks the semantic features of a seed set (the y-axis of the matrix)."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        feature_index: SemanticFeatureIndex,
+        config: Optional[RankingConfig] = None,
+        probability_model: Optional[FeatureProbabilityModel] = None,
+    ) -> None:
+        self._graph = graph
+        self._index = feature_index
+        self._config = config or RankingConfig()
+        self._probability = probability_model or FeatureProbabilityModel(
+            graph,
+            feature_index,
+            type_smoothing=self._config.type_smoothing,
+            epsilon=self._config.epsilon,
+        )
+
+    @property
+    def probability_model(self) -> FeatureProbabilityModel:
+        """The shared ``p(pi|e)`` model (reused by the entity ranker)."""
+        return self._probability
+
+    # ------------------------------------------------------------------ #
+    # Score components
+    # ------------------------------------------------------------------ #
+    def discriminability(self, feature: SemanticFeature) -> float:
+        """``d(pi) = 1 / ||E(pi)||`` (0 for features matching nothing)."""
+        count = self._index.matching_count(feature)
+        if count == 0:
+            return 0.0
+        return 1.0 / count
+
+    def commonality(self, feature: SemanticFeature, seeds: Sequence[str]) -> float:
+        """``c(pi, Q) = prod_{e in Q} p(pi | e)``."""
+        product = 1.0
+        for seed in seeds:
+            product *= self._probability.probability(feature, seed)
+        return product
+
+    def score_feature(self, feature: SemanticFeature, seeds: Sequence[str]) -> ScoredFeature:
+        """Compute the full score decomposition of one feature."""
+        if not seeds:
+            raise NoSeedEntitiesError("cannot score a feature against an empty seed set")
+        seed_probabilities = {
+            seed: self._probability.probability(feature, seed) for seed in seeds
+        }
+        commonality = 1.0
+        for probability in seed_probabilities.values():
+            commonality *= probability
+        discriminability = self.discriminability(feature)
+        score = 1.0
+        if self._config.use_discriminability:
+            score *= discriminability
+        if self._config.use_commonality:
+            score *= commonality
+        if not self._config.use_discriminability and not self._config.use_commonality:
+            score = 0.0
+        return ScoredFeature(
+            feature=feature,
+            score=score,
+            discriminability=discriminability,
+            commonality=commonality,
+            seed_probabilities=seed_probabilities,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ranking
+    # ------------------------------------------------------------------ #
+    def candidate_features(self, seeds: Sequence[str]) -> List[SemanticFeature]:
+        """The feature pool ``Phi(Q)``: features held by at least one seed.
+
+        Features anchored at a seed itself are excluded — recommending
+        ``Forrest_Gump:starring`` back to a query seeded with Forrest Gump
+        would be circular.
+        """
+        if not seeds:
+            raise NoSeedEntitiesError("cannot derive features from an empty seed set")
+        seed_set = set(seeds)
+        holders = self._index.features_of_any(seeds)
+        features = [feature for feature in holders if feature.anchor not in seed_set]
+        features.sort()
+        if len(features) > self._config.max_features:
+            # Keep the features shared by the most seeds (ties by notation
+            # for determinism) so that truncation is stable and meaningful.
+            features.sort(key=lambda f: (-len(holders[f]), f.notation()))
+            features = features[: self._config.max_features]
+            features.sort()
+        return features
+
+    def rank(
+        self,
+        seeds: Sequence[str],
+        top_k: Optional[int] = None,
+        candidates: Optional[Sequence[SemanticFeature]] = None,
+    ) -> List[ScoredFeature]:
+        """Rank semantic features for a seed set.
+
+        Parameters
+        ----------
+        seeds:
+            The example entities of the query ``Q``.
+        top_k:
+            Number of features to return (defaults to the config value).
+        candidates:
+            Optional explicit feature pool; by default ``Phi(Q)`` is used.
+        """
+        if not seeds:
+            raise NoSeedEntitiesError("cannot rank features for an empty seed set")
+        for seed in seeds:
+            self._graph.require_entity(seed)
+        top_k = top_k or self._config.top_features
+        pool = list(candidates) if candidates is not None else self.candidate_features(seeds)
+        scored = [self.score_feature(feature, seeds) for feature in pool]
+        scored.sort(key=lambda item: (-item.score, item.feature.notation()))
+        return scored[:top_k]

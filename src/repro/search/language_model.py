@@ -1,0 +1,88 @@
+"""Query-likelihood language models with smoothing.
+
+The search engine scores an entity document by the probability that its
+(field) language model generates the query terms [Ponte & Croft 1998].  Two
+standard smoothing strategies are provided:
+
+* **Dirichlet**: ``p(t|d) = (tf + mu * p(t|C)) / (|d| + mu)``
+* **Jelinek-Mercer**: ``p(t|d) = (1 - lambda) * tf/|d| + lambda * p(t|C)``
+
+Both return genuine probabilities (never zero as long as the collection
+probability is positive), which the mixture model of :mod:`repro.search.mlm`
+then combines across fields.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SmoothingParams:
+    """Parameters of the smoothing strategies."""
+
+    method: str = "dirichlet"
+    dirichlet_mu: float = 100.0
+    jm_lambda: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.method not in ("dirichlet", "jelinek-mercer"):
+            raise ValueError(f"unknown smoothing method: {self.method!r}")
+        if self.dirichlet_mu <= 0:
+            raise ValueError("dirichlet_mu must be positive")
+        if not 0.0 <= self.jm_lambda <= 1.0:
+            raise ValueError("jm_lambda must lie in [0, 1]")
+
+
+def dirichlet_probability(
+    term_frequency: int,
+    document_length: int,
+    collection_probability: float,
+    mu: float,
+) -> float:
+    """Dirichlet-smoothed ``p(term | document)``."""
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    numerator = term_frequency + mu * collection_probability
+    denominator = document_length + mu
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def jelinek_mercer_probability(
+    term_frequency: int,
+    document_length: int,
+    collection_probability: float,
+    lam: float,
+) -> float:
+    """Jelinek-Mercer-smoothed ``p(term | document)``."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lambda must lie in [0, 1]")
+    if document_length > 0:
+        maximum_likelihood = term_frequency / document_length
+    else:
+        maximum_likelihood = 0.0
+    return (1.0 - lam) * maximum_likelihood + lam * collection_probability
+
+
+def smoothed_probability(
+    term_frequency: int,
+    document_length: int,
+    collection_probability: float,
+    params: SmoothingParams,
+) -> float:
+    """Dispatch to the configured smoothing strategy."""
+    if params.method == "dirichlet":
+        return dirichlet_probability(
+            term_frequency, document_length, collection_probability, params.dirichlet_mu
+        )
+    return jelinek_mercer_probability(
+        term_frequency, document_length, collection_probability, params.jm_lambda
+    )
+
+
+def log_probability(probability: float, floor: float = 1e-12) -> float:
+    """Safe log of a probability, flooring at ``floor`` to avoid -inf."""
+    return math.log(max(probability, floor))

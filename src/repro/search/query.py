@@ -1,0 +1,99 @@
+"""Keyword query parsing for the entity search engine.
+
+The demo's query area (Fig 3-a) accepts free keyword text.  The parser
+normalizes it, optionally honours a small amount of structure
+(``field:term`` restrictions and quoted phrases) and produces the term
+multiset the retrieval models consume.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..config import DEFAULT_FIELDS
+from ..exceptions import EmptyQueryError
+from ..text import TEXT_ANALYZER, Analyzer, NAME_ANALYZER
+
+_PHRASE = re.compile(r'"([^"]*)"')
+_FIELDED = re.compile(r"(\w+):(\S+)")
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A parsed keyword query.
+
+    Attributes
+    ----------
+    raw:
+        The original query string.
+    terms:
+        The analyzed free-text terms (includes phrase terms).
+    phrases:
+        Quoted phrases, each as a tuple of analyzed terms.
+    field_restrictions:
+        ``field -> terms`` restrictions given as ``field:term`` tokens; only
+        fields of the five-field schema are accepted, others are treated as
+        ordinary text.
+    """
+
+    raw: str
+    terms: Tuple[str, ...]
+    phrases: Tuple[Tuple[str, ...], ...] = ()
+    field_restrictions: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.terms and not self.field_restrictions
+
+    def all_terms(self) -> List[str]:
+        """Free-text terms plus all field-restricted terms."""
+        result = list(self.terms)
+        for terms in self.field_restrictions.values():
+            result.extend(terms)
+        return result
+
+
+def parse_query(raw: str, analyzer: Analyzer = NAME_ANALYZER) -> KeywordQuery:
+    """Parse a keyword query string.
+
+    Raises
+    ------
+    EmptyQueryError
+        When the query contains no indexable terms at all.
+    """
+    text = raw or ""
+    phrases: List[Tuple[str, ...]] = []
+
+    def collect_phrase(match: re.Match[str]) -> str:
+        phrase_terms = tuple(analyzer.analyze_query(match.group(1)))
+        if phrase_terms:
+            phrases.append(phrase_terms)
+        return " " + " ".join(phrase_terms) + " "
+
+    text = _PHRASE.sub(collect_phrase, text)
+
+    field_restrictions: Dict[str, List[str]] = {}
+
+    def collect_fielded(match: re.Match[str]) -> str:
+        field_name, value = match.group(1).lower(), match.group(2)
+        if field_name in DEFAULT_FIELDS:
+            field_restrictions.setdefault(field_name, []).extend(
+                analyzer.analyze_query(value)
+            )
+            return " "
+        return match.group(0)
+
+    text = _FIELDED.sub(collect_fielded, text)
+
+    terms = tuple(analyzer.analyze_query(text))
+    query = KeywordQuery(
+        raw=raw,
+        terms=terms,
+        phrases=tuple(phrases),
+        field_restrictions={k: tuple(v) for k, v in field_restrictions.items() if v},
+    )
+    if query.is_empty:
+        raise EmptyQueryError(f"query contains no indexable terms: {raw!r}")
+    return query

@@ -1,0 +1,30 @@
+"""Text analysis: tokenization, normalization, stopwords and analyzers."""
+
+from .analyzer import Analyzer, NAME_ANALYZER, TEXT_ANALYZER
+from .normalize import (
+    light_stem,
+    normalize_text,
+    normalize_token,
+    split_camel_case,
+    strip_accents,
+)
+from .stopwords import ENGLISH_STOPWORDS, is_stopword, make_stopword_set
+from .tokenizer import character_ngrams, ngrams, tokenize, tokenize_all
+
+__all__ = [
+    "Analyzer",
+    "ENGLISH_STOPWORDS",
+    "NAME_ANALYZER",
+    "TEXT_ANALYZER",
+    "character_ngrams",
+    "is_stopword",
+    "light_stem",
+    "make_stopword_set",
+    "ngrams",
+    "normalize_text",
+    "normalize_token",
+    "split_camel_case",
+    "strip_accents",
+    "tokenize",
+    "tokenize_all",
+]

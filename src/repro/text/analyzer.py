@@ -1,0 +1,82 @@
+"""The analyzer pipeline: tokenize -> stopword-filter -> stem.
+
+Both the indexing side (five-field entity documents) and the query side use
+the same analyzer instance so that terms line up.  The analyzer is
+configurable because names benefit from keeping stopwords ("The Terminal")
+while attribute text does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List
+
+from .normalize import light_stem, normalize_token
+from .stopwords import ENGLISH_STOPWORDS
+from .tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """A configurable text analysis pipeline.
+
+    Parameters
+    ----------
+    remove_stopwords:
+        Drop stopwords after tokenization.
+    stem:
+        Apply the light plural stemmer.
+    min_token_length:
+        Tokens shorter than this are discarded (0 keeps everything).
+    stopwords:
+        The stopword set to use when ``remove_stopwords`` is on.
+    """
+
+    remove_stopwords: bool = True
+    stem: bool = True
+    min_token_length: int = 1
+    stopwords: FrozenSet[str] = field(default=ENGLISH_STOPWORDS)
+
+    def analyze(self, text: str) -> List[str]:
+        """Run the full pipeline on one string."""
+        tokens = tokenize(text)
+        result: List[str] = []
+        for token in tokens:
+            if self.remove_stopwords and token in self.stopwords:
+                continue
+            if self.stem:
+                token = light_stem(token)
+            if len(token) < self.min_token_length:
+                continue
+            result.append(token)
+        return result
+
+    def analyze_all(self, texts: Iterable[str]) -> List[str]:
+        """Run the pipeline over many strings, returning one flat list."""
+        tokens: List[str] = []
+        for text in texts:
+            tokens.extend(self.analyze(text))
+        return tokens
+
+    def analyze_query(self, query: str) -> List[str]:
+        """Analyze a keyword query.
+
+        Queries go through the same pipeline as documents, but a query that
+        consists *only* of stopwords falls back to un-filtered tokens so
+        that e.g. the query ``"The Who"`` still produces terms.
+        """
+        analyzed = self.analyze(query)
+        if analyzed:
+            return analyzed
+        fallback = [normalize_token(token) for token in tokenize(query)]
+        if self.stem:
+            fallback = [light_stem(token) for token in fallback]
+        return [token for token in fallback if token]
+
+
+#: Analyzer used for name-like fields: keeps stopwords, since names such as
+#: "The Terminal" or "The Who" are dominated by them.
+NAME_ANALYZER = Analyzer(remove_stopwords=False, stem=False)
+
+#: Analyzer used for descriptive text fields.
+TEXT_ANALYZER = Analyzer(remove_stopwords=True, stem=True)

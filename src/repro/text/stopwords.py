@@ -1,0 +1,55 @@
+"""English stopword list used by the text analyzer.
+
+The list is the classic short IR stopword set (close to the SMART/Lucene
+default).  It is exposed as a frozenset so that the analyzer can do O(1)
+membership checks and so that callers can extend it without mutating the
+shared default.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+#: Default English stopwords.
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at be
+    because been before being below between both but by can cannot could
+    did do does doing down during each few for from further had has have
+    having he her here hers herself him himself his how i if in into is it
+    its itself just me more most my myself no nor not now of off on once
+    only or other our ours ourselves out over own same she should so some
+    such than that the their theirs them themselves then there these they
+    this those through to too under until up very was we were what when
+    where which while who whom why will with you your yours yourself
+    yourselves
+    """.split()
+)
+
+
+def make_stopword_set(
+    extra: Iterable[str] = (),
+    remove: Iterable[str] = (),
+    base: FrozenSet[str] = ENGLISH_STOPWORDS,
+) -> FrozenSet[str]:
+    """Build a customised stopword set from the default list.
+
+    Parameters
+    ----------
+    extra:
+        Additional words to treat as stopwords (lower-cased automatically).
+    remove:
+        Words to drop from the base list (e.g. ``"will"`` when indexing
+        people named Will).
+    base:
+        The starting set, by default :data:`ENGLISH_STOPWORDS`.
+    """
+    result = set(base)
+    result.update(word.lower() for word in extra)
+    result.difference_update(word.lower() for word in remove)
+    return frozenset(result)
+
+
+def is_stopword(token: str, stopwords: FrozenSet[str] = ENGLISH_STOPWORDS) -> bool:
+    """True when ``token`` (case-insensitively) is a stopword."""
+    return token.lower() in stopwords

@@ -1,0 +1,45 @@
+"""Tokenization of entity labels, literals and keyword queries."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .normalize import normalize_text
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a string into normalized tokens.
+
+    >>> tokenize("Forrest_Gump (1994 film)")
+    ['forrest', 'gump', '1994', 'film']
+    """
+    if not text:
+        return []
+    return normalize_text(text).split()
+
+
+def tokenize_all(texts: Iterable[str]) -> List[str]:
+    """Tokenize an iterable of strings into one flat token list."""
+    tokens: List[str] = []
+    for text in texts:
+        tokens.extend(tokenize(text))
+    return tokens
+
+
+def ngrams(tokens: List[str], n: int) -> List[tuple[str, ...]]:
+    """Return the list of ``n``-grams over a token sequence."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def character_ngrams(text: str, n: int = 3) -> List[str]:
+    """Character n-grams of the normalized text, used for fuzzy matching."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    normalized = "".join(normalize_text(text).split())
+    if len(normalized) < n:
+        return [normalized] if normalized else []
+    return [normalized[i : i + n] for i in range(len(normalized) - n + 1)]

@@ -1,0 +1,37 @@
+"""Visualisation layer: heat map, matrix view, profiles, path rendering, export."""
+
+from .export import (
+    heatmap_to_dict,
+    matrix_view_to_dict,
+    path_to_dict,
+    recommendation_to_dict,
+    session_to_dict,
+    write_json,
+)
+from .heatmap import Heatmap, build_heatmap
+from .matrix_view import LEVEL_GLYPHS, MatrixView, build_matrix_view, render_matrix_ascii
+from .path_render import render_path_ascii, render_path_mermaid
+from .profile import entity_profile, profile_as_dict, render_profile_text
+from .svg import render_heatmap_svg, render_path_svg
+
+__all__ = [
+    "Heatmap",
+    "LEVEL_GLYPHS",
+    "MatrixView",
+    "build_heatmap",
+    "build_matrix_view",
+    "entity_profile",
+    "heatmap_to_dict",
+    "matrix_view_to_dict",
+    "path_to_dict",
+    "profile_as_dict",
+    "recommendation_to_dict",
+    "render_heatmap_svg",
+    "render_matrix_ascii",
+    "render_path_ascii",
+    "render_path_svg",
+    "render_path_mermaid",
+    "render_profile_text",
+    "session_to_dict",
+    "write_json",
+]

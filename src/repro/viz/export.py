@@ -1,0 +1,91 @@
+"""JSON export of every UI artefact.
+
+The original PivotE front end is a web application; this module produces the
+JSON payloads such a front end would consume — the matrix (entities,
+features, heat-map levels), the exploratory path and the timeline — so the
+computed artefacts of the demo are fully serialisable and testable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..explore import ExplorationPath, ExplorationSession, Recommendation
+from .heatmap import Heatmap
+from .matrix_view import MatrixView
+
+_PathLike = Union[str, Path]
+
+
+def matrix_view_to_dict(view: MatrixView) -> Dict[str, object]:
+    """JSON payload of the matrix interface (Fig 3-c, e, f)."""
+    return {
+        "query": view.query_description,
+        "entities": [
+            {
+                "id": entity.entity_id,
+                "label": view.entity_labels.get(entity.entity_id, entity.entity_id),
+                "score": entity.score,
+            }
+            for entity in view.entities
+        ],
+        "features": [
+            {
+                "notation": scored.feature.notation(),
+                "description": view.feature_descriptions.get(
+                    scored.feature.notation(), scored.feature.notation()
+                ),
+                "score": scored.score,
+                "discriminability": scored.discriminability,
+                "commonality": scored.commonality,
+            }
+            for scored in view.features
+        ],
+        "heatmap": heatmap_to_dict(view.heatmap),
+    }
+
+
+def heatmap_to_dict(heatmap: Heatmap) -> Dict[str, object]:
+    """JSON payload of the heat map: levels per (entity, feature) cell."""
+    return {
+        "num_levels": heatmap.num_levels,
+        "entities": list(heatmap.entities),
+        "features": list(heatmap.feature_notations),
+        "levels": heatmap.levels.tolist(),
+        "thresholds": list(heatmap.thresholds),
+    }
+
+
+def recommendation_to_dict(recommendation: Recommendation) -> Dict[str, object]:
+    """JSON payload of a raw recommendation (before heat-map bucketing)."""
+    return {
+        "query": recommendation.query.describe(),
+        "entities": [entity.as_dict() for entity in recommendation.entities],
+        "features": [scored.as_dict() for scored in recommendation.features],
+    }
+
+
+def path_to_dict(path: ExplorationPath) -> Dict[str, object]:
+    """JSON payload of the exploratory path (Fig 4)."""
+    return path.as_dict()
+
+
+def session_to_dict(session: ExplorationSession) -> Dict[str, object]:
+    """JSON payload of a full session: timeline, path and behaviour summary."""
+    return {
+        "session_id": session.session_id,
+        "timeline": [entry.as_dict() for entry in session.timeline],
+        "path": session.path.as_dict(),
+        "lookups": list(session.lookups),
+        "behaviour": session.behaviour_summary(),
+        "current_query": session.current_query.describe(),
+    }
+
+
+def write_json(payload: Dict[str, object], path: _PathLike) -> Path:
+    """Write a payload to disk as pretty-printed JSON; return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path

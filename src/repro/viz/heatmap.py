@@ -1,0 +1,142 @@
+"""The seven-level correlation heat map (Fig 3-f).
+
+The paper: "We divide the correlation of entities and semantic features
+into seven levels, and visualize them with a heat-map".  This module turns
+the raw :class:`~repro.ranking.CorrelationMatrix` into a discrete heat map:
+every cell is assigned a level in ``0 .. levels-1`` (darker = stronger
+correlation), using one of three bucketing scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import HeatmapConfig
+from ..exceptions import VisualizationError
+from ..ranking import CorrelationMatrix
+
+
+@dataclass(frozen=True)
+class Heatmap:
+    """A discretised correlation heat map."""
+
+    entities: Tuple[str, ...]
+    feature_notations: Tuple[str, ...]
+    levels: np.ndarray
+    num_levels: int
+    thresholds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        expected = (len(self.entities), len(self.feature_notations))
+        if self.levels.shape != expected:
+            raise VisualizationError(
+                f"heat map shape {self.levels.shape} does not match "
+                f"{len(self.entities)} x {len(self.feature_notations)}"
+            )
+
+    def level(self, entity_id: str, feature_notation: str) -> int:
+        """Level of one cell (0 = weakest, ``num_levels - 1`` = strongest)."""
+        row = self.entities.index(entity_id)
+        column = self.feature_notations.index(feature_notation)
+        return int(self.levels[row, column])
+
+    def level_counts(self) -> Dict[int, int]:
+        """How many cells fall into each level."""
+        values, counts = np.unique(self.levels, return_counts=True)
+        result = {int(level): 0 for level in range(self.num_levels)}
+        result.update({int(v): int(c) for v, c in zip(values, counts)})
+        return result
+
+    def strongest_cells(self, k: int = 10) -> List[Tuple[str, str, int]]:
+        """The ``k`` darkest cells as (entity, feature, level)."""
+        cells: List[Tuple[str, str, int]] = []
+        for row, entity in enumerate(self.entities):
+            for column, feature in enumerate(self.feature_notations):
+                cells.append((entity, feature, int(self.levels[row, column])))
+        cells.sort(key=lambda cell: (-cell[2], cell[0], cell[1]))
+        return cells[:k]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.entities), len(self.feature_notations))
+
+
+def _linear_thresholds(values: np.ndarray, levels: int) -> np.ndarray:
+    low, high = float(values.min()), float(values.max())
+    if high <= low:
+        return np.full(levels - 1, high)
+    return np.linspace(low, high, levels + 1)[1:-1]
+
+
+def _log_thresholds(values: np.ndarray, levels: int) -> np.ndarray:
+    positive = values[values > 0]
+    if positive.size == 0:
+        return np.zeros(levels - 1)
+    low = float(np.log10(positive.min()))
+    high = float(np.log10(positive.max()))
+    if high <= low:
+        return np.full(levels - 1, positive.max())
+    return np.power(10.0, np.linspace(low, high, levels + 1)[1:-1])
+
+
+def _quantile_thresholds(values: np.ndarray, levels: int) -> np.ndarray:
+    positive = values[values > 0]
+    if positive.size == 0:
+        return np.zeros(levels - 1)
+    if levels <= 2:
+        return np.array([float(np.median(positive))])
+    # levels buckets over the positive values need levels - 1 internal cuts.
+    quantiles = np.linspace(0.0, 1.0, levels + 1)[1:-1]
+    return np.quantile(positive, quantiles)
+
+
+def build_heatmap(matrix: CorrelationMatrix, config: HeatmapConfig | None = None) -> Heatmap:
+    """Discretise a correlation matrix into a heat map.
+
+    Zero correlations always map to level 0; positive correlations are
+    bucketed into levels ``1 .. levels-1`` by the configured scale, so with
+    the default seven levels there are six "shades" of positive correlation
+    plus white.
+    """
+    config = config or HeatmapConfig()
+    values = matrix.values
+    rows, columns = values.shape
+    levels = np.zeros((rows, columns), dtype=int)
+    if values.size == 0:
+        return Heatmap(
+            entities=matrix.entities,
+            feature_notations=tuple(f.notation() for f in matrix.features),
+            levels=levels,
+            num_levels=config.levels,
+            thresholds=(),
+        )
+
+    positive_levels = config.levels - 1
+    if config.scale == "linear":
+        thresholds = _linear_thresholds(values[values > 0] if (values > 0).any() else values, positive_levels)
+    elif config.scale == "log":
+        thresholds = _log_thresholds(values, positive_levels)
+    else:
+        thresholds = _quantile_thresholds(values, positive_levels)
+    thresholds = np.asarray(thresholds, dtype=float)
+
+    for row in range(rows):
+        for column in range(columns):
+            value = values[row, column]
+            if value <= 0.0:
+                levels[row, column] = 0
+                continue
+            # Level 1 + number of thresholds the value exceeds, capped.
+            level = 1 + int(np.searchsorted(thresholds, value, side="right"))
+            levels[row, column] = min(level, config.levels - 1)
+
+    return Heatmap(
+        entities=matrix.entities,
+        feature_notations=tuple(f.notation() for f in matrix.features),
+        levels=levels,
+        num_levels=config.levels,
+        thresholds=tuple(float(t) for t in thresholds),
+    )

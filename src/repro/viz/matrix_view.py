@@ -1,0 +1,129 @@
+"""The matrix view: the central UI artefact of PivotE (Fig 3).
+
+The matrix plots the relationships between recommended entities (x-axis,
+mostly of the same type) and their semantic features (y-axis); each cell
+carries the discrete correlation level of the heat map.  The view bundles
+everything a front end needs to draw the five areas of the workspace, and
+the ASCII renderer draws a faithful textual version for terminals, tests
+and the documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..explore import Recommendation
+from ..kg import KnowledgeGraph
+from ..ranking import ScoredEntity, ScoredFeature
+from .heatmap import Heatmap
+
+
+@dataclass(frozen=True)
+class MatrixView:
+    """The assembled matrix interface payload."""
+
+    entities: Tuple[ScoredEntity, ...]
+    features: Tuple[ScoredFeature, ...]
+    heatmap: Heatmap
+    entity_labels: Dict[str, str]
+    feature_descriptions: Dict[str, str]
+    query_description: str = ""
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.entities), len(self.features))
+
+    def cell_level(self, entity_id: str, feature_notation: str) -> int:
+        """Heat-map level of one matrix cell."""
+        return self.heatmap.level(entity_id, feature_notation)
+
+    def entity_axis(self) -> List[Tuple[str, str, float]]:
+        """The x-axis: (entity id, label, score) in rank order."""
+        return [
+            (entity.entity_id, self.entity_labels.get(entity.entity_id, entity.entity_id), entity.score)
+            for entity in self.entities
+        ]
+
+    def feature_axis(self) -> List[Tuple[str, str, float]]:
+        """The y-axis: (feature notation, description, score) in rank order."""
+        return [
+            (
+                scored.feature.notation(),
+                self.feature_descriptions.get(scored.feature.notation(), scored.feature.notation()),
+                scored.score,
+            )
+            for scored in self.features
+        ]
+
+
+def build_matrix_view(
+    graph: KnowledgeGraph,
+    recommendation: Recommendation,
+    heatmap: Heatmap,
+) -> MatrixView:
+    """Assemble the matrix view from a recommendation and its heat map."""
+    entity_labels = {
+        entity.entity_id: graph.label(entity.entity_id) for entity in recommendation.entities
+    }
+    feature_descriptions = {}
+    for scored in recommendation.features:
+        feature = scored.feature
+        feature_descriptions[feature.notation()] = feature.describe(
+            anchor_label=graph.label(feature.anchor), predicate_label=feature.predicate
+        )
+    return MatrixView(
+        entities=recommendation.entities,
+        features=recommendation.features,
+        heatmap=heatmap,
+        entity_labels=entity_labels,
+        feature_descriptions=feature_descriptions,
+        query_description=recommendation.query.describe(),
+    )
+
+
+#: Characters used to render the seven heat-map levels in ASCII, from
+#: weakest (blank) to strongest (full block).
+LEVEL_GLYPHS: str = " .:-=+*#@"
+
+
+def render_matrix_ascii(
+    view: MatrixView,
+    max_entities: int = 12,
+    max_features: int = 15,
+    label_width: int = 28,
+) -> str:
+    """Render the matrix view as monospace text.
+
+    Entities are columns, features are rows (as in the paper's screenshot);
+    each cell shows the glyph of its correlation level.
+    """
+    entities = view.entities[:max_entities]
+    features = view.features[:max_features]
+    glyphs = LEVEL_GLYPHS
+
+    lines: List[str] = []
+    if view.query_description:
+        lines.append(f"Query: {view.query_description}")
+    header_cells = []
+    for index, entity in enumerate(entities):
+        label = view.entity_labels.get(entity.entity_id, entity.entity_id)
+        header_cells.append(f"E{index + 1}")
+        lines.append(f"  E{index + 1}: {label} (score={entity.score:.4f})")
+    lines.append("")
+    header = " " * (label_width + 2) + " ".join(f"{cell:>3}" for cell in header_cells)
+    lines.append(header)
+    for scored in features:
+        notation = scored.feature.notation()
+        label = notation if len(notation) <= label_width else notation[: label_width - 3] + "..."
+        row_cells = []
+        for entity in entities:
+            level = view.heatmap.level(entity.entity_id, notation)
+            glyph_index = min(level, len(glyphs) - 1)
+            row_cells.append(f"  {glyphs[glyph_index]}")
+        lines.append(f"{label:<{label_width}}  " + " ".join(f"{cell:>3}" for cell in row_cells))
+    lines.append("")
+    lines.append(
+        "levels: " + " ".join(f"{level}={glyphs[min(level, len(glyphs) - 1)]!r}" for level in range(view.heatmap.num_levels))
+    )
+    return "\n".join(lines)

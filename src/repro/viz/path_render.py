@@ -1,0 +1,55 @@
+"""Textual rendering of the exploratory search path (Fig 4).
+
+The exploratory path shows the sequence of queries a user went through,
+with branches where the user backtracked via the timeline and explored in a
+different direction.  The renderer produces an indented tree: every node is
+one visited query, every edge is labelled with the operation that produced
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..explore import ExplorationPath
+
+
+def render_path_ascii(path: ExplorationPath) -> str:
+    """Render the exploratory path as an indented ASCII tree."""
+    if len(path) == 0:
+        return "(empty exploration path)"
+
+    children: Dict[int, List[tuple[int, str]]] = {}
+    has_parent: Set[int] = set()
+    for edge in path.edges:
+        children.setdefault(edge.source, []).append((edge.target, edge.description))
+        has_parent.add(edge.target)
+
+    roots = [node.node_id for node in path.nodes if node.node_id not in has_parent]
+    current = path.current_node.node_id if path.current_node else -1
+    lines: List[str] = []
+
+    def render(node_id: int, depth: int, via: str) -> None:
+        node = path.node(node_id)
+        marker = " <== current" if node_id == current else ""
+        prefix = "    " * depth
+        connector = f"--[{via}]--> " if via else ""
+        lines.append(f"{prefix}{connector}({node_id}) {node.label}{marker}")
+        for target, description in children.get(node_id, []):
+            render(target, depth + 1, description)
+
+    for root in roots:
+        render(root, 0, "")
+    return "\n".join(lines)
+
+
+def render_path_mermaid(path: ExplorationPath) -> str:
+    """Render the path as a Mermaid ``graph TD`` diagram (for docs/READMEs)."""
+    lines = ["graph TD"]
+    for node in path.nodes:
+        label = node.label.replace('"', "'")
+        lines.append(f'    n{node.node_id}["{label}"]')
+    for edge in path.edges:
+        description = edge.description.replace('"', "'")
+        lines.append(f'    n{edge.source} -->|"{description}"| n{edge.target}')
+    return "\n".join(lines)

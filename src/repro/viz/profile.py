@@ -1,0 +1,42 @@
+"""Rendering of entity profiles (the presentation area, Fig 3-d)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..kg import EntityProfile, KnowledgeGraph, build_profile
+
+
+def entity_profile(graph: KnowledgeGraph, entity_id: str, max_facts: int = 10) -> EntityProfile:
+    """Build the presentation-area profile of an entity."""
+    return build_profile(graph.entity(entity_id), max_facts=max_facts)
+
+
+def render_profile_text(profile: EntityProfile) -> str:
+    """Render a profile as readable text."""
+    entity = profile.entity
+    lines = [f"{entity.name}  <{entity.identifier}>"]
+    if entity.types:
+        lines.append("  types      : " + ", ".join(entity.types))
+    if entity.categories:
+        lines.append("  categories : " + ", ".join(entity.categories))
+    if profile.top_facts:
+        lines.append("  facts:")
+        for predicate, value in profile.top_facts:
+            lines.append(f"    {predicate:<24} {value}")
+    lines.append(f"  more       : {profile.external_url}")
+    return "\n".join(lines)
+
+
+def profile_as_dict(profile: EntityProfile) -> Dict[str, object]:
+    """JSON payload of a profile for the web UI."""
+    entity = profile.entity
+    return {
+        "id": entity.identifier,
+        "name": entity.name,
+        "types": list(entity.types),
+        "categories": list(entity.categories),
+        "attributes": {predicate: list(values) for predicate, values in entity.attributes.items()},
+        "facts": [{"predicate": predicate, "value": value} for predicate, value in profile.top_facts],
+        "external_url": profile.external_url,
+    }

@@ -1,0 +1,179 @@
+"""SVG rendering of the heat-map matrix and the exploratory path.
+
+The ASCII renderers are fine for terminals and tests; for documentation and
+for embedding in notebooks the same artefacts are also rendered as
+standalone SVG documents, built with plain string assembly (no external
+drawing dependency).  Two renderers are provided:
+
+* :func:`render_heatmap_svg` — the Fig 3-f heat map: one coloured cell per
+  (entity, semantic feature) pair, darker meaning stronger correlation,
+  with axis labels;
+* :func:`render_path_svg` — the Fig 4 exploratory path as a left-to-right
+  node/edge diagram with operation labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+from xml.sax.saxutils import escape
+
+from ..explore import ExplorationPath
+from .heatmap import Heatmap
+from .matrix_view import MatrixView
+
+#: Greyscale fills for the correlation levels, white (level 0) to near-black.
+LEVEL_FILLS: Tuple[str, ...] = (
+    "#ffffff",
+    "#e8eef7",
+    "#c6d7ec",
+    "#9dbcdf",
+    "#6f9ccf",
+    "#3f78ba",
+    "#1d4f91",
+)
+
+
+def _fill_for_level(level: int, num_levels: int) -> str:
+    """Pick a fill colour for a level, interpolating over the palette."""
+    if num_levels <= 1:
+        return LEVEL_FILLS[-1]
+    index = round(level * (len(LEVEL_FILLS) - 1) / (num_levels - 1))
+    return LEVEL_FILLS[max(0, min(index, len(LEVEL_FILLS) - 1))]
+
+
+def _truncate(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def render_heatmap_svg(
+    view: MatrixView,
+    cell_size: int = 22,
+    label_width: int = 240,
+    label_height: int = 110,
+    max_entities: int = 20,
+    max_features: int = 25,
+) -> str:
+    """Render the matrix view's heat map as a standalone SVG document."""
+    entities = view.entities[:max_entities]
+    features = view.features[:max_features]
+    heatmap: Heatmap = view.heatmap
+
+    width = label_width + cell_size * max(len(entities), 1) + 20
+    height = label_height + cell_size * max(len(features), 1) + 20
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    # Column (entity) labels, rotated.
+    for column, entity in enumerate(entities):
+        label = escape(_truncate(view.entity_labels.get(entity.entity_id, entity.entity_id), 18))
+        x = label_width + column * cell_size + cell_size // 2
+        parts.append(
+            f'<text x="{x}" y="{label_height - 6}" text-anchor="start" '
+            f'transform="rotate(-55 {x} {label_height - 6})">{label}</text>'
+        )
+
+    # Row (feature) labels and cells.
+    for row, scored in enumerate(features):
+        notation = scored.feature.notation()
+        y = label_height + row * cell_size
+        label = escape(_truncate(notation, 34))
+        parts.append(
+            f'<text x="{label_width - 6}" y="{y + cell_size - 7}" text-anchor="end">{label}</text>'
+        )
+        for column, entity in enumerate(entities):
+            level = heatmap.level(entity.entity_id, notation)
+            fill = _fill_for_level(level, heatmap.num_levels)
+            x = label_width + column * cell_size
+            title = escape(
+                f"{view.entity_labels.get(entity.entity_id, entity.entity_id)} x {notation}: level {level}"
+            )
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_size - 2}" height="{cell_size - 2}" '
+                f'fill="{fill}" stroke="#cccccc"><title>{title}</title></rect>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_path_svg(
+    path: ExplorationPath,
+    node_width: int = 190,
+    node_height: int = 46,
+    h_gap: int = 70,
+    v_gap: int = 28,
+) -> str:
+    """Render the exploratory path as a left-to-right SVG diagram.
+
+    Nodes are laid out by depth from the root (x) and discovery order within
+    a depth (y); edges are straight lines labelled with the operation.
+    """
+    if len(path) == 0:
+        return '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+
+    # Depth of every node from its root (nodes without incoming edges).
+    parents: Dict[int, int] = {edge.target: edge.source for edge in path.edges}
+    depths: Dict[int, int] = {}
+    for node in path.nodes:
+        depth = 0
+        current = node.node_id
+        while current in parents:
+            current = parents[current]
+            depth += 1
+        depths[node.node_id] = depth
+
+    rows: Dict[int, int] = {}
+    per_depth_count: Dict[int, int] = {}
+    for node in path.nodes:
+        depth = depths[node.node_id]
+        rows[node.node_id] = per_depth_count.get(depth, 0)
+        per_depth_count[depth] = rows[node.node_id] + 1
+
+    max_depth = max(depths.values())
+    max_rows = max(per_depth_count.values())
+    width = 20 + (max_depth + 1) * (node_width + h_gap)
+    height = 20 + max_rows * (node_height + v_gap)
+
+    def position(node_id: int) -> Tuple[int, int]:
+        x = 10 + depths[node_id] * (node_width + h_gap)
+        y = 10 + rows[node_id] * (node_height + v_gap)
+        return x, y
+
+    current_id = path.current_node.node_id if path.current_node else -1
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    for edge in path.edges:
+        x1, y1 = position(edge.source)
+        x2, y2 = position(edge.target)
+        start_x, start_y = x1 + node_width, y1 + node_height // 2
+        end_x, end_y = x2, y2 + node_height // 2
+        mid_x, mid_y = (start_x + end_x) // 2, (start_y + end_y) // 2 - 4
+        label = escape(_truncate(edge.description, 28))
+        parts.append(
+            f'<line x1="{start_x}" y1="{start_y}" x2="{end_x}" y2="{end_y}" '
+            f'stroke="#888888" stroke-width="1.5"/>'
+        )
+        parts.append(f'<text x="{mid_x}" y="{mid_y}" text-anchor="middle" fill="#555555">{label}</text>')
+
+    for node in path.nodes:
+        x, y = position(node.node_id)
+        stroke = "#1d4f91" if node.node_id == current_id else "#999999"
+        stroke_width = 2.5 if node.node_id == current_id else 1.0
+        label = escape(_truncate(node.label, 30))
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="{node_width}" height="{node_height}" rx="6" '
+            f'fill="#f4f7fb" stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+        parts.append(f'<text x="{x + 8}" y="{y + 18}" fill="#222222">({node.node_id})</text>')
+        parts.append(f'<text x="{x + 8}" y="{y + 34}" fill="#222222">{label}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)

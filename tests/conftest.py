@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+``tiny_kg`` is a small hand-built graph with exactly known contents, used
+wherever tests assert precise numbers.  ``movie_kg`` / ``movie_system`` are
+session-scoped instances of the synthetic movie dataset and the full PivotE
+system, reused across test modules to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PivotE
+from repro.datasets import small_academic_kg, small_movie_kg
+from repro.features import SemanticFeatureIndex
+from repro.kg import GraphBuilder, KnowledgeGraph
+
+
+def build_tiny_kg() -> KnowledgeGraph:
+    """A miniature film KG with exactly known structure.
+
+    Films:    F1, F2, F3, F4 (type Film)
+    Actors:   A1 (stars in F1, F2, F3), A2 (stars in F1, F2), A3 (stars in F4)
+    Director: D1 (directs F1, F4)
+    Genre:    G1 (F1, F2, F3), G2 (F4)
+    """
+    builder = GraphBuilder("tiny")
+    for film, year in (("ex:F1", "1994"), ("ex:F2", "1995"), ("ex:F3", "1999"), ("ex:F4", "2000")):
+        builder.entity(
+            film,
+            label=film.split(":")[1] + " Film",
+            types=["ex:Film"],
+            categories=["exc:Films"],
+            attributes={"ex:year": year},
+        )
+    for actor in ("ex:A1", "ex:A2", "ex:A3"):
+        builder.entity(actor, label=actor.split(":")[1] + " Actor", types=["ex:Actor"])
+    builder.entity("ex:D1", label="D1 Director", types=["ex:Director"])
+    builder.entity("ex:G1", label="Drama", types=["ex:Genre"])
+    builder.entity("ex:G2", label="Comedy", types=["ex:Genre"])
+
+    builder.edge("ex:F1", "ex:starring", "ex:A1")
+    builder.edge("ex:F1", "ex:starring", "ex:A2")
+    builder.edge("ex:F2", "ex:starring", "ex:A1")
+    builder.edge("ex:F2", "ex:starring", "ex:A2")
+    builder.edge("ex:F3", "ex:starring", "ex:A1")
+    builder.edge("ex:F4", "ex:starring", "ex:A3")
+    builder.edge("ex:F1", "ex:director", "ex:D1")
+    builder.edge("ex:F4", "ex:director", "ex:D1")
+    builder.edge("ex:F1", "ex:genre", "ex:G1")
+    builder.edge("ex:F2", "ex:genre", "ex:G1")
+    builder.edge("ex:F3", "ex:genre", "ex:G1")
+    builder.edge("ex:F4", "ex:genre", "ex:G2")
+    return builder.build()
+
+
+@pytest.fixture
+def tiny_kg() -> KnowledgeGraph:
+    """Fresh tiny graph per test (cheap to build, safe to mutate)."""
+    return build_tiny_kg()
+
+
+@pytest.fixture(scope="session")
+def movie_kg() -> KnowledgeGraph:
+    """The small synthetic movie KG, shared across the session (read-only)."""
+    return small_movie_kg()
+
+
+@pytest.fixture(scope="session")
+def academic_kg() -> KnowledgeGraph:
+    """The small synthetic academic KG, shared across the session (read-only)."""
+    return small_academic_kg()
+
+
+@pytest.fixture(scope="session")
+def movie_system(movie_kg: KnowledgeGraph) -> PivotE:
+    """A fully built PivotE system over the movie KG (read-only)."""
+    return PivotE(movie_kg)
+
+
+@pytest.fixture
+def tiny_feature_index(tiny_kg: KnowledgeGraph) -> SemanticFeatureIndex:
+    """A semantic-feature index over the tiny graph."""
+    return SemanticFeatureIndex.build(tiny_kg)

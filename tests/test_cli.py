@@ -1,0 +1,105 @@
+"""Tests for repro.cli: the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import DATASETS, build_parser, load_graph, main
+from repro.kg import save_ntriples
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "gump"])
+        assert args.command == "search"
+        for command in ("stats", "profile", "explain", "recommend", "matrix", "explore"):
+            assert command in parser.format_help()
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_registry(self):
+        assert {"movies", "movies-small", "academic", "geography"} <= set(DATASETS)
+
+
+class TestLoadGraph:
+    def test_builtin_dataset(self):
+        graph = load_graph("geography", None)
+        assert "dbr:France" in graph
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            load_graph("nope", None)
+
+    def test_graph_file_overrides_dataset(self, tiny_kg, tmp_path):
+        path = tmp_path / "tiny.nt"
+        save_ntriples(tiny_kg, path)
+        graph = load_graph("movies", str(path))
+        assert "ex:F1" in graph
+
+
+class TestCommands:
+    """Each command is exercised end-to-end on the small movie dataset."""
+
+    def run(self, *argv: str) -> int:
+        return main(["--dataset", "movies-small", *argv])
+
+    def test_stats(self, capsys):
+        assert self.run("stats") == 0
+        assert "Knowledge graph" in capsys.readouterr().out
+
+    def test_search(self, capsys):
+        assert self.run("search", "forrest gump", "--top-k", "3") == 0
+        out = capsys.readouterr().out
+        assert "Forrest Gump" in out
+
+    def test_search_no_results(self, capsys):
+        assert self.run("search", "zzzzqqqq") == 0
+        assert "no matching entities" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        assert self.run("recommend", "dbr:Forrest_Gump", "dbr:Apollo_13_(film)") == 0
+        out = capsys.readouterr().out
+        assert "entities:" in out and "semantic features:" in out
+        assert "Tom_Hanks" in out
+
+    def test_recommend_with_pinned_feature(self, capsys):
+        code = self.run(
+            "recommend", "dbr:Forrest_Gump", "--feature", "dbr:Tom_Hanks:dbo:starring"
+        )
+        assert code == 0
+        assert "dbr:Tom_Hanks:dbo:starring" in capsys.readouterr().out
+
+    def test_matrix(self, capsys):
+        assert self.run("matrix", "dbr:Forrest_Gump", "--top-entities", "4") == 0
+        out = capsys.readouterr().out
+        assert "levels:" in out
+
+    def test_profile(self, capsys):
+        assert self.run("profile", "dbr:Forrest_Gump") == 0
+        out = capsys.readouterr().out
+        assert "Forrest Gump" in out and "wikipedia" in out
+
+    def test_explain(self, capsys):
+        assert self.run("explain", "dbr:Forrest_Gump", "dbr:Apollo_13_(film)") == 0
+        assert "Tom Hanks" in capsys.readouterr().out
+
+    def test_explore(self, capsys):
+        code = self.run(
+            "explore",
+            "forrest gump",
+            "--select",
+            "dbr:Forrest_Gump",
+            "--pivot",
+            "dbr:Tom_Hanks",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exploratory path" in out
+        assert "pivot" in out
+
+    def test_error_returns_nonzero(self, capsys):
+        assert self.run("profile", "dbr:Not_A_Thing") == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""Tests for repro.config and repro.exceptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PivotEError
+from repro.config import (
+    DEFAULT_FIELD_WEIGHTS,
+    DEFAULT_FIELDS,
+    HeatmapConfig,
+    PivotEConfig,
+    RankingConfig,
+    SearchConfig,
+)
+from repro.exceptions import (
+    EmptyQueryError,
+    EntityNotFoundError,
+    ExplorationError,
+    KnowledgeGraphError,
+    NoSeedEntitiesError,
+    RankingError,
+    SearchError,
+)
+
+
+class TestSearchConfig:
+    def test_defaults(self):
+        config = SearchConfig()
+        assert config.fields == DEFAULT_FIELDS
+        assert config.smoothing == "dirichlet"
+        assert sum(DEFAULT_FIELD_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchConfig(smoothing="bogus")
+        with pytest.raises(ValueError):
+            SearchConfig(dirichlet_mu=0)
+        with pytest.raises(ValueError):
+            SearchConfig(jm_lambda=1.5)
+        with pytest.raises(ValueError):
+            SearchConfig(top_k=0)
+        with pytest.raises(ValueError):
+            SearchConfig(field_weights={"names": 1.0})  # missing other fields
+
+    def test_with_override(self):
+        config = SearchConfig().with_(top_k=5)
+        assert config.top_k == 5
+        assert SearchConfig().top_k == 20
+
+
+class TestRankingConfig:
+    def test_defaults(self):
+        config = RankingConfig()
+        assert config.type_smoothing is True
+        assert config.top_entities == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankingConfig(top_entities=0)
+        with pytest.raises(ValueError):
+            RankingConfig(max_candidates=0)
+        with pytest.raises(ValueError):
+            RankingConfig(epsilon=1.0)
+
+    def test_with_override(self):
+        assert RankingConfig().with_(top_features=5).top_features == 5
+
+
+class TestHeatmapConfig:
+    def test_paper_default_is_seven_levels(self):
+        assert HeatmapConfig().levels == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeatmapConfig(levels=1)
+        with pytest.raises(ValueError):
+            HeatmapConfig(scale="bogus")
+
+
+class TestPivotEConfig:
+    def test_default_bundles_components(self):
+        config = PivotEConfig.default()
+        assert isinstance(config.search, SearchConfig)
+        assert isinstance(config.ranking, RankingConfig)
+        assert isinstance(config.heatmap, HeatmapConfig)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_pivote_error(self):
+        for exc_type in (
+            EntityNotFoundError("x"),
+            EmptyQueryError("x"),
+            NoSeedEntitiesError("x"),
+        ):
+            assert isinstance(exc_type, PivotEError)
+
+    def test_domain_bases(self):
+        assert issubclass(EntityNotFoundError, KnowledgeGraphError)
+        assert issubclass(EmptyQueryError, SearchError)
+        assert issubclass(NoSeedEntitiesError, RankingError)
+        assert issubclass(ExplorationError, PivotEError)
+
+    def test_entity_not_found_carries_identifier(self):
+        error = EntityNotFoundError("dbr:X")
+        assert error.entity_id == "dbr:X"
+        assert "dbr:X" in str(error)

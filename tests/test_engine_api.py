@@ -1,0 +1,135 @@
+"""Tests for repro.engine.api: the in-process request/response API."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import PivotE
+from repro.engine import PivotEApi
+
+
+@pytest.fixture(scope="module")
+def api(request) -> PivotEApi:
+    return PivotEApi(request.getfixturevalue("movie_system"))
+
+
+def start_session(api: PivotEApi) -> str:
+    response = api.handle({"action": "start_session"})
+    assert response["status"] == "ok"
+    return response["session_id"]
+
+
+class TestDispatch:
+    def test_unknown_action(self, api: PivotEApi):
+        assert api.handle({"action": "bogus"})["status"] == "error"
+        assert api.handle({})["status"] == "error"
+
+    def test_missing_session_id_is_error(self, api: PivotEApi):
+        response = api.handle({"action": "investigate"})
+        assert response["status"] == "error"
+
+    def test_unknown_session_is_error(self, api: PivotEApi):
+        response = api.handle({"action": "investigate", "session_id": "ghost"})
+        assert response["status"] == "error"
+
+    def test_errors_do_not_raise(self, api: PivotEApi):
+        response = api.handle({"action": "lookup", "entity": "dbr:Not_A_Thing"})
+        assert response["status"] == "error"
+        assert "dbr:Not_A_Thing" in response["error"]
+
+
+class TestActions:
+    def test_search(self, api: PivotEApi):
+        response = api.handle({"action": "search", "keywords": "forrest gump"})
+        assert response["status"] == "ok"
+        assert response["hits"][0]["entity"] == "dbr:Forrest_Gump"
+
+    def test_full_session_flow_is_json_serialisable(self, api: PivotEApi):
+        session_id = start_session(api)
+        submitted = api.handle(
+            {"action": "submit_keywords", "session_id": session_id, "keywords": "forrest gump"}
+        )
+        assert submitted["status"] == "ok"
+        assert submitted["hits"]
+        assert "matrix" in submitted
+        json.dumps(submitted)
+
+        selected = api.handle(
+            {"action": "select_entity", "session_id": session_id, "entity": "dbr:Forrest_Gump"}
+        )
+        assert selected["status"] == "ok"
+        assert selected["recommendation"]["entities"]
+
+        pinned = api.handle(
+            {
+                "action": "pin_feature",
+                "session_id": session_id,
+                "feature": "dbr:Tom_Hanks:dbo:starring",
+            }
+        )
+        assert pinned["status"] == "ok"
+
+        pivoted = api.handle(
+            {"action": "pivot", "session_id": session_id, "entity": "dbr:Tom_Hanks"}
+        )
+        assert pivoted["status"] == "ok"
+
+        state = api.handle({"action": "session_state", "session_id": session_id})
+        assert state["status"] == "ok"
+        assert state["session"]["behaviour"]["pivot"] == 1
+        json.dumps(state)
+
+    def test_lookup_with_and_without_session(self, api: PivotEApi):
+        plain = api.handle({"action": "lookup", "entity": "dbr:Forrest_Gump"})
+        assert plain["status"] == "ok"
+        assert plain["profile"]["name"] == "Forrest Gump"
+
+        session_id = start_session(api)
+        scoped = api.handle(
+            {"action": "lookup", "entity": "dbr:Forrest_Gump", "session_id": session_id}
+        )
+        assert scoped["status"] == "ok"
+
+    def test_explain(self, api: PivotEApi):
+        response = api.handle(
+            {"action": "explain", "left": "dbr:Forrest_Gump", "right": "dbr:Apollo_13_(film)"}
+        )
+        assert response["status"] == "ok"
+        assert "Tom Hanks" in response["text"]
+        assert any("Tom_Hanks" in notation for notation in response["shared_features"])
+
+    def test_set_domain_and_investigate(self, api: PivotEApi):
+        session_id = start_session(api)
+        api.handle({"action": "select_entity", "session_id": session_id, "entity": "dbr:Tom_Hanks"})
+        domain = api.handle(
+            {"action": "set_domain", "session_id": session_id, "domain": "dbo:Actor"}
+        )
+        assert domain["status"] == "ok"
+        investigated = api.handle({"action": "investigate", "session_id": session_id})
+        assert investigated["status"] == "ok"
+
+    def test_revisit(self, api: PivotEApi):
+        session_id = start_session(api)
+        api.handle(
+            {"action": "submit_keywords", "session_id": session_id, "keywords": "forrest gump"}
+        )
+        api.handle(
+            {"action": "select_entity", "session_id": session_id, "entity": "dbr:Forrest_Gump"}
+        )
+        revisited = api.handle({"action": "revisit", "session_id": session_id, "step": 0})
+        assert revisited["status"] == "ok"
+
+    def test_deselect_and_unpin(self, api: PivotEApi):
+        session_id = start_session(api)
+        api.handle({"action": "select_entity", "session_id": session_id, "entity": "dbr:Forrest_Gump"})
+        api.handle({"action": "pin_feature", "session_id": session_id, "feature": "dbr:Tom_Hanks:dbo:starring"})
+        unpinned = api.handle(
+            {"action": "unpin_feature", "session_id": session_id, "feature": "dbr:Tom_Hanks:dbo:starring"}
+        )
+        assert unpinned["status"] == "ok"
+        deselected = api.handle(
+            {"action": "deselect_entity", "session_id": session_id, "entity": "dbr:Forrest_Gump"}
+        )
+        assert deselected["status"] == "ok"

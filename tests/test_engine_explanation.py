@@ -1,0 +1,71 @@
+"""Tests for repro.engine.explanation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExplanationBuilder
+from repro.features import Direction, SemanticFeature, SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import SemanticFeatureRanker
+
+
+@pytest.fixture
+def builder(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex) -> ExplanationBuilder:
+    return ExplanationBuilder(tiny_kg, tiny_feature_index)
+
+
+class TestPairExplanations:
+    def test_shared_actor_explanation(self, builder: ExplanationBuilder):
+        explanation = builder.explain_pair("ex:F1", "ex:F2")
+        assert "A1 Actor" in explanation.text
+        assert "A2 Actor" in explanation.text
+        assert len(explanation.shared_features) >= 3  # A1, A2, G1
+
+    def test_no_shared_features(self, builder: ExplanationBuilder):
+        explanation = builder.explain_pair("ex:F3", "ex:A3")
+        assert "share no direct semantic features" in explanation.text
+        assert explanation.shared_features == ()
+
+    def test_max_features_limits_clauses(self, builder: ExplanationBuilder):
+        explanation = builder.explain_pair("ex:F1", "ex:F2", max_features=1)
+        # All shared features are still reported in the structured field.
+        assert len(explanation.shared_features) >= 3
+
+    def test_paper_example(self, movie_system):
+        """Forrest Gump & Apollo 13: both performed by Tom Hanks and Gary Sinise."""
+        explanation = movie_system.explainer.explain_pair(
+            "dbr:Forrest_Gump", "dbr:Apollo_13_(film)"
+        )
+        assert "Tom Hanks" in explanation.text and "Gary Sinise" in explanation.text
+
+
+class TestCellExplanations:
+    def test_direct_cell(self, builder: ExplanationBuilder, tiny_kg, tiny_feature_index):
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index)
+        scored = ranker.rank(["ex:F1", "ex:F2"])
+        starring = next(s for s in scored if s.feature.anchor == "ex:A1")
+        cell = builder.explain_cell("ex:F3", starring)
+        assert cell.holds
+        assert cell.correlation == pytest.approx(starring.score)
+        assert "direct" in cell.evidence
+
+    def test_smoothed_cell(self, builder: ExplanationBuilder, tiny_kg, tiny_feature_index):
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index)
+        scored = ranker.rank(["ex:F1", "ex:F2"])
+        starring_a2 = next(s for s in scored if s.feature.anchor == "ex:A2")
+        cell = builder.explain_cell("ex:F3", starring_a2)
+        assert not cell.holds
+        assert 0 < cell.correlation < starring_a2.score
+        assert "type-smoothed" in cell.evidence
+
+    def test_recommendation_justification(self, builder: ExplanationBuilder, tiny_kg, tiny_feature_index):
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index)
+        scored = ranker.rank(["ex:F1", "ex:F2"])
+        text = builder.explain_recommendation_of("ex:F3", scored)
+        assert "F3 Film" in text
+        assert "recommended because" in text
+
+    def test_justification_without_evidence(self, builder: ExplanationBuilder, tiny_kg, tiny_feature_index):
+        text = builder.explain_recommendation_of("ex:A3", [])
+        assert "no strong semantic features" in text

@@ -1,0 +1,134 @@
+"""Tests for repro.engine.pivote: the PivotE system facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PivotE
+from repro.exceptions import EntityNotFoundError
+from repro.features import SemanticFeature
+from repro.kg import KnowledgeGraph
+
+TOM_HANKS_STARRING = SemanticFeature("dbr:Tom_Hanks", "dbo:starring")
+
+
+class TestStatelessSurface:
+    def test_search(self, movie_system: PivotE):
+        hits = movie_system.search("forrest gump")
+        assert hits[0].entity_id == "dbr:Forrest_Gump"
+
+    def test_recommend(self, movie_system: PivotE):
+        recommendation = movie_system.recommend(["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"])
+        assert "dbr:Cast_Away" in recommendation.entity_ids()
+
+    def test_lookup_profile(self, movie_system: PivotE):
+        profile = movie_system.lookup("dbr:Forrest_Gump")
+        assert profile.title == "Forrest Gump"
+        assert "wikipedia.org" in profile.external_url
+
+    def test_explain_pair_mentions_shared_actors(self, movie_system: PivotE):
+        explanation = movie_system.explain("dbr:Forrest_Gump", "dbr:Apollo_13_(film)")
+        assert "Tom Hanks" in explanation.text
+        assert "Gary Sinise" in explanation.text
+
+    def test_heatmap_and_matrix(self, movie_system: PivotE):
+        recommendation = movie_system.recommend(["dbr:Forrest_Gump"])
+        heatmap = movie_system.heatmap_for(recommendation)
+        assert heatmap.num_levels == 7
+        matrix = movie_system.matrix_for(recommendation)
+        assert matrix.shape == heatmap.shape
+
+    def test_component_accessors(self, movie_system: PivotE):
+        assert movie_system.graph is not None
+        assert movie_system.search_engine is not None
+        assert movie_system.recommendation_engine is not None
+        assert movie_system.feature_index is not None
+        assert movie_system.config is not None
+
+
+class TestSessionSurface:
+    def test_start_and_retrieve_session(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        assert movie_system.session(session.session_id) is session
+
+    def test_unknown_session_raises(self, movie_system: PivotE):
+        with pytest.raises(KeyError):
+            movie_system.session("nope")
+
+    def test_submit_keywords_returns_hits_and_matrix(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        response = movie_system.submit_keywords(session, "forrest gump")
+        assert response.hits[0].entity_id == "dbr:Forrest_Gump"
+        assert response.has_recommendation
+        assert response.matrix is not None
+
+    def test_select_entity_drives_recommendation(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        response = movie_system.select_entity(session, "dbr:Forrest_Gump")
+        assert response.recommendation is not None
+        assert "dbr:Forrest_Gump" not in response.recommendation.entity_ids()
+
+    def test_select_unknown_entity_raises(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        with pytest.raises(EntityNotFoundError):
+            movie_system.select_entity(session, "dbr:Not_A_Thing")
+
+    def test_pin_feature_restricts_results(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.select_entity(session, "dbr:Forrest_Gump")
+        response = movie_system.pin_feature(session, TOM_HANKS_STARRING)
+        assert response.recommendation is not None
+        for entity_id in response.recommendation.entity_ids():
+            assert movie_system.feature_index.holds(entity_id, TOM_HANKS_STARRING)
+
+    def test_unpin_feature(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.select_entity(session, "dbr:Forrest_Gump")
+        movie_system.pin_feature(session, TOM_HANKS_STARRING)
+        response = movie_system.unpin_feature(session, TOM_HANKS_STARRING)
+        assert not session.current_query.pinned_features
+        assert response.recommendation is not None
+
+    def test_pivot_switches_domain(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.select_entity(session, "dbr:Forrest_Gump")
+        response = movie_system.pivot(session, "dbr:Tom_Hanks")
+        assert session.current_query.seed_entities == ("dbr:Tom_Hanks",)
+        assert session.current_query.domain_type == "dbo:Actor"
+        assert response.recommendation is not None
+        # Recommended entities are now actors.
+        for entity_id in response.recommendation.entity_ids():
+            assert "dbo:Actor" in movie_system.graph.types_of(entity_id)
+
+    def test_lookup_in_session_records_behaviour(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.lookup_in_session(session, "dbr:Forrest_Gump")
+        assert session.lookups == ("dbr:Forrest_Gump",)
+
+    def test_investigate_without_seeds_returns_keyword_hits(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.submit_keywords(session, "tom hanks")
+        response = movie_system.investigate(session)
+        assert response.hits
+        assert response.recommendation is None
+
+    def test_investigate_without_anything_is_empty(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        response = movie_system.investigate(session)
+        assert not response.hits and response.recommendation is None
+
+    def test_deselect_entity(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.select_entity(session, "dbr:Forrest_Gump")
+        movie_system.select_entity(session, "dbr:Apollo_13_(film)")
+        movie_system.deselect_entity(session, "dbr:Forrest_Gump")
+        assert session.current_query.seed_entities == ("dbr:Apollo_13_(film)",)
+
+    def test_set_domain_filters_entities(self, movie_system: PivotE):
+        session = movie_system.start_session()
+        movie_system.select_entity(session, "dbr:Tom_Hanks")
+        response = movie_system.set_domain(session, "dbo:Actor")
+        assert session.current_query.domain_type == "dbo:Actor"
+        if response.recommendation is not None:
+            for entity_id in response.recommendation.entity_ids():
+                assert "dbo:Actor" in movie_system.graph.types_of(entity_id)

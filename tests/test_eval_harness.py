@@ -1,0 +1,139 @@
+"""Tests for repro.eval.harness, latency and report."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import (
+    expansion_tasks_from_features,
+    search_tasks_from_labels,
+    tom_hanks_task,
+)
+from repro.eval import (
+    ExpansionEvaluator,
+    LatencyStats,
+    SearchEvaluator,
+    Stopwatch,
+    format_table,
+    method_comparison_rows,
+    print_experiment,
+    write_report_json,
+)
+from repro.search import SearchEngine
+
+
+class TestExpansionEvaluator:
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        movie_kg = request.getfixturevalue("movie_kg")
+        evaluator = ExpansionEvaluator(movie_kg, top_k=20)
+        tasks = expansion_tasks_from_features(movie_kg, num_tasks=5, seeds_per_task=2)
+        tasks.append(tom_hanks_task(movie_kg))
+        return evaluator.compare(tasks)
+
+    def test_all_methods_evaluated(self, results):
+        assert set(results) == {"pivote", "jaccard", "co-occurrence", "ppr"}
+
+    def test_metrics_in_unit_interval(self, results):
+        for result in results.values():
+            for name, value in result.metrics.items():
+                assert 0.0 <= value <= 1.0, (result.method, name, value)
+
+    def test_per_task_recorded(self, results):
+        assert all(len(result.per_task) == 6 for result in results.values())
+
+    def test_pivote_competitive_with_baselines(self, results):
+        """The headline shape: PivotE's model is at least as good as the baselines."""
+        pivote_map = results["pivote"].metric("ap")
+        assert pivote_map >= results["co-occurrence"].metric("ap") - 0.05
+        assert pivote_map >= results["ppr"].metric("ap") - 0.05
+        assert pivote_map > 0.1
+
+
+class TestSearchEvaluator:
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        movie_kg = request.getfixturevalue("movie_kg")
+        engine = SearchEngine.from_graph(movie_kg)
+        evaluator = SearchEvaluator(engine, top_k=20)
+        tasks = search_tasks_from_labels(movie_kg, num_tasks=15)
+        return evaluator.compare(tasks)
+
+    def test_all_methods_evaluated(self, results):
+        assert set(results) == {"mlm-5field", "lm-names-only", "bm25f"}
+
+    def test_mlm_retrieves_well(self, results):
+        assert results["mlm-5field"].metric("rr") > 0.4
+
+    def test_metrics_bounded(self, results):
+        for result in results.values():
+            assert 0.0 <= result.metric("ap") <= 1.0
+
+
+class TestStopwatch:
+    def test_measure_context(self):
+        watch = Stopwatch()
+        with watch.measure("op"):
+            time.sleep(0.001)
+        stats = watch.stats("op")
+        assert stats.count == 1
+        assert stats.mean > 0
+
+    def test_time_callable_repeats(self):
+        watch = Stopwatch()
+        stats = watch.time_callable("fn", lambda: sum(range(100)), repeats=5)
+        assert stats.count == 5
+        assert watch.labels() == ["fn"]
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            Stopwatch().time_callable("fn", lambda: None, repeats=0)
+
+    def test_latency_stats_percentile_and_dict(self):
+        stats = LatencyStats("x", samples=[0.001, 0.002, 0.003, 0.004])
+        assert stats.median == pytest.approx(0.0025)
+        assert stats.minimum == 0.001 and stats.maximum == 0.004
+        assert stats.percentile(50) == pytest.approx(0.0025)
+        payload = stats.as_dict()
+        assert payload["count"] == 4
+
+    def test_latency_stats_validation(self):
+        stats = LatencyStats("x")
+        with pytest.raises(ValueError):
+            stats.add(-1)
+        with pytest.raises(ValueError):
+            stats.percentile(0)
+
+    def test_report_structure(self):
+        watch = Stopwatch()
+        watch.time_callable("a", lambda: None)
+        report = watch.report()
+        assert "a" in report and "mean_ms" in report["a"]
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"method": "pivote", "ap": 0.9}, {"method": "jaccard", "ap": 0.5}]
+        table = format_table(rows)
+        assert "method" in table and "0.9000" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_method_comparison_rows_sorted(self):
+        rows = method_comparison_rows(
+            {"a": {"ap": 0.2}, "b": {"ap": 0.8}}, metrics=("ap",)
+        )
+        assert rows[0]["method"] == "b"
+
+    def test_print_experiment(self, capsys):
+        text = print_experiment("E0 demo", [{"x": 1}], notes="note")
+        captured = capsys.readouterr()
+        assert "E0 demo" in captured.out
+        assert "note" in text
+
+    def test_write_report_json(self, tmp_path):
+        path = write_report_json({"a": 1}, tmp_path / "sub" / "report.json")
+        assert path.exists()

@@ -1,0 +1,117 @@
+"""Tests for repro.eval.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    aggregate_metrics,
+    average_precision,
+    dcg_at_k,
+    evaluate_ranking,
+    mean_average_precision,
+    mean_of,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    r_precision,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+RANKED = ["a", "x", "b", "y", "c"]
+RELEVANT = ["a", "b", "c"]
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        assert precision_at_k(RANKED, RELEVANT, 1) == 1.0
+        assert precision_at_k(RANKED, RELEVANT, 2) == 0.5
+        assert precision_at_k(RANKED, RELEVANT, 5) == pytest.approx(3 / 5)
+
+    def test_precision_k_beyond_ranking(self):
+        assert precision_at_k(["a"], RELEVANT, 10) == pytest.approx(1 / 10)
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKED, RELEVANT, 0)
+
+    def test_recall_at_k(self):
+        assert recall_at_k(RANKED, RELEVANT, 1) == pytest.approx(1 / 3)
+        assert recall_at_k(RANKED, RELEVANT, 5) == 1.0
+
+    def test_r_precision(self):
+        assert r_precision(RANKED, RELEVANT) == pytest.approx(2 / 3)
+
+    def test_empty_relevant_set_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKED, [], 1)
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], RELEVANT, 5) == 0.0
+        assert recall_at_k([], RELEVANT, 5) == 0.0
+
+
+class TestAveragePrecisionAndRR:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "c"], RELEVANT) == 1.0
+
+    def test_interleaved_ranking(self):
+        # hits at positions 1, 3, 5 -> (1/1 + 2/3 + 3/5) / 3
+        assert average_precision(RANKED, RELEVANT) == pytest.approx((1 + 2 / 3 + 3 / 5) / 3)
+
+    def test_no_hits(self):
+        assert average_precision(["x", "y"], RELEVANT) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(RANKED, RELEVANT) == 1.0
+        assert reciprocal_rank(["x", "a"], RELEVANT) == 0.5
+        assert reciprocal_rank(["x", "y"], RELEVANT) == 0.0
+
+    def test_map_and_mrr(self):
+        rankings = [["a", "b"], ["x", "a"]]
+        relevants = [["a"], ["a"]]
+        assert mean_average_precision(rankings, relevants) == pytest.approx((1.0 + 0.5) / 2)
+        assert mean_reciprocal_rank(rankings, relevants) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([["a"]], [["a"], ["b"]])
+
+
+class TestNdcg:
+    def test_dcg(self):
+        assert dcg_at_k([1.0, 1.0], 2) == pytest.approx(1.0 + 1.0 / 1.5849625007211562)
+
+    def test_dcg_invalid_k(self):
+        with pytest.raises(ValueError):
+            dcg_at_k([1.0], 0)
+
+    def test_perfect_ndcg(self):
+        assert ndcg_at_k(["a", "b", "c"], RELEVANT, 3) == pytest.approx(1.0)
+
+    def test_ndcg_penalises_late_hits(self):
+        early = ndcg_at_k(["a", "x", "y"], RELEVANT, 3)
+        late = ndcg_at_k(["x", "y", "a"], RELEVANT, 3)
+        assert early > late
+
+    def test_ndcg_zero_when_no_hits(self):
+        assert ndcg_at_k(["x", "y"], RELEVANT, 2) == 0.0
+
+
+class TestAggregation:
+    def test_mean_of(self):
+        assert mean_of([1.0, 2.0, 3.0]) == 2.0
+        assert mean_of([]) == 0.0
+
+    def test_evaluate_ranking_keys(self):
+        metrics = evaluate_ranking(RANKED, RELEVANT, ks=(1, 5))
+        assert {"ap", "rr", "r_precision", "p@1", "p@5", "recall@1", "recall@5", "ndcg@1", "ndcg@5"} <= set(metrics)
+
+    def test_aggregate_metrics(self):
+        aggregated = aggregate_metrics([{"ap": 1.0, "p@5": 0.4}, {"ap": 0.5, "p@5": 0.6}])
+        assert aggregated["ap"] == pytest.approx(0.75)
+        assert aggregated["p@5"] == pytest.approx(0.5)
+
+    def test_aggregate_empty(self):
+        assert aggregate_metrics([]) == {}

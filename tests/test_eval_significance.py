@@ -1,0 +1,110 @@
+"""Tests for repro.eval.significance: paired significance tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.eval import (
+    mean_difference,
+    paired_bootstrap_test,
+    paired_randomization_test,
+)
+
+
+class TestMeanDifference:
+    def test_simple(self):
+        assert mean_difference([1.0, 0.5], [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            mean_difference([1.0], [0.5, 0.5])
+
+    def test_empty(self):
+        with pytest.raises(EvaluationError):
+            mean_difference([], [])
+
+
+class TestRandomizationTest:
+    def test_clear_difference_is_significant(self):
+        first = [0.9, 0.95, 0.85, 0.9, 0.92, 0.88, 0.93, 0.9]
+        second = [0.2, 0.25, 0.3, 0.22, 0.28, 0.21, 0.26, 0.24]
+        result = paired_randomization_test(first, second, iterations=2000, seed=1)
+        assert result.significant_at_05
+        assert result.mean_difference > 0.5
+        assert result.p_value < 0.05
+
+    def test_identical_vectors_not_significant(self):
+        scores = [0.5, 0.6, 0.7, 0.4, 0.55]
+        result = paired_randomization_test(scores, scores, iterations=500, seed=2)
+        assert not result.significant_at_05
+        assert result.mean_difference == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_noise_difference_not_significant(self):
+        rng = random.Random(3)
+        first = [rng.random() for _ in range(10)]
+        second = [value + rng.uniform(-0.01, 0.01) for value in first]
+        result = paired_randomization_test(first, second, iterations=1000, seed=4)
+        assert result.p_value > 0.05
+
+    def test_deterministic_given_seed(self):
+        first = [0.8, 0.7, 0.9]
+        second = [0.5, 0.6, 0.4]
+        a = paired_randomization_test(first, second, iterations=500, seed=9)
+        b = paired_randomization_test(first, second, iterations=500, seed=9)
+        assert a.p_value == b.p_value
+
+    def test_invalid_iterations(self):
+        with pytest.raises(EvaluationError):
+            paired_randomization_test([1.0], [0.5], iterations=0)
+
+    def test_describe(self):
+        result = paired_randomization_test([0.9] * 5, [0.1] * 5, iterations=200, seed=5)
+        text = result.describe()
+        assert "p =" in text and "mean diff" in text
+
+
+class TestBootstrapTest:
+    def test_clear_difference_is_significant(self):
+        first = [0.9, 0.95, 0.85, 0.9, 0.92, 0.88]
+        second = [0.2, 0.25, 0.3, 0.22, 0.28, 0.21]
+        result = paired_bootstrap_test(first, second, iterations=2000, seed=6)
+        assert result.significant_at_05
+        assert result.p_value < 0.05
+
+    def test_reversed_difference_not_significant(self):
+        first = [0.2, 0.25, 0.3]
+        second = [0.9, 0.95, 0.85]
+        result = paired_bootstrap_test(first, second, iterations=1000, seed=7)
+        assert not result.significant_at_05
+        assert result.p_value > 0.5
+
+    def test_deterministic_given_seed(self):
+        a = paired_bootstrap_test([0.9, 0.8], [0.5, 0.4], iterations=300, seed=8)
+        b = paired_bootstrap_test([0.9, 0.8], [0.5, 0.4], iterations=300, seed=8)
+        assert a.p_value == b.p_value
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_test([1.0], [0.5, 0.4])
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_test([1.0], [0.5], iterations=-1)
+
+
+class TestOnRealComparison:
+    def test_pivote_vs_cooccurrence_significance(self, movie_kg):
+        """The E6 margin between PivotE and co-occurrence is statistically solid."""
+        from repro.datasets import expansion_tasks_from_features
+        from repro.eval import ExpansionEvaluator
+
+        evaluator = ExpansionEvaluator(movie_kg, top_k=20)
+        tasks = expansion_tasks_from_features(movie_kg, num_tasks=10, seeds_per_task=2)
+        results = evaluator.compare(tasks)
+        pivote_ap = [metrics["ap"] for metrics in results["pivote"].per_task]
+        cooc_ap = [metrics["ap"] for metrics in results["co-occurrence"].per_task]
+        outcome = paired_randomization_test(pivote_ap, cooc_ap, iterations=2000, seed=10)
+        assert outcome.mean_difference > 0
+        assert outcome.significant_at_05

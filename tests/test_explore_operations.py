@@ -1,0 +1,89 @@
+"""Tests for repro.explore.operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidOperationError
+from repro.explore import (
+    DeselectEntity,
+    ExplorationQuery,
+    LookupEntity,
+    PinFeature,
+    Pivot,
+    SelectEntity,
+    SetDomain,
+    SubmitKeywords,
+    UnpinFeature,
+)
+from repro.features import SemanticFeature
+
+FEATURE = SemanticFeature("dbr:Tom_Hanks", "dbo:starring")
+
+
+class TestOperations:
+    def test_submit_keywords(self):
+        query = SubmitKeywords("forrest gump").apply(ExplorationQuery())
+        assert query.keywords == "forrest gump"
+
+    def test_submit_empty_keywords_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            SubmitKeywords("   ").apply(ExplorationQuery())
+
+    def test_select_and_deselect_entity(self):
+        query = SelectEntity("dbr:Forrest_Gump").apply(ExplorationQuery())
+        assert query.has_seed("dbr:Forrest_Gump")
+        query = DeselectEntity("dbr:Forrest_Gump").apply(query)
+        assert not query.seed_entities
+
+    def test_pin_and_unpin_feature(self):
+        query = PinFeature(FEATURE).apply(ExplorationQuery())
+        assert query.has_feature(FEATURE)
+        query = UnpinFeature(FEATURE).apply(query)
+        assert not query.pinned_features
+
+    def test_lookup_does_not_change_state(self):
+        original = ExplorationQuery(seed_entities=("a",))
+        assert LookupEntity("b").apply(original) is original
+
+    def test_set_domain(self):
+        query = SetDomain("dbo:Actor").apply(ExplorationQuery())
+        assert query.domain_type == "dbo:Actor"
+
+    def test_pivot_replaces_seeds_and_domain(self):
+        start = ExplorationQuery(
+            keywords="gump",
+            seed_entities=("dbr:Forrest_Gump",),
+            pinned_features=(FEATURE,),
+            domain_type="dbo:Film",
+        )
+        pivoted = Pivot(target_entity="dbr:Tom_Hanks", target_type="dbo:Actor").apply(start)
+        assert pivoted.seed_entities == ("dbr:Tom_Hanks",)
+        assert pivoted.domain_type == "dbo:Actor"
+        assert pivoted.pinned_features == ()
+        assert pivoted.keywords == ""
+
+    def test_pivot_requires_target(self):
+        with pytest.raises(InvalidOperationError):
+            Pivot(target_entity="").apply(ExplorationQuery())
+
+    def test_describe_strings(self):
+        assert "submit" in SubmitKeywords("x").describe()
+        assert "dbr:Forrest_Gump" in SelectEntity("dbr:Forrest_Gump").describe()
+        assert "Tom_Hanks" in PinFeature(FEATURE).describe()
+        assert "pivot" in Pivot("dbr:Tom_Hanks", "dbo:Actor").describe()
+        assert "look up" in LookupEntity("x").describe()
+        assert "(any)" in SetDomain("").describe()
+
+    def test_operation_kinds_unique(self):
+        kinds = {
+            SubmitKeywords("x").kind,
+            SelectEntity("x").kind,
+            DeselectEntity("x").kind,
+            PinFeature(FEATURE).kind,
+            UnpinFeature(FEATURE).kind,
+            LookupEntity("x").kind,
+            Pivot("x").kind,
+            SetDomain("x").kind,
+        }
+        assert len(kinds) == 8

@@ -1,0 +1,111 @@
+"""Tests for repro.explore.query_state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidOperationError
+from repro.explore import ExplorationQuery
+from repro.features import SemanticFeature
+
+TOM_HANKS_STARRING = SemanticFeature("dbr:Tom_Hanks", "dbo:starring")
+
+
+class TestConstruction:
+    def test_empty_query(self):
+        query = ExplorationQuery()
+        assert query.is_empty
+        assert not query.is_keyword_only
+
+    def test_keyword_only(self):
+        query = ExplorationQuery(keywords="forrest gump")
+        assert query.is_keyword_only
+        assert not query.is_empty
+
+    def test_seed_deduplication(self):
+        query = ExplorationQuery(seed_entities=("a", "b", "a"))
+        assert query.seed_entities == ("a", "b")
+
+    def test_feature_deduplication(self):
+        query = ExplorationQuery(pinned_features=(TOM_HANKS_STARRING, TOM_HANKS_STARRING))
+        assert query.pinned_features == (TOM_HANKS_STARRING,)
+
+
+class TestManipulation:
+    def test_add_entity_returns_new_query(self):
+        query = ExplorationQuery()
+        new = query.add_entity("dbr:Forrest_Gump")
+        assert new is not query
+        assert new.has_seed("dbr:Forrest_Gump")
+        assert not query.has_seed("dbr:Forrest_Gump")
+
+    def test_add_duplicate_entity_is_noop(self):
+        query = ExplorationQuery(seed_entities=("a",))
+        assert query.add_entity("a") is query
+
+    def test_add_empty_entity_rejected(self):
+        with pytest.raises(InvalidOperationError):
+            ExplorationQuery().add_entity("")
+
+    def test_remove_entity(self):
+        query = ExplorationQuery(seed_entities=("a", "b"))
+        assert query.remove_entity("a").seed_entities == ("b",)
+
+    def test_remove_missing_entity_raises(self):
+        with pytest.raises(InvalidOperationError):
+            ExplorationQuery().remove_entity("a")
+
+    def test_add_and_remove_feature(self):
+        query = ExplorationQuery().add_feature(TOM_HANKS_STARRING)
+        assert query.has_feature(TOM_HANKS_STARRING)
+        assert not query.remove_feature(TOM_HANKS_STARRING).pinned_features
+
+    def test_remove_missing_feature_raises(self):
+        with pytest.raises(InvalidOperationError):
+            ExplorationQuery().remove_feature(TOM_HANKS_STARRING)
+
+    def test_add_duplicate_feature_is_noop(self):
+        query = ExplorationQuery(pinned_features=(TOM_HANKS_STARRING,))
+        assert query.add_feature(TOM_HANKS_STARRING) is query
+
+    def test_with_keywords_and_domain(self):
+        query = ExplorationQuery().with_keywords("gump").with_domain("dbo:Film")
+        assert query.keywords == "gump"
+        assert query.domain_type == "dbo:Film"
+
+    def test_replace_seeds_and_clear_features(self):
+        query = ExplorationQuery(
+            seed_entities=("a",), pinned_features=(TOM_HANKS_STARRING,)
+        )
+        replaced = query.replace_seeds(["x", "y", "x"]).clear_features()
+        assert replaced.seed_entities == ("x", "y")
+        assert replaced.pinned_features == ()
+
+
+class TestPresentation:
+    def test_describe_empty(self):
+        assert ExplorationQuery().describe() == "(empty query)"
+
+    def test_describe_mentions_parts(self):
+        query = ExplorationQuery(
+            keywords="gump",
+            seed_entities=("dbr:Forrest_Gump",),
+            pinned_features=(TOM_HANKS_STARRING,),
+            domain_type="dbo:Film",
+        )
+        text = query.describe()
+        assert "gump" in text
+        assert "dbr:Forrest_Gump" in text
+        assert "Tom_Hanks" in text
+        assert "dbo:Film" in text
+
+    def test_signature_detects_equivalence(self):
+        left = ExplorationQuery(keywords="Gump  ", seed_entities=("a",))
+        right = ExplorationQuery(keywords="gump", seed_entities=("a",))
+        assert left.signature() == right.signature()
+
+    def test_signature_differs_for_different_seeds(self):
+        assert (
+            ExplorationQuery(seed_entities=("a",)).signature()
+            != ExplorationQuery(seed_entities=("b",)).signature()
+        )

@@ -1,0 +1,81 @@
+"""Tests for repro.explore.recommender: the RecommendationEngine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoSeedEntitiesError
+from repro.explore import ExplorationQuery, RecommendationEngine
+from repro.features import Direction, SemanticFeature
+from repro.kg import KnowledgeGraph
+
+
+@pytest.fixture
+def engine(tiny_kg: KnowledgeGraph) -> RecommendationEngine:
+    return RecommendationEngine(tiny_kg)
+
+
+class TestRecommendForSeeds:
+    def test_entities_and_features_returned(self, engine: RecommendationEngine):
+        recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+        assert recommendation.entity_ids()
+        assert recommendation.feature_notations()
+        assert recommendation.entity_ids()[0] == "ex:F3"
+
+    def test_correlation_matrix_shape(self, engine: RecommendationEngine):
+        recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+        rows, columns = recommendation.correlations.shape
+        assert rows == len(recommendation.entities)
+        assert columns == len(recommendation.features)
+
+    def test_empty_seeds_raise(self, engine: RecommendationEngine):
+        with pytest.raises(NoSeedEntitiesError):
+            engine.recommend_for_seeds([])
+
+    def test_domain_restriction(self, engine: RecommendationEngine, tiny_kg: KnowledgeGraph):
+        recommendation = engine.recommend_for_seeds(["ex:F1"], domain_type="ex:Film")
+        for entity_id in recommendation.entity_ids():
+            assert "ex:Film" in tiny_kg.types_of(entity_id)
+
+    def test_pinned_feature_constrains_entities(self, engine: RecommendationEngine):
+        pinned = SemanticFeature("ex:A1", "ex:starring", Direction.OBJECT_OF)
+        recommendation = engine.recommend_for_seeds(["ex:F1"], pinned_features=[pinned])
+        for entity_id in recommendation.entity_ids():
+            assert engine.feature_index.holds(entity_id, pinned)
+
+    def test_top_limits(self, engine: RecommendationEngine):
+        recommendation = engine.recommend_for_seeds(["ex:F1"], top_entities=1, top_features=2)
+        assert len(recommendation.entities) <= 1
+        assert len(recommendation.features) <= 2
+
+
+class TestRecommendFromQueryState:
+    def test_query_with_seeds(self, engine: RecommendationEngine):
+        query = ExplorationQuery(seed_entities=("ex:F1", "ex:F2"), keywords="films")
+        recommendation = engine.recommend(query)
+        assert recommendation.query is query
+        assert recommendation.entity_ids()
+
+    def test_keyword_only_query_rejected(self, engine: RecommendationEngine):
+        with pytest.raises(NoSeedEntitiesError):
+            engine.recommend(ExplorationQuery(keywords="films"))
+
+
+class TestPivotTargets:
+    def test_targets_grouped_by_anchor(self, engine: RecommendationEngine):
+        recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+        targets = engine.pivot_targets(recommendation)
+        anchors = [anchor for anchor, _, _ in targets]
+        # Actors and the genre anchor the recommended features.
+        assert "ex:A1" in anchors or "ex:A2" in anchors
+
+    def test_targets_carry_types_and_support(self, engine: RecommendationEngine):
+        recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+        for anchor, anchor_type, support in engine.pivot_targets(recommendation):
+            assert isinstance(anchor, str)
+            assert support >= 1
+            assert anchor_type
+
+    def test_max_targets(self, engine: RecommendationEngine):
+        recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+        assert len(engine.pivot_targets(recommendation, max_targets=2)) <= 2

@@ -1,0 +1,149 @@
+"""Tests for repro.explore.session and repro.explore.path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SessionStateError
+from repro.explore import (
+    ExplorationPath,
+    ExplorationQuery,
+    ExplorationSession,
+    LookupEntity,
+    Pivot,
+    SelectEntity,
+    SubmitKeywords,
+)
+
+
+class TestSessionTimeline:
+    def test_initial_state_empty(self):
+        session = ExplorationSession("s1")
+        assert session.current_query.is_empty
+        assert len(session) == 0
+        assert len(session.path) == 1  # the start node
+
+    def test_apply_records_timeline(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("forrest gump"))
+        session.apply(SelectEntity("dbr:Forrest_Gump"))
+        assert len(session) == 2
+        assert session.timeline[0].operation_kind == "submit"
+        assert session.current_query.has_seed("dbr:Forrest_Gump")
+
+    def test_lookup_recorded_but_state_unchanged(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        before = session.current_query
+        session.apply(LookupEntity("dbr:Forrest_Gump"))
+        assert session.current_query == before
+        assert session.lookups == ("dbr:Forrest_Gump",)
+
+    def test_behaviour_summary_counts(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        session.apply(SelectEntity("a"))
+        session.apply(SelectEntity("b"))
+        summary = session.behaviour_summary()
+        assert summary == {"submit": 1, "select-entity": 2}
+
+    def test_revisit_restores_query(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        session.apply(SelectEntity("a"))
+        session.apply(SelectEntity("b"))
+        restored = session.revisit(1)
+        assert restored.seed_entities == ("a",)
+        assert session.current_query.seed_entities == ("a",)
+
+    def test_revisit_out_of_range(self):
+        session = ExplorationSession()
+        with pytest.raises(SessionStateError):
+            session.revisit(0)
+
+    def test_visited_queries_unique(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        session.apply(LookupEntity("x"))  # same query state
+        session.apply(SelectEntity("a"))
+        assert len(session.visited_queries()) == 2
+
+    def test_apply_all(self):
+        session = ExplorationSession()
+        session.apply_all([SubmitKeywords("gump"), SelectEntity("a")])
+        assert len(session) == 2
+
+    def test_describe_transcript(self):
+        session = ExplorationSession("demo")
+        session.apply(SubmitKeywords("gump"))
+        text = session.describe()
+        assert "demo" in text and "submit" in text
+
+
+class TestSessionPath:
+    def test_path_grows_with_state_changes(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        session.apply(SelectEntity("a"))
+        # start + 2 new states
+        assert len(session.path) == 3
+        assert len(session.path.edges) == 2
+
+    def test_lookup_does_not_add_path_node(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        nodes_before = len(session.path)
+        session.apply(LookupEntity("x"))
+        assert len(session.path) == nodes_before
+
+    def test_branching_after_revisit(self):
+        session = ExplorationSession()
+        session.apply(SubmitKeywords("gump"))
+        session.apply(SelectEntity("a"))
+        session.revisit(0)
+        session.apply(SelectEntity("b"))
+        # The node for the keyword query has two outgoing branches now.
+        keyword_node = next(
+            node for node in session.path.nodes if node.query.keywords == "gump" and not node.query.seed_entities
+        )
+        assert len(session.path.branches_from(keyword_node.node_id)) == 2
+
+    def test_pivot_recorded_in_path(self):
+        session = ExplorationSession()
+        session.apply(SelectEntity("dbr:Forrest_Gump"))
+        session.apply(Pivot("dbr:Tom_Hanks", "dbo:Actor"))
+        kinds = {edge.operation_kind for edge in session.path.edges}
+        assert "pivot" in kinds
+
+
+class TestExplorationPathDirect:
+    def test_add_state_and_current(self):
+        path = ExplorationPath()
+        node = path.add_state(ExplorationQuery(keywords="a"))
+        assert path.current_node == node
+        assert len(path) == 1
+
+    def test_jump_to(self):
+        path = ExplorationPath()
+        first = path.add_state(ExplorationQuery(keywords="a"))
+        path.add_state(ExplorationQuery(keywords="b"), SubmitKeywords("b"))
+        path.jump_to(first.node_id)
+        assert path.current_node == first
+
+    def test_node_out_of_range(self):
+        with pytest.raises(IndexError):
+            ExplorationPath().node(0)
+
+    def test_as_dict_structure(self):
+        path = ExplorationPath()
+        path.add_state(ExplorationQuery(keywords="a"))
+        path.add_state(ExplorationQuery(keywords="b"), SubmitKeywords("b"))
+        payload = path.as_dict()
+        assert len(payload["nodes"]) == 2
+        assert len(payload["edges"]) == 1
+        assert payload["current"] == 1
+
+    def test_describe_lists_nodes(self):
+        path = ExplorationPath()
+        path.add_state(ExplorationQuery(keywords="a"))
+        assert "[0]" in path.describe()

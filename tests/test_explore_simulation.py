@@ -1,0 +1,84 @@
+"""Tests for repro.explore.simulation: simulated users."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PivotE
+from repro.datasets import tom_hanks_task
+from repro.exceptions import ExplorationError
+from repro.explore import (
+    FocusedInvestigator,
+    RandomExplorer,
+    SimulationResult,
+    run_investigation_workload,
+)
+
+
+class TestSimulationResult:
+    def test_recall_and_steps_to_recall(self):
+        result = SimulationResult(
+            session_id="s",
+            steps=5,
+            found=("a", "b"),
+            target_size=4,
+            recall_per_step=(0.25, 0.5, 0.5),
+        )
+        assert result.recall == 0.5
+        assert result.steps_to_recall(0.5) == 2
+        assert result.steps_to_recall(0.9) is None
+
+    def test_zero_target(self):
+        result = SimulationResult(session_id="s", steps=0, found=(), target_size=0)
+        assert result.recall == 0.0
+
+
+class TestFocusedInvestigator:
+    def test_recovers_tom_hanks_films(self, movie_system: PivotE, movie_kg):
+        task = tom_hanks_task(movie_kg)
+        investigator = FocusedInvestigator(movie_system, task.relevant, max_steps=8)
+        result = investigator.run(task.seeds, session_id="sim-hanks")
+        # The cooperative user recovers most of the concept within the budget.
+        assert result.recall >= 0.5
+        assert result.operations.get("select-entity", 0) >= 2
+        assert result.steps > 0
+
+    def test_recall_per_step_monotonic(self, movie_system: PivotE, movie_kg):
+        task = tom_hanks_task(movie_kg)
+        investigator = FocusedInvestigator(movie_system, task.relevant, max_steps=6)
+        result = investigator.run(task.seeds, session_id="sim-monotone")
+        recalls = list(result.recall_per_step)
+        assert recalls == sorted(recalls)
+
+    def test_validation(self, movie_system: PivotE):
+        with pytest.raises(ExplorationError):
+            FocusedInvestigator(movie_system, [])
+        with pytest.raises(ExplorationError):
+            FocusedInvestigator(movie_system, ["x"], max_steps=0)
+
+    def test_workload_runner(self, movie_system: PivotE, movie_kg):
+        task = tom_hanks_task(movie_kg)
+        results = run_investigation_workload(
+            movie_system, [(task.seeds, task.relevant)], max_steps=5
+        )
+        assert len(results) == 1
+        assert results[0].session_id == "investigation-0"
+
+
+class TestRandomExplorer:
+    def test_random_walk_never_crashes_and_records_operations(self, movie_system: PivotE):
+        explorer = RandomExplorer(movie_system, steps=10, pivot_probability=0.3, seed=1)
+        result = explorer.run("forrest gump", session_id="sim-random")
+        assert result.steps >= 1
+        assert sum(result.operations.values()) == result.steps
+
+    def test_deterministic_given_seed(self, movie_system: PivotE):
+        first = RandomExplorer(movie_system, steps=6, seed=7).run("tom hanks", "sim-a")
+        second = RandomExplorer(movie_system, steps=6, seed=7).run("tom hanks", "sim-b")
+        assert first.operations == second.operations
+
+    def test_validation(self, movie_system: PivotE):
+        with pytest.raises(ExplorationError):
+            RandomExplorer(movie_system, steps=0)
+        with pytest.raises(ExplorationError):
+            RandomExplorer(movie_system, pivot_probability=1.5)

@@ -1,0 +1,145 @@
+"""Tests for repro.features.extraction and feature_index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EntityNotFoundError
+from repro.features import (
+    Direction,
+    SemanticFeature,
+    SemanticFeatureIndex,
+    anchor_type_directions,
+    candidate_entities,
+    entity_matches,
+    feature_target_types,
+    features_of_entities,
+    features_of_entity,
+    matching_entities,
+)
+from repro.kg import KnowledgeGraph
+
+STARRING_A1 = SemanticFeature("ex:A1", "ex:starring", Direction.OBJECT_OF)
+STARRING_A2 = SemanticFeature("ex:A2", "ex:starring", Direction.OBJECT_OF)
+GENRE_G1 = SemanticFeature("ex:G1", "ex:genre", Direction.OBJECT_OF)
+F1_STARS = SemanticFeature("ex:F1", "ex:starring", Direction.SUBJECT_OF)
+
+
+class TestFeaturesOfEntity:
+    def test_film_features_are_outgoing_object_of(self, tiny_kg: KnowledgeGraph):
+        features = set(features_of_entity(tiny_kg, "ex:F1"))
+        assert STARRING_A1 in features
+        assert STARRING_A2 in features
+        assert GENRE_G1 in features
+
+    def test_actor_features_are_incoming_subject_of(self, tiny_kg: KnowledgeGraph):
+        features = set(features_of_entity(tiny_kg, "ex:A1"))
+        assert F1_STARS in features
+        assert SemanticFeature("ex:F2", "ex:starring", Direction.SUBJECT_OF) in features
+
+    def test_unknown_entity_raises(self, tiny_kg: KnowledgeGraph):
+        with pytest.raises(EntityNotFoundError):
+            features_of_entity(tiny_kg, "ex:nope")
+
+    def test_feature_count_matches_degree(self, tiny_kg: KnowledgeGraph):
+        assert len(features_of_entity(tiny_kg, "ex:F1")) == tiny_kg.degree("ex:F1")
+
+
+class TestMatchingEntities:
+    def test_object_of_matches_subjects(self, tiny_kg: KnowledgeGraph):
+        # Films starring A1.
+        assert matching_entities(tiny_kg, STARRING_A1) == {"ex:F1", "ex:F2", "ex:F3"}
+
+    def test_subject_of_matches_objects(self, tiny_kg: KnowledgeGraph):
+        # Entities F1 stars: its actors.
+        assert matching_entities(tiny_kg, F1_STARS) == {"ex:A1", "ex:A2"}
+
+    def test_unknown_feature_empty(self, tiny_kg: KnowledgeGraph):
+        missing = SemanticFeature("ex:A1", "ex:nonexistent")
+        assert matching_entities(tiny_kg, missing) == set()
+
+    def test_entity_matches(self, tiny_kg: KnowledgeGraph):
+        assert entity_matches(tiny_kg, "ex:F1", STARRING_A1)
+        assert not entity_matches(tiny_kg, "ex:F4", STARRING_A1)
+
+
+class TestAggregation:
+    def test_features_of_entities_holders(self, tiny_kg: KnowledgeGraph):
+        holders = features_of_entities(tiny_kg, ["ex:F1", "ex:F2"])
+        assert holders[STARRING_A1] == {"ex:F1", "ex:F2"}
+        assert holders[GENRE_G1] == {"ex:F1", "ex:F2"}
+
+    def test_candidate_entities_ordered_by_overlap(self, tiny_kg: KnowledgeGraph):
+        candidates = candidate_entities(
+            tiny_kg, [STARRING_A1, STARRING_A2, GENRE_G1], exclude=["ex:F1"]
+        )
+        # F2 matches all three features, F3 matches two, F4 none.
+        assert candidates[0] == "ex:F2"
+        assert "ex:F1" not in candidates
+        assert "ex:F4" not in candidates
+
+    def test_candidate_entities_limit(self, tiny_kg: KnowledgeGraph):
+        candidates = candidate_entities(tiny_kg, [STARRING_A1], limit=1)
+        assert len(candidates) == 1
+
+    def test_feature_target_types(self, tiny_kg: KnowledgeGraph):
+        types = feature_target_types(tiny_kg, STARRING_A1)
+        assert types == {"ex:Film": 3}
+
+    def test_anchor_type_directions(self, tiny_kg: KnowledgeGraph):
+        directions = anchor_type_directions(tiny_kg, "ex:F1")
+        assert directions["ex:Actor"] == 2
+        assert directions["ex:Director"] == 1
+        assert directions["ex:Genre"] == 1
+
+
+class TestSemanticFeatureIndex:
+    def test_index_matches_direct_extraction(self, tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex):
+        for entity in tiny_kg.entities():
+            assert tiny_feature_index.features_of(entity) == frozenset(
+                features_of_entity(tiny_kg, entity)
+            )
+
+    def test_entities_matching(self, tiny_feature_index: SemanticFeatureIndex):
+        assert tiny_feature_index.entities_matching(STARRING_A1) == {"ex:F1", "ex:F2", "ex:F3"}
+        assert tiny_feature_index.matching_count(STARRING_A1) == 3
+
+    def test_holds(self, tiny_feature_index: SemanticFeatureIndex):
+        assert tiny_feature_index.holds("ex:F1", STARRING_A1)
+        assert not tiny_feature_index.holds("ex:F4", STARRING_A1)
+
+    def test_unknown_entity_and_feature_empty(self, tiny_feature_index: SemanticFeatureIndex):
+        assert tiny_feature_index.features_of("ex:ghost") == frozenset()
+        assert tiny_feature_index.entities_matching(SemanticFeature("x", "y")) == set()
+
+    def test_all_features_sorted_and_counted(self, tiny_feature_index: SemanticFeatureIndex):
+        features = tiny_feature_index.all_features()
+        assert features == sorted(features)
+        assert tiny_feature_index.num_features() == len(features)
+
+    def test_features_of_any(self, tiny_feature_index: SemanticFeatureIndex):
+        holders = tiny_feature_index.features_of_any(["ex:F1", "ex:F4"])
+        assert holders[SemanticFeature("ex:D1", "ex:director")] == {"ex:F1", "ex:F4"}
+
+    def test_type_conditional_count(self, tiny_feature_index: SemanticFeatureIndex):
+        intersection, population = tiny_feature_index.type_conditional_count(STARRING_A1, "ex:Film")
+        assert (intersection, population) == (3, 4)
+
+    def test_type_conditional_unknown_type(self, tiny_feature_index: SemanticFeatureIndex):
+        assert tiny_feature_index.type_conditional_count(STARRING_A1, "ex:Nope") == (0, 0)
+
+    def test_shared_features(self, tiny_feature_index: SemanticFeatureIndex):
+        shared = tiny_feature_index.shared_features("ex:F1", "ex:F2")
+        assert STARRING_A1 in shared and GENRE_G1 in shared
+        assert SemanticFeature("ex:D1", "ex:director") not in shared
+
+    def test_frequency_histogram(self, tiny_feature_index: SemanticFeatureIndex):
+        histogram = tiny_feature_index.feature_frequency_histogram()
+        assert sum(histogram.values()) == tiny_feature_index.num_features()
+
+    def test_rebuild_after_graph_change(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        before = index.matching_count(STARRING_A1)
+        tiny_kg.add("ex:F4", "ex:starring", "ex:A1")
+        index.rebuild()
+        assert index.matching_count(STARRING_A1) == before + 1

@@ -1,0 +1,88 @@
+"""Tests for repro.features.semantic_feature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.features import Direction, SemanticFeature
+
+
+class TestDirection:
+    def test_flipped(self):
+        assert Direction.OBJECT_OF.flipped() is Direction.SUBJECT_OF
+        assert Direction.SUBJECT_OF.flipped() is Direction.OBJECT_OF
+
+    def test_values(self):
+        assert Direction.OBJECT_OF.value == "object_of"
+        assert Direction.SUBJECT_OF.value == "subject_of"
+
+
+class TestSemanticFeature:
+    def test_notation_object_of(self):
+        feature = SemanticFeature("dbr:Tom_Hanks", "dbo:starring", Direction.OBJECT_OF)
+        assert feature.notation() == "dbr:Tom_Hanks:dbo:starring"
+
+    def test_notation_subject_of_has_caret(self):
+        feature = SemanticFeature("dbr:Forrest_Gump", "dbo:starring", Direction.SUBJECT_OF)
+        assert feature.notation().endswith("^")
+
+    def test_triple_pattern(self):
+        object_of = SemanticFeature("dbr:Tom_Hanks", "dbo:starring", Direction.OBJECT_OF)
+        subject_of = SemanticFeature("dbr:Forrest_Gump", "dbo:starring", Direction.SUBJECT_OF)
+        assert object_of.triple_pattern() == "<?x, dbo:starring, dbr:Tom_Hanks>"
+        assert subject_of.triple_pattern() == "<dbr:Forrest_Gump, dbo:starring, ?x>"
+
+    def test_key_hashable(self):
+        feature = SemanticFeature("a", "p")
+        assert feature.key == ("a", "p", "object_of")
+        assert {feature: 1}[SemanticFeature("a", "p")] == 1
+
+    def test_default_direction_is_object_of(self):
+        assert SemanticFeature("a", "p").direction is Direction.OBJECT_OF
+
+    def test_empty_anchor_or_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticFeature("", "p")
+        with pytest.raises(ValueError):
+            SemanticFeature("a", "")
+
+    def test_describe_object_of(self):
+        feature = SemanticFeature("dbr:Tom_Hanks", "starring")
+        text = feature.describe(anchor_label="Tom Hanks")
+        assert "Tom Hanks" in text and "starring" in text
+
+    def test_ordering_is_deterministic(self):
+        features = sorted([SemanticFeature("b", "p"), SemanticFeature("a", "p")])
+        assert features[0].anchor == "a"
+
+
+class TestParse:
+    def test_parse_two_parts(self):
+        feature = SemanticFeature.parse("Tom_Hanks:starring")
+        assert feature.anchor == "Tom_Hanks"
+        assert feature.predicate == "starring"
+        assert feature.direction is Direction.OBJECT_OF
+
+    def test_parse_three_parts_keeps_namespace_with_anchor(self):
+        feature = SemanticFeature.parse("dbr:Tom_Hanks:starring")
+        assert feature.anchor == "dbr:Tom_Hanks"
+        assert feature.predicate == "starring"
+
+    def test_parse_four_parts(self):
+        feature = SemanticFeature.parse("dbr:Tom_Hanks:dbo:starring")
+        assert feature.anchor == "dbr:Tom_Hanks"
+        assert feature.predicate == "dbo:starring"
+
+    def test_parse_subject_of_caret(self):
+        feature = SemanticFeature.parse("dbr:Forrest_Gump:dbo:starring^")
+        assert feature.direction is Direction.SUBJECT_OF
+
+    def test_roundtrip_notation(self):
+        original = SemanticFeature("dbr:Tom_Hanks", "dbo:starring", Direction.SUBJECT_OF)
+        assert SemanticFeature.parse(original.notation()) == original
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            SemanticFeature.parse("")
+        with pytest.raises(ValueError):
+            SemanticFeature.parse("noseparator")

@@ -1,0 +1,129 @@
+"""Integration tests replaying the paper's demo scenarios (§3) end to end.
+
+Scenario 1 (entity investigation, §3.1): keyword query "Forrest Gump",
+inspect the entity, express "films starring Tom Hanks" via the semantic
+feature, and "films similar to Forrest Gump" via the entity.
+
+Scenario 2 (search domain exploration, §3.2): from the film domain the user
+pivots into the Actor domain via Tom Hanks, explores actors, and revisits a
+historical query from the timeline (Fig 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PivotE
+from repro.datasets import CURATED_TOM_HANKS_FILMS
+from repro.features import SemanticFeature
+from repro.viz import render_matrix_ascii, render_path_ascii, session_to_dict
+
+TOM_HANKS_STARRING = SemanticFeature("dbr:Tom_Hanks", "dbo:starring")
+
+
+class TestScenario1EntityInvestigation:
+    def test_keyword_to_entities_to_similar_films(self, movie_system: PivotE):
+        session = movie_system.start_session("scenario-1")
+
+        # 1. Keyword query (Fig 3-a).
+        response = movie_system.submit_keywords(session, "Forrest Gump")
+        assert response.hits[0].entity_id == "dbr:Forrest_Gump"
+        assert response.matrix is not None
+
+        # 2. Look up the entity profile (Fig 3-d).
+        profile = movie_system.lookup_in_session(session, "dbr:Forrest_Gump")
+        assert profile.title == "Forrest Gump"
+        assert any("dbo:starring" == p for p, _ in profile.top_facts) or profile.top_facts
+
+        # 3. "Find films similar to Forrest Gump": select the entity as example.
+        response = movie_system.select_entity(session, "dbr:Forrest_Gump")
+        recommendation = response.recommendation
+        assert recommendation is not None
+        similar = recommendation.entity_ids()
+        # Other Tom Hanks films are recommended among the top results.
+        assert set(similar[:10]) & set(CURATED_TOM_HANKS_FILMS)
+
+        # 4. "Find films starring Tom Hanks": pin the semantic feature.
+        response = movie_system.pin_feature(session, TOM_HANKS_STARRING)
+        recommendation = response.recommendation
+        assert recommendation is not None
+        for entity_id in recommendation.entity_ids():
+            assert movie_system.feature_index.holds(entity_id, TOM_HANKS_STARRING)
+
+        # The Tom Hanks feature itself is among the recommended features.
+        assert TOM_HANKS_STARRING.notation() in recommendation.feature_notations()
+
+    def test_heat_map_explains_recommendation(self, movie_system: PivotE):
+        recommendation = movie_system.recommend(
+            ["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"]
+        )
+        matrix = movie_system.matrix_for(recommendation)
+        text = render_matrix_ascii(matrix)
+        assert "Query:" in text
+        # Dark cells exist: some (entity, feature) pairs are direct matches.
+        assert matrix.heatmap.levels.max() >= matrix.heatmap.num_levels - 2
+        # The explanation area verbalises the shared-actor evidence.
+        explanation = movie_system.explain("dbr:Forrest_Gump", "dbr:Apollo_13_(film)")
+        assert "Tom Hanks" in explanation.text and "Gary Sinise" in explanation.text
+
+
+class TestScenario2DomainExploration:
+    def test_pivot_to_actor_domain_and_traceback(self, movie_system: PivotE):
+        session = movie_system.start_session("scenario-2")
+
+        movie_system.submit_keywords(session, "Forrest Gump")
+        movie_system.select_entity(session, "dbr:Forrest_Gump")
+
+        # Pivot: double-click Tom Hanks to switch the search domain.
+        response = movie_system.pivot(session, "dbr:Tom_Hanks")
+        assert session.current_query.domain_type == "dbo:Actor"
+        recommendation = response.recommendation
+        assert recommendation is not None
+        for entity_id in recommendation.entity_ids():
+            assert "dbo:Actor" in movie_system.graph.types_of(entity_id)
+        # Gary Sinise (co-star in two seed films) is among the recommended actors.
+        assert "dbr:Gary_Sinise" in recommendation.entity_ids()
+
+        # The exploratory path records the whole trajectory (Fig 4).
+        path_text = render_path_ascii(session.path)
+        assert "pivot" in path_text
+
+        # Timeline traceback: revisit the first query.
+        restored = session.revisit(0)
+        assert restored.keywords == "Forrest Gump"
+        response = movie_system.investigate(session)
+        assert response.hits or response.recommendation is not None
+
+    def test_session_export_is_complete(self, movie_system: PivotE):
+        session = movie_system.start_session("scenario-export")
+        movie_system.submit_keywords(session, "tom hanks")
+        movie_system.select_entity(session, "dbr:Tom_Hanks")
+        movie_system.pivot(session, "dbr:Forrest_Gump")
+        payload = session_to_dict(session)
+        assert payload["behaviour"]["pivot"] == 1
+        assert len(payload["timeline"]) == 3
+        assert payload["path"]["nodes"]
+
+    def test_pivot_targets_point_to_other_domains(self, movie_system: PivotE):
+        recommendation = movie_system.recommend(["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"])
+        targets = movie_system.recommendation_engine.pivot_targets(recommendation)
+        target_types = {anchor_type for _, anchor_type, _ in targets}
+        # The exploration pointers lead out of the Film domain into Actor/Director/...
+        assert any(t != "dbo:Film" for t in target_types)
+        anchors = {anchor for anchor, _, _ in targets}
+        assert "dbr:Tom_Hanks" in anchors
+
+
+class TestCrossDomainAcademic:
+    def test_expansion_works_on_academic_graph(self, academic_kg):
+        """The ranking model is domain-agnostic: it works on the academic KG too."""
+        system = PivotE(academic_kg)
+        papers = sorted(academic_kg.entities_of_type("pivote:Paper"))
+        venue = next(iter(academic_kg.objects(papers[0], "pivote:publishedIn")))
+        same_venue = sorted(academic_kg.subjects("pivote:publishedIn", venue))
+        if len(same_venue) >= 3:
+            seeds = same_venue[:2]
+            recommendation = system.recommend(seeds)
+            assert recommendation.entity_ids()
+            # The venue feature is recognised as relevant.
+            assert any(venue in notation for notation in recommendation.feature_notations())

@@ -1,0 +1,64 @@
+"""Tests for repro.kg.builder: the fluent GraphBuilder."""
+
+from __future__ import annotations
+
+from repro.kg import GraphBuilder, KnowledgeGraph
+
+
+class TestGraphBuilder:
+    def test_entity_with_everything(self):
+        kg = (
+            GraphBuilder("b")
+            .entity(
+                "ex:F1",
+                label="Film One",
+                types=["ex:Film"],
+                categories=["exc:Films"],
+                attributes={"ex:year": "1994", "ex:tags": ["a", "b"]},
+                aliases=["ex:F1_alias"],
+            )
+            .build()
+        )
+        assert kg.label("ex:F1") == "Film One"
+        assert kg.types_of("ex:F1") == {"ex:Film"}
+        assert kg.categories_of("ex:F1") == {"exc:Films"}
+        assert kg.attributes_of("ex:F1") == {"ex:year": ["1994"], "ex:tags": ["a", "b"]}
+        assert kg.aliases_of("ex:F1") == {"ex:F1_alias"}
+
+    def test_edge_and_edges(self):
+        kg = (
+            GraphBuilder()
+            .edge("ex:F1", "ex:starring", "ex:A1")
+            .edges("ex:F2", "ex:starring", ["ex:A1", "ex:A2"])
+            .build()
+        )
+        assert kg.objects("ex:F2", "ex:starring") == {"ex:A1", "ex:A2"}
+        assert kg.subjects("ex:starring", "ex:A1") == {"ex:F1", "ex:F2"}
+
+    def test_individual_helpers(self):
+        kg = (
+            GraphBuilder()
+            .label("ex:X", "X")
+            .type("ex:X", "ex:Thing")
+            .category("ex:X", "exc:Things")
+            .attribute("ex:X", "ex:size", "5")
+            .alias("ex:X", "ex:X_alt")
+            .build()
+        )
+        assert kg.label("ex:X") == "X"
+        assert kg.types_of("ex:X") == {"ex:Thing"}
+        assert kg.categories_of("ex:X") == {"exc:Things"}
+        assert kg.attributes_of("ex:X") == {"ex:size": ["5"]}
+        assert kg.aliases_of("ex:X") == {"ex:X_alt"}
+
+    def test_merge_other_graph(self):
+        base = GraphBuilder().edge("a", "p", "b").build()
+        merged = GraphBuilder().merge(base).edge("c", "p", "d").build()
+        assert "a" in merged and "c" in merged
+
+    def test_build_returns_knowledge_graph(self):
+        assert isinstance(GraphBuilder().build(), KnowledgeGraph)
+
+    def test_chaining_returns_builder(self):
+        builder = GraphBuilder()
+        assert builder.edge("a", "p", "b") is builder

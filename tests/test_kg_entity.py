@@ -1,0 +1,81 @@
+"""Tests for repro.kg.entity: Entity snapshots and profiles."""
+
+from __future__ import annotations
+
+from repro.kg import Entity, KnowledgeGraph, build_profile, wikipedia_url
+
+
+class TestEntity:
+    def test_name_prefers_label(self):
+        entity = Entity(identifier="dbr:Forrest_Gump", labels=("Forrest Gump", "FG"))
+        assert entity.name == "Forrest Gump"
+
+    def test_name_falls_back_to_identifier(self):
+        entity = Entity(identifier="dbr:Forrest_Gump")
+        assert entity.name == "Forrest Gump"
+
+    def test_primary_type(self):
+        assert Entity(identifier="x", types=("dbo:Film", "dbo:Work")).primary_type == "dbo:Film"
+        assert Entity(identifier="x").primary_type == ""
+
+    def test_has_type(self):
+        entity = Entity(identifier="x", types=("dbo:Film",))
+        assert entity.has_type("dbo:Film")
+        assert not entity.has_type("dbo:Actor")
+
+    def test_attribute_values_flattened_sorted_by_predicate(self):
+        entity = Entity(
+            identifier="x",
+            attributes={"b:runtime": ("142 minutes",), "a:budget": ("55M", "60M")},
+        )
+        assert entity.attribute_values() == ("55M", "60M", "142 minutes")
+
+    def test_degree_and_neighbours(self):
+        entity = Entity(
+            identifier="x",
+            outgoing=(("p", "a"), ("p", "b")),
+            incoming=(("q", "c"), ("q", "a")),
+        )
+        assert entity.degree() == 4
+        assert entity.neighbours() == ("a", "b", "c")
+
+    def test_summary_contains_name_and_types(self):
+        entity = Entity(identifier="dbr:X", labels=("X",), types=("dbo:Film",))
+        summary = entity.summary()
+        assert "X" in summary
+        assert "dbo:Film" in summary
+
+
+class TestProfile:
+    def test_wikipedia_url(self):
+        assert wikipedia_url("dbr:Forrest_Gump") == "https://en.wikipedia.org/wiki/Forrest_Gump"
+
+    def test_build_profile_orders_facts(self):
+        entity = Entity(
+            identifier="dbr:X",
+            attributes={"dbo:runtime": ("142 minutes",)},
+            outgoing=(("dbo:starring", "dbr:Tom_Hanks"),),
+            incoming=(("dbo:sequel", "dbr:Y"),),
+        )
+        profile = build_profile(entity)
+        assert profile.top_facts[0] == ("dbo:runtime", "142 minutes")
+        assert ("dbo:starring", "dbr:Tom_Hanks") in profile.top_facts
+        assert ("^dbo:sequel", "dbr:Y") in profile.top_facts
+
+    def test_build_profile_truncates(self):
+        entity = Entity(
+            identifier="dbr:X",
+            outgoing=tuple((f"p{i}", f"o{i}") for i in range(30)),
+        )
+        profile = build_profile(entity, max_facts=5)
+        assert len(profile.top_facts) == 5
+
+    def test_profile_title(self):
+        entity = Entity(identifier="dbr:X", labels=("The X",))
+        assert build_profile(entity).title == "The X"
+
+    def test_profile_from_graph_snapshot(self, tiny_kg: KnowledgeGraph):
+        profile = build_profile(tiny_kg.entity("ex:F1"))
+        assert profile.entity.identifier == "ex:F1"
+        assert profile.external_url.endswith("/F1")
+        assert profile.top_facts

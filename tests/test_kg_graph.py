@@ -1,0 +1,196 @@
+"""Tests for repro.kg.graph: the KnowledgeGraph store and its indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EntityNotFoundError
+from repro.kg import KnowledgeGraph, Literal, Triple
+
+
+@pytest.fixture
+def graph() -> KnowledgeGraph:
+    kg = KnowledgeGraph("test")
+    kg.add_label("ex:F1", "Film One")
+    kg.add_type("ex:F1", "ex:Film")
+    kg.add_category("ex:F1", "exc:Films")
+    kg.add_attribute("ex:F1", "ex:year", "1994")
+    kg.add_alias("ex:F1", "ex:F1_redirect")
+    kg.add("ex:F1", "ex:starring", "ex:A1")
+    kg.add("ex:F1", "ex:starring", "ex:A2")
+    kg.add("ex:F2", "ex:starring", "ex:A1")
+    kg.add_type("ex:F2", "ex:Film")
+    kg.add_type("ex:A1", "ex:Actor")
+    kg.add_type("ex:A2", "ex:Actor")
+    return kg
+
+
+class TestMutation:
+    def test_add_returns_true_for_new_triple(self):
+        kg = KnowledgeGraph()
+        assert kg.add("a", "p", "b") is True
+
+    def test_add_returns_false_for_duplicate(self):
+        kg = KnowledgeGraph()
+        kg.add("a", "p", "b")
+        assert kg.add("a", "p", "b") is False
+        assert len(kg) == 1
+
+    def test_add_all_counts_new_triples(self):
+        kg = KnowledgeGraph()
+        triples = [Triple("a", "p", "b"), Triple("a", "p", "b"), Triple("a", "p", "c")]
+        assert kg.add_all(triples) == 2
+
+    def test_add_literal(self):
+        kg = KnowledgeGraph()
+        kg.add("a", "p", Literal("42"))
+        assert len(kg) == 1
+        assert kg.attributes_of("a") == {"p": ["42"]}
+
+    def test_len_counts_all_triples(self, graph: KnowledgeGraph):
+        # 1 label + 1 type + 1 category + 1 attribute + 1 alias + 3 starring
+        # edges + 3 further type declarations = 11 triples.
+        assert len(graph) == 11
+
+    def test_contains_entity(self, graph: KnowledgeGraph):
+        assert "ex:F1" in graph
+        assert "ex:A1" in graph      # object entities are registered too
+        assert "ex:missing" not in graph
+
+
+class TestPatternQueries:
+    def test_objects(self, graph: KnowledgeGraph):
+        assert graph.objects("ex:F1", "ex:starring") == {"ex:A1", "ex:A2"}
+
+    def test_objects_unknown_subject_empty(self, graph: KnowledgeGraph):
+        assert graph.objects("ex:unknown", "ex:starring") == set()
+
+    def test_subjects(self, graph: KnowledgeGraph):
+        assert graph.subjects("ex:starring", "ex:A1") == {"ex:F1", "ex:F2"}
+
+    def test_predicates_between(self, graph: KnowledgeGraph):
+        assert graph.predicates_between("ex:F1", "ex:A1") == {"ex:starring"}
+        assert graph.predicates_between("ex:A1", "ex:F1") == set()
+
+    def test_outgoing(self, graph: KnowledgeGraph):
+        assert graph.outgoing("ex:F1") == [("ex:starring", "ex:A1"), ("ex:starring", "ex:A2")]
+
+    def test_incoming(self, graph: KnowledgeGraph):
+        assert graph.incoming("ex:A1") == [("ex:starring", "ex:F1"), ("ex:starring", "ex:F2")]
+
+    def test_neighbours_both_directions(self, graph: KnowledgeGraph):
+        assert graph.neighbours("ex:F1") == {"ex:A1", "ex:A2"}
+        assert graph.neighbours("ex:A1") == {"ex:F1", "ex:F2"}
+
+    def test_degree(self, graph: KnowledgeGraph):
+        assert graph.degree("ex:F1") == 2
+        assert graph.degree("ex:A1") == 2
+        assert graph.degree("ex:A2") == 1
+
+    def test_subjects_and_objects_of_predicate(self, graph: KnowledgeGraph):
+        assert graph.subjects_of_predicate("ex:starring") == {"ex:F1", "ex:F2"}
+        assert graph.objects_of_predicate("ex:starring") == {"ex:A1", "ex:A2"}
+
+    def test_predicate_frequency(self, graph: KnowledgeGraph):
+        assert graph.predicate_frequency("ex:starring") == 3
+        assert graph.predicate_frequency("ex:unknown") == 0
+
+
+class TestStructuralIndexes:
+    def test_types_of(self, graph: KnowledgeGraph):
+        assert graph.types_of("ex:F1") == {"ex:Film"}
+
+    def test_entities_of_type(self, graph: KnowledgeGraph):
+        assert graph.entities_of_type("ex:Film") == {"ex:F1", "ex:F2"}
+        assert graph.entities_of_type("ex:Actor") == {"ex:A1", "ex:A2"}
+
+    def test_type_count(self, graph: KnowledgeGraph):
+        assert graph.type_count("ex:Film") == 2
+        assert graph.type_count("ex:Missing") == 0
+
+    def test_types_listing(self, graph: KnowledgeGraph):
+        assert graph.types() == {"ex:Film", "ex:Actor"}
+
+    def test_dominant_type_prefers_rarest(self):
+        kg = KnowledgeGraph()
+        kg.add_type("e", "common")
+        kg.add_type("e", "rare")
+        for index in range(5):
+            kg.add_type(f"other{index}", "common")
+        assert kg.dominant_type("e") == "rare"
+
+    def test_dominant_type_untyped_is_empty(self, graph: KnowledgeGraph):
+        kg = KnowledgeGraph()
+        kg.add("x", "p", "y")
+        assert kg.dominant_type("x") == ""
+
+    def test_labels(self, graph: KnowledgeGraph):
+        assert graph.labels_of("ex:F1") == ["Film One"]
+        assert graph.label("ex:F1") == "Film One"
+
+    def test_label_fallback_from_identifier(self, graph: KnowledgeGraph):
+        assert graph.label("ex:A1") == "A1"
+
+    def test_categories(self, graph: KnowledgeGraph):
+        assert graph.categories_of("ex:F1") == {"exc:Films"}
+        assert graph.entities_in_category("exc:Films") == {"ex:F1"}
+
+    def test_aliases(self, graph: KnowledgeGraph):
+        assert graph.aliases_of("ex:F1") == {"ex:F1_redirect"}
+
+    def test_attributes_exclude_labels(self, graph: KnowledgeGraph):
+        attributes = graph.attributes_of("ex:F1")
+        assert attributes == {"ex:year": ["1994"]}
+
+    def test_structural_triples_not_edges(self, graph: KnowledgeGraph):
+        # rdf:type / rdfs:label / dct:subject / redirects are not entity edges.
+        assert graph.num_edges() == 3
+        assert "rdf:type" not in graph.edge_predicates()
+
+
+class TestEntitySnapshot:
+    def test_entity_snapshot_fields(self, graph: KnowledgeGraph):
+        entity = graph.entity("ex:F1")
+        assert entity.name == "Film One"
+        assert entity.types == ("ex:Film",)
+        assert entity.categories == ("exc:Films",)
+        assert entity.attributes == {"ex:year": ("1994",)}
+        assert entity.outgoing == (("ex:starring", "ex:A1"), ("ex:starring", "ex:A2"))
+        assert entity.related == ("ex:A1", "ex:A2")
+
+    def test_entity_snapshot_aliases_use_labels(self, graph: KnowledgeGraph):
+        entity = graph.entity("ex:F1")
+        assert entity.aliases == ("F1 redirect",)
+
+    def test_entity_unknown_raises(self, graph: KnowledgeGraph):
+        with pytest.raises(EntityNotFoundError):
+            graph.entity("ex:nope")
+
+    def test_entity_or_none(self, graph: KnowledgeGraph):
+        assert graph.entity_or_none("ex:nope") is None
+        assert graph.entity_or_none("ex:F1") is not None
+
+    def test_require_entity_raises_with_identifier(self, graph: KnowledgeGraph):
+        with pytest.raises(EntityNotFoundError) as excinfo:
+            graph.require_entity("ex:ghost")
+        assert "ex:ghost" in str(excinfo.value)
+
+
+class TestCopyAndMerge:
+    def test_copy_is_independent(self, graph: KnowledgeGraph):
+        clone = graph.copy("clone")
+        clone.add("ex:F3", "ex:starring", "ex:A1")
+        assert "ex:F3" not in graph
+        assert len(clone) == len(graph) + 1
+
+    def test_merge_adds_new_triples_only(self, graph: KnowledgeGraph):
+        other = KnowledgeGraph("other")
+        other.add("ex:F1", "ex:starring", "ex:A1")   # duplicate
+        other.add("ex:F9", "ex:starring", "ex:A9")   # new
+        added = graph.merge(other)
+        assert added == 1
+        assert "ex:F9" in graph
+
+    def test_describe_mentions_counts(self, graph: KnowledgeGraph):
+        text = graph.describe()
+        assert "triples" in text and "entities" in text

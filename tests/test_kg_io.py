@@ -1,0 +1,135 @@
+"""Tests for repro.kg.io: N-Triples, TSV and JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphIOError
+from repro.kg import (
+    KnowledgeGraph,
+    Literal,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    load_ntriples,
+    load_tsv,
+    save_json,
+    save_ntriples,
+    save_tsv,
+)
+from repro.kg.io import parse_ntriples_line, triple_to_ntriples
+
+
+@pytest.fixture
+def sample_graph(tiny_kg: KnowledgeGraph) -> KnowledgeGraph:
+    return tiny_kg
+
+
+class TestNTriplesParsing:
+    def test_parse_entity_edge(self):
+        triple = parse_ntriples_line("dbr:F dbo:starring dbr:A .")
+        assert triple is not None
+        assert triple.subject == "dbr:F"
+        assert triple.object == "dbr:A"
+
+    def test_parse_full_iris(self):
+        triple = parse_ntriples_line(
+            "<http://x.org/F> <http://x.org/p> <http://x.org/A> ."
+        )
+        assert triple is not None
+        assert triple.subject == "http://x.org/F"
+
+    def test_parse_literal(self):
+        triple = parse_ntriples_line('dbr:F dbo:runtime "142 minutes" .')
+        assert triple is not None
+        assert triple.is_literal
+        assert triple.object_value == "142 minutes"
+
+    def test_parse_literal_with_language(self):
+        triple = parse_ntriples_line('dbr:F rdfs:label "Forrest Gump"@en .')
+        assert triple is not None
+        assert triple.object.language == "en"
+
+    def test_parse_escaped_quote(self):
+        triple = parse_ntriples_line('dbr:F dbo:quote "life is like a \\"box\\"" .')
+        assert triple is not None
+        assert 'box' in triple.object_value
+
+    def test_blank_and_comment_lines(self):
+        assert parse_ntriples_line("") is None
+        assert parse_ntriples_line("   ") is None
+        assert parse_ntriples_line("# a comment") is None
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphIOError):
+            parse_ntriples_line("this is not a triple")
+
+    def test_serialize_roundtrip_entity(self):
+        from repro.kg import Triple
+
+        triple = Triple("dbr:F", "dbo:starring", "dbr:A")
+        assert parse_ntriples_line(triple_to_ntriples(triple)) == triple
+
+    def test_serialize_roundtrip_literal(self):
+        from repro.kg import Triple
+
+        triple = Triple("dbr:F", "dbo:runtime", Literal("142 minutes"))
+        parsed = parse_ntriples_line(triple_to_ntriples(triple))
+        assert parsed.object_value == "142 minutes"
+
+
+class TestFileRoundtrips:
+    def test_ntriples_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.nt"
+        save_ntriples(sample_graph, path)
+        loaded = load_ntriples(path)
+        assert len(loaded) == len(sample_graph)
+        assert loaded.objects("ex:F1", "ex:starring") == sample_graph.objects("ex:F1", "ex:starring")
+
+    def test_tsv_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_tsv(sample_graph, path)
+        loaded = load_tsv(path)
+        assert len(loaded) == len(sample_graph)
+        assert loaded.types_of("ex:F1") == sample_graph.types_of("ex:F1")
+
+    def test_json_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(sample_graph, path)
+        loaded = load_json(path)
+        assert len(loaded) == len(sample_graph)
+        assert loaded.attributes_of("ex:F1") == sample_graph.attributes_of("ex:F1")
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphIOError):
+            load_ntriples(tmp_path / "missing.nt")
+        with pytest.raises(GraphIOError):
+            load_tsv(tmp_path / "missing.tsv")
+        with pytest.raises(GraphIOError):
+            load_json(tmp_path / "missing.json")
+
+    def test_tsv_malformed_column_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only\ttwo\n", encoding="utf-8")
+        with pytest.raises(GraphIOError):
+            load_tsv(path)
+
+    def test_ntriples_name_from_stem(self, sample_graph, tmp_path):
+        path = tmp_path / "mygraph.nt"
+        save_ntriples(sample_graph, path)
+        assert load_ntriples(path).name == "mygraph"
+
+
+class TestDictConversion:
+    def test_dict_roundtrip(self, sample_graph):
+        payload = graph_to_dict(sample_graph)
+        rebuilt = graph_from_dict(payload)
+        assert len(rebuilt) == len(sample_graph)
+        assert rebuilt.label("ex:F1") == sample_graph.label("ex:F1")
+
+    def test_dict_missing_subjects_key(self):
+        with pytest.raises(GraphIOError):
+            graph_from_dict({"name": "x"})
+
+    def test_dict_preserves_name(self, sample_graph):
+        assert graph_from_dict(graph_to_dict(sample_graph)).name == sample_graph.name

@@ -1,0 +1,81 @@
+"""Tests for repro.kg.namespaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg import NamespaceRegistry, label_from_identifier
+
+
+class TestNamespaceRegistry:
+    def test_default_prefixes_present(self):
+        registry = NamespaceRegistry()
+        assert "dbr" in registry
+        assert "dbo" in registry
+        assert len(registry) >= 5
+
+    def test_expand_known_prefix(self):
+        registry = NamespaceRegistry()
+        assert registry.expand("dbr:Forrest_Gump") == "http://dbpedia.org/resource/Forrest_Gump"
+
+    def test_expand_unknown_prefix_passthrough(self):
+        registry = NamespaceRegistry()
+        assert registry.expand("foo:Bar") == "foo:Bar"
+
+    def test_expand_plain_identifier_passthrough(self):
+        registry = NamespaceRegistry()
+        assert registry.expand("Forrest_Gump") == "Forrest_Gump"
+
+    def test_compact_roundtrip(self):
+        registry = NamespaceRegistry()
+        iri = registry.expand("dbo:starring")
+        assert registry.compact(iri) == "dbo:starring"
+
+    def test_compact_unknown_iri_passthrough(self):
+        registry = NamespaceRegistry()
+        assert registry.compact("http://example.org/x") == "http://example.org/x"
+
+    def test_register_new_namespace(self):
+        registry = NamespaceRegistry()
+        registry.register("ex", "http://example.org/")
+        assert registry.expand("ex:Thing") == "http://example.org/Thing"
+        assert registry.compact("http://example.org/Thing") == "ex:Thing"
+
+    def test_register_invalid_prefix(self):
+        registry = NamespaceRegistry()
+        with pytest.raises(ValueError):
+            registry.register("bad:prefix", "http://example.org/")
+        with pytest.raises(ValueError):
+            registry.register("", "http://example.org/")
+
+    def test_register_empty_base_iri(self):
+        registry = NamespaceRegistry()
+        with pytest.raises(ValueError):
+            registry.register("ex", "")
+
+    def test_split_with_prefix(self):
+        registry = NamespaceRegistry()
+        assert registry.split("dbr:Tom_Hanks") == ("dbr", "Tom_Hanks")
+
+    def test_split_without_prefix(self):
+        registry = NamespaceRegistry()
+        assert registry.split("unprefixed") == ("", "unprefixed")
+
+    def test_local_name(self):
+        registry = NamespaceRegistry()
+        assert registry.local_name("dbo:starring") == "starring"
+
+    def test_iteration_yields_prefixes(self):
+        registry = NamespaceRegistry()
+        assert set(iter(registry)) == set(registry.prefixes)
+
+
+class TestLabelFromIdentifier:
+    def test_underscores_become_spaces(self):
+        assert label_from_identifier("dbr:Forrest_Gump") == "Forrest Gump"
+
+    def test_plain_name(self):
+        assert label_from_identifier("Tom_Hanks") == "Tom Hanks"
+
+    def test_iri_uses_last_segment(self):
+        assert label_from_identifier("http://dbpedia.org/resource/Tom_Hanks") == "Tom Hanks"

@@ -1,0 +1,96 @@
+"""Tests for repro.kg.paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EntityNotFoundError
+from repro.kg import (
+    KnowledgeGraph,
+    bfs_reachable,
+    connecting_entities,
+    paths_between,
+    shortest_path,
+)
+
+
+class TestBfsReachable:
+    def test_zero_hops_is_self(self, tiny_kg: KnowledgeGraph):
+        assert bfs_reachable(tiny_kg, "ex:F1", max_hops=0) == {"ex:F1": 0}
+
+    def test_one_hop_neighbours(self, tiny_kg: KnowledgeGraph):
+        distances = bfs_reachable(tiny_kg, "ex:F1", max_hops=1)
+        assert distances["ex:A1"] == 1
+        assert distances["ex:D1"] == 1
+        assert "ex:F2" not in distances
+
+    def test_two_hops_reaches_sibling_films(self, tiny_kg: KnowledgeGraph):
+        distances = bfs_reachable(tiny_kg, "ex:F1", max_hops=2)
+        assert distances["ex:F2"] == 2
+        assert distances["ex:F4"] == 2  # via D1
+
+    def test_unknown_entity_raises(self, tiny_kg: KnowledgeGraph):
+        with pytest.raises(EntityNotFoundError):
+            bfs_reachable(tiny_kg, "ex:nope")
+
+
+class TestShortestPath:
+    def test_same_entity(self, tiny_kg: KnowledgeGraph):
+        path = shortest_path(tiny_kg, "ex:F1", "ex:F1")
+        assert path is not None and path.length == 0
+
+    def test_one_hop(self, tiny_kg: KnowledgeGraph):
+        path = shortest_path(tiny_kg, "ex:F1", "ex:A1")
+        assert path is not None
+        assert path.length == 1
+        assert path.end == "ex:A1"
+
+    def test_two_hops_via_shared_actor(self, tiny_kg: KnowledgeGraph):
+        path = shortest_path(tiny_kg, "ex:F1", "ex:F2")
+        assert path is not None
+        assert path.length == 2
+        assert path.entities()[1] in {"ex:A1", "ex:A2", "ex:G1"}
+
+    def test_unreachable_within_bound(self, tiny_kg: KnowledgeGraph):
+        assert shortest_path(tiny_kg, "ex:F1", "ex:A3", max_hops=1) is None
+
+    def test_describe_contains_predicates(self, tiny_kg: KnowledgeGraph):
+        path = shortest_path(tiny_kg, "ex:F1", "ex:A1")
+        assert "ex:starring" in path.describe()
+
+
+class TestConnectingEntities:
+    def test_shared_actor_and_genre(self, tiny_kg: KnowledgeGraph):
+        connections = connecting_entities(tiny_kg, "ex:F1", "ex:F2")
+        anchors = {anchor for anchor, _, _ in connections}
+        assert anchors == {"ex:A1", "ex:A2", "ex:G1"}
+
+    def test_predicates_reported(self, tiny_kg: KnowledgeGraph):
+        connections = connecting_entities(tiny_kg, "ex:F1", "ex:F2")
+        for anchor, left_pred, right_pred in connections:
+            assert left_pred in {"ex:starring", "ex:genre"}
+            assert right_pred in {"ex:starring", "ex:genre"}
+
+    def test_no_connection(self, tiny_kg: KnowledgeGraph):
+        # F3 and A3 share no common neighbour.
+        assert connecting_entities(tiny_kg, "ex:F3", "ex:A3") == []
+
+    def test_excludes_endpoints(self, tiny_kg: KnowledgeGraph):
+        connections = connecting_entities(tiny_kg, "ex:F1", "ex:A1")
+        anchors = {anchor for anchor, _, _ in connections}
+        assert "ex:F1" not in anchors and "ex:A1" not in anchors
+
+
+class TestPathsBetween:
+    def test_multiple_paths_found(self, tiny_kg: KnowledgeGraph):
+        paths = paths_between(tiny_kg, "ex:F1", "ex:F2", max_hops=2)
+        assert len(paths) >= 3  # via A1, A2 and G1
+        assert all(path.end == "ex:F2" for path in paths)
+
+    def test_limit_respected(self, tiny_kg: KnowledgeGraph):
+        paths = paths_between(tiny_kg, "ex:F1", "ex:F2", max_hops=2, limit=2)
+        assert len(paths) <= 2
+
+    def test_max_hops_respected(self, tiny_kg: KnowledgeGraph):
+        paths = paths_between(tiny_kg, "ex:F1", "ex:F2", max_hops=2)
+        assert all(path.length <= 2 for path in paths)

@@ -1,0 +1,213 @@
+"""Tests for repro.kg.query: the SPARQL-like structured query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import KnowledgeGraphError
+from repro.kg import Filter, KnowledgeGraph, QueryEngine, SelectQuery, TriplePattern
+from repro.kg.query import is_variable, variable_name
+
+
+@pytest.fixture
+def engine(tiny_kg: KnowledgeGraph) -> QueryEngine:
+    return QueryEngine(tiny_kg)
+
+
+class TestTriplePattern:
+    def test_variables_detected(self):
+        pattern = TriplePattern("?film", "ex:starring", "?actor")
+        assert pattern.variables() == {"film", "actor"}
+
+    def test_bound_substitution(self):
+        pattern = TriplePattern("?film", "ex:starring", "?actor")
+        bound = pattern.bound({"actor": "ex:A1"})
+        assert bound.object == "ex:A1"
+        assert bound.subject == "?film"
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(KnowledgeGraphError):
+            TriplePattern("", "p", "o")
+
+    def test_helpers(self):
+        assert is_variable("?x") and not is_variable("x")
+        assert variable_name("?x") == "x"
+        assert "ex:starring" in TriplePattern("?f", "ex:starring", "?a").describe()
+
+
+class TestSelectQueryValidation:
+    def test_requires_patterns(self):
+        with pytest.raises(KnowledgeGraphError):
+            SelectQuery(variables=("?x",), patterns=())
+
+    def test_limit_positive(self):
+        with pytest.raises(KnowledgeGraphError):
+            SelectQuery(
+                variables=("?x",),
+                patterns=(TriplePattern("?x", "ex:p", "ex:o"),),
+                limit=0,
+            )
+
+    def test_unknown_projection_rejected(self):
+        with pytest.raises(KnowledgeGraphError):
+            SelectQuery(variables=("?y",), patterns=(TriplePattern("?x", "ex:p", "ex:o"),))
+
+    def test_describe(self):
+        query = SelectQuery(
+            variables=("?x",), patterns=(TriplePattern("?x", "ex:p", "ex:o"),), limit=5
+        )
+        text = query.describe()
+        assert text.startswith("SELECT DISTINCT ?x")
+        assert "LIMIT 5" in text
+
+
+class TestFilters:
+    def test_invalid_operator(self):
+        with pytest.raises(KnowledgeGraphError):
+            Filter("?x", "gt", "5")
+
+    def test_eq_neq_contains(self, engine: QueryEngine, tiny_kg: KnowledgeGraph):
+        assert Filter("?x", "eq", "ex:F1").accepts(tiny_kg, {"x": "ex:F1"})
+        assert not Filter("?x", "neq", "ex:F1").accepts(tiny_kg, {"x": "ex:F1"})
+        # contains matches the entity label ("F1 Film").
+        assert Filter("?x", "contains", "film").accepts(tiny_kg, {"x": "ex:F1"})
+        assert not Filter("?x", "contains", "actor").accepts(tiny_kg, {"x": "ex:F1"})
+
+    def test_unbound_variable_passes(self, tiny_kg: KnowledgeGraph):
+        assert Filter("?y", "eq", "anything").accepts(tiny_kg, {"x": "ex:F1"})
+
+
+class TestSinglePatternQueries:
+    def test_films_starring_actor(self, engine: QueryEngine):
+        rows = engine.select(["?film"], [("?film", "ex:starring", "ex:A1")])
+        assert {row["film"] for row in rows} == {"ex:F1", "ex:F2", "ex:F3"}
+
+    def test_actors_of_film(self, engine: QueryEngine):
+        rows = engine.select(["?actor"], [("ex:F1", "ex:starring", "?actor")])
+        assert {row["actor"] for row in rows} == {"ex:A1", "ex:A2"}
+
+    def test_type_pattern(self, engine: QueryEngine):
+        rows = engine.select(["?film"], [("?film", "rdf:type", "ex:Film")])
+        assert {row["film"] for row in rows} == {"ex:F1", "ex:F2", "ex:F3", "ex:F4"}
+
+    def test_type_of_entity(self, engine: QueryEngine):
+        rows = engine.select(["?type"], [("ex:F1", "rdf:type", "?type")])
+        assert rows == [{"type": "ex:Film"}]
+
+    def test_attribute_pattern(self, engine: QueryEngine):
+        rows = engine.select(["?year"], [("ex:F1", "ex:year", "?year")])
+        assert rows == [{"year": "1994"}]
+
+    def test_variable_predicate(self, engine: QueryEngine):
+        rows = engine.select(["?p", "?o"], [("ex:F1", "?p", "?o")])
+        predicates = {row["p"] for row in rows}
+        assert {"ex:starring", "ex:director", "ex:genre", "ex:year"} <= predicates
+
+    def test_both_endpoints_variable(self, engine: QueryEngine):
+        rows = engine.select(["?s", "?o"], [("?s", "ex:director", "?o")])
+        assert {(row["s"], row["o"]) for row in rows} == {("ex:F1", "ex:D1"), ("ex:F4", "ex:D1")}
+
+    def test_ground_pattern_present_and_absent(self, engine: QueryEngine):
+        assert engine.ask([("ex:F1", "ex:starring", "ex:A1")])
+        assert not engine.ask([("ex:F4", "ex:starring", "ex:A1")])
+
+
+class TestJoins:
+    def test_two_pattern_join(self, engine: QueryEngine):
+        # Films starring A1 with genre G1.
+        rows = engine.select(
+            ["?film"],
+            [("?film", "ex:starring", "ex:A1"), ("?film", "ex:genre", "ex:G1")],
+        )
+        assert {row["film"] for row in rows} == {"ex:F1", "ex:F2", "ex:F3"}
+
+    def test_join_through_shared_variable(self, engine: QueryEngine):
+        # Co-stars of A1: actors starring in a film that stars A1.
+        rows = engine.select(
+            ["?actor"],
+            [("?film", "ex:starring", "ex:A1"), ("?film", "ex:starring", "?actor")],
+        )
+        actors = {row["actor"] for row in rows}
+        assert actors == {"ex:A1", "ex:A2"}
+
+    def test_three_pattern_join_with_type(self, engine: QueryEngine):
+        # Directors of dramas (genre G1) that star A1.
+        rows = engine.select(
+            ["?director"],
+            [
+                ("?film", "ex:starring", "ex:A1"),
+                ("?film", "ex:genre", "ex:G1"),
+                ("?film", "ex:director", "?director"),
+            ],
+        )
+        assert {row["director"] for row in rows} == {"ex:D1"}
+
+    def test_unsatisfiable_join_returns_empty(self, engine: QueryEngine):
+        rows = engine.select(
+            ["?film"],
+            [("?film", "ex:starring", "ex:A3"), ("?film", "ex:genre", "ex:G1")],
+        )
+        assert rows == []
+
+    def test_ask_with_join(self, engine: QueryEngine):
+        assert engine.ask([("?f", "ex:starring", "ex:A1"), ("?f", "ex:director", "ex:D1")])
+        assert not engine.ask([("?f", "ex:starring", "ex:A3"), ("?f", "ex:genre", "ex:G1")])
+
+
+class TestModifiers:
+    def test_limit(self, engine: QueryEngine):
+        rows = engine.select(["?film"], [("?film", "rdf:type", "ex:Film")], limit=2)
+        assert len(rows) == 2
+
+    def test_distinct(self, engine: QueryEngine):
+        # Without DISTINCT the film variable repeats once per actor binding.
+        rows = engine.select(
+            ["?film"],
+            [("?film", "ex:starring", "?actor")],
+            distinct=False,
+        )
+        distinct_rows = engine.select(
+            ["?film"],
+            [("?film", "ex:starring", "?actor")],
+            distinct=True,
+        )
+        assert len(rows) > len(distinct_rows)
+
+    def test_filter_contains_label(self, engine: QueryEngine):
+        rows = engine.select(
+            ["?film"],
+            [("?film", "rdf:type", "ex:Film")],
+            filters=[Filter("?film", "contains", "f1")],
+        )
+        assert {row["film"] for row in rows} == {"ex:F1"}
+
+    def test_filter_neq(self, engine: QueryEngine):
+        rows = engine.select(
+            ["?film"],
+            [("?film", "ex:starring", "ex:A1")],
+            filters=[Filter("?film", "neq", "ex:F1")],
+        )
+        assert {row["film"] for row in rows} == {"ex:F2", "ex:F3"}
+
+
+class TestOnMovieKG:
+    def test_films_starring_tom_hanks(self, movie_kg):
+        engine = QueryEngine(movie_kg)
+        rows = engine.select(
+            ["?film"],
+            [("?film", "dbo:starring", "dbr:Tom_Hanks"), ("?film", "rdf:type", "dbo:Film")],
+        )
+        films = {row["film"] for row in rows}
+        assert "dbr:Forrest_Gump" in films and "dbr:Apollo_13_(film)" in films
+
+    def test_codirected_films(self, movie_kg):
+        engine = QueryEngine(movie_kg)
+        rows = engine.select(
+            ["?film", "?other"],
+            [
+                ("?film", "dbo:director", "dbr:Robert_Zemeckis"),
+                ("?other", "dbo:director", "dbr:Robert_Zemeckis"),
+            ],
+            limit=50,
+        )
+        assert any(row["film"] != row["other"] for row in rows)

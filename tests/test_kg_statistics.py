@@ -1,0 +1,79 @@
+"""Tests for repro.kg.statistics."""
+
+from __future__ import annotations
+
+from repro.kg import (
+    KnowledgeGraph,
+    compute_statistics,
+    type_couplings,
+    type_distribution_of_neighbours,
+)
+
+
+class TestComputeStatistics:
+    def test_basic_counts(self, tiny_kg: KnowledgeGraph):
+        stats = compute_statistics(tiny_kg)
+        assert stats.num_triples == len(tiny_kg)
+        assert stats.num_entities == tiny_kg.num_entities()
+        assert stats.num_edges == tiny_kg.num_edges()
+        assert stats.num_types == 4  # Film, Actor, Director, Genre
+        assert stats.num_edge_predicates == 3  # starring, director, genre
+
+    def test_type_histogram(self, tiny_kg: KnowledgeGraph):
+        stats = compute_statistics(tiny_kg)
+        assert stats.type_histogram["ex:Film"] == 4
+        assert stats.type_histogram["ex:Actor"] == 3
+
+    def test_predicate_histogram(self, tiny_kg: KnowledgeGraph):
+        stats = compute_statistics(tiny_kg)
+        assert stats.predicate_histogram["ex:starring"] == 6
+
+    def test_degrees(self, tiny_kg: KnowledgeGraph):
+        stats = compute_statistics(tiny_kg)
+        assert stats.avg_out_degree > 0
+        assert stats.avg_in_degree > 0
+        assert stats.max_degree >= 4  # F1 has starring x2 + director + genre
+
+    def test_empty_graph(self):
+        stats = compute_statistics(KnowledgeGraph("empty"))
+        assert stats.num_triples == 0
+        assert stats.avg_out_degree == 0.0
+        assert stats.max_degree == 0
+
+    def test_summary_text(self, tiny_kg: KnowledgeGraph):
+        text = compute_statistics(tiny_kg).summary()
+        assert "Knowledge graph" in text
+        assert "largest types" in text
+
+
+class TestTypeCouplings:
+    def test_film_actor_coupling_present(self, tiny_kg: KnowledgeGraph):
+        couplings = type_couplings(tiny_kg)
+        keyed = {(c.source_type, c.predicate, c.target_type): c for c in couplings}
+        coupling = keyed[("ex:Film", "ex:starring", "ex:Actor")]
+        assert coupling.edge_count == 6
+        assert coupling.strength == 1.0  # every film has at least one actor
+
+    def test_min_strength_filter(self, tiny_kg: KnowledgeGraph):
+        all_couplings = type_couplings(tiny_kg)
+        strong = type_couplings(tiny_kg, min_strength=0.9)
+        assert len(strong) <= len(all_couplings)
+        assert all(c.strength >= 0.9 for c in strong)
+
+    def test_sorted_by_strength(self, tiny_kg: KnowledgeGraph):
+        couplings = type_couplings(tiny_kg)
+        strengths = [c.strength for c in couplings]
+        assert strengths == sorted(strengths, reverse=True)
+
+
+class TestNeighbourTypeDistribution:
+    def test_distribution_of_film(self, tiny_kg: KnowledgeGraph):
+        distribution = type_distribution_of_neighbours(tiny_kg, "ex:F1")
+        # F1 touches 2 actors, 1 director, 1 genre.
+        assert distribution["ex:Actor"] == 2
+        assert distribution["ex:Director"] == 1
+        assert distribution["ex:Genre"] == 1
+
+    def test_distribution_of_actor(self, tiny_kg: KnowledgeGraph):
+        distribution = type_distribution_of_neighbours(tiny_kg, "ex:A1")
+        assert distribution == {"ex:Film": 3}

@@ -1,0 +1,91 @@
+"""Tests for repro.kg.triple: Triple and Literal primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidTripleError
+from repro.kg import Literal, Triple, make_triple
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        literal = Literal("142 minutes")
+        assert literal.value == "142 minutes"
+        assert literal.datatype == "string"
+        assert literal.language == ""
+
+    def test_literal_with_datatype_and_language(self):
+        literal = Literal("1994", datatype="integer", language="en")
+        assert literal.datatype == "integer"
+        assert literal.language == "en"
+
+    def test_literal_str(self):
+        assert str(Literal("hello")) == "hello"
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Literal(142)  # type: ignore[arg-type]
+
+    def test_literal_equality_and_hash(self):
+        assert Literal("x") == Literal("x")
+        assert hash(Literal("x")) == hash(Literal("x"))
+        assert Literal("x") != Literal("y")
+
+
+class TestTriple:
+    def test_entity_edge_triple(self):
+        triple = Triple("dbr:Forrest_Gump", "dbo:starring", "dbr:Tom_Hanks")
+        assert triple.is_entity_edge
+        assert not triple.is_literal
+        assert triple.object_value == "dbr:Tom_Hanks"
+
+    def test_literal_triple(self):
+        triple = Triple("dbr:Forrest_Gump", "dbo:runtime", Literal("142 minutes"))
+        assert triple.is_literal
+        assert not triple.is_entity_edge
+        assert triple.object_value == "142 minutes"
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Triple("", "dbo:starring", "dbr:Tom_Hanks")
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Triple("dbr:Forrest_Gump", "", "dbr:Tom_Hanks")
+
+    def test_empty_object_identifier_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Triple("dbr:Forrest_Gump", "dbo:starring", "")
+
+    def test_invalid_object_type_rejected(self):
+        with pytest.raises(InvalidTripleError):
+            Triple("dbr:Forrest_Gump", "dbo:starring", 3)  # type: ignore[arg-type]
+
+    def test_reversed_swaps_subject_and_object(self):
+        triple = Triple("a", "p", "b")
+        reversed_ = triple.reversed()
+        assert reversed_.subject == "b"
+        assert reversed_.object == "a"
+        assert reversed_.predicate == "p"
+
+    def test_reversed_literal_raises(self):
+        with pytest.raises(InvalidTripleError):
+            Triple("a", "p", Literal("x")).reversed()
+
+    def test_as_tuple(self):
+        triple = Triple("a", "p", "b")
+        assert triple.as_tuple() == ("a", "p", "b")
+
+    def test_str_entity_edge(self):
+        assert str(Triple("a", "p", "b")) == "<a, p, b>"
+
+    def test_str_literal(self):
+        assert str(Triple("a", "p", Literal("x"))) == '<a, p, "x">'
+
+    def test_make_triple_helper(self):
+        assert make_triple("a", "p", "b") == Triple("a", "p", "b")
+
+    def test_triples_hashable_and_deduplicate(self):
+        triples = {Triple("a", "p", "b"), Triple("a", "p", "b"), Triple("a", "p", "c")}
+        assert len(triples) == 2

@@ -1,0 +1,106 @@
+"""Tests for repro.ranking.baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EntityNotFoundError, NoSeedEntitiesError
+from repro.features import SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import (
+    CoOccurrenceRanker,
+    JaccardRanker,
+    PersonalizedPageRankRanker,
+    make_baselines,
+)
+
+
+@pytest.fixture
+def baselines(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex):
+    return make_baselines(tiny_kg, tiny_feature_index)
+
+
+class TestRegistry:
+    def test_all_three_baselines_present(self, baselines):
+        assert set(baselines) == {"jaccard", "co-occurrence", "ppr"}
+
+
+class TestJaccard:
+    def test_most_similar_film_first(self, baselines):
+        ranked = baselines["jaccard"].rank(["ex:F1", "ex:F2"])
+        assert ranked[0][0] == "ex:F3"
+
+    def test_scores_in_unit_interval(self, baselines):
+        for _, score in baselines["jaccard"].rank(["ex:F1"]):
+            assert 0.0 < score <= 1.0
+
+    def test_seeds_excluded(self, baselines):
+        ids = [entity for entity, _ in baselines["jaccard"].rank(["ex:F1", "ex:F2"])]
+        assert "ex:F1" not in ids and "ex:F2" not in ids
+
+    def test_empty_seeds_raise(self, baselines):
+        with pytest.raises(NoSeedEntitiesError):
+            baselines["jaccard"].rank([])
+
+    def test_unknown_seed_raises(self, baselines):
+        with pytest.raises(EntityNotFoundError):
+            baselines["jaccard"].rank(["ex:ghost"])
+
+
+class TestCoOccurrence:
+    def test_counts_shared_features(self, baselines):
+        ranked = dict(baselines["co-occurrence"].rank(["ex:F1", "ex:F2"]))
+        # F3 shares starring:A1 and genre:G1 with the seed union.
+        assert ranked["ex:F3"] == 2.0
+        # F4 shares only director:D1 (held by F1).
+        assert ranked["ex:F4"] == 1.0
+
+    def test_ordering(self, baselines):
+        ranked = baselines["co-occurrence"].rank(["ex:F1", "ex:F2"])
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestPersonalizedPageRank:
+    def test_scores_positive_and_ordered(self, baselines):
+        ranked = baselines["ppr"].rank(["ex:F1"])
+        assert ranked
+        scores = [score for _, score in ranked]
+        assert all(score > 0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_neighbours_score_higher_than_distant_entities(self, baselines):
+        ranked = dict(baselines["ppr"].rank(["ex:F1"], top_k=20))
+        # Direct neighbours (A1) receive more mass than two-hop entities (F3).
+        assert ranked["ex:A1"] > ranked.get("ex:F3", 0.0)
+
+    def test_parameter_validation(self, tiny_kg, tiny_feature_index):
+        with pytest.raises(ValueError):
+            PersonalizedPageRankRanker(tiny_kg, tiny_feature_index, damping=1.5)
+        with pytest.raises(ValueError):
+            PersonalizedPageRankRanker(tiny_kg, tiny_feature_index, iterations=0)
+
+    def test_mass_approximately_conserved(self, tiny_kg, tiny_feature_index):
+        ranker = PersonalizedPageRankRanker(tiny_kg, tiny_feature_index, iterations=50)
+        ranked = ranker.rank(["ex:F1"], top_k=1000)
+        total = sum(score for _, score in ranked)
+        # Seeds keep some mass, so the off-seed total must stay below 1.
+        assert 0.0 < total < 1.0
+
+
+class TestComparativeBehaviour:
+    def test_pivote_ranker_beats_cooccurrence_on_specificity(self, tiny_kg, tiny_feature_index):
+        """Frequency-blind counting cannot distinguish specific from generic features."""
+        from repro.ranking import EntityRanker
+
+        # Add a generic feature shared by every film (country) so co-occurrence
+        # counts it as heavily as starring.
+        for film in ("ex:F1", "ex:F2", "ex:F3", "ex:F4"):
+            tiny_kg.add(film, "ex:country", "ex:USA")
+        index = SemanticFeatureIndex.build(tiny_kg)
+        pivote = EntityRanker(tiny_kg, index)
+        ranked = pivote.rank(["ex:F1", "ex:F2"])
+        # The discriminability term keeps F3 (shares the specific actor) above
+        # F4 (shares only the generic country and the director of F1).
+        ids = [entity.entity_id for entity in ranked]
+        assert ids.index("ex:F3") < ids.index("ex:F4")

@@ -1,0 +1,70 @@
+"""Tests for repro.ranking.correlation: the entity x feature matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import EntityRanker, build_correlation_matrix
+
+
+@pytest.fixture
+def ranked(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex):
+    ranker = EntityRanker(tiny_kg, tiny_feature_index)
+    entities, features = ranker.rank_with_features(["ex:F1", "ex:F2"])
+    model = ranker.feature_ranker.probability_model
+    return model, entities, features
+
+
+class TestCorrelationMatrix:
+    def test_shape_matches_axes(self, ranked):
+        model, entities, features = ranked
+        matrix = build_correlation_matrix(model, entities, features)
+        assert matrix.shape == (len(entities), len(features))
+
+    def test_cell_values_match_model(self, ranked):
+        model, entities, features = ranked
+        matrix = build_correlation_matrix(model, entities, features)
+        entity = entities[0].entity_id
+        feature = features[0]
+        expected = model.probability(feature.feature, entity) * feature.score
+        assert matrix.value(entity, feature.feature) == pytest.approx(expected)
+
+    def test_entity_row_and_feature_column(self, ranked):
+        model, entities, features = ranked
+        matrix = build_correlation_matrix(model, entities, features)
+        row = matrix.entity_row(entities[0].entity_id)
+        assert len(row) == len(features)
+        column = matrix.feature_column(features[0].feature)
+        assert len(column) == len(entities)
+
+    def test_values_non_negative(self, ranked):
+        model, entities, features = ranked
+        matrix = build_correlation_matrix(model, entities, features)
+        assert (matrix.values >= 0).all()
+
+    def test_row_sums_equal_entity_scores(self, ranked):
+        """The heat map is a decomposition of r(e, Q): rows sum to the score."""
+        model, entities, features = ranked
+        matrix = build_correlation_matrix(model, entities, features)
+        for index, entity in enumerate(entities):
+            assert float(matrix.values[index].sum()) == pytest.approx(entity.score, rel=1e-6)
+
+    def test_shape_mismatch_rejected(self, ranked):
+        from repro.ranking.correlation import CorrelationMatrix
+
+        model, entities, features = ranked
+        with pytest.raises(ValueError):
+            CorrelationMatrix(
+                entities=tuple(e.entity_id for e in entities),
+                features=tuple(f.feature for f in features),
+                values=np.zeros((1, 1)),
+            )
+
+    def test_unknown_entity_lookup_raises(self, ranked):
+        model, entities, features = ranked
+        matrix = build_correlation_matrix(model, entities, features)
+        with pytest.raises(ValueError):
+            matrix.value("ex:ghost", features[0].feature)

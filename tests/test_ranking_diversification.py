@@ -1,0 +1,122 @@
+"""Tests for repro.ranking.diversification: MMR re-ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import RecommendationEngine
+from repro.features import SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import (
+    DiversifiedEntity,
+    EntityRanker,
+    MMRDiversifier,
+    coverage,
+    jaccard,
+)
+
+
+@pytest.fixture
+def ranked(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex):
+    ranker = EntityRanker(tiny_kg, tiny_feature_index)
+    entities, features = ranker.rank_with_features(["ex:F1"])
+    return entities, features
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+
+class TestDiversifyEntities:
+    def test_lambda_one_preserves_order(self, tiny_feature_index, ranked):
+        entities, _ = ranked
+        diversifier = MMRDiversifier(tiny_feature_index, trade_off=1.0)
+        reranked = diversifier.diversify_entities(entities)
+        assert [d.entity_id for d in reranked] == [e.entity_id for e in entities]
+
+    def test_first_pick_is_top_scored(self, tiny_feature_index, ranked):
+        entities, _ = ranked
+        diversifier = MMRDiversifier(tiny_feature_index, trade_off=0.5)
+        reranked = diversifier.diversify_entities(entities)
+        assert reranked[0].entity_id == entities[0].entity_id
+        assert reranked[0].max_similarity_to_selected == 0.0
+
+    def test_no_duplicates_and_same_population(self, tiny_feature_index, ranked):
+        entities, _ = ranked
+        diversifier = MMRDiversifier(tiny_feature_index, trade_off=0.5)
+        reranked = diversifier.diversify_entities(entities)
+        assert sorted(d.entity_id for d in reranked) == sorted(e.entity_id for e in entities)
+
+    def test_top_k_truncation(self, tiny_feature_index, ranked):
+        entities, _ = ranked
+        diversifier = MMRDiversifier(tiny_feature_index, trade_off=0.5)
+        assert len(diversifier.diversify_entities(entities, top_k=2)) == min(2, len(entities))
+
+    def test_empty_input(self, tiny_feature_index):
+        assert MMRDiversifier(tiny_feature_index).diversify_entities([]) == []
+
+    def test_invalid_trade_off(self, tiny_feature_index):
+        with pytest.raises(ValueError):
+            MMRDiversifier(tiny_feature_index, trade_off=1.5)
+
+    def test_returns_dataclass(self, tiny_feature_index, ranked):
+        entities, _ = ranked
+        reranked = MMRDiversifier(tiny_feature_index).diversify_entities(entities)
+        assert all(isinstance(item, DiversifiedEntity) for item in reranked)
+
+
+class TestDiversifyFeatures:
+    def test_lambda_one_preserves_order(self, tiny_feature_index, ranked):
+        _, features = ranked
+        diversifier = MMRDiversifier(tiny_feature_index, trade_off=1.0)
+        reranked = diversifier.diversify_features(features)
+        assert [f.feature for f in reranked] == [f.feature for f in features]
+
+    def test_diversification_separates_identical_extensions(self, tiny_kg, tiny_feature_index):
+        """Features matching exactly the same entities are spread apart."""
+        ranker = EntityRanker(tiny_kg, tiny_feature_index)
+        _, features = ranker.rank_with_features(["ex:F1", "ex:F2"])
+        diversifier = MMRDiversifier(tiny_feature_index, trade_off=0.3)
+        reranked = diversifier.diversify_features(features, top_k=3)
+        extensions = [frozenset(tiny_feature_index.entities_matching(f.feature)) for f in reranked]
+        # The top-3 diversified features do not all share one extension.
+        assert len(set(extensions)) >= 2
+
+    def test_top_k(self, tiny_feature_index, ranked):
+        _, features = ranked
+        reranked = MMRDiversifier(tiny_feature_index, trade_off=0.5).diversify_features(features, top_k=2)
+        assert len(reranked) == min(2, len(features))
+
+    def test_empty_input(self, tiny_feature_index):
+        assert MMRDiversifier(tiny_feature_index).diversify_features([]) == []
+
+
+class TestCoverage:
+    def test_coverage_counts_distinct_features(self, tiny_feature_index):
+        single = coverage(tiny_feature_index, ["ex:F1"])
+        double = coverage(tiny_feature_index, ["ex:F1", "ex:F4"])
+        assert double > single
+
+    def test_coverage_on_movie_recommendation(self, movie_kg):
+        """Diversified top-k covers at least as many features as the raw top-k."""
+        engine = RecommendationEngine(movie_kg)
+        recommendation = engine.recommend_for_seeds(
+            ["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"], top_entities=15
+        )
+        index = engine.feature_index
+        raw_top5 = recommendation.entity_ids()[:5]
+        diversifier = MMRDiversifier(index, trade_off=0.5)
+        diversified_top5 = [
+            d.entity_id for d in diversifier.diversify_entities(recommendation.entities, top_k=5)
+        ]
+        assert coverage(index, diversified_top5) >= coverage(index, raw_top5)

@@ -1,0 +1,100 @@
+"""Tests for repro.ranking.entity_ranking: r(e, Q) = sum p(pi|e) r(pi, Q)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NoSeedEntitiesError
+from repro.features import SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import EntityRanker
+
+from .conftest import build_tiny_kg
+
+
+@pytest.fixture
+def ranker(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex) -> EntityRanker:
+    return EntityRanker(tiny_kg, tiny_feature_index)
+
+
+class TestEntityRanking:
+    def test_similar_film_ranked_first(self, ranker: EntityRanker):
+        # Seeds F1, F2 (both star A1 & A2, genre G1) -> F3 (stars A1, genre G1)
+        # must beat F4 (different actors, genre, only shares director with F1).
+        ranked = ranker.rank(["ex:F1", "ex:F2"])
+        ids = [entity.entity_id for entity in ranked]
+        assert ids[0] == "ex:F3"
+        assert ids.index("ex:F3") < ids.index("ex:F4")
+
+    def test_seeds_excluded_from_results(self, ranker: EntityRanker):
+        ranked = ranker.rank(["ex:F1", "ex:F2"])
+        ids = {entity.entity_id for entity in ranked}
+        assert "ex:F1" not in ids and "ex:F2" not in ids
+
+    def test_score_is_sum_of_contributions(self, ranker: EntityRanker):
+        features = ranker.feature_ranker.rank(["ex:F1", "ex:F2"])
+        scored = ranker.score_entity("ex:F3", features)
+        assert scored.score == pytest.approx(sum(
+            ranker.feature_ranker.probability_model.probability(f.feature, "ex:F3") * f.score
+            for f in features
+        ))
+        assert scored.score >= sum(scored.contributions.values()) - 1e-9
+
+    def test_scores_descending(self, ranker: EntityRanker):
+        ranked = ranker.rank(["ex:F1"])
+        scores = [entity.score for entity in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_seeds_raise(self, ranker: EntityRanker):
+        with pytest.raises(NoSeedEntitiesError):
+            ranker.rank([])
+
+    def test_top_k(self, ranker: EntityRanker):
+        assert len(ranker.rank(["ex:F1"], top_k=1)) == 1
+
+    def test_explicit_candidates_respected(self, ranker: EntityRanker):
+        features = ranker.feature_ranker.rank(["ex:F1"])
+        ranked = ranker.rank(["ex:F1"], scored_features=features, candidates=["ex:F4"])
+        assert [entity.entity_id for entity in ranked] == ["ex:F4"]
+
+    def test_top_contributions_sorted(self, ranker: EntityRanker):
+        features = ranker.feature_ranker.rank(["ex:F1", "ex:F2"])
+        scored = ranker.score_entity("ex:F3", features)
+        contributions = scored.top_contributions(3)
+        values = [value for _, value in contributions]
+        assert values == sorted(values, reverse=True)
+
+    def test_as_dict(self, ranker: EntityRanker):
+        ranked = ranker.rank(["ex:F1"])
+        payload = ranked[0].as_dict()
+        assert {"entity", "score", "contributions"} <= set(payload)
+
+    def test_rank_with_features_returns_both_axes(self, ranker: EntityRanker):
+        entities, features = ranker.rank_with_features(["ex:F1", "ex:F2"])
+        assert entities and features
+        assert entities[0].entity_id == "ex:F3"
+
+    def test_rank_with_features_empty_seeds(self, ranker: EntityRanker):
+        with pytest.raises(NoSeedEntitiesError):
+            ranker.rank_with_features([])
+
+
+class TestErrorTolerance:
+    def test_missing_edge_still_recovered_via_type_smoothing(self):
+        """A film missing one of the shared edges still outranks unrelated entities."""
+        kg = build_tiny_kg()
+        # Add F5: same genre as seeds but stars neither A1 nor A2.
+        kg.add_label("ex:F5", "F5 Film")
+        kg.add_type("ex:F5", "ex:Film")
+        kg.add("ex:F5", "ex:genre", "ex:G1")
+        index = SemanticFeatureIndex.build(kg)
+        ranker = EntityRanker(kg, index)
+        ranked = ranker.rank(["ex:F1", "ex:F2"], top_k=10)
+        ids = [entity.entity_id for entity in ranked]
+        # F5 holds none of the seeds' actor features, yet type smoothing keeps
+        # it among the top film recommendations instead of dropping it.
+        assert "ex:F5" in ids[:3]
+        scores = {entity.entity_id: entity.score for entity in ranked}
+        assert scores["ex:F5"] > 0.0
+        # It still ranks below F3, which directly shares an actor with the seeds.
+        assert ids.index("ex:F3") < ids.index("ex:F5")

@@ -1,0 +1,85 @@
+"""Tests for repro.ranking.probability: p(pi | e) with type smoothing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.features import Direction, SemanticFeature, SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import FeatureProbabilityModel
+
+STARRING_A1 = SemanticFeature("ex:A1", "ex:starring", Direction.OBJECT_OF)
+GENRE_G1 = SemanticFeature("ex:G1", "ex:genre", Direction.OBJECT_OF)
+
+
+@pytest.fixture
+def model(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex) -> FeatureProbabilityModel:
+    return FeatureProbabilityModel(tiny_kg, tiny_feature_index)
+
+
+class TestProbability:
+    def test_direct_match_is_one(self, model: FeatureProbabilityModel):
+        assert model.probability(STARRING_A1, "ex:F1") == 1.0
+
+    def test_type_smoothed_fallback(self, model: FeatureProbabilityModel):
+        # F4 is a Film but does not star A1; 3 of 4 films do, so p = 0.75.
+        assert model.probability(STARRING_A1, "ex:F4") == pytest.approx(0.75)
+
+    def test_type_conditional_direct(self, model: FeatureProbabilityModel):
+        assert model.type_conditional(STARRING_A1, "ex:Film") == pytest.approx(0.75)
+        assert model.type_conditional(GENRE_G1, "ex:Film") == pytest.approx(0.75)
+
+    def test_type_conditional_empty_type(self, model: FeatureProbabilityModel):
+        assert model.type_conditional(STARRING_A1, "") == 0.0
+        assert model.type_conditional(STARRING_A1, "ex:Nope") == 0.0
+
+    def test_entity_of_other_type_gets_epsilon(self, model: FeatureProbabilityModel):
+        # D1 is a Director; no director holds starring:A1, so the floor applies.
+        assert model.probability(STARRING_A1, "ex:D1") == pytest.approx(model.epsilon)
+
+    def test_smoothing_disabled_gives_epsilon(self, tiny_kg, tiny_feature_index):
+        model = FeatureProbabilityModel(tiny_kg, tiny_feature_index, type_smoothing=False)
+        assert model.probability(STARRING_A1, "ex:F4") == pytest.approx(model.epsilon)
+        assert model.probability(STARRING_A1, "ex:F1") == 1.0
+
+    def test_invalid_epsilon(self, tiny_kg, tiny_feature_index):
+        with pytest.raises(ValueError):
+            FeatureProbabilityModel(tiny_kg, tiny_feature_index, epsilon=0.0)
+        with pytest.raises(ValueError):
+            FeatureProbabilityModel(tiny_kg, tiny_feature_index, epsilon=1.5)
+
+    def test_probability_bounds(self, model: FeatureProbabilityModel, tiny_kg: KnowledgeGraph, tiny_feature_index):
+        for entity in tiny_kg.entities():
+            for feature in list(tiny_feature_index.all_features())[:10]:
+                p = model.probability(feature, entity)
+                assert 0.0 < p <= 1.0
+
+    def test_cache_cleared(self, model: FeatureProbabilityModel):
+        model.type_conditional(STARRING_A1, "ex:Film")
+        model.clear_cache()
+        assert model.type_conditional(STARRING_A1, "ex:Film") == pytest.approx(0.75)
+
+
+class TestExplanation:
+    def test_direct_explanation(self, model: FeatureProbabilityModel):
+        probability, text = model.probability_with_explanation(STARRING_A1, "ex:F1")
+        assert probability == 1.0
+        assert "direct" in text
+
+    def test_type_smoothed_explanation(self, model: FeatureProbabilityModel):
+        probability, text = model.probability_with_explanation(STARRING_A1, "ex:F4")
+        assert probability == pytest.approx(0.75)
+        assert "ex:Film" in text
+
+    def test_no_evidence_explanation(self, model: FeatureProbabilityModel):
+        probability, text = model.probability_with_explanation(STARRING_A1, "ex:D1")
+        assert probability == pytest.approx(model.epsilon)
+        assert "no instances" in text or "no evidence" in text
+
+    def test_untyped_entity_explanation(self, tiny_kg, ):
+        tiny_kg.add("ex:untyped", "ex:rel", "ex:F1")
+        index = SemanticFeatureIndex.build(tiny_kg)
+        model = FeatureProbabilityModel(tiny_kg, index)
+        probability, text = model.probability_with_explanation(STARRING_A1, "ex:untyped")
+        assert probability == pytest.approx(model.epsilon)
+        assert "no type" in text

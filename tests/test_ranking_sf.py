@@ -1,0 +1,117 @@
+"""Tests for repro.ranking.sf_ranking: r(pi, Q) = d(pi) * c(pi, Q)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RankingConfig
+from repro.exceptions import EntityNotFoundError, NoSeedEntitiesError
+from repro.features import Direction, SemanticFeature, SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import SemanticFeatureRanker
+
+STARRING_A1 = SemanticFeature("ex:A1", "ex:starring", Direction.OBJECT_OF)
+STARRING_A2 = SemanticFeature("ex:A2", "ex:starring", Direction.OBJECT_OF)
+GENRE_G1 = SemanticFeature("ex:G1", "ex:genre", Direction.OBJECT_OF)
+DIRECTOR_D1 = SemanticFeature("ex:D1", "ex:director", Direction.OBJECT_OF)
+
+
+@pytest.fixture
+def ranker(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex) -> SemanticFeatureRanker:
+    return SemanticFeatureRanker(tiny_kg, tiny_feature_index)
+
+
+class TestScoreComponents:
+    def test_discriminability_is_inverse_extension_size(self, ranker: SemanticFeatureRanker):
+        # E(starring:A1) = {F1, F2, F3} -> d = 1/3
+        assert ranker.discriminability(STARRING_A1) == pytest.approx(1 / 3)
+        # E(starring:A2) = {F1, F2} -> d = 1/2
+        assert ranker.discriminability(STARRING_A2) == pytest.approx(1 / 2)
+
+    def test_discriminability_empty_feature_is_zero(self, ranker: SemanticFeatureRanker):
+        assert ranker.discriminability(SemanticFeature("ex:A1", "ex:ghost")) == 0.0
+
+    def test_commonality_all_seeds_hold(self, ranker: SemanticFeatureRanker):
+        # Both F1 and F2 star A1 -> product of 1 * 1.
+        assert ranker.commonality(STARRING_A1, ["ex:F1", "ex:F2"]) == pytest.approx(1.0)
+
+    def test_commonality_with_type_smoothing(self, ranker: SemanticFeatureRanker):
+        # F3 does not star A2: p = |E(A2:starring) ∩ Film| / |Film| = 2/4 = 0.5.
+        assert ranker.commonality(STARRING_A2, ["ex:F1", "ex:F3"]) == pytest.approx(0.5)
+
+    def test_score_is_product_of_components(self, ranker: SemanticFeatureRanker):
+        scored = ranker.score_feature(STARRING_A2, ["ex:F1", "ex:F3"])
+        assert scored.score == pytest.approx(scored.discriminability * scored.commonality)
+        assert scored.seed_probabilities == {"ex:F1": 1.0, "ex:F3": 0.5}
+
+    def test_score_empty_seed_set_raises(self, ranker: SemanticFeatureRanker):
+        with pytest.raises(NoSeedEntitiesError):
+            ranker.score_feature(STARRING_A1, [])
+
+
+class TestRanking:
+    def test_rank_prefers_discriminative_shared_features(self, ranker: SemanticFeatureRanker):
+        scored = ranker.rank(["ex:F1", "ex:F2"])
+        notations = [item.feature.notation() for item in scored]
+        # A2 is shared by exactly the two seeds (d = 1/2) and beats A1 (d = 1/3)
+        # and G1 (d = 1/3).
+        assert notations[0] == STARRING_A2.notation()
+
+    def test_rank_excludes_features_anchored_at_seeds(self, ranker: SemanticFeatureRanker):
+        scored = ranker.rank(["ex:A1"])
+        anchors = {item.feature.anchor for item in scored}
+        assert "ex:A1" not in anchors
+
+    def test_rank_unknown_seed_raises(self, ranker: SemanticFeatureRanker):
+        with pytest.raises(EntityNotFoundError):
+            ranker.rank(["ex:ghost"])
+
+    def test_rank_empty_seeds_raises(self, ranker: SemanticFeatureRanker):
+        with pytest.raises(NoSeedEntitiesError):
+            ranker.rank([])
+
+    def test_top_k_respected(self, ranker: SemanticFeatureRanker):
+        assert len(ranker.rank(["ex:F1"], top_k=2)) == 2
+
+    def test_scores_descending(self, ranker: SemanticFeatureRanker):
+        scored = ranker.rank(["ex:F1", "ex:F2"])
+        scores = [item.score for item in scored]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_explicit_candidates(self, ranker: SemanticFeatureRanker):
+        scored = ranker.rank(["ex:F1"], candidates=[STARRING_A1, GENRE_G1])
+        assert {item.feature for item in scored} == {STARRING_A1, GENRE_G1}
+
+    def test_candidate_features_held_by_some_seed(self, ranker: SemanticFeatureRanker, tiny_feature_index):
+        candidates = ranker.candidate_features(["ex:F1"])
+        for feature in candidates:
+            assert tiny_feature_index.holds("ex:F1", feature)
+
+    def test_as_dict_serialisable(self, ranker: SemanticFeatureRanker):
+        payload = ranker.rank(["ex:F1"])[0].as_dict()
+        assert {"feature", "score", "discriminability", "commonality"} <= set(payload)
+
+
+class TestAblationSwitches:
+    def test_discriminability_only(self, tiny_kg, tiny_feature_index):
+        config = RankingConfig(use_commonality=False)
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index, config=config)
+        scored = ranker.score_feature(STARRING_A2, ["ex:F1", "ex:F3"])
+        assert scored.score == pytest.approx(scored.discriminability)
+
+    def test_commonality_only(self, tiny_kg, tiny_feature_index):
+        config = RankingConfig(use_discriminability=False)
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index, config=config)
+        scored = ranker.score_feature(STARRING_A2, ["ex:F1", "ex:F3"])
+        assert scored.score == pytest.approx(scored.commonality)
+
+    def test_both_disabled_scores_zero(self, tiny_kg, tiny_feature_index):
+        config = RankingConfig(use_discriminability=False, use_commonality=False)
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index, config=config)
+        assert ranker.score_feature(STARRING_A1, ["ex:F1"]).score == 0.0
+
+    def test_no_type_smoothing_changes_commonality(self, tiny_kg, tiny_feature_index):
+        config = RankingConfig(type_smoothing=False)
+        ranker = SemanticFeatureRanker(tiny_kg, tiny_feature_index, config=config)
+        smoothed_off = ranker.commonality(STARRING_A2, ["ex:F1", "ex:F3"])
+        assert smoothed_off == pytest.approx(config.epsilon)

@@ -1,0 +1,86 @@
+"""Tests for repro.search.bm25: BM25 and BM25F baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import FieldedIndex
+from repro.search import BM25FScorer, BM25FieldScorer, BM25Params, idf, parse_query
+
+
+@pytest.fixture
+def index() -> FieldedIndex:
+    idx = FieldedIndex(["names", "categories"])
+    idx.add_document("e:gump", {"names": ["forrest", "gump"], "categories": ["american", "film"]})
+    idx.add_document("e:apollo", {"names": ["apollo", "13"], "categories": ["american", "film"]})
+    idx.add_document("e:long", {"names": ["gump"] + ["filler"] * 30, "categories": ["film"]})
+    return idx
+
+
+class TestIdf:
+    def test_rare_term_higher(self):
+        assert idf(100, 1) > idf(100, 50)
+
+    def test_never_negative(self):
+        assert idf(10, 10) >= 0.0
+        assert idf(10, 9) >= 0.0
+
+    def test_zero_df(self):
+        assert idf(100, 0) > idf(100, 1)
+
+
+class TestBM25Params:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BM25Params(k1=-1)
+        with pytest.raises(ValueError):
+            BM25Params(b=2.0)
+
+    def test_defaults(self):
+        params = BM25Params()
+        assert params.k1 == pytest.approx(1.2)
+        assert params.b == pytest.approx(0.75)
+
+
+class TestBM25FieldScorer:
+    def test_exact_match_ranks_first(self, index: FieldedIndex):
+        scorer = BM25FieldScorer(index, "names")
+        results = scorer.search(parse_query("forrest gump"))
+        assert results[0].doc_id == "e:gump"
+
+    def test_length_normalisation_penalises_long_documents(self, index: FieldedIndex):
+        scorer = BM25FieldScorer(index, "names")
+        results = {r.doc_id: r.score for r in scorer.search(parse_query("gump"))}
+        assert results["e:gump"] > results["e:long"]
+
+    def test_non_matching_document_scores_zero(self, index: FieldedIndex):
+        scorer = BM25FieldScorer(index, "names")
+        scored = scorer.score_document(parse_query("apollo"), "e:gump")
+        assert scored.score == 0.0
+
+    def test_scores_descending(self, index: FieldedIndex):
+        scorer = BM25FieldScorer(index, "categories")
+        results = scorer.search(parse_query("american film"))
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestBM25FScorer:
+    def test_combines_fields(self, index: FieldedIndex):
+        scorer = BM25FScorer(index, {"names": 0.7, "categories": 0.3})
+        results = scorer.search(parse_query("gump film"))
+        assert results[0].doc_id in {"e:gump", "e:long"}
+        assert results[0].score > 0
+
+    def test_weight_normalisation_required(self, index: FieldedIndex):
+        with pytest.raises(ValueError):
+            BM25FScorer(index, {"names": 0.0, "categories": 0.0})
+
+    def test_category_only_match(self, index: FieldedIndex):
+        scorer = BM25FScorer(index, {"names": 0.5, "categories": 0.5})
+        results = scorer.search(parse_query("american"))
+        assert {r.doc_id for r in results} == {"e:gump", "e:apollo"}
+
+    def test_top_k(self, index: FieldedIndex):
+        scorer = BM25FScorer(index, {"names": 0.5, "categories": 0.5})
+        assert len(scorer.search(parse_query("film"), top_k=2)) == 2

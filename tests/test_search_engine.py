@@ -1,0 +1,93 @@
+"""Tests for repro.search.engine: the SearchEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SearchConfig
+from repro.exceptions import EmptyQueryError
+from repro.kg import KnowledgeGraph
+from repro.search import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine(request) -> SearchEngine:
+    movie_kg = request.getfixturevalue("movie_kg")
+    return SearchEngine.from_graph(movie_kg)
+
+
+class TestSearchEngine:
+    def test_indexes_every_entity(self, engine: SearchEngine, movie_kg: KnowledgeGraph):
+        assert engine.num_indexed() == movie_kg.num_entities()
+
+    def test_exact_name_search(self, engine: SearchEngine):
+        hits = engine.search("forrest gump")
+        assert hits[0].entity_id == "dbr:Forrest_Gump"
+        assert hits[0].label == "Forrest Gump"
+
+    def test_partial_name_search(self, engine: SearchEngine):
+        hits = engine.search("apollo")
+        assert hits[0].entity_id == "dbr:Apollo_13_(film)"
+
+    def test_person_search(self, engine: SearchEngine):
+        hits = engine.search("tom hanks")
+        assert hits[0].entity_id == "dbr:Tom_Hanks"
+
+    def test_alias_field_searchable(self, engine: SearchEngine):
+        # "Gumpian" occurs in Forrest Gump's similar-entity-names field (the
+        # alias entity itself matches on its name and may rank first).
+        hits = engine.search("gumpian")
+        assert "dbr:Forrest_Gump" in [hit.entity_id for hit in hits[:3]]
+
+    def test_category_search(self, engine: SearchEngine):
+        hits = engine.search("american films 1994")
+        assert "dbr:Forrest_Gump" in [hit.entity_id for hit in hits[:5]]
+
+    def test_top_k_respected(self, engine: SearchEngine):
+        assert len(engine.search("film", top_k=3)) <= 3
+
+    def test_empty_query_raises(self, engine: SearchEngine):
+        with pytest.raises(EmptyQueryError):
+            engine.search("")
+
+    def test_no_match_returns_empty_list(self, engine: SearchEngine):
+        assert engine.search("qqqqqqzzzz") == []
+
+    def test_scores_descending(self, engine: SearchEngine):
+        hits = engine.search("drama")
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_explain_breaks_down_terms(self, engine: SearchEngine):
+        scored = engine.explain("forrest gump", "dbr:Forrest_Gump")
+        assert set(scored.term_scores) == {"forrest", "gump"}
+
+    def test_document_accessor(self, engine: SearchEngine):
+        document = engine.document("dbr:Forrest_Gump")
+        assert document.entity_id == "dbr:Forrest_Gump"
+
+    def test_hit_as_dict(self, engine: SearchEngine):
+        hit = engine.search("forrest gump")[0]
+        payload = hit.as_dict()
+        assert payload["entity"] == "dbr:Forrest_Gump"
+
+    def test_baseline_scorers_constructible(self, engine: SearchEngine):
+        assert engine.bm25f_scorer() is not None
+        assert engine.bm25_names_scorer() is not None
+        assert engine.single_field_scorer("names") is not None
+
+
+class TestIncrementalIndexing:
+    def test_add_entity_after_graph_change(self, tiny_kg: KnowledgeGraph):
+        engine = SearchEngine.from_graph(tiny_kg)
+        tiny_kg.add_label("ex:F9", "Brand New Film")
+        tiny_kg.add_type("ex:F9", "ex:Film")
+        engine.add_entity("ex:F9")
+        hits = engine.search("brand new film")
+        assert hits[0].entity_id == "ex:F9"
+
+    def test_custom_config_used(self, tiny_kg: KnowledgeGraph):
+        config = SearchConfig(top_k=2)
+        engine = SearchEngine.from_graph(tiny_kg, config=config)
+        assert engine.config.top_k == 2
+        assert len(engine.search("film")) <= 2

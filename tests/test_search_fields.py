@@ -1,0 +1,80 @@
+"""Tests for repro.search.fields: the five-field entity representation (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_FIELDS
+from repro.exceptions import EntityNotFoundError
+from repro.kg import KnowledgeGraph
+from repro.search import analyze_document, build_all_documents, build_entity_document
+
+
+class TestBuildEntityDocument:
+    def test_forrest_gump_table1(self, movie_kg: KnowledgeGraph):
+        """The five-field document of Forrest_Gump mirrors Table 1."""
+        document = build_entity_document(movie_kg, "dbr:Forrest_Gump")
+        assert document.field_text("names") == ("Forrest Gump",)
+        assert "142 minutes" in document.field_text("attributes")
+        assert "55 million dollars" in document.field_text("attributes")
+        assert any("American films" in c for c in document.field_text("categories"))
+        assert "Greenbow" in document.field_text("similar_entity_names")
+        assert "Gumpian" in document.field_text("similar_entity_names")
+        assert "Tom Hanks" in document.field_text("related_entity_names")
+        assert "Robert Zemeckis" in document.field_text("related_entity_names")
+
+    def test_all_five_fields_present(self, movie_kg: KnowledgeGraph):
+        document = build_entity_document(movie_kg, "dbr:Forrest_Gump")
+        for field in DEFAULT_FIELDS:
+            assert field in document.fields
+
+    def test_name_falls_back_to_identifier(self, tiny_kg: KnowledgeGraph):
+        tiny_kg.add("ex:Unlabelled_Thing", "ex:rel", "ex:F1")
+        document = build_entity_document(tiny_kg, "ex:Unlabelled_Thing")
+        assert document.field_text("names") == ("Unlabelled Thing",)
+
+    def test_related_includes_incoming(self, tiny_kg: KnowledgeGraph):
+        document = build_entity_document(tiny_kg, "ex:A1")
+        related = document.field_text("related_entity_names")
+        assert "F1 Film" in related and "F2 Film" in related
+
+    def test_unknown_entity_raises(self, tiny_kg: KnowledgeGraph):
+        with pytest.raises(EntityNotFoundError):
+            build_entity_document(tiny_kg, "ex:missing")
+
+    def test_as_table_rows(self, movie_kg: KnowledgeGraph):
+        rows = build_entity_document(movie_kg, "dbr:Forrest_Gump").as_table()
+        assert [row[0] for row in rows] == list(DEFAULT_FIELDS)
+
+    def test_joined_and_all_text(self, movie_kg: KnowledgeGraph):
+        document = build_entity_document(movie_kg, "dbr:Forrest_Gump")
+        assert "Forrest Gump" in document.joined("names")
+        assert "Tom Hanks" in document.all_text()
+
+
+class TestAnalyzeDocument:
+    def test_analyzed_terms_lowercased(self, movie_kg: KnowledgeGraph):
+        document = build_entity_document(movie_kg, "dbr:Forrest_Gump")
+        analyzed = analyze_document(document)
+        assert "forrest" in analyzed["names"]
+        assert "gump" in analyzed["names"]
+
+    def test_attribute_terms_stopword_filtered(self, movie_kg: KnowledgeGraph):
+        document = build_entity_document(movie_kg, "dbr:Forrest_Gump")
+        analyzed = analyze_document(document)
+        assert "minute" in analyzed["attributes"]  # stemmed
+        assert all(term != "of" for term in analyzed["attributes"])
+
+    def test_every_field_analyzed(self, movie_kg: KnowledgeGraph):
+        analyzed = analyze_document(build_entity_document(movie_kg, "dbr:Tom_Hanks"))
+        assert set(analyzed.keys()) == set(DEFAULT_FIELDS)
+
+
+class TestBuildAllDocuments:
+    def test_covers_every_entity(self, tiny_kg: KnowledgeGraph):
+        documents = build_all_documents(tiny_kg)
+        assert set(documents.keys()) == tiny_kg.entities()
+
+    def test_documents_keyed_by_entity(self, tiny_kg: KnowledgeGraph):
+        documents = build_all_documents(tiny_kg)
+        assert documents["ex:F1"].entity_id == "ex:F1"

@@ -1,0 +1,83 @@
+"""Tests for repro.search.language_model: smoothing strategies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.search import (
+    SmoothingParams,
+    dirichlet_probability,
+    jelinek_mercer_probability,
+    log_probability,
+    smoothed_probability,
+)
+
+
+class TestDirichlet:
+    def test_matches_formula(self):
+        # (tf + mu * p_c) / (|d| + mu)
+        value = dirichlet_probability(3, 10, 0.01, mu=100.0)
+        assert value == pytest.approx((3 + 100 * 0.01) / (10 + 100))
+
+    def test_zero_tf_still_positive(self):
+        assert dirichlet_probability(0, 10, 0.01, mu=100.0) > 0.0
+
+    def test_empty_document_uses_collection(self):
+        value = dirichlet_probability(0, 0, 0.02, mu=100.0)
+        assert value == pytest.approx(0.02)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            dirichlet_probability(1, 10, 0.01, mu=0.0)
+
+    def test_longer_document_dilutes_smoothing(self):
+        short = dirichlet_probability(1, 5, 0.01, mu=100.0)
+        long_ = dirichlet_probability(1, 500, 0.01, mu=100.0)
+        assert short > long_
+
+
+class TestJelinekMercer:
+    def test_matches_formula(self):
+        value = jelinek_mercer_probability(2, 10, 0.05, lam=0.1)
+        assert value == pytest.approx(0.9 * 0.2 + 0.1 * 0.05)
+
+    def test_lambda_one_is_pure_collection(self):
+        assert jelinek_mercer_probability(5, 10, 0.07, lam=1.0) == pytest.approx(0.07)
+
+    def test_lambda_zero_is_pure_ml(self):
+        assert jelinek_mercer_probability(5, 10, 0.07, lam=0.0) == pytest.approx(0.5)
+
+    def test_empty_document(self):
+        assert jelinek_mercer_probability(0, 0, 0.07, lam=0.5) == pytest.approx(0.035)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            jelinek_mercer_probability(1, 10, 0.01, lam=1.5)
+
+
+class TestDispatchAndParams:
+    def test_smoothing_params_validation(self):
+        with pytest.raises(ValueError):
+            SmoothingParams(method="bogus")
+        with pytest.raises(ValueError):
+            SmoothingParams(dirichlet_mu=-1)
+        with pytest.raises(ValueError):
+            SmoothingParams(jm_lambda=2.0)
+
+    def test_dispatch_dirichlet(self):
+        params = SmoothingParams(method="dirichlet", dirichlet_mu=50.0)
+        assert smoothed_probability(1, 10, 0.01, params) == pytest.approx(
+            dirichlet_probability(1, 10, 0.01, 50.0)
+        )
+
+    def test_dispatch_jelinek_mercer(self):
+        params = SmoothingParams(method="jelinek-mercer", jm_lambda=0.3)
+        assert smoothed_probability(1, 10, 0.01, params) == pytest.approx(
+            jelinek_mercer_probability(1, 10, 0.01, 0.3)
+        )
+
+    def test_log_probability_floors(self):
+        assert log_probability(0.0) == math.log(1e-12)
+        assert log_probability(0.5) == pytest.approx(math.log(0.5))

@@ -1,0 +1,60 @@
+"""Tests for repro.search.query: keyword query parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyQueryError
+from repro.search import parse_query
+
+
+class TestParseQuery:
+    def test_simple_keywords(self):
+        query = parse_query("forrest gump")
+        assert query.terms == ("forrest", "gump")
+        assert not query.phrases
+        assert not query.field_restrictions
+
+    def test_raw_preserved(self):
+        assert parse_query("Forrest Gump").raw == "Forrest Gump"
+
+    def test_quoted_phrase_collected(self):
+        query = parse_query('"forrest gump" film')
+        assert ("forrest", "gump") in query.phrases
+        assert "film" in query.terms
+        # Phrase terms also appear in the flat term list.
+        assert "forrest" in query.terms
+
+    def test_field_restriction_on_known_field(self):
+        query = parse_query("names:gump american")
+        assert query.field_restrictions == {"names": ("gump",)}
+        assert "american" in query.terms
+        assert "gump" not in query.terms
+
+    def test_unknown_field_treated_as_text(self):
+        query = parse_query("title:gump")
+        assert not query.field_restrictions
+        assert "title" in query.terms and "gump" in query.terms
+
+    def test_all_terms_includes_restrictions(self):
+        query = parse_query("names:gump american")
+        assert sorted(query.all_terms()) == ["american", "gump"]
+
+    def test_empty_query_raises(self):
+        with pytest.raises(EmptyQueryError):
+            parse_query("")
+        with pytest.raises(EmptyQueryError):
+            parse_query("   !!! ,,,")
+
+    def test_stopword_only_query_kept(self):
+        # NAME_ANALYZER keeps stopwords so "the who" still has terms.
+        query = parse_query("the who")
+        assert query.terms == ("the", "who")
+
+    def test_case_and_punctuation_normalized(self):
+        query = parse_query("FORREST-GUMP!")
+        assert query.terms == ("forrest", "gump")
+
+    def test_is_empty_property(self):
+        query = parse_query("gump")
+        assert not query.is_empty

@@ -1,0 +1,135 @@
+"""Tests for repro.text: tokenization, normalization, analyzers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text import (
+    Analyzer,
+    ENGLISH_STOPWORDS,
+    NAME_ANALYZER,
+    TEXT_ANALYZER,
+    character_ngrams,
+    is_stopword,
+    light_stem,
+    make_stopword_set,
+    ngrams,
+    normalize_text,
+    normalize_token,
+    split_camel_case,
+    strip_accents,
+    tokenize,
+    tokenize_all,
+)
+
+
+class TestNormalization:
+    def test_strip_accents(self):
+        assert strip_accents("Amélie") == "Amelie"
+
+    def test_split_camel_case(self):
+        assert split_camel_case("PandaSearch") == "Panda Search"
+
+    def test_normalize_token(self):
+        assert normalize_token("Tom") == "tom"
+        assert normalize_token("Café") == "cafe"
+
+    def test_normalize_text_underscores_and_punctuation(self):
+        assert normalize_text("Forrest_Gump (1994)") == "forrest gump 1994"
+
+    def test_normalize_text_camel_case(self):
+        assert normalize_text("PandaSearch") == "panda search"
+
+    def test_light_stem_plural(self):
+        assert light_stem("films") == "film"
+        assert light_stem("movies") == "movy"  # light stemmer: ies -> y
+        assert light_stem("actresses") == "actress"
+
+    def test_light_stem_preserves_short_and_ss_us(self):
+        assert light_stem("bus") == "bus"
+        assert light_stem("class") == "class"
+        assert light_stem("as") == "as"
+
+    def test_light_stem_possessive(self):
+        assert light_stem("hanks's") == "hanks"
+
+
+class TestTokenizer:
+    def test_tokenize_basic(self):
+        assert tokenize("Forrest_Gump (1994 film)") == ["forrest", "gump", "1994", "film"]
+
+    def test_tokenize_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_tokenize_all(self):
+        assert tokenize_all(["Tom Hanks", "Gary Sinise"]) == ["tom", "hanks", "gary", "sinise"]
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+        assert ngrams(["a"], 2) == []
+
+    def test_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_character_ngrams(self):
+        grams = character_ngrams("Tom", 2)
+        assert grams == ["to", "om"]
+
+    def test_character_ngrams_short_text(self):
+        assert character_ngrams("a", 3) == ["a"]
+        assert character_ngrams("", 3) == []
+
+    def test_character_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", 0)
+
+
+class TestStopwords:
+    def test_common_stopwords_present(self):
+        assert "the" in ENGLISH_STOPWORDS
+        assert "and" in ENGLISH_STOPWORDS
+
+    def test_is_stopword_case_insensitive(self):
+        assert is_stopword("The")
+        assert not is_stopword("gump")
+
+    def test_make_stopword_set_extra_and_remove(self):
+        custom = make_stopword_set(extra=["film"], remove=["the"])
+        assert "film" in custom
+        assert "the" not in custom
+        # The base set is untouched.
+        assert "the" in ENGLISH_STOPWORDS
+
+
+class TestAnalyzer:
+    def test_text_analyzer_removes_stopwords_and_stems(self):
+        assert TEXT_ANALYZER.analyze("the best films") == ["best", "film"]
+
+    def test_name_analyzer_keeps_stopwords(self):
+        assert NAME_ANALYZER.analyze("The Terminal") == ["the", "terminal"]
+
+    def test_min_token_length(self):
+        analyzer = Analyzer(remove_stopwords=False, stem=False, min_token_length=3)
+        assert analyzer.analyze("a an the gump") == ["the", "gump"]
+
+    def test_analyze_all_flattens(self):
+        assert TEXT_ANALYZER.analyze_all(["American films", "War films"]) == [
+            "american",
+            "film",
+            "war",
+            "film",
+        ]
+
+    def test_analyze_query_falls_back_for_all_stopword_query(self):
+        # "The Who" is entirely stopwords but must still produce terms.
+        terms = TEXT_ANALYZER.analyze_query("The Who")
+        assert terms == ["the", "who"]
+
+    def test_analyze_query_normal_path(self):
+        assert TEXT_ANALYZER.analyze_query("american films") == ["american", "film"]
+
+    def test_analyzer_is_frozen_dataclass(self):
+        with pytest.raises(Exception):
+            TEXT_ANALYZER.stem = False  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Tests for repro.viz.export: JSON payloads of the UI artefacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import (
+    ExplorationSession,
+    RecommendationEngine,
+    SelectEntity,
+    SubmitKeywords,
+)
+from repro.kg import KnowledgeGraph
+from repro.viz import (
+    build_heatmap,
+    build_matrix_view,
+    heatmap_to_dict,
+    matrix_view_to_dict,
+    path_to_dict,
+    recommendation_to_dict,
+    session_to_dict,
+    write_json,
+)
+
+
+@pytest.fixture
+def recommendation(tiny_kg: KnowledgeGraph):
+    return RecommendationEngine(tiny_kg).recommend_for_seeds(["ex:F1", "ex:F2"])
+
+
+class TestExports:
+    def test_recommendation_payload(self, recommendation):
+        payload = recommendation_to_dict(recommendation)
+        assert payload["entities"]
+        assert payload["features"]
+        json.dumps(payload)  # must be JSON-serialisable
+
+    def test_heatmap_payload(self, recommendation):
+        heatmap = build_heatmap(recommendation.correlations)
+        payload = heatmap_to_dict(heatmap)
+        assert payload["num_levels"] == 7
+        assert len(payload["levels"]) == len(payload["entities"])
+        json.dumps(payload)
+
+    def test_matrix_view_payload(self, tiny_kg, recommendation):
+        heatmap = build_heatmap(recommendation.correlations)
+        view = build_matrix_view(tiny_kg, recommendation, heatmap)
+        payload = matrix_view_to_dict(view)
+        assert payload["entities"][0]["label"]
+        assert payload["features"][0]["notation"]
+        assert "heatmap" in payload
+        json.dumps(payload)
+
+    def test_session_and_path_payloads(self):
+        session = ExplorationSession("export")
+        session.apply(SubmitKeywords("gump"))
+        session.apply(SelectEntity("dbr:Forrest_Gump"))
+        session_payload = session_to_dict(session)
+        assert session_payload["session_id"] == "export"
+        assert len(session_payload["timeline"]) == 2
+        path_payload = path_to_dict(session.path)
+        assert path_payload["nodes"]
+        json.dumps(session_payload)
+        json.dumps(path_payload)
+
+    def test_write_json(self, tmp_path, recommendation):
+        target = tmp_path / "rec.json"
+        written = write_json(recommendation_to_dict(recommendation), target)
+        assert written.exists()
+        loaded = json.loads(written.read_text(encoding="utf-8"))
+        assert loaded["entities"]

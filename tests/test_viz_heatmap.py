@@ -1,0 +1,101 @@
+"""Tests for repro.viz.heatmap: the seven-level heat map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import HeatmapConfig
+from repro.explore import RecommendationEngine
+from repro.features import SemanticFeature
+from repro.kg import KnowledgeGraph
+from repro.ranking.correlation import CorrelationMatrix
+from repro.viz import build_heatmap
+
+
+def make_matrix(values: np.ndarray) -> CorrelationMatrix:
+    entities = tuple(f"e{i}" for i in range(values.shape[0]))
+    features = tuple(SemanticFeature(f"a{j}", "p") for j in range(values.shape[1]))
+    return CorrelationMatrix(entities=entities, features=features, values=values)
+
+
+class TestBuildHeatmap:
+    def test_seven_levels_by_default(self):
+        values = np.linspace(0.0, 1.0, 21).reshape(3, 7)
+        heatmap = build_heatmap(make_matrix(values))
+        assert heatmap.num_levels == 7
+        assert heatmap.levels.max() <= 6
+        assert heatmap.levels.min() >= 0
+
+    def test_zero_cells_get_level_zero(self):
+        values = np.array([[0.0, 0.5], [1.0, 0.0]])
+        heatmap = build_heatmap(make_matrix(values))
+        assert heatmap.level("e0", "a0:p") == 0
+        assert heatmap.level("e1", "a1:p") == 0
+
+    def test_monotonic_with_correlation(self):
+        values = np.array([[0.1, 0.5, 0.9]])
+        heatmap = build_heatmap(make_matrix(values), HeatmapConfig(scale="linear"))
+        levels = [heatmap.level("e0", f"a{j}:p") for j in range(3)]
+        assert levels == sorted(levels)
+
+    def test_strongest_value_gets_highest_level(self):
+        values = np.linspace(0.01, 1.0, 70).reshape(7, 10)
+        heatmap = build_heatmap(make_matrix(values), HeatmapConfig(scale="quantile"))
+        assert heatmap.levels.max() == 6
+
+    def test_constant_positive_matrix(self):
+        values = np.full((2, 3), 0.5)
+        heatmap = build_heatmap(make_matrix(values))
+        # All equal positive values share one positive level; no crash.
+        unique_levels = set(np.unique(heatmap.levels))
+        assert len(unique_levels) == 1
+        assert unique_levels != {0}
+
+    def test_all_zero_matrix(self):
+        values = np.zeros((2, 2))
+        heatmap = build_heatmap(make_matrix(values))
+        assert heatmap.levels.max() == 0
+
+    def test_empty_matrix(self):
+        values = np.zeros((0, 0))
+        heatmap = build_heatmap(make_matrix(values))
+        assert heatmap.shape == (0, 0)
+
+    def test_linear_and_log_scales(self):
+        values = np.array([[0.001, 0.01, 0.1, 1.0]])
+        linear = build_heatmap(make_matrix(values), HeatmapConfig(scale="linear"))
+        log = build_heatmap(make_matrix(values), HeatmapConfig(scale="log"))
+        # The log scale spreads small values over more levels than linear.
+        linear_levels = [linear.level("e0", f"a{j}:p") for j in range(4)]
+        log_levels = [log.level("e0", f"a{j}:p") for j in range(4)]
+        assert len(set(log_levels)) >= len(set(linear_levels))
+
+    def test_custom_level_count(self):
+        values = np.linspace(0.01, 1.0, 30).reshape(3, 10)
+        heatmap = build_heatmap(make_matrix(values), HeatmapConfig(levels=4))
+        assert heatmap.num_levels == 4
+        assert heatmap.levels.max() <= 3
+
+    def test_level_counts_sum_to_cells(self):
+        values = np.random.default_rng(0).random((5, 6))
+        heatmap = build_heatmap(make_matrix(values))
+        assert sum(heatmap.level_counts().values()) == 30
+
+    def test_strongest_cells_sorted(self):
+        values = np.array([[0.1, 0.9], [0.5, 0.2]])
+        heatmap = build_heatmap(make_matrix(values))
+        cells = heatmap.strongest_cells(4)
+        levels = [level for _, _, level in cells]
+        assert levels == sorted(levels, reverse=True)
+
+
+class TestHeatmapOnRealRecommendation:
+    def test_heatmap_from_tiny_recommendation(self, tiny_kg: KnowledgeGraph):
+        engine = RecommendationEngine(tiny_kg)
+        recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+        heatmap = build_heatmap(recommendation.correlations)
+        assert heatmap.shape == recommendation.correlations.shape
+        # Cells for features the entity actually holds are the darkest.
+        strongest = heatmap.strongest_cells(1)[0]
+        assert strongest[2] >= heatmap.num_levels - 2

@@ -1,0 +1,109 @@
+"""Tests for repro.viz.matrix_view, profile and path rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    ExplorationQuery,
+    ExplorationSession,
+    RecommendationEngine,
+    SelectEntity,
+    SubmitKeywords,
+)
+from repro.kg import KnowledgeGraph
+from repro.viz import (
+    build_heatmap,
+    build_matrix_view,
+    entity_profile,
+    profile_as_dict,
+    render_matrix_ascii,
+    render_path_ascii,
+    render_path_mermaid,
+    render_profile_text,
+)
+
+
+@pytest.fixture
+def matrix_view(tiny_kg: KnowledgeGraph):
+    engine = RecommendationEngine(tiny_kg)
+    recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+    heatmap = build_heatmap(recommendation.correlations)
+    return build_matrix_view(tiny_kg, recommendation, heatmap)
+
+
+class TestMatrixView:
+    def test_axes_populated(self, matrix_view):
+        assert matrix_view.entity_axis()
+        assert matrix_view.feature_axis()
+
+    def test_entity_axis_uses_labels(self, matrix_view):
+        labels = [label for _, label, _ in matrix_view.entity_axis()]
+        assert "F3 Film" in labels
+
+    def test_feature_axis_has_descriptions(self, matrix_view):
+        descriptions = [description for _, description, _ in matrix_view.feature_axis()]
+        assert any("A1 Actor" in description or "starring" in description for description in descriptions)
+
+    def test_cell_level_accessible(self, matrix_view):
+        entity_id = matrix_view.entities[0].entity_id
+        notation = matrix_view.features[0].feature.notation()
+        assert 0 <= matrix_view.cell_level(entity_id, notation) < matrix_view.heatmap.num_levels
+
+    def test_shape_consistency(self, matrix_view):
+        assert matrix_view.shape == matrix_view.heatmap.shape
+
+
+class TestAsciiRendering:
+    def test_render_contains_entities_and_features(self, matrix_view):
+        text = render_matrix_ascii(matrix_view)
+        assert "E1:" in text
+        assert "levels:" in text
+        assert "Query:" in text
+
+    def test_render_truncates(self, matrix_view):
+        text = render_matrix_ascii(matrix_view, max_entities=1, max_features=1)
+        assert "E2:" not in text
+
+    def test_long_feature_names_ellipsised(self, matrix_view):
+        text = render_matrix_ascii(matrix_view, label_width=10)
+        assert "..." in text
+
+
+class TestProfiles:
+    def test_entity_profile_render(self, tiny_kg: KnowledgeGraph):
+        profile = entity_profile(tiny_kg, "ex:F1")
+        text = render_profile_text(profile)
+        assert "F1 Film" in text
+        assert "ex:Film" in text
+        assert "wikipedia" in text
+
+    def test_profile_as_dict(self, tiny_kg: KnowledgeGraph):
+        payload = profile_as_dict(entity_profile(tiny_kg, "ex:F1"))
+        assert payload["id"] == "ex:F1"
+        assert payload["types"] == ["ex:Film"]
+        assert payload["facts"]
+
+
+class TestPathRendering:
+    @pytest.fixture
+    def session(self) -> ExplorationSession:
+        session = ExplorationSession("render")
+        session.apply(SubmitKeywords("gump"))
+        session.apply(SelectEntity("dbr:Forrest_Gump"))
+        return session
+
+    def test_ascii_tree(self, session: ExplorationSession):
+        text = render_path_ascii(session.path)
+        assert "current" in text
+        assert "select entity" in text
+
+    def test_ascii_empty_path(self):
+        from repro.explore import ExplorationPath
+
+        assert "(empty exploration path)" in render_path_ascii(ExplorationPath())
+
+    def test_mermaid_output(self, session: ExplorationSession):
+        text = render_path_mermaid(session.path)
+        assert text.startswith("graph TD")
+        assert "-->" in text

@@ -1,0 +1,111 @@
+"""Tests for repro.viz.svg: SVG rendering of the heat map and the path."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.explore import (
+    ExplorationPath,
+    ExplorationQuery,
+    ExplorationSession,
+    RecommendationEngine,
+    SelectEntity,
+    SubmitKeywords,
+)
+from repro.kg import KnowledgeGraph
+from repro.viz import build_heatmap, build_matrix_view, render_heatmap_svg, render_path_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def matrix_view(tiny_kg: KnowledgeGraph):
+    engine = RecommendationEngine(tiny_kg)
+    recommendation = engine.recommend_for_seeds(["ex:F1", "ex:F2"])
+    heatmap = build_heatmap(recommendation.correlations)
+    return build_matrix_view(tiny_kg, recommendation, heatmap)
+
+
+@pytest.fixture
+def session() -> ExplorationSession:
+    session = ExplorationSession("svg")
+    session.apply(SubmitKeywords("gump"))
+    session.apply(SelectEntity("dbr:Forrest_Gump"))
+    session.apply(SelectEntity("dbr:Apollo_13_(film)"))
+    return session
+
+
+class TestHeatmapSvg:
+    def test_well_formed_xml(self, matrix_view):
+        document = render_heatmap_svg(matrix_view)
+        root = ET.fromstring(document)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_cell_rect_per_matrix_cell(self, matrix_view):
+        document = render_heatmap_svg(matrix_view)
+        root = ET.fromstring(document)
+        rects = root.findall(f"{SVG_NS}rect")
+        rows, columns = matrix_view.shape
+        # background + one rect per cell
+        assert len(rects) == 1 + rows * columns
+
+    def test_labels_present(self, matrix_view):
+        document = render_heatmap_svg(matrix_view)
+        assert "F3 Film" in document
+        assert "starring" in document
+
+    def test_truncation_limits_cells(self, matrix_view):
+        document = render_heatmap_svg(matrix_view, max_entities=1, max_features=1)
+        root = ET.fromstring(document)
+        assert len(root.findall(f"{SVG_NS}rect")) == 2  # background + single cell
+
+    def test_distinct_fills_for_distinct_levels(self, matrix_view):
+        document = render_heatmap_svg(matrix_view)
+        fills = {
+            line.split('fill="')[1].split('"')[0]
+            for line in document.splitlines()
+            if line.startswith("<rect") and "stroke=\"#cccccc\"" in line
+        }
+        # The tiny recommendation spans several correlation levels.
+        assert len(fills) >= 2
+
+
+class TestPathSvg:
+    def test_well_formed_xml(self, session):
+        document = render_path_svg(session.path)
+        root = ET.fromstring(document)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_node_rect_per_path_node(self, session):
+        document = render_path_svg(session.path)
+        root = ET.fromstring(document)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 1 + len(session.path)  # background + nodes
+
+    def test_one_line_per_edge(self, session):
+        document = render_path_svg(session.path)
+        root = ET.fromstring(document)
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == len(session.path.edges)
+
+    def test_operation_labels_present(self, session):
+        document = render_path_svg(session.path)
+        assert "select entity" in document
+
+    def test_empty_path(self):
+        document = render_path_svg(ExplorationPath())
+        assert ET.fromstring(document).tag == f"{SVG_NS}svg"
+
+    def test_branching_layout_has_two_rows(self):
+        path = ExplorationPath()
+        root_node = path.add_state(ExplorationQuery(keywords="a"))
+        path.add_state(ExplorationQuery(keywords="b"), SubmitKeywords("b"))
+        path.jump_to(root_node.node_id)
+        path.add_state(ExplorationQuery(keywords="c"), SubmitKeywords("c"))
+        document = render_path_svg(path)
+        root = ET.fromstring(document)
+        node_rects = root.findall(f"{SVG_NS}rect")[1:]
+        ys = {rect.get("y") for rect in node_rects}
+        assert len(ys) >= 2  # the branch occupies a second row
