@@ -1,25 +1,128 @@
-"""E8: recommendation latency scaling with graph size and seed count.
+"""E8: latency scaling of recommendation and keyword search.
 
 The demo claims interactive exploration where recommendations are computed
-"on the fly".  This bench measures how the recommendation latency grows with
-the size of the knowledge graph and with the number of seed entities, using
-the configurable random KG generator.  Expected shape: sub-second latency at
-laptop scale, roughly linear growth in the number of candidate entities
-touched, and mild growth with seed count (the commonality product adds one
-p(pi|e) evaluation per seed).
+"on the fly".  This bench measures two hot paths as the knowledge graph
+grows, using the configurable random KG generator:
+
+* recommendation latency vs. graph size and seed count (the original E8);
+* keyword-search latency in an accumulator-vs-seed A/B: the term-at-a-time
+  accumulator path (``MixtureLanguageModelScorer.search``) against the
+  exhaustive score-all-then-sort path (``search_exhaustive``), plus the
+  engine-level LRU result cache for repeated queries.  The A/B verifies
+  that both paths return identical rankings before trusting any timing.
+
+Run as a script to produce the machine-readable baseline::
+
+    python benchmarks/bench_latency_scaling.py --sizes 200,500 \
+        --output BENCH_search_latency.json
+
+which is what the CI bench-smoke job does on the tiny (200-entity)
+dataset; the committed ``BENCH_search_latency.json`` at the repo root is
+the perf trajectory baseline for future PRs.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
 
-from repro.datasets import RandomKGConfig, build_random_kg
-from repro.eval import Stopwatch, print_experiment
-from repro.expansion import EntitySetExpander
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest  # noqa: E402
+
+from repro.datasets import RandomKGConfig, build_random_kg  # noqa: E402
+from repro.eval import Stopwatch, print_experiment  # noqa: E402
+from repro.expansion import EntitySetExpander  # noqa: E402
+from repro.search import SearchEngine, parse_query  # noqa: E402
 
 SIZES = (200, 500, 1000, 2000)
 
 
+def _search_queries(graph, num_queries: int = 8) -> List[str]:
+    """Deterministic multi-term keyword queries from entity labels.
+
+    Every label of the random KG shares the token "entity", so each query
+    drags the longest posting list in the index through scoring — the
+    worst case for the score-all pattern.
+    """
+    entities = sorted(graph.entities())
+    step = max(1, len(entities) // num_queries)
+    queries = []
+    for index in range(0, len(entities), step):
+        queries.append(graph.label(entities[index]))
+        if len(queries) >= num_queries:
+            break
+    return queries
+
+
+def _results_signature(results) -> List:
+    return [(result.doc_id, result.score) for result in results]
+
+
+def measure_search_ab(
+    graph,
+    repeats: int = 5,
+    num_queries: int = 8,
+    top_k: int = 20,
+) -> Dict[str, object]:
+    """Accumulator-vs-exhaustive (and cached) search latency on one graph.
+
+    Returns a row with mean/p95 latencies per mode, the speedup factors and
+    an ``identical`` flag confirming both scoring paths ranked identically.
+    """
+    engine = SearchEngine.from_graph(graph)
+    scorer = engine.mlm_scorer
+    queries = _search_queries(graph, num_queries)
+    parsed = [parse_query(raw) for raw in queries]
+    watch = Stopwatch()
+    identical = True
+    for raw, query in zip(queries, parsed):
+        fast = scorer.search(query, top_k=top_k)
+        slow = scorer.search_exhaustive(query, top_k=top_k)
+        if _results_signature(fast) != _results_signature(slow):
+            identical = False
+        engine.search(raw, top_k=top_k)  # warm the LRU so "cached" times hits only
+    for _ in range(repeats):
+        for raw, query in zip(queries, parsed):
+            with watch.measure("exhaustive"):
+                scorer.search_exhaustive(query, top_k=top_k)
+            with watch.measure("accumulator"):
+                scorer.search(query, top_k=top_k)
+            with watch.measure("cached"):
+                engine.search(raw, top_k=top_k)
+    exhaustive = watch.stats("exhaustive").as_dict()
+    accumulator = watch.stats("accumulator").as_dict()
+    cached = watch.stats("cached").as_dict()
+
+    def _speedup(mean_ms: float) -> float:
+        return exhaustive["mean_ms"] / mean_ms if mean_ms > 0 else float("inf")
+
+    return {
+        "entities": graph.num_entities(),
+        "edges": graph.num_edges(),
+        "queries": len(queries),
+        "repeats": repeats,
+        "top_k": top_k,
+        "identical": identical,
+        "exhaustive_mean_ms": exhaustive["mean_ms"],
+        "exhaustive_p95_ms": exhaustive["p95_ms"],
+        "accumulator_mean_ms": accumulator["mean_ms"],
+        "accumulator_p95_ms": accumulator["p95_ms"],
+        "cached_mean_ms": cached["mean_ms"],
+        "cached_p95_ms": cached["p95_ms"],
+        "speedup_accumulator": _speedup(accumulator["mean_ms"]),
+        "speedup_cached": _speedup(cached["mean_ms"]),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Pytest entry points
+# --------------------------------------------------------------------- #
 @pytest.fixture(scope="module")
 def graphs():
     return {size: build_random_kg(RandomKGConfig(num_entities=size, seed=42)) for size in SIZES}
@@ -76,6 +179,30 @@ def test_latency_vs_seed_count(graphs, expanders):
     assert len(rows) == 4
 
 
+def test_search_accumulator_vs_exhaustive_ab(graphs):
+    """E8c: the accumulator A/B — identical rankings, lower latency."""
+    rows = []
+    for size in SIZES:
+        row = measure_search_ab(graphs[size], repeats=3)
+        assert row["identical"], f"accumulator ranking diverged at {size} entities"
+        rows.append(
+            {
+                "entities": row["entities"],
+                "exhaustive_ms": row["exhaustive_mean_ms"],
+                "accumulator_ms": row["accumulator_mean_ms"],
+                "cached_ms": row["cached_mean_ms"],
+                "speedup": row["speedup_accumulator"],
+                "speedup_cached": row["speedup_cached"],
+            }
+        )
+    print_experiment(
+        "E8c — keyword search: accumulator vs. exhaustive (repeated multi-term queries)",
+        rows,
+        notes="identical rankings; speedup grows with graph size, cached speedup is the LRU hit path",
+    )
+    assert all(row["accumulator_ms"] > 0 for row in rows)
+
+
 @pytest.mark.benchmark(group="latency-scaling")
 @pytest.mark.parametrize("size", SIZES)
 def test_bench_expand_by_graph_size(benchmark, expanders, graphs, size):
@@ -92,3 +219,76 @@ def test_bench_expand_by_seed_count(benchmark, expanders, graphs, seed_count):
     seeds = _seeds(graphs[1000], seed_count)
     result = benchmark(expander.expand, seeds, 20)
     assert result.seeds == tuple(seeds)
+
+
+# --------------------------------------------------------------------- #
+# Script entry point (used by the CI bench-smoke job)
+# --------------------------------------------------------------------- #
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--sizes",
+        default="200,500,1000,2000",
+        help="comma-separated KG sizes (entities) to measure",
+    )
+    parser.add_argument("--queries", type=int, default=8, help="queries per size")
+    parser.add_argument("--repeats", type=int, default=5, help="repeats per query per mode")
+    parser.add_argument("--top-k", type=int, default=20, help="results per query")
+    parser.add_argument("--output", type=Path, default=None, help="write JSON report here")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the largest size reaches this accumulator speedup",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = sorted({int(token) for token in args.sizes.split(",") if token.strip()})
+    if not sizes:
+        parser.error("--sizes must name at least one KG size")
+    rows = []
+    for size in sizes:
+        graph = build_random_kg(RandomKGConfig(num_entities=size, seed=42))
+        row = measure_search_ab(
+            graph, repeats=args.repeats, num_queries=args.queries, top_k=args.top_k
+        )
+        rows.append(row)
+        print(
+            f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
+            f"accumulator={row['accumulator_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
+            f"speedup={row['speedup_accumulator']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
+            f"identical={row['identical']}"
+        )
+
+    report = {
+        "bench": "search_latency_scaling",
+        "description": "keyword search latency: accumulator vs exhaustive vs LRU-cached",
+        "config": {
+            "sizes": sizes,
+            "queries": args.queries,
+            "repeats": args.repeats,
+            "top_k": args.top_k,
+            "kg_seed": 42,
+        },
+        "rows": rows,
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if any(not row["identical"] for row in rows):
+        print("FAIL: accumulator rankings diverged from exhaustive scoring", file=sys.stderr)
+        return 1
+    largest = rows[-1]
+    if args.min_speedup is not None and largest["speedup_accumulator"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {largest['speedup_accumulator']:.2f}x below "
+            f"required {args.min_speedup:.2f}x at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,9 @@ class SearchConfig:
     smoothing: str = "dirichlet"
     #: Number of entities returned for a keyword query.
     top_k: int = 20
+    #: Maximum number of query results kept in the engine's LRU result
+    #: cache; ``0`` disables result caching entirely.
+    result_cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
@@ -60,6 +63,8 @@ class SearchConfig:
             raise ValueError("jm_lambda must lie in [0, 1]")
         if self.top_k <= 0:
             raise ValueError("top_k must be positive")
+        if self.result_cache_size < 0:
+            raise ValueError("result_cache_size must be non-negative")
         missing = [f for f in self.fields if f not in self.field_weights]
         if missing:
             raise ValueError(f"missing field weights for: {missing}")

@@ -112,8 +112,17 @@ class PivotE:
     # Stateless operations
     # ------------------------------------------------------------------ #
     def search(self, keywords: str, top_k: Optional[int] = None) -> List[SearchHit]:
-        """Keyword entity search (the search-engine component alone)."""
+        """Keyword entity search (the search-engine component alone).
+
+        Served through the engine's LRU result cache, so repeated queries —
+        including the implicit re-search of :meth:`submit_keywords` — cost a
+        cache lookup instead of a postings traversal.
+        """
         return self._search.search(keywords, top_k=top_k)
+
+    def search_cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the search engine's LRU result cache."""
+        return self._search.cache_info()
 
     def recommend(self, seeds: Sequence[str], **kwargs: object) -> Recommendation:
         """Entity/feature recommendation for explicit seeds."""

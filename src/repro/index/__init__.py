@@ -3,6 +3,7 @@
 from .fielded_index import FieldedIndex
 from .inverted_index import InvertedIndex
 from .postings import Posting, PostingList, intersect, merge_frequencies, union
+from .scoring_support import ScoringSupport, select_top_k, select_top_k_with_zero_fill
 from .statistics import CollectionStatistics, FieldStatistics
 
 __all__ = [
@@ -12,7 +13,10 @@ __all__ = [
     "InvertedIndex",
     "Posting",
     "PostingList",
+    "ScoringSupport",
     "intersect",
     "merge_frequencies",
+    "select_top_k",
+    "select_top_k_with_zero_fill",
     "union",
 ]

@@ -11,6 +11,7 @@ from typing import Dict, Iterable, Mapping, Sequence, Set
 
 from ..exceptions import FieldNotFoundError
 from .inverted_index import InvertedIndex
+from .scoring_support import ScoringSupport
 from .statistics import CollectionStatistics
 
 
@@ -25,11 +26,21 @@ class FieldedIndex:
             field: InvertedIndex(name=field) for field in self._fields
         }
         self._documents: Set[str] = set()
+        #: Mutation counter: bumped on every document addition so cached
+        #: statistics / scoring support / query results can be invalidated.
+        self._epoch = 0
+        self._statistics_cache: tuple[int, CollectionStatistics] | None = None
+        self._support_cache: tuple[int, ScoringSupport] | None = None
 
     @property
     def fields(self) -> tuple[str, ...]:
         """The field schema of this index."""
         return self._fields
+
+    @property
+    def epoch(self) -> int:
+        """A counter incremented on every mutation of the index."""
+        return self._epoch
 
     def _require_field(self, field: str) -> InvertedIndex:
         index = self._indexes.get(field)
@@ -53,6 +64,9 @@ class FieldedIndex:
         for field in self._fields:
             terms = list(field_terms.get(field, ()))
             self._indexes[field].add_document(doc_id, terms)
+        self._epoch += 1
+        self._statistics_cache = None
+        self._support_cache = None
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -95,7 +109,15 @@ class FieldedIndex:
         return result
 
     def statistics(self) -> CollectionStatistics:
-        """Compute collection statistics for all fields."""
+        """Collection statistics for all fields, cached per index epoch.
+
+        The returned object (including its memoised per-term components) is
+        reused until the next :meth:`add_document`; callers must not mutate
+        its raw counts.
+        """
+        cached = self._statistics_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
         stats = CollectionStatistics(num_documents=len(self._documents))
         for field in self._fields:
             index = self._indexes[field]
@@ -105,7 +127,17 @@ class FieldedIndex:
             for term in index.vocabulary():
                 field_stats.term_collection_frequency[term] = index.collection_frequency(term)
                 field_stats.term_document_frequency[term] = index.document_frequency(term)
+        self._statistics_cache = (self._epoch, stats)
         return stats
+
+    def scoring_support(self) -> ScoringSupport:
+        """The accumulator-traversal support object, cached per index epoch."""
+        cached = self._support_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        support = ScoringSupport(self, self.statistics())
+        self._support_cache = (self._epoch, support)
+        return support
 
     def __contains__(self, doc_id: str) -> bool:
         return doc_id in self._documents

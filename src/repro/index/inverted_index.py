@@ -49,6 +49,22 @@ class InvertedIndex:
         """Posting list for a term (empty list when the term is unknown)."""
         return self._postings.get(term, PostingList())
 
+    def get_postings(self, term: str) -> PostingList | None:
+        """Posting list for a term, or ``None`` when the term is unknown.
+
+        Unlike :meth:`postings` this never allocates an empty list, which
+        matters on the scoring hot path.
+        """
+        return self._postings.get(term)
+
+    def document_lengths(self) -> Dict[str, int]:
+        """The ``doc_id -> field length`` map, built once at index time.
+
+        Returned by reference for the scoring hot path; callers must treat
+        it as read-only.
+        """
+        return self._doc_lengths
+
     def term_frequency(self, term: str, doc_id: str) -> int:
         """Occurrences of ``term`` in ``doc_id``."""
         return self.postings(term).frequency(doc_id)

@@ -59,6 +59,14 @@ class PostingList:
         """Sorted document identifiers containing the term."""
         return list(self._doc_ids)
 
+    def frequencies(self) -> Dict[str, int]:
+        """The ``doc_id -> term frequency`` map backing this list.
+
+        Returned by reference for the scoring hot path; callers must treat
+        it as read-only.
+        """
+        return self._frequencies
+
     def __iter__(self) -> Iterator[Posting]:
         for doc_id in self._doc_ids:
             yield Posting(doc_id=doc_id, term_frequency=self._frequencies[doc_id])

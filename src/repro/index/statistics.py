@@ -3,10 +3,19 @@
 Language-model smoothing needs collection term frequencies and field
 lengths; BM25F needs document frequencies and average field lengths.  The
 statistics object is computed once per index and shared by all scorers.
+
+Per-(field, term) derived components — collection probabilities and IDF
+weights — are memoised on the statistics object, so the accumulator-based
+scorers pay the derivation once per query term instead of once per scored
+document.  The caches live and die with the statistics object, which the
+index rebuilds whenever a document is added (see
+:meth:`repro.index.fielded_index.FieldedIndex.statistics`), so they can
+never serve stale values.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
@@ -20,6 +29,12 @@ class FieldStatistics:
     document_count: int = 0
     term_collection_frequency: Dict[str, int] = field(default_factory=dict)
     term_document_frequency: Dict[str, int] = field(default_factory=dict)
+    #: Memoised ``term -> p(term | collection)`` (derived, never serialised).
+    _probability_cache: Dict[str, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Memoised ``term -> idf(term)`` (derived, never serialised).
+    _idf_cache: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def average_length(self) -> float:
@@ -30,13 +45,31 @@ class FieldStatistics:
 
     def collection_probability(self, term: str) -> float:
         """Maximum-likelihood probability of ``term`` in the field's collection model."""
+        cached = self._probability_cache.get(term)
+        if cached is not None:
+            return cached
         if self.total_terms == 0:
-            return 0.0
-        return self.term_collection_frequency.get(term, 0) / self.total_terms
+            probability = 0.0
+        else:
+            probability = self.term_collection_frequency.get(term, 0) / self.total_terms
+        self._probability_cache[term] = probability
+        return probability
 
     def document_frequency(self, term: str) -> int:
         """Number of documents whose field contains ``term``."""
         return self.term_document_frequency.get(term, 0)
+
+    def idf(self, term: str) -> float:
+        """Memoised Robertson-Sparck-Jones IDF of ``term`` within this field."""
+        cached = self._idf_cache.get(term)
+        if cached is not None:
+            return cached
+        df = self.term_document_frequency.get(term, 0)
+        numerator = self.document_count - df + 0.5
+        denominator = df + 0.5
+        weight = max(0.0, math.log(1.0 + numerator / denominator))
+        self._idf_cache[term] = weight
+        return weight
 
 
 @dataclass
@@ -51,6 +84,14 @@ class CollectionStatistics:
         if name not in self.fields:
             self.fields[name] = FieldStatistics(name=name)
         return self.fields[name]
+
+    def collection_probability(self, field_name: str, term: str) -> float:
+        """Memoised ``p(term | collection)`` for one field."""
+        return self.field(field_name).collection_probability(term)
+
+    def idf(self, field_name: str, term: str) -> float:
+        """Memoised per-field Robertson-Sparck-Jones IDF."""
+        return self.field(field_name).idf(term)
 
     def vocabulary_size(self) -> int:
         """Number of distinct terms across all fields."""

@@ -3,6 +3,14 @@
 The paper's search engine uses a mixture of language models; BM25(F) is the
 standard lexical alternative and serves as the comparison point of the E7
 search-quality experiment.
+
+Like the language-model scorers, retrieval runs term-at-a-time over the
+postings with per-(field, term) statistics resolved once per term and a
+bounded-heap top-k; the score-all path remains as ``search_exhaustive``.
+Because BM25 gives documents without any matching term a score of exactly
+``0.0``, the accumulator only ever visits postings — candidates that match
+solely in unscored fields are appended as a zero-scored, doc-id-ordered
+tail to match the exhaustive ranking byte-for-byte.
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
-from ..index import FieldedIndex
+from ..index import FieldedIndex, select_top_k_with_zero_fill
 from .mlm import ScoredDocument
 from .query import KeywordQuery
 
@@ -69,6 +77,40 @@ class BM25FieldScorer:
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
     def search(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
+        """Term-at-a-time BM25 ranking over the field's postings."""
+        candidates = self._index.candidate_documents(query.all_terms())
+        if not candidates:
+            return []
+        support = self._index.scoring_support()
+        params = self._params
+        k1_plus_1 = params.k1 + 1
+        lengths = support.field_lengths(self._field)
+        accumulators: Dict[str, float] = {}
+        for term in query.all_terms():
+            frequencies = support.postings_frequencies(self._field, term)
+            if not frequencies:
+                continue
+            # IDF from the construction-time document count, like
+            # score_document: this scorer snapshots N and avg_length when
+            # built, and both paths must agree even after index mutations.
+            weight = idf(self._num_documents, len(frequencies))
+            if weight == 0.0:
+                # Zero contribution for every posting (possible when the
+                # index grew past the snapshot N): leave these documents to
+                # the zero-scored tail so ties keep the global doc_id order.
+                continue
+            for doc_id, tf in frequencies.items():
+                doc_len = lengths.get(doc_id, 0)
+                length_norm = 1.0 - params.b + params.b * (
+                    doc_len / self._avg_length if self._avg_length > 0 else 1.0
+                )
+                contribution = weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
+                accumulators[doc_id] = accumulators.get(doc_id, 0.0) + contribution
+        top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
+        return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
+        """Score every candidate and fully sort (the pre-accumulator path)."""
         candidates = self._index.candidate_documents(query.all_terms())
         scored = [self.score_document(query, doc_id) for doc_id in candidates]
         scored.sort(key=lambda result: (-result.score, result.doc_id))
@@ -133,6 +175,52 @@ class BM25FScorer:
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
     def search(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
+        """Term-at-a-time BM25F ranking across the weighted fields."""
+        candidates = self._index.candidate_documents(query.all_terms())
+        if not candidates:
+            return []
+        support = self._index.scoring_support()
+        params = self._params
+        weighted_fields = [
+            (field, weight) for field, weight in self._weights.items() if weight != 0.0
+        ]
+        accumulators: Dict[str, float] = {}
+        for term in query.all_terms():
+            components = [
+                (
+                    weight,
+                    support.postings_frequencies(field, term),
+                    support.field_lengths(field),
+                    self._avg_lengths[field],
+                )
+                for field, weight in weighted_fields
+            ]
+            matching: set[str] = set()
+            for _, frequencies, _, _ in components:
+                matching.update(frequencies)
+            if not matching:
+                continue
+            weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
+            if weight_idf == 0.0:
+                continue  # zero contribution everywhere; keep the tail's doc_id order
+            for doc_id in matching:
+                weighted_tf = 0.0
+                for weight, frequencies, lengths, avg_len in components:
+                    tf = frequencies.get(doc_id, 0)
+                    if tf == 0:
+                        continue
+                    doc_len = lengths.get(doc_id, 0)
+                    length_norm = 1.0 - params.b + params.b * (
+                        doc_len / avg_len if avg_len > 0 else 1.0
+                    )
+                    weighted_tf += weight * tf / length_norm
+                contribution = weight_idf * weighted_tf / (weighted_tf + params.k1)
+                accumulators[doc_id] = accumulators.get(doc_id, 0.0) + contribution
+        top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
+        return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
+        """Score every candidate and fully sort (the pre-accumulator path)."""
         candidates = self._index.candidate_documents(query.all_terms())
         scored = [self.score_document(query, doc_id) for doc_id in candidates]
         scored.sort(key=lambda result: (-result.score, result.doc_id))

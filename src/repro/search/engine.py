@@ -10,8 +10,9 @@ facade (and the examples) can use:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SearchConfig
 from ..index import FieldedIndex
@@ -52,6 +53,14 @@ class SearchEngine:
         self._documents: Dict[str, FieldedEntityDocument] = {}
         self._index = FieldedIndex(self._config.fields)
         self._scorer: Optional[MixtureLanguageModelScorer] = None
+        #: LRU query-result cache: keyed by the parsed query, requested k and
+        #: the index epoch (so direct index mutations can never serve stale
+        #: hits); cleared explicitly on every engine-level mutation.
+        self._result_cache: "OrderedDict[Tuple[object, ...], Tuple[SearchHit, ...]]" = (
+            OrderedDict()
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -70,6 +79,7 @@ class SearchEngine:
         for entity_id, document in self._documents.items():
             self._index.add_document(entity_id, analyze_document(document))
         self._scorer = MixtureLanguageModelScorer(self._index, self._config)
+        self._result_cache.clear()
         return self
 
     def add_entity(self, entity_id: str) -> None:
@@ -77,6 +87,7 @@ class SearchEngine:
         document = build_entity_document(self._graph, entity_id)
         self._documents[entity_id] = document
         self._index.add_document(entity_id, analyze_document(document))
+        self._result_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -106,14 +117,57 @@ class SearchEngine:
         assert self._scorer is not None
         return self._scorer
 
+    @property
+    def mlm_scorer(self) -> MixtureLanguageModelScorer:
+        """The primary mixture-of-language-models scorer (built on demand)."""
+        return self._require_scorer()
+
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
     def search(self, query: str | KeywordQuery, top_k: Optional[int] = None) -> List[SearchHit]:
-        """Retrieve the top-k entities for a keyword query."""
+        """Retrieve the top-k entities for a keyword query.
+
+        Repeated queries are served from an LRU result cache; the cache key
+        includes the index epoch and the cache is cleared by :meth:`build`
+        and :meth:`add_entity`, so mutations always invalidate it.
+        """
         parsed = query if isinstance(query, KeywordQuery) else parse_query(query)
-        scored = self._require_scorer().search(parsed, top_k=top_k)
-        return [self._to_hit(result) for result in scored]
+        scorer = self._require_scorer()  # may (re)build the index: key needs the final epoch
+        key = self._cache_key(parsed, top_k)
+        if key is not None:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._result_cache.move_to_end(key)
+                self._cache_hits += 1
+                return list(cached)
+            self._cache_misses += 1
+        hits = [self._to_hit(result) for result in scorer.search(parsed, top_k=top_k)]
+        if key is not None:
+            self._result_cache[key] = tuple(hits)
+            while len(self._result_cache) > self._config.result_cache_size:
+                self._result_cache.popitem(last=False)
+        return hits
+
+    def _cache_key(
+        self, parsed: KeywordQuery, top_k: Optional[int]
+    ) -> Optional[Tuple[object, ...]]:
+        """The result-cache key for a parsed query, or ``None`` when disabled."""
+        if self._config.result_cache_size <= 0:
+            return None
+        restrictions = tuple(
+            (field, terms) for field, terms in parsed.field_restrictions.items()
+        )
+        return (parsed.terms, restrictions, top_k or self._config.top_k, self._index.epoch)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and occupancy of the LRU result cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._result_cache),
+            "maxsize": self._config.result_cache_size,
+        }
 
     def explain(self, query: str | KeywordQuery, entity_id: str) -> ScoredDocument:
         """Score a single entity and return the per-term breakdown."""

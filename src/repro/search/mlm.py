@@ -9,17 +9,84 @@ query ``q = t1 .. tn`` and an entity document ``d`` with fields ``f``:
 
 where ``p(t | d_f)`` is the smoothed field language model and the field
 weights ``w_f`` sum to one.
+
+Retrieval runs term-at-a-time: each query term's statistics are resolved
+once, every candidate's accumulator is updated, and the top-k is selected
+with a bounded heap (see :mod:`repro.index.scoring_support`).  The
+exhaustive score-all-then-sort path is kept as ``search_exhaustive`` for
+A/B benchmarking; both paths produce byte-identical rankings because they
+perform the same floating-point operations in the same order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, MutableMapping, Sequence, Tuple
 
 from ..config import SearchConfig
-from ..index import FieldedIndex
+from ..index import FieldedIndex, select_top_k
+from ..index.scoring_support import ScoringSupport
 from .language_model import SmoothingParams, log_probability, smoothed_probability
 from .query import KeywordQuery
+
+
+def _accumulate_mixture_term(
+    accumulators: MutableMapping[str, float],
+    term: str,
+    weighted_fields: Sequence[Tuple[str, float]],
+    support: ScoringSupport,
+    smoothing: SmoothingParams,
+) -> None:
+    """Add one term's log mixture probability to every open accumulator.
+
+    The per-(field, term) statistics — posting frequencies, document-length
+    arrays and the smoothing mass ``mu * p(t|C)`` (resp. ``lambda * p(t|C)``)
+    — are resolved once here, then reused across all candidate documents.
+    The arithmetic mirrors :func:`~repro.search.language_model.smoothed_probability`
+    operation-for-operation so accumulator scores match exhaustive scores
+    exactly.
+    """
+    if smoothing.method == "dirichlet":
+        mu = smoothing.dirichlet_mu
+        components = [
+            (
+                weight,
+                support.postings_frequencies(field, term),
+                support.field_lengths(field),
+                mu * support.collection_probability(field, term),
+            )
+            for field, weight in weighted_fields
+        ]
+        for doc_id, partial in accumulators.items():
+            probability = 0.0
+            for weight, frequencies, lengths, mass in components:
+                probability += weight * (
+                    (frequencies.get(doc_id, 0) + mass) / (lengths.get(doc_id, 0) + mu)
+                )
+            accumulators[doc_id] = partial + log_probability(probability)
+    else:  # jelinek-mercer
+        lam = smoothing.jm_lambda
+        one_minus_lam = 1.0 - lam
+        components = [
+            (
+                weight,
+                support.postings_frequencies(field, term),
+                support.field_lengths(field),
+                lam * support.collection_probability(field, term),
+            )
+            for field, weight in weighted_fields
+        ]
+        for doc_id, partial in accumulators.items():
+            probability = 0.0
+            for weight, frequencies, lengths, mass in components:
+                doc_len = lengths.get(doc_id, 0)
+                if doc_len > 0:
+                    probability += weight * (
+                        one_minus_lam * (frequencies.get(doc_id, 0) / doc_len) + mass
+                    )
+                else:
+                    probability += weight * mass
+            accumulators[doc_id] = partial + log_probability(probability)
 
 
 @dataclass(frozen=True)
@@ -98,7 +165,39 @@ class MixtureLanguageModelScorer:
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
     def search(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
-        """Rank candidate documents for the query and return the top ``k``."""
+        """Rank candidate documents term-at-a-time and return the top ``k``.
+
+        Walks each query term's postings once, accumulating partial log
+        probabilities per candidate, then selects the top-k with a bounded
+        heap.  Only the selected documents are re-scored through
+        :meth:`score_document` to materialise their per-term breakdown, so
+        the output is identical to :meth:`search_exhaustive`.
+        """
+        top_k = top_k or self._config.top_k
+        candidates = self._index.candidate_documents(query.all_terms())
+        if not candidates:
+            return []
+        support = self._index.scoring_support()
+        accumulators = dict.fromkeys(candidates, 0.0)
+        weighted_fields = [
+            (field, weight) for field, weight in self._weights.items() if weight != 0.0
+        ]
+        for term in query.terms:
+            _accumulate_mixture_term(accumulators, term, weighted_fields, support, self._smoothing)
+        for field, terms in query.field_restrictions.items():
+            for term in terms:
+                _accumulate_mixture_term(
+                    accumulators, term, ((field, 1.0),), support, self._smoothing
+                )
+        top = select_top_k(accumulators, top_k)
+        return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+        """Score every candidate and fully sort (the pre-accumulator path).
+
+        Kept as the reference implementation for equivalence tests and the
+        accumulator-vs-exhaustive A/B benchmark mode.
+        """
         top_k = top_k or self._config.top_k
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
@@ -139,6 +238,21 @@ class SingleFieldScorer:
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
     def search(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+        """Term-at-a-time ranking over the single field (see the MLM scorer)."""
+        top_k = top_k or self._config.top_k
+        candidates = self._index.candidate_documents(query.all_terms())
+        if not candidates:
+            return []
+        support = self._index.scoring_support()
+        accumulators = dict.fromkeys(candidates, 0.0)
+        single_field = ((self._field, 1.0),)
+        for term in query.all_terms():
+            _accumulate_mixture_term(accumulators, term, single_field, support, self._smoothing)
+        top = select_top_k(accumulators, top_k)
+        return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+        """Score every candidate and fully sort (the pre-accumulator path)."""
         top_k = top_k or self._config.top_k
         candidates = self._index.candidate_documents(query.all_terms())
         scored = [self.score_document(query, doc_id) for doc_id in candidates]

@@ -9,8 +9,6 @@ from repro.features import SemanticFeatureIndex
 from repro.kg import KnowledgeGraph
 from repro.ranking import EntityRanker
 
-from .conftest import build_tiny_kg
-
 
 @pytest.fixture
 def ranker(tiny_kg: KnowledgeGraph, tiny_feature_index: SemanticFeatureIndex) -> EntityRanker:
@@ -80,9 +78,9 @@ class TestEntityRanking:
 
 
 class TestErrorTolerance:
-    def test_missing_edge_still_recovered_via_type_smoothing(self):
+    def test_missing_edge_still_recovered_via_type_smoothing(self, tiny_kg: KnowledgeGraph):
         """A film missing one of the shared edges still outranks unrelated entities."""
-        kg = build_tiny_kg()
+        kg = tiny_kg
         # Add F5: same genre as seeds but stars neither A1 nor A2.
         kg.add_label("ex:F5", "F5 Film")
         kg.add_type("ex:F5", "ex:Film")

@@ -1,0 +1,234 @@
+"""Equivalence of accumulator-based top-k retrieval with exhaustive scoring.
+
+The accumulator hot path (term-at-a-time traversal + bounded-heap top-k,
+see ``repro.index.scoring_support``) must produce byte-identical rankings
+to the score-all-then-sort reference path for every scorer, on every
+dataset, under both smoothing strategies and the ``(-score, doc_id)``
+tie-break.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SearchConfig
+from repro.index import select_top_k, select_top_k_with_zero_fill
+from repro.search import SearchEngine, parse_query
+
+QUERIES = (
+    "forrest gump",
+    "drama",
+    "film director",
+    "the science of research",
+    "names:gump",
+    'gump "forrest gump" categories:drama',
+    "a",
+)
+
+TOP_KS = (1, 5, 20, 10_000)
+
+
+def _queries_for(graph, limit: int = 12):
+    """Multi-term queries derived from the dataset's own labels."""
+    queries = list(QUERIES)
+    for entity_id in sorted(graph.entities())[:limit]:
+        label = graph.label(entity_id)
+        if label and label.strip():
+            queries.append(label)
+    return queries
+
+
+def _assert_identical(fast_results, slow_results):
+    assert len(fast_results) == len(slow_results)
+    for fast, slow in zip(fast_results, slow_results):
+        assert fast.doc_id == slow.doc_id
+        assert fast.score == slow.score  # byte-identical, no tolerance
+        assert dict(fast.term_scores) == dict(slow.term_scores)
+
+
+@pytest.fixture(scope="module", params=["movie", "academic"])
+def dataset_engine(request, movie_kg, academic_kg):
+    graph = movie_kg if request.param == "movie" else academic_kg
+    return graph, SearchEngine.from_graph(graph)
+
+
+class TestAccumulatorEquivalence:
+    def test_mlm_matches_exhaustive(self, dataset_engine):
+        graph, engine = dataset_engine
+        scorer = engine.mlm_scorer
+        for raw in _queries_for(graph):
+            try:
+                query = parse_query(raw)
+            except Exception:
+                continue
+            for top_k in TOP_KS:
+                _assert_identical(
+                    scorer.search(query, top_k=top_k),
+                    scorer.search_exhaustive(query, top_k=top_k),
+                )
+
+    def test_single_field_matches_exhaustive(self, dataset_engine):
+        graph, engine = dataset_engine
+        scorer = engine.single_field_scorer("names")
+        for raw in _queries_for(graph):
+            query = parse_query(raw)
+            for top_k in TOP_KS:
+                _assert_identical(
+                    scorer.search(query, top_k=top_k),
+                    scorer.search_exhaustive(query, top_k=top_k),
+                )
+
+    def test_bm25_matches_exhaustive(self, dataset_engine):
+        graph, engine = dataset_engine
+        scorer = engine.bm25_names_scorer()
+        for raw in _queries_for(graph):
+            query = parse_query(raw)
+            for top_k in TOP_KS:
+                _assert_identical(
+                    scorer.search(query, top_k=top_k),
+                    scorer.search_exhaustive(query, top_k=top_k),
+                )
+
+    def test_bm25f_matches_exhaustive(self, dataset_engine):
+        graph, engine = dataset_engine
+        scorer = engine.bm25f_scorer()
+        for raw in _queries_for(graph):
+            query = parse_query(raw)
+            for top_k in TOP_KS:
+                _assert_identical(
+                    scorer.search(query, top_k=top_k),
+                    scorer.search_exhaustive(query, top_k=top_k),
+                )
+
+    def test_jelinek_mercer_smoothing_matches(self, movie_kg):
+        config = SearchConfig(smoothing="jelinek-mercer", jm_lambda=0.3)
+        engine = SearchEngine.from_graph(movie_kg, config=config)
+        scorer = engine.mlm_scorer
+        for raw in _queries_for(movie_kg, limit=6):
+            query = parse_query(raw)
+            _assert_identical(
+                scorer.search(query, top_k=25),
+                scorer.search_exhaustive(query, top_k=25),
+            )
+
+    def test_field_restrictions_match(self, movie_system):
+        scorer = movie_system.search_engine.mlm_scorer
+        query = parse_query("names:gump categories:drama forrest")
+        _assert_identical(
+            scorer.search(query, top_k=15), scorer.search_exhaustive(query, top_k=15)
+        )
+
+    def test_tiny_kg_all_scorers(self, tiny_kg):
+        engine = SearchEngine.from_graph(tiny_kg)
+        scorers = [
+            engine.mlm_scorer,
+            engine.single_field_scorer("names"),
+            engine.bm25_names_scorer(),
+            engine.bm25f_scorer(),
+        ]
+        query = parse_query("film drama actor")
+        for scorer in scorers:
+            for top_k in (1, 3, 100):
+                _assert_identical(
+                    scorer.search(query, top_k=top_k),
+                    scorer.search_exhaustive(query, top_k=top_k),
+                )
+
+
+class TestEquivalenceAfterIndexMutation:
+    def test_scorers_built_before_mutation_stay_equivalent(self, tiny_kg):
+        """Both paths must agree even when the index grew under a live scorer.
+
+        BM25 scorers snapshot N and average length at construction; the
+        accumulator path must use the same snapshot, not fresh statistics
+        (regression test for a divergence found in review).
+        """
+        engine = SearchEngine.from_graph(tiny_kg)
+        scorers = [
+            engine.mlm_scorer,
+            engine.single_field_scorer("names"),
+            engine.bm25_names_scorer(),
+            engine.bm25f_scorer(),
+        ]
+        for number in range(5, 12):
+            tiny_kg.add_label(f"ex:F{number}", f"F{number} Drama Film")
+            tiny_kg.add_type(f"ex:F{number}", "ex:Film")
+            engine.add_entity(f"ex:F{number}")
+        for raw in ("film drama", "drama", "f5 film"):
+            query = parse_query(raw)
+            for scorer in scorers:
+                for top_k in (3, 50):
+                    _assert_identical(
+                        scorer.search(query, top_k=top_k),
+                        scorer.search_exhaustive(query, top_k=top_k),
+                    )
+
+
+class TestCachedStatisticsComponents:
+    def test_collection_probability_memoised(self, tiny_kg):
+        engine = SearchEngine.from_graph(tiny_kg)
+        stats = engine.index.statistics()
+        first = stats.collection_probability("names", "film")
+        assert first > 0.0
+        assert stats.collection_probability("names", "film") == first
+        assert stats.collection_probability("names", "no-such-term") == 0.0
+
+    def test_idf_memoised_and_matches_bm25(self, tiny_kg):
+        from repro.search import idf as bm25_idf
+
+        engine = SearchEngine.from_graph(tiny_kg)
+        stats = engine.index.statistics()
+        names = stats.field("names")
+        expected = bm25_idf(names.document_count, names.document_frequency("film"))
+        assert stats.idf("names", "film") == expected
+        assert stats.idf("names", "film") == expected  # served from the memo
+
+    def test_statistics_cached_per_epoch(self, tiny_kg):
+        engine = SearchEngine.from_graph(tiny_kg)
+        index = engine.index
+        assert index.statistics() is index.statistics()
+        epoch = index.epoch
+        tiny_kg.add_label("ex:NEW", "New Entity")
+        engine.add_entity("ex:NEW")
+        assert index.epoch > epoch
+        assert index.statistics().num_documents == index.num_documents
+
+
+class TestTopKSelection:
+    def test_select_orders_by_score_then_doc_id(self):
+        accumulators = {"d3": 1.0, "d1": 2.0, "d2": 1.0, "d4": 3.0}
+        assert select_top_k(accumulators, 3) == [("d4", 3.0), ("d1", 2.0), ("d2", 1.0)]
+
+    def test_select_matches_full_sort_for_large_k(self):
+        accumulators = {f"d{i}": float(i % 5) for i in range(50)}
+        expected = sorted(accumulators.items(), key=lambda kv: (-kv[1], kv[0]))
+        assert select_top_k(accumulators, 1000) == expected
+        assert select_top_k(accumulators, 7) == expected[:7]
+
+    def test_select_zero_k(self):
+        assert select_top_k({"d1": 1.0}, 0) == []
+
+    def test_zero_fill_appends_missing_candidates_by_doc_id(self):
+        accumulators = {"d2": 1.5}
+        result = select_top_k_with_zero_fill(accumulators, {"d1", "d2", "d3", "d4"}, 3)
+        assert result == [("d2", 1.5), ("d1", 0.0), ("d3", 0.0)]
+
+    def test_zero_fill_not_needed_when_heap_full(self):
+        accumulators = {"d1": 2.0, "d2": 1.0}
+        result = select_top_k_with_zero_fill(accumulators, {"d1", "d2", "d3"}, 2)
+        assert result == [("d1", 2.0), ("d2", 1.0)]
+
+
+class TestBM25ZeroScoredTail:
+    def test_zero_scored_candidates_included(self, tiny_kg):
+        """Docs matching only in unscored fields keep their 0.0-score tail rank."""
+        engine = SearchEngine.from_graph(tiny_kg)
+        scorer = engine.bm25_names_scorer()
+        # "drama" appears in category/related fields of films but in the
+        # names field only for the genre entity, so the candidate set is
+        # larger than the set of names matches.
+        query = parse_query("drama")
+        fast = scorer.search(query, top_k=50)
+        slow = scorer.search_exhaustive(query, top_k=50)
+        _assert_identical(fast, slow)
+        assert any(result.score == 0.0 for result in fast)
