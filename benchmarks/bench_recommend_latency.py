@@ -1,0 +1,260 @@
+"""E9: latency of the §2.3 recommendation pipeline, accumulator vs seed path.
+
+PR 2 rebuilt the two-stage recommendation model around the type-grouped
+accumulator decomposition of ``p(pi | e)`` (``repro/ranking/ranking_support.py``)
+with an epoch-keyed LRU recommendation cache on top.  This bench measures
+``RecommendationEngine.recommend_for_seeds`` — feature ranking, entity
+ranking and correlation-matrix assembly — in a three-way A/B as the random
+KG grows:
+
+* ``exhaustive``  — the seed scoring path (``rank_exhaustive()`` on both
+  rankers, cell-by-cell matrix assembly);
+* ``accumulator`` — the fast path with the recommendation cache disabled;
+* ``cached``      — the fast path served from a warm LRU cache.
+
+The A/B verifies that both scoring paths return identical entity and
+feature rankings (and bitwise-identical matrices) before trusting any
+timing.  Run as a script to produce the machine-readable baseline::
+
+    python benchmarks/bench_recommend_latency.py --sizes 200,2000 \
+        --output BENCH_recommend_latency.json
+
+which is what the CI bench-smoke job does on the tiny (200-entity)
+dataset; the committed ``BENCH_recommend_latency.json`` at the repo root
+is the perf trajectory baseline for future PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from repro.config import RankingConfig  # noqa: E402
+from repro.datasets import RandomKGConfig, build_random_kg  # noqa: E402
+from repro.eval import Stopwatch, print_experiment  # noqa: E402
+from repro.explore import RecommendationEngine  # noqa: E402
+from repro.features import SemanticFeatureIndex  # noqa: E402
+
+SIZES = (200, 500, 1000, 2000)
+
+#: Hub-anchored random KGs: the Zipf target skew concentrates incoming
+#: edges on a few anchors per type (shared stars, genres, venues), which is
+#: the structure the recommendation workload of §2.3 actually exercises —
+#: large ``E(pi)`` holder lists and candidate pools of hundreds of entities.
+KG_KWARGS = {"target_skew": 1.5, "avg_out_degree": 8.0}
+
+
+def _build_graph(size: int):
+    return build_random_kg(RandomKGConfig(num_entities=size, seed=42, **KG_KWARGS))
+
+
+def _seeds(graph, index: SemanticFeatureIndex, count: int) -> List[str]:
+    """Deterministic seeds: holders of the feature with the largest E(pi).
+
+    Entities sharing a popular anchor (the paper's "films starring Tom
+    Hanks") produce the dense candidate pools the two-stage model is
+    designed for.
+    """
+    largest = max(index.all_features(), key=lambda f: (len(index.holders_of(f)), f.notation()))
+    return sorted(index.holders_of(largest))[:count]
+
+
+def _identical(fast, slow) -> bool:
+    """Same entity ranking, feature ranking and correlation matrix."""
+    return (
+        fast.entity_ids() == slow.entity_ids()
+        and [e.score for e in fast.entities] == [e.score for e in slow.entities]
+        and fast.feature_notations() == slow.feature_notations()
+        and [f.score for f in fast.features] == [f.score for f in slow.features]
+        and np.array_equal(fast.correlations.values, slow.correlations.values)
+    )
+
+
+def measure_recommend_ab(
+    graph,
+    repeats: int = 5,
+    seed_count: int = 4,
+    top_entities: int = 20,
+) -> Dict[str, object]:
+    """Accumulator-vs-exhaustive (and cached) recommendation latency.
+
+    Returns a row with mean/p95 latencies per mode, the speedup factors and
+    an ``identical`` flag confirming both pipelines ranked identically.
+    """
+    index = SemanticFeatureIndex.build(graph)
+    cached_engine = RecommendationEngine(graph, feature_index=index)
+    uncached_engine = RecommendationEngine(
+        graph, feature_index=index, config=RankingConfig(recommendation_cache_size=0)
+    )
+    seeds = _seeds(graph, index, seed_count)
+
+    fast = uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+    slow = uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
+    identical = _identical(fast, slow)
+    cached_engine.recommend_for_seeds(seeds, top_entities=top_entities)  # warm the LRU
+
+    watch = Stopwatch()
+    for _ in range(repeats):
+        with watch.measure("exhaustive"):
+            uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
+        with watch.measure("accumulator"):
+            uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+        with watch.measure("cached"):
+            cached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+    exhaustive = watch.stats("exhaustive").as_dict()
+    accumulator = watch.stats("accumulator").as_dict()
+    cached = watch.stats("cached").as_dict()
+
+    def _speedup(mean_ms: float) -> float:
+        return exhaustive["mean_ms"] / mean_ms if mean_ms > 0 else float("inf")
+
+    return {
+        "entities": graph.num_entities(),
+        "edges": graph.num_edges(),
+        "seeds": seed_count,
+        "repeats": repeats,
+        "top_entities": top_entities,
+        "identical": identical,
+        "exhaustive_mean_ms": exhaustive["mean_ms"],
+        "exhaustive_p95_ms": exhaustive["p95_ms"],
+        "accumulator_mean_ms": accumulator["mean_ms"],
+        "accumulator_p95_ms": accumulator["p95_ms"],
+        "cached_mean_ms": cached["mean_ms"],
+        "cached_p95_ms": cached["p95_ms"],
+        "speedup_accumulator": _speedup(accumulator["mean_ms"]),
+        "speedup_cached": _speedup(cached["mean_ms"]),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Pytest entry points
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def graphs():
+    return {size: _build_graph(size) for size in SIZES}
+
+
+def test_recommend_accumulator_vs_exhaustive_ab(graphs):
+    """E9: the recommendation A/B — identical rankings, lower latency."""
+    rows = []
+    for size in SIZES:
+        row = measure_recommend_ab(graphs[size], repeats=3)
+        assert row["identical"], f"accumulator recommendation diverged at {size} entities"
+        rows.append(
+            {
+                "entities": row["entities"],
+                "exhaustive_ms": row["exhaustive_mean_ms"],
+                "accumulator_ms": row["accumulator_mean_ms"],
+                "cached_ms": row["cached_mean_ms"],
+                "speedup": row["speedup_accumulator"],
+                "speedup_cached": row["speedup_cached"],
+            }
+        )
+    print_experiment(
+        "E9 — recommendation: accumulator vs. exhaustive (4 seeds, top-20)",
+        rows,
+        notes="identical rankings; speedup grows with graph size, cached is the LRU hit path",
+    )
+    assert all(row["accumulator_ms"] > 0 for row in rows)
+
+
+@pytest.mark.benchmark(group="recommend-latency")
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_recommend_by_graph_size(benchmark, graphs, size):
+    index = SemanticFeatureIndex.build(graphs[size])
+    engine = RecommendationEngine(
+        graphs[size], feature_index=index, config=RankingConfig(recommendation_cache_size=0)
+    )
+    seeds = _seeds(graphs[size], index, 4)
+    result = benchmark(engine.recommend_for_seeds, seeds)
+    assert result.entities
+
+
+# --------------------------------------------------------------------- #
+# Script entry point (used by the CI bench-smoke job)
+# --------------------------------------------------------------------- #
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--sizes",
+        default="200,500,1000,2000",
+        help="comma-separated KG sizes (entities) to measure",
+    )
+    parser.add_argument("--seeds", type=int, default=4, help="seed entities per query")
+    parser.add_argument("--repeats", type=int, default=5, help="repeats per mode")
+    parser.add_argument("--top-entities", type=int, default=20, help="entities per query")
+    parser.add_argument("--output", type=Path, default=None, help="write JSON report here")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the largest size reaches this accumulator speedup",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = sorted({int(token) for token in args.sizes.split(",") if token.strip()})
+    if not sizes:
+        parser.error("--sizes must name at least one KG size")
+    rows = []
+    for size in sizes:
+        graph = _build_graph(size)
+        row = measure_recommend_ab(
+            graph,
+            repeats=args.repeats,
+            seed_count=args.seeds,
+            top_entities=args.top_entities,
+        )
+        rows.append(row)
+        print(
+            f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
+            f"accumulator={row['accumulator_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
+            f"speedup={row['speedup_accumulator']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
+            f"identical={row['identical']}"
+        )
+
+    report = {
+        "bench": "recommend_latency",
+        "description": (
+            "recommendation latency (recommend_for_seeds): type-grouped accumulator "
+            "vs exhaustive vs LRU-cached"
+        ),
+        "config": {
+            "sizes": sizes,
+            "seeds": args.seeds,
+            "repeats": args.repeats,
+            "top_entities": args.top_entities,
+            "kg_seed": 42,
+            "kg_kwargs": KG_KWARGS,
+        },
+        "rows": rows,
+    }
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if any(not row["identical"] for row in rows):
+        print("FAIL: accumulator rankings diverged from exhaustive scoring", file=sys.stderr)
+        return 1
+    largest = rows[-1]
+    if args.min_speedup is not None and largest["speedup_accumulator"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {largest['speedup_accumulator']:.2f}x below "
+            f"required {args.min_speedup:.2f}x at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,6 +96,9 @@ class RankingConfig:
     use_discriminability: bool = True
     #: Use commonality c(pi, Q) in the SF score (ablation switch).
     use_commonality: bool = True
+    #: Maximum number of query states kept in the recommendation engine's
+    #: epoch-keyed LRU result cache; ``0`` disables recommendation caching.
+    recommendation_cache_size: int = 64
 
     def __post_init__(self) -> None:
         if self.top_entities <= 0 or self.top_features <= 0:
@@ -104,6 +107,8 @@ class RankingConfig:
             raise ValueError("max_candidates and max_features must be positive")
         if not 0 < self.epsilon < 1:
             raise ValueError("epsilon must lie in (0, 1)")
+        if self.recommendation_cache_size < 0:
+            raise ValueError("recommendation_cache_size must be non-negative")
 
     def with_(self, **changes: object) -> "RankingConfig":
         """Return a copy with the given attributes replaced."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List
 
 from ..kg import GraphBuilder, KnowledgeGraph
 

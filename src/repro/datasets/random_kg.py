@@ -35,6 +35,12 @@ class RandomKGConfig:
     coupling_strength: float = 0.8
     #: Number of literal attributes per entity.
     attributes_per_entity: int = 2
+    #: Zipf exponent of the per-pool target choice.  ``0`` (default) keeps
+    #: the historical uniform targets; positive values concentrate incoming
+    #: edges on a few hub entities per type, giving the graph the popular
+    #: anchors (shared stars, genres) the recommendation workload of §2.3
+    #: exercises — large ``E(pi)`` holder lists and candidate pools.
+    target_skew: float = 0.0
     #: Random seed.
     seed: int = 42
 
@@ -49,6 +55,8 @@ class RandomKGConfig:
             raise DatasetError("coupling_strength must lie in [0, 1]")
         if self.attributes_per_entity < 0:
             raise DatasetError("attributes_per_entity must be non-negative")
+        if self.target_skew < 0:
+            raise DatasetError("target_skew must be non-negative")
 
 
 def _zipf_assignments(rng: random.Random, count: int, buckets: int) -> List[int]:
@@ -101,6 +109,24 @@ def build_random_kg(config: RandomKGConfig | None = None) -> KnowledgeGraph:
         for predicate in predicates:
             coupling[(type_index, predicate)] = rng.randrange(config.num_types)
 
+    # Cumulative Zipf weights per pool for skewed target choice, computed
+    # lazily (one cumulative array per pool length is enough: every pool is
+    # ranked by construction order).
+    cumulative_cache: Dict[int, List[float]] = {}
+
+    def _pick_target(pool: List[str]) -> str:
+        if config.target_skew <= 0:
+            return rng.choice(pool)
+        cumulative = cumulative_cache.get(len(pool))
+        if cumulative is None:
+            total = 0.0
+            cumulative = []
+            for rank in range(len(pool)):
+                total += 1.0 / (rank + 1) ** config.target_skew
+                cumulative.append(total)
+            cumulative_cache[len(pool)] = cumulative
+        return rng.choices(pool, cum_weights=cumulative, k=1)[0]
+
     for entity, type_index in zip(entities, assignments):
         # Geometric-ish degree around the configured average.
         degree = max(1, int(rng.expovariate(1.0 / config.avg_out_degree)))
@@ -108,10 +134,12 @@ def build_random_kg(config: RandomKGConfig | None = None) -> KnowledgeGraph:
             predicate = rng.choice(predicates)
             if rng.random() < config.coupling_strength:
                 target_type = coupling[(type_index, predicate)]
-                pool = members[target_type]
+                # Zipf assignment can leave small types empty on small
+                # graphs; fall back to the full pool instead of crashing.
+                pool = members[target_type] or entities
             else:
                 pool = entities
-            target = rng.choice(pool)
+            target = _pick_target(pool)
             if target != entity:
                 builder.edge(entity, predicate, target)
 

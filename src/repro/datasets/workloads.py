@@ -15,7 +15,7 @@ underlying entity-set-expansion papers:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..exceptions import DatasetError

@@ -12,7 +12,7 @@ with ``"status"`` (``"ok"`` or ``"error"``) plus action-specific payloads.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict
 
 from ..exceptions import PivotEError
 from ..features import SemanticFeature

@@ -21,9 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PivotEConfig
-from ..exceptions import NoSeedEntitiesError
 from ..explore import (
-    ExplorationQuery,
     ExplorationSession,
     LookupEntity,
     PinFeature,
@@ -124,8 +122,17 @@ class PivotE:
         """Hit/miss counters of the search engine's LRU result cache."""
         return self._search.cache_info()
 
+    def recommendation_cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the recommendation engine's LRU cache.
+
+        Session operations that revisit a query state — ``select`` followed
+        by ``deselect``, re-running ``investigate``, rebuilding the matrix —
+        are served from this epoch-keyed cache; any graph mutation clears it.
+        """
+        return self._recommender.cache_info()
+
     def recommend(self, seeds: Sequence[str], **kwargs: object) -> Recommendation:
-        """Entity/feature recommendation for explicit seeds."""
+        """Entity/feature recommendation for explicit seeds (LRU-cached)."""
         return self._recommender.recommend_for_seeds(seeds, **kwargs)  # type: ignore[arg-type]
 
     def lookup(self, entity_id: str) -> EntityProfile:

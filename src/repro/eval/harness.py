@@ -14,7 +14,7 @@ as the rows of the corresponding experiment table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..datasets import ExpansionTask, SearchTask
 from ..expansion import EntitySetExpander

@@ -12,7 +12,7 @@ import statistics
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence
+from typing import Callable, Dict, Iterator, List
 
 
 @dataclass

@@ -15,8 +15,8 @@ semantic features chosen by the user.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
@@ -97,8 +97,16 @@ class EntitySetExpander:
         top_k: Optional[int] = None,
         restrict_to_seed_type: bool = False,
         required_features: Sequence[SemanticFeature] = (),
+        domain_type: str = "",
+        exhaustive: bool = False,
     ) -> ExpansionResult:
         """Expand the seed set.
+
+        Type and pinned-feature restrictions are applied to the candidate
+        pool *before* ranking and top-k truncation, so a restricted
+        expansion returns up to ``top_k`` matching entities whenever that
+        many exist (instead of whatever survives filtering an over-fetched
+        prefix).
 
         Parameters
         ----------
@@ -114,17 +122,25 @@ class EntitySetExpander:
             Semantic features the user pinned as query conditions
             (Fig 3-b); candidates not matching all of them are filtered
             out, and the pinned features are added to the scored pool.
+        domain_type:
+            Explicit entity type the x-axis is restricted to (the pivot
+            domain); takes precedence over ``restrict_to_seed_type``.
+        exhaustive:
+            Route both rankers through their seed ``rank_exhaustive()``
+            scoring paths (the accumulator-vs-seed A/B baseline).
         """
         if not seeds:
             raise NoSeedEntitiesError("entity set expansion needs at least one seed")
         top_k = top_k or self._config.top_entities
 
-        scored_features = self._feature_ranker.rank(seeds)
+        feature_ranker = self._feature_ranker
+        rank_features = feature_ranker.rank_exhaustive if exhaustive else feature_ranker.rank
+        scored_features = rank_features(seeds)
         pinned = [feature for feature in required_features]
         if pinned:
             existing = {scored.feature for scored in scored_features}
             extra = [
-                self._feature_ranker.score_feature(feature, seeds)
+                feature_ranker.score_feature(feature, seeds)
                 for feature in pinned
                 if feature not in existing
             ]
@@ -133,32 +149,39 @@ class EntitySetExpander:
                 key=lambda item: (-item.score, item.feature.notation()),
             )
 
-        # Over-fetch before filtering so that type/feature restrictions do
-        # not empty the result list.
-        fetch = max(top_k * 5, top_k + 10)
-        ranked = self._entity_ranker.rank(
-            seeds, top_k=fetch, scored_features=scored_features
+        # Candidate generation without the max_candidates cap: the type and
+        # pinned-feature restrictions must narrow the pool *before* any
+        # truncation (cap or top-k), or low-match-count domain entities can
+        # be squeezed out while matching candidates still exist.
+        candidates = self._index.candidates_matching_any(
+            [scored.feature for scored in scored_features], exclude=seeds
         )
 
         restricted_type = ""
-        if restrict_to_seed_type:
+        if domain_type:
+            restricted_type = domain_type
+        elif restrict_to_seed_type:
             restricted_type = self.dominant_seed_type(seeds)
-            if restricted_type:
-                ranked = [
-                    entity
-                    for entity in ranked
-                    if restricted_type in self._graph.types_of(entity.entity_id)
-                ]
+        if restricted_type:
+            members = self._graph.entities_of_type(restricted_type)
+            candidates = [entity_id for entity_id in candidates if entity_id in members]
         if pinned:
-            ranked = [
-                entity
-                for entity in ranked
-                if all(self._index.holds(entity.entity_id, feature) for feature in pinned)
+            candidates = [
+                entity_id
+                for entity_id in candidates
+                if all(self._index.holds(entity_id, feature) for feature in pinned)
             ]
+        candidates = candidates[: self._config.max_candidates]
+
+        entity_ranker = self._entity_ranker
+        rank_entities = entity_ranker.rank_exhaustive if exhaustive else entity_ranker.rank
+        ranked = rank_entities(
+            seeds, top_k=top_k, scored_features=scored_features, candidates=candidates
+        )
 
         return ExpansionResult(
             seeds=tuple(seeds),
-            entities=tuple(ranked[:top_k]),
+            entities=tuple(ranked),
             features=tuple(scored_features[: self._config.top_features]),
             restricted_type=restricted_type,
         )

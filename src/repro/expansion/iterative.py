@@ -10,8 +10,8 @@ examples to script multi-round investigations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from ..exceptions import NoSeedEntitiesError
 from .expander import EntitySetExpander, ExpansionResult

@@ -21,7 +21,6 @@ session is simply a fold of operations over query states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..exceptions import InvalidOperationError
 from ..features import SemanticFeature

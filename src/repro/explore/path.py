@@ -8,7 +8,7 @@ and rendered by the visualisation layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .operations import Operation

@@ -10,8 +10,8 @@ makes the timeline and revisiting of historical queries trivial.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Iterable, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
 
 from ..exceptions import InvalidOperationError
 from ..features import SemanticFeature

@@ -15,8 +15,9 @@ search engine before they reach this class (the PivotE facade does that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
@@ -28,6 +29,7 @@ from ..ranking import (
     ScoredEntity,
     ScoredFeature,
     build_correlation_matrix,
+    build_correlation_matrix_exhaustive,
 )
 from .query_state import ExplorationQuery
 
@@ -61,6 +63,15 @@ class RecommendationEngine:
         self._config = config or RankingConfig()
         self._index = feature_index or SemanticFeatureIndex.build(graph)
         self._expander = EntitySetExpander(graph, feature_index=self._index, config=self._config)
+        #: Epoch-keyed LRU recommendation cache: canonicalised query state ->
+        #: Recommendation.  Cleared whenever the feature-index epoch moves
+        #: (i.e. on any graph mutation), so session operations that revisit
+        #: a query state (select -> deselect, re-investigate, matrix
+        #: rebuilds) cost a dictionary lookup.
+        self._cache: "OrderedDict[Tuple[object, ...], Recommendation]" = OrderedDict()
+        self._cache_epoch = graph.epoch
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def feature_index(self) -> SemanticFeatureIndex:
@@ -80,37 +91,135 @@ class RecommendationEngine:
         domain_type: str = "",
         top_entities: Optional[int] = None,
         top_features: Optional[int] = None,
+        exhaustive: bool = False,
     ) -> Recommendation:
-        """Recommend entities and features for an explicit seed set."""
+        """Recommend entities and features for an explicit seed set.
+
+        Repeated query states are served from the epoch-keyed LRU cache;
+        the domain restriction is pushed into the expander's candidate
+        filter (before top-k truncation), so a domain-restricted
+        recommendation returns up to ``top_entities`` matching entities
+        whenever that many exist.  ``exhaustive=True`` bypasses the cache
+        and scores through the seed ``rank_exhaustive()`` paths — the
+        baseline side of the accumulator A/B.
+        """
         if not seeds:
             raise NoSeedEntitiesError("recommendation requires at least one seed entity")
-        result: ExpansionResult = self._expander.expand(
-            seeds,
-            top_k=top_entities or self._config.top_entities,
-            restrict_to_seed_type=bool(domain_type),
-            required_features=pinned_features,
-        )
-        entities = result.entities
-        features = result.features[: (top_features or self._config.top_features)]
-        if domain_type:
-            entities = tuple(
-                entity
-                for entity in entities
-                if domain_type in self._graph.types_of(entity.entity_id)
-            )
-        probability_model = self._expander.feature_ranker.probability_model
-        matrix = build_correlation_matrix(probability_model, entities, features)
         query = ExplorationQuery(
             seed_entities=tuple(seeds),
             pinned_features=tuple(pinned_features),
             domain_type=domain_type,
         )
+        if exhaustive:
+            return self._compute(query, top_entities, top_features, exhaustive=True)
+        key = self._cache_key(query, top_entities, top_features)
+        if key is None:
+            return self._compute(query, top_entities, top_features)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._cache_hits += 1
+            # Re-attach the caller's query (seed order may differ from the
+            # canonical key the payload was computed under).
+            return replace(cached, query=query)
+        self._cache_misses += 1
+        recommendation = self._compute(query, top_entities, top_features)
+        self._cache[key] = recommendation
+        while len(self._cache) > self._config.recommendation_cache_size:
+            self._cache.popitem(last=False)
+        return recommendation
+
+    def _compute(
+        self,
+        query: ExplorationQuery,
+        top_entities: Optional[int],
+        top_features: Optional[int],
+        exhaustive: bool = False,
+    ) -> Recommendation:
+        """Run the two-stage ranking pipeline for one query state."""
+        result: ExpansionResult = self._expander.expand(
+            query.seed_entities,
+            top_k=top_entities or self._config.top_entities,
+            required_features=query.pinned_features,
+            domain_type=query.domain_type,
+            exhaustive=exhaustive,
+        )
+        entities = result.entities
+        features = result.features[: (top_features or self._config.top_features)]
+        probability_model = self._expander.feature_ranker.probability_model
+        build_matrix = (
+            build_correlation_matrix_exhaustive if exhaustive else build_correlation_matrix
+        )
+        matrix = build_matrix(probability_model, entities, features)
         return Recommendation(
             query=query,
             entities=entities,
             features=features,
             correlations=matrix,
         )
+
+    # ------------------------------------------------------------------ #
+    # Result cache
+    # ------------------------------------------------------------------ #
+    def _cache_key(
+        self,
+        query: ExplorationQuery,
+        top_entities: Optional[int],
+        top_features: Optional[int],
+    ) -> Optional[Tuple[object, ...]]:
+        """Canonicalised cache key, or ``None`` when caching is disabled.
+
+        Seeds and pinned features are order-insensitive (the ranking model
+        treats both as sets), so ``select(A) -> select(B)`` and
+        ``select(B) -> select(A)`` share one entry.  The feature-index
+        epoch is checked first and any change clears the whole cache, so
+        every surviving entry is current — the key itself does not need an
+        epoch component.
+        """
+        if self._config.recommendation_cache_size <= 0:
+            return None
+        self._refresh_epoch()
+        return (
+            tuple(sorted(query.seed_entities)),
+            tuple(sorted(feature.key for feature in query.pinned_features)),
+            query.domain_type,
+            top_entities or self._config.top_entities,
+            top_features or self._config.top_features,
+        )
+
+    def _refresh_epoch(self) -> int:
+        """Sync with the graph epoch, clearing the cache on change.
+
+        Reads ``graph.epoch`` (a counter) rather than ``index.epoch`` so
+        that pure observability calls like :meth:`cache_info` stay O(1):
+        the index property would trigger its full lazy rebuild, which can
+        wait until the next actual recommendation.  The two epochs are
+        identical whenever the index is fresh.
+        """
+        epoch = self._graph.epoch
+        if epoch != self._cache_epoch:
+            self._cache.clear()
+            self._cache_epoch = epoch
+        return epoch
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and occupancy of the LRU recommendation cache.
+
+        Reads the current feature-index epoch first, so entries invalidated
+        by a graph mutation are already dropped from the reported ``size``.
+        """
+        self._refresh_epoch()
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "maxsize": self._config.recommendation_cache_size,
+            "epoch": self._cache_epoch,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all cached recommendations (counters are kept)."""
+        self._cache.clear()
 
     def recommend(self, query: ExplorationQuery) -> Recommendation:
         """Recommend for a full query state (seeds must already be present).

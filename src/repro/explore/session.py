@@ -10,12 +10,12 @@ were looked up so the search-behaviour visualisation can be reconstructed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..exceptions import SessionStateError
 from .operations import LookupEntity, Operation
-from .path import ExplorationPath, PathNode
+from .path import ExplorationPath
 from .query_state import ExplorationQuery
 
 

@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ExplorationError
-from .session import ExplorationSession
 
 if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.engine
     from ..engine.pivote import PivotE, QueryResponse

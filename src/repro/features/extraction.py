@@ -11,7 +11,7 @@ Two directions of extraction are needed:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from ..kg import KnowledgeGraph
 from .semantic_feature import Direction, SemanticFeature

@@ -4,16 +4,26 @@ For large graphs, recomputing ``E(pi)`` and the features of every entity on
 each query is wasteful.  :class:`SemanticFeatureIndex` materialises both maps
 once; it is also the place where global feature statistics (frequencies,
 type-conditional counts) used by the ranking model's smoothing live.
+
+The index is *epoch-aware*, mirroring ``FieldedIndex`` on the search side:
+it remembers the graph mutation epoch it was built at and transparently
+rebuilds when the graph has changed, so every accessor always reflects the
+current graph.  :attr:`epoch` is the cache key the recommendation layer uses
+to invalidate memoised scores and cached recommendations.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..kg import KnowledgeGraph
 from .extraction import features_of_entity
-from .semantic_feature import Direction, SemanticFeature
+from .semantic_feature import SemanticFeature
+
+#: Shared empty holder set returned for unknown features, so that misses on
+#: the hot candidate-generation path never allocate a throwaway set.
+_EMPTY_HOLDERS: FrozenSet[str] = frozenset()
 
 
 class SemanticFeatureIndex:
@@ -24,6 +34,10 @@ class SemanticFeatureIndex:
         self._entity_features: Dict[str, FrozenSet[SemanticFeature]] = {}
         self._feature_entities: Dict[SemanticFeature, Set[str]] = defaultdict(set)
         self._built = False
+        #: Graph epoch the materialised maps reflect (-1 = never built).
+        self._built_epoch = -1
+        #: Memoised ``(||E(pi) ∩ E(c)||, ||E(c)||)`` pairs, cleared on rebuild.
+        self._type_counts: Dict[Tuple[SemanticFeature, str], Tuple[int, int]] = {}
 
     @classmethod
     def build(cls, graph: KnowledgeGraph) -> "SemanticFeatureIndex":
@@ -36,16 +50,30 @@ class SemanticFeatureIndex:
         """(Re)compute the index from the graph's current contents."""
         self._entity_features.clear()
         self._feature_entities = defaultdict(set)
+        self._type_counts.clear()
         for entity_id in self._graph.entities():
             features = frozenset(features_of_entity(self._graph, entity_id))
             self._entity_features[entity_id] = features
             for feature in features:
                 self._feature_entities[feature].add(entity_id)
         self._built = True
+        self._built_epoch = self._graph.epoch
 
     def _ensure_built(self) -> None:
-        if not self._built:
+        if not self._built or self._built_epoch != self._graph.epoch:
             self.rebuild()
+
+    @property
+    def epoch(self) -> int:
+        """The graph mutation epoch this index reflects.
+
+        Reading the property refreshes the index if the graph changed, so
+        the returned value always matches the data subsequent lookups see.
+        Derived caches (memoised probabilities, recommendation results) key
+        on this value and are invalidated by any graph mutation.
+        """
+        self._ensure_built()
+        return self._built_epoch
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -55,15 +83,23 @@ class SemanticFeatureIndex:
         self._ensure_built()
         return self._entity_features.get(entity_id, frozenset())
 
-    def entities_matching(self, feature: SemanticFeature) -> Set[str]:
-        """``E(pi)`` from the materialised index."""
+    def holders_of(self, feature: SemanticFeature) -> Set[str]:
+        """``E(pi)`` without copying — the internal holder set, read-only.
+
+        This is the no-copy accessor the ranking layer's accumulator
+        traversal walks term-at-a-time; callers must not mutate the result.
+        Unknown features return a shared empty set (no allocation).
+        """
         self._ensure_built()
-        return set(self._feature_entities.get(feature, set()))
+        return self._feature_entities.get(feature, _EMPTY_HOLDERS)
+
+    def entities_matching(self, feature: SemanticFeature) -> Set[str]:
+        """``E(pi)`` as an independent copy (safe for callers to mutate)."""
+        return set(self.holders_of(feature))
 
     def matching_count(self, feature: SemanticFeature) -> int:
         """``||E(pi)||`` without copying the entity set."""
-        self._ensure_built()
-        return len(self._feature_entities.get(feature, set()))
+        return len(self.holders_of(feature))
 
     def holds(self, entity_id: str, feature: SemanticFeature) -> bool:
         """``e |= pi`` from the materialised index."""
@@ -91,17 +127,52 @@ class SemanticFeatureIndex:
                 holders[feature].add(entity_id)
         return dict(holders)
 
+    def candidates_matching_any(
+        self,
+        features: Iterable[SemanticFeature],
+        exclude: Iterable[str] = (),
+        limit: Optional[int] = None,
+    ) -> List[str]:
+        """Entities matching any feature, ordered by how many they match.
+
+        Index-backed equivalent of
+        :func:`repro.features.extraction.candidate_entities`: same ordering
+        (most shared features first, then identifier), but walking the
+        materialised no-copy holder lists instead of per-feature graph
+        queries.
+        """
+        self._ensure_built()
+        excluded = set(exclude)
+        counts: Counter[str] = Counter()
+        for feature in features:
+            for entity_id in self._feature_entities.get(feature, _EMPTY_HOLDERS):
+                if entity_id not in excluded:
+                    counts[entity_id] += 1
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        return [entity_id for entity_id, _ in ranked]
+
     def type_conditional_count(self, feature: SemanticFeature, type_id: str) -> Tuple[int, int]:
         """``(||E(pi) ∩ E(c)||, ||E(c)||)`` for the type-based smoothing.
 
-        ``E(c)`` is the set of instances of ``type_id``.
+        ``E(c)`` is the set of instances of ``type_id``.  Pairs are memoised
+        per index epoch (the memo is dropped on rebuild), so the ranking
+        layer's repeated smoothing lookups cost a dictionary hit.
         """
         self._ensure_built()
+        key = (feature, type_id)
+        cached = self._type_counts.get(key)
+        if cached is not None:
+            return cached
         type_members = self._graph.entities_of_type(type_id)
         if not type_members:
-            return 0, 0
-        matching = self._feature_entities.get(feature, set())
-        return len(matching & type_members), len(type_members)
+            counts = (0, 0)
+        else:
+            matching = self._feature_entities.get(feature, _EMPTY_HOLDERS)
+            counts = (len(matching & type_members), len(type_members))
+        self._type_counts[key] = counts
+        return counts
 
     def shared_features(self, left: str, right: str) -> FrozenSet[SemanticFeature]:
         """Features held by both entities — the explanation evidence."""

@@ -10,7 +10,7 @@ the UI shows in the entity-presentation area (Fig 3-d).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Tuple
+from typing import Mapping, Tuple
 
 from .namespaces import label_from_identifier
 

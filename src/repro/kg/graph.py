@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..exceptions import EntityNotFoundError, InvalidTripleError
+from ..exceptions import EntityNotFoundError
 from .entity import Entity
 from .namespaces import (
     DCT_SUBJECT,
@@ -66,6 +66,15 @@ class KnowledgeGraph:
         self._aliases: Dict[str, Set[str]] = defaultdict(set)        # entity -> alias entity ids
         self._entities: Set[str] = set()
         self._predicates: Set[str] = set()
+        #: Mutation counter: bumped on every new triple so derived
+        #: structures (feature index, recommendation caches) can detect
+        #: staleness, mirroring ``FieldedIndex.epoch`` on the search side.
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """A counter incremented on every successful mutation of the graph."""
+        return self._epoch
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -82,6 +91,7 @@ class KnowledgeGraph:
             return False
         self._triple_set.add(key)
         self._triples.append(triple)
+        self._epoch += 1
         subject, predicate = triple.subject, triple.predicate
         self._entities.add(subject)
         self._predicates.add(predicate)

@@ -20,8 +20,8 @@ have written structured queries instead of exploring.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import KnowledgeGraphError
 from .graph import KnowledgeGraph

@@ -7,10 +7,15 @@ from .baselines import (
     PersonalizedPageRankRanker,
     make_baselines,
 )
-from .correlation import CorrelationMatrix, build_correlation_matrix
+from .correlation import (
+    CorrelationMatrix,
+    build_correlation_matrix,
+    build_correlation_matrix_exhaustive,
+)
 from .diversification import DiversifiedEntity, MMRDiversifier, coverage, jaccard
 from .entity_ranking import EntityRanker, ScoredEntity
 from .probability import FeatureProbabilityModel
+from .ranking_support import RankingSupport, select_top_features
 from .sf_ranking import ScoredFeature, SemanticFeatureRanker
 
 __all__ = [
@@ -23,10 +28,13 @@ __all__ = [
     "JaccardRanker",
     "MMRDiversifier",
     "PersonalizedPageRankRanker",
+    "RankingSupport",
     "ScoredEntity",
     "ScoredFeature",
     "SemanticFeatureRanker",
     "build_correlation_matrix",
+    "build_correlation_matrix_exhaustive",
+    "select_top_features",
     "coverage",
     "jaccard",
     "make_baselines",

@@ -17,7 +17,7 @@ All baselines expose the same interface: ``rank(seeds, top_k)`` returning
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..exceptions import NoSeedEntitiesError
 from ..features import SemanticFeatureIndex

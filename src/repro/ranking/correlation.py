@@ -15,7 +15,8 @@ visual decomposition of the entity ranking, which is what lets users
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -46,15 +47,37 @@ class CorrelationMatrix:
                 f"{len(self.entities)} entities x {len(self.features)} features"
             )
 
+    @cached_property
+    def _entity_positions(self) -> Dict[str, int]:
+        """Memoised entity -> row map (replaces O(n) ``tuple.index`` scans)."""
+        return {entity: row for row, entity in enumerate(self.entities)}
+
+    @cached_property
+    def _feature_positions(self) -> Dict[SemanticFeature, int]:
+        """Memoised feature -> column map."""
+        return {feature: column for column, feature in enumerate(self.features)}
+
+    def _entity_position(self, entity_id: str) -> int:
+        try:
+            return self._entity_positions[entity_id]
+        except KeyError:
+            raise ValueError(f"{entity_id!r} is not an entity of the matrix") from None
+
+    def _feature_position(self, feature: SemanticFeature) -> int:
+        try:
+            return self._feature_positions[feature]
+        except KeyError:
+            raise ValueError(f"{feature.notation()!r} is not a feature of the matrix") from None
+
     def value(self, entity_id: str, feature: SemanticFeature) -> float:
         """The correlation of one (entity, feature) cell."""
-        row = self.entities.index(entity_id)
-        column = self.features.index(feature)
+        row = self._entity_position(entity_id)
+        column = self._feature_position(feature)
         return float(self.values[row, column])
 
     def entity_row(self, entity_id: str) -> Dict[str, float]:
         """All feature correlations of one entity, keyed by notation."""
-        row = self.entities.index(entity_id)
+        row = self._entity_position(entity_id)
         return {
             feature.notation(): float(self.values[row, column])
             for column, feature in enumerate(self.features)
@@ -62,7 +85,7 @@ class CorrelationMatrix:
 
     def feature_column(self, feature: SemanticFeature) -> Dict[str, float]:
         """All entity correlations of one feature."""
-        column = self.features.index(feature)
+        column = self._feature_position(feature)
         return {
             entity: float(self.values[row, column])
             for row, entity in enumerate(self.entities)
@@ -78,7 +101,36 @@ def build_correlation_matrix(
     scored_entities: Sequence[ScoredEntity],
     scored_features: Sequence[ScoredFeature],
 ) -> CorrelationMatrix:
-    """Build the correlation matrix for ranked entities and features."""
+    """Build the correlation matrix for ranked entities and features.
+
+    Assembled from the ranking layer's already-computed contribution
+    vectors: one base row per distinct dominant entity type (shared by all
+    its entities) with holder cells overridden to the feature relevance —
+    no per-cell ``probability()`` calls.  Cell values are bitwise-identical
+    to :func:`build_correlation_matrix_exhaustive`.
+    """
+    entities = tuple(entity.entity_id for entity in scored_entities)
+    features = tuple(scored.feature for scored in scored_features)
+    rows = probability_model.support().contribution_rows(entities, scored_features)
+    values = np.array(rows, dtype=float).reshape((len(entities), len(features)))
+    # Recommendation payloads built here are shared by the engine's LRU
+    # cache, so freeze the array: an in-place mutation by one caller must
+    # not corrupt every later cache hit for the same query state.
+    values.setflags(write=False)
+    return CorrelationMatrix(entities=entities, features=features, values=values)
+
+
+def build_correlation_matrix_exhaustive(
+    probability_model: FeatureProbabilityModel,
+    scored_entities: Sequence[ScoredEntity],
+    scored_features: Sequence[ScoredFeature],
+) -> CorrelationMatrix:
+    """The seed cell-by-cell assembly, kept as the reference path.
+
+    Calls ``probability()`` once per (entity, feature) cell; the A/B bench
+    and the equivalence tests compare :func:`build_correlation_matrix`
+    against this implementation.
+    """
     entities = tuple(entity.entity_id for entity in scored_entities)
     features = tuple(scored.feature for scored in scored_features)
     values = np.zeros((len(entities), len(features)), dtype=float)

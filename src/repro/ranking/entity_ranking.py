@@ -19,10 +19,17 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
-from ..features import SemanticFeature, SemanticFeatureIndex, candidate_entities
+from ..features import SemanticFeatureIndex
+from ..index import select_top_k
 from ..kg import KnowledgeGraph
 from .probability import FeatureProbabilityModel
+from .ranking_support import FrozenMapping
 from .sf_ranking import ScoredFeature, SemanticFeatureRanker
+
+#: Extra entities pulled from the accumulator map before exact re-scoring,
+#: guarding the top-k boundary against float-rounding differences between
+#: the decomposed and the exhaustive summation order.
+_SELECTION_MARGIN = 16
 
 
 @dataclass(frozen=True)
@@ -75,10 +82,14 @@ class EntityRanker:
     def candidates(
         self, seeds: Sequence[str], scored_features: Sequence[ScoredFeature]
     ) -> List[str]:
-        """Candidate entities: anything matching a query feature, minus seeds."""
+        """Candidate entities: anything matching a query feature, minus seeds.
+
+        Walks the feature index's materialised no-copy holder lists (same
+        ordering as :func:`repro.features.candidate_entities`, which queries
+        the graph per feature).
+        """
         features = [scored.feature for scored in scored_features]
-        return candidate_entities(
-            self._graph,
+        return self._index.candidates_matching_any(
             features,
             exclude=seeds,
             limit=self._config.max_candidates,
@@ -99,7 +110,11 @@ class EntityRanker:
             if contribution > 0.0:
                 contributions[scored.feature.notation()] = contribution
             total += contribution
-        return ScoredEntity(entity_id=entity_id, score=total, contributions=contributions)
+        # Read-only view: scored entities are shared by the engine's
+        # recommendation cache (same protection as the frozen matrix array).
+        return ScoredEntity(
+            entity_id=entity_id, score=total, contributions=FrozenMapping(contributions)
+        )
 
     def rank(
         self,
@@ -108,11 +123,20 @@ class EntityRanker:
         scored_features: Optional[Sequence[ScoredFeature]] = None,
         candidates: Optional[Sequence[str]] = None,
     ) -> List[ScoredEntity]:
-        """Rank entities similar to the seed set.
+        """Rank entities similar to the seed set (accumulator fast path).
 
         The method mirrors the two-stage process of §2.3: semantic features
         are ranked first (or supplied by the caller), then candidate
         entities are scored against those ranked features.
+
+        Scoring uses the type-grouped decomposition of
+        :class:`~repro.ranking.ranking_support.RankingSupport`: one base
+        score per distinct dominant type plus sparse per-holder corrections
+        walked over the index's ``E(pi)`` lists — ``O(types x features +
+        matched postings)`` instead of ``O(candidates x features)``.  The
+        top-k survivors of a bounded-heap selection are then re-scored
+        through :meth:`score_entity`, so the returned entities carry exactly
+        the scores and per-feature contributions of the exhaustive path.
         """
         if not seeds:
             raise NoSeedEntitiesError("cannot rank entities for an empty seed set")
@@ -121,6 +145,67 @@ class EntityRanker:
         top_k = top_k or self._config.top_entities
         if scored_features is None:
             scored_features = self._feature_ranker.rank(seeds)
+        if candidates is None:
+            candidates = self.candidates(seeds, scored_features)
+        support = self._probability.support()
+        accumulators = support.score_entities(candidates, scored_features)
+        # Accumulator totals can differ from exhaustive scores by float
+        # rounding (the decomposition associates the same terms
+        # differently), so select with a safety margin, re-score the
+        # survivors exactly, and only then truncate: a selection mismatch
+        # would now need more than _SELECTION_MARGIN candidates packed
+        # within rounding error of the k-th score.  Exact score ties are
+        # unaffected — identical (type, held-feature) computations produce
+        # identical accumulators, and both orderings fall back to entity_id.
+        selected = select_top_k(accumulators, top_k + _SELECTION_MARGIN)
+        rescored = [
+            self._score_entity_via_support(entity_id, scored_features, support)
+            for entity_id, _ in selected
+        ]
+        rescored.sort(key=lambda item: (-item.score, item.entity_id))
+        return rescored[:top_k]
+
+    def _score_entity_via_support(
+        self, entity_id: str, scored_features: Sequence[ScoredFeature], support
+    ) -> ScoredEntity:
+        """:meth:`score_entity` through the memoised probability lookups.
+
+        ``RankingSupport.probability`` returns the same floats as the
+        model, so the result is identical to :meth:`score_entity` — just
+        without re-deriving dominant types and type-conditional counts.
+        """
+        contributions: Dict[str, float] = {}
+        total = 0.0
+        for scored in scored_features:
+            probability = support.probability(scored.feature, entity_id)
+            contribution = probability * scored.score
+            if contribution > 0.0:
+                contributions[scored.feature.notation()] = contribution
+            total += contribution
+        return ScoredEntity(
+            entity_id=entity_id, score=total, contributions=FrozenMapping(contributions)
+        )
+
+    def rank_exhaustive(
+        self,
+        seeds: Sequence[str],
+        top_k: Optional[int] = None,
+        scored_features: Optional[Sequence[ScoredFeature]] = None,
+        candidates: Optional[Sequence[str]] = None,
+    ) -> List[ScoredEntity]:
+        """The seed scoring path: score every candidate, sort, truncate.
+
+        Kept as the reference implementation the accumulator path is
+        verified against (see ``tests/test_ranking_accumulator.py``), the
+        same contract the search engine's ``search_exhaustive()`` follows.
+        """
+        if not seeds:
+            raise NoSeedEntitiesError("cannot rank entities for an empty seed set")
+        for seed in seeds:
+            self._graph.require_entity(seed)
+        top_k = top_k or self._config.top_entities
+        if scored_features is None:
+            scored_features = self._feature_ranker.rank_exhaustive(seeds)
         if candidates is None:
             candidates = self.candidates(seeds, scored_features)
         scored = [self.score_entity(entity_id, scored_features) for entity_id in candidates]

@@ -15,10 +15,11 @@ films in general tend to hold it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
+from .ranking_support import RankingSupport
 
 
 class FeatureProbabilityModel:
@@ -38,17 +39,50 @@ class FeatureProbabilityModel:
         self._type_smoothing = type_smoothing
         self._epsilon = epsilon
         # Cache of type-conditional probabilities keyed by (feature, type).
+        # Deliberately kept besides the index's count memo and the scoring
+        # context's base memo: this one serves the exhaustive reference
+        # path, which must stay faithful to the seed implementation (the
+        # A/B baseline) instead of routing through RankingSupport.  All
+        # three layers invalidate off the same index epoch.
         self._type_cache: Dict[Tuple[SemanticFeature, str], float] = {}
+        self._cache_epoch = feature_index.epoch
+        self._support: RankingSupport | None = None
 
     @property
     def epsilon(self) -> float:
         """Floor probability returned when no evidence supports the feature."""
         return self._epsilon
 
+    def _ensure_current(self) -> None:
+        """Drop memoised probabilities when the graph (index epoch) changed."""
+        epoch = self._index.epoch
+        if epoch != self._cache_epoch:
+            self._type_cache.clear()
+            self._support = None
+            self._cache_epoch = epoch
+
+    def support(self) -> RankingSupport:
+        """The shared accumulator scoring context, cached per index epoch.
+
+        Both rankers and the correlation-matrix builder score through this
+        object; it is rebuilt (dropping its memoised dominant types and
+        base probabilities) whenever the underlying graph mutates.
+        """
+        self._ensure_current()
+        if self._support is None:
+            self._support = RankingSupport(
+                self._graph,
+                self._index,
+                type_smoothing=self._type_smoothing,
+                epsilon=self._epsilon,
+            )
+        return self._support
+
     def type_conditional(self, feature: SemanticFeature, type_id: str) -> float:
         """``p(pi | c) = ||E(pi) ∩ E(c)|| / ||E(c)||`` for a type ``c``."""
         if not type_id:
             return 0.0
+        self._ensure_current()
         key = (feature, type_id)
         cached = self._type_cache.get(key)
         if cached is not None:
@@ -93,5 +127,7 @@ class FeatureProbabilityModel:
         )
 
     def clear_cache(self) -> None:
-        """Drop the memoised type-conditional probabilities."""
+        """Drop all memoised probability state: the type-conditional memo
+        and the scoring context (with its dominant-type and base memos)."""
         self._type_cache.clear()
+        self._support = None

@@ -1,0 +1,282 @@
+"""Scoring support for the accumulator-based recommendation hot path.
+
+The two-stage recommendation model of §2.3 scores every candidate entity
+against every ranked semantic feature via ``p(pi | e)``.  The probability
+has algebraic structure the exhaustive per-pair loop ignores: when ``e``
+does **not** hold ``pi``, ``p(pi | e)`` depends only on the pair
+``(pi, c*(e))`` where ``c*`` is the entity's dominant type.  Per-candidate
+scores therefore decompose into
+
+* a per-type **base score** ``B(c) = sum_pi max(p(pi|c), eps) * r(pi, Q)``
+  shared by every candidate of dominant type ``c``, plus
+* a sparse **correction** ``sum_{pi held by e} (1 - max(p(pi|c), eps)) * r(pi, Q)``
+  walked term-at-a-time over the index's ``E(pi)`` holder lists,
+
+turning ``O(candidates x features)`` per-pair Python calls into
+``O(types x features + matched postings)``.  :class:`RankingSupport` is the
+shared scoring context behind that decomposition: memoised dominant types,
+memoised per-(feature, type) base probabilities, and no-copy holder access.
+It is the recommendation-side sibling of
+:class:`repro.index.scoring_support.ScoringSupport` and, like it, is only
+valid for the feature-index epoch it was built at
+(:meth:`FeatureProbabilityModel.support` hands out a fresh instance after
+any graph mutation).
+
+All arithmetic matches the exhaustive model exactly: base probabilities are
+the same ``max(p(pi|c*), eps)`` floats ``FeatureProbabilityModel.probability``
+produces, so rankings built on this layer are verifiable against the seed
+``rank_exhaustive()`` paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Sequence, Set, Tuple
+
+from ..features import SemanticFeature, SemanticFeatureIndex
+from ..kg import KnowledgeGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sf_ranking import ScoredFeature
+
+
+class FrozenMapping(Mapping[str, float]):
+    """A read-only, picklable mapping for shared score decompositions.
+
+    ``ScoredEntity.contributions`` and ``ScoredFeature.seed_probabilities``
+    are shared by the recommendation engine's LRU cache, so they must not
+    be mutable in place — but ``types.MappingProxyType`` cannot be pickled
+    or deep-copied, which downstream consumers (multiprocessing fan-out,
+    on-disk caching) legitimately rely on.  This wrapper is immutable from
+    the outside, compares equal to plain dicts, and round-trips through
+    ``pickle`` / ``copy.deepcopy``.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, float]) -> None:
+        object.__setattr__(self, "_data", dict(data))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FrozenMapping is read-only")
+
+    def __getitem__(self, key: str) -> float:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenMapping):
+            return self._data == other._data
+        return self._data == other
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-mapping semantics
+
+    def __repr__(self) -> str:
+        return f"FrozenMapping({self._data!r})"
+
+    def __reduce__(self):
+        return (FrozenMapping, (self._data,))
+
+
+class RankingSupport:
+    """Memoised probability lookups over one feature-index epoch.
+
+    An instance is only valid for the index epoch it was built at; the
+    probability model hands out a fresh instance after any graph mutation
+    (see :meth:`repro.ranking.probability.FeatureProbabilityModel.support`).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        index: SemanticFeatureIndex,
+        type_smoothing: bool = True,
+        epsilon: float = 1e-9,
+    ) -> None:
+        self._graph = graph
+        self._index = index
+        self._type_smoothing = type_smoothing
+        self._epsilon = epsilon
+        self._epoch = index.epoch
+        #: Memoised dominant types (``graph.dominant_type`` scans the type
+        #: sets on every call; candidates repeat across session operations).
+        self._dominant_types: Dict[str, str] = {}
+        #: Memoised base probabilities ``max(p(pi|c), eps)`` per (pi, c).
+        self._base: Dict[Tuple[SemanticFeature, str], float] = {}
+
+    @property
+    def epoch(self) -> int:
+        """The feature-index epoch this support object was built for."""
+        return self._epoch
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    # ------------------------------------------------------------------ #
+    # Probability lookups
+    # ------------------------------------------------------------------ #
+    def dominant_type(self, entity_id: str) -> str:
+        """Memoised ``c*(e)`` (empty string for untyped entities)."""
+        cached = self._dominant_types.get(entity_id)
+        if cached is None:
+            cached = self._graph.dominant_type(entity_id)
+            self._dominant_types[entity_id] = cached
+        return cached
+
+    def base_probability(self, feature: SemanticFeature, type_id: str) -> float:
+        """``max(p(pi|c), eps)`` — ``p(pi|e)`` for a non-holder of type ``c``.
+
+        Bitwise-identical to what ``FeatureProbabilityModel.probability``
+        returns for an entity of dominant type ``type_id`` that does not
+        hold the feature, including the no-smoothing and untyped fallbacks.
+        """
+        key = (feature, type_id)
+        cached = self._base.get(key)
+        if cached is None:
+            if not self._type_smoothing or not type_id:
+                cached = self._epsilon
+            else:
+                intersection, population = self._index.type_conditional_count(feature, type_id)
+                smoothed = intersection / population if population else 0.0
+                cached = max(smoothed, self._epsilon)
+            self._base[key] = cached
+        return cached
+
+    def probability(self, feature: SemanticFeature, entity_id: str) -> float:
+        """``p(pi | e)`` via the memoised lookups (same floats as the model)."""
+        if self._index.holds(entity_id, feature):
+            return 1.0
+        return self.base_probability(feature, self.dominant_type(entity_id))
+
+    def holders(self, feature: SemanticFeature) -> Set[str]:
+        """``E(pi)`` as the index's no-copy holder set (read-only)."""
+        return self._index.holders_of(feature)
+
+    # ------------------------------------------------------------------ #
+    # Accumulator traversal
+    # ------------------------------------------------------------------ #
+    def score_entities(
+        self,
+        entity_ids: Sequence[str],
+        scored_features: Sequence["ScoredFeature"],
+    ) -> Dict[str, float]:
+        """Accumulator scores ``r(e, Q)`` for every candidate entity.
+
+        Implements the type-grouped decomposition: one base score per
+        distinct dominant type, then one sparse correction pass per scored
+        feature over the smaller of its holder list and the candidate set.
+
+        The decomposition sums the same terms as the exhaustive per-pair
+        loop but in a different association (``b*s + (1-b)*s`` instead of
+        ``1.0*s`` for holders), so individual totals can differ from the
+        exhaustive scores by float rounding.  Callers selecting a top-k
+        from these accumulators must re-score the boundary exactly — see
+        ``EntityRanker.rank``, which selects with a safety margin and
+        re-ranks the survivors through ``score_entity``.
+        """
+        relevance = [scored.score for scored in scored_features]
+        entity_types: Dict[str, str] = {}
+        bases: Dict[str, List[float]] = {}
+        base_scores: Dict[str, float] = {}
+        accumulators: Dict[str, float] = {}
+        for entity_id in entity_ids:
+            type_id = self.dominant_type(entity_id)
+            entity_types[entity_id] = type_id
+            if type_id not in bases:
+                row = [self.base_probability(scored.feature, type_id) for scored in scored_features]
+                bases[type_id] = row
+                total = 0.0
+                for base, score in zip(row, relevance):
+                    total += base * score
+                base_scores[type_id] = total
+            accumulators[entity_id] = base_scores[type_id]
+
+        for column, scored in enumerate(scored_features):
+            score = relevance[column]
+            holder_set = self._index.holders_of(scored.feature)
+            if len(holder_set) <= len(accumulators):
+                for entity_id in holder_set:
+                    type_id = entity_types.get(entity_id)
+                    if type_id is not None:
+                        accumulators[entity_id] += (1.0 - bases[type_id][column]) * score
+            else:
+                for entity_id, type_id in entity_types.items():
+                    if entity_id in holder_set:
+                        accumulators[entity_id] += (1.0 - bases[type_id][column]) * score
+        return accumulators
+
+    def contribution_rows(
+        self,
+        entity_ids: Sequence[str],
+        scored_features: Sequence["ScoredFeature"],
+    ) -> List[List[float]]:
+        """Per-entity contribution vectors ``p(pi|e) * r(pi, Q)``.
+
+        The rows of the correlation matrix, assembled from the per-type
+        base vectors plus holder overrides instead of per-cell probability
+        calls.  Cell values are bitwise-identical to the exhaustive
+        ``probability() * score`` products.
+        """
+        relevance = [scored.score for scored in scored_features]
+        base_rows: Dict[str, List[float]] = {}
+        rows: List[List[float]] = []
+        # All rows per id, so duplicate entities (legal for this public
+        # API) each receive their holder overrides.
+        positions: Dict[str, List[int]] = {}
+        for row_index, entity_id in enumerate(entity_ids):
+            positions.setdefault(entity_id, []).append(row_index)
+            type_id = self.dominant_type(entity_id)
+            base_row = base_rows.get(type_id)
+            if base_row is None:
+                base_row = [
+                    self.base_probability(scored.feature, type_id) * score
+                    for scored, score in zip(scored_features, relevance)
+                ]
+                base_rows[type_id] = base_row
+            rows.append(list(base_row))
+        for column, scored in enumerate(scored_features):
+            score = relevance[column]
+            holder_set = self._index.holders_of(scored.feature)
+            if len(holder_set) <= len(positions):
+                for entity_id in holder_set:
+                    for row_index in positions.get(entity_id, ()):
+                        rows[row_index][column] = score
+            else:
+                for entity_id, row_indexes in positions.items():
+                    if entity_id in holder_set:
+                        for row_index in row_indexes:
+                            rows[row_index][column] = score
+        return rows
+
+
+def select_top_features(
+    scored: Sequence[Tuple["SemanticFeature", float]], k: int
+) -> List[Tuple["SemanticFeature", float]]:
+    """The ``k`` best ``(feature, score)`` pairs by ``(-score, notation)``.
+
+    Bounded-heap selection mirroring
+    :func:`repro.index.scoring_support.select_top_k`, with the exact tie
+    ordering of the exhaustive feature sort.
+    """
+    if k <= 0:
+        return []
+
+    def _key(item: Tuple["SemanticFeature", float]) -> Tuple[float, str]:
+        feature, score = item
+        return (-score, feature.notation())
+
+    if k >= len(scored):
+        return sorted(scored, key=_key)
+    return heapq.nsmallest(k, scored, key=_key)
+
+
+__all__ = ["RankingSupport", "select_top_features"]

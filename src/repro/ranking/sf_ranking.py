@@ -14,13 +14,14 @@ entities) is the product of its *discriminability* and its *commonality*:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
 from .probability import FeatureProbabilityModel
+from .ranking_support import FrozenMapping, select_top_features
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,11 @@ class SemanticFeatureRanker:
             score=score,
             discriminability=discriminability,
             commonality=commonality,
-            seed_probabilities=seed_probabilities,
+            # Read-only view: scored features are shared by the engine's
+            # recommendation cache, so one caller's in-place edit must not
+            # corrupt later cache hits (same protection as the frozen
+            # correlation-matrix array).
+            seed_probabilities=FrozenMapping(seed_probabilities),
         )
 
     # ------------------------------------------------------------------ #
@@ -141,7 +146,15 @@ class SemanticFeatureRanker:
         top_k: Optional[int] = None,
         candidates: Optional[Sequence[SemanticFeature]] = None,
     ) -> List[ScoredFeature]:
-        """Rank semantic features for a seed set.
+        """Rank semantic features for a seed set (accumulator fast path).
+
+        Scores the pool through the shared :class:`RankingSupport` context
+        (memoised dominant types and per-(feature, type) base
+        probabilities), selects the top-k with a bounded heap, and only
+        builds the full :class:`ScoredFeature` decomposition — including the
+        per-seed probability map — for the winners.  The arithmetic is the
+        same float-for-float as :meth:`rank_exhaustive`, so the returned
+        ranking is identical to the seed scoring path by construction.
 
         Parameters
         ----------
@@ -152,12 +165,59 @@ class SemanticFeatureRanker:
         candidates:
             Optional explicit feature pool; by default ``Phi(Q)`` is used.
         """
+        pool = self._validated_pool(seeds, candidates)
+        top_k = top_k or self._config.top_features
+        support = self._probability.support()
+        use_discriminability = self._config.use_discriminability
+        use_commonality = self._config.use_commonality
+        # score_feature multiplies one probability per *distinct* seed (its
+        # per-seed map deduplicates); mirror that so scores match bitwise.
+        # Seed feature sets and dominant types are resolved once, so the
+        # inner loop is a set-membership test plus a memoised base lookup.
+        unique_seeds = list(dict.fromkeys(seeds))
+        seed_features = [self._index.features_of(seed) for seed in unique_seeds]
+        seed_types = [support.dominant_type(seed) for seed in unique_seeds]
+        base_probability = support.base_probability
+        scored_pairs: List[tuple[SemanticFeature, float]] = []
+        for feature in pool:
+            score = 1.0
+            if use_discriminability:
+                score *= self.discriminability(feature)
+            if use_commonality:
+                commonality = 1.0
+                for held, type_id in zip(seed_features, seed_types):
+                    probability = 1.0 if feature in held else base_probability(feature, type_id)
+                    commonality *= probability
+                score *= commonality
+            if not use_discriminability and not use_commonality:
+                score = 0.0
+            scored_pairs.append((feature, score))
+        winners = select_top_features(scored_pairs, top_k)
+        return [self.score_feature(feature, seeds) for feature, _ in winners]
+
+    def rank_exhaustive(
+        self,
+        seeds: Sequence[str],
+        top_k: Optional[int] = None,
+        candidates: Optional[Sequence[SemanticFeature]] = None,
+    ) -> List[ScoredFeature]:
+        """The seed scoring path: score every pool feature, sort, truncate.
+
+        Kept as the reference implementation the accumulator path is
+        verified against (see ``tests/test_ranking_accumulator.py``), the
+        same contract the search engine's ``search_exhaustive()`` follows.
+        """
+        pool = self._validated_pool(seeds, candidates)
+        top_k = top_k or self._config.top_features
+        scored = [self.score_feature(feature, seeds) for feature in pool]
+        scored.sort(key=lambda item: (-item.score, item.feature.notation()))
+        return scored[:top_k]
+
+    def _validated_pool(
+        self, seeds: Sequence[str], candidates: Optional[Sequence[SemanticFeature]]
+    ) -> List[SemanticFeature]:
         if not seeds:
             raise NoSeedEntitiesError("cannot rank features for an empty seed set")
         for seed in seeds:
             self._graph.require_entity(seed)
-        top_k = top_k or self._config.top_features
-        pool = list(candidates) if candidates is not None else self.candidate_features(seeds)
-        scored = [self.score_feature(feature, seeds) for feature in pool]
-        scored.sort(key=lambda item: (-item.score, item.feature.notation()))
-        return scored[:top_k]
+        return list(candidates) if candidates is not None else self.candidate_features(seeds)

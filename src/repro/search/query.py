@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 from ..config import DEFAULT_FIELDS
 from ..exceptions import EmptyQueryError
-from ..text import TEXT_ANALYZER, Analyzer, NAME_ANALYZER
+from ..text import Analyzer, NAME_ANALYZER
 
 _PHRASE = re.compile(r'"([^"]*)"')
 _FIELDED = re.compile(r"(\w+):(\S+)")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Union
 
 from ..explore import ExplorationPath, ExplorationSession, Recommendation
 from .heatmap import Heatmap

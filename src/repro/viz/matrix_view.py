@@ -11,7 +11,7 @@ and the documentation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..explore import Recommendation
 from ..kg import KnowledgeGraph

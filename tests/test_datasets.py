@@ -18,7 +18,6 @@ from repro.datasets import (
     scaling_series,
     search_tasks_from_labels,
     seed_count_sweep,
-    small_movie_kg,
     tom_hanks_task,
 )
 from repro.exceptions import DatasetError

@@ -6,7 +6,6 @@ import json
 
 import pytest
 
-from repro import PivotE
 from repro.engine import PivotEApi
 
 

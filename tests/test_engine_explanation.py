@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import ExplanationBuilder
-from repro.features import Direction, SemanticFeature, SemanticFeatureIndex
+from repro.features import SemanticFeatureIndex
 from repro.kg import KnowledgeGraph
 from repro.ranking import SemanticFeatureRanker
 

@@ -7,7 +7,6 @@ import pytest
 from repro import PivotE
 from repro.exceptions import EntityNotFoundError
 from repro.features import SemanticFeature
-from repro.kg import KnowledgeGraph
 
 TOM_HANKS_STARRING = SemanticFeature("dbr:Tom_Hanks", "dbo:starring")
 

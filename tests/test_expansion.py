@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import RankingConfig
-from repro.datasets import CURATED_TOM_HANKS_FILMS, tom_hanks_task
+from repro.datasets import tom_hanks_task
 from repro.exceptions import NoSeedEntitiesError
 from repro.expansion import EntitySetExpander, IterativeExpander
 from repro.features import Direction, SemanticFeature

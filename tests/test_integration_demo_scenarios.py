@@ -11,7 +11,6 @@ historical query from the timeline (Fig 4).
 
 from __future__ import annotations
 
-import pytest
 
 from repro import PivotE
 from repro.datasets import CURATED_TOM_HANKS_FILMS

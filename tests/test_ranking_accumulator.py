@@ -1,0 +1,227 @@
+"""Equivalence of the accumulator recommendation pipeline and the seed path.
+
+PR 2 rebuilt both §2.3 rankers around the type-grouped accumulator
+decomposition of ``p(pi | e)`` (see ``repro/ranking/ranking_support.py``)
+and the correlation matrix around numpy assembly from contribution vectors.
+These tests enforce the contract the refactor promises: ``rank()`` (fast)
+and ``rank_exhaustive()`` (seed path) produce identical rankings — same
+entities, same features, same scores — on the hand-built, synthetic and
+random knowledge graphs, and the fast matrix equals the cell-by-cell one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RankingConfig
+from repro.datasets import RandomKGConfig, build_random_kg
+from repro.features import SemanticFeatureIndex
+from repro.kg import KnowledgeGraph
+from repro.ranking import (
+    EntityRanker,
+    SemanticFeatureRanker,
+    build_correlation_matrix,
+    build_correlation_matrix_exhaustive,
+)
+
+
+def _seeds_from_largest_type(graph: KnowledgeGraph, count: int) -> list[str]:
+    largest_type = max(graph.types(), key=lambda t: (graph.type_count(t), t))
+    members = sorted(graph.entities_of_type(largest_type))
+    return members[:count]
+
+
+def _feature_signature(scored) -> list:
+    return [(item.feature, item.score, dict(item.seed_probabilities)) for item in scored]
+
+
+def _entity_signature(scored) -> list:
+    return [(item.entity_id, item.score, dict(item.contributions)) for item in scored]
+
+
+def assert_pipeline_equivalent(
+    graph: KnowledgeGraph,
+    seeds: list[str],
+    config: RankingConfig | None = None,
+    top_k: int | None = None,
+) -> None:
+    """Fast and exhaustive rankings (and matrices) must match exactly."""
+    config = config or RankingConfig()
+    index = SemanticFeatureIndex.build(graph)
+    feature_ranker = SemanticFeatureRanker(graph, index, config=config)
+    entity_ranker = EntityRanker(graph, index, config=config, feature_ranker=feature_ranker)
+
+    fast_features = feature_ranker.rank(seeds, top_k=top_k)
+    slow_features = feature_ranker.rank_exhaustive(seeds, top_k=top_k)
+    assert _feature_signature(fast_features) == _feature_signature(slow_features)
+
+    fast_entities = entity_ranker.rank(seeds, top_k=top_k, scored_features=fast_features)
+    slow_entities = entity_ranker.rank_exhaustive(
+        seeds, top_k=top_k, scored_features=slow_features
+    )
+    assert _entity_signature(fast_entities) == _entity_signature(slow_entities)
+
+    model = feature_ranker.probability_model
+    fast_matrix = build_correlation_matrix(model, fast_entities, fast_features)
+    slow_matrix = build_correlation_matrix_exhaustive(model, slow_entities, slow_features)
+    assert fast_matrix.entities == slow_matrix.entities
+    assert fast_matrix.features == slow_matrix.features
+    assert np.array_equal(fast_matrix.values, slow_matrix.values)
+
+
+class TestEquivalenceOnCuratedGraphs:
+    def test_tiny_kg(self, tiny_kg: KnowledgeGraph):
+        assert_pipeline_equivalent(tiny_kg, ["ex:F1", "ex:F2"])
+
+    def test_tiny_kg_single_seed_small_k(self, tiny_kg: KnowledgeGraph):
+        assert_pipeline_equivalent(tiny_kg, ["ex:F1"], top_k=2)
+
+    def test_movie_kg(self, movie_kg: KnowledgeGraph):
+        assert_pipeline_equivalent(movie_kg, ["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"])
+
+    def test_academic_kg(self, academic_kg: KnowledgeGraph):
+        assert_pipeline_equivalent(academic_kg, _seeds_from_largest_type(academic_kg, 2))
+
+    def test_without_type_smoothing(self, tiny_kg: KnowledgeGraph):
+        config = RankingConfig(type_smoothing=False)
+        assert_pipeline_equivalent(tiny_kg, ["ex:F1", "ex:F2"], config=config)
+
+    def test_ablation_switches(self, tiny_kg: KnowledgeGraph):
+        for changes in (
+            {"use_discriminability": False},
+            {"use_commonality": False},
+            {"use_discriminability": False, "use_commonality": False},
+        ):
+            config = RankingConfig().with_(**changes)
+            assert_pipeline_equivalent(tiny_kg, ["ex:F1", "ex:F2"], config=config)
+
+    def test_duplicate_seeds(self, tiny_kg: KnowledgeGraph):
+        assert_pipeline_equivalent(tiny_kg, ["ex:F1", "ex:F2", "ex:F1"])
+
+
+class TestEquivalenceOnRandomGraphs:
+    """The property-based check: random KGs, several structures and seeds."""
+
+    @pytest.mark.parametrize("kg_seed", [1, 7, 13])
+    @pytest.mark.parametrize("seed_count", [1, 3])
+    def test_random_kg(self, kg_seed: int, seed_count: int):
+        graph = build_random_kg(
+            RandomKGConfig(num_entities=150, num_types=6, seed=kg_seed)
+        )
+        seeds = _seeds_from_largest_type(graph, seed_count)
+        assert_pipeline_equivalent(graph, seeds)
+        assert_pipeline_equivalent(graph, seeds, top_k=5)
+
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(
+        kg_seed=st.integers(min_value=0, max_value=10_000),
+        num_entities=st.integers(min_value=20, max_value=80),
+        num_types=st.integers(min_value=2, max_value=8),
+        seed_count=st.integers(min_value=1, max_value=3),
+        top_k=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+    )
+    def test_random_kg_property(self, kg_seed, num_entities, num_types, seed_count, top_k):
+        graph = build_random_kg(
+            RandomKGConfig(num_entities=num_entities, num_types=num_types, seed=kg_seed)
+        )
+        seeds = _seeds_from_largest_type(graph, seed_count)
+        assert_pipeline_equivalent(graph, seeds, top_k=top_k)
+
+
+class TestRankingSupportLayer:
+    def test_support_probability_matches_model(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        ranker = SemanticFeatureRanker(tiny_kg, index)
+        model = ranker.probability_model
+        support = model.support()
+        for feature in index.all_features():
+            for entity_id in sorted(tiny_kg.entities()):
+                assert support.probability(feature, entity_id) == model.probability(
+                    feature, entity_id
+                )
+
+    def test_support_cached_per_epoch(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        model = SemanticFeatureRanker(tiny_kg, index).probability_model
+        first = model.support()
+        assert model.support() is first
+        tiny_kg.add("ex:F9", "ex:starring", "ex:A1")
+        second = model.support()
+        assert second is not first
+        assert second.epoch > first.epoch
+
+    def test_holders_are_no_copy(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        feature = index.all_features()[0]
+        assert index.holders_of(feature) is index.holders_of(feature)
+        # Unknown features share one empty set — no per-miss allocation.
+        from repro.features import SemanticFeature
+
+        ghost = SemanticFeature("ex:nobody", "ex:nothing")
+        assert index.holders_of(ghost) is index.holders_of(ghost)
+        # The public accessor still returns an independent copy.
+        copy = index.entities_matching(feature)
+        copy.add("ex:intruder")
+        assert "ex:intruder" not in index.holders_of(feature)
+
+    def test_index_epoch_tracks_graph(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        before = index.epoch
+        assert before == tiny_kg.epoch
+        tiny_kg.add("ex:F9", "ex:starring", "ex:A1")
+        assert index.epoch == tiny_kg.epoch
+        assert index.epoch > before
+        # The rebuilt index sees the new holder.
+        from repro.features import Direction, SemanticFeature
+
+        starring_a1 = SemanticFeature("ex:A1", "ex:starring", Direction.OBJECT_OF)
+        assert "ex:F9" in index.holders_of(starring_a1)
+
+    def test_index_candidates_match_graph_walk(self, movie_kg: KnowledgeGraph):
+        from repro.features import candidate_entities
+
+        index = SemanticFeatureIndex.build(movie_kg)
+        features = index.features_of("dbr:Forrest_Gump")
+        ordered = sorted(features)
+        assert index.candidates_matching_any(
+            ordered, exclude=["dbr:Forrest_Gump"], limit=50
+        ) == candidate_entities(movie_kg, ordered, exclude=["dbr:Forrest_Gump"], limit=50)
+
+
+class TestCorrelationMatrixDuplicates:
+    def test_duplicate_entities_match_exhaustive(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        ranker = EntityRanker(tiny_kg, index)
+        features = ranker.feature_ranker.rank(["ex:F1", "ex:F2"])
+        entities = ranker.rank(["ex:F1", "ex:F2"], scored_features=features)
+        doubled = list(entities) + list(entities)  # duplicate ids are legal input
+        model = ranker.feature_ranker.probability_model
+        fast = build_correlation_matrix(model, doubled, features)
+        slow = build_correlation_matrix_exhaustive(model, doubled, features)
+        assert np.array_equal(fast.values, slow.values)
+
+
+class TestCorrelationMatrixPositions:
+    def test_lookups_use_memoised_positions(self, tiny_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(tiny_kg)
+        ranker = EntityRanker(tiny_kg, index)
+        features = ranker.feature_ranker.rank(["ex:F1", "ex:F2"])
+        entities = ranker.rank(["ex:F1", "ex:F2"], scored_features=features)
+        matrix = build_correlation_matrix(
+            ranker.feature_ranker.probability_model, entities, features
+        )
+        first = entities[0].entity_id
+        assert matrix.value(first, features[0].feature) == pytest.approx(
+            float(matrix.values[0, 0])
+        )
+        # The position maps are materialised once and reused.
+        assert "_entity_positions" in matrix.__dict__
+        assert matrix.entity_row(first) == {
+            scored.feature.notation(): pytest.approx(float(matrix.values[0, column]))
+            for column, scored in enumerate(features)
+        }
+        column_map = matrix.feature_column(features[0].feature)
+        assert set(column_map) == set(matrix.entities)

@@ -8,8 +8,6 @@ from repro.exceptions import EntityNotFoundError, NoSeedEntitiesError
 from repro.features import SemanticFeatureIndex
 from repro.kg import KnowledgeGraph
 from repro.ranking import (
-    CoOccurrenceRanker,
-    JaccardRanker,
     PersonalizedPageRankRanker,
     make_baselines,
 )

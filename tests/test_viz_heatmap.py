@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.config import HeatmapConfig
 from repro.explore import RecommendationEngine
