@@ -5,11 +5,13 @@ The demo claims interactive exploration where recommendations are computed
 grows, using the configurable random KG generator:
 
 * recommendation latency vs. graph size and seed count (the original E8);
-* keyword-search latency in an accumulator-vs-seed A/B: the term-at-a-time
-  accumulator path (``MixtureLanguageModelScorer.search``) against the
-  exhaustive score-all-then-sort path (``search_exhaustive``), plus the
-  engine-level LRU result cache for repeated queries.  The A/B verifies
-  that both paths return identical rankings before trusting any timing.
+* keyword-search latency in a four-way A/B: the exhaustive
+  score-all-then-sort path (``search_exhaustive``), the plain term-at-a-time
+  accumulator path (``pruning="off"``), the threshold-pruned max-score path
+  (``pruning="maxscore"``, the default since PR 3 — see ``repro.topk``),
+  and the engine-level LRU result cache for repeated queries.  The A/B
+  verifies that all scoring paths return identical rankings before
+  trusting any timing, and reports the pruned path's skip counters.
 
 Run as a script to produce the machine-readable baseline::
 
@@ -27,7 +29,6 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
@@ -35,32 +36,40 @@ if str(SRC) not in sys.path:
 
 import pytest  # noqa: E402
 
+from repro.config import SearchConfig  # noqa: E402
 from repro.datasets import RandomKGConfig, build_random_kg  # noqa: E402
 from repro.eval import Stopwatch, print_experiment  # noqa: E402
 from repro.expansion import EntitySetExpander  # noqa: E402
-from repro.search import SearchEngine, parse_query  # noqa: E402
+from repro.search import MixtureLanguageModelScorer, SearchEngine, parse_query  # noqa: E402
 
 SIZES = (200, 500, 1000, 2000)
 
 
-def _search_queries(graph, num_queries: int = 8) -> List[str]:
+def _search_queries(graph, num_queries: int = 8) -> list[str]:
     """Deterministic multi-term keyword queries from entity labels.
 
     Every label of the random KG shares the token "entity", so each query
     drags the longest posting list in the index through scoring — the
-    worst case for the score-all pattern.
+    worst case for the score-all pattern.  Half the queries combine two
+    labels (4 tokens) so the mix covers the multi-term queries users
+    actually type, where term-at-a-time pruning has terms to skip.
     """
     entities = sorted(graph.entities())
     step = max(1, len(entities) // num_queries)
-    queries = []
-    for index in range(0, len(entities), step):
-        queries.append(graph.label(entities[index]))
+    queries: list[str] = []
+    singles = [graph.label(entities[index]) for index in range(0, len(entities), step)]
+    for position, label in enumerate(singles):
         if len(queries) >= num_queries:
             break
+        if position % 2 == 0:
+            queries.append(label)
+        else:
+            partner = singles[(position + num_queries // 2) % len(singles)]
+            queries.append(f"{label} {partner}")
     return queries
 
 
-def _results_signature(results) -> List:
+def _results_signature(results) -> list:
     return [(result.doc_id, result.score) for result in results]
 
 
@@ -69,34 +78,40 @@ def measure_search_ab(
     repeats: int = 5,
     num_queries: int = 8,
     top_k: int = 20,
-) -> Dict[str, object]:
-    """Accumulator-vs-exhaustive (and cached) search latency on one graph.
+) -> dict[str, object]:
+    """Pruned-vs-accumulator-vs-exhaustive (and cached) search latency.
 
-    Returns a row with mean/p95 latencies per mode, the speedup factors and
-    an ``identical`` flag confirming both scoring paths ranked identically.
+    Returns a row with mean/p95 latencies per mode, the speedup factors,
+    the pruned path's skip counters and an ``identical`` flag confirming
+    every scoring path ranked identically.
     """
-    engine = SearchEngine.from_graph(graph)
-    scorer = engine.mlm_scorer
+    engine = SearchEngine.from_graph(graph)  # pruning="maxscore" by default
+    pruned = engine.mlm_scorer
+    plain = MixtureLanguageModelScorer(engine.index, SearchConfig(pruning="off"))
     queries = _search_queries(graph, num_queries)
     parsed = [parse_query(raw) for raw in queries]
     watch = Stopwatch()
     identical = True
     for raw, query in zip(queries, parsed):
-        fast = scorer.search(query, top_k=top_k)
-        slow = scorer.search_exhaustive(query, top_k=top_k)
-        if _results_signature(fast) != _results_signature(slow):
+        slow = _results_signature(pruned.search_exhaustive(query, top_k=top_k))
+        if _results_signature(pruned.search(query, top_k=top_k)) != slow:
+            identical = False
+        if _results_signature(plain.search(query, top_k=top_k)) != slow:
             identical = False
         engine.search(raw, top_k=top_k)  # warm the LRU so "cached" times hits only
     for _ in range(repeats):
         for raw, query in zip(queries, parsed):
             with watch.measure("exhaustive"):
-                scorer.search_exhaustive(query, top_k=top_k)
+                pruned.search_exhaustive(query, top_k=top_k)
             with watch.measure("accumulator"):
-                scorer.search(query, top_k=top_k)
+                plain.search(query, top_k=top_k)
+            with watch.measure("pruned"):
+                pruned.search(query, top_k=top_k)
             with watch.measure("cached"):
                 engine.search(raw, top_k=top_k)
     exhaustive = watch.stats("exhaustive").as_dict()
     accumulator = watch.stats("accumulator").as_dict()
+    pruned_stats = watch.stats("pruned").as_dict()
     cached = watch.stats("cached").as_dict()
 
     def _speedup(mean_ms: float) -> float:
@@ -113,10 +128,14 @@ def measure_search_ab(
         "exhaustive_p95_ms": exhaustive["p95_ms"],
         "accumulator_mean_ms": accumulator["mean_ms"],
         "accumulator_p95_ms": accumulator["p95_ms"],
+        "pruned_mean_ms": pruned_stats["mean_ms"],
+        "pruned_p95_ms": pruned_stats["p95_ms"],
         "cached_mean_ms": cached["mean_ms"],
         "cached_p95_ms": cached["p95_ms"],
         "speedup_accumulator": _speedup(accumulator["mean_ms"]),
+        "speedup_pruned": _speedup(pruned_stats["mean_ms"]),
         "speedup_cached": _speedup(cached["mean_ms"]),
+        "pruning": pruned.pruning_info(),
     }
 
 
@@ -180,27 +199,31 @@ def test_latency_vs_seed_count(graphs, expanders):
 
 
 def test_search_accumulator_vs_exhaustive_ab(graphs):
-    """E8c: the accumulator A/B — identical rankings, lower latency."""
+    """E8c: the scoring-path A/B — identical rankings, lower latency."""
     rows = []
     for size in SIZES:
         row = measure_search_ab(graphs[size], repeats=3)
-        assert row["identical"], f"accumulator ranking diverged at {size} entities"
+        assert row["identical"], f"pruned/accumulator ranking diverged at {size} entities"
         rows.append(
             {
                 "entities": row["entities"],
                 "exhaustive_ms": row["exhaustive_mean_ms"],
                 "accumulator_ms": row["accumulator_mean_ms"],
+                "pruned_ms": row["pruned_mean_ms"],
                 "cached_ms": row["cached_mean_ms"],
                 "speedup": row["speedup_accumulator"],
+                "speedup_pruned": row["speedup_pruned"],
                 "speedup_cached": row["speedup_cached"],
             }
         )
     print_experiment(
-        "E8c — keyword search: accumulator vs. exhaustive (repeated multi-term queries)",
+        "E8c — keyword search: pruned vs. accumulator vs. exhaustive",
         rows,
-        notes="identical rankings; speedup grows with graph size, cached speedup is the LRU hit path",
+        notes="identical rankings; pruned is the maxscore path, cached is the LRU hit path",
     )
-    assert all(row["accumulator_ms"] > 0 for row in rows)
+    assert all(row["pruned_ms"] > 0 for row in rows)
+    largest = measure_search_ab(graphs[SIZES[-1]], repeats=1)
+    assert largest["pruning"]["candidates_pruned"] > 0  # θ actually bites at scale
 
 
 @pytest.mark.benchmark(group="latency-scaling")
@@ -224,7 +247,7 @@ def test_bench_expand_by_seed_count(benchmark, expanders, graphs, seed_count):
 # --------------------------------------------------------------------- #
 # Script entry point (used by the CI bench-smoke job)
 # --------------------------------------------------------------------- #
-def main(argv: List[str] | None = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
         "--sizes",
@@ -241,6 +264,15 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="fail unless the largest size reaches this accumulator speedup",
     )
+    parser.add_argument(
+        "--min-pruned-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless accumulator_mean_ms / pruned_mean_ms reaches this at "
+            "the largest size (1.0 = pruned at-or-faster than plain accumulator)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     sizes = sorted({int(token) for token in args.sizes.split(",") if token.strip()})
@@ -255,14 +287,18 @@ def main(argv: List[str] | None = None) -> int:
         rows.append(row)
         print(
             f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
-            f"accumulator={row['accumulator_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
-            f"speedup={row['speedup_accumulator']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
+            f"accumulator={row['accumulator_mean_ms']:8.3f}ms  pruned={row['pruned_mean_ms']:8.3f}ms  "
+            f"cached={row['cached_mean_ms']:8.3f}ms  speedup={row['speedup_accumulator']:6.2f}x  "
+            f"pruned={row['speedup_pruned']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
             f"identical={row['identical']}"
         )
 
     report = {
         "bench": "search_latency_scaling",
-        "description": "keyword search latency: accumulator vs exhaustive vs LRU-cached",
+        "description": (
+            "keyword search latency: maxscore-pruned vs accumulator vs exhaustive "
+            "vs LRU-cached"
+        ),
         "config": {
             "sizes": sizes,
             "queries": args.queries,
@@ -277,7 +313,7 @@ def main(argv: List[str] | None = None) -> int:
         print(f"wrote {args.output}")
 
     if any(not row["identical"] for row in rows):
-        print("FAIL: accumulator rankings diverged from exhaustive scoring", file=sys.stderr)
+        print("FAIL: pruned/accumulator rankings diverged from exhaustive scoring", file=sys.stderr)
         return 1
     largest = rows[-1]
     if args.min_speedup is not None and largest["speedup_accumulator"] < args.min_speedup:
@@ -287,6 +323,19 @@ def main(argv: List[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_pruned_ratio is not None:
+        ratio = (
+            largest["accumulator_mean_ms"] / largest["pruned_mean_ms"]
+            if largest["pruned_mean_ms"] > 0
+            else float("inf")
+        )
+        if ratio < args.min_pruned_ratio:
+            print(
+                f"FAIL: pruned/accumulator ratio {ratio:.2f} below required "
+                f"{args.min_pruned_ratio:.2f} at {largest['entities']} entities",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

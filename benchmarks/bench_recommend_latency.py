@@ -9,7 +9,12 @@ KG grows:
 
 * ``exhaustive``  — the seed scoring path (``rank_exhaustive()`` on both
   rankers, cell-by-cell matrix assembly);
-* ``accumulator`` — the fast path with the recommendation cache disabled;
+* ``accumulator`` — the fast path with ``pruning="off"`` and the
+  recommendation cache disabled;
+* ``pruned``      — the fast path with threshold pruning
+  (``pruning="maxscore"``, the default since PR 3: whole dominant-type
+  groups are skipped once their base score plus correction bound cannot
+  reach the live θ — see ``repro.topk``), cache disabled;
 * ``cached``      — the fast path served from a warm LRU cache.
 
 The A/B verifies that both scoring paths return identical entity and
@@ -30,7 +35,6 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
@@ -58,7 +62,7 @@ def _build_graph(size: int):
     return build_random_kg(RandomKGConfig(num_entities=size, seed=42, **KG_KWARGS))
 
 
-def _seeds(graph, index: SemanticFeatureIndex, count: int) -> List[str]:
+def _seeds(graph, index: SemanticFeatureIndex, count: int) -> list[str]:
     """Deterministic seeds: holders of the feature with the largest E(pi).
 
     Entities sharing a popular anchor (the paper's "films starring Tom
@@ -85,7 +89,7 @@ def measure_recommend_ab(
     repeats: int = 5,
     seed_count: int = 4,
     top_entities: int = 20,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Accumulator-vs-exhaustive (and cached) recommendation latency.
 
     Returns a row with mean/p95 latencies per mode, the speedup factors and
@@ -93,26 +97,37 @@ def measure_recommend_ab(
     """
     index = SemanticFeatureIndex.build(graph)
     cached_engine = RecommendationEngine(graph, feature_index=index)
-    uncached_engine = RecommendationEngine(
-        graph, feature_index=index, config=RankingConfig(recommendation_cache_size=0)
+    plain_engine = RecommendationEngine(
+        graph,
+        feature_index=index,
+        config=RankingConfig(recommendation_cache_size=0, pruning="off"),
+    )
+    pruned_engine = RecommendationEngine(
+        graph,
+        feature_index=index,
+        config=RankingConfig(recommendation_cache_size=0, pruning="maxscore"),
     )
     seeds = _seeds(graph, index, seed_count)
 
-    fast = uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
-    slow = uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
-    identical = _identical(fast, slow)
+    fast = plain_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+    slow = plain_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
+    pruned_result = pruned_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+    identical = _identical(fast, slow) and _identical(pruned_result, slow)
     cached_engine.recommend_for_seeds(seeds, top_entities=top_entities)  # warm the LRU
 
     watch = Stopwatch()
     for _ in range(repeats):
         with watch.measure("exhaustive"):
-            uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
+            plain_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
         with watch.measure("accumulator"):
-            uncached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+            plain_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+        with watch.measure("pruned"):
+            pruned_engine.recommend_for_seeds(seeds, top_entities=top_entities)
         with watch.measure("cached"):
             cached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
     exhaustive = watch.stats("exhaustive").as_dict()
     accumulator = watch.stats("accumulator").as_dict()
+    pruned_stats = watch.stats("pruned").as_dict()
     cached = watch.stats("cached").as_dict()
 
     def _speedup(mean_ms: float) -> float:
@@ -129,10 +144,14 @@ def measure_recommend_ab(
         "exhaustive_p95_ms": exhaustive["p95_ms"],
         "accumulator_mean_ms": accumulator["mean_ms"],
         "accumulator_p95_ms": accumulator["p95_ms"],
+        "pruned_mean_ms": pruned_stats["mean_ms"],
+        "pruned_p95_ms": pruned_stats["p95_ms"],
         "cached_mean_ms": cached["mean_ms"],
         "cached_p95_ms": cached["p95_ms"],
         "speedup_accumulator": _speedup(accumulator["mean_ms"]),
+        "speedup_pruned": _speedup(pruned_stats["mean_ms"]),
         "speedup_cached": _speedup(cached["mean_ms"]),
+        "pruning": pruned_engine.pruning_info(),
     }
 
 
@@ -149,23 +168,27 @@ def test_recommend_accumulator_vs_exhaustive_ab(graphs):
     rows = []
     for size in SIZES:
         row = measure_recommend_ab(graphs[size], repeats=3)
-        assert row["identical"], f"accumulator recommendation diverged at {size} entities"
+        assert row["identical"], f"pruned/accumulator recommendation diverged at {size} entities"
         rows.append(
             {
                 "entities": row["entities"],
                 "exhaustive_ms": row["exhaustive_mean_ms"],
                 "accumulator_ms": row["accumulator_mean_ms"],
+                "pruned_ms": row["pruned_mean_ms"],
                 "cached_ms": row["cached_mean_ms"],
                 "speedup": row["speedup_accumulator"],
+                "speedup_pruned": row["speedup_pruned"],
                 "speedup_cached": row["speedup_cached"],
             }
         )
     print_experiment(
-        "E9 — recommendation: accumulator vs. exhaustive (4 seeds, top-20)",
+        "E9 — recommendation: pruned vs. accumulator vs. exhaustive (4 seeds, top-20)",
         rows,
-        notes="identical rankings; speedup grows with graph size, cached is the LRU hit path",
+        notes="identical rankings; pruned is the maxscore path, cached is the LRU hit path",
     )
-    assert all(row["accumulator_ms"] > 0 for row in rows)
+    assert all(row["pruned_ms"] > 0 for row in rows)
+    largest = measure_recommend_ab(graphs[SIZES[-1]], repeats=1)
+    assert largest["pruning"]["groups_skipped"] > 0  # θ actually bites at scale
 
 
 @pytest.mark.benchmark(group="recommend-latency")
@@ -183,7 +206,7 @@ def test_bench_recommend_by_graph_size(benchmark, graphs, size):
 # --------------------------------------------------------------------- #
 # Script entry point (used by the CI bench-smoke job)
 # --------------------------------------------------------------------- #
-def main(argv: List[str] | None = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
         "--sizes",
@@ -199,6 +222,15 @@ def main(argv: List[str] | None = None) -> int:
         type=float,
         default=None,
         help="fail unless the largest size reaches this accumulator speedup",
+    )
+    parser.add_argument(
+        "--min-pruned-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless accumulator_mean_ms / pruned_mean_ms reaches this at "
+            "the largest size (1.0 = pruned at-or-faster than plain accumulator)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -217,16 +249,17 @@ def main(argv: List[str] | None = None) -> int:
         rows.append(row)
         print(
             f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
-            f"accumulator={row['accumulator_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
-            f"speedup={row['speedup_accumulator']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
+            f"accumulator={row['accumulator_mean_ms']:8.3f}ms  pruned={row['pruned_mean_ms']:8.3f}ms  "
+            f"cached={row['cached_mean_ms']:8.3f}ms  speedup={row['speedup_accumulator']:6.2f}x  "
+            f"pruned={row['speedup_pruned']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
             f"identical={row['identical']}"
         )
 
     report = {
         "bench": "recommend_latency",
         "description": (
-            "recommendation latency (recommend_for_seeds): type-grouped accumulator "
-            "vs exhaustive vs LRU-cached"
+            "recommendation latency (recommend_for_seeds): maxscore-pruned vs "
+            "type-grouped accumulator vs exhaustive vs LRU-cached"
         ),
         "config": {
             "sizes": sizes,
@@ -243,7 +276,7 @@ def main(argv: List[str] | None = None) -> int:
         print(f"wrote {args.output}")
 
     if any(not row["identical"] for row in rows):
-        print("FAIL: accumulator rankings diverged from exhaustive scoring", file=sys.stderr)
+        print("FAIL: pruned/accumulator rankings diverged from exhaustive scoring", file=sys.stderr)
         return 1
     largest = rows[-1]
     if args.min_speedup is not None and largest["speedup_accumulator"] < args.min_speedup:
@@ -253,6 +286,19 @@ def main(argv: List[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_pruned_ratio is not None:
+        ratio = (
+            largest["accumulator_mean_ms"] / largest["pruned_mean_ms"]
+            if largest["pruned_mean_ms"] > 0
+            else float("inf")
+        )
+        if ratio < args.min_pruned_ratio:
+            print(
+                f"FAIL: pruned/accumulator ratio {ratio:.2f} below required "
+                f"{args.min_pruned_ratio:.2f} at {largest['entities']} entities",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -19,8 +19,8 @@ Quickstart
 from .config import HeatmapConfig, PivotEConfig, RankingConfig, SearchConfig
 from .engine import PivotE, PivotEApi
 from .exceptions import PivotEError
-from .explore import ExplorationQuery, ExplorationSession
 from .expansion import EntitySetExpander
+from .explore import ExplorationQuery, ExplorationSession
 from .features import Direction, SemanticFeature
 from .kg import KnowledgeGraph
 from .ranking import EntityRanker, SemanticFeatureRanker

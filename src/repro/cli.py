@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from .datasets import build_academic_kg, build_geography_kg, build_movie_kg, small_movie_kg
 from .engine import PivotE
@@ -35,7 +35,7 @@ from .kg import KnowledgeGraph, compute_statistics, load_ntriples
 from .viz import render_matrix_ascii, render_path_ascii, render_profile_text
 
 #: Registry of built-in datasets selectable with ``--dataset``.
-DATASETS: Dict[str, Callable[[], KnowledgeGraph]] = {
+DATASETS: dict[str, Callable[[], KnowledgeGraph]] = {
     "movies": build_movie_kg,
     "movies-small": small_movie_kg,
     "academic": build_academic_kg,
@@ -43,7 +43,7 @@ DATASETS: Dict[str, Callable[[], KnowledgeGraph]] = {
 }
 
 
-def load_graph(dataset: str, graph_file: Optional[str]) -> KnowledgeGraph:
+def load_graph(dataset: str, graph_file: str | None) -> KnowledgeGraph:
     """Load the requested dataset (or an N-Triples file)."""
     if graph_file:
         return load_ntriples(graph_file)
@@ -183,7 +183,7 @@ def run_command(args: argparse.Namespace) -> int:
     raise SystemExit(f"unhandled command: {args.command!r}")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -8,8 +8,8 @@ sizes used by the demo interface).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
-from typing import Mapping
 
 
 #: The five retrieval fields of Table 1 in the paper.
@@ -53,10 +53,16 @@ class SearchConfig:
     #: Maximum number of query results kept in the engine's LRU result
     #: cache; ``0`` disables result caching entirely.
     result_cache_size: int = 128
+    #: Top-k execution strategy: ``"maxscore"`` enables threshold-pruned
+    #: traversal (see :mod:`repro.topk`), ``"off"`` keeps the plain
+    #: accumulator path.  Rankings are byte-identical either way.
+    pruning: str = "maxscore"
 
     def __post_init__(self) -> None:
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
             raise ValueError(f"unknown smoothing method: {self.smoothing!r}")
+        if self.pruning not in ("off", "maxscore"):
+            raise ValueError(f"unknown pruning mode: {self.pruning!r}")
         if self.dirichlet_mu <= 0:
             raise ValueError("dirichlet_mu must be positive")
         if not 0.0 <= self.jm_lambda <= 1.0:
@@ -99,10 +105,17 @@ class RankingConfig:
     #: Maximum number of query states kept in the recommendation engine's
     #: epoch-keyed LRU result cache; ``0`` disables recommendation caching.
     recommendation_cache_size: int = 64
+    #: Top-k execution strategy of the entity accumulator: ``"maxscore"``
+    #: skips whole dominant-type groups whose base score plus correction
+    #: bound cannot reach the live θ (see :mod:`repro.topk`); ``"off"``
+    #: keeps the plain accumulator path.  Rankings are byte-identical.
+    pruning: str = "maxscore"
 
     def __post_init__(self) -> None:
         if self.top_entities <= 0 or self.top_features <= 0:
             raise ValueError("top_entities and top_features must be positive")
+        if self.pruning not in ("off", "maxscore"):
+            raise ValueError(f"unknown pruning mode: {self.pruning!r}")
         if self.max_candidates <= 0 or self.max_features <= 0:
             raise ValueError("max_candidates and max_features must be positive")
         if not 0 < self.epsilon < 1:

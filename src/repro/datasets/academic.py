@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
 
 from ..kg import GraphBuilder, KnowledgeGraph
 
@@ -88,7 +87,7 @@ def build_academic_kg(config: AcademicKGConfig | None = None) -> KnowledgeGraph:
     for institution in _INSTITUTIONS:
         builder.entity(f"pv:{institution}", label=institution.replace("_", " "), types=[TYPE_INSTITUTION])
 
-    authors: List[str] = []
+    authors: list[str] = []
     used: set[str] = set()
     while len(authors) < config.num_authors:
         name = f"{rng.choice(_FIRST)}_{rng.choice(_LAST)}"
@@ -106,7 +105,7 @@ def build_academic_kg(config: AcademicKGConfig | None = None) -> KnowledgeGraph:
         builder.edge(identifier, REL_AFFILIATION, f"pv:{rng.choice(_INSTITUTIONS)}")
         builder.edge(identifier, REL_FIELD, f"pv:{rng.choice(_FIELDS)}")
 
-    papers: List[str] = []
+    papers: list[str] = []
     used_titles: set[str] = set()
     for index in range(config.num_papers):
         title = f"{rng.choice(_TOPIC_WORDS)}_{rng.choice(_TOPIC_NOUNS)}"

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
 
 from ..kg import GraphBuilder, KnowledgeGraph
 
@@ -366,7 +365,7 @@ def _add_procedural_extension(builder: GraphBuilder, config: MovieKGConfig) -> N
     for city in _CITIES:
         builder.entity(f"dbr:{city}", label=city.replace("_", " "), types=["dbo:City"])
 
-    actors: List[str] = []
+    actors: list[str] = []
     for _ in range(config.num_actors):
         name = _person_name(rng, used_names)
         identifier = f"dbr:{name}"
@@ -380,7 +379,7 @@ def _add_procedural_extension(builder: GraphBuilder, config: MovieKGConfig) -> N
         )
         builder.edge(identifier, REL_BIRTH_PLACE, f"dbr:{rng.choice(_CITIES)}")
 
-    directors: List[str] = []
+    directors: list[str] = []
     for _ in range(config.num_directors):
         name = _person_name(rng, used_names)
         identifier = f"dbr:{name}"
@@ -393,7 +392,7 @@ def _add_procedural_extension(builder: GraphBuilder, config: MovieKGConfig) -> N
             attributes={ATTR_BIRTH_YEAR: str(rng.randint(1930, 1985))},
         )
 
-    composers: List[str] = []
+    composers: list[str] = []
     for _ in range(config.num_composers):
         name = _person_name(rng, used_names)
         identifier = f"dbr:{name}"

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from ..exceptions import DatasetError
 from ..kg import GraphBuilder, KnowledgeGraph
@@ -59,7 +58,7 @@ class RandomKGConfig:
             raise DatasetError("target_skew must be non-negative")
 
 
-def _zipf_assignments(rng: random.Random, count: int, buckets: int) -> List[int]:
+def _zipf_assignments(rng: random.Random, count: int, buckets: int) -> list[int]:
     """Assign ``count`` items to ``buckets`` with a Zipf-like skew."""
     weights = [1.0 / (rank + 1) for rank in range(buckets)]
     total = sum(weights)
@@ -89,7 +88,7 @@ def build_random_kg(config: RandomKGConfig | None = None) -> KnowledgeGraph:
     entities = [f"pivote:entity_{i}" for i in range(config.num_entities)]
 
     assignments = _zipf_assignments(rng, config.num_entities, config.num_types)
-    members: Dict[int, List[str]] = {index: [] for index in range(config.num_types)}
+    members: dict[int, list[str]] = {index: [] for index in range(config.num_types)}
     for entity, type_index in zip(entities, assignments):
         members[type_index].append(entity)
 
@@ -104,7 +103,7 @@ def build_random_kg(config: RandomKGConfig | None = None) -> KnowledgeGraph:
             builder.attribute(entity, f"pivote:attr{attr_index}", str(rng.randint(0, 10000)))
 
     # Coupling table: every (source type, predicate) prefers one target type.
-    coupling: Dict[Tuple[int, str], int] = {}
+    coupling: dict[tuple[int, str], int] = {}
     for type_index in range(config.num_types):
         for predicate in predicates:
             coupling[(type_index, predicate)] = rng.randrange(config.num_types)
@@ -112,9 +111,9 @@ def build_random_kg(config: RandomKGConfig | None = None) -> KnowledgeGraph:
     # Cumulative Zipf weights per pool for skewed target choice, computed
     # lazily (one cumulative array per pool length is enough: every pool is
     # ranked by construction order).
-    cumulative_cache: Dict[int, List[float]] = {}
+    cumulative_cache: dict[int, list[float]] = {}
 
-    def _pick_target(pool: List[str]) -> str:
+    def _pick_target(pool: list[str]) -> str:
         if config.target_skew <= 0:
             return rng.choice(pool)
         cumulative = cumulative_cache.get(len(pool))
@@ -146,7 +145,7 @@ def build_random_kg(config: RandomKGConfig | None = None) -> KnowledgeGraph:
     return builder.build()
 
 
-def scaling_series(sizes: Tuple[int, ...] = (200, 500, 1000, 2000), seed: int = 42) -> Dict[int, KnowledgeGraph]:
+def scaling_series(sizes: tuple[int, ...] = (200, 500, 1000, 2000), seed: int = 42) -> dict[int, KnowledgeGraph]:
     """Random KGs of growing size used by the latency-scaling experiment."""
     return {
         size: build_random_kg(RandomKGConfig(num_entities=size, seed=seed))

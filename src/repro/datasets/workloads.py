@@ -15,8 +15,8 @@ underlying entity-set-expansion papers:
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 from ..exceptions import DatasetError
 from ..features import Direction, SemanticFeature, matching_entities
@@ -28,8 +28,8 @@ class ExpansionTask:
     """One entity-set-expansion task: seeds plus the held-out relevant set."""
 
     name: str
-    seeds: Tuple[str, ...]
-    relevant: Tuple[str, ...]
+    seeds: tuple[str, ...]
+    relevant: tuple[str, ...]
     concept_feature: str = ""
 
     def __post_init__(self) -> None:
@@ -43,7 +43,7 @@ class SearchTask:
     """One keyword-search task: a query string and its relevant entities."""
 
     query: str
-    relevant: Tuple[str, ...]
+    relevant: tuple[str, ...]
     description: str = ""
 
 
@@ -53,7 +53,7 @@ def expansion_tasks_from_features(
     seeds_per_task: int = 2,
     min_concept_size: int = 5,
     seed: int = 17,
-) -> List[ExpansionTask]:
+) -> list[ExpansionTask]:
     """Build expansion tasks from the graph's own semantic features.
 
     Every (anchor, predicate) pair whose matching set has at least
@@ -65,8 +65,8 @@ def expansion_tasks_from_features(
     if min_concept_size <= seeds_per_task:
         raise DatasetError("min_concept_size must exceed seeds_per_task")
     rng = random.Random(seed)
-    concepts: List[Tuple[SemanticFeature, List[str]]] = []
-    seen_keys: set[Tuple[str, str, str]] = set()
+    concepts: list[tuple[SemanticFeature, list[str]]] = []
+    seen_keys: set[tuple[str, str, str]] = set()
     for entity_id in sorted(graph.entities()):
         for predicate, target in graph.outgoing(entity_id):
             feature = SemanticFeature(anchor=target, predicate=predicate, direction=Direction.OBJECT_OF)
@@ -79,7 +79,7 @@ def expansion_tasks_from_features(
     if not concepts:
         raise DatasetError("graph contains no concept large enough for expansion tasks")
     rng.shuffle(concepts)
-    tasks: List[ExpansionTask] = []
+    tasks: list[ExpansionTask] = []
     for feature, members in concepts[:num_tasks]:
         seeds = rng.sample(members, seeds_per_task)
         relevant = [member for member in members if member not in seeds]
@@ -118,7 +118,7 @@ def search_tasks_from_labels(
     num_tasks: int = 30,
     seed: int = 23,
     drop_token_probability: float = 0.3,
-) -> List[SearchTask]:
+) -> list[SearchTask]:
     """Build keyword-search tasks from entity names and categories.
 
     Each task's query is the entity's label, sometimes with a token dropped
@@ -137,7 +137,7 @@ def search_tasks_from_labels(
     if not candidates:
         raise DatasetError("graph has no labelled entities to derive search tasks from")
     rng.shuffle(candidates)
-    tasks: List[SearchTask] = []
+    tasks: list[SearchTask] = []
     for entity_id in candidates:
         if len(tasks) >= num_tasks:
             break
@@ -159,7 +159,7 @@ def search_tasks_from_labels(
 
 def seed_count_sweep(
     task: ExpansionTask, max_seeds: int = 5, seed: int = 31
-) -> Dict[int, ExpansionTask]:
+) -> dict[int, ExpansionTask]:
     """Derive tasks with 1..max_seeds seeds from one expansion task.
 
     Used by the scalability and quality experiments to study the effect of
@@ -167,7 +167,7 @@ def seed_count_sweep(
     """
     rng = random.Random(seed)
     all_members = list(task.seeds) + list(task.relevant)
-    sweep: Dict[int, ExpansionTask] = {}
+    sweep: dict[int, ExpansionTask] = {}
     for count in range(1, min(max_seeds, len(all_members) - 1) + 1):
         seeds = rng.sample(all_members, count)
         relevant = tuple(member for member in all_members if member not in seeds)

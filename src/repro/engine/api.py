@@ -12,7 +12,8 @@ with ``"status"`` (``"ok"`` or ``"error"``) plus action-specific payloads.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from collections.abc import Callable
+from typing import Any
 
 from ..exceptions import PivotEError
 from ..features import SemanticFeature
@@ -24,8 +25,8 @@ from ..viz import (
 )
 from .pivote import PivotE, QueryResponse
 
-Request = Dict[str, Any]
-Response = Dict[str, Any]
+Request = dict[str, Any]
+Response = dict[str, Any]
 
 
 class PivotEApi:
@@ -33,7 +34,7 @@ class PivotEApi:
 
     def __init__(self, system: PivotE) -> None:
         self._system = system
-        self._handlers: Dict[str, Callable[[Request], Response]] = {
+        self._handlers: dict[str, Callable[[Request], Response]] = {
             "search": self._handle_search,
             "start_session": self._handle_start_session,
             "submit_keywords": self._handle_submit_keywords,
@@ -74,8 +75,8 @@ class PivotEApi:
             raise KeyError("missing 'session_id'")
         return self._system.session(session_id)
 
-    def _query_response_payload(self, response: QueryResponse) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {
+    def _query_response_payload(self, response: QueryResponse) -> dict[str, Any]:
+        payload: dict[str, Any] = {
             "hits": [hit.as_dict() for hit in response.hits],
         }
         if response.recommendation is not None:

@@ -12,8 +12,8 @@ the search context".  This module produces exactly those explanations:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
 
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
@@ -26,7 +26,7 @@ class EntityPairExplanation:
 
     left: str
     right: str
-    shared_features: Tuple[SemanticFeature, ...]
+    shared_features: tuple[SemanticFeature, ...]
     text: str
 
 
@@ -49,7 +49,7 @@ class ExplanationBuilder:
         self,
         graph: KnowledgeGraph,
         feature_index: SemanticFeatureIndex,
-        probability_model: Optional[FeatureProbabilityModel] = None,
+        probability_model: FeatureProbabilityModel | None = None,
     ) -> None:
         self._graph = graph
         self._index = feature_index
@@ -69,8 +69,8 @@ class ExplanationBuilder:
         if not shared:
             text = f"{left_label} and {right_label} share no direct semantic features."
         else:
-            clauses: List[str] = []
-            by_predicate: dict[str, List[str]] = {}
+            clauses: list[str] = []
+            by_predicate: dict[str, list[str]] = {}
             for feature in shown:
                 by_predicate.setdefault(feature.predicate, []).append(self._graph.label(feature.anchor))
             for predicate, anchors in sorted(by_predicate.items()):

@@ -17,11 +17,12 @@ interface model (sessions), the search engine and the recommendation engine
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PivotEConfig
 from ..explore import (
+    DeselectEntity,
     ExplorationSession,
     LookupEntity,
     PinFeature,
@@ -29,7 +30,6 @@ from ..explore import (
     Recommendation,
     RecommendationEngine,
     SelectEntity,
-    DeselectEntity,
     SetDomain,
     SubmitKeywords,
     UnpinFeature,
@@ -51,9 +51,9 @@ from .explanation import EntityPairExplanation, ExplanationBuilder
 class QueryResponse:
     """Everything the UI displays after a query is (re)formulated."""
 
-    hits: Tuple[SearchHit, ...]
-    recommendation: Optional[Recommendation]
-    matrix: Optional[MatrixView]
+    hits: tuple[SearchHit, ...]
+    recommendation: Recommendation | None
+    matrix: MatrixView | None
 
     @property
     def has_recommendation(self) -> bool:
@@ -63,7 +63,7 @@ class QueryResponse:
 class PivotE:
     """The entity-oriented exploratory search system."""
 
-    def __init__(self, graph: KnowledgeGraph, config: Optional[PivotEConfig] = None) -> None:
+    def __init__(self, graph: KnowledgeGraph, config: PivotEConfig | None = None) -> None:
         self._graph = graph
         self._config = config or PivotEConfig.default()
         self._search = SearchEngine.from_graph(graph, config=self._config.search)
@@ -76,7 +76,7 @@ class PivotE:
             self._feature_index,
             probability_model=self._recommender.expander.feature_ranker.probability_model,
         )
-        self._sessions: Dict[str, ExplorationSession] = {}
+        self._sessions: dict[str, ExplorationSession] = {}
         self._session_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -109,7 +109,7 @@ class PivotE:
     # ------------------------------------------------------------------ #
     # Stateless operations
     # ------------------------------------------------------------------ #
-    def search(self, keywords: str, top_k: Optional[int] = None) -> List[SearchHit]:
+    def search(self, keywords: str, top_k: int | None = None) -> list[SearchHit]:
         """Keyword entity search (the search-engine component alone).
 
         Served through the engine's LRU result cache, so repeated queries —
@@ -118,11 +118,11 @@ class PivotE:
         """
         return self._search.search(keywords, top_k=top_k)
 
-    def search_cache_info(self) -> Dict[str, int]:
+    def search_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of the search engine's LRU result cache."""
         return self._search.cache_info()
 
-    def recommendation_cache_info(self) -> Dict[str, int]:
+    def recommendation_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of the recommendation engine's LRU cache.
 
         Session operations that revisit a query state — ``select`` followed
@@ -155,7 +155,7 @@ class PivotE:
     # ------------------------------------------------------------------ #
     # Sessions
     # ------------------------------------------------------------------ #
-    def start_session(self, session_id: Optional[str] = None) -> ExplorationSession:
+    def start_session(self, session_id: str | None = None) -> ExplorationSession:
         """Open a new exploration session."""
         if session_id is None:
             self._session_counter += 1
@@ -173,7 +173,7 @@ class PivotE:
     # ------------------------------------------------------------------ #
     # Session-level interaction surface
     # ------------------------------------------------------------------ #
-    def submit_keywords(self, session: ExplorationSession, keywords: str, top_k: Optional[int] = None) -> QueryResponse:
+    def submit_keywords(self, session: ExplorationSession, keywords: str, top_k: int | None = None) -> QueryResponse:
         """Submit a keyword query inside a session (Fig 3-a).
 
         The top search hits seed the recommendation so that the matrix is
@@ -182,8 +182,8 @@ class PivotE:
         """
         session.apply(SubmitKeywords(keywords))
         hits = self._search.search(keywords, top_k=top_k)
-        recommendation: Optional[Recommendation] = None
-        matrix: Optional[MatrixView] = None
+        recommendation: Recommendation | None = None
+        matrix: MatrixView | None = None
         if hits:
             seeds = [hit.entity_id for hit in hits[: min(3, len(hits))]]
             recommendation = self._recommender.recommend_for_seeds(

@@ -2,12 +2,6 @@
 
 from .harness import ExpansionEvaluator, MethodResult, SearchEvaluator
 from .latency import LatencyStats, Stopwatch
-from .significance import (
-    SignificanceResult,
-    mean_difference,
-    paired_bootstrap_test,
-    paired_randomization_test,
-)
 from .metrics import (
     aggregate_metrics,
     average_precision,
@@ -27,6 +21,12 @@ from .report import (
     method_comparison_rows,
     print_experiment,
     write_report_json,
+)
+from .significance import (
+    SignificanceResult,
+    mean_difference,
+    paired_bootstrap_test,
+    paired_randomization_test,
 )
 
 __all__ = [

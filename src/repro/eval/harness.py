@@ -13,8 +13,8 @@ as the rows of the corresponding experiment table.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
 
 from ..datasets import ExpansionTask, SearchTask
 from ..expansion import EntitySetExpander
@@ -24,9 +24,9 @@ from ..search import SearchEngine, parse_query
 from .metrics import aggregate_metrics, evaluate_ranking
 
 #: A ranking method: takes seeds, returns ranked entity identifiers.
-ExpansionMethod = Callable[[Sequence[str], int], List[str]]
+ExpansionMethod = Callable[[Sequence[str], int], list[str]]
 #: A search method: takes a query string, returns ranked entity identifiers.
-SearchMethod = Callable[[str, int], List[str]]
+SearchMethod = Callable[[str, int], list[str]]
 
 
 @dataclass
@@ -34,8 +34,8 @@ class MethodResult:
     """Aggregated metrics of one method over a workload."""
 
     method: str
-    metrics: Dict[str, float]
-    per_task: List[Dict[str, float]] = field(default_factory=list)
+    metrics: dict[str, float]
+    per_task: list[dict[str, float]] = field(default_factory=list)
 
     def metric(self, name: str) -> float:
         return self.metrics.get(name, 0.0)
@@ -47,7 +47,7 @@ class ExpansionEvaluator:
     def __init__(
         self,
         graph: KnowledgeGraph,
-        expander: Optional[EntitySetExpander] = None,
+        expander: EntitySetExpander | None = None,
         top_k: int = 20,
     ) -> None:
         self._graph = graph
@@ -58,15 +58,15 @@ class ExpansionEvaluator:
     def expander(self) -> EntitySetExpander:
         return self._expander
 
-    def methods(self) -> Dict[str, ExpansionMethod]:
+    def methods(self) -> dict[str, ExpansionMethod]:
         """The method registry: PivotE plus the three baselines."""
         baselines = make_baselines(self._graph, self._expander.feature_index)
 
-        def pivote_method(seeds: Sequence[str], top_k: int) -> List[str]:
+        def pivote_method(seeds: Sequence[str], top_k: int) -> list[str]:
             result = self._expander.expand(seeds, top_k=top_k)
             return result.entity_ids()
 
-        registry: Dict[str, ExpansionMethod] = {"pivote": pivote_method}
+        registry: dict[str, ExpansionMethod] = {"pivote": pivote_method}
         for name, ranker in baselines.items():
             registry[name] = lambda seeds, top_k, _ranker=ranker: [
                 entity for entity, _ in _ranker.rank(seeds, top_k=top_k)
@@ -77,15 +77,15 @@ class ExpansionEvaluator:
         self, method: ExpansionMethod, tasks: Sequence[ExpansionTask], name: str = "method"
     ) -> MethodResult:
         """Run one method over all tasks and aggregate the metrics."""
-        per_task: List[Dict[str, float]] = []
+        per_task: list[dict[str, float]] = []
         for task in tasks:
             ranked = method(task.seeds, self._top_k)
             per_task.append(evaluate_ranking(ranked, task.relevant))
         return MethodResult(method=name, metrics=aggregate_metrics(per_task), per_task=per_task)
 
-    def compare(self, tasks: Sequence[ExpansionTask]) -> Dict[str, MethodResult]:
+    def compare(self, tasks: Sequence[ExpansionTask]) -> dict[str, MethodResult]:
         """Evaluate every registered method on the workload."""
-        results: Dict[str, MethodResult] = {}
+        results: dict[str, MethodResult] = {}
         for name, method in self.methods().items():
             results[name] = self.evaluate_method(method, tasks, name=name)
         return results
@@ -98,18 +98,18 @@ class SearchEvaluator:
         self._engine = engine
         self._top_k = top_k
 
-    def methods(self) -> Dict[str, SearchMethod]:
+    def methods(self) -> dict[str, SearchMethod]:
         """MLM five-field model, names-only LM and BM25F."""
         engine = self._engine
 
-        def mlm(query: str, top_k: int) -> List[str]:
+        def mlm(query: str, top_k: int) -> list[str]:
             return [hit.entity_id for hit in engine.search(query, top_k=top_k)]
 
-        def names_lm(query: str, top_k: int) -> List[str]:
+        def names_lm(query: str, top_k: int) -> list[str]:
             scorer = engine.single_field_scorer("names")
             return [doc.doc_id for doc in scorer.search(parse_query(query), top_k=top_k)]
 
-        def bm25f(query: str, top_k: int) -> List[str]:
+        def bm25f(query: str, top_k: int) -> list[str]:
             scorer = engine.bm25f_scorer()
             return [doc.doc_id for doc in scorer.search(parse_query(query), top_k=top_k)]
 
@@ -118,14 +118,14 @@ class SearchEvaluator:
     def evaluate_method(
         self, method: SearchMethod, tasks: Sequence[SearchTask], name: str = "method"
     ) -> MethodResult:
-        per_task: List[Dict[str, float]] = []
+        per_task: list[dict[str, float]] = []
         for task in tasks:
             ranked = method(task.query, self._top_k)
             per_task.append(evaluate_ranking(ranked, task.relevant))
         return MethodResult(method=name, metrics=aggregate_metrics(per_task), per_task=per_task)
 
-    def compare(self, tasks: Sequence[SearchTask]) -> Dict[str, MethodResult]:
-        results: Dict[str, MethodResult] = {}
+    def compare(self, tasks: Sequence[SearchTask]) -> dict[str, MethodResult]:
+        results: dict[str, MethodResult] = {}
         for name, method in self.methods().items():
             results[name] = self.evaluate_method(method, tasks, name=name)
         return results

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import statistics
 import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List
 
 
 @dataclass
@@ -20,7 +20,7 @@ class LatencyStats:
     """Summary statistics of repeated latency samples, in seconds."""
 
     label: str
-    samples: List[float] = field(default_factory=list)
+    samples: list[float] = field(default_factory=list)
 
     def add(self, seconds: float) -> None:
         if seconds < 0:
@@ -60,7 +60,7 @@ class LatencyStats:
         fraction = index - lower
         return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "count": float(self.count),
             "mean_ms": self.mean * 1000.0,
@@ -75,7 +75,7 @@ class Stopwatch:
     """Collects named latency measurements."""
 
     def __init__(self) -> None:
-        self._stats: Dict[str, LatencyStats] = {}
+        self._stats: dict[str, LatencyStats] = {}
 
     def stats(self, label: str) -> LatencyStats:
         if label not in self._stats:
@@ -100,9 +100,9 @@ class Stopwatch:
                 fn()
         return self.stats(label)
 
-    def report(self) -> Dict[str, Dict[str, float]]:
+    def report(self) -> dict[str, dict[str, float]]:
         """All collected statistics as a plain dictionary."""
         return {label: stats.as_dict() for label, stats in sorted(self._stats.items())}
 
-    def labels(self) -> List[str]:
+    def labels(self) -> list[str]:
         return sorted(self._stats)

@@ -10,7 +10,7 @@ iterable of identifiers.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 
 def _relevant_set(relevant: Iterable[str]) -> set[str]:
@@ -109,10 +109,10 @@ def mean_reciprocal_rank(rankings: Sequence[Sequence[str]], relevants: Sequence[
 
 def evaluate_ranking(
     ranked: Sequence[str], relevant: Iterable[str], ks: Sequence[int] = (1, 5, 10, 20)
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """All metrics of one ranking in a flat dictionary."""
     relevant_set = _relevant_set(relevant)
-    result: Dict[str, float] = {
+    result: dict[str, float] = {
         "ap": average_precision(ranked, relevant_set),
         "rr": reciprocal_rank(ranked, relevant_set),
         "r_precision": r_precision(ranked, relevant_set),
@@ -124,7 +124,7 @@ def evaluate_ranking(
     return result
 
 
-def aggregate_metrics(per_task: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+def aggregate_metrics(per_task: Sequence[Mapping[str, float]]) -> dict[str, float]:
     """Average per-task metric dictionaries key-wise."""
     if not per_task:
         return {}

@@ -9,10 +9,10 @@ small helper to dump the same data as JSON next to the printed output.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping, Sequence
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence, Union
 
-_PathLike = Union[str, Path]
+_PathLike = str | Path
 
 
 def format_table(
@@ -53,11 +53,11 @@ def format_table(
 def method_comparison_rows(
     results: Mapping[str, Mapping[str, float]],
     metrics: Sequence[str] = ("ap", "p@5", "p@10", "recall@20", "ndcg@10"),
-) -> List[Dict[str, object]]:
+) -> list[dict[str, object]]:
     """Turn ``method -> metrics`` mappings into table rows."""
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for method, values in results.items():
-        row: Dict[str, object] = {"method": method}
+        row: dict[str, object] = {"method": method}
         for metric in metrics:
             row[metric] = float(values.get(metric, 0.0))
         rows.append(row)

@@ -17,8 +17,8 @@ reported by the E6 quality bench alongside the raw metric table.
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..exceptions import EvaluationError
 

@@ -15,8 +15,8 @@ semantic features chosen by the user.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
@@ -29,16 +29,16 @@ from ..ranking import EntityRanker, ScoredEntity, ScoredFeature, SemanticFeature
 class ExpansionResult:
     """The outcome of one expansion call."""
 
-    seeds: Tuple[str, ...]
-    entities: Tuple[ScoredEntity, ...]
-    features: Tuple[ScoredFeature, ...]
+    seeds: tuple[str, ...]
+    entities: tuple[ScoredEntity, ...]
+    features: tuple[ScoredFeature, ...]
     restricted_type: str = ""
 
-    def entity_ids(self) -> List[str]:
+    def entity_ids(self) -> list[str]:
         """The recommended entity identifiers in rank order."""
         return [entity.entity_id for entity in self.entities]
 
-    def feature_notations(self) -> List[str]:
+    def feature_notations(self) -> list[str]:
         """The recommended semantic features in rank order."""
         return [scored.feature.notation() for scored in self.features]
 
@@ -49,8 +49,8 @@ class EntitySetExpander:
     def __init__(
         self,
         graph: KnowledgeGraph,
-        feature_index: Optional[SemanticFeatureIndex] = None,
-        config: Optional[RankingConfig] = None,
+        feature_index: SemanticFeatureIndex | None = None,
+        config: RankingConfig | None = None,
     ) -> None:
         self._graph = graph
         self._config = config or RankingConfig()
@@ -94,7 +94,7 @@ class EntitySetExpander:
     def expand(
         self,
         seeds: Sequence[str],
-        top_k: Optional[int] = None,
+        top_k: int | None = None,
         restrict_to_seed_type: bool = False,
         required_features: Sequence[SemanticFeature] = (),
         domain_type: str = "",

@@ -10,8 +10,8 @@ examples to script multi-round investigations.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 from ..exceptions import NoSeedEntitiesError
 from .expander import EntitySetExpander, ExpansionResult
@@ -22,8 +22,8 @@ class ExpansionRound:
     """One round of iterative expansion."""
 
     round_number: int
-    seeds: Tuple[str, ...]
-    added: Tuple[str, ...]
+    seeds: tuple[str, ...]
+    added: tuple[str, ...]
     result: ExpansionResult
 
 
@@ -31,19 +31,19 @@ class ExpansionRound:
 class IterativeExpansionResult:
     """The full trace of an iterative expansion run."""
 
-    rounds: Tuple[ExpansionRound, ...]
+    rounds: tuple[ExpansionRound, ...]
 
     @property
-    def final_entities(self) -> Tuple[str, ...]:
+    def final_entities(self) -> tuple[str, ...]:
         """All accepted entities (seeds of the last round plus its additions)."""
         if not self.rounds:
             return ()
         last = self.rounds[-1]
         return tuple(dict.fromkeys(last.seeds + last.added))
 
-    def entities_per_round(self) -> List[int]:
+    def entities_per_round(self) -> list[int]:
         """Cumulative accepted-set size after each round."""
-        sizes: List[int] = []
+        sizes: list[int] = []
         for round_ in self.rounds:
             sizes.append(len(dict.fromkeys(round_.seeds + round_.added)))
         return sizes
@@ -75,8 +75,8 @@ class IterativeExpander:
             raise NoSeedEntitiesError("iterative expansion needs at least one seed")
         if rounds <= 0:
             raise ValueError("rounds must be positive")
-        current_seeds: List[str] = list(dict.fromkeys(seeds))
-        trace: List[ExpansionRound] = []
+        current_seeds: list[str] = list(dict.fromkeys(seeds))
+        trace: list[ExpansionRound] = []
         for round_number in range(1, rounds + 1):
             result = self._expander.expand(
                 current_seeds,

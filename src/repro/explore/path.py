@@ -9,7 +9,6 @@ and rendered by the visualisation layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from .operations import Operation
 from .query_state import ExplorationQuery
@@ -23,7 +22,7 @@ class PathNode:
     query: ExplorationQuery
     label: str
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {"id": self.node_id, "label": self.label, "query": self.query.describe()}
 
 
@@ -36,7 +35,7 @@ class PathEdge:
     operation_kind: str
     description: str
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "source": self.source,
             "target": self.target,
@@ -49,14 +48,14 @@ class ExplorationPath:
     """A growing graph of visited query states and the operations between them."""
 
     def __init__(self) -> None:
-        self._nodes: List[PathNode] = []
-        self._edges: List[PathEdge] = []
-        self._current: Optional[int] = None
+        self._nodes: list[PathNode] = []
+        self._edges: list[PathEdge] = []
+        self._current: int | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
-    def add_state(self, query: ExplorationQuery, operation: Optional[Operation] = None) -> PathNode:
+    def add_state(self, query: ExplorationQuery, operation: Operation | None = None) -> PathNode:
         """Record a new query state reached via ``operation``.
 
         The first state is added with ``operation=None`` (the session
@@ -91,15 +90,15 @@ class ExplorationPath:
         return self._nodes[node_id]
 
     @property
-    def nodes(self) -> Tuple[PathNode, ...]:
+    def nodes(self) -> tuple[PathNode, ...]:
         return tuple(self._nodes)
 
     @property
-    def edges(self) -> Tuple[PathEdge, ...]:
+    def edges(self) -> tuple[PathEdge, ...]:
         return tuple(self._edges)
 
     @property
-    def current_node(self) -> Optional[PathNode]:
+    def current_node(self) -> PathNode | None:
         if self._current is None:
             return None
         return self._nodes[self._current]
@@ -107,14 +106,14 @@ class ExplorationPath:
     def __len__(self) -> int:
         return len(self._nodes)
 
-    def branches_from(self, node_id: int) -> List[PathEdge]:
+    def branches_from(self, node_id: int) -> list[PathEdge]:
         """Outgoing edges of a node (a node revisited and re-explored branches)."""
         return [edge for edge in self._edges if edge.source == node_id]
 
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """JSON-compatible representation consumed by the web UI."""
         return {
             "nodes": [node.as_dict() for node in self._nodes],
@@ -124,7 +123,7 @@ class ExplorationPath:
 
     def describe(self) -> str:
         """Multi-line textual rendering of the path (Fig 4 as text)."""
-        lines: List[str] = []
+        lines: list[str] = []
         for node in self._nodes:
             marker = "*" if self._current == node.node_id else " "
             lines.append(f"[{node.node_id}]{marker} {node.label}")

@@ -10,8 +10,8 @@ makes the timeline and revisiting of historical queries trivial.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
-from typing import Iterable, Tuple
 
 from ..exceptions import InvalidOperationError
 from ..features import SemanticFeature
@@ -36,8 +36,8 @@ class ExplorationQuery:
     """
 
     keywords: str = ""
-    seed_entities: Tuple[str, ...] = ()
-    pinned_features: Tuple[SemanticFeature, ...] = ()
+    seed_entities: tuple[str, ...] = ()
+    pinned_features: tuple[SemanticFeature, ...] = ()
     domain_type: str = ""
 
     def __post_init__(self) -> None:
@@ -135,7 +135,7 @@ class ExplorationQuery:
             parts.append(f"domain={self.domain_type}")
         return "; ".join(parts) if parts else "(empty query)"
 
-    def signature(self) -> Tuple:
+    def signature(self) -> tuple:
         """A hashable signature used to detect revisits of the same query."""
         return (
             self.keywords.strip().lower(),

@@ -15,9 +15,8 @@ search engine before they reach this class (the PivotE facade does that).
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
@@ -31,6 +30,7 @@ from ..ranking import (
     build_correlation_matrix,
     build_correlation_matrix_exhaustive,
 )
+from ..utils import LRUCache
 from .query_state import ExplorationQuery
 
 
@@ -39,14 +39,14 @@ class Recommendation:
     """The recommendation payload for one query state."""
 
     query: ExplorationQuery
-    entities: Tuple[ScoredEntity, ...]
-    features: Tuple[ScoredFeature, ...]
+    entities: tuple[ScoredEntity, ...]
+    features: tuple[ScoredFeature, ...]
     correlations: CorrelationMatrix
 
-    def entity_ids(self) -> List[str]:
+    def entity_ids(self) -> list[str]:
         return [entity.entity_id for entity in self.entities]
 
-    def feature_notations(self) -> List[str]:
+    def feature_notations(self) -> list[str]:
         return [scored.feature.notation() for scored in self.features]
 
 
@@ -56,8 +56,8 @@ class RecommendationEngine:
     def __init__(
         self,
         graph: KnowledgeGraph,
-        feature_index: Optional[SemanticFeatureIndex] = None,
-        config: Optional[RankingConfig] = None,
+        feature_index: SemanticFeatureIndex | None = None,
+        config: RankingConfig | None = None,
     ) -> None:
         self._graph = graph
         self._config = config or RankingConfig()
@@ -68,10 +68,10 @@ class RecommendationEngine:
         #: (i.e. on any graph mutation), so session operations that revisit
         #: a query state (select -> deselect, re-investigate, matrix
         #: rebuilds) cost a dictionary lookup.
-        self._cache: "OrderedDict[Tuple[object, ...], Recommendation]" = OrderedDict()
-        self._cache_epoch = graph.epoch
-        self._cache_hits = 0
-        self._cache_misses = 0
+        self._cache: LRUCache[tuple[object, ...], Recommendation] = LRUCache(
+            self._config.recommendation_cache_size
+        )
+        self._cache.sync_epoch(graph.epoch)
 
     @property
     def feature_index(self) -> SemanticFeatureIndex:
@@ -89,8 +89,8 @@ class RecommendationEngine:
         seeds: Sequence[str],
         pinned_features: Sequence[SemanticFeature] = (),
         domain_type: str = "",
-        top_entities: Optional[int] = None,
-        top_features: Optional[int] = None,
+        top_entities: int | None = None,
+        top_features: int | None = None,
         exhaustive: bool = False,
     ) -> Recommendation:
         """Recommend entities and features for an explicit seed set.
@@ -117,23 +117,18 @@ class RecommendationEngine:
             return self._compute(query, top_entities, top_features)
         cached = self._cache.get(key)
         if cached is not None:
-            self._cache.move_to_end(key)
-            self._cache_hits += 1
             # Re-attach the caller's query (seed order may differ from the
             # canonical key the payload was computed under).
             return replace(cached, query=query)
-        self._cache_misses += 1
         recommendation = self._compute(query, top_entities, top_features)
-        self._cache[key] = recommendation
-        while len(self._cache) > self._config.recommendation_cache_size:
-            self._cache.popitem(last=False)
+        self._cache.put(key, recommendation)
         return recommendation
 
     def _compute(
         self,
         query: ExplorationQuery,
-        top_entities: Optional[int],
-        top_features: Optional[int],
+        top_entities: int | None,
+        top_features: int | None,
         exhaustive: bool = False,
     ) -> Recommendation:
         """Run the two-stage ranking pipeline for one query state."""
@@ -164,9 +159,9 @@ class RecommendationEngine:
     def _cache_key(
         self,
         query: ExplorationQuery,
-        top_entities: Optional[int],
-        top_features: Optional[int],
-    ) -> Optional[Tuple[object, ...]]:
+        top_entities: int | None,
+        top_features: int | None,
+    ) -> tuple[object, ...] | None:
         """Canonicalised cache key, or ``None`` when caching is disabled.
 
         Seeds and pinned features are order-insensitive (the ranking model
@@ -197,25 +192,23 @@ class RecommendationEngine:
         identical whenever the index is fresh.
         """
         epoch = self._graph.epoch
-        if epoch != self._cache_epoch:
-            self._cache.clear()
-            self._cache_epoch = epoch
+        self._cache.sync_epoch(epoch)
         return epoch
 
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the LRU recommendation cache.
 
         Reads the current feature-index epoch first, so entries invalidated
         by a graph mutation are already dropped from the reported ``size``.
         """
-        self._refresh_epoch()
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._cache),
-            "maxsize": self._config.recommendation_cache_size,
-            "epoch": self._cache_epoch,
-        }
+        epoch = self._refresh_epoch()
+        info = self._cache.cache_info()
+        info["epoch"] = epoch
+        return info
+
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters of the underlying entity ranker."""
+        return self._expander.entity_ranker.pruning_info()
 
     def clear_cache(self) -> None:
         """Drop all cached recommendations (counters are kept)."""
@@ -247,7 +240,7 @@ class RecommendationEngine:
     # ------------------------------------------------------------------ #
     # Pivot support
     # ------------------------------------------------------------------ #
-    def pivot_targets(self, recommendation: Recommendation, max_targets: int = 10) -> List[Tuple[str, str, int]]:
+    def pivot_targets(self, recommendation: Recommendation, max_targets: int = 10) -> list[tuple[str, str, int]]:
         """Possible pivot directions from a recommendation.
 
         Returns ``(anchor_entity, anchor_type, support)`` triples: the

@@ -11,7 +11,6 @@ were looked up so the search-behaviour visualisation can be reconstructed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from ..exceptions import SessionStateError
 from .operations import LookupEntity, Operation
@@ -28,7 +27,7 @@ class TimelineEntry:
     operation_kind: str
     description: str
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "step": self.step,
             "query": self.query.describe(),
@@ -43,10 +42,10 @@ class ExplorationSession:
     def __init__(self, session_id: str = "session") -> None:
         self.session_id = session_id
         self._current = ExplorationQuery()
-        self._timeline: List[TimelineEntry] = []
+        self._timeline: list[TimelineEntry] = []
         self._path = ExplorationPath()
         self._path.add_state(self._current)
-        self._lookups: List[str] = []
+        self._lookups: list[str] = []
 
     # ------------------------------------------------------------------ #
     # State
@@ -57,7 +56,7 @@ class ExplorationSession:
         return self._current
 
     @property
-    def timeline(self) -> Tuple[TimelineEntry, ...]:
+    def timeline(self) -> tuple[TimelineEntry, ...]:
         """All recorded steps, oldest first."""
         return tuple(self._timeline)
 
@@ -67,7 +66,7 @@ class ExplorationSession:
         return self._path
 
     @property
-    def lookups(self) -> Tuple[str, ...]:
+    def lookups(self) -> tuple[str, ...]:
         """Entities the user looked up, in order."""
         return tuple(self._lookups)
 
@@ -94,7 +93,7 @@ class ExplorationSession:
         self._current = new_query
         return new_query
 
-    def apply_all(self, operations: List[Operation]) -> ExplorationQuery:
+    def apply_all(self, operations: list[Operation]) -> ExplorationQuery:
         """Apply a scripted list of operations (used by the examples)."""
         for operation in operations:
             self.apply(operation)
@@ -123,9 +122,9 @@ class ExplorationSession:
                 break
         return self._current
 
-    def visited_queries(self) -> List[ExplorationQuery]:
+    def visited_queries(self) -> list[ExplorationQuery]:
         """Unique query states visited, in first-visit order."""
-        seen: Dict[Tuple, ExplorationQuery] = {}
+        seen: dict[tuple, ExplorationQuery] = {}
         for entry in self._timeline:
             seen.setdefault(entry.query.signature(), entry.query)
         return list(seen.values())
@@ -133,9 +132,9 @@ class ExplorationSession:
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
-    def behaviour_summary(self) -> Dict[str, int]:
+    def behaviour_summary(self) -> dict[str, int]:
         """Counts of each operation kind — the search-behaviour overview."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for entry in self._timeline:
             counts[entry.operation_kind] = counts.get(entry.operation_kind, 0) + 1
         return counts

@@ -20,8 +20,9 @@ that every simulated click goes through exactly the code path of the UI.
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING
 
 from ..exceptions import ExplorationError
 
@@ -35,10 +36,10 @@ class SimulationResult:
 
     session_id: str
     steps: int
-    found: Tuple[str, ...]
+    found: tuple[str, ...]
     target_size: int
-    recall_per_step: Tuple[float, ...] = ()
-    operations: Dict[str, int] = field(default_factory=dict)
+    recall_per_step: tuple[float, ...] = ()
+    operations: dict[str, int] = field(default_factory=dict)
 
     @property
     def recall(self) -> float:
@@ -47,7 +48,7 @@ class SimulationResult:
             return 0.0
         return len(self.found) / self.target_size
 
-    def steps_to_recall(self, threshold: float) -> Optional[int]:
+    def steps_to_recall(self, threshold: float) -> int | None:
         """First step at which recall reached ``threshold`` (None if never)."""
         for step, recall in enumerate(self.recall_per_step, start=1):
             if recall >= threshold:
@@ -70,7 +71,7 @@ class FocusedInvestigator:
         if max_steps <= 0 or clicks_per_step <= 0:
             raise ExplorationError("max_steps and clicks_per_step must be positive")
         self._system = system
-        self._target: Set[str] = set(target)
+        self._target: set[str] = set(target)
         self._max_steps = max_steps
         self._clicks_per_step = clicks_per_step
 
@@ -78,10 +79,10 @@ class FocusedInvestigator:
         """Run the investigation starting from explicit seed entities."""
         system = self._system
         session = system.start_session(session_id)
-        found: Set[str] = set(seed for seed in initial_seeds if seed in self._target)
-        recall_per_step: List[float] = []
+        found: set[str] = set(seed for seed in initial_seeds if seed in self._target)
+        recall_per_step: list[float] = []
 
-        response: Optional["QueryResponse"] = None
+        response: "QueryResponse" | None = None
         for seed in initial_seeds:
             response = system.select_entity(session, seed)
 
@@ -144,10 +145,10 @@ class RandomExplorer:
         system = self._system
         session = system.start_session(session_id)
         response = system.submit_keywords(session, initial_keywords)
-        visited_domains: Set[str] = set()
+        visited_domains: set[str] = set()
 
         for _ in range(self._steps):
-            candidates: List[str] = []
+            candidates: list[str] = []
             if response.recommendation is not None:
                 candidates = response.recommendation.entity_ids()
             elif response.hits:
@@ -172,11 +173,11 @@ class RandomExplorer:
 
 def run_investigation_workload(
     system: "PivotE",
-    tasks: Sequence[Tuple[Sequence[str], Sequence[str]]],
+    tasks: Sequence[tuple[Sequence[str], Sequence[str]]],
     max_steps: int = 10,
-) -> List[SimulationResult]:
+) -> list[SimulationResult]:
     """Run the focused investigator over many (seeds, target) tasks."""
-    results: List[SimulationResult] = []
+    results: list[SimulationResult] = []
     for index, (seeds, target) in enumerate(tasks):
         investigator = FocusedInvestigator(system, target, max_steps=max_steps)
         results.append(investigator.run(seeds, session_id=f"investigation-{index}"))

@@ -11,13 +11,13 @@ Two directions of extraction are needed:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Set
+from collections.abc import Iterable
 
 from ..kg import KnowledgeGraph
 from .semantic_feature import Direction, SemanticFeature
 
 
-def features_of_entity(graph: KnowledgeGraph, entity_id: str) -> List[SemanticFeature]:
+def features_of_entity(graph: KnowledgeGraph, entity_id: str) -> list[SemanticFeature]:
     """All semantic features held by ``entity_id``.
 
     An outgoing edge ``<e, p, a>`` means ``e`` holds the feature
@@ -25,7 +25,7 @@ def features_of_entity(graph: KnowledgeGraph, entity_id: str) -> List[SemanticFe
     incoming edge ``<a, p, e>`` means ``e`` holds ``(a, p, SUBJECT_OF)``.
     """
     graph.require_entity(entity_id)
-    features: List[SemanticFeature] = []
+    features: list[SemanticFeature] = []
     for predicate, target in graph.outgoing(entity_id):
         features.append(SemanticFeature(anchor=target, predicate=predicate, direction=Direction.OBJECT_OF))
     for predicate, source in graph.incoming(entity_id):
@@ -33,7 +33,7 @@ def features_of_entity(graph: KnowledgeGraph, entity_id: str) -> List[SemanticFe
     return features
 
 
-def matching_entities(graph: KnowledgeGraph, feature: SemanticFeature) -> Set[str]:
+def matching_entities(graph: KnowledgeGraph, feature: SemanticFeature) -> set[str]:
     """``E(pi)``: the set of entities matching a semantic feature."""
     if feature.direction is Direction.OBJECT_OF:
         return graph.subjects(feature.predicate, feature.anchor)
@@ -49,13 +49,13 @@ def entity_matches(graph: KnowledgeGraph, entity_id: str, feature: SemanticFeatu
 
 def features_of_entities(
     graph: KnowledgeGraph, entity_ids: Iterable[str]
-) -> Dict[SemanticFeature, Set[str]]:
+) -> dict[SemanticFeature, set[str]]:
     """Features held by any of the given entities, with the holders.
 
     Returns ``feature -> subset of entity_ids holding it``.  This is the
     candidate feature pool ``Phi(Q)`` the ranking model scores.
     """
-    holders: Dict[SemanticFeature, Set[str]] = defaultdict(set)
+    holders: dict[SemanticFeature, set[str]] = defaultdict(set)
     for entity_id in entity_ids:
         for feature in features_of_entity(graph, entity_id):
             holders[feature].add(entity_id)
@@ -67,7 +67,7 @@ def candidate_entities(
     features: Iterable[SemanticFeature],
     exclude: Iterable[str] = (),
     limit: int | None = None,
-) -> List[str]:
+) -> list[str]:
     """Entities matching any of the features, ordered by how many they match.
 
     The ordering (most shared features first, then identifier for
@@ -101,13 +101,13 @@ def feature_target_types(graph: KnowledgeGraph, feature: SemanticFeature) -> Cou
     return distribution
 
 
-def anchor_type_directions(graph: KnowledgeGraph, entity_id: str) -> Dict[str, int]:
+def anchor_type_directions(graph: KnowledgeGraph, entity_id: str) -> dict[str, int]:
     """Possible search directions from an entity, as type -> count (Fig 1-b).
 
     Groups the anchors of the entity's semantic features by their dominant
     type, e.g. Forrest_Gump -> {Actor: 5, Director: 1, ...}.
     """
-    directions: Dict[str, int] = defaultdict(int)
+    directions: dict[str, int] = defaultdict(int)
     for feature in features_of_entity(graph, entity_id):
         anchor_type = graph.dominant_type(feature.anchor) or "(untyped)"
         directions[anchor_type] += 1

@@ -7,37 +7,61 @@ type-conditional counts) used by the ranking model's smoothing live.
 
 The index is *epoch-aware*, mirroring ``FieldedIndex`` on the search side:
 it remembers the graph mutation epoch it was built at and transparently
-rebuilds when the graph has changed, so every accessor always reflects the
+refreshes when the graph has changed, so every accessor always reflects the
 current graph.  :attr:`epoch` is the cache key the recommendation layer uses
 to invalidate memoised scores and cached recommendations.
+
+Refreshing is *incremental*: the graph's triple log is append-only, so the
+index remembers how many triples it has processed and applies only the
+delta — recomputing the features of the entities the new triples touch —
+falling back to a full rebuild when the delta outgrows
+:attr:`SemanticFeatureIndex.max_delta_fraction` of the graph (a large
+delta touches most entities anyway, and the full pass has better
+constants).  A delta-applied index is *equal* to a freshly built one by
+construction, enforced by ``tests/test_features_incremental.py``.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
 
-from ..kg import KnowledgeGraph
+from ..kg import DISAMBIGUATES, KnowledgeGraph, REDIRECT, STRUCTURAL_PREDICATES, Triple
 from .extraction import features_of_entity
 from .semantic_feature import SemanticFeature
 
 #: Shared empty holder set returned for unknown features, so that misses on
 #: the hot candidate-generation path never allocate a throwaway set.
-_EMPTY_HOLDERS: FrozenSet[str] = frozenset()
+_EMPTY_HOLDERS: frozenset[str] = frozenset()
 
 
 class SemanticFeatureIndex:
     """Bidirectional map between entities and their semantic features."""
 
-    def __init__(self, graph: KnowledgeGraph) -> None:
+    #: Largest triple delta, as a fraction of the graph's total triples,
+    #: the incremental refresh will apply before falling back to a full
+    #: rebuild (mutate-heavy sessions with small deltas stay cheap, bulk
+    #: loads take the better-constant full pass).
+    max_delta_fraction: float = 0.2
+
+    def __init__(self, graph: KnowledgeGraph, max_delta_fraction: float | None = None) -> None:
         self._graph = graph
-        self._entity_features: Dict[str, FrozenSet[SemanticFeature]] = {}
-        self._feature_entities: Dict[SemanticFeature, Set[str]] = defaultdict(set)
+        if max_delta_fraction is not None:
+            if not 0.0 <= max_delta_fraction <= 1.0:
+                raise ValueError("max_delta_fraction must lie in [0, 1]")
+            self.max_delta_fraction = max_delta_fraction
+        self._entity_features: dict[str, frozenset[SemanticFeature]] = {}
+        self._feature_entities: dict[SemanticFeature, set[str]] = defaultdict(set)
         self._built = False
         #: Graph epoch the materialised maps reflect (-1 = never built).
         self._built_epoch = -1
+        #: How many triples of the append-only log are reflected.
+        self._built_triples = 0
         #: Memoised ``(||E(pi) ∩ E(c)||, ||E(c)||)`` pairs, cleared on rebuild.
-        self._type_counts: Dict[Tuple[SemanticFeature, str], Tuple[int, int]] = {}
+        self._type_counts: dict[tuple[SemanticFeature, str], tuple[int, int]] = {}
+        self._full_rebuilds = 0
+        self._delta_rebuilds = 0
+        self._delta_entities = 0
 
     @classmethod
     def build(cls, graph: KnowledgeGraph) -> "SemanticFeatureIndex":
@@ -47,7 +71,7 @@ class SemanticFeatureIndex:
         return index
 
     def rebuild(self) -> None:
-        """(Re)compute the index from the graph's current contents."""
+        """Recompute the whole index from the graph's current contents."""
         self._entity_features.clear()
         self._feature_entities = defaultdict(set)
         self._type_counts.clear()
@@ -58,10 +82,78 @@ class SemanticFeatureIndex:
                 self._feature_entities[feature].add(entity_id)
         self._built = True
         self._built_epoch = self._graph.epoch
+        self._built_triples = len(self._graph)
+        self._full_rebuilds += 1
+
+    def _apply_delta(self, new_triples: Iterable[Triple]) -> None:
+        """Fold the appended triples into the materialised maps.
+
+        Only object-property edges change an entity's semantic features
+        (see :func:`repro.features.extraction.features_of_entity`);
+        structural triples merely introduce entities that need an (empty)
+        feature entry.  The affected entities' features are recomputed
+        from the graph and the holder sets are patched in place; the
+        type-conditional memo is dropped wholesale because type
+        memberships may have changed.  The triple log is append-only, so
+        there is no remove side to the delta.
+        """
+        affected: set[str] = set()
+        for triple in new_triples:
+            subject, predicate = triple.subject, triple.predicate
+            if triple.is_literal:
+                if subject not in self._entity_features:
+                    affected.add(subject)
+                continue
+            if predicate not in STRUCTURAL_PREDICATES:
+                # A genuine edge: both endpoints gain a feature.
+                affected.add(subject)
+                affected.add(triple.object)
+                continue
+            if subject not in self._entity_features:
+                affected.add(subject)
+            if predicate in (REDIRECT, DISAMBIGUATES) and (
+                triple.object not in self._entity_features
+            ):
+                affected.add(triple.object)
+        for entity_id in affected:
+            old = self._entity_features.get(entity_id, frozenset())
+            new = frozenset(features_of_entity(self._graph, entity_id))
+            if new != old:
+                for feature in old - new:
+                    holders = self._feature_entities.get(feature)
+                    if holders is not None:
+                        holders.discard(entity_id)
+                        if not holders:
+                            del self._feature_entities[feature]
+                for feature in new - old:
+                    self._feature_entities[feature].add(entity_id)
+            self._entity_features[entity_id] = new
+        self._type_counts.clear()
+        self._built_epoch = self._graph.epoch
+        self._built_triples = len(self._graph)
+        self._delta_rebuilds += 1
+        self._delta_entities += len(affected)
 
     def _ensure_built(self) -> None:
-        if not self._built or self._built_epoch != self._graph.epoch:
+        if not self._built:
             self.rebuild()
+            return
+        if self._built_epoch == self._graph.epoch:
+            return
+        total = len(self._graph)
+        delta = total - self._built_triples
+        if 0 <= delta <= self.max_delta_fraction * max(total, 1):
+            self._apply_delta(self._graph.triples_since(self._built_triples))
+        else:
+            self.rebuild()
+
+    def rebuild_info(self) -> dict[str, int]:
+        """Full-vs-delta refresh counters (``cache_info()`` convention)."""
+        return {
+            "full_rebuilds": self._full_rebuilds,
+            "delta_rebuilds": self._delta_rebuilds,
+            "delta_entities": self._delta_entities,
+        }
 
     @property
     def epoch(self) -> int:
@@ -78,12 +170,12 @@ class SemanticFeatureIndex:
     # ------------------------------------------------------------------ #
     # Lookups
     # ------------------------------------------------------------------ #
-    def features_of(self, entity_id: str) -> FrozenSet[SemanticFeature]:
+    def features_of(self, entity_id: str) -> frozenset[SemanticFeature]:
         """Features held by an entity (empty set for unknown entities)."""
         self._ensure_built()
         return self._entity_features.get(entity_id, frozenset())
 
-    def holders_of(self, feature: SemanticFeature) -> Set[str]:
+    def holders_of(self, feature: SemanticFeature) -> set[str]:
         """``E(pi)`` without copying — the internal holder set, read-only.
 
         This is the no-copy accessor the ranking layer's accumulator
@@ -93,7 +185,7 @@ class SemanticFeatureIndex:
         self._ensure_built()
         return self._feature_entities.get(feature, _EMPTY_HOLDERS)
 
-    def entities_matching(self, feature: SemanticFeature) -> Set[str]:
+    def entities_matching(self, feature: SemanticFeature) -> set[str]:
         """``E(pi)`` as an independent copy (safe for callers to mutate)."""
         return set(self.holders_of(feature))
 
@@ -106,7 +198,7 @@ class SemanticFeatureIndex:
         self._ensure_built()
         return feature in self._entity_features.get(entity_id, frozenset())
 
-    def all_features(self) -> List[SemanticFeature]:
+    def all_features(self) -> list[SemanticFeature]:
         """Every distinct semantic feature in the graph."""
         self._ensure_built()
         return sorted(self._feature_entities.keys())
@@ -118,10 +210,10 @@ class SemanticFeatureIndex:
     # ------------------------------------------------------------------ #
     # Aggregations used by ranking
     # ------------------------------------------------------------------ #
-    def features_of_any(self, entity_ids: Iterable[str]) -> Dict[SemanticFeature, Set[str]]:
+    def features_of_any(self, entity_ids: Iterable[str]) -> dict[SemanticFeature, set[str]]:
         """Features held by any of the entities, with their holders."""
         self._ensure_built()
-        holders: Dict[SemanticFeature, Set[str]] = defaultdict(set)
+        holders: dict[SemanticFeature, set[str]] = defaultdict(set)
         for entity_id in entity_ids:
             for feature in self._entity_features.get(entity_id, frozenset()):
                 holders[feature].add(entity_id)
@@ -131,8 +223,8 @@ class SemanticFeatureIndex:
         self,
         features: Iterable[SemanticFeature],
         exclude: Iterable[str] = (),
-        limit: Optional[int] = None,
-    ) -> List[str]:
+        limit: int | None = None,
+    ) -> list[str]:
         """Entities matching any feature, ordered by how many they match.
 
         Index-backed equivalent of
@@ -153,7 +245,7 @@ class SemanticFeatureIndex:
             ranked = ranked[:limit]
         return [entity_id for entity_id, _ in ranked]
 
-    def type_conditional_count(self, feature: SemanticFeature, type_id: str) -> Tuple[int, int]:
+    def type_conditional_count(self, feature: SemanticFeature, type_id: str) -> tuple[int, int]:
         """``(||E(pi) ∩ E(c)||, ||E(c)||)`` for the type-based smoothing.
 
         ``E(c)`` is the set of instances of ``type_id``.  Pairs are memoised
@@ -174,15 +266,15 @@ class SemanticFeatureIndex:
         self._type_counts[key] = counts
         return counts
 
-    def shared_features(self, left: str, right: str) -> FrozenSet[SemanticFeature]:
+    def shared_features(self, left: str, right: str) -> frozenset[SemanticFeature]:
         """Features held by both entities — the explanation evidence."""
         self._ensure_built()
         return self.features_of(left) & self.features_of(right)
 
-    def feature_frequency_histogram(self) -> Dict[int, int]:
+    def feature_frequency_histogram(self) -> dict[int, int]:
         """Histogram of ``||E(pi)||`` values, for dataset reporting."""
         self._ensure_built()
-        histogram: Dict[int, int] = defaultdict(int)
+        histogram: dict[int, int] = defaultdict(int)
         for entities in self._feature_entities.values():
             histogram[len(entities)] += 1
         return dict(histogram)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
 
 
 class Direction(str, Enum):
@@ -62,7 +61,7 @@ class SemanticFeature:
             raise ValueError("semantic feature predicate must be non-empty")
 
     @property
-    def key(self) -> Tuple[str, str, str]:
+    def key(self) -> tuple[str, str, str]:
         """Hashable key ``(anchor, predicate, direction)``."""
         return (self.anchor, self.predicate, self.direction.value)
 

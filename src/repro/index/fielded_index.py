@@ -7,7 +7,7 @@ own inverted index, document lengths and collection statistics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Set
+from collections.abc import Iterable, Mapping, Sequence
 
 from ..exceptions import FieldNotFoundError
 from .inverted_index import InvertedIndex
@@ -22,10 +22,10 @@ class FieldedIndex:
         if not fields:
             raise ValueError("a fielded index needs at least one field")
         self._fields: tuple[str, ...] = tuple(fields)
-        self._indexes: Dict[str, InvertedIndex] = {
+        self._indexes: dict[str, InvertedIndex] = {
             field: InvertedIndex(name=field) for field in self._fields
         }
-        self._documents: Set[str] = set()
+        self._documents: set[str] = set()
         #: Mutation counter: bumped on every document addition so cached
         #: statistics / scoring support / query results can be invalidated.
         self._epoch = 0
@@ -87,7 +87,7 @@ class FieldedIndex:
     def document_frequency(self, field: str, term: str) -> int:
         return self._require_field(field).document_frequency(term)
 
-    def documents(self) -> Set[str]:
+    def documents(self) -> set[str]:
         """All indexed document identifiers."""
         return set(self._documents)
 
@@ -95,7 +95,7 @@ class FieldedIndex:
     def num_documents(self) -> int:
         return len(self._documents)
 
-    def candidate_documents(self, terms: Iterable[str]) -> Set[str]:
+    def candidate_documents(self, terms: Iterable[str]) -> set[str]:
         """Documents containing any query term in any field.
 
         This is the candidate-generation step of the retrieval pipeline:
@@ -103,7 +103,7 @@ class FieldedIndex:
         collection.
         """
         terms = list(terms)
-        result: Set[str] = set()
+        result: set[str] = set()
         for field in self._fields:
             result.update(self._indexes[field].documents_containing_any(terms))
         return result
@@ -124,9 +124,17 @@ class FieldedIndex:
             field_stats = stats.field(field)
             field_stats.document_count = index.num_documents
             field_stats.total_terms = index.total_terms
+            lengths = index.document_lengths()
+            if lengths:
+                field_stats.min_length = min(lengths.values())
+                field_stats.max_length = max(lengths.values())
             for term in index.vocabulary():
-                field_stats.term_collection_frequency[term] = index.collection_frequency(term)
-                field_stats.term_document_frequency[term] = index.document_frequency(term)
+                postings = index.get_postings(term)
+                assert postings is not None  # vocabulary() only lists indexed terms
+                frequencies = postings.frequencies()
+                field_stats.term_collection_frequency[term] = sum(frequencies.values())
+                field_stats.term_document_frequency[term] = len(frequencies)
+                field_stats.term_max_frequency[term] = postings.max_frequency()
         self._statistics_cache = (self._epoch, stats)
         return stats
 

@@ -8,7 +8,7 @@ retrieval field.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Set
+from collections.abc import Iterable
 
 from .postings import PostingList
 
@@ -18,8 +18,8 @@ class InvertedIndex:
 
     def __init__(self, name: str = "field") -> None:
         self.name = name
-        self._postings: Dict[str, PostingList] = {}
-        self._doc_lengths: Dict[str, int] = {}
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths: dict[str, int] = {}
         self._total_terms = 0
 
     # ------------------------------------------------------------------ #
@@ -57,7 +57,7 @@ class InvertedIndex:
         """
         return self._postings.get(term)
 
-    def document_lengths(self) -> Dict[str, int]:
+    def document_lengths(self) -> dict[str, int]:
         """The ``doc_id -> field length`` map, built once at index time.
 
         Returned by reference for the scoring hot path; callers must treat
@@ -87,22 +87,22 @@ class InvertedIndex:
         """Number of terms indexed for ``doc_id`` (0 when unknown)."""
         return self._doc_lengths.get(doc_id, 0)
 
-    def documents(self) -> Set[str]:
+    def documents(self) -> set[str]:
         """All indexed document identifiers."""
         return set(self._doc_lengths)
 
-    def documents_containing(self, term: str) -> List[str]:
+    def documents_containing(self, term: str) -> list[str]:
         """Document identifiers containing ``term``."""
         return self.postings(term).doc_ids()
 
-    def documents_containing_any(self, terms: Iterable[str]) -> Set[str]:
+    def documents_containing_any(self, terms: Iterable[str]) -> set[str]:
         """Documents containing at least one of ``terms``."""
-        result: Set[str] = set()
+        result: set[str] = set()
         for term in terms:
             result.update(self.documents_containing(term))
         return result
 
-    def vocabulary(self) -> Set[str]:
+    def vocabulary(self) -> set[str]:
         """All indexed terms."""
         return set(self._postings)
 

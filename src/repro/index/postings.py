@@ -9,8 +9,8 @@ merged and intersected efficiently; the index itself only ever appends via
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
 
 
 @dataclass(frozen=True)
@@ -29,8 +29,8 @@ class Posting:
 class PostingList:
     """An ordered list of postings for one term in one field."""
 
-    _doc_ids: List[str] = field(default_factory=list)
-    _frequencies: Dict[str, int] = field(default_factory=dict)
+    _doc_ids: list[str] = field(default_factory=list)
+    _frequencies: dict[str, int] = field(default_factory=dict)
 
     def add(self, doc_id: str, count: int = 1) -> None:
         """Add ``count`` occurrences of the term in ``doc_id``."""
@@ -55,11 +55,17 @@ class PostingList:
         """Total number of occurrences across all documents."""
         return sum(self._frequencies.values())
 
-    def doc_ids(self) -> List[str]:
+    def max_frequency(self) -> int:
+        """Largest term frequency in any single document (0 when empty)."""
+        if not self._frequencies:
+            return 0
+        return max(self._frequencies.values())
+
+    def doc_ids(self) -> list[str]:
         """Sorted document identifiers containing the term."""
         return list(self._doc_ids)
 
-    def frequencies(self) -> Dict[str, int]:
+    def frequencies(self) -> dict[str, int]:
         """The ``doc_id -> term frequency`` map backing this list.
 
         Returned by reference for the scoring hot path; callers must treat
@@ -78,23 +84,23 @@ class PostingList:
         return doc_id in self._frequencies
 
 
-def intersect(left: PostingList, right: PostingList) -> List[str]:
+def intersect(left: PostingList, right: PostingList) -> list[str]:
     """Document identifiers present in both posting lists."""
     if len(left) > len(right):
         left, right = right, left
     return [doc_id for doc_id in left.doc_ids() if doc_id in right]
 
 
-def union(left: PostingList, right: PostingList) -> List[str]:
+def union(left: PostingList, right: PostingList) -> list[str]:
     """Document identifiers present in either posting list, sorted."""
     merged = set(left.doc_ids())
     merged.update(right.doc_ids())
     return sorted(merged)
 
 
-def merge_frequencies(lists: List[PostingList]) -> Dict[str, int]:
+def merge_frequencies(lists: list[PostingList]) -> dict[str, int]:
     """Sum term frequencies document-wise across several posting lists."""
-    totals: Dict[str, int] = {}
+    totals: dict[str, int] = {}
     for posting_list in lists:
         for posting in posting_list:
             totals[posting.doc_id] = totals.get(posting.doc_id, 0) + posting.term_frequency

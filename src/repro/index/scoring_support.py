@@ -19,21 +19,22 @@ module provides the shared substrate for that traversal:
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Set, Tuple
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .fielded_index import FieldedIndex
     from .statistics import CollectionStatistics
 
-_EMPTY_FREQUENCIES: Dict[str, int] = {}
+_EMPTY_FREQUENCIES: dict[str, int] = {}
 
 
-def _rank_key(item: Tuple[str, float]) -> Tuple[float, str]:
+def _rank_key(item: tuple[str, float]) -> tuple[float, str]:
     doc_id, score = item
     return (-score, doc_id)
 
 
-def select_top_k(accumulators: Mapping[str, float], k: int) -> List[Tuple[str, float]]:
+def select_top_k(accumulators: Mapping[str, float], k: int) -> list[tuple[str, float]]:
     """The ``k`` best ``(doc_id, score)`` pairs, ordered by ``(-score, doc_id)``.
 
     Uses a bounded heap (``heapq.nsmallest``) instead of sorting the whole
@@ -52,7 +53,7 @@ def select_top_k_with_zero_fill(
     accumulators: Mapping[str, float],
     candidates: Iterable[str],
     k: int,
-) -> List[Tuple[str, float]]:
+) -> list[tuple[str, float]]:
     """Top-k selection over accumulators plus zero-scored leftover candidates.
 
     BM25-family scorers only accumulate documents with at least one matching
@@ -82,10 +83,10 @@ class ScoringSupport:
         self._index = index
         self._statistics = statistics
         #: Per-field document-length arrays, shared by reference with the index.
-        self._lengths: Dict[str, Dict[str, int]] = {
+        self._lengths: dict[str, dict[str, int]] = {
             field: index.field_index(field).document_lengths() for field in index.fields
         }
-        self._any_field_df: Dict[str, int] = {}
+        self._any_field_df: dict[str, int] = {}
 
     @property
     def statistics(self) -> "CollectionStatistics":
@@ -123,7 +124,7 @@ class ScoringSupport:
         cached = self._any_field_df.get(term)
         if cached is not None:
             return cached
-        docs: Set[str] = set()
+        docs: set[str] = set()
         for field in self._index.fields:
             postings = self._index.field_index(field).get_postings(term)
             if postings is not None:

@@ -4,20 +4,21 @@ Language-model smoothing needs collection term frequencies and field
 lengths; BM25F needs document frequencies and average field lengths.  The
 statistics object is computed once per index and shared by all scorers.
 
-Per-(field, term) derived components — collection probabilities and IDF
-weights — are memoised on the statistics object, so the accumulator-based
-scorers pay the derivation once per query term instead of once per scored
-document.  The caches live and die with the statistics object, which the
-index rebuilds whenever a document is added (see
-:meth:`repro.index.fielded_index.FieldedIndex.statistics`), so they can
-never serve stale values.
+Per-(field, term) derived components — collection probabilities, IDF
+weights and the contribution upper/lower bounds of the threshold-pruned
+scorers (see :mod:`repro.topk`) — are memoised on the statistics object,
+so the accumulator-based scorers pay the derivation once per query term
+instead of once per scored document.  The caches live and die with the
+statistics object, which the index rebuilds whenever a document is added
+(see :meth:`repro.index.fielded_index.FieldedIndex.statistics`), so they
+can never serve stale values.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
 
 
 @dataclass
@@ -27,14 +28,21 @@ class FieldStatistics:
     name: str
     total_terms: int = 0
     document_count: int = 0
-    term_collection_frequency: Dict[str, int] = field(default_factory=dict)
-    term_document_frequency: Dict[str, int] = field(default_factory=dict)
+    #: Shortest / longest indexed field length across the collection, used
+    #: by the pruned scorers to bound length-normalised contributions.
+    min_length: int = 0
+    max_length: int = 0
+    term_collection_frequency: dict[str, int] = field(default_factory=dict)
+    term_document_frequency: dict[str, int] = field(default_factory=dict)
+    #: Largest term frequency of each term in any single document, the
+    #: other ingredient of the per-(field, term) contribution bounds.
+    term_max_frequency: dict[str, int] = field(default_factory=dict)
     #: Memoised ``term -> p(term | collection)`` (derived, never serialised).
-    _probability_cache: Dict[str, float] = field(
+    _probability_cache: dict[str, float] = field(
         default_factory=dict, repr=False, compare=False
     )
     #: Memoised ``term -> idf(term)`` (derived, never serialised).
-    _idf_cache: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
+    _idf_cache: dict[str, float] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def average_length(self) -> float:
@@ -59,6 +67,10 @@ class FieldStatistics:
         """Number of documents whose field contains ``term``."""
         return self.term_document_frequency.get(term, 0)
 
+    def max_frequency(self, term: str) -> int:
+        """Largest term frequency of ``term`` in any single document."""
+        return self.term_max_frequency.get(term, 0)
+
     def idf(self, term: str) -> float:
         """Memoised Robertson-Sparck-Jones IDF of ``term`` within this field."""
         cached = self._idf_cache.get(term)
@@ -77,7 +89,12 @@ class CollectionStatistics:
     """Statistics of the whole fielded collection."""
 
     num_documents: int = 0
-    fields: Dict[str, FieldStatistics] = field(default_factory=dict)
+    fields: dict[str, FieldStatistics] = field(default_factory=dict)
+    #: Memoised per-(scorer, field, term) contribution bounds (see
+    #: :meth:`memoised_bound`); derived, never serialised.
+    _bound_cache: dict[tuple[object, ...], float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def field(self, name: str) -> FieldStatistics:
         """Statistics for one field, creating an empty record if unknown."""
@@ -93,6 +110,22 @@ class CollectionStatistics:
         """Memoised per-field Robertson-Sparck-Jones IDF."""
         return self.field(field_name).idf(term)
 
+    def memoised_bound(self, key: tuple[object, ...], compute: Callable[[], float]) -> float:
+        """A per-(scorer, field, term) contribution bound, cached for this epoch.
+
+        The statistics object is rebuilt on every index mutation, so bounds
+        memoised here can never go stale.  ``key`` must include every input
+        of the bound formula that is not part of the collection statistics
+        (scorer kind and hyper-parameters), so different scorer instances
+        sharing the index share the cache without collisions.
+        """
+        cached = self._bound_cache.get(key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self._bound_cache[key] = value
+        return value
+
     def vocabulary_size(self) -> int:
         """Number of distinct terms across all fields."""
         vocabulary: set[str] = set()
@@ -102,7 +135,7 @@ class CollectionStatistics:
 
     def summary(self) -> Mapping[str, float]:
         """Per-field average lengths plus global counts, for reporting."""
-        report: Dict[str, float] = {"documents": float(self.num_documents)}
+        report: dict[str, float] = {"documents": float(self.num_documents)}
         for name, stats in sorted(self.fields.items()):
             report[f"avg_len[{name}]"] = stats.average_length
             report[f"terms[{name}]"] = float(stats.total_terms)

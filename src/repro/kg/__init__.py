@@ -8,7 +8,7 @@ for the access patterns PivotE needs.
 
 from .builder import GraphBuilder
 from .entity import Entity, EntityProfile, build_profile, wikipedia_url
-from .graph import STRUCTURAL_PREDICATES, KnowledgeGraph
+from .graph import KnowledgeGraph, STRUCTURAL_PREDICATES
 from .io import (
     graph_from_dict,
     graph_to_dict,
@@ -24,12 +24,11 @@ from .namespaces import (
     DEFAULT_NAMESPACES,
     DISAMBIGUATES,
     NamespaceRegistry,
-    RDF_TYPE,
     RDFS_LABEL,
+    RDF_TYPE,
     REDIRECT,
     label_from_identifier,
 )
-from .query import Binding, Filter, QueryEngine, SelectQuery, TriplePattern
 from .paths import (
     Path,
     PathStep,
@@ -38,6 +37,7 @@ from .paths import (
     paths_between,
     shortest_path,
 )
+from .query import Binding, Filter, QueryEngine, SelectQuery, TriplePattern
 from .statistics import (
     GraphStatistics,
     TypeCoupling,

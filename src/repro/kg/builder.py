@@ -19,7 +19,7 @@ True
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from .graph import KnowledgeGraph
 from .namespaces import NamespaceRegistry
@@ -29,17 +29,17 @@ from .triple import Literal
 class GraphBuilder:
     """Incrementally assemble a :class:`KnowledgeGraph`."""
 
-    def __init__(self, name: str = "kg", namespaces: Optional[NamespaceRegistry] = None) -> None:
+    def __init__(self, name: str = "kg", namespaces: NamespaceRegistry | None = None) -> None:
         self._graph = KnowledgeGraph(name, namespaces=namespaces)
 
     def entity(
         self,
         identifier: str,
-        label: Optional[str] = None,
-        types: Optional[Sequence[str]] = None,
-        categories: Optional[Sequence[str]] = None,
-        attributes: Optional[Mapping[str, str | Sequence[str]]] = None,
-        aliases: Optional[Sequence[str]] = None,
+        label: str | None = None,
+        types: Sequence[str] | None = None,
+        categories: Sequence[str] | None = None,
+        attributes: Mapping[str, str | Sequence[str]] | None = None,
+        aliases: Sequence[str] | None = None,
     ) -> "GraphBuilder":
         """Declare an entity with its descriptive structure in one call."""
         if label is not None:

@@ -9,8 +9,8 @@ the UI shows in the entity-presentation area (Fig 3-d).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Mapping, Tuple
 
 from .namespaces import label_from_identifier
 
@@ -45,14 +45,14 @@ class Entity:
     """
 
     identifier: str
-    labels: Tuple[str, ...] = ()
-    types: Tuple[str, ...] = ()
-    categories: Tuple[str, ...] = ()
-    attributes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
-    aliases: Tuple[str, ...] = ()
-    related: Tuple[str, ...] = ()
-    outgoing: Tuple[Tuple[str, str], ...] = ()
-    incoming: Tuple[Tuple[str, str], ...] = ()
+    labels: tuple[str, ...] = ()
+    types: tuple[str, ...] = ()
+    categories: tuple[str, ...] = ()
+    attributes: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    aliases: tuple[str, ...] = ()
+    related: tuple[str, ...] = ()
+    outgoing: tuple[tuple[str, str], ...] = ()
+    incoming: tuple[tuple[str, str], ...] = ()
 
     @property
     def name(self) -> str:
@@ -74,7 +74,7 @@ class Entity:
         """True when the entity is an instance of ``type_id``."""
         return type_id in self.types
 
-    def attribute_values(self) -> Tuple[str, ...]:
+    def attribute_values(self) -> tuple[str, ...]:
         """All literal attribute values, flattened, in predicate order."""
         values: list[str] = []
         for predicate in sorted(self.attributes):
@@ -85,7 +85,7 @@ class Entity:
         """Total number of object-property edges touching this entity."""
         return len(self.outgoing) + len(self.incoming)
 
-    def neighbours(self) -> Tuple[str, ...]:
+    def neighbours(self) -> tuple[str, ...]:
         """Unique neighbouring entity identifiers (both directions)."""
         seen: dict[str, None] = {}
         for _, target in self.outgoing:
@@ -120,7 +120,7 @@ class EntityProfile:
 
     entity: Entity
     external_url: str
-    top_facts: Tuple[Tuple[str, str], ...] = ()
+    top_facts: tuple[tuple[str, str], ...] = ()
 
     @property
     def title(self) -> str:
@@ -139,7 +139,7 @@ def build_profile(entity: Entity, max_facts: int = 10) -> EntityProfile:
     Facts are ordered attributes first (they are the most specific), then
     outgoing edges, then incoming edges, truncated to ``max_facts``.
     """
-    facts: list[Tuple[str, str]] = []
+    facts: list[tuple[str, str]] = []
     for predicate in sorted(entity.attributes):
         for value in entity.attributes[predicate]:
             facts.append((predicate, value))

@@ -19,7 +19,7 @@ implementation would not change any caller.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..exceptions import EntityNotFoundError
 from .entity import Entity
@@ -27,8 +27,8 @@ from .namespaces import (
     DCT_SUBJECT,
     DISAMBIGUATES,
     NamespaceRegistry,
-    RDF_TYPE,
     RDFS_LABEL,
+    RDF_TYPE,
     REDIRECT,
     label_from_identifier,
 )
@@ -46,26 +46,26 @@ STRUCTURAL_PREDICATES: frozenset[str] = frozenset(
 class KnowledgeGraph:
     """A mutable, indexed, in-memory RDF knowledge graph."""
 
-    def __init__(self, name: str = "kg", namespaces: Optional[NamespaceRegistry] = None) -> None:
+    def __init__(self, name: str = "kg", namespaces: NamespaceRegistry | None = None) -> None:
         self.name = name
         self.namespaces = namespaces or NamespaceRegistry()
-        self._triples: List[Triple] = []
-        self._triple_set: Set[Tuple[str, str, TripleObject]] = set()
+        self._triples: list[Triple] = []
+        self._triple_set: set[tuple[str, str, TripleObject]] = set()
         # Access-path indexes over entity edges (object properties).
-        self._spo: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._spo: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
         # Literal attributes: subject -> predicate -> [values]
-        self._literals: Dict[str, Dict[str, List[Literal]]] = defaultdict(lambda: defaultdict(list))
+        self._literals: dict[str, dict[str, list[Literal]]] = defaultdict(lambda: defaultdict(list))
         # Special-purpose indexes.
-        self._types: Dict[str, Set[str]] = defaultdict(set)          # entity -> types
-        self._type_members: Dict[str, Set[str]] = defaultdict(set)   # type -> entities
-        self._labels: Dict[str, List[str]] = defaultdict(list)       # entity -> labels
-        self._categories: Dict[str, Set[str]] = defaultdict(set)     # entity -> categories
-        self._category_members: Dict[str, Set[str]] = defaultdict(set)
-        self._aliases: Dict[str, Set[str]] = defaultdict(set)        # entity -> alias entity ids
-        self._entities: Set[str] = set()
-        self._predicates: Set[str] = set()
+        self._types: dict[str, set[str]] = defaultdict(set)          # entity -> types
+        self._type_members: dict[str, set[str]] = defaultdict(set)   # type -> entities
+        self._labels: dict[str, list[str]] = defaultdict(list)       # entity -> labels
+        self._categories: dict[str, set[str]] = defaultdict(set)     # entity -> categories
+        self._category_members: dict[str, set[str]] = defaultdict(set)
+        self._aliases: dict[str, set[str]] = defaultdict(set)        # entity -> alias entity ids
+        self._entities: set[str] = set()
+        self._predicates: set[str] = set()
         #: Mutation counter: bumped on every new triple so derived
         #: structures (feature index, recommendation caches) can detect
         #: staleness, mirroring ``FieldedIndex.epoch`` on the search side.
@@ -166,15 +166,29 @@ class KnowledgeGraph:
         """All triples in insertion order."""
         return tuple(self._triples)
 
-    def entities(self) -> Set[str]:
+    def triples_since(self, count: int) -> list[Triple]:
+        """The triples added after the first ``count`` ones (no full copy).
+
+        The triple log is append-only (there is no removal API), so a
+        consumer that remembers how many triples it has processed can
+        fetch exactly the delta — this is what the incremental
+        :meth:`repro.features.feature_index.SemanticFeatureIndex.rebuild`
+        path uses to avoid re-deriving the whole index on every epoch
+        change.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._triples[count:]
+
+    def entities(self) -> set[str]:
         """All entity identifiers (subjects and object-entities)."""
         return set(self._entities)
 
-    def predicates(self) -> Set[str]:
+    def predicates(self) -> set[str]:
         """All predicates appearing in the graph."""
         return set(self._predicates)
 
-    def edge_predicates(self) -> Set[str]:
+    def edge_predicates(self) -> set[str]:
         """Predicates that connect entities (exploration-relevant relations)."""
         return set(self._pos.keys())
 
@@ -200,35 +214,35 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------ #
     # Pattern queries
     # ------------------------------------------------------------------ #
-    def objects(self, subject: str, predicate: str) -> Set[str]:
+    def objects(self, subject: str, predicate: str) -> set[str]:
         """Entities ``o`` with ``<subject, predicate, o>`` in the graph."""
         return set(self._spo.get(subject, {}).get(predicate, set()))
 
-    def subjects(self, predicate: str, obj: str) -> Set[str]:
+    def subjects(self, predicate: str, obj: str) -> set[str]:
         """Entities ``s`` with ``<s, predicate, obj>`` in the graph."""
         return set(self._pos.get(predicate, {}).get(obj, set()))
 
-    def predicates_between(self, subject: str, obj: str) -> Set[str]:
+    def predicates_between(self, subject: str, obj: str) -> set[str]:
         """Predicates ``p`` with ``<subject, p, obj>`` in the graph."""
         return set(self._osp.get(obj, {}).get(subject, set()))
 
-    def outgoing(self, entity_id: str) -> List[Tuple[str, str]]:
+    def outgoing(self, entity_id: str) -> list[tuple[str, str]]:
         """Object-property edges leaving ``entity_id`` as ``(predicate, target)``."""
-        result: List[Tuple[str, str]] = []
+        result: list[tuple[str, str]] = []
         for predicate, objs in self._spo.get(entity_id, {}).items():
             result.extend((predicate, obj) for obj in sorted(objs))
         return result
 
-    def incoming(self, entity_id: str) -> List[Tuple[str, str]]:
+    def incoming(self, entity_id: str) -> list[tuple[str, str]]:
         """Object-property edges arriving at ``entity_id`` as ``(predicate, source)``."""
-        result: List[Tuple[str, str]] = []
+        result: list[tuple[str, str]] = []
         for subject, predicates in self._osp.get(entity_id, {}).items():
             result.extend((predicate, subject) for predicate in sorted(predicates))
         return result
 
-    def neighbours(self, entity_id: str) -> Set[str]:
+    def neighbours(self, entity_id: str) -> set[str]:
         """Entities one object-property hop away (either direction)."""
-        result: Set[str] = set()
+        result: set[str] = set()
         for objs in self._spo.get(entity_id, {}).values():
             result.update(objs)
         result.update(self._osp.get(entity_id, {}).keys())
@@ -240,14 +254,14 @@ class KnowledgeGraph:
         inc = sum(len(preds) for preds in self._osp.get(entity_id, {}).values())
         return out + inc
 
-    def subjects_of_predicate(self, predicate: str) -> Set[str]:
+    def subjects_of_predicate(self, predicate: str) -> set[str]:
         """All subjects that have at least one edge with ``predicate``."""
-        result: Set[str] = set()
+        result: set[str] = set()
         for obj_subjects in self._pos.get(predicate, {}).values():
             result.update(obj_subjects)
         return result
 
-    def objects_of_predicate(self, predicate: str) -> Set[str]:
+    def objects_of_predicate(self, predicate: str) -> set[str]:
         """All objects reachable via ``predicate``."""
         return set(self._pos.get(predicate, {}).keys())
 
@@ -258,15 +272,15 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------ #
     # Types, labels, categories
     # ------------------------------------------------------------------ #
-    def types_of(self, entity_id: str) -> Set[str]:
+    def types_of(self, entity_id: str) -> set[str]:
         """Types of an entity (``rdf:type`` objects)."""
         return set(self._types.get(entity_id, set()))
 
-    def entities_of_type(self, type_id: str) -> Set[str]:
+    def entities_of_type(self, type_id: str) -> set[str]:
         """All instances of a type."""
         return set(self._type_members.get(type_id, set()))
 
-    def types(self) -> Set[str]:
+    def types(self) -> set[str]:
         """All entity types used in the graph."""
         return set(self._type_members.keys())
 
@@ -286,7 +300,7 @@ class KnowledgeGraph:
             return ""
         return min(entity_types, key=lambda t: (len(self._type_members[t]), t))
 
-    def labels_of(self, entity_id: str) -> List[str]:
+    def labels_of(self, entity_id: str) -> list[str]:
         """Explicit labels of an entity (may be empty)."""
         return list(self._labels.get(entity_id, []))
 
@@ -297,25 +311,25 @@ class KnowledgeGraph:
             return labels[0]
         return label_from_identifier(entity_id)
 
-    def categories_of(self, entity_id: str) -> Set[str]:
+    def categories_of(self, entity_id: str) -> set[str]:
         """Categories of an entity (``dct:subject`` objects)."""
         return set(self._categories.get(entity_id, set()))
 
-    def entities_in_category(self, category: str) -> Set[str]:
+    def entities_in_category(self, category: str) -> set[str]:
         """All entities carrying the given category."""
         return set(self._category_members.get(category, set()))
 
-    def aliases_of(self, entity_id: str) -> Set[str]:
+    def aliases_of(self, entity_id: str) -> set[str]:
         """Alias entities (redirects/disambiguations) of an entity."""
         return set(self._aliases.get(entity_id, set()))
 
-    def attributes_of(self, entity_id: str) -> Dict[str, List[str]]:
+    def attributes_of(self, entity_id: str) -> dict[str, list[str]]:
         """Literal attributes of an entity keyed by predicate.
 
         Structural literals (labels) are excluded — they are exposed via
         :meth:`labels_of`.
         """
-        result: Dict[str, List[str]] = {}
+        result: dict[str, list[str]] = {}
         for predicate, literals in self._literals.get(entity_id, {}).items():
             if predicate == RDFS_LABEL:
                 continue
@@ -357,7 +371,7 @@ class KnowledgeGraph:
             incoming=incoming,
         )
 
-    def entity_or_none(self, entity_id: str) -> Optional[Entity]:
+    def entity_or_none(self, entity_id: str) -> Entity | None:
         """Like :meth:`entity` but returning ``None`` for unknown identifiers."""
         if entity_id not in self._entities:
             return None
@@ -374,7 +388,7 @@ class KnowledgeGraph:
             f"{len(self._pos)} edge predicates)"
         )
 
-    def copy(self, name: Optional[str] = None) -> "KnowledgeGraph":
+    def copy(self, name: str | None = None) -> "KnowledgeGraph":
         """Return an independent copy of the graph."""
         clone = KnowledgeGraph(name or self.name, namespaces=self.namespaces)
         clone.add_all(self._triples)

@@ -16,14 +16,14 @@ from __future__ import annotations
 
 import json
 import re
+from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
 
 from ..exceptions import GraphIOError
 from .graph import KnowledgeGraph
 from .triple import Literal, Triple
 
-_PathLike = Union[str, Path]
+_PathLike = str | Path
 
 _NT_PATTERN = re.compile(
     r"""^\s*
@@ -146,7 +146,7 @@ def save_tsv(graph: KnowledgeGraph, path: _PathLike) -> None:
 
 def graph_to_dict(graph: KnowledgeGraph) -> dict:
     """Serialize a graph to a JSON-compatible dictionary grouped by subject."""
-    subjects: dict[str, List[dict]] = {}
+    subjects: dict[str, list[dict]] = {}
     for triple in graph.triples:
         record = {
             "predicate": triple.predicate,

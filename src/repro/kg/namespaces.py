@@ -9,8 +9,8 @@ compact full IRIs back when loading external data.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple
 
 #: Namespaces used by the synthetic datasets; modelled on DBpedia.
 DEFAULT_NAMESPACES: Mapping[str, str] = {
@@ -40,7 +40,7 @@ class NamespaceRegistry:
     operate on plain string identifiers without requiring full IRIs.
     """
 
-    prefixes: Dict[str, str] = field(
+    prefixes: dict[str, str] = field(
         default_factory=lambda: dict(DEFAULT_NAMESPACES)
     )
 
@@ -69,7 +69,7 @@ class NamespaceRegistry:
         The longest matching base IRI wins; non-matching IRIs are returned
         unchanged.
         """
-        best: Tuple[int, str] | None = None
+        best: tuple[int, str] | None = None
         for prefix, base in self.prefixes.items():
             if iri.startswith(base):
                 candidate = (len(base), prefix)
@@ -80,7 +80,7 @@ class NamespaceRegistry:
         _, prefix = best
         return f"{prefix}:{iri[len(self.prefixes[prefix]):]}"
 
-    def split(self, curie: str) -> Tuple[str, str]:
+    def split(self, curie: str) -> tuple[str, str]:
         """Split a CURIE into ``(prefix, local_name)``.
 
         Identifiers without a registered prefix are returned with an empty

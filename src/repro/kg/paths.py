@@ -11,8 +11,8 @@ connecting-path enumeration between entity pairs.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .graph import KnowledgeGraph
 
@@ -36,7 +36,7 @@ class Path:
     """A path through the KG starting at ``start``."""
 
     start: str
-    steps: Tuple[PathStep, ...] = ()
+    steps: tuple[PathStep, ...] = ()
 
     @property
     def end(self) -> str:
@@ -46,7 +46,7 @@ class Path:
     def length(self) -> int:
         return len(self.steps)
 
-    def entities(self) -> Tuple[str, ...]:
+    def entities(self) -> tuple[str, ...]:
         return (self.start,) + tuple(step.entity for step in self.steps)
 
     def describe(self) -> str:
@@ -61,10 +61,10 @@ def _expand(graph: KnowledgeGraph, entity: str) -> Iterator[PathStep]:
         yield PathStep(predicate=predicate, forward=False, entity=source)
 
 
-def bfs_reachable(graph: KnowledgeGraph, start: str, max_hops: int = 2) -> Dict[str, int]:
+def bfs_reachable(graph: KnowledgeGraph, start: str, max_hops: int = 2) -> dict[str, int]:
     """Entities reachable from ``start`` within ``max_hops``, with distances."""
     graph.require_entity(start)
-    distances: Dict[str, int] = {start: 0}
+    distances: dict[str, int] = {start: 0}
     frontier = deque([start])
     while frontier:
         current = frontier.popleft()
@@ -78,14 +78,14 @@ def bfs_reachable(graph: KnowledgeGraph, start: str, max_hops: int = 2) -> Dict[
     return distances
 
 
-def shortest_path(graph: KnowledgeGraph, start: str, end: str, max_hops: int = 4) -> Optional[Path]:
+def shortest_path(graph: KnowledgeGraph, start: str, end: str, max_hops: int = 4) -> Path | None:
     """Breadth-first shortest path between two entities (undirected)."""
     graph.require_entity(start)
     graph.require_entity(end)
     if start == end:
         return Path(start=start)
-    parents: Dict[str, Tuple[str, PathStep]] = {}
-    visited: Set[str] = {start}
+    parents: dict[str, tuple[str, PathStep]] = {}
+    visited: set[str] = {start}
     frontier = deque([(start, 0)])
     while frontier:
         current, depth = frontier.popleft()
@@ -102,8 +102,8 @@ def shortest_path(graph: KnowledgeGraph, start: str, end: str, max_hops: int = 4
     return None
 
 
-def _reconstruct(start: str, end: str, parents: Dict[str, Tuple[str, PathStep]]) -> Path:
-    steps: List[PathStep] = []
+def _reconstruct(start: str, end: str, parents: dict[str, tuple[str, PathStep]]) -> Path:
+    steps: list[PathStep] = []
     node = end
     while node != start:
         parent, step = parents[node]
@@ -113,7 +113,7 @@ def _reconstruct(start: str, end: str, parents: Dict[str, Tuple[str, PathStep]])
     return Path(start=start, steps=tuple(steps))
 
 
-def connecting_entities(graph: KnowledgeGraph, left: str, right: str) -> List[Tuple[str, str, str]]:
+def connecting_entities(graph: KnowledgeGraph, left: str, right: str) -> list[tuple[str, str, str]]:
     """Entities that connect ``left`` and ``right`` through length-two paths.
 
     Returns ``(anchor_entity, predicate_from_left, predicate_from_right)``
@@ -122,10 +122,10 @@ def connecting_entities(graph: KnowledgeGraph, left: str, right: str) -> List[Tu
     """
     graph.require_entity(left)
     graph.require_entity(right)
-    left_anchors: Dict[str, Set[str]] = {}
+    left_anchors: dict[str, set[str]] = {}
     for step in _expand(graph, left):
         left_anchors.setdefault(step.entity, set()).add(step.predicate)
-    results: List[Tuple[str, str, str]] = []
+    results: list[tuple[str, str, str]] = []
     for step in _expand(graph, right):
         if step.entity in left_anchors and step.entity not in (left, right):
             for left_predicate in sorted(left_anchors[step.entity]):
@@ -140,13 +140,13 @@ def paths_between(
     end: str,
     max_hops: int = 2,
     limit: int = 100,
-) -> List[Path]:
+) -> list[Path]:
     """Enumerate simple paths of length <= ``max_hops`` between two entities."""
     graph.require_entity(start)
     graph.require_entity(end)
-    results: List[Path] = []
+    results: list[Path] = []
 
-    def recurse(current: str, steps: List[PathStep], visited: Set[str]) -> None:
+    def recurse(current: str, steps: list[PathStep], visited: set[str]) -> None:
         if len(results) >= limit:
             return
         if current == end and steps:

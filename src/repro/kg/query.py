@@ -20,15 +20,15 @@ have written structured queries instead of exploring.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import KnowledgeGraphError
 from .graph import KnowledgeGraph
 from .namespaces import RDF_TYPE
 
 #: A variable binding: variable name (without ``?``) -> bound value.
-Binding = Dict[str, str]
+Binding = dict[str, str]
 
 
 def is_variable(term: str) -> bool:
@@ -54,7 +54,7 @@ class TriplePattern:
             if not term:
                 raise KnowledgeGraphError(f"empty {position} in triple pattern")
 
-    def variables(self) -> Set[str]:
+    def variables(self) -> set[str]:
         """The variable names used by this pattern."""
         return {
             variable_name(term)
@@ -110,18 +110,18 @@ class Filter:
 class SelectQuery:
     """A SELECT query: projection + basic graph pattern + filters."""
 
-    variables: Tuple[str, ...]
-    patterns: Tuple[TriplePattern, ...]
-    filters: Tuple[Filter, ...] = ()
+    variables: tuple[str, ...]
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[Filter, ...] = ()
     distinct: bool = True
-    limit: Optional[int] = None
+    limit: int | None = None
 
     def __post_init__(self) -> None:
         if not self.patterns:
             raise KnowledgeGraphError("a SELECT query needs at least one triple pattern")
         if self.limit is not None and self.limit <= 0:
             raise KnowledgeGraphError("LIMIT must be positive")
-        pattern_vars: Set[str] = set()
+        pattern_vars: set[str] = set()
         for pattern in self.patterns:
             pattern_vars |= pattern.variables()
         unknown = [v for v in self.variables if variable_name(v) not in pattern_vars]
@@ -218,7 +218,7 @@ class QueryEngine:
             if triple.is_entity_edge:
                 yield emit(triple.subject, triple.predicate, triple.object)  # type: ignore[arg-type]
 
-    def _pattern_selectivity(self, pattern: TriplePattern, bound_vars: Set[str]) -> int:
+    def _pattern_selectivity(self, pattern: TriplePattern, bound_vars: set[str]) -> int:
         """Lower = more selective; used to order the join."""
         score = 0
         for term in (pattern.subject, pattern.predicate, pattern.object):
@@ -229,17 +229,17 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
     # Query evaluation
     # ------------------------------------------------------------------ #
-    def solve(self, query: SelectQuery) -> List[Binding]:
+    def solve(self, query: SelectQuery) -> list[Binding]:
         """Evaluate a SELECT query and return projected bindings."""
-        bindings: List[Binding] = [{}]
+        bindings: list[Binding] = [{}]
         remaining = list(query.patterns)
         while remaining:
-            bound_vars: Set[str] = set()
+            bound_vars: set[str] = set()
             for binding in bindings:
                 bound_vars |= set(binding)
             remaining.sort(key=lambda p: self._pattern_selectivity(p, bound_vars))
             pattern = remaining.pop(0)
-            next_bindings: List[Binding] = []
+            next_bindings: list[Binding] = []
             for binding in bindings:
                 for match in self._match_pattern(pattern.bound(binding)):
                     merged = dict(binding)
@@ -258,8 +258,8 @@ class QueryEngine:
         for filter_ in query.filters:
             bindings = [b for b in bindings if filter_.accepts(self._graph, b)]
 
-        projected: List[Binding] = []
-        seen: Set[Tuple[Tuple[str, str], ...]] = set()
+        projected: list[Binding] = []
+        seen: set[tuple[tuple[str, str], ...]] = set()
         for binding in bindings:
             row = {variable_name(v): binding.get(variable_name(v), "") for v in query.variables}
             if query.distinct:
@@ -275,11 +275,11 @@ class QueryEngine:
     def select(
         self,
         variables: Sequence[str],
-        patterns: Sequence[Tuple[str, str, str]],
+        patterns: Sequence[tuple[str, str, str]],
         filters: Sequence[Filter] = (),
         distinct: bool = True,
-        limit: Optional[int] = None,
-    ) -> List[Binding]:
+        limit: int | None = None,
+    ) -> list[Binding]:
         """Convenience wrapper building and solving a :class:`SelectQuery`."""
         query = SelectQuery(
             variables=tuple(variables),
@@ -290,7 +290,7 @@ class QueryEngine:
         )
         return self.solve(query)
 
-    def ask(self, patterns: Sequence[Tuple[str, str, str]]) -> bool:
+    def ask(self, patterns: Sequence[tuple[str, str, str]]) -> bool:
         """ASK-style query: does the basic graph pattern have any solution?"""
         pattern_objects = tuple(TriplePattern(*pattern) for pattern in patterns)
         all_vars = sorted({f"?{v}" for p in pattern_objects for v in p.variables()})

@@ -9,8 +9,8 @@ actors coupled via ``starring``) — the quantity the pivot operation exploits.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
 
 from .graph import KnowledgeGraph
 
@@ -67,8 +67,8 @@ def compute_statistics(graph: KnowledgeGraph) -> GraphStatistics:
         predicate: graph.predicate_frequency(predicate)
         for predicate in graph.edge_predicates()
     }
-    out_degrees: List[int] = []
-    in_degrees: List[int] = []
+    out_degrees: list[int] = []
+    in_degrees: list[int] = []
     max_degree = 0
     for entity in graph.entities():
         out_d = len(graph.outgoing(entity))
@@ -111,14 +111,14 @@ class TypeCoupling:
     strength: float
 
 
-def type_couplings(graph: KnowledgeGraph, min_strength: float = 0.0) -> List[TypeCoupling]:
+def type_couplings(graph: KnowledgeGraph, min_strength: float = 0.0) -> list[TypeCoupling]:
     """Compute all type couplings present in the graph.
 
     Returns couplings sorted by descending strength then edge count; the list
     is what the entity-type view of Fig 1-b summarises.
     """
-    pair_edges: Dict[Tuple[str, str, str], int] = defaultdict(int)
-    pair_sources: Dict[Tuple[str, str, str], set] = defaultdict(set)
+    pair_edges: dict[tuple[str, str, str], int] = defaultdict(int)
+    pair_sources: dict[tuple[str, str, str], set] = defaultdict(set)
     for predicate in graph.edge_predicates():
         for obj in graph.objects_of_predicate(predicate):
             target_types = graph.types_of(obj) or {""}
@@ -129,7 +129,7 @@ def type_couplings(graph: KnowledgeGraph, min_strength: float = 0.0) -> List[Typ
                         key = (source_type, predicate, target_type)
                         pair_edges[key] += 1
                         pair_sources[key].add(subject)
-    couplings: List[TypeCoupling] = []
+    couplings: list[TypeCoupling] = []
     for (source_type, predicate, target_type), count in pair_edges.items():
         population = graph.type_count(source_type) if source_type else graph.num_entities()
         strength = len(pair_sources[(source_type, predicate, target_type)]) / population if population else 0.0
@@ -147,14 +147,14 @@ def type_couplings(graph: KnowledgeGraph, min_strength: float = 0.0) -> List[Typ
     return couplings
 
 
-def type_distribution_of_neighbours(graph: KnowledgeGraph, entity_id: str) -> Dict[str, int]:
+def type_distribution_of_neighbours(graph: KnowledgeGraph, entity_id: str) -> dict[str, int]:
     """Distribution of neighbour types around one entity (Fig 1-b).
 
     For ``dbr:Forrest_Gump`` this yields e.g. ``{"dbo:Actor": 5,
     "dbo:Director": 1, ...}`` — the "possible search directions" the paper
     highlights.
     """
-    distribution: Dict[str, int] = defaultdict(int)
+    distribution: dict[str, int] = defaultdict(int)
     for neighbour in graph.neighbours(entity_id):
         types = graph.types_of(neighbour)
         if not types:

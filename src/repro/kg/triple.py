@@ -9,7 +9,6 @@ identifiers (object properties, i.e. edges between entities) or literals
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 from ..exceptions import InvalidTripleError
 
@@ -44,7 +43,7 @@ class Literal:
 
 
 #: The object position of a triple: an entity identifier or a literal.
-TripleObject = Union[str, Literal]
+TripleObject = str | Literal
 
 
 @dataclass(frozen=True)

@@ -17,13 +17,13 @@ All baselines expose the same interface: ``rank(seeds, top_k)`` returning
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from ..exceptions import NoSeedEntitiesError
 from ..features import SemanticFeatureIndex
 from ..kg import KnowledgeGraph
 
-RankedEntities = List[Tuple[str, float]]
+RankedEntities = list[tuple[str, float]]
 
 
 class BaselineRanker:
@@ -41,10 +41,10 @@ class BaselineRanker:
         for seed in seeds:
             self._graph.require_entity(seed)
 
-    def _candidates(self, seeds: Sequence[str]) -> Set[str]:
+    def _candidates(self, seeds: Sequence[str]) -> set[str]:
         """Entities sharing at least one semantic feature with a seed."""
         seed_set = set(seeds)
-        candidates: Set[str] = set()
+        candidates: set[str] = set()
         for seed in seeds:
             for feature in self._index.features_of(seed):
                 candidates.update(self._index.entities_matching(feature))
@@ -61,7 +61,7 @@ class JaccardRanker(BaselineRanker):
 
     def rank(self, seeds: Sequence[str], top_k: int = 20) -> RankedEntities:
         self._check_seeds(seeds)
-        seed_features: Set = set()
+        seed_features: set = set()
         for seed in seeds:
             seed_features.update(self._index.features_of(seed))
         if not seed_features:
@@ -91,10 +91,10 @@ class CoOccurrenceRanker(BaselineRanker):
 
     def rank(self, seeds: Sequence[str], top_k: int = 20) -> RankedEntities:
         self._check_seeds(seeds)
-        seed_features: Set = set()
+        seed_features: set = set()
         for seed in seeds:
             seed_features.update(self._index.features_of(seed))
-        counts: Dict[str, int] = defaultdict(int)
+        counts: dict[str, int] = defaultdict(int)
         seed_set = set(seeds)
         for feature in seed_features:
             for entity_id in self._index.entities_matching(feature):
@@ -131,9 +131,9 @@ class PersonalizedPageRankRanker(BaselineRanker):
         self._check_seeds(seeds)
         seed_set = set(seeds)
         restart = {seed: 1.0 / len(seed_set) for seed in seed_set}
-        scores: Dict[str, float] = dict(restart)
+        scores: dict[str, float] = dict(restart)
         for _ in range(self._iterations):
-            next_scores: Dict[str, float] = defaultdict(float)
+            next_scores: dict[str, float] = defaultdict(float)
             for entity_id, mass in scores.items():
                 neighbours = sorted(self._graph.neighbours(entity_id))
                 if not neighbours:
@@ -164,7 +164,7 @@ class PersonalizedPageRankRanker(BaselineRanker):
 
 def make_baselines(
     graph: KnowledgeGraph, feature_index: SemanticFeatureIndex
-) -> Dict[str, BaselineRanker]:
+) -> dict[str, BaselineRanker]:
     """All baselines keyed by name, as used by the evaluation harness."""
     return {
         "jaccard": JaccardRanker(graph, feature_index),

@@ -14,9 +14,9 @@ visual decomposition of the entity ranking, which is what lets users
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -35,8 +35,8 @@ class CorrelationMatrix:
     with feature ``j``.
     """
 
-    entities: Tuple[str, ...]
-    features: Tuple[SemanticFeature, ...]
+    entities: tuple[str, ...]
+    features: tuple[SemanticFeature, ...]
     values: np.ndarray
 
     def __post_init__(self) -> None:
@@ -48,12 +48,12 @@ class CorrelationMatrix:
             )
 
     @cached_property
-    def _entity_positions(self) -> Dict[str, int]:
+    def _entity_positions(self) -> dict[str, int]:
         """Memoised entity -> row map (replaces O(n) ``tuple.index`` scans)."""
         return {entity: row for row, entity in enumerate(self.entities)}
 
     @cached_property
-    def _feature_positions(self) -> Dict[SemanticFeature, int]:
+    def _feature_positions(self) -> dict[SemanticFeature, int]:
         """Memoised feature -> column map."""
         return {feature: column for column, feature in enumerate(self.features)}
 
@@ -75,7 +75,7 @@ class CorrelationMatrix:
         column = self._feature_position(feature)
         return float(self.values[row, column])
 
-    def entity_row(self, entity_id: str) -> Dict[str, float]:
+    def entity_row(self, entity_id: str) -> dict[str, float]:
         """All feature correlations of one entity, keyed by notation."""
         row = self._entity_position(entity_id)
         return {
@@ -83,7 +83,7 @@ class CorrelationMatrix:
             for column, feature in enumerate(self.features)
         }
 
-    def feature_column(self, feature: SemanticFeature) -> Dict[str, float]:
+    def feature_column(self, feature: SemanticFeature) -> dict[str, float]:
         """All entity correlations of one feature."""
         column = self._feature_position(feature)
         return {
@@ -92,7 +92,7 @@ class CorrelationMatrix:
         }
 
     @property
-    def shape(self) -> Tuple[int, int]:
+    def shape(self) -> tuple[int, int]:
         return (len(self.entities), len(self.features))
 
 

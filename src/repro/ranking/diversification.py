@@ -17,15 +17,15 @@ the interface is meant to encourage.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Set
 
 from ..features import SemanticFeature, SemanticFeatureIndex
 from .entity_ranking import ScoredEntity
 from .sf_ranking import ScoredFeature
 
 
-def jaccard(left: Set, right: Set) -> float:
+def jaccard(left: set, right: set) -> float:
     """Jaccard similarity of two sets (0 for two empty sets)."""
     if not left and not right:
         return 0.0
@@ -62,12 +62,12 @@ class MMRDiversifier:
     # ------------------------------------------------------------------ #
     # Entities
     # ------------------------------------------------------------------ #
-    def _entity_signature(self, entity_id: str) -> Set[SemanticFeature]:
+    def _entity_signature(self, entity_id: str) -> set[SemanticFeature]:
         return set(self._index.features_of(entity_id))
 
     def diversify_entities(
         self, scored: Sequence[ScoredEntity], top_k: int | None = None
-    ) -> List[DiversifiedEntity]:
+    ) -> list[DiversifiedEntity]:
         """Greedy MMR selection over ranked entities.
 
         Scores are min-max normalised to [0, 1] first so that the relevance
@@ -84,7 +84,7 @@ class MMRDiversifier:
         by_id = {item.entity_id: item for item in scored}
 
         remaining = [item.entity_id for item in scored]
-        selected: List[DiversifiedEntity] = []
+        selected: list[DiversifiedEntity] = []
         while remaining and len(selected) < top_k:
             best_id = None
             best_value = float("-inf")
@@ -116,7 +116,7 @@ class MMRDiversifier:
     # ------------------------------------------------------------------ #
     def diversify_features(
         self, scored: Sequence[ScoredFeature], top_k: int | None = None
-    ) -> List[ScoredFeature]:
+    ) -> list[ScoredFeature]:
         """Greedy MMR selection over ranked semantic features.
 
         Similarity between features is the Jaccard overlap of their matching
@@ -135,8 +135,8 @@ class MMRDiversifier:
         by_feature = {item.feature: item for item in scored}
 
         remaining = [item.feature for item in scored]
-        selected: List[SemanticFeature] = []
-        result: List[ScoredFeature] = []
+        selected: list[SemanticFeature] = []
+        result: list[ScoredFeature] = []
         while remaining and len(result) < top_k:
             best = None
             best_value = float("-inf")
@@ -160,7 +160,7 @@ def coverage(feature_index: SemanticFeatureIndex, entity_ids: Sequence[str]) -> 
     Used by tests and the ablation bench to quantify the diversity gain:
     a more diverse top-k covers more distinct features of the graph.
     """
-    covered: Set[SemanticFeature] = set()
+    covered: set[SemanticFeature] = set()
     for entity_id in entity_ids:
         covered |= set(feature_index.features_of(entity_id))
     return len(covered)

@@ -14,22 +14,19 @@ paper emphasises.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
 from ..features import SemanticFeatureIndex
 from ..index import select_top_k
 from ..kg import KnowledgeGraph
+from ..topk import PruningStats
+from ..topk import SELECTION_MARGIN as _SELECTION_MARGIN
 from .probability import FeatureProbabilityModel
 from .ranking_support import FrozenMapping
 from .sf_ranking import ScoredFeature, SemanticFeatureRanker
-
-#: Extra entities pulled from the accumulator map before exact re-scoring,
-#: guarding the top-k boundary against float-rounding differences between
-#: the decomposed and the exhaustive summation order.
-_SELECTION_MARGIN = 16
 
 
 @dataclass(frozen=True)
@@ -40,12 +37,12 @@ class ScoredEntity:
     score: float
     contributions: Mapping[str, float]
 
-    def top_contributions(self, k: int = 5) -> List[tuple[str, float]]:
+    def top_contributions(self, k: int = 5) -> list[tuple[str, float]]:
         """The ``k`` features contributing most to the score."""
         ranked = sorted(self.contributions.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:k]
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "entity": self.entity_id,
             "score": self.score,
@@ -60,8 +57,8 @@ class EntityRanker:
         self,
         graph: KnowledgeGraph,
         feature_index: SemanticFeatureIndex,
-        config: Optional[RankingConfig] = None,
-        feature_ranker: Optional[SemanticFeatureRanker] = None,
+        config: RankingConfig | None = None,
+        feature_ranker: SemanticFeatureRanker | None = None,
     ) -> None:
         self._graph = graph
         self._index = feature_index
@@ -70,18 +67,23 @@ class EntityRanker:
             graph, feature_index, config=self._config
         )
         self._probability: FeatureProbabilityModel = self._feature_ranker.probability_model
+        self._pruning_stats = PruningStats()
 
     @property
     def feature_ranker(self) -> SemanticFeatureRanker:
         """The semantic-feature ranker this entity ranker builds on."""
         return self._feature_ranker
 
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters (``cache_info()`` convention)."""
+        return self._pruning_stats.as_dict()
+
     # ------------------------------------------------------------------ #
     # Candidate generation
     # ------------------------------------------------------------------ #
     def candidates(
         self, seeds: Sequence[str], scored_features: Sequence[ScoredFeature]
-    ) -> List[str]:
+    ) -> list[str]:
         """Candidate entities: anything matching a query feature, minus seeds.
 
         Walks the feature index's materialised no-copy holder lists (same
@@ -102,7 +104,7 @@ class EntityRanker:
         self, entity_id: str, scored_features: Sequence[ScoredFeature]
     ) -> ScoredEntity:
         """``r(e, Q) = sum_pi p(pi|e) * r(pi, Q)`` with per-feature detail."""
-        contributions: Dict[str, float] = {}
+        contributions: dict[str, float] = {}
         total = 0.0
         for scored in scored_features:
             probability = self._probability.probability(scored.feature, entity_id)
@@ -119,10 +121,10 @@ class EntityRanker:
     def rank(
         self,
         seeds: Sequence[str],
-        top_k: Optional[int] = None,
-        scored_features: Optional[Sequence[ScoredFeature]] = None,
-        candidates: Optional[Sequence[str]] = None,
-    ) -> List[ScoredEntity]:
+        top_k: int | None = None,
+        scored_features: Sequence[ScoredFeature] | None = None,
+        candidates: Sequence[str] | None = None,
+    ) -> list[ScoredEntity]:
         """Rank entities similar to the seed set (accumulator fast path).
 
         The method mirrors the two-stage process of §2.3: semantic features
@@ -133,10 +135,14 @@ class EntityRanker:
         :class:`~repro.ranking.ranking_support.RankingSupport`: one base
         score per distinct dominant type plus sparse per-holder corrections
         walked over the index's ``E(pi)`` lists — ``O(types x features +
-        matched postings)`` instead of ``O(candidates x features)``.  The
-        top-k survivors of a bounded-heap selection are then re-scored
-        through :meth:`score_entity`, so the returned entities carry exactly
-        the scores and per-feature contributions of the exhaustive path.
+        matched postings)`` instead of ``O(candidates x features)``.  With
+        ``RankingConfig.pruning == "maxscore"`` whole dominant-type groups
+        are skipped when their base score plus correction upper bound
+        cannot reach the live θ (see
+        :meth:`RankingSupport.score_entities_pruned`).  The top-k survivors
+        of a bounded-heap selection are then re-scored through
+        :meth:`score_entity`, so the returned entities carry exactly the
+        scores and per-feature contributions of the exhaustive path.
         """
         if not seeds:
             raise NoSeedEntitiesError("cannot rank entities for an empty seed set")
@@ -148,7 +154,12 @@ class EntityRanker:
         if candidates is None:
             candidates = self.candidates(seeds, scored_features)
         support = self._probability.support()
-        accumulators = support.score_entities(candidates, scored_features)
+        if self._config.pruning == "maxscore":
+            accumulators = support.score_entities_pruned(
+                candidates, scored_features, top_k, self._pruning_stats
+            )
+        else:
+            accumulators = support.score_entities(candidates, scored_features)
         # Accumulator totals can differ from exhaustive scores by float
         # rounding (the decomposition associates the same terms
         # differently), so select with a safety margin, re-score the
@@ -158,6 +169,8 @@ class EntityRanker:
         # unaffected — identical (type, held-feature) computations produce
         # identical accumulators, and both orderings fall back to entity_id.
         selected = select_top_k(accumulators, top_k + _SELECTION_MARGIN)
+        if self._config.pruning == "maxscore":
+            self._pruning_stats.rescored += len(selected)
         rescored = [
             self._score_entity_via_support(entity_id, scored_features, support)
             for entity_id, _ in selected
@@ -174,7 +187,7 @@ class EntityRanker:
         model, so the result is identical to :meth:`score_entity` — just
         without re-deriving dominant types and type-conditional counts.
         """
-        contributions: Dict[str, float] = {}
+        contributions: dict[str, float] = {}
         total = 0.0
         for scored in scored_features:
             probability = support.probability(scored.feature, entity_id)
@@ -189,10 +202,10 @@ class EntityRanker:
     def rank_exhaustive(
         self,
         seeds: Sequence[str],
-        top_k: Optional[int] = None,
-        scored_features: Optional[Sequence[ScoredFeature]] = None,
-        candidates: Optional[Sequence[str]] = None,
-    ) -> List[ScoredEntity]:
+        top_k: int | None = None,
+        scored_features: Sequence[ScoredFeature] | None = None,
+        candidates: Sequence[str] | None = None,
+    ) -> list[ScoredEntity]:
         """The seed scoring path: score every candidate, sort, truncate.
 
         Kept as the reference implementation the accumulator path is
@@ -215,9 +228,9 @@ class EntityRanker:
     def rank_with_features(
         self,
         seeds: Sequence[str],
-        top_entities: Optional[int] = None,
-        top_features: Optional[int] = None,
-    ) -> tuple[List[ScoredEntity], List[ScoredFeature]]:
+        top_entities: int | None = None,
+        top_features: int | None = None,
+    ) -> tuple[list[ScoredEntity], list[ScoredFeature]]:
         """Rank both entities and features for a query in one call.
 
         This is the recommendation-engine entry point the PivotE facade

@@ -15,8 +15,6 @@ films in general tend to hold it.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
 from .ranking_support import RankingSupport
@@ -44,7 +42,7 @@ class FeatureProbabilityModel:
         # path, which must stay faithful to the seed implementation (the
         # A/B baseline) instead of routing through RankingSupport.  All
         # three layers invalidate off the same index epoch.
-        self._type_cache: Dict[Tuple[SemanticFeature, str], float] = {}
+        self._type_cache: dict[tuple[SemanticFeature, str], float] = {}
         self._cache_epoch = feature_index.epoch
         self._support: RankingSupport | None = None
 
@@ -104,7 +102,7 @@ class FeatureProbabilityModel:
 
     def probability_with_explanation(
         self, feature: SemanticFeature, entity_id: str
-    ) -> Tuple[float, str]:
+    ) -> tuple[float, str]:
         """``p(pi | e)`` plus a short description of how it was obtained.
 
         The explanation string is surfaced in the UI's explanation area to

@@ -31,10 +31,12 @@ produces, so rankings built on this layer are verifiable against the seed
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Sequence, Set, Tuple
+from collections.abc import Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
+from ..topk import PruningStats, safety_slack, threshold_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .sf_ranking import ScoredFeature
@@ -108,9 +110,12 @@ class RankingSupport:
         self._epoch = index.epoch
         #: Memoised dominant types (``graph.dominant_type`` scans the type
         #: sets on every call; candidates repeat across session operations).
-        self._dominant_types: Dict[str, str] = {}
+        self._dominant_types: dict[str, str] = {}
         #: Memoised base probabilities ``max(p(pi|c), eps)`` per (pi, c).
-        self._base: Dict[Tuple[SemanticFeature, str], float] = {}
+        self._base: dict[tuple[SemanticFeature, str], float] = {}
+        #: Memoised ``(base, correction possible)`` pairs per (pi, c): the
+        #: pruned accumulator resolves both with a single dictionary hit.
+        self._base_and_possible: dict[tuple[SemanticFeature, str], tuple[float, bool]] = {}
 
     @property
     def epoch(self) -> int:
@@ -151,13 +156,35 @@ class RankingSupport:
             self._base[key] = cached
         return cached
 
+    def base_and_possible(self, feature: SemanticFeature, type_id: str) -> tuple[float, bool]:
+        """``(base(pi, c), can any type-c candidate hold pi at all?)``.
+
+        The second component gates the correction upper bounds of the
+        pruned entity accumulator: a typed candidate can only earn the
+        ``(1 - base) * r`` correction when the memoised
+        ``||E(pi) ∩ E(c)||`` intersection is non-zero (untyped candidates
+        fall back to the holder list being non-empty).  Both components
+        are resolved with one dictionary hit on the hot path.
+        """
+        key = (feature, type_id)
+        cached = self._base_and_possible.get(key)
+        if cached is None:
+            base = self.base_probability(feature, type_id)
+            if type_id:
+                possible = self._index.type_conditional_count(feature, type_id)[0] > 0
+            else:
+                possible = bool(self._index.holders_of(feature))
+            cached = (base, possible)
+            self._base_and_possible[key] = cached
+        return cached
+
     def probability(self, feature: SemanticFeature, entity_id: str) -> float:
         """``p(pi | e)`` via the memoised lookups (same floats as the model)."""
         if self._index.holds(entity_id, feature):
             return 1.0
         return self.base_probability(feature, self.dominant_type(entity_id))
 
-    def holders(self, feature: SemanticFeature) -> Set[str]:
+    def holders(self, feature: SemanticFeature) -> set[str]:
         """``E(pi)`` as the index's no-copy holder set (read-only)."""
         return self._index.holders_of(feature)
 
@@ -168,7 +195,7 @@ class RankingSupport:
         self,
         entity_ids: Sequence[str],
         scored_features: Sequence["ScoredFeature"],
-    ) -> Dict[str, float]:
+    ) -> dict[str, float]:
         """Accumulator scores ``r(e, Q)`` for every candidate entity.
 
         Implements the type-grouped decomposition: one base score per
@@ -184,10 +211,10 @@ class RankingSupport:
         re-ranks the survivors through ``score_entity``.
         """
         relevance = [scored.score for scored in scored_features]
-        entity_types: Dict[str, str] = {}
-        bases: Dict[str, List[float]] = {}
-        base_scores: Dict[str, float] = {}
-        accumulators: Dict[str, float] = {}
+        entity_types: dict[str, str] = {}
+        bases: dict[str, list[float]] = {}
+        base_scores: dict[str, float] = {}
+        accumulators: dict[str, float] = {}
         for entity_id in entity_ids:
             type_id = self.dominant_type(entity_id)
             entity_types[entity_id] = type_id
@@ -214,11 +241,207 @@ class RankingSupport:
                         accumulators[entity_id] += (1.0 - bases[type_id][column]) * score
         return accumulators
 
+    def correction_bound(
+        self,
+        type_id: str,
+        base_row: Sequence[float],
+        scored_features: Sequence["ScoredFeature"],
+        relevance: Sequence[float],
+    ) -> float:
+        """Upper bound on the sparse correction any type-``c`` candidate can earn.
+
+        A candidate of dominant type ``c`` gains ``(1 - base(pi, c)) * r(pi)``
+        for every scored feature it holds.  The bound sums the maximal
+        per-holder correction over the features a type-``c`` entity *can*
+        hold at all: for typed candidates that is gated on the memoised
+        ``||E(pi) ∩ E(c)||`` intersection count (zero intersection means no
+        instance of the type holds the feature), for untyped candidates on
+        the holder list being non-empty.  Used by the pruned entity
+        accumulator to skip whole type groups whose
+        ``B(c) + bound(corrections)`` cannot reach the live θ.
+        """
+        bound = 0.0
+        if type_id:
+            for column, scored in enumerate(scored_features):
+                score = relevance[column]
+                if score <= 0.0:
+                    continue
+                intersection, _ = self._index.type_conditional_count(scored.feature, type_id)
+                if intersection:
+                    bound += (1.0 - base_row[column]) * score
+        else:
+            for column, scored in enumerate(scored_features):
+                score = relevance[column]
+                if score <= 0.0:
+                    continue
+                if self._index.holders_of(scored.feature):
+                    bound += (1.0 - base_row[column]) * score
+        return bound
+
+    def score_entities_pruned(
+        self,
+        entity_ids: Sequence[str],
+        scored_features: Sequence["ScoredFeature"],
+        top_k: int,
+        stats: PruningStats,
+    ) -> dict[str, float]:
+        """Type-group-pruned accumulator scores (see :meth:`score_entities`).
+
+        The decomposition makes every partial accumulator a score *lower*
+        bound (corrections are non-negative), so the k-th largest partial
+        is a live θ.  A whole dominant-type group dies — before the walk
+        via ``B(c) + bound(corrections) < θ``, or after any correction
+        column via ``best partial of c + remaining bound of c < θ`` — when
+        even its best-scored member provably cannot reach the top-k; its
+        members leave the accumulator map and the later (often much
+        larger) holder walks pass over them.  Survivor scores are exactly
+        the accumulator values :meth:`score_entities` produces; callers
+        must re-score the selection boundary exactly, as before.
+        """
+        relevance = [scored.score for scored in scored_features]
+        entity_types: dict[str, str] = {}
+        type_members: dict[str, list[str]] = {}
+        for entity_id in entity_ids:
+            type_id = self.dominant_type(entity_id)
+            entity_types[entity_id] = type_id
+            members = type_members.get(type_id)
+            if members is None:
+                type_members[type_id] = [entity_id]
+            else:
+                members.append(entity_id)
+
+        num_columns = len(scored_features)
+        bases: dict[str, list[float]] = {}
+        base_scores: dict[str, float] = {}
+        suffix_bounds: dict[str, list[float]] = {}
+        base_and_possible = self.base_and_possible
+        for type_id in type_members:
+            # One memoised hit per (feature, type) yields both the base
+            # probability and the correction-possible gate; the suffix
+            # array accumulates the per-column correction upper bounds.
+            row: list[float] = []
+            suffix = [0.0] * (num_columns + 1)
+            total = 0.0
+            for column, scored in enumerate(scored_features):
+                base, possible = base_and_possible(scored.feature, type_id)
+                row.append(base)
+                score = relevance[column]
+                total += base * score
+                if possible and score > 0.0:
+                    suffix[column] = (1.0 - base) * score
+            for column in range(num_columns - 1, -1, -1):
+                suffix[column] += suffix[column + 1]
+            bases[type_id] = row
+            base_scores[type_id] = total
+            suffix_bounds[type_id] = suffix
+
+        stats.queries += 1
+        stats.candidates_total += len(entity_types)
+        stats.groups_total += len(type_members)
+
+        # Initial θ: the k-th largest base score over the candidate pool,
+        # derived from the type-group sizes (no per-candidate pass).  The
+        # same ordering yields the θ pool for the mid-walk refreshes: a
+        # θ computed over any candidate *subset* is still witnessed by k
+        # real candidates, so restricting the refresh to the members of
+        # the highest-base types keeps it sound at a fraction of the cost
+        # of scanning every accumulator.
+        threshold = float("-inf")
+        theta_pool: list[str] = []
+        if 0 < top_k < len(entity_types):
+            covered = 0
+            pool_budget = 2 * top_k + len(type_members)
+            for type_id in sorted(type_members, key=lambda t: -base_scores[t]):
+                members = type_members[type_id]
+                if covered < top_k:
+                    threshold = base_scores[type_id]
+                if len(theta_pool) < pool_budget:
+                    theta_pool.extend(members)
+                covered += len(members)
+        cut = threshold - safety_slack(threshold) if threshold != float("-inf") else float("-inf")
+
+        live_types: dict[str, list[float]] = {}
+        accumulators: dict[str, float] = {}
+        for type_id, members in type_members.items():
+            if base_scores[type_id] + suffix_bounds[type_id][0] < cut:
+                stats.groups_skipped += 1
+                stats.candidates_pruned += len(members)
+                continue
+            live_types[type_id] = bases[type_id]
+            base = base_scores[type_id]
+            for entity_id in members:
+                accumulators[entity_id] = base
+
+        if len(live_types) == len(type_members):
+            # Nothing died up front: the full type map doubles as the live
+            # map (mid-walk kills mutate it; it is query-local anyway).
+            live_entities = entity_types
+        else:
+            live_entities = {
+                entity_id: type_id
+                for entity_id, type_id in entity_types.items()
+                if type_id in live_types
+            }
+        for column, scored in enumerate(scored_features):
+            score = relevance[column]
+            holder_set = self._index.holders_of(scored.feature)
+            if len(holder_set) <= len(accumulators):
+                for entity_id in holder_set:
+                    type_id = live_entities.get(entity_id)
+                    if type_id is not None:
+                        accumulators[entity_id] += (1.0 - live_types[type_id][column]) * score
+            else:
+                for entity_id, type_id in live_entities.items():
+                    if entity_id in holder_set:
+                        accumulators[entity_id] += (1.0 - live_types[type_id][column]) * score
+            # Kill groups whose best member cannot reach θ with the
+            # remaining corrections.  θ and the per-group best partials
+            # are refreshed only after the heaviest-relevance columns
+            # (the features are already sorted by score, so those columns
+            # decide almost all kills), keeping the walk loop itself
+            # bookkeeping-free; θ only ever grows, so a stale θ is sound.
+            done = column + 1
+            if (
+                done not in (1, 4)
+                or done >= num_columns
+                or len(live_types) <= 1
+                or len(accumulators) <= top_k
+            ):
+                continue
+            lookup_or_dead = accumulators.get
+            refreshed = threshold_of(
+                (
+                    partial
+                    for partial in map(lookup_or_dead, theta_pool)
+                    if partial is not None
+                ),
+                top_k,
+            )
+            if refreshed == float("-inf"):
+                continue
+            cut = refreshed - safety_slack(refreshed)
+            lookup = accumulators.__getitem__
+            doomed = [
+                type_id
+                for type_id, members in type_members.items()
+                if type_id in live_types
+                and max(map(lookup, members)) + suffix_bounds[type_id][done] < cut
+            ]
+            for type_id in doomed:
+                del live_types[type_id]
+                members = type_members[type_id]
+                for entity_id in members:
+                    del accumulators[entity_id]
+                    del live_entities[entity_id]
+                stats.groups_skipped += 1
+                stats.candidates_pruned += len(members)
+        return accumulators
+
     def contribution_rows(
         self,
         entity_ids: Sequence[str],
         scored_features: Sequence["ScoredFeature"],
-    ) -> List[List[float]]:
+    ) -> list[list[float]]:
         """Per-entity contribution vectors ``p(pi|e) * r(pi, Q)``.
 
         The rows of the correlation matrix, assembled from the per-type
@@ -227,11 +450,11 @@ class RankingSupport:
         ``probability() * score`` products.
         """
         relevance = [scored.score for scored in scored_features]
-        base_rows: Dict[str, List[float]] = {}
-        rows: List[List[float]] = []
+        base_rows: dict[str, list[float]] = {}
+        rows: list[list[float]] = []
         # All rows per id, so duplicate entities (legal for this public
         # API) each receive their holder overrides.
-        positions: Dict[str, List[int]] = {}
+        positions: dict[str, list[int]] = {}
         for row_index, entity_id in enumerate(entity_ids):
             positions.setdefault(entity_id, []).append(row_index)
             type_id = self.dominant_type(entity_id)
@@ -259,8 +482,8 @@ class RankingSupport:
 
 
 def select_top_features(
-    scored: Sequence[Tuple["SemanticFeature", float]], k: int
-) -> List[Tuple["SemanticFeature", float]]:
+    scored: Sequence[tuple["SemanticFeature", float]], k: int
+) -> list[tuple["SemanticFeature", float]]:
     """The ``k`` best ``(feature, score)`` pairs by ``(-score, notation)``.
 
     Bounded-heap selection mirroring
@@ -270,7 +493,7 @@ def select_top_features(
     if k <= 0:
         return []
 
-    def _key(item: Tuple["SemanticFeature", float]) -> Tuple[float, str]:
+    def _key(item: tuple["SemanticFeature", float]) -> tuple[float, str]:
         feature, score = item
         return (-score, feature.notation())
 

@@ -13,8 +13,8 @@ entities) is the product of its *discriminability* and its *commonality*:
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
@@ -34,7 +34,7 @@ class ScoredFeature:
     commonality: float
     seed_probabilities: Mapping[str, float]
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "feature": self.feature.notation(),
             "score": self.score,
@@ -51,8 +51,8 @@ class SemanticFeatureRanker:
         self,
         graph: KnowledgeGraph,
         feature_index: SemanticFeatureIndex,
-        config: Optional[RankingConfig] = None,
-        probability_model: Optional[FeatureProbabilityModel] = None,
+        config: RankingConfig | None = None,
+        probability_model: FeatureProbabilityModel | None = None,
     ) -> None:
         self._graph = graph
         self._index = feature_index
@@ -119,7 +119,7 @@ class SemanticFeatureRanker:
     # ------------------------------------------------------------------ #
     # Ranking
     # ------------------------------------------------------------------ #
-    def candidate_features(self, seeds: Sequence[str]) -> List[SemanticFeature]:
+    def candidate_features(self, seeds: Sequence[str]) -> list[SemanticFeature]:
         """The feature pool ``Phi(Q)``: features held by at least one seed.
 
         Features anchored at a seed itself are excluded — recommending
@@ -143,9 +143,9 @@ class SemanticFeatureRanker:
     def rank(
         self,
         seeds: Sequence[str],
-        top_k: Optional[int] = None,
-        candidates: Optional[Sequence[SemanticFeature]] = None,
-    ) -> List[ScoredFeature]:
+        top_k: int | None = None,
+        candidates: Sequence[SemanticFeature] | None = None,
+    ) -> list[ScoredFeature]:
         """Rank semantic features for a seed set (accumulator fast path).
 
         Scores the pool through the shared :class:`RankingSupport` context
@@ -178,7 +178,7 @@ class SemanticFeatureRanker:
         seed_features = [self._index.features_of(seed) for seed in unique_seeds]
         seed_types = [support.dominant_type(seed) for seed in unique_seeds]
         base_probability = support.base_probability
-        scored_pairs: List[tuple[SemanticFeature, float]] = []
+        scored_pairs: list[tuple[SemanticFeature, float]] = []
         for feature in pool:
             score = 1.0
             if use_discriminability:
@@ -198,9 +198,9 @@ class SemanticFeatureRanker:
     def rank_exhaustive(
         self,
         seeds: Sequence[str],
-        top_k: Optional[int] = None,
-        candidates: Optional[Sequence[SemanticFeature]] = None,
-    ) -> List[ScoredFeature]:
+        top_k: int | None = None,
+        candidates: Sequence[SemanticFeature] | None = None,
+    ) -> list[ScoredFeature]:
         """The seed scoring path: score every pool feature, sort, truncate.
 
         Kept as the reference implementation the accumulator path is
@@ -214,8 +214,8 @@ class SemanticFeatureRanker:
         return scored[:top_k]
 
     def _validated_pool(
-        self, seeds: Sequence[str], candidates: Optional[Sequence[SemanticFeature]]
-    ) -> List[SemanticFeature]:
+        self, seeds: Sequence[str], candidates: Sequence[SemanticFeature] | None
+    ) -> list[SemanticFeature]:
         if not seeds:
             raise NoSeedEntitiesError("cannot rank features for an empty seed set")
         for seed in seeds:

@@ -16,10 +16,11 @@ tail to match the exhaustive ranking byte-for-byte.
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
 
 from ..index import FieldedIndex, select_top_k_with_zero_fill
+from ..topk import PruningStats, SparseTermEntry, maxscore_sparse, select_survivors
 from .mlm import ScoredDocument
 from .query import KeywordQuery
 
@@ -45,16 +46,56 @@ def idf(num_documents: int, document_frequency: int) -> float:
     return max(0.0, math.log(1.0 + numerator / denominator))
 
 
+def _extend_with_zero_tail(top, top_k, index, query, score_document):
+    """Fill a short pruned top list with the zero-scored candidate tail.
+
+    Reproduces :func:`repro.index.select_top_k_with_zero_fill`'s semantics
+    for the pruned paths: when fewer matching documents than ``top_k``
+    exist, the exhaustive ranking continues with the remaining candidates
+    at score ``0.0`` ordered by document id.
+    """
+    missing = top_k - len(top)
+    if missing <= 0:
+        return top
+    scored = {result.doc_id for result in top}
+    candidates = index.candidate_documents(query.all_terms())
+    zeros = sorted(doc_id for doc_id in candidates if doc_id not in scored)
+    top.extend(score_document(query, doc_id) for doc_id in zeros[:missing])
+    return top
+
+
 class BM25FieldScorer:
     """Plain BM25 over a single field of a fielded index."""
 
-    def __init__(self, index: FieldedIndex, field: str, params: BM25Params | None = None) -> None:
+    def __init__(
+        self,
+        index: FieldedIndex,
+        field: str,
+        params: BM25Params | None = None,
+        pruning: str = "maxscore",
+    ) -> None:
+        if pruning not in ("off", "maxscore"):
+            raise ValueError(f"unknown pruning mode: {pruning!r}")
         self._index = index
         self._field = field
         self._params = params or BM25Params()
+        self._pruning = pruning
+        self._pruning_stats = PruningStats()
         field_index = index.field_index(field)
         self._avg_length = field_index.average_document_length
         self._num_documents = field_index.num_documents
+
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters (``cache_info()`` convention)."""
+        return self._pruning_stats.as_dict()
+
+    def _min_length_norm(self) -> float:
+        """Smallest possible BM25 length normaliser over the collection."""
+        params = self._params
+        if self._avg_length <= 0:
+            return 1.0
+        min_length = self._index.statistics().field(self._field).min_length
+        return 1.0 - params.b + params.b * (min_length / self._avg_length)
 
     def score_document(self, query: KeywordQuery, doc_id: str) -> ScoredDocument:
         params = self._params
@@ -63,7 +104,7 @@ class BM25FieldScorer:
             doc_len / self._avg_length if self._avg_length > 0 else 1.0
         )
         score = 0.0
-        term_scores: Dict[str, float] = {}
+        term_scores: dict[str, float] = {}
         for term in query.all_terms():
             tf = self._index.term_frequency(self._field, term, doc_id)
             if tf == 0:
@@ -76,8 +117,17 @@ class BM25FieldScorer:
             score += contribution
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
-    def search(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
-        """Term-at-a-time BM25 ranking over the field's postings."""
+    def search(self, query: KeywordQuery, top_k: int = 20) -> list[ScoredDocument]:
+        """Term-at-a-time BM25 ranking over the field's postings.
+
+        With ``pruning="maxscore"`` the traversal runs threshold-pruned:
+        terms are processed in decreasing upper-bound order, and once the
+        remaining terms cannot lift a new document past the live θ the
+        walk switches to accumulator-only refinement (the OR→AND switch),
+        skipping the postings walks of frequent low-impact terms.
+        """
+        if self._pruning == "maxscore":
+            return self._search_maxscore(query, top_k)
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
@@ -85,7 +135,7 @@ class BM25FieldScorer:
         params = self._params
         k1_plus_1 = params.k1 + 1
         lengths = support.field_lengths(self._field)
-        accumulators: Dict[str, float] = {}
+        accumulators: dict[str, float] = {}
         for term in query.all_terms():
             frequencies = support.postings_frequencies(self._field, term)
             if not frequencies:
@@ -109,7 +159,109 @@ class BM25FieldScorer:
         top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
         return [self.score_document(query, doc_id) for doc_id, _ in top]
 
-    def search_exhaustive(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
+    def _sparse_entries(self, query: KeywordQuery) -> list[SparseTermEntry]:
+        """One pruning entry per matching query term, bounds memoised."""
+        support = self._index.scoring_support()
+        statistics = support.statistics
+        params = self._params
+        k1_plus_1 = params.k1 + 1
+        lengths = support.field_lengths(self._field)
+        avg_length = self._avg_length
+        min_norm = self._min_length_norm()
+        entries: list[SparseTermEntry] = []
+        for term in query.all_terms():
+            frequencies = support.postings_frequencies(self._field, term)
+            if not frequencies:
+                continue
+            weight = idf(self._num_documents, len(frequencies))
+            if weight == 0.0:
+                continue  # zero everywhere: stays in the zero-scored tail
+
+            def tf_part(term: str = term) -> float:
+                max_tf = statistics.field(self._field).max_frequency(term)
+                return (max_tf * k1_plus_1) / (max_tf + params.k1 * min_norm)
+
+            upper = weight * statistics.memoised_bound(
+                ("bm25", params.k1, params.b, avg_length, self._field, term), tf_part
+            )
+
+            def expand(
+                accumulators: dict[str, float],
+                weight: float = weight,
+                frequencies: Mapping[str, int] = frequencies,
+            ) -> None:
+                for doc_id, tf in frequencies.items():
+                    doc_len = lengths.get(doc_id, 0)
+                    length_norm = 1.0 - params.b + params.b * (
+                        doc_len / avg_length if avg_length > 0 else 1.0
+                    )
+                    contribution = weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
+                    accumulators[doc_id] = accumulators.get(doc_id, 0.0) + contribution
+
+            def refine(
+                accumulators: dict[str, float],
+                weight: float = weight,
+                frequencies: Mapping[str, int] = frequencies,
+            ) -> None:
+                for doc_id in accumulators:
+                    tf = frequencies.get(doc_id, 0)
+                    if tf == 0:
+                        continue
+                    doc_len = lengths.get(doc_id, 0)
+                    length_norm = 1.0 - params.b + params.b * (
+                        doc_len / avg_length if avg_length > 0 else 1.0
+                    )
+                    contribution = weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
+                    accumulators[doc_id] += contribution
+
+            entries.append(SparseTermEntry(key=term, upper=upper, expand=expand, refine=refine))
+        return entries
+
+    def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
+        """Threshold-pruned traversal + exact re-scoring of the survivors.
+
+        Survivors are re-scored with the same floating-point operations in
+        the same (query) order as :meth:`score_document`, so the ranking is
+        byte-identical to the exhaustive path; only the final k documents
+        pay the full per-term breakdown construction.
+        """
+        if top_k <= 0:
+            return []
+        entries = self._sparse_entries(query)
+        survivors = maxscore_sparse(entries, top_k, self._pruning_stats)
+        to_rescore = select_survivors(survivors, top_k)
+        self._pruning_stats.rescored += len(to_rescore)
+        support = self._index.scoring_support()
+        params = self._params
+        k1_plus_1 = params.k1 + 1
+        lengths = support.field_lengths(self._field)
+        per_term: list[tuple[float, Mapping[str, int]]] = []
+        for term in query.all_terms():
+            frequencies = support.postings_frequencies(self._field, term)
+            if not frequencies:
+                continue
+            weight = idf(self._num_documents, len(frequencies))
+            if weight == 0.0:
+                continue  # score_document adds an exact 0.0 for these
+            per_term.append((weight, frequencies))
+        exact: list[tuple[str, float]] = []
+        for doc_id in to_rescore:
+            doc_len = lengths.get(doc_id, 0)
+            length_norm = 1.0 - params.b + params.b * (
+                doc_len / self._avg_length if self._avg_length > 0 else 1.0
+            )
+            score = 0.0
+            for weight, frequencies in per_term:
+                tf = frequencies.get(doc_id, 0)
+                if tf == 0:
+                    continue
+                score += weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
+            exact.append((doc_id, score))
+        exact.sort(key=lambda item: (-item[1], item[0]))
+        top = [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
+        return _extend_with_zero_tail(top, top_k, self._index, query, self.score_document)
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int = 20) -> list[ScoredDocument]:
         """Score every candidate and fully sort (the pre-accumulator path)."""
         candidates = self._index.candidate_documents(query.all_terms())
         scored = [self.score_document(query, doc_id) for doc_id in candidates]
@@ -126,9 +278,14 @@ class BM25FScorer:
         index: FieldedIndex,
         field_weights: Mapping[str, float],
         params: BM25Params | None = None,
+        pruning: str = "maxscore",
     ) -> None:
+        if pruning not in ("off", "maxscore"):
+            raise ValueError(f"unknown pruning mode: {pruning!r}")
         self._index = index
         self._params = params or BM25Params()
+        self._pruning = pruning
+        self._pruning_stats = PruningStats()
         total = sum(field_weights.get(field, 0.0) for field in index.fields)
         if total <= 0:
             raise ValueError("field weights must have positive mass over the index fields")
@@ -137,6 +294,10 @@ class BM25FScorer:
             field: index.field_index(field).average_document_length for field in index.fields
         }
         self._num_documents = index.num_documents
+
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters (``cache_info()`` convention)."""
+        return self._pruning_stats.as_dict()
 
     def _weighted_tf(self, term: str, doc_id: str) -> float:
         weighted = 0.0
@@ -162,7 +323,7 @@ class BM25FScorer:
 
     def score_document(self, query: KeywordQuery, doc_id: str) -> ScoredDocument:
         score = 0.0
-        term_scores: Dict[str, float] = {}
+        term_scores: dict[str, float] = {}
         for term in query.all_terms():
             weighted_tf = self._weighted_tf(term, doc_id)
             if weighted_tf == 0.0:
@@ -174,8 +335,15 @@ class BM25FScorer:
             score += contribution
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
-    def search(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
-        """Term-at-a-time BM25F ranking across the weighted fields."""
+    def search(self, query: KeywordQuery, top_k: int = 20) -> list[ScoredDocument]:
+        """Term-at-a-time BM25F ranking across the weighted fields.
+
+        With ``pruning="maxscore"`` the traversal runs threshold-pruned
+        exactly like :meth:`BM25FieldScorer.search`, with the weighted
+        cross-field term frequency bounded per field.
+        """
+        if self._pruning == "maxscore":
+            return self._search_maxscore(query, top_k)
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
@@ -184,7 +352,7 @@ class BM25FScorer:
         weighted_fields = [
             (field, weight) for field, weight in self._weights.items() if weight != 0.0
         ]
-        accumulators: Dict[str, float] = {}
+        accumulators: dict[str, float] = {}
         for term in query.all_terms():
             components = [
                 (
@@ -219,7 +387,159 @@ class BM25FScorer:
         top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
         return [self.score_document(query, doc_id) for doc_id, _ in top]
 
-    def search_exhaustive(self, query: KeywordQuery, top_k: int = 20) -> List[ScoredDocument]:
+    def _pruned_contribution(
+        self,
+        doc_id: str,
+        components: list[tuple[float, Mapping[str, int], Mapping[str, int], float]],
+        weight_idf: float,
+    ) -> float:
+        """One term's exact BM25F contribution (same arithmetic as search)."""
+        params = self._params
+        weighted_tf = 0.0
+        for weight, frequencies, lengths, avg_len in components:
+            tf = frequencies.get(doc_id, 0)
+            if tf == 0:
+                continue
+            doc_len = lengths.get(doc_id, 0)
+            length_norm = 1.0 - params.b + params.b * (doc_len / avg_len if avg_len > 0 else 1.0)
+            weighted_tf += weight * tf / length_norm
+        return weight_idf * weighted_tf / (weighted_tf + params.k1)
+
+    def _sparse_entries(self, query: KeywordQuery) -> list[SparseTermEntry]:
+        """One pruning entry per matching query term, bounds memoised."""
+        support = self._index.scoring_support()
+        statistics = support.statistics
+        params = self._params
+        weighted_fields = [
+            (field, weight) for field, weight in self._weights.items() if weight != 0.0
+        ]
+        entries: list[SparseTermEntry] = []
+        for term in query.all_terms():
+            components = [
+                (
+                    weight,
+                    support.postings_frequencies(field, term),
+                    support.field_lengths(field),
+                    self._avg_lengths[field],
+                )
+                for field, weight in weighted_fields
+            ]
+            if not any(frequencies for _, frequencies, _, _ in components):
+                continue
+            weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
+            if weight_idf == 0.0:
+                continue  # zero everywhere: stays in the zero-scored tail
+
+            def weighted_tf_bound(term: str = term) -> float:
+                bound = 0.0
+                for field, weight in weighted_fields:
+                    field_stats = statistics.field(field)
+                    max_tf = field_stats.max_frequency(term)
+                    if max_tf == 0:
+                        continue
+                    avg_len = self._avg_lengths[field]
+                    if avg_len > 0:
+                        min_norm = 1.0 - params.b + params.b * (field_stats.min_length / avg_len)
+                    else:
+                        min_norm = 1.0
+                    bound += weight * max_tf / min_norm if min_norm > 0 else float("inf")
+                return bound
+
+            # The key carries this scorer's construction-time average-length
+            # snapshot: two BM25F scorers built at different index epochs
+            # share the epoch-current statistics object but normalise with
+            # their own averages, and a bound derived from smaller averages
+            # would not be sound for the older scorer.
+            max_weighted_tf = statistics.memoised_bound(
+                (
+                    "bm25f",
+                    params.k1,
+                    params.b,
+                    tuple(sorted(self._weights.items())),
+                    tuple(sorted(self._avg_lengths.items())),
+                    term,
+                ),
+                weighted_tf_bound,
+            )
+            if max_weighted_tf == float("inf"):
+                # Degenerate normaliser (b == 1 with an empty document):
+                # the saturated ratio still cannot exceed 1.
+                upper = weight_idf
+            else:
+                upper = weight_idf * max_weighted_tf / (max_weighted_tf + params.k1)
+
+            def expand(
+                accumulators: dict[str, float],
+                components=components,
+                weight_idf: float = weight_idf,
+            ) -> None:
+                matching: set[str] = set()
+                for _, frequencies, _, _ in components:
+                    matching.update(frequencies)
+                for doc_id in matching:
+                    contribution = self._pruned_contribution(doc_id, components, weight_idf)
+                    accumulators[doc_id] = accumulators.get(doc_id, 0.0) + contribution
+
+            def refine(
+                accumulators: dict[str, float],
+                components=components,
+                weight_idf: float = weight_idf,
+            ) -> None:
+                for doc_id in accumulators:
+                    if any(doc_id in frequencies for _, frequencies, _, _ in components):
+                        accumulators[doc_id] += self._pruned_contribution(
+                            doc_id, components, weight_idf
+                        )
+
+            entries.append(SparseTermEntry(key=term, upper=upper, expand=expand, refine=refine))
+        return entries
+
+    def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
+        """Threshold-pruned traversal + exact re-scoring of the survivors.
+
+        Survivor scores are rebuilt with :meth:`_pruned_contribution`,
+        whose arithmetic mirrors :meth:`score_document` term for term, so
+        the ranking is byte-identical to the exhaustive path.
+        """
+        if top_k <= 0:
+            return []
+        entries = self._sparse_entries(query)
+        survivors = maxscore_sparse(entries, top_k, self._pruning_stats)
+        to_rescore = select_survivors(survivors, top_k)
+        self._pruning_stats.rescored += len(to_rescore)
+        support = self._index.scoring_support()
+        weighted_fields = [
+            (field, weight) for field, weight in self._weights.items() if weight != 0.0
+        ]
+        per_term: list[tuple[float, list[tuple[float, Mapping[str, int], Mapping[str, int], float]]]] = []
+        for term in query.all_terms():
+            components = [
+                (
+                    weight,
+                    support.postings_frequencies(field, term),
+                    support.field_lengths(field),
+                    self._avg_lengths[field],
+                )
+                for field, weight in weighted_fields
+            ]
+            if not any(frequencies for _, frequencies, _, _ in components):
+                continue
+            weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
+            if weight_idf == 0.0:
+                continue  # score_document adds an exact 0.0 for these
+            per_term.append((weight_idf, components))
+        exact: list[tuple[str, float]] = []
+        for doc_id in to_rescore:
+            score = 0.0
+            for weight_idf, components in per_term:
+                if any(doc_id in frequencies for _, frequencies, _, _ in components):
+                    score += self._pruned_contribution(doc_id, components, weight_idf)
+            exact.append((doc_id, score))
+        exact.sort(key=lambda item: (-item[1], item[0]))
+        top = [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
+        return _extend_with_zero_tail(top, top_k, self._index, query, self.score_document)
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int = 20) -> list[ScoredDocument]:
         """Score every candidate and fully sort (the pre-accumulator path)."""
         candidates = self._index.candidate_documents(query.all_terms())
         scored = [self.score_document(query, doc_id) for doc_id in candidates]

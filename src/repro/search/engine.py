@@ -10,13 +10,12 @@ facade (and the examples) can use:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from ..config import SearchConfig
 from ..index import FieldedIndex
 from ..kg import KnowledgeGraph
+from ..utils import LRUCache
 from .bm25 import BM25FScorer, BM25FieldScorer
 from .fields import (
     FieldedEntityDocument,
@@ -36,7 +35,7 @@ class SearchHit:
     score: float
     label: str
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {"entity": self.entity_id, "score": self.score, "label": self.label}
 
 
@@ -46,27 +45,25 @@ class SearchEngine:
     def __init__(
         self,
         graph: KnowledgeGraph,
-        config: Optional[SearchConfig] = None,
+        config: SearchConfig | None = None,
     ) -> None:
         self._graph = graph
         self._config = config or SearchConfig()
-        self._documents: Dict[str, FieldedEntityDocument] = {}
+        self._documents: dict[str, FieldedEntityDocument] = {}
         self._index = FieldedIndex(self._config.fields)
-        self._scorer: Optional[MixtureLanguageModelScorer] = None
+        self._scorer: MixtureLanguageModelScorer | None = None
         #: LRU query-result cache: keyed by the parsed query, requested k and
         #: the index epoch (so direct index mutations can never serve stale
         #: hits); cleared explicitly on every engine-level mutation.
-        self._result_cache: "OrderedDict[Tuple[object, ...], Tuple[SearchHit, ...]]" = (
-            OrderedDict()
+        self._result_cache: LRUCache[tuple[object, ...], tuple[SearchHit, ...]] = LRUCache(
+            self._config.result_cache_size
         )
-        self._cache_hits = 0
-        self._cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_graph(cls, graph: KnowledgeGraph, config: Optional[SearchConfig] = None) -> "SearchEngine":
+    def from_graph(cls, graph: KnowledgeGraph, config: SearchConfig | None = None) -> "SearchEngine":
         """Build and index the search engine for a whole graph."""
         engine = cls(graph, config=config)
         engine.build()
@@ -125,7 +122,7 @@ class SearchEngine:
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
-    def search(self, query: str | KeywordQuery, top_k: Optional[int] = None) -> List[SearchHit]:
+    def search(self, query: str | KeywordQuery, top_k: int | None = None) -> list[SearchHit]:
         """Retrieve the top-k entities for a keyword query.
 
         Repeated queries are served from an LRU result cache; the cache key
@@ -138,20 +135,15 @@ class SearchEngine:
         if key is not None:
             cached = self._result_cache.get(key)
             if cached is not None:
-                self._result_cache.move_to_end(key)
-                self._cache_hits += 1
                 return list(cached)
-            self._cache_misses += 1
         hits = [self._to_hit(result) for result in scorer.search(parsed, top_k=top_k)]
         if key is not None:
-            self._result_cache[key] = tuple(hits)
-            while len(self._result_cache) > self._config.result_cache_size:
-                self._result_cache.popitem(last=False)
+            self._result_cache.put(key, tuple(hits))
         return hits
 
     def _cache_key(
-        self, parsed: KeywordQuery, top_k: Optional[int]
-    ) -> Optional[Tuple[object, ...]]:
+        self, parsed: KeywordQuery, top_k: int | None
+    ) -> tuple[object, ...] | None:
         """The result-cache key for a parsed query, or ``None`` when disabled."""
         if self._config.result_cache_size <= 0:
             return None
@@ -160,14 +152,13 @@ class SearchEngine:
         )
         return (parsed.terms, restrictions, top_k or self._config.top_k, self._index.epoch)
 
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the LRU result cache."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._result_cache),
-            "maxsize": self._config.result_cache_size,
-        }
+        return self._result_cache.cache_info()
+
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters of the primary (MLM) scorer."""
+        return self._require_scorer().pruning_info()
 
     def explain(self, query: str | KeywordQuery, entity_id: str) -> ScoredDocument:
         """Score a single entity and return the per-term breakdown."""
@@ -186,11 +177,11 @@ class SearchEngine:
     # ------------------------------------------------------------------ #
     def bm25f_scorer(self) -> BM25FScorer:
         """A BM25F scorer over the same index and field weights."""
-        return BM25FScorer(self._index, self._config.field_weights)
+        return BM25FScorer(self._index, self._config.field_weights, pruning=self._config.pruning)
 
     def bm25_names_scorer(self) -> BM25FieldScorer:
         """A plain BM25 scorer restricted to the names field."""
-        return BM25FieldScorer(self._index, "names")
+        return BM25FieldScorer(self._index, "names", pruning=self._config.pruning)
 
     def single_field_scorer(self, field: str = "names") -> SingleFieldScorer:
         """A query-likelihood scorer over a single field."""

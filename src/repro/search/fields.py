@@ -19,8 +19,8 @@ The :class:`FieldedEntityDocument` holds the raw text per field;
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
 
 from ..config import DEFAULT_FIELDS
 from ..kg import KnowledgeGraph, label_from_identifier
@@ -63,7 +63,7 @@ class FieldedEntityDocument:
         """All fields concatenated; used by the single-field LM baseline."""
         return " ".join(self.joined(name) for name in DEFAULT_FIELDS)
 
-    def as_table(self) -> List[tuple[str, str]]:
+    def as_table(self) -> list[tuple[str, str]]:
         """(field, content) rows mirroring Table 1 of the paper."""
         return [(name, ", ".join(self.field_text(name))) for name in DEFAULT_FIELDS]
 
@@ -72,11 +72,11 @@ def build_entity_document(graph: KnowledgeGraph, entity_id: str) -> FieldedEntit
     """Derive the five-field document of an entity from the knowledge graph."""
     graph.require_entity(entity_id)
 
-    names: List[str] = list(graph.labels_of(entity_id))
+    names: list[str] = list(graph.labels_of(entity_id))
     if not names:
         names = [label_from_identifier(entity_id)]
 
-    attributes: List[str] = []
+    attributes: list[str] = []
     for _, values in sorted(graph.attributes_of(entity_id).items()):
         attributes.extend(values)
 
@@ -84,7 +84,7 @@ def build_entity_document(graph: KnowledgeGraph, entity_id: str) -> FieldedEntit
 
     similar = [graph.label(alias) for alias in sorted(graph.aliases_of(entity_id))]
 
-    related_ids: List[str] = []
+    related_ids: list[str] = []
     seen: set[str] = set()
     for _, target in graph.outgoing(entity_id):
         if target not in seen:
@@ -108,16 +108,16 @@ def build_entity_document(graph: KnowledgeGraph, entity_id: str) -> FieldedEntit
     )
 
 
-def analyze_document(document: FieldedEntityDocument) -> Dict[str, List[str]]:
+def analyze_document(document: FieldedEntityDocument) -> dict[str, list[str]]:
     """Analyze every field of a document into index-ready terms."""
-    analyzed: Dict[str, List[str]] = {}
+    analyzed: dict[str, list[str]] = {}
     for name in DEFAULT_FIELDS:
         analyzer = FIELD_ANALYZERS[name]
         analyzed[name] = analyzer.analyze_all(document.field_text(name))
     return analyzed
 
 
-def build_all_documents(graph: KnowledgeGraph) -> Dict[str, FieldedEntityDocument]:
+def build_all_documents(graph: KnowledgeGraph) -> dict[str, FieldedEntityDocument]:
     """Build the five-field document for every entity in the graph."""
     return {
         entity_id: build_entity_document(graph, entity_id)

@@ -20,12 +20,13 @@ perform the same floating-point operations in the same order.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, MutableMapping, Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, MutableMapping, Sequence, Tuple
 
 from ..config import SearchConfig
 from ..index import FieldedIndex, select_top_k
 from ..index.scoring_support import ScoringSupport
+from ..topk import DenseTermEntry, PruningStats, maxscore_dense, select_survivors
 from .language_model import SmoothingParams, log_probability, smoothed_probability
 from .query import KeywordQuery
 
@@ -33,7 +34,7 @@ from .query import KeywordQuery
 def _accumulate_mixture_term(
     accumulators: MutableMapping[str, float],
     term: str,
-    weighted_fields: Sequence[Tuple[str, float]],
+    weighted_fields: Sequence[tuple[str, float]],
     support: ScoringSupport,
     smoothing: SmoothingParams,
 ) -> None:
@@ -89,6 +90,228 @@ def _accumulate_mixture_term(
             accumulators[doc_id] = partial + log_probability(probability)
 
 
+class LanguageModelBounds:
+    """Per-(field, term) smoothed-probability bounds for the LM scorers.
+
+    Implements the :class:`~repro.topk.bounds.ScorerBounds` protocol: for
+    every candidate document, the smoothed mixture component of ``term`` in
+    ``field`` lies in ``[field_floor, field_upper]``.  The floor is the
+    *background* probability mass smoothing grants every document — the
+    decomposition that lets max-score pruning evict candidates even though
+    smoothing scores all of them:
+
+    * Dirichlet: ``p(t|d) = (tf + mu·p_c) / (|d| + mu)`` is maximised by
+      the largest tf over the shortest field and floored by a zero tf over
+      the longest field;
+    * Jelinek-Mercer: ``p(t|d) = (1-λ)·tf/|d| + λ·p_c`` is bounded above
+      by ``(1-λ)·1 + λ·p_c`` (``tf <= |d|``) when the field contains the
+      term at all, and floored by the collection mass ``λ·p_c``.
+
+    Field bounds are memoised on :class:`CollectionStatistics` (keyed by
+    smoothing method and parameter), so they live exactly as long as the
+    index epoch they were derived from.
+    """
+
+    __slots__ = ("_support", "_smoothing")
+
+    def __init__(self, support: ScoringSupport, smoothing: SmoothingParams) -> None:
+        self._support = support
+        self._smoothing = smoothing
+
+    def _compute_field_bound(self, field: str, term: str, which: str) -> float:
+        smoothing = self._smoothing
+        field_stats = self._support.statistics.field(field)
+        probability = field_stats.collection_probability(term)
+        if smoothing.method == "dirichlet":
+            mu = smoothing.dirichlet_mu
+            mass = mu * probability
+            if which == "upper":
+                return (field_stats.max_frequency(term) + mass) / (field_stats.min_length + mu)
+            return mass / (field_stats.max_length + mu)
+        lam = smoothing.jm_lambda
+        mass = lam * probability
+        if which == "upper":
+            return (1.0 - lam) * (1.0 if field_stats.max_frequency(term) > 0 else 0.0) + mass
+        return mass
+
+    def _field_bounds(self, field: str, term: str) -> tuple[float, float]:
+        smoothing = self._smoothing
+        statistics = self._support.statistics
+        if smoothing.method == "dirichlet":
+            key = ("lm-dirichlet", smoothing.dirichlet_mu, field, term)
+        else:
+            key = ("lm-jm", smoothing.jm_lambda, field, term)
+        floor = statistics.memoised_bound(
+            key + ("floor",), lambda: self._compute_field_bound(field, term, "floor")
+        )
+        upper = statistics.memoised_bound(
+            key + ("upper",), lambda: self._compute_field_bound(field, term, "upper")
+        )
+        return floor, upper
+
+    def term_floor(self, field: str, term: str) -> float:
+        return self._field_bounds(field, term)[0]
+
+    def term_upper(self, field: str, term: str) -> float:
+        return self._field_bounds(field, term)[1]
+
+    def mixture_bounds(
+        self, term: str, weighted_fields: Sequence[tuple[str, float]]
+    ) -> tuple[float, float]:
+        """Bounds of the full log mixture contribution of one query term."""
+        floor_mass = 0.0
+        upper_mass = 0.0
+        for field, weight in weighted_fields:
+            floor, upper = self._field_bounds(field, term)
+            floor_mass += weight * floor
+            upper_mass += weight * upper
+        return log_probability(floor_mass), log_probability(upper_mass)
+
+
+def _rank_key(item: tuple[str, float]) -> tuple[float, str]:
+    doc_id, score = item
+    return (-score, doc_id)
+
+
+def _term_components(
+    term: str,
+    weighted_fields: Sequence[tuple[str, float]],
+    support: ScoringSupport,
+    smoothing: SmoothingParams,
+) -> list[tuple[float, Mapping[str, int], Mapping[str, int], float]]:
+    """The per-field lookup tuples one term's scoring needs, resolved once."""
+    if smoothing.method == "dirichlet":
+        factor = smoothing.dirichlet_mu
+    else:
+        factor = smoothing.jm_lambda
+    return [
+        (
+            weight,
+            support.postings_frequencies(field, term),
+            support.field_lengths(field),
+            factor * support.collection_probability(field, term),
+        )
+        for field, weight in weighted_fields
+    ]
+
+
+def _rescore_mixture(
+    doc_ids: Sequence[str],
+    per_term: Sequence[list[tuple[float, Mapping[str, int], Mapping[str, int], float]]],
+    smoothing: SmoothingParams,
+) -> list[tuple[str, float]]:
+    """Exact scores of a few documents through the fast support lookups.
+
+    ``per_term`` must list each scored term's components in *scoring*
+    order (query terms, then field restrictions): the summation order and
+    per-term arithmetic mirror :meth:`MixtureLanguageModelScorer.score_document`
+    operation-for-operation, so the returned scores are bitwise identical
+    to the exhaustive path without its per-call index lookups.
+    """
+    results: list[tuple[str, float]] = []
+    if smoothing.method == "dirichlet":
+        mu = smoothing.dirichlet_mu
+        for doc_id in doc_ids:
+            score = 0.0
+            for components in per_term:
+                probability = 0.0
+                for weight, frequencies, lengths, mass in components:
+                    probability += weight * (
+                        (frequencies.get(doc_id, 0) + mass) / (lengths.get(doc_id, 0) + mu)
+                    )
+                score += log_probability(probability)
+            results.append((doc_id, score))
+    else:  # jelinek-mercer
+        one_minus_lam = 1.0 - smoothing.jm_lambda
+        for doc_id in doc_ids:
+            score = 0.0
+            for components in per_term:
+                probability = 0.0
+                for weight, frequencies, lengths, mass in components:
+                    doc_len = lengths.get(doc_id, 0)
+                    if doc_len > 0:
+                        probability += weight * (
+                            one_minus_lam * (frequencies.get(doc_id, 0) / doc_len) + mass
+                        )
+                    else:
+                        probability += weight * mass
+                score += log_probability(probability)
+            results.append((doc_id, score))
+    return results
+
+
+def _accumulate_mixture_term_pruned(
+    accumulators: MutableMapping[str, float],
+    cut: float,
+    term: str,
+    weighted_fields: Sequence[tuple[str, float]],
+    support: ScoringSupport,
+    smoothing: SmoothingParams,
+) -> MutableMapping[str, float]:
+    """The fused pruning variant of :func:`_accumulate_mixture_term`.
+
+    Adds the term's exact log mixture contribution in place, evicting
+    candidates whose partial fell below the ``cut`` the driver derived
+    from θ — evicted candidates skip the per-field probability
+    arithmetic, which is what makes smoothing stop forcing a full score
+    of every document.
+    """
+    if cut == float("-inf"):
+        _accumulate_mixture_term(accumulators, term, weighted_fields, support, smoothing)
+        return accumulators
+    doomed: list[str] = []
+    if smoothing.method == "dirichlet":
+        mu = smoothing.dirichlet_mu
+        components = [
+            (
+                weight,
+                support.postings_frequencies(field, term),
+                support.field_lengths(field),
+                mu * support.collection_probability(field, term),
+            )
+            for field, weight in weighted_fields
+        ]
+        for doc_id, partial in accumulators.items():
+            if partial < cut:
+                doomed.append(doc_id)
+                continue
+            probability = 0.0
+            for weight, frequencies, lengths, mass in components:
+                probability += weight * (
+                    (frequencies.get(doc_id, 0) + mass) / (lengths.get(doc_id, 0) + mu)
+                )
+            accumulators[doc_id] = partial + log_probability(probability)
+    else:  # jelinek-mercer
+        lam = smoothing.jm_lambda
+        one_minus_lam = 1.0 - lam
+        components = [
+            (
+                weight,
+                support.postings_frequencies(field, term),
+                support.field_lengths(field),
+                lam * support.collection_probability(field, term),
+            )
+            for field, weight in weighted_fields
+        ]
+        for doc_id, partial in accumulators.items():
+            if partial < cut:
+                doomed.append(doc_id)
+                continue
+            probability = 0.0
+            for weight, frequencies, lengths, mass in components:
+                doc_len = lengths.get(doc_id, 0)
+                if doc_len > 0:
+                    probability += weight * (
+                        one_minus_lam * (frequencies.get(doc_id, 0) / doc_len) + mass
+                    )
+                else:
+                    probability += weight * mass
+            accumulators[doc_id] = partial + log_probability(probability)
+    for doc_id in doomed:
+        del accumulators[doc_id]
+    return accumulators
+
+
 @dataclass(frozen=True)
 class ScoredDocument:
     """A retrieval result: document identifier, score and per-term detail."""
@@ -113,7 +336,7 @@ class MixtureLanguageModelScorer:
         if total <= 0:
             raise ValueError("field weights must have positive mass over the index fields")
         #: Normalised weights restricted to the index's fields.
-        self._weights: Dict[str, float] = {
+        self._weights: dict[str, float] = {
             field: weights.get(field, 0.0) / total for field in index.fields
         }
         self._smoothing = SmoothingParams(
@@ -121,11 +344,16 @@ class MixtureLanguageModelScorer:
             dirichlet_mu=self._config.dirichlet_mu,
             jm_lambda=self._config.jm_lambda,
         )
+        self._pruning_stats = PruningStats()
 
     @property
     def field_weights(self) -> Mapping[str, float]:
         """The normalised field weights actually used for scoring."""
         return dict(self._weights)
+
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters (``cache_info()`` convention)."""
+        return self._pruning_stats.as_dict()
 
     def term_probability(self, term: str, doc_id: str) -> float:
         """Mixture probability ``sum_f w_f * p(term | d_f)``."""
@@ -147,7 +375,7 @@ class MixtureLanguageModelScorer:
         Field restrictions (``names:gump``) are honoured by scoring the
         restricted terms only within their field.
         """
-        term_scores: Dict[str, float] = {}
+        term_scores: dict[str, float] = {}
         score = 0.0
         for term in query.terms:
             log_p = log_probability(self.term_probability(term, doc_id))
@@ -164,7 +392,7 @@ class MixtureLanguageModelScorer:
                 score += log_p
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
-    def search(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+    def search(self, query: KeywordQuery, top_k: int | None = None) -> list[ScoredDocument]:
         """Rank candidate documents term-at-a-time and return the top ``k``.
 
         Walks each query term's postings once, accumulating partial log
@@ -172,16 +400,24 @@ class MixtureLanguageModelScorer:
         heap.  Only the selected documents are re-scored through
         :meth:`score_document` to materialise their per-term breakdown, so
         the output is identical to :meth:`search_exhaustive`.
+
+        With ``SearchConfig.pruning == "maxscore"`` the traversal is
+        threshold-pruned: terms are processed in max-score order and
+        candidates whose contribution upper bound cannot beat the live θ
+        are evicted early (see :mod:`repro.topk`); the ranking stays
+        byte-identical because survivors are re-scored exhaustively.
         """
         top_k = top_k or self._config.top_k
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
         support = self._index.scoring_support()
-        accumulators = dict.fromkeys(candidates, 0.0)
         weighted_fields = [
             (field, weight) for field, weight in self._weights.items() if weight != 0.0
         ]
+        if self._config.pruning == "maxscore":
+            return self._search_maxscore(query, top_k, candidates, support, weighted_fields)
+        accumulators = dict.fromkeys(candidates, 0.0)
         for term in query.terms:
             _accumulate_mixture_term(accumulators, term, weighted_fields, support, self._smoothing)
         for field, terms in query.field_restrictions.items():
@@ -192,7 +428,71 @@ class MixtureLanguageModelScorer:
         top = select_top_k(accumulators, top_k)
         return [self.score_document(query, doc_id) for doc_id, _ in top]
 
-    def search_exhaustive(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+    def _dense_entries(
+        self,
+        query: KeywordQuery,
+        support: ScoringSupport,
+        weighted_fields: Sequence[tuple[str, float]],
+    ) -> list[DenseTermEntry]:
+        """One pruning entry per query term, with mixture bounds attached."""
+        bounds = LanguageModelBounds(support, self._smoothing)
+        smoothing = self._smoothing
+        entries: list[DenseTermEntry] = []
+
+        def entry(key: str, term: str, fields: Sequence[tuple[str, float]]) -> DenseTermEntry:
+            floor, upper = bounds.mixture_bounds(term, fields)
+            return DenseTermEntry(
+                key=key,
+                floor=floor,
+                upper=upper,
+                accumulate=lambda accumulators, cut, term=term, fields=fields: (
+                    _accumulate_mixture_term_pruned(
+                        accumulators, cut, term, fields, support, smoothing
+                    )
+                ),
+            )
+
+        for term in query.terms:
+            entries.append(entry(term, term, weighted_fields))
+        for field, terms in query.field_restrictions.items():
+            restricted = ((field, 1.0),)
+            for term in terms:
+                entries.append(entry(f"{field}:{term}", term, restricted))
+        return entries
+
+    def _search_maxscore(
+        self,
+        query: KeywordQuery,
+        top_k: int,
+        candidates: Iterable[str],
+        support: ScoringSupport,
+        weighted_fields: Sequence[tuple[str, float]],
+    ) -> list[ScoredDocument]:
+        """Threshold-pruned traversal + exact re-scoring of the survivors.
+
+        The survivors are re-scored with the same floating-point operations
+        in the same (query) order as :meth:`score_document`, so the final
+        ranking is byte-identical to the exhaustive path; only the top-k
+        winners pay the full per-term breakdown construction.
+        """
+        entries = self._dense_entries(query, support, weighted_fields)
+        survivors = maxscore_dense(candidates, entries, top_k, self._pruning_stats)
+        to_rescore = select_survivors(survivors, top_k)
+        self._pruning_stats.rescored += len(to_rescore)
+        smoothing = self._smoothing
+        per_term = [
+            _term_components(term, weighted_fields, support, smoothing) for term in query.terms
+        ]
+        for field, terms in query.field_restrictions.items():
+            restricted = ((field, 1.0),)
+            per_term.extend(
+                _term_components(term, restricted, support, smoothing) for term in terms
+            )
+        exact = _rescore_mixture(to_rescore, per_term, smoothing)
+        exact.sort(key=_rank_key)
+        return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
+
+    def search_exhaustive(self, query: KeywordQuery, top_k: int | None = None) -> list[ScoredDocument]:
         """Score every candidate and fully sort (the pre-accumulator path).
 
         Kept as the reference implementation for equivalence tests and the
@@ -223,10 +523,15 @@ class SingleFieldScorer:
             dirichlet_mu=self._config.dirichlet_mu,
             jm_lambda=self._config.jm_lambda,
         )
+        self._pruning_stats = PruningStats()
+
+    def pruning_info(self) -> dict[str, int]:
+        """Cumulative pruning counters (``cache_info()`` convention)."""
+        return self._pruning_stats.as_dict()
 
     def score_document(self, query: KeywordQuery, doc_id: str) -> ScoredDocument:
         score = 0.0
-        term_scores: Dict[str, float] = {}
+        term_scores: dict[str, float] = {}
         for term in query.all_terms():
             tf = self._index.term_frequency(self._field, term, doc_id)
             doc_len = self._index.document_length(self._field, doc_id)
@@ -237,21 +542,49 @@ class SingleFieldScorer:
             score += log_p
         return ScoredDocument(doc_id=doc_id, score=score, term_scores=term_scores)
 
-    def search(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+    def search(self, query: KeywordQuery, top_k: int | None = None) -> list[ScoredDocument]:
         """Term-at-a-time ranking over the single field (see the MLM scorer)."""
         top_k = top_k or self._config.top_k
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
         support = self._index.scoring_support()
-        accumulators = dict.fromkeys(candidates, 0.0)
         single_field = ((self._field, 1.0),)
+        smoothing = self._smoothing
+        if self._config.pruning == "maxscore":
+            bounds = LanguageModelBounds(support, smoothing)
+            entries: list[DenseTermEntry] = []
+            for term in query.all_terms():
+                floor, upper = bounds.mixture_bounds(term, single_field)
+                entries.append(
+                    DenseTermEntry(
+                        key=term,
+                        floor=floor,
+                        upper=upper,
+                        accumulate=lambda accumulators, cut, term=term: (
+                            _accumulate_mixture_term_pruned(
+                                accumulators, cut, term, single_field, support, smoothing
+                            )
+                        ),
+                    )
+                )
+            survivors = maxscore_dense(candidates, entries, top_k, self._pruning_stats)
+            to_rescore = select_survivors(survivors, top_k)
+            self._pruning_stats.rescored += len(to_rescore)
+            per_term = [
+                _term_components(term, single_field, support, smoothing)
+                for term in query.all_terms()
+            ]
+            exact = _rescore_mixture(to_rescore, per_term, smoothing)
+            exact.sort(key=_rank_key)
+            return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
+        accumulators = dict.fromkeys(candidates, 0.0)
         for term in query.all_terms():
             _accumulate_mixture_term(accumulators, term, single_field, support, self._smoothing)
         top = select_top_k(accumulators, top_k)
         return [self.score_document(query, doc_id) for doc_id, _ in top]
 
-    def search_exhaustive(self, query: KeywordQuery, top_k: int | None = None) -> List[ScoredDocument]:
+    def search_exhaustive(self, query: KeywordQuery, top_k: int | None = None) -> list[ScoredDocument]:
         """Score every candidate and fully sort (the pre-accumulator path)."""
         top_k = top_k or self._config.top_k
         candidates = self._index.candidate_documents(query.all_terms())

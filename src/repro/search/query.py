@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from ..config import DEFAULT_FIELDS
 from ..exceptions import EmptyQueryError
@@ -39,15 +38,15 @@ class KeywordQuery:
     """
 
     raw: str
-    terms: Tuple[str, ...]
-    phrases: Tuple[Tuple[str, ...], ...] = ()
-    field_restrictions: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    terms: tuple[str, ...]
+    phrases: tuple[tuple[str, ...], ...] = ()
+    field_restrictions: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     @property
     def is_empty(self) -> bool:
         return not self.terms and not self.field_restrictions
 
-    def all_terms(self) -> List[str]:
+    def all_terms(self) -> list[str]:
         """Free-text terms plus all field-restricted terms."""
         result = list(self.terms)
         for terms in self.field_restrictions.values():
@@ -64,7 +63,7 @@ def parse_query(raw: str, analyzer: Analyzer = NAME_ANALYZER) -> KeywordQuery:
         When the query contains no indexable terms at all.
     """
     text = raw or ""
-    phrases: List[Tuple[str, ...]] = []
+    phrases: list[tuple[str, ...]] = []
 
     def collect_phrase(match: re.Match[str]) -> str:
         phrase_terms = tuple(analyzer.analyze_query(match.group(1)))
@@ -74,7 +73,7 @@ def parse_query(raw: str, analyzer: Analyzer = NAME_ANALYZER) -> KeywordQuery:
 
     text = _PHRASE.sub(collect_phrase, text)
 
-    field_restrictions: Dict[str, List[str]] = {}
+    field_restrictions: dict[str, list[str]] = {}
 
     def collect_fielded(match: re.Match[str]) -> str:
         field_name, value = match.group(1).lower(), match.group(2)

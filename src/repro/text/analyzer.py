@@ -8,8 +8,8 @@ while attribute text does not.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List
 
 from .normalize import light_stem, normalize_token
 from .stopwords import ENGLISH_STOPWORDS
@@ -35,12 +35,12 @@ class Analyzer:
     remove_stopwords: bool = True
     stem: bool = True
     min_token_length: int = 1
-    stopwords: FrozenSet[str] = field(default=ENGLISH_STOPWORDS)
+    stopwords: frozenset[str] = field(default=ENGLISH_STOPWORDS)
 
-    def analyze(self, text: str) -> List[str]:
+    def analyze(self, text: str) -> list[str]:
         """Run the full pipeline on one string."""
         tokens = tokenize(text)
-        result: List[str] = []
+        result: list[str] = []
         for token in tokens:
             if self.remove_stopwords and token in self.stopwords:
                 continue
@@ -51,14 +51,14 @@ class Analyzer:
             result.append(token)
         return result
 
-    def analyze_all(self, texts: Iterable[str]) -> List[str]:
+    def analyze_all(self, texts: Iterable[str]) -> list[str]:
         """Run the pipeline over many strings, returning one flat list."""
-        tokens: List[str] = []
+        tokens: list[str] = []
         for text in texts:
             tokens.extend(self.analyze(text))
         return tokens
 
-    def analyze_query(self, query: str) -> List[str]:
+    def analyze_query(self, query: str) -> list[str]:
         """Analyze a keyword query.
 
         Queries go through the same pipeline as documents, but a query that

@@ -8,10 +8,10 @@ shared default.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable
+from collections.abc import Iterable
 
 #: Default English stopwords.
-ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
     """
     a about above after again against all am an and any are aren as at be
     because been before being below between both but by can cannot could
@@ -30,8 +30,8 @@ ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
 def make_stopword_set(
     extra: Iterable[str] = (),
     remove: Iterable[str] = (),
-    base: FrozenSet[str] = ENGLISH_STOPWORDS,
-) -> FrozenSet[str]:
+    base: frozenset[str] = ENGLISH_STOPWORDS,
+) -> frozenset[str]:
     """Build a customised stopword set from the default list.
 
     Parameters
@@ -50,6 +50,6 @@ def make_stopword_set(
     return frozenset(result)
 
 
-def is_stopword(token: str, stopwords: FrozenSet[str] = ENGLISH_STOPWORDS) -> bool:
+def is_stopword(token: str, stopwords: frozenset[str] = ENGLISH_STOPWORDS) -> bool:
     """True when ``token`` (case-insensitively) is a stopword."""
     return token.lower() in stopwords

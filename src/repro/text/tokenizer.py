@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 from .normalize import normalize_text
 
 
-def tokenize(text: str) -> List[str]:
+def tokenize(text: str) -> list[str]:
     """Split a string into normalized tokens.
 
     >>> tokenize("Forrest_Gump (1994 film)")
@@ -18,15 +18,15 @@ def tokenize(text: str) -> List[str]:
     return normalize_text(text).split()
 
 
-def tokenize_all(texts: Iterable[str]) -> List[str]:
+def tokenize_all(texts: Iterable[str]) -> list[str]:
     """Tokenize an iterable of strings into one flat token list."""
-    tokens: List[str] = []
+    tokens: list[str] = []
     for text in texts:
         tokens.extend(tokenize(text))
     return tokens
 
 
-def ngrams(tokens: List[str], n: int) -> List[tuple[str, ...]]:
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
     """Return the list of ``n``-grams over a token sequence."""
     if n <= 0:
         raise ValueError("n must be positive")
@@ -35,7 +35,7 @@ def ngrams(tokens: List[str], n: int) -> List[tuple[str, ...]]:
     return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
 
 
-def character_ngrams(text: str, n: int = 3) -> List[str]:
+def character_ngrams(text: str, n: int = 3) -> list[str]:
     """Character n-grams of the normalized text, used for fuzzy matching."""
     if n <= 0:
         raise ValueError("n must be positive")

@@ -1,0 +1,52 @@
+"""Shared threshold-pruned top-k execution layer (max-score/WAND family).
+
+Both retrieval pipelines — keyword search over the fielded index (§2.2)
+and the two-stage entity recommendation (§2.3) — select a small top-k out
+of a large candidate pool.  PRs 1–2 made the traversals accumulator-based;
+this package adds the classic dynamic-pruning step on top: maintain a live
+threshold θ (the k-th best score lower bound seen so far) and skip any
+term, candidate or whole type group whose score *upper bound* cannot beat
+θ.  The building blocks are shared by both sides:
+
+* :class:`~repro.topk.heap.ThresholdHeap` — a bounded heap over score
+  lower bounds exposing the live θ;
+* :class:`~repro.topk.stats.PruningStats` — ``cache_info()``-style skip
+  counters reported by every pruned scorer;
+* :class:`~repro.topk.bounds.ScorerBounds` — the protocol scorers
+  implement to expose per-(field, term) contribution bounds;
+* :func:`~repro.topk.maxscore.maxscore_dense` /
+  :func:`~repro.topk.maxscore.maxscore_sparse` — the two max-score
+  traversal drivers (smoothing scorers score every candidate and need the
+  dense driver; BM25-family scorers only ever touch postings and use the
+  sparse one).
+
+Pruning never changes results: every driver only narrows the candidate
+set using sound upper bounds (with a rounding-safety slack, see
+:func:`~repro.topk.heap.safety_slack`), and callers re-score the
+survivors through the exhaustive per-document scoring path, so pruned
+rankings are byte-identical to exhaustive rankings by construction.
+"""
+
+from .bounds import DenseTermEntry, ScorerBounds, SparseTermEntry
+from .heap import ThresholdHeap, safety_slack, threshold_of
+from .maxscore import (
+    SELECTION_MARGIN,
+    maxscore_dense,
+    maxscore_sparse,
+    select_survivors,
+)
+from .stats import PruningStats
+
+__all__ = [
+    "DenseTermEntry",
+    "PruningStats",
+    "SELECTION_MARGIN",
+    "ScorerBounds",
+    "SparseTermEntry",
+    "ThresholdHeap",
+    "maxscore_dense",
+    "maxscore_sparse",
+    "safety_slack",
+    "select_survivors",
+    "threshold_of",
+]

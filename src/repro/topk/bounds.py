@@ -1,0 +1,83 @@
+"""Contribution bounds: the contract between scorers and the drivers.
+
+A pruned traversal only needs three things per query term: a sound *upper*
+bound on the term's per-document contribution, a sound *floor* (the
+background contribution every candidate receives even without matching —
+zero for BM25-family scorers, the smoothing floor for language models),
+and a callback that applies the exact contribution to an accumulator map.
+:class:`DenseTermEntry` / :class:`SparseTermEntry` package those per term;
+:class:`ScorerBounds` is the protocol a scorer's bound provider implements
+so the bounds can be derived once per (field, term) and memoised on
+:class:`~repro.index.statistics.CollectionStatistics` for the index epoch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, MutableMapping
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+#: An accumulator map ``candidate id -> partial score``.
+Accumulators = MutableMapping[str, float]
+
+
+@runtime_checkable
+class ScorerBounds(Protocol):
+    """Per-(field, term) contribution bounds of one scorer.
+
+    Implementations derive the bounds from cached collection statistics
+    (maximum term frequency, minimum/maximum field length, collection
+    probabilities) and memoise them per index epoch.  Soundness contract:
+    for every candidate document ``d`` the scorer may score,
+
+        ``term_floor(field, term) <= contribution(d) <= term_upper(field, term)``.
+    """
+
+    def term_upper(self, field: str, term: str) -> float:
+        """Largest contribution the term can make to any candidate."""
+        ...
+
+    def term_floor(self, field: str, term: str) -> float:
+        """Smallest contribution any candidate receives for the term."""
+        ...
+
+
+@dataclass(frozen=True)
+class DenseTermEntry:
+    """One query term of a dense (score-every-candidate) traversal.
+
+    ``accumulate(accumulators, cut)`` must return a *new* accumulator map
+    holding ``partial + contribution`` for every candidate whose current
+    partial is at least ``cut``, dropping the rest (language-model
+    smoothing gives every surviving candidate a non-trivial background
+    contribution).  Fusing the eviction check into the term pass makes
+    pruning nearly free: the pass already touches every candidate, and
+    evicted candidates skip the per-field probability arithmetic.  Passing
+    ``cut = -inf`` keeps every candidate.
+    """
+
+    key: str
+    floor: float
+    upper: float
+    accumulate: Callable[[Accumulators, float], dict[str, float]]
+
+    @property
+    def spread(self) -> float:
+        """How much the term can separate candidates (drives term order)."""
+        return self.upper - self.floor
+
+
+@dataclass(frozen=True)
+class SparseTermEntry:
+    """One query term of a sparse (postings-only) traversal.
+
+    ``expand`` walks the term's postings and may create new accumulator
+    entries; ``refine`` must only update candidates already present (the
+    AND-mode of the max-score OR→AND switch, skipping the postings walk).
+    The implied floor is zero: non-matching candidates gain nothing.
+    """
+
+    key: str
+    upper: float
+    expand: Callable[[Accumulators], None]
+    refine: Callable[[Accumulators], None]

@@ -1,0 +1,100 @@
+"""The live pruning threshold θ: bounded heaps over score lower bounds.
+
+θ is the k-th best *lower bound* on a final score observed so far.  Any
+candidate whose score *upper bound* falls below θ (minus a rounding-safety
+slack, :func:`safety_slack`) provably cannot enter the top-k, because at
+least k other candidates already have final scores of at least θ.
+
+Two access patterns are provided:
+
+* :func:`threshold_of` for recomputing θ from a snapshot of lower bounds
+  — the traversal drivers do this once per term pass over the live
+  accumulator values (recomputing avoids the duplicate-offer unsoundness
+  of pushing a growing partial score twice), and the type-group pruner
+  over a subset pool of the highest-base candidates;
+* :class:`ThresholdHeap` for streaming offers when each candidate's
+  final lower bound is seen exactly once (kept as part of the layer's
+  public surface for traversals with that shape).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+#: θ before k lower bounds have been seen: nothing can be pruned yet.
+NO_THRESHOLD = float("-inf")
+
+
+def safety_slack(threshold: float) -> float:
+    """Rounding guard subtracted from θ before any bound comparison.
+
+    The pruned traversals associate the same floating-point terms
+    differently from the exhaustive reference path, so two mathematically
+    equal scores can differ by a few ulps between the paths.  Pruning
+    decisions therefore only discard work at least ``slack`` below θ —
+    about 1e-9 relative, many orders of magnitude above accumulated
+    rounding error and far below any score gap worth pruning.
+    """
+    return 1e-9 * (1.0 + abs(threshold))
+
+
+class ThresholdHeap:
+    """A bounded min-heap over score lower bounds with a live θ.
+
+    ``offer`` scores as they become known; :attr:`threshold` is the k-th
+    best so far, or ``-inf`` until k scores have been offered.  Offers must
+    be final lower bounds of *distinct* candidates — offering a growing
+    partial score of the same candidate twice would double-count it.
+    """
+
+    __slots__ = ("_k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._k = k
+        self._heap: list[float] = []
+
+    def offer(self, score: float) -> None:
+        """Consider one candidate's score lower bound."""
+        heap = self._heap
+        if len(heap) < self._k:
+            heapq.heappush(heap, score)
+        elif score > heap[0]:
+            heapq.heapreplace(heap, score)
+
+    def offer_many(self, scores: Iterable[float]) -> None:
+        for score in scores:
+            self.offer(score)
+
+    @property
+    def full(self) -> bool:
+        """Whether k lower bounds have been seen (θ is live)."""
+        return len(self._heap) >= self._k
+
+    @property
+    def threshold(self) -> float:
+        """The live θ: k-th best lower bound, ``-inf`` while not full."""
+        heap = self._heap
+        if len(heap) < self._k:
+            return NO_THRESHOLD
+        return heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def threshold_of(scores: Iterable[float], k: int) -> float:
+    """θ over a snapshot of lower bounds: the k-th largest, or ``-inf``.
+
+    Used by the traversal drivers to recompute θ from the current
+    accumulator values after each term pass (``heapq.nlargest`` runs in
+    C and is O(n log k)).
+    """
+    if k <= 0:
+        return NO_THRESHOLD
+    largest = heapq.nlargest(k, scores)
+    if len(largest) < k:
+        return NO_THRESHOLD
+    return largest[-1]

@@ -1,0 +1,176 @@
+"""Max-score traversal drivers shared by search and recommendation.
+
+Both drivers return the *surviving* accumulator map: a superset of the
+true top-k, plus exact-enough partials for a margin-guarded selection.
+They never produce the final ranking themselves — callers re-score the
+survivors through the exhaustive per-document scoring path and sort with
+the exhaustive tie-break, which is what makes pruned rankings
+byte-identical to exhaustive rankings (see the package docstring).
+
+Soundness of every skip decision rests on two facts:
+
+* an accumulator value plus the *floor* sum of the unprocessed terms is a
+  lower bound of the candidate's final score, so θ (the k-th best such
+  lower bound) is a lower bound of the true k-th best final score;
+* an accumulator value plus the *upper* sum of the unprocessed terms is an
+  upper bound of the final score, so any candidate whose upper bound falls
+  below ``θ - safety_slack(θ)`` cannot be in the top-k.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Mapping, Sequence
+
+from .bounds import DenseTermEntry, SparseTermEntry
+from .heap import NO_THRESHOLD, safety_slack, threshold_of
+from .stats import PruningStats
+
+#: Extra survivors selected beyond k before the exact re-scoring pass.
+#: The drivers' accumulator values associate the same floating-point terms
+#: differently from the exhaustive path, so the selection boundary is
+#: guarded by a margin: a selection mismatch would need more than this
+#: many candidates packed within rounding error of the k-th score (the
+#: same guard :mod:`repro.ranking.entity_ranking` established in PR 2).
+SELECTION_MARGIN = 16
+
+
+def select_survivors(
+    accumulators: Mapping[str, float],
+    top_k: int,
+    margin: int = SELECTION_MARGIN,
+) -> list[str]:
+    """The candidate ids worth re-scoring exactly: top ``k + margin``.
+
+    When at most ``k + margin`` candidates survived pruning, all of them
+    are re-scored (their accumulator values may be partial if the
+    traversal stopped early).  Ordering follows the exhaustive
+    ``(-score, id)`` tie-break for determinism.
+    """
+    budget = top_k + margin
+    if len(accumulators) <= budget:
+        return list(accumulators)
+    best = heapq.nsmallest(
+        budget, accumulators.items(), key=lambda item: (-item[1], item[0])
+    )
+    return [candidate for candidate, _ in best]
+
+
+def maxscore_dense(
+    candidates: Iterable[str],
+    entries: Sequence[DenseTermEntry],
+    top_k: int,
+    stats: PruningStats,
+    margin: int = SELECTION_MARGIN,
+) -> dict[str, float]:
+    """Threshold-pruned dense traversal (smoothing language models).
+
+    Every candidate starts with an open accumulator (smoothing scores all
+    documents); terms are processed in decreasing *spread* order so the
+    most discriminative terms tighten θ first.  After each term pass, a
+    new θ is derived and candidates whose upper bound cannot beat it are
+    evicted *during the next term pass* (the eviction check is fused into
+    the pass, which touches every candidate anyway).  Once no more than
+    ``top_k + margin`` candidates survive, the remaining term passes are
+    skipped entirely — set membership can no longer change, and the caller
+    re-scores every survivor exactly anyway.
+    """
+    accumulators = dict.fromkeys(candidates, 0.0)
+    stats.queries += 1
+    stats.terms_total += len(entries)
+    stats.candidates_total += len(accumulators)
+    if not entries or not accumulators:
+        return accumulators
+
+    order = sorted(range(len(entries)), key=lambda i: (-entries[i].spread, i))
+    # Suffix bound sums over the *unprocessed* tail, aligned with ``order``.
+    remaining_floor = [0.0] * (len(order) + 1)
+    remaining_upper = [0.0] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        entry = entries[order[position]]
+        remaining_floor[position] = remaining_floor[position + 1] + entry.floor
+        remaining_upper[position] = remaining_upper[position + 1] + entry.upper
+
+    stop_budget = top_k + margin
+    cut = NO_THRESHOLD
+    for position, index in enumerate(order):
+        if len(accumulators) <= stop_budget:
+            stats.terms_skipped += len(order) - position
+            break
+        before = len(accumulators)
+        accumulators = entries[index].accumulate(accumulators, cut)
+        stats.candidates_pruned += before - len(accumulators)
+        rem_floor = remaining_floor[position + 1]
+        rem_upper = remaining_upper[position + 1]
+        if rem_upper <= rem_floor:
+            # Remaining terms cannot separate candidates further; anything
+            # below θ is dropped by the final selection instead.
+            cut = NO_THRESHOLD
+            continue
+        threshold = threshold_of(accumulators.values(), top_k)
+        if threshold == NO_THRESHOLD:
+            cut = NO_THRESHOLD
+            continue
+        threshold += rem_floor
+        cut = threshold - safety_slack(threshold) - rem_upper
+    return accumulators
+
+
+def maxscore_sparse(
+    entries: Sequence[SparseTermEntry],
+    top_k: int,
+    stats: PruningStats,
+) -> dict[str, float]:
+    """Threshold-pruned sparse traversal (BM25-family scorers).
+
+    Accumulators exist only for documents matching at least one processed
+    term (the floor is zero).  Terms are processed in decreasing upper
+    bound order; once the upper-bound sum of the unprocessed terms falls
+    below θ, no *new* document can reach the top-k and the traversal
+    switches from postings expansion to accumulator-only refinement (the
+    OR→AND switch — the postings walks of frequent low-impact terms are
+    skipped).  Surviving accumulators hold exact totals: refinement still
+    applies every remaining term to every survivor.
+    """
+    accumulators: dict[str, float] = {}
+    stats.queries += 1
+    stats.terms_total += len(entries)
+    if not entries:
+        return accumulators
+
+    order = sorted(range(len(entries)), key=lambda i: (-entries[i].upper, i))
+    remaining_upper = [0.0] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        remaining_upper[position] = remaining_upper[position + 1] + entries[order[position]].upper
+
+    threshold = NO_THRESHOLD
+    counted = 0
+    for position, index in enumerate(order):
+        entry = entries[index]
+        cut = (
+            threshold - safety_slack(threshold)
+            if threshold != NO_THRESHOLD
+            else NO_THRESHOLD
+        )
+        if cut != NO_THRESHOLD and remaining_upper[position] < cut:
+            entry.refine(accumulators)
+            stats.terms_skipped += 1
+        else:
+            entry.expand(accumulators)
+            peak = len(accumulators)
+            if peak > counted:
+                counted = peak
+        rem_upper = remaining_upper[position + 1]
+        if len(accumulators) > top_k:
+            threshold = threshold_of(accumulators.values(), top_k)
+            if threshold != NO_THRESHOLD and position + 1 < len(order):
+                cut = threshold - safety_slack(threshold) - rem_upper
+                before = len(accumulators)
+                accumulators = {
+                    doc_id: partial
+                    for doc_id, partial in accumulators.items()
+                    if partial >= cut
+                }
+                stats.candidates_pruned += before - len(accumulators)
+    stats.candidates_total += counted
+    return accumulators

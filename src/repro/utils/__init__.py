@@ -1,0 +1,5 @@
+"""Small shared utilities with no domain knowledge."""
+
+from .lru import LRUCache
+
+__all__ = ["LRUCache"]

@@ -1,0 +1,106 @@
+"""The shared LRU result cache of the search and recommendation engines.
+
+Both engines used to hand-roll the same ``OrderedDict`` LRU with hit/miss
+counters, a ``cache_info()`` report and epoch-based invalidation; this
+class keeps the two eviction/stats paths in sync (ROADMAP open item).
+
+The cache is deliberately *not* thread-safe and stores values by
+reference: engines are expected to cache immutable payloads (tuples,
+frozen dataclasses, read-only mappings).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Generic, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping with least-recently-used eviction and counters.
+
+    ``maxsize <= 0`` disables storage entirely (every ``get`` is a miss
+    and ``put`` is a no-op), matching the engines' ``*_cache_size = 0``
+    configuration contract.
+    """
+
+    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_epoch")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._maxsize = maxsize
+        self._hits = 0
+        self._misses = 0
+        #: Epoch the entries are valid for (see :meth:`sync_epoch`).
+        self._epoch: int | None = None
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def get(self, key: K) -> V | None:
+        """The cached value (refreshing its recency), or ``None``.
+
+        Counts a hit or a miss; use :meth:`peek` for stat-free access.
+        """
+        value = self._data.get(key)
+        if value is None:
+            self._misses += 1
+            return None
+        self._data.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def peek(self, key: K) -> V | None:
+        """The cached value without touching recency or counters."""
+        return self._data.get(key)
+
+    def put(self, key: K, value: V) -> None:
+        """Store a value, evicting the least recently used past ``maxsize``."""
+        if self._maxsize <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry; hit/miss counters are kept."""
+        self._data.clear()
+
+    def sync_epoch(self, epoch: int) -> bool:
+        """Clear the cache when ``epoch`` moved since the last sync.
+
+        Engines key their payload validity on a mutation epoch (index or
+        graph); calling this before every access makes any mutation
+        invalidate all entries.  Returns ``True`` when the cache was
+        cleared.
+        """
+        if self._epoch is None:
+            self._epoch = epoch
+            return False
+        if epoch != self._epoch:
+            self._data.clear()
+            self._epoch = epoch
+            return True
+        return False
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy (``cache_info()`` convention)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._data),
+            "maxsize": self._maxsize,
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data

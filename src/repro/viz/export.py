@@ -10,16 +10,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
 
 from ..explore import ExplorationPath, ExplorationSession, Recommendation
 from .heatmap import Heatmap
 from .matrix_view import MatrixView
 
-_PathLike = Union[str, Path]
+_PathLike = str | Path
 
 
-def matrix_view_to_dict(view: MatrixView) -> Dict[str, object]:
+def matrix_view_to_dict(view: MatrixView) -> dict[str, object]:
     """JSON payload of the matrix interface (Fig 3-c, e, f)."""
     return {
         "query": view.query_description,
@@ -47,7 +46,7 @@ def matrix_view_to_dict(view: MatrixView) -> Dict[str, object]:
     }
 
 
-def heatmap_to_dict(heatmap: Heatmap) -> Dict[str, object]:
+def heatmap_to_dict(heatmap: Heatmap) -> dict[str, object]:
     """JSON payload of the heat map: levels per (entity, feature) cell."""
     return {
         "num_levels": heatmap.num_levels,
@@ -58,7 +57,7 @@ def heatmap_to_dict(heatmap: Heatmap) -> Dict[str, object]:
     }
 
 
-def recommendation_to_dict(recommendation: Recommendation) -> Dict[str, object]:
+def recommendation_to_dict(recommendation: Recommendation) -> dict[str, object]:
     """JSON payload of a raw recommendation (before heat-map bucketing)."""
     return {
         "query": recommendation.query.describe(),
@@ -67,12 +66,12 @@ def recommendation_to_dict(recommendation: Recommendation) -> Dict[str, object]:
     }
 
 
-def path_to_dict(path: ExplorationPath) -> Dict[str, object]:
+def path_to_dict(path: ExplorationPath) -> dict[str, object]:
     """JSON payload of the exploratory path (Fig 4)."""
     return path.as_dict()
 
 
-def session_to_dict(session: ExplorationSession) -> Dict[str, object]:
+def session_to_dict(session: ExplorationSession) -> dict[str, object]:
     """JSON payload of a full session: timeline, path and behaviour summary."""
     return {
         "session_id": session.session_id,
@@ -84,7 +83,7 @@ def session_to_dict(session: ExplorationSession) -> Dict[str, object]:
     }
 
 
-def write_json(payload: Dict[str, object], path: _PathLike) -> Path:
+def write_json(payload: dict[str, object], path: _PathLike) -> Path:
     """Write a payload to disk as pretty-printed JSON; return the path."""
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")

@@ -10,7 +10,6 @@ correlation), using one of three bucketing scales.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -23,11 +22,11 @@ from ..ranking import CorrelationMatrix
 class Heatmap:
     """A discretised correlation heat map."""
 
-    entities: Tuple[str, ...]
-    feature_notations: Tuple[str, ...]
+    entities: tuple[str, ...]
+    feature_notations: tuple[str, ...]
     levels: np.ndarray
     num_levels: int
-    thresholds: Tuple[float, ...]
+    thresholds: tuple[float, ...]
 
     def __post_init__(self) -> None:
         expected = (len(self.entities), len(self.feature_notations))
@@ -43,16 +42,16 @@ class Heatmap:
         column = self.feature_notations.index(feature_notation)
         return int(self.levels[row, column])
 
-    def level_counts(self) -> Dict[int, int]:
+    def level_counts(self) -> dict[int, int]:
         """How many cells fall into each level."""
         values, counts = np.unique(self.levels, return_counts=True)
         result = {int(level): 0 for level in range(self.num_levels)}
         result.update({int(v): int(c) for v, c in zip(values, counts)})
         return result
 
-    def strongest_cells(self, k: int = 10) -> List[Tuple[str, str, int]]:
+    def strongest_cells(self, k: int = 10) -> list[tuple[str, str, int]]:
         """The ``k`` darkest cells as (entity, feature, level)."""
-        cells: List[Tuple[str, str, int]] = []
+        cells: list[tuple[str, str, int]] = []
         for row, entity in enumerate(self.entities):
             for column, feature in enumerate(self.feature_notations):
                 cells.append((entity, feature, int(self.levels[row, column])))
@@ -60,7 +59,7 @@ class Heatmap:
         return cells[:k]
 
     @property
-    def shape(self) -> Tuple[int, int]:
+    def shape(self) -> tuple[int, int]:
         return (len(self.entities), len(self.feature_notations))
 
 

@@ -11,7 +11,6 @@ and the documentation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from ..explore import Recommendation
 from ..kg import KnowledgeGraph
@@ -23,29 +22,29 @@ from .heatmap import Heatmap
 class MatrixView:
     """The assembled matrix interface payload."""
 
-    entities: Tuple[ScoredEntity, ...]
-    features: Tuple[ScoredFeature, ...]
+    entities: tuple[ScoredEntity, ...]
+    features: tuple[ScoredFeature, ...]
     heatmap: Heatmap
-    entity_labels: Dict[str, str]
-    feature_descriptions: Dict[str, str]
+    entity_labels: dict[str, str]
+    feature_descriptions: dict[str, str]
     query_description: str = ""
 
     @property
-    def shape(self) -> Tuple[int, int]:
+    def shape(self) -> tuple[int, int]:
         return (len(self.entities), len(self.features))
 
     def cell_level(self, entity_id: str, feature_notation: str) -> int:
         """Heat-map level of one matrix cell."""
         return self.heatmap.level(entity_id, feature_notation)
 
-    def entity_axis(self) -> List[Tuple[str, str, float]]:
+    def entity_axis(self) -> list[tuple[str, str, float]]:
         """The x-axis: (entity id, label, score) in rank order."""
         return [
             (entity.entity_id, self.entity_labels.get(entity.entity_id, entity.entity_id), entity.score)
             for entity in self.entities
         ]
 
-    def feature_axis(self) -> List[Tuple[str, str, float]]:
+    def feature_axis(self) -> list[tuple[str, str, float]]:
         """The y-axis: (feature notation, description, score) in rank order."""
         return [
             (
@@ -102,7 +101,7 @@ def render_matrix_ascii(
     features = view.features[:max_features]
     glyphs = LEVEL_GLYPHS
 
-    lines: List[str] = []
+    lines: list[str] = []
     if view.query_description:
         lines.append(f"Query: {view.query_description}")
     header_cells = []

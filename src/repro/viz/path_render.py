@@ -9,8 +9,6 @@ it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
-
 from ..explore import ExplorationPath
 
 
@@ -19,15 +17,15 @@ def render_path_ascii(path: ExplorationPath) -> str:
     if len(path) == 0:
         return "(empty exploration path)"
 
-    children: Dict[int, List[tuple[int, str]]] = {}
-    has_parent: Set[int] = set()
+    children: dict[int, list[tuple[int, str]]] = {}
+    has_parent: set[int] = set()
     for edge in path.edges:
         children.setdefault(edge.source, []).append((edge.target, edge.description))
         has_parent.add(edge.target)
 
     roots = [node.node_id for node in path.nodes if node.node_id not in has_parent]
     current = path.current_node.node_id if path.current_node else -1
-    lines: List[str] = []
+    lines: list[str] = []
 
     def render(node_id: int, depth: int, via: str) -> None:
         node = path.node(node_id)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict
-
 from ..kg import EntityProfile, KnowledgeGraph, build_profile
 
 
@@ -28,7 +26,7 @@ def render_profile_text(profile: EntityProfile) -> str:
     return "\n".join(lines)
 
 
-def profile_as_dict(profile: EntityProfile) -> Dict[str, object]:
+def profile_as_dict(profile: EntityProfile) -> dict[str, object]:
     """JSON payload of a profile for the web UI."""
     entity = profile.entity
     return {

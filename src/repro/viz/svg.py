@@ -13,8 +13,6 @@ drawing dependency).  Two renderers are provided:
 """
 
 from __future__ import annotations
-
-from typing import Dict, List, Tuple
 from xml.sax.saxutils import escape
 
 from ..explore import ExplorationPath
@@ -22,7 +20,7 @@ from .heatmap import Heatmap
 from .matrix_view import MatrixView
 
 #: Greyscale fills for the correlation levels, white (level 0) to near-black.
-LEVEL_FILLS: Tuple[str, ...] = (
+LEVEL_FILLS: tuple[str, ...] = (
     "#ffffff",
     "#e8eef7",
     "#c6d7ec",
@@ -61,7 +59,7 @@ def render_heatmap_svg(
     width = label_width + cell_size * max(len(entities), 1) + 20
     height = label_height + cell_size * max(len(features), 1) + 20
 
-    parts: List[str] = [
+    parts: list[str] = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}" font-family="monospace" font-size="11">',
         f'<rect width="{width}" height="{height}" fill="white"/>',
@@ -116,8 +114,8 @@ def render_path_svg(
         return '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
 
     # Depth of every node from its root (nodes without incoming edges).
-    parents: Dict[int, int] = {edge.target: edge.source for edge in path.edges}
-    depths: Dict[int, int] = {}
+    parents: dict[int, int] = {edge.target: edge.source for edge in path.edges}
+    depths: dict[int, int] = {}
     for node in path.nodes:
         depth = 0
         current = node.node_id
@@ -126,8 +124,8 @@ def render_path_svg(
             depth += 1
         depths[node.node_id] = depth
 
-    rows: Dict[int, int] = {}
-    per_depth_count: Dict[int, int] = {}
+    rows: dict[int, int] = {}
+    per_depth_count: dict[int, int] = {}
     for node in path.nodes:
         depth = depths[node.node_id]
         rows[node.node_id] = per_depth_count.get(depth, 0)
@@ -138,13 +136,13 @@ def render_path_svg(
     width = 20 + (max_depth + 1) * (node_width + h_gap)
     height = 20 + max_rows * (node_height + v_gap)
 
-    def position(node_id: int) -> Tuple[int, int]:
+    def position(node_id: int) -> tuple[int, int]:
         x = 10 + depths[node_id] * (node_width + h_gap)
         y = 10 + rows[node_id] * (node_height + v_gap)
         return x, y
 
     current_id = path.current_node.node_id if path.current_node else -1
-    parts: List[str] = [
+    parts: list[str] = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">',
         f'<rect width="{width}" height="{height}" fill="white"/>',

@@ -6,8 +6,8 @@ import pytest
 
 from repro import PivotEError
 from repro.config import (
-    DEFAULT_FIELD_WEIGHTS,
     DEFAULT_FIELDS,
+    DEFAULT_FIELD_WEIGHTS,
     HeatmapConfig,
     PivotEConfig,
     RankingConfig,

@@ -6,12 +6,12 @@ import random
 
 import pytest
 
-from repro.exceptions import EvaluationError
 from repro.eval import (
     mean_difference,
     paired_bootstrap_test,
     paired_randomization_test,
 )
+from repro.exceptions import EvaluationError
 
 
 class TestMeanDifference:

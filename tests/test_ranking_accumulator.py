@@ -48,7 +48,12 @@ def assert_pipeline_equivalent(
     config: RankingConfig | None = None,
     top_k: int | None = None,
 ) -> None:
-    """Fast and exhaustive rankings (and matrices) must match exactly."""
+    """Fast and exhaustive rankings (and matrices) must match exactly.
+
+    The default config runs with ``pruning="maxscore"``, so this helper is
+    simultaneously the pruned-vs-exhaustive equivalence check demanded by
+    the threshold-pruning layer.
+    """
     config = config or RankingConfig()
     index = SemanticFeatureIndex.build(graph)
     feature_ranker = SemanticFeatureRanker(graph, index, config=config)
@@ -122,13 +127,101 @@ class TestEquivalenceOnRandomGraphs:
         num_types=st.integers(min_value=2, max_value=8),
         seed_count=st.integers(min_value=1, max_value=3),
         top_k=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+        pruning=st.sampled_from(["maxscore", "off"]),
     )
-    def test_random_kg_property(self, kg_seed, num_entities, num_types, seed_count, top_k):
+    def test_random_kg_property(
+        self, kg_seed, num_entities, num_types, seed_count, top_k, pruning
+    ):
         graph = build_random_kg(
             RandomKGConfig(num_entities=num_entities, num_types=num_types, seed=kg_seed)
         )
         seeds = _seeds_from_largest_type(graph, seed_count)
-        assert_pipeline_equivalent(graph, seeds, top_k=top_k)
+        assert_pipeline_equivalent(
+            graph, seeds, top_k=top_k, config=RankingConfig(pruning=pruning)
+        )
+
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(
+        kg_seed=st.integers(min_value=0, max_value=10_000),
+        num_entities=st.integers(min_value=40, max_value=120),
+        seed_count=st.integers(min_value=1, max_value=4),
+        top_k=st.integers(min_value=1, max_value=8),
+    )
+    def test_random_skewed_kg_pruned_property(self, kg_seed, num_entities, seed_count, top_k):
+        """Hub-anchored graphs: the regime where type groups actually die."""
+        graph = build_random_kg(
+            RandomKGConfig(
+                num_entities=num_entities, seed=kg_seed, target_skew=1.5, avg_out_degree=6.0
+            )
+        )
+        seeds = _seeds_from_largest_type(graph, seed_count)
+        assert_pipeline_equivalent(
+            graph, seeds, top_k=top_k, config=RankingConfig(pruning="maxscore")
+        )
+
+
+class TestMaxscorePruningOnRankers:
+    """Explicit pruned-vs-plain-vs-exhaustive checks plus counter sanity."""
+
+    def test_pruned_equals_plain_entity_ranking(self, movie_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(movie_kg)
+        seeds = ["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"]
+        rankers = {
+            mode: EntityRanker(movie_kg, index, config=RankingConfig(pruning=mode))
+            for mode in ("maxscore", "off")
+        }
+        features = rankers["maxscore"].feature_ranker.rank(seeds)
+        pruned = rankers["maxscore"].rank(seeds, scored_features=features)
+        plain = rankers["off"].rank(seeds, scored_features=features)
+        exhaustive = rankers["maxscore"].rank_exhaustive(seeds, scored_features=features)
+        assert _entity_signature(pruned) == _entity_signature(plain)
+        assert _entity_signature(pruned) == _entity_signature(exhaustive)
+
+    def test_pruning_counters_fire_at_scale(self):
+        graph = build_random_kg(
+            RandomKGConfig(num_entities=600, seed=42, target_skew=1.5, avg_out_degree=8.0)
+        )
+        index = SemanticFeatureIndex.build(graph)
+        ranker = EntityRanker(graph, index)
+        largest = max(
+            index.all_features(), key=lambda f: (len(index.holders_of(f)), f.notation())
+        )
+        seeds = sorted(index.holders_of(largest))[:4]
+        ranker.rank(seeds, top_k=10)
+        info = ranker.pruning_info()
+        assert info["queries"] == 1
+        assert info["groups_total"] > 0
+        assert info["groups_skipped"] > 0
+        assert info["candidates_pruned"] > 0
+        assert info["rescored"] > 0
+
+    def test_pruning_off_disables_counters(self, movie_kg: KnowledgeGraph):
+        index = SemanticFeatureIndex.build(movie_kg)
+        ranker = EntityRanker(movie_kg, index, config=RankingConfig(pruning="off"))
+        ranker.rank(["dbr:Forrest_Gump"])
+        assert ranker.pruning_info()["queries"] == 0
+
+    def test_invalid_pruning_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RankingConfig(pruning="wand")
+
+    def test_correction_bound_dominates_actual_corrections(self, movie_kg: KnowledgeGraph):
+        """The per-type bound must be ≥ the correction of every member."""
+        index = SemanticFeatureIndex.build(movie_kg)
+        ranker = EntityRanker(movie_kg, index)
+        seeds = ["dbr:Forrest_Gump", "dbr:Apollo_13_(film)"]
+        features = ranker.feature_ranker.rank(seeds)
+        support = ranker.feature_ranker.probability_model.support()
+        relevance = [scored.score for scored in features]
+        candidates = ranker.candidates(seeds, features)
+        accumulators = support.score_entities(candidates, features)
+        for entity_id in candidates:
+            type_id = support.dominant_type(entity_id)
+            base_row = [support.base_probability(s.feature, type_id) for s in features]
+            base_score = sum(b * r for b, r in zip(base_row, relevance))
+            bound = support.correction_bound(type_id, base_row, features, relevance)
+            correction = accumulators[entity_id] - base_score
+            assert correction <= bound + 1e-12
 
 
 class TestRankingSupportLayer:

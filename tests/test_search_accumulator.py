@@ -10,8 +10,11 @@ tie-break.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import SearchConfig
+from repro.datasets import RandomKGConfig, build_random_kg
 from repro.index import select_top_k, select_top_k_with_zero_fill
 from repro.search import SearchEngine, parse_query
 
@@ -135,6 +138,114 @@ class TestAccumulatorEquivalence:
                 )
 
 
+def _all_scorers(engine: SearchEngine):
+    return [
+        ("mlm", engine.mlm_scorer),
+        ("single", engine.single_field_scorer("names")),
+        ("bm25", engine.bm25_names_scorer()),
+        ("bm25f", engine.bm25f_scorer()),
+    ]
+
+
+class TestMaxscorePruningEquivalence:
+    """``pruning="maxscore"`` must be byte-identical to exhaustive scoring.
+
+    The default engine configuration enables pruning, so the equivalence
+    tests above already exercise it; these tests pin the contract down
+    explicitly — pruned vs plain-accumulator vs exhaustive for all four
+    scorers — and add the LM smoothing edge cases and the property-based
+    random-graph check the threshold-pruning layer demands.
+    """
+
+    def test_pruned_equals_plain_accumulator_and_exhaustive(self, movie_kg):
+        pruned_engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning="maxscore"))
+        plain_engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning="off"))
+        for raw in _queries_for(movie_kg, limit=8):
+            query = parse_query(raw)
+            for (_, pruned), (_, plain) in zip(
+                _all_scorers(pruned_engine), _all_scorers(plain_engine)
+            ):
+                for top_k in (1, 5, 20, 10_000):
+                    pruned_results = pruned.search(query, top_k=top_k)
+                    _assert_identical(pruned_results, plain.search(query, top_k=top_k))
+                    _assert_identical(pruned_results, pruned.search_exhaustive(query, top_k=top_k))
+
+    @pytest.mark.parametrize(
+        "smoothing_changes",
+        [
+            {"smoothing": "dirichlet", "dirichlet_mu": 0.5},
+            {"smoothing": "dirichlet", "dirichlet_mu": 5000.0},
+            {"smoothing": "jelinek-mercer", "jm_lambda": 0.0},
+            {"smoothing": "jelinek-mercer", "jm_lambda": 1.0},
+            {"smoothing": "jelinek-mercer", "jm_lambda": 0.5},
+        ],
+    )
+    def test_lm_smoothing_edge_cases(self, movie_kg, smoothing_changes):
+        config = SearchConfig(pruning="maxscore", **smoothing_changes)
+        engine = SearchEngine.from_graph(movie_kg, config=config)
+        for scorer in (engine.mlm_scorer, engine.single_field_scorer("names")):
+            for raw in _queries_for(movie_kg, limit=5):
+                query = parse_query(raw)
+                _assert_identical(
+                    scorer.search(query, top_k=15),
+                    scorer.search_exhaustive(query, top_k=15),
+                )
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(
+        kg_seed=st.integers(min_value=0, max_value=10_000),
+        num_entities=st.integers(min_value=20, max_value=120),
+        top_k=st.integers(min_value=1, max_value=30),
+        smoothing=st.sampled_from(["dirichlet", "jelinek-mercer"]),
+    )
+    def test_random_kg_property(self, kg_seed, num_entities, top_k, smoothing):
+        graph = build_random_kg(RandomKGConfig(num_entities=num_entities, seed=kg_seed))
+        config = SearchConfig(pruning="maxscore", smoothing=smoothing)
+        engine = SearchEngine.from_graph(graph, config=config)
+        entities = sorted(graph.entities())
+        queries = [
+            graph.label(entities[kg_seed % len(entities)]),
+            graph.label(entities[0]) + " " + graph.label(entities[-1]),
+        ]
+        for raw in queries:
+            query = parse_query(raw)
+            for _, scorer in _all_scorers(engine):
+                _assert_identical(
+                    scorer.search(query, top_k=top_k),
+                    scorer.search_exhaustive(query, top_k=top_k),
+                )
+
+    def test_pruning_counters_fire_at_scale(self):
+        graph = build_random_kg(RandomKGConfig(num_entities=500, seed=42))
+        engine = SearchEngine.from_graph(graph)
+        entities = sorted(graph.entities())
+        for entity_id in entities[:6]:
+            query = parse_query(graph.label(entities[0]) + " " + graph.label(entity_id))
+            engine.mlm_scorer.search(query, top_k=5)
+        info = engine.pruning_info()
+        assert info["queries"] > 0
+        assert info["candidates_total"] > 0
+        assert info["candidates_pruned"] > 0  # smoothing no longer scores everyone
+        assert info["rescored"] > 0
+        bm25 = engine.bm25_names_scorer()
+        # Many rare terms fill the θ heap before the ubiquitous "entity"
+        # token, so its 500-document postings walk is refined instead.
+        long_query = parse_query(" ".join(graph.label(e) for e in entities[:8]))
+        bm25.search(long_query, top_k=5)
+        bm25_info = bm25.pruning_info()
+        assert bm25_info["queries"] == 1
+        assert bm25_info["terms_skipped"] + bm25_info["candidates_pruned"] > 0
+
+    def test_pruning_off_disables_counters(self, movie_kg):
+        engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning="off"))
+        engine.search("forrest gump")
+        assert engine.pruning_info()["queries"] == 0
+
+    def test_invalid_pruning_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SearchConfig(pruning="wand")
+
+
 class TestEquivalenceAfterIndexMutation:
     def test_scorers_built_before_mutation_stay_equivalent(self, tiny_kg):
         """Both paths must agree even when the index grew under a live scorer.
@@ -158,6 +269,36 @@ class TestEquivalenceAfterIndexMutation:
             query = parse_query(raw)
             for scorer in scorers:
                 for top_k in (3, 50):
+                    _assert_identical(
+                        scorer.search(query, top_k=top_k),
+                        scorer.search_exhaustive(query, top_k=top_k),
+                    )
+
+
+class TestBoundCacheAcrossScorerSnapshots:
+    def test_bm25f_scorers_with_different_snapshots_stay_sound(self, tiny_kg):
+        """The memoised bound key must include the scorer's avg-length snapshot.
+
+        Two BM25F scorers built before and after index growth share the
+        epoch-current statistics object; a bound memoised by the newer
+        scorer (smaller averages) would be unsound for the older one and
+        could prune a true top-k document (regression test for a review
+        finding).
+        """
+        engine = SearchEngine.from_graph(tiny_kg)
+        old_scorer = engine.bm25f_scorer()
+        for number in range(20, 29):
+            tiny_kg.add_label(f"ex:S{number}", f"S{number} drama")
+            tiny_kg.add_type(f"ex:S{number}", "ex:Film")
+            engine.add_entity(f"ex:S{number}")
+        new_scorer = engine.bm25f_scorer()
+        for raw in ("drama film", "s20 drama", "film s21 drama"):
+            query = parse_query(raw)
+            # The newer snapshot memoises its bounds first ...
+            new_scorer.search(query, top_k=5)
+            # ... and the older scorer must still match its own exhaustive path.
+            for scorer in (old_scorer, new_scorer):
+                for top_k in (2, 5, 50):
                     _assert_identical(
                         scorer.search(query, top_k=top_k),
                         scorer.search_exhaustive(query, top_k=top_k),

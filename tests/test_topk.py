@@ -1,0 +1,209 @@
+"""Unit tests of the shared threshold-pruned top-k execution layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.topk import (
+    DenseTermEntry,
+    PruningStats,
+    SparseTermEntry,
+    ThresholdHeap,
+    maxscore_dense,
+    maxscore_sparse,
+    safety_slack,
+    select_survivors,
+    threshold_of,
+)
+
+
+class TestThresholdHeap:
+    def test_no_threshold_until_full(self):
+        heap = ThresholdHeap(3)
+        heap.offer(1.0)
+        heap.offer(5.0)
+        assert heap.threshold == float("-inf")
+        assert not heap.full
+        heap.offer(3.0)
+        assert heap.full
+        assert heap.threshold == 1.0
+
+    def test_threshold_is_kth_best(self):
+        heap = ThresholdHeap(2)
+        heap.offer_many([1.0, 9.0, 4.0, 7.0])
+        assert heap.threshold == 7.0
+        heap.offer(8.0)
+        assert heap.threshold == 8.0
+        heap.offer(2.0)  # below θ: no change
+        assert heap.threshold == 8.0
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            ThresholdHeap(0)
+
+
+class TestThresholdOf:
+    def test_matches_sorted_kth(self):
+        values = [3.0, -1.0, 7.5, 7.5, 0.0]
+        for k in range(1, len(values) + 1):
+            assert threshold_of(values, k) == sorted(values, reverse=True)[k - 1]
+
+    def test_short_input_has_no_threshold(self):
+        assert threshold_of([1.0, 2.0], 3) == float("-inf")
+        assert threshold_of([], 1) == float("-inf")
+        assert threshold_of([1.0], 0) == float("-inf")
+
+
+class TestSafetySlack:
+    def test_positive_and_scales_with_magnitude(self):
+        assert safety_slack(0.0) > 0.0
+        assert safety_slack(-50.0) == safety_slack(50.0)
+        assert safety_slack(1e6) > safety_slack(1.0)
+
+    def test_far_above_rounding_error(self):
+        score = 123.456
+        assert safety_slack(score) > 1000 * abs(score - (score + 1e-16))
+
+
+class TestSelectSurvivors:
+    def test_keeps_everything_within_budget(self):
+        accumulators = {"b": 1.0, "a": 2.0}
+        assert set(select_survivors(accumulators, 1, margin=1)) == {"a", "b"}
+
+    def test_truncates_by_score_then_id(self):
+        accumulators = {f"d{i}": float(i % 3) for i in range(10)}
+        kept = select_survivors(accumulators, 2, margin=1)
+        assert len(kept) == 3
+        expected = sorted(accumulators.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        assert kept == [doc for doc, _ in expected]
+
+
+def _dense_entry(key: str, contributions: dict, floor: float, upper: float) -> DenseTermEntry:
+    def accumulate(accumulators, cut):
+        doomed = []
+        for doc_id, partial in accumulators.items():
+            if partial < cut:
+                doomed.append(doc_id)
+                continue
+            accumulators[doc_id] = partial + contributions.get(doc_id, floor)
+        for doc_id in doomed:
+            del accumulators[doc_id]
+        return accumulators
+
+    return DenseTermEntry(key=key, floor=floor, upper=upper, accumulate=accumulate)
+
+
+class TestMaxscoreDense:
+    def test_no_pruning_when_k_covers_all(self):
+        contributions = {f"d{i}": float(i) for i in range(5)}
+        entry = _dense_entry("t", contributions, 0.0, 4.0)
+        stats = PruningStats()
+        survivors = maxscore_dense(contributions.keys(), [entry], 10, stats)
+        assert set(survivors) == set(contributions)
+        assert stats.candidates_pruned == 0
+
+    def test_prunes_hopeless_candidates(self):
+        # Term 1 separates candidates by 0..99; term 2 can only add 0.5,
+        # so after term 1 everything far below the top-2 is hopeless.
+        docs = [f"d{i:02d}" for i in range(100)]
+        first = _dense_entry("t1", {doc: float(i) for i, doc in enumerate(docs)}, 0.0, 99.0)
+        second = _dense_entry("t2", dict.fromkeys(docs, 0.5), 0.0, 0.5)
+        third = _dense_entry("t3", dict.fromkeys(docs, 0.1), 0.0, 0.1)
+        stats = PruningStats()
+        survivors = maxscore_dense(docs, [first, second, third], 2, stats)
+        assert {"d99", "d98"} <= set(survivors)
+        assert stats.candidates_pruned > 0
+        # Survivor values are exact sums unless the traversal stopped early.
+        if stats.terms_skipped == 0:
+            assert survivors["d99"] == 99.0 + 0.5 + 0.1
+
+    def test_skips_remaining_terms_once_set_is_small(self):
+        docs = ["a", "b", "c"]
+        entries = [
+            _dense_entry("t1", {"a": 5.0, "b": 4.0, "c": 3.0}, 0.0, 5.0),
+            _dense_entry("t2", dict.fromkeys(docs, 1.0), 0.0, 1.0),
+        ]
+        stats = PruningStats()
+        survivors = maxscore_dense(docs, entries, 3, stats)
+        assert set(survivors) == set(docs)
+        assert stats.terms_skipped == 2  # |candidates| <= k: nothing to do
+
+    def test_empty_inputs(self):
+        stats = PruningStats()
+        assert maxscore_dense([], [_dense_entry("t", {}, 0.0, 1.0)], 5, stats) == {}
+        assert maxscore_dense(["d"], [], 5, stats) == {"d": 0.0}
+
+
+def _sparse_entry(key: str, postings: dict, upper: float) -> SparseTermEntry:
+    def expand(accumulators):
+        for doc_id, value in postings.items():
+            accumulators[doc_id] = accumulators.get(doc_id, 0.0) + value
+
+    def refine(accumulators):
+        for doc_id in accumulators:
+            value = postings.get(doc_id)
+            if value is not None:
+                accumulators[doc_id] += value
+
+    return SparseTermEntry(key=key, upper=upper, expand=expand, refine=refine)
+
+
+class TestMaxscoreSparse:
+    def test_exact_totals_without_pruning_opportunity(self):
+        entries = [
+            _sparse_entry("t1", {"a": 2.0, "b": 1.0}, 2.0),
+            _sparse_entry("t2", {"b": 3.0, "c": 0.5}, 3.0),
+        ]
+        stats = PruningStats()
+        survivors = maxscore_sparse(entries, 10, stats)
+        assert survivors == {"a": 2.0, "b": 4.0, "c": 0.5}
+        assert stats.terms_skipped == 0
+
+    def test_or_to_and_switch_skips_postings_walks(self):
+        # One dominant term fills the heap; the tail terms cannot lift a
+        # new document past θ, so their postings are only consulted for
+        # documents already accumulated.
+        heavy = {f"d{i:02d}": 10.0 + i for i in range(30)}
+        light = {"zz": 0.1}  # would be a new doc, must not enter
+        light_docs = dict.fromkeys(list(heavy)[:5], 0.1)
+        light_docs.update(light)
+        entries = [
+            _sparse_entry("heavy", heavy, 40.0),
+            _sparse_entry("light", light_docs, 0.1),
+        ]
+        stats = PruningStats()
+        survivors = maxscore_sparse(entries, 5, stats)
+        assert "zz" not in survivors
+        assert stats.terms_skipped == 1
+        # Refined survivors hold exact totals.
+        top = sorted(survivors.items(), key=lambda kv: -kv[1])[0]
+        assert top[1] == (10.0 + 29)  # d29 matched only the heavy term
+
+    def test_empty(self):
+        stats = PruningStats()
+        assert maxscore_sparse([], 5, stats) == {}
+
+
+class TestPruningStats:
+    def test_counters_and_reset(self):
+        stats = PruningStats()
+        stats.queries += 2
+        stats.groups_skipped += 3
+        info = stats.as_dict()
+        assert info["queries"] == 2
+        assert info["groups_skipped"] == 3
+        assert set(info) == set(PruningStats.__slots__)
+        stats.reset()
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_repr_lists_counters(self):
+        assert "queries=0" in repr(PruningStats())
+
+
+class TestSlackGuardsBoundComparisons:
+    def test_threshold_minus_slack_below_threshold(self):
+        for value in (0.0, 1e-12, -37.5, 1e9):
+            assert value - safety_slack(value) < value
+            assert math.isfinite(value - safety_slack(value))

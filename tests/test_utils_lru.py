@@ -1,0 +1,75 @@
+"""Unit tests of the shared LRU cache used by both engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import LRUCache
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        info = cache.cache_info()
+        assert info == {"hits": 1, "misses": 1, "size": 1, "maxsize": 2}
+
+    def test_evicts_least_recently_used(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh recency of a
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_peek_does_not_touch_stats_or_recency(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        assert cache.cache_info()["hits"] == 0
+        assert cache.cache_info()["misses"] == 0
+        cache.put("c", 3)  # "a" was not refreshed: it is the LRU victim
+        assert "a" not in cache
+
+    def test_zero_maxsize_disables_storage(self):
+        cache: LRUCache[str, int] = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.cache_info()["maxsize"] == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear_keeps_counters(self):
+        cache: LRUCache[str, int] = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cache_info()["hits"] == 1
+
+    def test_sync_epoch_clears_on_change_only(self):
+        cache: LRUCache[str, int] = LRUCache(4)
+        assert cache.sync_epoch(7) is False  # first sight adopts the epoch
+        cache.put("a", 1)
+        assert cache.sync_epoch(7) is False
+        assert len(cache) == 1
+        assert cache.sync_epoch(8) is True
+        assert len(cache) == 0
+
+    def test_update_refreshes_recency(self):
+        cache: LRUCache[str, int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh via overwrite
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
