@@ -20,6 +20,7 @@ Usage::
     python -m repro.cli recommend dbr:Forrest_Gump "dbr:Apollo_13_(film)"
     python -m repro.cli matrix dbr:Forrest_Gump --top-entities 6
     python -m repro.cli explain dbr:Forrest_Gump "dbr:Apollo_13_(film)"
+    python -m repro.cli --pruning blockmax --show-pruning search "forrest gump"
 """
 
 from __future__ import annotations
@@ -27,7 +28,9 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Callable, Sequence
+from dataclasses import replace
 
+from .config import PRUNING_MODES, PivotEConfig
 from .datasets import build_academic_kg, build_geography_kg, build_movie_kg, small_movie_kg
 from .engine import PivotE
 from .features import SemanticFeature
@@ -67,6 +70,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph-file",
         default=None,
         help="load the knowledge graph from an N-Triples file instead",
+    )
+    parser.add_argument(
+        "--pruning",
+        default=None,
+        choices=PRUNING_MODES,
+        help=(
+            "top-k execution strategy for both engines: 'off' (plain "
+            "accumulators), 'maxscore' (threshold-pruned, the default) or "
+            "'blockmax' (block-max bounds + galloping refinement); "
+            "rankings are identical in every mode"
+        ),
+    )
+    parser.add_argument(
+        "--show-pruning",
+        action="store_true",
+        help="print the engines' cumulative pruning counters after the command",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -120,6 +139,25 @@ def _print_recommendation(system: PivotE, recommendation, top_entities: int, top
         print(f"  {scored.score:10.4f}  {scored.feature.notation()}")
 
 
+def build_config(pruning: str | None) -> PivotEConfig:
+    """The system configuration for the CLI's ``--pruning`` override."""
+    config = PivotEConfig.default()
+    if pruning is None:
+        return config
+    return replace(
+        config,
+        search=config.search.with_(pruning=pruning),
+        ranking=config.ranking.with_(pruning=pruning),
+    )
+
+
+def _print_pruning_info(system: PivotE) -> None:
+    """Dump both engines' cumulative pruning counters (``--show-pruning``)."""
+    print(f"pruning mode: {system.config.search.pruning}")
+    print(f"pruning[search]:    {system.search_engine.pruning_info()}")
+    print(f"pruning[recommend]: {system.recommendation_engine.pruning_info()}")
+
+
 def run_command(args: argparse.Namespace) -> int:
     """Execute a parsed CLI command; return the process exit code."""
     graph = load_graph(args.dataset, args.graph_file)
@@ -128,8 +166,15 @@ def run_command(args: argparse.Namespace) -> int:
         print(compute_statistics(graph).summary())
         return 0
 
-    system = PivotE(graph)
+    system = PivotE(graph, config=build_config(args.pruning))
+    exit_code = _run_system_command(system, args)
+    if exit_code == 0 and args.show_pruning:
+        _print_pruning_info(system)
+    return exit_code
 
+
+def _run_system_command(system: PivotE, args: argparse.Namespace) -> int:
+    """Dispatch one engine-backed subcommand; return the process exit code."""
     if args.command == "search":
         _print_hits(system, args.keywords, args.top_k)
         return 0

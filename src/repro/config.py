@@ -12,6 +12,18 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 
+#: Recognised top-k execution strategies of both engines (the single
+#: source the configs validate against and the CLI offers): ``"off"``
+#: keeps the plain accumulator paths, ``"maxscore"`` the threshold-pruned
+#: traversals (the default), ``"blockmax"`` layers block-max range bounds
+#: and galloping refinement on top.  Rankings are byte-identical in every
+#: mode.
+PRUNING_MODES: tuple[str, ...] = ("off", "maxscore", "blockmax")
+
+#: The subset of :data:`PRUNING_MODES` that runs threshold-pruned
+#: traversals (the dispatch scorers and rankers branch on).
+PRUNED_MODES: tuple[str, ...] = ("maxscore", "blockmax")
+
 #: The five retrieval fields of Table 1 in the paper.
 DEFAULT_FIELDS: tuple[str, ...] = (
     "names",
@@ -54,14 +66,16 @@ class SearchConfig:
     #: cache; ``0`` disables result caching entirely.
     result_cache_size: int = 128
     #: Top-k execution strategy: ``"maxscore"`` enables threshold-pruned
-    #: traversal (see :mod:`repro.topk`), ``"off"`` keeps the plain
-    #: accumulator path.  Rankings are byte-identical either way.
+    #: traversal (see :mod:`repro.topk`), ``"blockmax"`` adds block-max
+    #: range bounds plus galloping AND-mode refinement (BM25 family) and
+    #: subset-pool θ priming (LM family) on top, ``"off"`` keeps the
+    #: plain accumulator path.  Rankings are byte-identical in all modes.
     pruning: str = "maxscore"
 
     def __post_init__(self) -> None:
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
             raise ValueError(f"unknown smoothing method: {self.smoothing!r}")
-        if self.pruning not in ("off", "maxscore"):
+        if self.pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {self.pruning!r}")
         if self.dirichlet_mu <= 0:
             raise ValueError("dirichlet_mu must be positive")
@@ -107,14 +121,17 @@ class RankingConfig:
     recommendation_cache_size: int = 64
     #: Top-k execution strategy of the entity accumulator: ``"maxscore"``
     #: skips whole dominant-type groups whose base score plus correction
-    #: bound cannot reach the live θ (see :mod:`repro.topk`); ``"off"``
-    #: keeps the plain accumulator path.  Rankings are byte-identical.
+    #: bound cannot reach the live θ (see :mod:`repro.topk`);
+    #: ``"blockmax"`` additionally chunks each type's feature corrections
+    #: so groups are abandoned (or finished early) at every chunk
+    #: boundary mid-walk; ``"off"`` keeps the plain accumulator path.
+    #: Rankings are byte-identical in all modes.
     pruning: str = "maxscore"
 
     def __post_init__(self) -> None:
         if self.top_entities <= 0 or self.top_features <= 0:
             raise ValueError("top_entities and top_features must be positive")
-        if self.pruning not in ("off", "maxscore"):
+        if self.pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {self.pruning!r}")
         if self.max_candidates <= 0 or self.max_features <= 0:
             raise ValueError("max_candidates and max_features must be positive")

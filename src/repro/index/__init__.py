@@ -2,11 +2,21 @@
 
 from .fielded_index import FieldedIndex
 from .inverted_index import InvertedIndex
-from .postings import Posting, PostingList, intersect, merge_frequencies, union
+from .postings import (
+    BLOCK_SIZE,
+    BlockSummary,
+    Posting,
+    PostingList,
+    intersect,
+    merge_frequencies,
+    union,
+)
 from .scoring_support import ScoringSupport, select_top_k, select_top_k_with_zero_fill
 from .statistics import CollectionStatistics, FieldStatistics
 
 __all__ = [
+    "BLOCK_SIZE",
+    "BlockSummary",
     "CollectionStatistics",
     "FieldStatistics",
     "FieldedIndex",

@@ -22,6 +22,8 @@ import heapq
 from collections.abc import Iterable, Mapping
 from typing import TYPE_CHECKING
 
+from .postings import BLOCK_SIZE, BlockSummary
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .fielded_index import FieldedIndex
     from .statistics import CollectionStatistics
@@ -107,6 +109,27 @@ class ScoringSupport:
         if postings is None:
             return _EMPTY_FREQUENCIES
         return postings.frequencies()
+
+    def postings_block_summary(
+        self, field: str, term: str, block_size: int = BLOCK_SIZE
+    ) -> BlockSummary | None:
+        """The term's block-max range summaries, memoised per index epoch.
+
+        ``None`` when the term does not occur in the field.  The summary
+        (block boundaries plus per-block maximum term frequencies) is
+        scorer-independent; scorers derive their per-block contribution
+        bounds from it and memoise those separately, keyed by their own
+        hyper-parameters (see :meth:`CollectionStatistics.memoised_blocks`).
+        """
+        postings = self._index.field_index(field).get_postings(term)
+        if postings is None:
+            return None
+        summary = self._statistics.memoised_blocks(
+            ("blocks", field, term, block_size),
+            lambda: postings.block_summary(block_size),
+        )
+        assert isinstance(summary, BlockSummary)
+        return summary
 
     def collection_probability(self, field: str, term: str) -> float:
         """Memoised ``p(term | field collection)``."""

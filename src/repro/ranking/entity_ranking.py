@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
-from ..config import RankingConfig
+from ..config import PRUNED_MODES, RankingConfig
 from ..exceptions import NoSeedEntitiesError
 from ..features import SemanticFeatureIndex
 from ..index import select_top_k
@@ -139,7 +139,9 @@ class EntityRanker:
         ``RankingConfig.pruning == "maxscore"`` whole dominant-type groups
         are skipped when their base score plus correction upper bound
         cannot reach the live θ (see
-        :meth:`RankingSupport.score_entities_pruned`).  The top-k survivors
+        :meth:`RankingSupport.score_entities_pruned`); ``"blockmax"``
+        additionally chunks the feature corrections so groups are killed
+        or retired at every chunk boundary mid-walk.  The top-k survivors
         of a bounded-heap selection are then re-scored through
         :meth:`score_entity`, so the returned entities carry exactly the
         scores and per-feature contributions of the exhaustive path.
@@ -154,9 +156,13 @@ class EntityRanker:
         if candidates is None:
             candidates = self.candidates(seeds, scored_features)
         support = self._probability.support()
-        if self._config.pruning == "maxscore":
+        if self._config.pruning in PRUNED_MODES:
             accumulators = support.score_entities_pruned(
-                candidates, scored_features, top_k, self._pruning_stats
+                candidates,
+                scored_features,
+                top_k,
+                self._pruning_stats,
+                blockmax=self._config.pruning == "blockmax",
             )
         else:
             accumulators = support.score_entities(candidates, scored_features)
@@ -169,7 +175,7 @@ class EntityRanker:
         # unaffected — identical (type, held-feature) computations produce
         # identical accumulators, and both orderings fall back to entity_id.
         selected = select_top_k(accumulators, top_k + _SELECTION_MARGIN)
-        if self._config.pruning == "maxscore":
+        if self._config.pruning in PRUNED_MODES:
             self._pruning_stats.rescored += len(selected)
         rescored = [
             self._score_entity_via_support(entity_id, scored_features, support)

@@ -41,6 +41,12 @@ from ..topk import PruningStats, safety_slack, threshold_of
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .sf_ranking import ScoredFeature
 
+#: Feature columns per correction chunk of the ``blockmax`` entity
+#: accumulator: type groups are re-checked against θ (and retired once
+#: they can gain nothing more) at every chunk boundary, the
+#: recommendation-side mirror of the posting blocks of the search side.
+FEATURE_CHUNK = 2
+
 
 class FrozenMapping(Mapping[str, float]):
     """A read-only, picklable mapping for shared score decompositions.
@@ -284,6 +290,7 @@ class RankingSupport:
         scored_features: Sequence["ScoredFeature"],
         top_k: int,
         stats: PruningStats,
+        blockmax: bool = False,
     ) -> dict[str, float]:
         """Type-group-pruned accumulator scores (see :meth:`score_entities`).
 
@@ -297,6 +304,16 @@ class RankingSupport:
         larger) holder walks pass over them.  Survivor scores are exactly
         the accumulator values :meth:`score_entities` produces; callers
         must re-score the selection boundary exactly, as before.
+
+        With ``blockmax=True`` the feature columns are treated as chunks
+        of :data:`FEATURE_CHUNK` (per-type chunked holder-list bounds):
+        θ is refreshed and group kills re-checked at *every* chunk
+        boundary instead of the two fixed checkpoints, and a group whose
+        remaining chunk bounds are all zero is *retired* mid-walk — its
+        members' accumulator values are already final, so they keep their
+        place in the result map but drop out of every later (often much
+        larger) holder walk.  Chunk decisions are reported through the
+        ``blocks_total`` / ``blocks_skipped`` counters.
         """
         relevance = [scored.score for scored in scored_features]
         entity_types: dict[str, str] = {}
@@ -338,6 +355,13 @@ class RankingSupport:
         stats.queries += 1
         stats.candidates_total += len(entity_types)
         stats.groups_total += len(type_members)
+        # Chunk accounting: each type group would walk ``num_chunks``
+        # correction chunks; chunks never walked (group killed, retired or
+        # dead before the walk) are reported as skipped blocks.
+        num_chunks = 0
+        if blockmax and num_columns:
+            num_chunks = -(-num_columns // FEATURE_CHUNK)
+            stats.blocks_total += num_chunks * len(type_members)
 
         # Initial θ: the k-th largest base score over the candidate pool,
         # derived from the type-group sizes (no per-candidate pass).  The
@@ -366,11 +390,19 @@ class RankingSupport:
             if base_scores[type_id] + suffix_bounds[type_id][0] < cut:
                 stats.groups_skipped += 1
                 stats.candidates_pruned += len(members)
+                if blockmax:
+                    stats.blocks_skipped += num_chunks
                 continue
-            live_types[type_id] = bases[type_id]
             base = base_scores[type_id]
             for entity_id in members:
                 accumulators[entity_id] = base
+            if blockmax and suffix_bounds[type_id][0] == 0.0:
+                # No member can earn any correction: the base score is
+                # already final, so the group never enters the walk at
+                # all (retired, not killed — its members stay ranked).
+                stats.blocks_skipped += num_chunks
+                continue
+            live_types[type_id] = bases[type_id]
 
         if len(live_types) == len(type_members):
             # Nothing died up front: the full type map doubles as the live
@@ -385,7 +417,7 @@ class RankingSupport:
         for column, scored in enumerate(scored_features):
             score = relevance[column]
             holder_set = self._index.holders_of(scored.feature)
-            if len(holder_set) <= len(accumulators):
+            if len(holder_set) <= len(live_entities):
                 for entity_id in holder_set:
                     type_id = live_entities.get(entity_id)
                     if type_id is not None:
@@ -396,17 +428,45 @@ class RankingSupport:
                         accumulators[entity_id] += (1.0 - live_types[type_id][column]) * score
             # Kill groups whose best member cannot reach θ with the
             # remaining corrections.  θ and the per-group best partials
-            # are refreshed only after the heaviest-relevance columns
-            # (the features are already sorted by score, so those columns
-            # decide almost all kills), keeping the walk loop itself
-            # bookkeeping-free; θ only ever grows, so a stale θ is sound.
+            # are refreshed only after the heaviest-relevance columns in
+            # maxscore mode (the features are already sorted by score, so
+            # those columns decide almost all kills); blockmax mode
+            # re-checks at every FEATURE_CHUNK boundary and additionally
+            # *retires* groups whose remaining chunk bounds are all zero
+            # — their values are final, so they keep their place in the
+            # result map but drop out of every later holder walk.  θ only
+            # ever grows, so a stale θ is sound.
             done = column + 1
-            if (
-                done not in (1, 4)
-                or done >= num_columns
-                or len(live_types) <= 1
-                or len(accumulators) <= top_k
-            ):
+            if done >= num_columns or not live_types:
+                continue
+            if blockmax:
+                if done != 1 and done % FEATURE_CHUNK != 0:
+                    continue
+                # Chunks not yet *started*: a partially-walked chunk (the
+                # done=1 checkpoint sits mid-chunk) counts as walked, so
+                # the skip counters never overstate the avoided work.
+                rem_chunks = num_chunks - -(-done // FEATURE_CHUNK)
+                finished = [
+                    type_id
+                    for type_id in live_types
+                    if suffix_bounds[type_id][done] == 0.0
+                ]
+                for type_id in finished:
+                    del live_types[type_id]
+                    for entity_id in type_members[type_id]:
+                        del live_entities[entity_id]
+                    stats.blocks_skipped += rem_chunks
+                # Retirement is O(live types) and runs at every chunk
+                # boundary; the θ-refresh kill scan below is O(live
+                # candidates), so it keeps the maxscore schedule plus a
+                # sparse tail instead of firing at every boundary.
+                if done not in (1, 4) and done % 8 != 0:
+                    continue
+            else:
+                if done not in (1, 4):
+                    continue
+                rem_chunks = 0
+            if len(live_types) <= 1 or len(accumulators) <= top_k:
                 continue
             lookup_or_dead = accumulators.get
             refreshed = threshold_of(
@@ -435,6 +495,7 @@ class RankingSupport:
                     del live_entities[entity_id]
                 stats.groups_skipped += 1
                 stats.candidates_pruned += len(members)
+                stats.blocks_skipped += rem_chunks
         return accumulators
 
     def contribution_rows(

@@ -19,8 +19,15 @@ import math
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..index import FieldedIndex, select_top_k_with_zero_fill
-from ..topk import PruningStats, SparseTermEntry, maxscore_sparse, select_survivors
+from ..config import PRUNED_MODES, PRUNING_MODES
+from ..index import BLOCK_SIZE, FieldedIndex, select_top_k_with_zero_fill
+from ..topk import (
+    BlockedSparseTermEntry,
+    PruningStats,
+    SparseTermEntry,
+    maxscore_sparse,
+    select_survivors,
+)
 from .mlm import ScoredDocument
 from .query import KeywordQuery
 
@@ -74,7 +81,7 @@ class BM25FieldScorer:
         params: BM25Params | None = None,
         pruning: str = "maxscore",
     ) -> None:
-        if pruning not in ("off", "maxscore"):
+        if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
         self._index = index
         self._field = field
@@ -125,8 +132,12 @@ class BM25FieldScorer:
         remaining terms cannot lift a new document past the live θ the
         walk switches to accumulator-only refinement (the OR→AND switch),
         skipping the postings walks of frequent low-impact terms.
+        ``pruning="blockmax"`` additionally attaches per-range (block-max)
+        contribution bounds, so the AND phase runs as a doc-id-sorted
+        galloping intersection that evicts survivors and skips whole
+        posting blocks the list-wide bound cannot.
         """
-        if self._pruning == "maxscore":
+        if self._pruning in PRUNED_MODES:
             return self._search_maxscore(query, top_k)
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
@@ -214,7 +225,59 @@ class BM25FieldScorer:
                     contribution = weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
                     accumulators[doc_id] += contribution
 
-            entries.append(SparseTermEntry(key=term, upper=upper, expand=expand, refine=refine))
+            if self._pruning != "blockmax":
+                entries.append(
+                    SparseTermEntry(key=term, upper=upper, expand=expand, refine=refine)
+                )
+                continue
+
+            def block_tf_parts(term: str = term) -> tuple:
+                summary = support.postings_block_summary(self._field, term)
+                assert summary is not None  # frequencies is non-empty
+                parts = tuple(
+                    (max_tf * k1_plus_1) / (max_tf + params.k1 * min_norm)
+                    for max_tf in summary.max_frequencies
+                )
+                return (summary.lasts, parts)
+
+            # Same snapshot caveat as the global bound: the per-block
+            # parts normalise with this scorer's construction-time
+            # averages, so the memo key carries them — and, like the
+            # global bound, the idf weight (which depends on the
+            # construction-time N) multiplies *outside* the memo, so
+            # scorers built at different index epochs never share a
+            # weight-scaled value.
+            lasts, tf_parts = statistics.memoised_blocks(
+                ("bm25-blocks", params.k1, params.b, avg_length, self._field, term, BLOCK_SIZE),
+                block_tf_parts,
+            )
+            block_uppers = tuple(weight * part for part in tf_parts)
+
+            def contribution(
+                doc_id: str,
+                weight: float = weight,
+                frequencies: Mapping[str, int] = frequencies,
+            ) -> float:
+                tf = frequencies.get(doc_id, 0)
+                if tf == 0:
+                    return 0.0
+                doc_len = lengths.get(doc_id, 0)
+                length_norm = 1.0 - params.b + params.b * (
+                    doc_len / avg_length if avg_length > 0 else 1.0
+                )
+                return weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
+
+            entries.append(
+                BlockedSparseTermEntry(
+                    key=term,
+                    upper=upper,
+                    expand=expand,
+                    refine=refine,
+                    block_lasts=lasts,
+                    block_uppers=block_uppers,
+                    contribution=contribution,
+                )
+            )
         return entries
 
     def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
@@ -228,7 +291,9 @@ class BM25FieldScorer:
         if top_k <= 0:
             return []
         entries = self._sparse_entries(query)
-        survivors = maxscore_sparse(entries, top_k, self._pruning_stats)
+        survivors = maxscore_sparse(
+            entries, top_k, self._pruning_stats, blockmax=self._pruning == "blockmax"
+        )
         to_rescore = select_survivors(survivors, top_k)
         self._pruning_stats.rescored += len(to_rescore)
         support = self._index.scoring_support()
@@ -280,7 +345,7 @@ class BM25FScorer:
         params: BM25Params | None = None,
         pruning: str = "maxscore",
     ) -> None:
-        if pruning not in ("off", "maxscore"):
+        if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
         self._index = index
         self._params = params or BM25Params()
@@ -340,9 +405,10 @@ class BM25FScorer:
 
         With ``pruning="maxscore"`` the traversal runs threshold-pruned
         exactly like :meth:`BM25FieldScorer.search`, with the weighted
-        cross-field term frequency bounded per field.
+        cross-field term frequency bounded per field; ``"blockmax"`` adds
+        per-range bounds over the union of the fields' postings.
         """
-        if self._pruning == "maxscore":
+        if self._pruning in PRUNED_MODES:
             return self._search_maxscore(query, top_k)
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
@@ -491,7 +557,91 @@ class BM25FScorer:
                             doc_id, components, weight_idf
                         )
 
-            entries.append(SparseTermEntry(key=term, upper=upper, expand=expand, refine=refine))
+            if self._pruning != "blockmax":
+                entries.append(
+                    SparseTermEntry(key=term, upper=upper, expand=expand, refine=refine)
+                )
+                continue
+
+            def block_wtf_bounds(term: str = term, components=components) -> tuple:
+                # Blocks over the *union* of the fields' postings: the
+                # per-field grids differ, so per-block field maxima are
+                # taken over the actual documents of each union block
+                # (one scan per epoch, amortised by the memo below).
+                union_ids = sorted(
+                    {doc_id for _, frequencies, _, _ in components for doc_id in frequencies}
+                )
+                min_norms = []
+                for field, weight in weighted_fields:
+                    field_stats = statistics.field(field)
+                    avg_len = self._avg_lengths[field]
+                    if avg_len > 0:
+                        min_norm = 1.0 - params.b + params.b * (field_stats.min_length / avg_len)
+                    else:
+                        min_norm = 1.0
+                    min_norms.append(min_norm)
+                lasts: list[str] = []
+                bounds: list[float] = []
+                for start in range(0, len(union_ids), BLOCK_SIZE):
+                    block = union_ids[start : start + BLOCK_SIZE]
+                    lasts.append(block[-1])
+                    wtf_bound = 0.0
+                    for (weight, frequencies, _, _), min_norm in zip(components, min_norms):
+                        max_tf = max(frequencies.get(doc_id, 0) for doc_id in block)
+                        if max_tf == 0:
+                            continue
+                        wtf_bound += (
+                            weight * max_tf / min_norm if min_norm > 0 else float("inf")
+                        )
+                    bounds.append(wtf_bound)
+                return (tuple(lasts), tuple(bounds))
+
+            # The memoised value is idf-free (the weighted-tf bound per
+            # block); the idf weight, which depends on this scorer's
+            # construction-time N, saturates the bound per query below —
+            # scorers built at different index epochs share the grid but
+            # never a weight-scaled bound.
+            lasts, wtf_bounds = statistics.memoised_blocks(
+                (
+                    "bm25f-blocks",
+                    params.k1,
+                    params.b,
+                    tuple(sorted(self._weights.items())),
+                    tuple(sorted(self._avg_lengths.items())),
+                    term,
+                    BLOCK_SIZE,
+                ),
+                block_wtf_bounds,
+            )
+            block_uppers = tuple(
+                # Degenerate normaliser: the saturated ratio still cannot
+                # exceed 1 (same cap as the global bound).
+                weight_idf
+                if wtf_bound == float("inf")
+                else weight_idf * wtf_bound / (wtf_bound + params.k1)
+                for wtf_bound in wtf_bounds
+            )
+
+            def contribution(
+                doc_id: str,
+                components=components,
+                weight_idf: float = weight_idf,
+            ) -> float:
+                if any(doc_id in frequencies for _, frequencies, _, _ in components):
+                    return self._pruned_contribution(doc_id, components, weight_idf)
+                return 0.0
+
+            entries.append(
+                BlockedSparseTermEntry(
+                    key=term,
+                    upper=upper,
+                    expand=expand,
+                    refine=refine,
+                    block_lasts=lasts,
+                    block_uppers=block_uppers,
+                    contribution=contribution,
+                )
+            )
         return entries
 
     def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
@@ -504,7 +654,9 @@ class BM25FScorer:
         if top_k <= 0:
             return []
         entries = self._sparse_entries(query)
-        survivors = maxscore_sparse(entries, top_k, self._pruning_stats)
+        survivors = maxscore_sparse(
+            entries, top_k, self._pruning_stats, blockmax=self._pruning == "blockmax"
+        )
         to_rescore = select_survivors(survivors, top_k)
         self._pruning_stats.rescored += len(to_rescore)
         support = self._index.scoring_support()

@@ -20,13 +20,21 @@ perform the same floating-point operations in the same order.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterable, Mapping, MutableMapping, Sequence
 from dataclasses import dataclass
 
-from ..config import SearchConfig
+from ..config import PRUNED_MODES, SearchConfig
 from ..index import FieldedIndex, select_top_k
 from ..index.scoring_support import ScoringSupport
-from ..topk import DenseTermEntry, PruningStats, maxscore_dense, select_survivors
+from ..topk import (
+    DenseTermEntry,
+    PruningStats,
+    maxscore_dense,
+    select_survivors,
+    threshold_of,
+)
+from ..topk.heap import NO_THRESHOLD
 from .language_model import SmoothingParams, log_probability, smoothed_probability
 from .query import KeywordQuery
 
@@ -240,6 +248,56 @@ def _rescore_mixture(
     return results
 
 
+def _prime_threshold(
+    per_term: Sequence[list[tuple[float, Mapping[str, int], Mapping[str, int], float]]],
+    smoothing: SmoothingParams,
+    top_k: int,
+) -> float:
+    """An initial θ from a subset pool of promising candidates.
+
+    The dense traversal's partial-plus-floor θ is loose on the early
+    passes (the floor assumes a zero term frequency over the longest
+    field).  This primes θ the way the recommendation side's type-group
+    subset pool does: take each term's highest-tf documents per scored
+    field, score that small pool *exactly* through the fast support
+    lookups, and use its k-th best final score — a valid θ witness set,
+    because every pool document is a real candidate and exact final
+    scores are their own lower bounds.  Returns ``-inf`` when fewer than
+    ``top_k`` pool documents exist (nothing can be primed soundly).
+    """
+    # Rarest postings first: a document with a high tf for a rare term
+    # collects that term's large log boost while the rest of the pool
+    # pays the smoothing floor, so these are the likeliest true top
+    # scorers.  Postings lists beyond ``4 * top_k`` documents are never
+    # scanned — selecting witnesses from them would cost a heap pass over
+    # the very lists the traversal is trying not to walk twice, and their
+    # spread is what the partial-plus-floor θ already captures.  When no
+    # k cheap witnesses exist, priming is skipped (returns ``-inf``) and
+    # the traversal runs exactly like ``maxscore``.
+    budget = 4 * top_k
+    postings_by_rarity = sorted(
+        (
+            frequencies
+            for components in per_term
+            for _, frequencies, _, _ in components
+            if frequencies and len(frequencies) <= budget
+        ),
+        key=len,
+    )
+    pool: set[str] = set()
+    for frequencies in postings_by_rarity:
+        if len(frequencies) <= top_k:
+            pool.update(frequencies)
+        else:
+            pool.update(heapq.nlargest(top_k, frequencies, key=frequencies.__getitem__))
+        if len(pool) >= top_k:
+            break
+    if len(pool) < top_k:
+        return NO_THRESHOLD
+    scored = _rescore_mixture(sorted(pool), per_term, smoothing)
+    return threshold_of((score for _, score in scored), top_k)
+
+
 def _accumulate_mixture_term_pruned(
     accumulators: MutableMapping[str, float],
     cut: float,
@@ -415,7 +473,7 @@ class MixtureLanguageModelScorer:
         weighted_fields = [
             (field, weight) for field, weight in self._weights.items() if weight != 0.0
         ]
-        if self._config.pruning == "maxscore":
+        if self._config.pruning in PRUNED_MODES:
             return self._search_maxscore(query, top_k, candidates, support, weighted_fields)
         accumulators = dict.fromkeys(candidates, 0.0)
         for term in query.terms:
@@ -474,11 +532,14 @@ class MixtureLanguageModelScorer:
         in the same (query) order as :meth:`score_document`, so the final
         ranking is byte-identical to the exhaustive path; only the top-k
         winners pay the full per-term breakdown construction.
+
+        With ``pruning="blockmax"`` the initial θ is primed from a small
+        subset pool of the highest-tf documents per term (see
+        :func:`_prime_threshold`), so the first eviction passes prune
+        with an exact-score threshold instead of the loose
+        partial-plus-floor bound.
         """
         entries = self._dense_entries(query, support, weighted_fields)
-        survivors = maxscore_dense(candidates, entries, top_k, self._pruning_stats)
-        to_rescore = select_survivors(survivors, top_k)
-        self._pruning_stats.rescored += len(to_rescore)
         smoothing = self._smoothing
         per_term = [
             _term_components(term, weighted_fields, support, smoothing) for term in query.terms
@@ -488,6 +549,14 @@ class MixtureLanguageModelScorer:
             per_term.extend(
                 _term_components(term, restricted, support, smoothing) for term in terms
             )
+        prime = NO_THRESHOLD
+        if self._config.pruning == "blockmax" and 4 * top_k < len(candidates):
+            prime = _prime_threshold(per_term, smoothing, top_k)
+        survivors = maxscore_dense(
+            candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
+        )
+        to_rescore = select_survivors(survivors, top_k)
+        self._pruning_stats.rescored += len(to_rescore)
         exact = _rescore_mixture(to_rescore, per_term, smoothing)
         exact.sort(key=_rank_key)
         return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
@@ -551,7 +620,7 @@ class SingleFieldScorer:
         support = self._index.scoring_support()
         single_field = ((self._field, 1.0),)
         smoothing = self._smoothing
-        if self._config.pruning == "maxscore":
+        if self._config.pruning in PRUNED_MODES:
             bounds = LanguageModelBounds(support, smoothing)
             entries: list[DenseTermEntry] = []
             for term in query.all_terms():
@@ -568,13 +637,18 @@ class SingleFieldScorer:
                         ),
                     )
                 )
-            survivors = maxscore_dense(candidates, entries, top_k, self._pruning_stats)
-            to_rescore = select_survivors(survivors, top_k)
-            self._pruning_stats.rescored += len(to_rescore)
             per_term = [
                 _term_components(term, single_field, support, smoothing)
                 for term in query.all_terms()
             ]
+            prime = NO_THRESHOLD
+            if self._config.pruning == "blockmax" and 4 * top_k < len(candidates):
+                prime = _prime_threshold(per_term, smoothing, top_k)
+            survivors = maxscore_dense(
+                candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
+            )
+            to_rescore = select_survivors(survivors, top_k)
+            self._pruning_stats.rescored += len(to_rescore)
             exact = _rescore_mixture(to_rescore, per_term, smoothing)
             exact.sort(key=_rank_key)
             return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]

@@ -27,7 +27,12 @@ survivors through the exhaustive per-document scoring path, so pruned
 rankings are byte-identical to exhaustive rankings by construction.
 """
 
-from .bounds import DenseTermEntry, ScorerBounds, SparseTermEntry
+from .bounds import (
+    BlockedSparseTermEntry,
+    DenseTermEntry,
+    ScorerBounds,
+    SparseTermEntry,
+)
 from .heap import ThresholdHeap, safety_slack, threshold_of
 from .maxscore import (
     SELECTION_MARGIN,
@@ -38,6 +43,7 @@ from .maxscore import (
 from .stats import PruningStats
 
 __all__ = [
+    "BlockedSparseTermEntry",
     "DenseTermEntry",
     "PruningStats",
     "SELECTION_MARGIN",

@@ -13,7 +13,7 @@ so the bounds can be derived once per (field, term) and memoised on
 
 from __future__ import annotations
 
-from collections.abc import Callable, MutableMapping
+from collections.abc import Callable, MutableMapping, Sequence
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -81,3 +81,30 @@ class SparseTermEntry:
     upper: float
     expand: Callable[[Accumulators], None]
     refine: Callable[[Accumulators], None]
+
+
+@dataclass(frozen=True)
+class BlockedSparseTermEntry(SparseTermEntry):
+    """A sparse term entry carrying block-max range bounds (BMW-style).
+
+    The term's matching documents, sorted by document id, are chunked
+    into fixed-size blocks; ``block_lasts[i]`` is the last (largest)
+    document id of block ``i`` and ``block_uppers[i]`` a sound upper
+    bound on the term's contribution to *any* document inside the block
+    — by construction ``block_uppers[i] <= upper`` for every block, which
+    is what lets the ``blockmax`` refinement evict survivors the single
+    global bound cannot.  ``contribution(doc_id)`` returns the exact
+    contribution of one document (``0.0`` for non-matching documents);
+    the galloping refinement uses it instead of ``refine`` so a single
+    survivor can be probed without walking anything.
+
+    Block summaries are derived from index-time posting statistics and
+    memoised per index epoch (see
+    :meth:`repro.index.statistics.CollectionStatistics.memoised_blocks`),
+    so building an entry costs one cache hit per (scorer, field, term)
+    after the first query of an epoch.
+    """
+
+    block_lasts: Sequence[str] = ()
+    block_uppers: Sequence[float] = ()
+    contribution: Callable[[str], float] = lambda doc_id: 0.0

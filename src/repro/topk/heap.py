@@ -20,6 +20,7 @@ Two access patterns are provided:
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Iterable
 
 #: θ before k lower bounds have been seen: nothing can be pruned yet.
@@ -91,10 +92,24 @@ def threshold_of(scores: Iterable[float], k: int) -> float:
     Used by the traversal drivers to recompute θ from the current
     accumulator values after each term pass (``heapq.nlargest`` runs in
     C and is O(n log k)).
+
+    The result is never NaN: a NaN θ would poison every subsequent bound
+    comparison (all comparisons with NaN are false, so pruning would
+    silently discard *every* candidate).  NaN handling costs nothing on
+    the hot path — ``nlargest`` runs on the raw iterable (which may be a
+    one-shot generator) and only the O(k) result is scanned: a NaN in the
+    input either never enters the bounded heap (every ``NaN > heap[0]``
+    comparison is false, so the k-th largest *comparable* score comes out
+    as usual) or ends up in the result, in which case θ degrades to
+    ``-inf`` — pruning is disabled for the snapshot, which is sound.
+    ``-inf`` is also returned when fewer than ``k`` scores exist, e.g.
+    when ``k`` exceeds the surviving candidate pool mid-traversal.
     """
     if k <= 0:
         return NO_THRESHOLD
     largest = heapq.nlargest(k, scores)
     if len(largest) < k:
+        return NO_THRESHOLD
+    if any(map(math.isnan, largest)):
         return NO_THRESHOLD
     return largest[-1]

@@ -20,9 +20,10 @@ Soundness of every skip decision rests on two facts:
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from collections.abc import Iterable, Mapping, Sequence
 
-from .bounds import DenseTermEntry, SparseTermEntry
+from .bounds import BlockedSparseTermEntry, DenseTermEntry, SparseTermEntry
 from .heap import NO_THRESHOLD, safety_slack, threshold_of
 from .stats import PruningStats
 
@@ -62,6 +63,7 @@ def maxscore_dense(
     top_k: int,
     stats: PruningStats,
     margin: int = SELECTION_MARGIN,
+    prime_threshold: float = NO_THRESHOLD,
 ) -> dict[str, float]:
     """Threshold-pruned dense traversal (smoothing language models).
 
@@ -74,6 +76,18 @@ def maxscore_dense(
     ``top_k + margin`` candidates survive, the remaining term passes are
     skipped entirely — set membership can no longer change, and the caller
     re-scores every survivor exactly anyway.
+
+    ``prime_threshold`` is an optional caller-supplied lower bound on the
+    k-th best *final* score — typically the k-th best exact score of a
+    small subset pool of promising candidates (the ``blockmax`` priming,
+    mirroring the type-group subset pool of the recommendation side).
+    It is sound whenever it is witnessed by ``top_k`` real candidates'
+    final scores, and tightens θ on the early passes where the
+    partial-plus-floor bound is loose.
+
+    ``candidates_total`` counts every candidate entering the traversal —
+    the dense driver opens all accumulators up front, so unlike the
+    sparse driver there is no per-pass drift to correct.
     """
     accumulators = dict.fromkeys(candidates, 0.0)
     stats.queries += 1
@@ -92,6 +106,10 @@ def maxscore_dense(
         remaining_upper[position] = remaining_upper[position + 1] + entry.upper
 
     stop_budget = top_k + margin
+    # The first pass always runs uncut — even a primed θ cannot evict
+    # there: every partial is 0.0 and the would-be cut,
+    # ``prime - slack - remaining_upper[0]``, is provably negative
+    # (the full upper sum dominates any final score, hence any sound θ).
     cut = NO_THRESHOLD
     for position, index in enumerate(order):
         if len(accumulators) <= stop_budget:
@@ -109,10 +127,15 @@ def maxscore_dense(
             continue
         threshold = threshold_of(accumulators.values(), top_k)
         if threshold == NO_THRESHOLD:
+            total = prime_threshold
+        else:
+            total = threshold + rem_floor
+            if prime_threshold > total:
+                total = prime_threshold
+        if total == NO_THRESHOLD:
             cut = NO_THRESHOLD
             continue
-        threshold += rem_floor
-        cut = threshold - safety_slack(threshold) - rem_upper
+        cut = total - safety_slack(total) - rem_upper
     return accumulators
 
 
@@ -120,6 +143,7 @@ def maxscore_sparse(
     entries: Sequence[SparseTermEntry],
     top_k: int,
     stats: PruningStats,
+    blockmax: bool = False,
 ) -> dict[str, float]:
     """Threshold-pruned sparse traversal (BM25-family scorers).
 
@@ -131,6 +155,15 @@ def maxscore_sparse(
     OR→AND switch — the postings walks of frequent low-impact terms are
     skipped).  Surviving accumulators hold exact totals: refinement still
     applies every remaining term to every survivor.
+
+    With ``blockmax=True`` (and entries carrying
+    :class:`~repro.topk.bounds.BlockedSparseTermEntry` block summaries)
+    the AND phase runs as a doc-id-sorted galloping intersection instead
+    of per-term survivor re-walks: survivors are visited in document-id
+    order, each one's posting block is found by galloping ``bisect`` over
+    the block boundaries, and a survivor whose partial plus the *block*
+    upper bound plus the remaining terms' bound cannot reach θ is evicted
+    without ever probing the postings (see :func:`_gallop_refine`).
     """
     accumulators: dict[str, float] = {}
     stats.queries += 1
@@ -144,7 +177,6 @@ def maxscore_sparse(
         remaining_upper[position] = remaining_upper[position + 1] + entries[order[position]].upper
 
     threshold = NO_THRESHOLD
-    counted = 0
     for position, index in enumerate(order):
         entry = entries[index]
         cut = (
@@ -153,13 +185,31 @@ def maxscore_sparse(
             else NO_THRESHOLD
         )
         if cut != NO_THRESHOLD and remaining_upper[position] < cut:
+            if blockmax:
+                # Once in AND mode the traversal stays there (θ only
+                # grows, the remaining upper sum only shrinks), so every
+                # remaining term runs through the galloping refinement.
+                _gallop_refine(
+                    accumulators,
+                    [entries[i] for i in order[position:]],
+                    remaining_upper,
+                    position,
+                    top_k,
+                    threshold,
+                    stats,
+                )
+                return accumulators
             entry.refine(accumulators)
             stats.terms_skipped += 1
         else:
+            before = len(accumulators)
             entry.expand(accumulators)
-            peak = len(accumulators)
-            if peak > counted:
-                counted = peak
+            # Every accumulator created counts as a traversal candidate.
+            # Summing entrants per expand pass (instead of tracking the
+            # peak accumulator count) keeps the count correct when later
+            # passes run after evictions shrank the map — the peak missed
+            # documents added by one pass and evicted before the next.
+            stats.candidates_total += len(accumulators) - before
         rem_upper = remaining_upper[position + 1]
         if len(accumulators) > top_k:
             threshold = threshold_of(accumulators.values(), top_k)
@@ -172,5 +222,72 @@ def maxscore_sparse(
                     if partial >= cut
                 }
                 stats.candidates_pruned += before - len(accumulators)
-    stats.candidates_total += counted
     return accumulators
+
+
+def _gallop_refine(
+    accumulators: dict[str, float],
+    remaining: Sequence[SparseTermEntry],
+    remaining_upper: Sequence[float],
+    base_position: int,
+    top_k: int,
+    threshold: float,
+    stats: PruningStats,
+) -> None:
+    """AND-mode block-max refinement over the surviving accumulators.
+
+    Survivors are walked in document-id order once per remaining term;
+    the term's posting blocks are galloped with ``bisect`` so blocks
+    containing no survivor are never touched, and the per-block upper
+    bound evicts survivors the global term bound cannot.  Entries without
+    block summaries fall back to the plain ``refine`` walk.  θ is
+    refreshed after every term, so each refinement pass prunes with the
+    tightest threshold available.  Surviving values stay exact: every
+    probe adds the exact contribution, and evicted candidates provably
+    cannot reach the top-k.
+    """
+    survivors = sorted(accumulators)
+    for offset, entry in enumerate(remaining):
+        stats.terms_skipped += 1
+        cut = threshold - safety_slack(threshold)
+        if not isinstance(entry, BlockedSparseTermEntry) or not entry.block_lasts:
+            entry.refine(accumulators)
+        else:
+            rem_after = remaining_upper[base_position + offset + 1]
+            lasts = entry.block_lasts
+            uppers = entry.block_uppers
+            contribution = entry.contribution
+            num_blocks = len(lasts)
+            stats.blocks_total += num_blocks
+            probed = 0
+            last_probed = -1
+            block = 0
+            evicted = 0
+            for doc_id in survivors:
+                partial = accumulators.get(doc_id)
+                if partial is None:
+                    continue  # evicted by an earlier term's bound
+                if block < num_blocks:
+                    # Monotone gallop: survivors are sorted, so the block
+                    # cursor only ever moves forward.
+                    block = bisect_left(lasts, doc_id, lo=block)
+                bound = uppers[block] if block < num_blocks else 0.0
+                if partial + bound + rem_after < cut:
+                    # Even a block-maximal match of this term plus every
+                    # remaining term cannot reach θ: evict unprobed.
+                    del accumulators[doc_id]
+                    evicted += 1
+                    continue
+                if block < num_blocks:
+                    if block != last_probed:
+                        last_probed = block
+                        probed += 1
+                    value = contribution(doc_id)
+                    if value:
+                        accumulators[doc_id] += value
+            stats.blocks_skipped += num_blocks - probed
+            stats.candidates_pruned += evicted
+        if len(accumulators) > top_k:
+            refreshed = threshold_of(accumulators.values(), top_k)
+            if refreshed > threshold:
+                threshold = refreshed

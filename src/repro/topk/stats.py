@@ -25,6 +25,13 @@ class PruningStats:
     ``groups_total``       dominant-type groups seen (recommendation side);
     ``groups_skipped``     whole type groups skipped because
                            ``B(c) + bound(corrections) < θ``;
+    ``blocks_total``       posting blocks (search side) or per-type feature
+                           chunks (recommendation side) the ``blockmax``
+                           refinement considered;
+    ``blocks_skipped``     blocks passed over without probing a single
+                           posting because no survivor fell in the block's
+                           range or the block-max bound fell below θ, and
+                           per-type chunks abandoned mid-walk;
     ``rescored``           survivors re-scored exactly for the final
                            ranking (the price of byte-identical output).
     """
@@ -37,6 +44,8 @@ class PruningStats:
         "candidates_pruned",
         "groups_total",
         "groups_skipped",
+        "blocks_total",
+        "blocks_skipped",
         "rescored",
     )
 

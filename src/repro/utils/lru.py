@@ -18,6 +18,12 @@ from typing import Generic, TypeVar
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: Sentinel distinguishing "key absent" from a legitimately cached falsy
+#: payload (``None``, ``()``, empty mappings): using ``None`` as the
+#: ``dict.get`` default conflated the two, so a cached ``None`` counted as
+#: a miss and never refreshed its recency.
+_MISSING = object()
+
 
 class LRUCache(Generic[K, V]):
     """A bounded mapping with least-recently-used eviction and counters.
@@ -47,14 +53,16 @@ class LRUCache(Generic[K, V]):
         """The cached value (refreshing its recency), or ``None``.
 
         Counts a hit or a miss; use :meth:`peek` for stat-free access.
+        A stored value of ``None`` is a hit (indistinguishable from a miss
+        by return value alone, but counted and recency-refreshed as a hit).
         """
-        value = self._data.get(key)
-        if value is None:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
             self._misses += 1
             return None
         self._data.move_to_end(key)
         self._hits += 1
-        return value
+        return value  # type: ignore[return-value]
 
     def peek(self, key: K) -> V | None:
         """The cached value without touching recency or counters."""

@@ -103,3 +103,51 @@ class TestCommands:
     def test_error_returns_nonzero(self, capsys):
         assert self.run("profile", "dbr:Not_A_Thing") == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestPruningFlags:
+    """The ``--pruning`` / ``--show-pruning`` operator surface."""
+
+    def run(self, *argv: str) -> int:
+        return main(["--dataset", "movies-small", *argv])
+
+    @pytest.mark.parametrize("mode", ["off", "maxscore", "blockmax"])
+    def test_search_identical_across_modes(self, mode, capsys):
+        assert self.run("--pruning", mode, "search", "forrest gump", "--top-k", "3") == 0
+        out = capsys.readouterr().out
+        assert "Forrest Gump" in out
+
+    def test_show_pruning_dumps_counters_after_search(self, capsys):
+        code = self.run("--pruning", "blockmax", "--show-pruning", "search", "forrest gump")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruning mode: blockmax" in out
+        assert "pruning[search]:" in out
+        assert "pruning[recommend]:" in out
+        assert "'queries': 1" in out
+
+    def test_show_pruning_dumps_counters_after_recommend(self, capsys):
+        code = self.run("--show-pruning", "recommend", "dbr:Forrest_Gump")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruning mode: maxscore" in out
+        assert "pruning[recommend]:" in out
+
+    def test_pruning_off_leaves_counters_silent(self, capsys):
+        code = self.run("--pruning", "off", "--show-pruning", "search", "forrest gump")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruning mode: off" in out
+        assert "'queries': 0" in out
+
+    def test_unknown_pruning_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--pruning", "wand", "search", "x"])
+
+    def test_build_config_threads_mode_to_both_engines(self):
+        from repro.cli import build_config
+
+        config = build_config("blockmax")
+        assert config.search.pruning == "blockmax"
+        assert config.ranking.pruning == "blockmax"
+        assert build_config(None).search.pruning == "maxscore"

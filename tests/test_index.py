@@ -59,6 +59,35 @@ class TestPostingList:
         assert "d1" in postings
         assert len(postings) == 1
 
+    def test_block_summary_chunks_sorted_postings(self):
+        postings = PostingList()
+        for number in range(10):
+            postings.add(f"d{number:02d}", number + 1)
+        summary = postings.block_summary(block_size=4)
+        assert summary.lasts == ("d03", "d07", "d09")
+        assert summary.max_frequencies == (4, 8, 10)
+        assert len(summary) == 3
+
+    def test_block_summary_empty_and_invalid(self):
+        assert len(PostingList().block_summary()) == 0
+        with pytest.raises(ValueError):
+            PostingList().block_summary(block_size=0)
+
+    def test_block_summary_memoised_per_epoch(self):
+        index = FieldedIndex(["names"])
+        index.add_document("d1", {"names": ["film", "film"]})
+        index.add_document("d2", {"names": ["film"]})
+        support = index.scoring_support()
+        first = support.postings_block_summary("names", "film")
+        assert first is not None
+        assert first.max_frequencies == (2,)
+        assert support.postings_block_summary("names", "film") is first
+        assert support.postings_block_summary("names", "nope") is None
+        index.add_document("d3", {"names": ["film"] * 5})
+        refreshed = index.scoring_support().postings_block_summary("names", "film")
+        assert refreshed is not first
+        assert refreshed.max_frequencies == (5,)
+
     def test_intersect_union_merge(self):
         left, right = PostingList(), PostingList()
         for doc in ["a", "b", "c"]:

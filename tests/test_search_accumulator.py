@@ -157,8 +157,9 @@ class TestMaxscorePruningEquivalence:
     random-graph check the threshold-pruning layer demands.
     """
 
-    def test_pruned_equals_plain_accumulator_and_exhaustive(self, movie_kg):
-        pruned_engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning="maxscore"))
+    @pytest.mark.parametrize("mode", ["maxscore", "blockmax"])
+    def test_pruned_equals_plain_accumulator_and_exhaustive(self, movie_kg, mode):
+        pruned_engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning=mode))
         plain_engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning="off"))
         for raw in _queries_for(movie_kg, limit=8):
             query = parse_query(raw)
@@ -180,8 +181,9 @@ class TestMaxscorePruningEquivalence:
             {"smoothing": "jelinek-mercer", "jm_lambda": 0.5},
         ],
     )
-    def test_lm_smoothing_edge_cases(self, movie_kg, smoothing_changes):
-        config = SearchConfig(pruning="maxscore", **smoothing_changes)
+    @pytest.mark.parametrize("mode", ["maxscore", "blockmax"])
+    def test_lm_smoothing_edge_cases(self, movie_kg, smoothing_changes, mode):
+        config = SearchConfig(pruning=mode, **smoothing_changes)
         engine = SearchEngine.from_graph(movie_kg, config=config)
         for scorer in (engine.mlm_scorer, engine.single_field_scorer("names")):
             for raw in _queries_for(movie_kg, limit=5):
@@ -197,10 +199,11 @@ class TestMaxscorePruningEquivalence:
         num_entities=st.integers(min_value=20, max_value=120),
         top_k=st.integers(min_value=1, max_value=30),
         smoothing=st.sampled_from(["dirichlet", "jelinek-mercer"]),
+        pruning=st.sampled_from(["maxscore", "blockmax"]),
     )
-    def test_random_kg_property(self, kg_seed, num_entities, top_k, smoothing):
+    def test_random_kg_property(self, kg_seed, num_entities, top_k, smoothing, pruning):
         graph = build_random_kg(RandomKGConfig(num_entities=num_entities, seed=kg_seed))
-        config = SearchConfig(pruning="maxscore", smoothing=smoothing)
+        config = SearchConfig(pruning=pruning, smoothing=smoothing)
         engine = SearchEngine.from_graph(graph, config=config)
         entities = sorted(graph.entities())
         queries = [
@@ -235,6 +238,51 @@ class TestMaxscorePruningEquivalence:
         bm25_info = bm25.pruning_info()
         assert bm25_info["queries"] == 1
         assert bm25_info["terms_skipped"] + bm25_info["candidates_pruned"] > 0
+
+    def test_blockmax_block_counters_fire_at_scale(self):
+        """The galloping AND phase must actually skip posting blocks.
+
+        Every label of the random KG shares the "entity" token, whose
+        500-document posting list is refined in AND mode once the rare
+        terms fill the θ heap; with block-max bounds attached, most of
+        its blocks hold no survivor and are galloped over unprobed.
+        """
+        graph = build_random_kg(RandomKGConfig(num_entities=500, seed=42))
+        engine = SearchEngine.from_graph(graph, config=SearchConfig(pruning="blockmax"))
+        entities = sorted(graph.entities())
+        bm25 = engine.bm25_names_scorer()
+        long_query = parse_query(" ".join(graph.label(e) for e in entities[:8]))
+        _assert_identical(
+            bm25.search(long_query, top_k=5),
+            bm25.search_exhaustive(long_query, top_k=5),
+        )
+        info = bm25.pruning_info()
+        assert info["terms_skipped"] > 0
+        assert info["blocks_total"] > 0
+        assert info["blocks_skipped"] > 0
+        bm25f = engine.bm25f_scorer()
+        _assert_identical(
+            bm25f.search(long_query, top_k=5),
+            bm25f.search_exhaustive(long_query, top_k=5),
+        )
+        assert bm25f.pruning_info()["blocks_skipped"] > 0
+
+    def test_blockmax_theta_priming_prunes_no_less_than_maxscore(self):
+        """The subset-pool θ prime may only tighten the dense traversal."""
+        graph = build_random_kg(RandomKGConfig(num_entities=500, seed=42))
+        engines = {
+            mode: SearchEngine.from_graph(graph, config=SearchConfig(pruning=mode))
+            for mode in ("maxscore", "blockmax")
+        }
+        entities = sorted(graph.entities())
+        for entity_id in entities[:6]:
+            query = parse_query(graph.label(entities[0]) + " " + graph.label(entity_id))
+            for engine in engines.values():
+                engine.mlm_scorer.search(query, top_k=5)
+        primed = engines["blockmax"].pruning_info()
+        unprimed = engines["maxscore"].pruning_info()
+        assert primed["candidates_pruned"] >= unprimed["candidates_pruned"]
+        assert primed["candidates_pruned"] > 0
 
     def test_pruning_off_disables_counters(self, movie_kg):
         engine = SearchEngine.from_graph(movie_kg, config=SearchConfig(pruning="off"))
@@ -298,6 +346,40 @@ class TestBoundCacheAcrossScorerSnapshots:
             new_scorer.search(query, top_k=5)
             # ... and the older scorer must still match its own exhaustive path.
             for scorer in (old_scorer, new_scorer):
+                for top_k in (2, 5, 50):
+                    _assert_identical(
+                        scorer.search(query, top_k=top_k),
+                        scorer.search_exhaustive(query, top_k=top_k),
+                    )
+
+
+class TestBlockBoundCacheAcrossScorerSnapshots:
+    def test_blockmax_scorers_with_different_snapshots_stay_sound(self, tiny_kg):
+        """The memoised per-block values must be idf-free.
+
+        Like the scalar bounds, the block memo key cannot carry the
+        construction-time document count: two scorers built before and
+        after index growth share the epoch-current statistics object, so
+        the cached per-block values are the weight-independent parts and
+        each scorer multiplies its own idf snapshot outside the memo.  A
+        weight-scaled cache entry from the older scorer (larger idf per
+        term) would otherwise serve the newer one, or vice versa.
+        """
+        engine = SearchEngine.from_graph(tiny_kg, config=SearchConfig(pruning="blockmax"))
+        old_scorers = [engine.bm25_names_scorer(), engine.bm25f_scorer()]
+        for number in range(40, 49):
+            tiny_kg.add_label(f"ex:B{number}", f"B{number} drama film")
+            tiny_kg.add_type(f"ex:B{number}", "ex:Film")
+            engine.add_entity(f"ex:B{number}")
+        new_scorers = [engine.bm25_names_scorer(), engine.bm25f_scorer()]
+        for raw in ("drama film", "b40 drama", "film b41 drama b42 b43 b44"):
+            query = parse_query(raw)
+            # The older snapshot memoises its per-term blocks first ...
+            for scorer in old_scorers:
+                scorer.search(query, top_k=3)
+            # ... and both snapshots must still match their own exhaustive
+            # paths byte-for-byte.
+            for scorer in (*old_scorers, *new_scorers):
                 for top_k in (2, 5, 50):
                     _assert_identical(
                         scorer.search(query, top_k=top_k),

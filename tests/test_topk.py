@@ -5,8 +5,11 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.topk import (
+    BlockedSparseTermEntry,
     DenseTermEntry,
     PruningStats,
     SparseTermEntry,
@@ -54,6 +57,63 @@ class TestThresholdOf:
         assert threshold_of([1.0, 2.0], 3) == float("-inf")
         assert threshold_of([], 1) == float("-inf")
         assert threshold_of([1.0], 0) == float("-inf")
+
+
+class TestThetaEdgeCases:
+    """Hypothesis properties of the θ primitives (heap.py edge cases)."""
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(
+        scores=st.lists(
+            st.one_of(st.floats(allow_nan=False, allow_infinity=False), st.just(float("nan"))),
+            max_size=30,
+        ),
+        k=st.integers(min_value=1, max_value=40),
+    )
+    def test_threshold_never_nan_and_stays_sound(self, scores, k):
+        """NaN lower bounds cannot witness θ and must never poison it.
+
+        A NaN θ would make every bound comparison false and silently
+        discard all candidates, so ``threshold_of`` never returns NaN:
+        on NaN-free input it is exactly the k-th largest score (or
+        ``-inf`` when fewer than k exist, including the mid-traversal
+        case of k exceeding the surviving pool); with NaNs present it is
+        either the k-th largest comparable score or degrades to ``-inf``
+        (pruning disabled — sound, never unsound).
+        """
+        threshold = threshold_of(scores, k)
+        assert not math.isnan(threshold)
+        comparable = sorted((s for s in scores if s == s), reverse=True)
+        if len(comparable) < k:
+            assert threshold == float("-inf")
+        elif len(comparable) == len(scores):
+            assert threshold == comparable[k - 1]
+        else:
+            assert threshold in (float("-inf"), comparable[k - 1])
+        # θ must always be witnessed by k real scores (sound lower bound).
+        if threshold != float("-inf"):
+            assert sum(1 for s in comparable if s >= threshold) >= k
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(
+        scores=st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=10),
+        extra=st.integers(min_value=0, max_value=50),
+    )
+    def test_k_larger_than_pool_yields_no_threshold(self, scores, extra):
+        """k beyond the candidate pool must never produce a live θ."""
+        assert threshold_of(scores, len(scores) + 1 + extra) == float("-inf")
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(
+        a=st.floats(allow_nan=False, allow_infinity=False, width=32),
+        b=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    def test_safety_slack_monotone_in_magnitude(self, a, b):
+        """``safety_slack`` grows with |θ|: a larger θ needs a larger guard."""
+        lo, hi = sorted((abs(a), abs(b)))
+        assert safety_slack(lo) <= safety_slack(hi)
+        assert safety_slack(a) == safety_slack(-a)
+        assert safety_slack(a) > 0.0
 
 
 class TestSafetySlack:
@@ -184,6 +244,161 @@ class TestMaxscoreSparse:
     def test_empty(self):
         stats = PruningStats()
         assert maxscore_sparse([], 5, stats) == {}
+
+
+def _blocked_entry(
+    key: str, postings: dict, upper: float, block_size: int = 2
+) -> BlockedSparseTermEntry:
+    """A blocked sparse entry with per-block uppers from the actual values."""
+    ids = sorted(postings)
+    lasts: list[str] = []
+    uppers: list[float] = []
+    for start in range(0, len(ids), block_size):
+        block = ids[start : start + block_size]
+        lasts.append(block[-1])
+        uppers.append(max(postings[doc_id] for doc_id in block))
+
+    def expand(accumulators):
+        for doc_id, value in postings.items():
+            accumulators[doc_id] = accumulators.get(doc_id, 0.0) + value
+
+    def refine(accumulators):
+        for doc_id in accumulators:
+            value = postings.get(doc_id)
+            if value is not None:
+                accumulators[doc_id] += value
+
+    return BlockedSparseTermEntry(
+        key=key,
+        upper=upper,
+        expand=expand,
+        refine=refine,
+        block_lasts=tuple(lasts),
+        block_uppers=tuple(uppers),
+        contribution=lambda doc_id: postings.get(doc_id, 0.0),
+    )
+
+
+def _top_k(accumulators: dict, k: int) -> list:
+    return sorted(accumulators.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+class TestMaxscoreSparseCounters:
+    def test_candidates_total_counts_entrants_not_peak(self):
+        """Regression: entrants after an eviction must still be counted.
+
+        The old implementation tracked the *peak* accumulator count over
+        the expand passes; documents expanded after an earlier eviction
+        shrank the map below the peak were silently uncounted, so bench
+        skip-ratio reports overstated pruning.
+        """
+        first = _sparse_entry("t1", {"a": 10.0, "b": 9.0, "c": -5.0}, 10.0)
+        second = _sparse_entry("t2", {"z": 0.5}, 10.0)
+        stats = PruningStats()
+        survivors = maxscore_sparse([first, second], 1, stats)
+        # "c" is evicted after the first pass (θ=10.0, remaining upper
+        # 10.0), yet "z" still expands on the second pass: four distinct
+        # accumulators entered the traversal while the peak size was 3.
+        assert survivors == {"a": 10.0, "b": 9.0, "z": 0.5}
+        assert stats.candidates_total == 4
+        assert stats.candidates_pruned == 1
+
+
+class TestMaxscoreSparseBlockmax:
+    def test_matches_plain_refinement_totals(self):
+        heavy = {f"d{i:02d}": 10.0 + i for i in range(30)}
+        light = dict.fromkeys(list(heavy)[:5], 0.1)
+        light["zz"] = 0.1
+        entries_plain = [
+            _sparse_entry("heavy", heavy, 40.0),
+            _sparse_entry("light", light, 0.1),
+        ]
+        entries_blocked = [
+            _blocked_entry("heavy", heavy, 40.0),
+            _blocked_entry("light", light, 0.1),
+        ]
+        plain = maxscore_sparse(entries_plain, 5, PruningStats())
+        stats = PruningStats()
+        blocked = maxscore_sparse(entries_blocked, 5, stats, blockmax=True)
+        assert "zz" not in blocked
+        assert _top_k(blocked, 5) == _top_k(plain, 5)
+        # Survivor totals stay exact under the galloping refinement.
+        for doc_id, total in blocked.items():
+            assert total == heavy[doc_id] + light.get(doc_id, 0.0)
+        assert stats.terms_skipped == 1
+
+    def test_block_bounds_evict_and_skip_blocks(self):
+        # Ten close survivors; the refined term matches only one block,
+        # so survivors outside it face a zero block bound and die where
+        # the global bound (5.0) would have kept them alive.
+        heavy = {f"d{i:02d}": 30.0 + i for i in range(10)}
+        mid = {"d01": 5.0}
+        tiny = dict.fromkeys(heavy, 0.05)
+        entries = [
+            _blocked_entry("heavy", heavy, 39.0),
+            _blocked_entry("mid", mid, 5.0),
+            _blocked_entry("tiny", tiny, 0.05, block_size=3),
+        ]
+        stats = PruningStats()
+        survivors = maxscore_sparse(entries, 3, stats, blockmax=True)
+        top = _top_k(survivors, 3)
+        assert [doc_id for doc_id, _ in top] == ["d09", "d08", "d07"]
+        for doc_id, total in top:
+            assert total == heavy[doc_id] + mid.get(doc_id, 0.0) + tiny[doc_id]
+        assert stats.blocks_total > 0
+        assert stats.blocks_skipped > 0
+        assert stats.candidates_pruned > 0
+
+    def test_entries_without_blocks_fall_back_to_refine(self):
+        heavy = {f"d{i:02d}": 10.0 + i for i in range(30)}
+        light = dict.fromkeys(list(heavy)[:5], 0.1)
+        entries = [
+            _blocked_entry("heavy", heavy, 40.0),
+            _sparse_entry("light", light, 0.1),  # no block summaries
+        ]
+        stats = PruningStats()
+        survivors = maxscore_sparse(entries, 5, stats, blockmax=True)
+        assert stats.blocks_total == 0
+        for doc_id, total in survivors.items():
+            assert total == heavy[doc_id] + light.get(doc_id, 0.0)
+
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(
+        data=st.lists(
+            st.dictionaries(
+                st.sampled_from([f"d{i:02d}" for i in range(20)]),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        top_k=st.integers(min_value=1, max_value=8),
+        block_size=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_property_matches_exhaustive_totals(self, data, top_k, block_size):
+        """Survivors are a superset of the true top-k with near-exact totals.
+
+        The driver may associate the same floating-point terms in a
+        different order than a per-document sum, so callers re-score
+        survivors exactly; the contract tested here is the one they rely
+        on — no true top-k document is ever evicted, and survivor values
+        agree with the exhaustive totals to within the safety slack.
+        """
+        totals: dict[str, float] = {}
+        for postings in data:
+            for doc_id, value in postings.items():
+                totals[doc_id] = totals.get(doc_id, 0.0) + value
+        entries = [
+            _blocked_entry(f"t{i}", postings, max(postings.values()), block_size)
+            for i, postings in enumerate(data)
+            if postings
+        ]
+        survivors = maxscore_sparse(entries, top_k, PruningStats(), blockmax=True)
+        true_top = {doc_id for doc_id, _ in _top_k(totals, top_k)}
+        assert true_top <= set(survivors)
+        for doc_id, total in survivors.items():
+            assert total == pytest.approx(totals[doc_id], rel=1e-9, abs=1e-9)
 
 
 class TestPruningStats:

@@ -65,6 +65,34 @@ class TestLRUCache:
         assert cache.sync_epoch(8) is True
         assert len(cache) == 0
 
+    def test_cached_none_is_a_hit(self):
+        """Regression: a legitimately cached ``None`` payload is not a miss.
+
+        ``get`` used ``None`` as the ``dict.get`` default, so a stored
+        ``None`` counted as a miss and never refreshed its recency — the
+        entry could be evicted while logically most recently used.
+        """
+        cache: LRUCache[str, int | None] = LRUCache(2)
+        cache.put("a", None)
+        cache.put("b", 2)
+        assert cache.get("a") is None  # a hit, by contract
+        info = cache.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 0
+        cache.put("c", 3)  # "a" was refreshed by the hit: "b" is the victim
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_cached_falsy_values_are_hits(self):
+        cache: LRUCache[str, object] = LRUCache(4)
+        for key, value in (("t", ()), ("d", {}), ("z", 0), ("s", "")):
+            cache.put(key, value)
+        for key, value in (("t", ()), ("d", {}), ("z", 0), ("s", "")):
+            assert cache.get(key) == value
+        info = cache.cache_info()
+        assert info["hits"] == 4
+        assert info["misses"] == 0
+
     def test_update_refreshes_recency(self):
         cache: LRUCache[str, int] = LRUCache(2)
         cache.put("a", 1)
