@@ -4,6 +4,13 @@ The demo claims interactive exploration where recommendations are computed
 "on the fly".  This bench measures two hot paths as the knowledge graph
 grows, using the configurable random KG generator:
 
+Since PR 5 the A/B carries two execution-layer arms as well: ``sharded``
+runs the same maxscore traversal fanned out over 4 document shards with
+the cross-shard θ broadcast (``repro.exec``), and ``batched`` answers the
+workload — duplicated ×2, as real traffic repeats queries — through one
+cache-free ``SearchEngine.search_many`` call against the same requests
+issued one at a time (``unbatched``).
+
 * recommendation latency vs. graph size and seed count (the original E8);
 * keyword-search latency in a five-way A/B: the exhaustive
   score-all-then-sort path (``search_exhaustive``), the plain term-at-a-time
@@ -55,6 +62,11 @@ from repro.search import (  # noqa: E402
 
 SIZES = (200, 500, 1000, 2000)
 
+#: Document shards of the sharded A/B arm (see ``repro.exec``): the
+#: committed baseline records the 4-shard fan-out against the 1-shard
+#: serial path on the same workload.
+SHARD_COUNT = 4
+
 
 def _search_queries(graph, num_queries: int = 8) -> list[str]:
     """Deterministic multi-term keyword queries from entity labels.
@@ -100,10 +112,22 @@ def measure_search_ab(
     pruned = engine.mlm_scorer
     plain = MixtureLanguageModelScorer(engine.index, SearchConfig(pruning="off"))
     blockmax = MixtureLanguageModelScorer(engine.index, SearchConfig(pruning="blockmax"))
+    #: The sharded arm: the same maxscore traversal fanned out over
+    #: SHARD_COUNT document shards with the cross-shard θ broadcast, on a
+    #: properly sharded index (routing maps maintained at indexing time —
+    #: the production configuration, not the CRC-per-candidate fallback).
+    sharded_engine = SearchEngine.from_graph(graph, SearchConfig(shards=SHARD_COUNT))
+    sharded = sharded_engine.mlm_scorer
+    #: The batch arm runs cache-free so it measures search_many's
+    #: amortisation (shared snapshot + in-batch dedupe), not LRU hits.
+    batch_engine = SearchEngine.from_graph(graph, SearchConfig(result_cache_size=0))
     bm25_maxscore = engine.bm25_names_scorer()
     bm25_blockmax = BM25FieldScorer(engine.index, "names", pruning="blockmax")
     queries = _search_queries(graph, num_queries)
     parsed = [parse_query(raw) for raw in queries]
+    #: Real traffic repeats queries; the batch input carries each query
+    #: twice so the in-batch dedupe has duplicates to amortise.
+    batch_input = queries + queries
     # The BM25 sub-A/B runs one long multi-label query with the first
     # five labels repeated: enough rare terms fill the θ heap before the
     # ubiquitous "entity" token, the repeats double those labels' query
@@ -129,7 +153,15 @@ def measure_search_ab(
             identical = False
         if _results_signature(blockmax.search(query, top_k=top_k)) != slow:
             identical = False
+        if _results_signature(sharded.search(query, top_k=top_k)) != slow:
+            identical = False
         engine.search(raw, top_k=top_k)  # warm the LRU so "cached" times hits only
+    batched_hits = batch_engine.search_many(batch_input, top_k=top_k)
+    serial_hits = [batch_engine.search(raw, top_k=top_k) for raw in batch_input]
+    if [[hit.as_dict() for hit in hits] for hits in batched_hits] != [
+        [hit.as_dict() for hit in hits] for hits in serial_hits
+    ]:
+        identical = False
     for _ in range(repeats):
         for raw, query in zip(queries, parsed):
             with watch.measure("exhaustive"):
@@ -140,19 +172,32 @@ def measure_search_ab(
                 pruned.search(query, top_k=top_k)
             with watch.measure("blockmax"):
                 blockmax.search(query, top_k=top_k)
+            with watch.measure("sharded"):
+                sharded.search(query, top_k=top_k)
             with watch.measure("bm25_maxscore"):
                 bm25_maxscore.search(long_query, top_k=bm25_top_k)
             with watch.measure("bm25_blockmax"):
                 bm25_blockmax.search(long_query, top_k=bm25_top_k)
             with watch.measure("cached"):
                 engine.search(raw, top_k=top_k)
+        # The batch arm answers the duplicated workload in one call; the
+        # unbatched arm issues the same requests one at a time on the
+        # same cache-free engine.
+        with watch.measure("batched"):
+            batch_engine.search_many(batch_input, top_k=top_k)
+        with watch.measure("unbatched"):
+            for raw in batch_input:
+                batch_engine.search(raw, top_k=top_k)
     exhaustive = watch.stats("exhaustive").as_dict()
     accumulator = watch.stats("accumulator").as_dict()
     pruned_stats = watch.stats("pruned").as_dict()
     blockmax_stats = watch.stats("blockmax").as_dict()
+    sharded_stats = watch.stats("sharded").as_dict()
     bm25_maxscore_stats = watch.stats("bm25_maxscore").as_dict()
     bm25_blockmax_stats = watch.stats("bm25_blockmax").as_dict()
     cached = watch.stats("cached").as_dict()
+    batched = watch.stats("batched").as_dict()
+    unbatched = watch.stats("unbatched").as_dict()
 
     def _speedup(mean_ms: float) -> float:
         return exhaustive["mean_ms"] / mean_ms if mean_ms > 0 else float("inf")
@@ -172,16 +217,36 @@ def measure_search_ab(
         "pruned_p95_ms": pruned_stats["p95_ms"],
         "blockmax_mean_ms": blockmax_stats["mean_ms"],
         "blockmax_p95_ms": blockmax_stats["p95_ms"],
+        "sharded_mean_ms": sharded_stats["mean_ms"],
+        "sharded_p95_ms": sharded_stats["p95_ms"],
+        "shards": SHARD_COUNT,
         "bm25_maxscore_mean_ms": bm25_maxscore_stats["mean_ms"],
         "bm25_blockmax_mean_ms": bm25_blockmax_stats["mean_ms"],
         "cached_mean_ms": cached["mean_ms"],
         "cached_p95_ms": cached["p95_ms"],
+        # Per-query means of the ×2-duplicated batch workload.
+        "batched_mean_ms": batched["mean_ms"] / len(batch_input),
+        "unbatched_mean_ms": unbatched["mean_ms"] / len(batch_input),
         "speedup_accumulator": _speedup(accumulator["mean_ms"]),
         "speedup_pruned": _speedup(pruned_stats["mean_ms"]),
         "speedup_blockmax": _speedup(blockmax_stats["mean_ms"]),
+        "speedup_sharded": _speedup(sharded_stats["mean_ms"]),
         "speedup_cached": _speedup(cached["mean_ms"]),
+        # 1.0 = the 4-shard arm at 1-shard wall-clock; > 1.0 = ahead.
+        "sharded_ratio": (
+            pruned_stats["mean_ms"] / sharded_stats["mean_ms"]
+            if sharded_stats["mean_ms"] > 0
+            else float("inf")
+        ),
+        # > 1.0 = one search_many call beats the same requests one-by-one.
+        "batch_ratio": (
+            unbatched["mean_ms"] / batched["mean_ms"]
+            if batched["mean_ms"] > 0
+            else float("inf")
+        ),
         "pruning": pruned.pruning_info(),
         "pruning_blockmax": blockmax.pruning_info(),
+        "pruning_sharded": sharded.pruning_info(),
         "pruning_bm25_blockmax": bm25_blockmax.pruning_info(),
     }
 
@@ -258,21 +323,32 @@ def test_search_accumulator_vs_exhaustive_ab(graphs):
                 "accumulator_ms": row["accumulator_mean_ms"],
                 "pruned_ms": row["pruned_mean_ms"],
                 "blockmax_ms": row["blockmax_mean_ms"],
+                "sharded_ms": row["sharded_mean_ms"],
+                "batched_ms": row["batched_mean_ms"],
                 "cached_ms": row["cached_mean_ms"],
                 "speedup": row["speedup_accumulator"],
                 "speedup_pruned": row["speedup_pruned"],
                 "speedup_blockmax": row["speedup_blockmax"],
+                "sharded_ratio": row["sharded_ratio"],
+                "batch_ratio": row["batch_ratio"],
                 "speedup_cached": row["speedup_cached"],
             }
         )
     print_experiment(
-        "E8c — keyword search: blockmax vs. maxscore vs. accumulator vs. exhaustive",
+        "E8c — keyword search: sharded/batched vs. blockmax vs. maxscore vs. "
+        "accumulator vs. exhaustive",
         rows,
-        notes="identical rankings; pruned is the maxscore path, cached is the LRU hit path",
+        notes=(
+            "identical rankings; pruned is the maxscore path, sharded the 4-shard "
+            "fan-out, batched one search_many call, cached the LRU hit path"
+        ),
     )
     assert all(row["pruned_ms"] > 0 for row in rows)
     largest = measure_search_ab(graphs[SIZES[-1]], repeats=1)
     assert largest["pruning"]["candidates_pruned"] > 0  # θ actually bites at scale
+    # Every shard worker's θ must actually evict (per-shard skip counters).
+    assert largest["pruning_sharded"]["candidates_pruned"] > 0
+    assert largest["pruning_sharded"]["queries"] == largest["pruning"]["queries"]
     # The sparse blockmax driver must actually skip posting blocks.
     assert largest["pruning_bm25_blockmax"]["blocks_skipped"] > 0
 
@@ -325,6 +401,27 @@ def main(argv: list[str] | None = None) -> int:
             "(1.0 = pruned at-or-faster than plain accumulator)"
         ),
     )
+    parser.add_argument(
+        "--min-sharded-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless pruned_mean_ms over the 4-shard arm's mean reaches "
+            "this at the largest size (1.0 = sharded at-or-faster than the "
+            "1-shard serial path; sub-1.0 values tolerate fan-out overhead "
+            "at smoke-test sizes)"
+        ),
+    )
+    parser.add_argument(
+        "--min-batch-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless the unbatched/batched wall-clock ratio of the "
+            "duplicated workload reaches this at the largest size "
+            "(1.0 = one search_many call at-or-faster than a query loop)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     sizes = sorted({int(token) for token in args.sizes.split(",") if token.strip()})
@@ -340,9 +437,11 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
             f"accumulator={row['accumulator_mean_ms']:8.3f}ms  pruned={row['pruned_mean_ms']:8.3f}ms  "
-            f"blockmax={row['blockmax_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
+            f"blockmax={row['blockmax_mean_ms']:8.3f}ms  sharded={row['sharded_mean_ms']:8.3f}ms  "
+            f"batched={row['batched_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
             f"speedup={row['speedup_accumulator']:6.2f}x  pruned={row['speedup_pruned']:6.2f}x  "
-            f"blockmax={row['speedup_blockmax']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
+            f"blockmax={row['speedup_blockmax']:6.2f}x  shard_ratio={row['sharded_ratio']:5.2f}  "
+            f"batch_ratio={row['batch_ratio']:5.2f}  cached={row['speedup_cached']:8.2f}x  "
             f"identical={row['identical']}"
         )
 
@@ -387,6 +486,20 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+    if args.min_sharded_ratio is not None and largest["sharded_ratio"] < args.min_sharded_ratio:
+        print(
+            f"FAIL: sharded ratio {largest['sharded_ratio']:.2f} below required "
+            f"{args.min_sharded_ratio:.2f} at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_batch_ratio is not None and largest["batch_ratio"] < args.min_batch_ratio:
+        print(
+            f"FAIL: batch ratio {largest['batch_ratio']:.2f} below required "
+            f"{args.min_batch_ratio:.2f} at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

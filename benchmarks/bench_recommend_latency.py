@@ -20,6 +20,13 @@ KG grows:
   feature-chunk boundary mid-walk, cache disabled;
 * ``cached``      — the fast path served from a warm LRU cache.
 
+Since PR 5 the A/B carries two execution-layer arms as well (see
+``repro.exec``): ``sharded`` fans the maxscore entity accumulator out
+over 4 entity shards with the cross-shard θ broadcast, and ``batched``
+answers a ×2-duplicated batch of seed sets through one cache-free
+``recommend_many`` call against the same requests issued one at a time
+(``unbatched`` — the in-batch canonical-key dedupe is the amortisation).
+
 The A/B verifies that both scoring paths return identical entity and
 feature rankings (and bitwise-identical matrices) before trusting any
 timing.  Run as a script to produce the machine-readable baseline::
@@ -53,6 +60,9 @@ from repro.explore import RecommendationEngine  # noqa: E402
 from repro.features import SemanticFeatureIndex  # noqa: E402
 
 SIZES = (200, 500, 1000, 2000)
+
+#: Entity shards of the sharded A/B arm (see ``repro.exec``).
+SHARD_COUNT = 4
 
 #: Hub-anchored random KGs: the Zipf target skew concentrates incoming
 #: edges on a few anchors per type (shared stars, genres, venues), which is
@@ -115,16 +125,39 @@ def measure_recommend_ab(
         feature_index=index,
         config=RankingConfig(recommendation_cache_size=0, pruning="blockmax"),
     )
+    #: The sharded arm: the maxscore entity accumulator fanned out over
+    #: SHARD_COUNT entity shards with the cross-shard θ broadcast.
+    sharded_engine = RecommendationEngine(
+        graph,
+        feature_index=index,
+        config=RankingConfig(recommendation_cache_size=0, shards=SHARD_COUNT),
+    )
     seeds = _seeds(graph, index, seed_count)
+    #: Batch workload: three overlapping seed sets, each submitted twice
+    #: (real exploration sessions revisit query states), answered by one
+    #: cache-free recommend_many call vs the same requests one at a time.
+    seed_pool = _seeds(graph, index, seed_count + 2)
+    batch_inputs = [seeds, seed_pool[1 : seed_count + 1], seed_pool[2 : seed_count + 2]]
+    batch_inputs = batch_inputs + batch_inputs
 
     fast = plain_engine.recommend_for_seeds(seeds, top_entities=top_entities)
     slow = plain_engine.recommend_for_seeds(seeds, top_entities=top_entities, exhaustive=True)
     pruned_result = pruned_engine.recommend_for_seeds(seeds, top_entities=top_entities)
     blockmax_result = blockmax_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+    sharded_result = sharded_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+    batched_results = pruned_engine.recommend_many(batch_inputs, top_entities=top_entities)
     identical = (
         _identical(fast, slow)
         and _identical(pruned_result, slow)
         and _identical(blockmax_result, slow)
+        and _identical(sharded_result, slow)
+        and all(
+            _identical(
+                payload,
+                pruned_engine.recommend_for_seeds(batch_seeds, top_entities=top_entities),
+            )
+            for payload, batch_seeds in zip(batched_results, batch_inputs)
+        )
     )
     cached_engine.recommend_for_seeds(seeds, top_entities=top_entities)  # warm the LRU
 
@@ -138,12 +171,22 @@ def measure_recommend_ab(
             pruned_engine.recommend_for_seeds(seeds, top_entities=top_entities)
         with watch.measure("blockmax"):
             blockmax_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+        with watch.measure("sharded"):
+            sharded_engine.recommend_for_seeds(seeds, top_entities=top_entities)
+        with watch.measure("batched"):
+            pruned_engine.recommend_many(batch_inputs, top_entities=top_entities)
+        with watch.measure("unbatched"):
+            for batch_seeds in batch_inputs:
+                pruned_engine.recommend_for_seeds(batch_seeds, top_entities=top_entities)
         with watch.measure("cached"):
             cached_engine.recommend_for_seeds(seeds, top_entities=top_entities)
     exhaustive = watch.stats("exhaustive").as_dict()
     accumulator = watch.stats("accumulator").as_dict()
     pruned_stats = watch.stats("pruned").as_dict()
     blockmax_stats = watch.stats("blockmax").as_dict()
+    sharded_stats = watch.stats("sharded").as_dict()
+    batched = watch.stats("batched").as_dict()
+    unbatched = watch.stats("unbatched").as_dict()
     cached = watch.stats("cached").as_dict()
 
     def _speedup(mean_ms: float) -> float:
@@ -164,14 +207,34 @@ def measure_recommend_ab(
         "pruned_p95_ms": pruned_stats["p95_ms"],
         "blockmax_mean_ms": blockmax_stats["mean_ms"],
         "blockmax_p95_ms": blockmax_stats["p95_ms"],
+        "sharded_mean_ms": sharded_stats["mean_ms"],
+        "sharded_p95_ms": sharded_stats["p95_ms"],
+        "shards": SHARD_COUNT,
+        # Per-request means of the ×2-duplicated batch workload.
+        "batched_mean_ms": batched["mean_ms"] / len(batch_inputs),
+        "unbatched_mean_ms": unbatched["mean_ms"] / len(batch_inputs),
         "cached_mean_ms": cached["mean_ms"],
         "cached_p95_ms": cached["p95_ms"],
         "speedup_accumulator": _speedup(accumulator["mean_ms"]),
         "speedup_pruned": _speedup(pruned_stats["mean_ms"]),
         "speedup_blockmax": _speedup(blockmax_stats["mean_ms"]),
+        "speedup_sharded": _speedup(sharded_stats["mean_ms"]),
         "speedup_cached": _speedup(cached["mean_ms"]),
+        # 1.0 = the 4-shard arm at 1-shard wall-clock; > 1.0 = ahead.
+        "sharded_ratio": (
+            pruned_stats["mean_ms"] / sharded_stats["mean_ms"]
+            if sharded_stats["mean_ms"] > 0
+            else float("inf")
+        ),
+        # > 1.0 = one recommend_many call beats the request loop.
+        "batch_ratio": (
+            unbatched["mean_ms"] / batched["mean_ms"]
+            if batched["mean_ms"] > 0
+            else float("inf")
+        ),
         "pruning": pruned_engine.pruning_info(),
         "pruning_blockmax": blockmax_engine.pruning_info(),
+        "pruning_sharded": sharded_engine.pruning_info(),
     }
 
 
@@ -196,22 +259,33 @@ def test_recommend_accumulator_vs_exhaustive_ab(graphs):
                 "accumulator_ms": row["accumulator_mean_ms"],
                 "pruned_ms": row["pruned_mean_ms"],
                 "blockmax_ms": row["blockmax_mean_ms"],
+                "sharded_ms": row["sharded_mean_ms"],
+                "batched_ms": row["batched_mean_ms"],
                 "cached_ms": row["cached_mean_ms"],
                 "speedup": row["speedup_accumulator"],
                 "speedup_pruned": row["speedup_pruned"],
                 "speedup_blockmax": row["speedup_blockmax"],
+                "sharded_ratio": row["sharded_ratio"],
+                "batch_ratio": row["batch_ratio"],
                 "speedup_cached": row["speedup_cached"],
             }
         )
     print_experiment(
-        "E9 — recommendation: blockmax vs. maxscore vs. accumulator vs. exhaustive "
-        "(4 seeds, top-20)",
+        "E9 — recommendation: sharded/batched vs. blockmax vs. maxscore vs. "
+        "accumulator vs. exhaustive (4 seeds, top-20)",
         rows,
-        notes="identical rankings; pruned is the maxscore path, cached is the LRU hit path",
+        notes=(
+            "identical rankings; pruned is the maxscore path, sharded the 4-shard "
+            "fan-out, batched one recommend_many call, cached the LRU hit path"
+        ),
     )
     assert all(row["pruned_ms"] > 0 for row in rows)
     largest = measure_recommend_ab(graphs[SIZES[-1]], repeats=1)
     assert largest["pruning"]["groups_skipped"] > 0  # θ actually bites at scale
+    # The shard workers' merged counters: one logical query per request,
+    # with the candidate partition summing exactly (audit satellite).
+    assert largest["pruning_sharded"]["queries"] == largest["pruning"]["queries"]
+    assert largest["pruning_sharded"]["candidates_total"] == largest["pruning"]["candidates_total"]
     # The chunked bounds must actually abandon per-type chunks mid-walk.
     assert largest["pruning_blockmax"]["blocks_skipped"] > 0
 
@@ -258,6 +332,25 @@ def main(argv: list[str] | None = None) -> int:
             "(1.0 = pruned at-or-faster than plain accumulator)"
         ),
     )
+    parser.add_argument(
+        "--min-sharded-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless pruned_mean_ms over the 4-shard arm's mean reaches "
+            "this at the largest size (1.0 = sharded at-or-faster than the "
+            "1-shard serial path)"
+        ),
+    )
+    parser.add_argument(
+        "--min-batch-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless the unbatched/batched wall-clock ratio of the "
+            "duplicated workload reaches this at the largest size"
+        ),
+    )
     args = parser.parse_args(argv)
 
     sizes = sorted({int(token) for token in args.sizes.split(",") if token.strip()})
@@ -276,9 +369,11 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
             f"accumulator={row['accumulator_mean_ms']:8.3f}ms  pruned={row['pruned_mean_ms']:8.3f}ms  "
-            f"blockmax={row['blockmax_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
+            f"blockmax={row['blockmax_mean_ms']:8.3f}ms  sharded={row['sharded_mean_ms']:8.3f}ms  "
+            f"batched={row['batched_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
             f"speedup={row['speedup_accumulator']:6.2f}x  pruned={row['speedup_pruned']:6.2f}x  "
-            f"blockmax={row['speedup_blockmax']:6.2f}x  cached={row['speedup_cached']:8.2f}x  "
+            f"blockmax={row['speedup_blockmax']:6.2f}x  shard_ratio={row['sharded_ratio']:5.2f}  "
+            f"batch_ratio={row['batch_ratio']:5.2f}  cached={row['speedup_cached']:8.2f}x  "
             f"identical={row['identical']}"
         )
 
@@ -325,6 +420,20 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+    if args.min_sharded_ratio is not None and largest["sharded_ratio"] < args.min_sharded_ratio:
+        print(
+            f"FAIL: sharded ratio {largest['sharded_ratio']:.2f} below required "
+            f"{args.min_sharded_ratio:.2f} at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_batch_ratio is not None and largest["batch_ratio"] < args.min_batch_ratio:
+        print(
+            f"FAIL: batch ratio {largest['batch_ratio']:.2f} below required "
+            f"{args.min_batch_ratio:.2f} at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

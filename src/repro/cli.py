@@ -87,13 +87,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engines' cumulative pruning counters after the command",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition both engines' execution into N document/entity "
+            "shards (see repro.exec); rankings are identical for every "
+            "shard count, 1 (the default) is the serial path"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
 
     search = subparsers.add_parser("search", help="keyword entity search")
-    search.add_argument("keywords", help="the keyword query")
+    search.add_argument(
+        "keywords",
+        help="the keyword query (with --batch: a query file, one query per line, or '-' for stdin)",
+    )
     search.add_argument("--top-k", type=int, default=10)
+    search.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "treat KEYWORDS as a file of queries (one per line; '-' reads "
+            "stdin) and answer them in one search_many batch"
+        ),
+    )
 
     recommend = subparsers.add_parser("recommend", help="recommend similar entities")
     recommend.add_argument("seeds", nargs="+", help="seed entity identifiers")
@@ -121,13 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_hits(system: PivotE, keywords: str, top_k: int) -> None:
-    hits = system.search(keywords, top_k=top_k)
+def _read_batch_queries(source: str) -> list[str]:
+    """Queries for ``search --batch``: one per non-blank line of the input."""
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    return [line.strip() for line in lines if line.strip()]
+
+
+def _print_hit_lines(hits) -> None:
     if not hits:
         print("(no matching entities)")
         return
     for hit in hits:
         print(f"{hit.score:10.3f}  {hit.label:<36} {hit.entity_id}")
+
+
+def _print_hits(system: PivotE, keywords: str, top_k: int) -> None:
+    _print_hit_lines(system.search(keywords, top_k=top_k))
 
 
 def _print_recommendation(system: PivotE, recommendation, top_entities: int, top_features: int) -> None:
@@ -139,15 +174,23 @@ def _print_recommendation(system: PivotE, recommendation, top_entities: int, top
         print(f"  {scored.score:10.4f}  {scored.feature.notation()}")
 
 
-def build_config(pruning: str | None) -> PivotEConfig:
-    """The system configuration for the CLI's ``--pruning`` override."""
+def build_config(pruning: str | None, shards: int | None = None) -> PivotEConfig:
+    """The system configuration for the CLI's ``--pruning``/``--shards`` overrides."""
     config = PivotEConfig.default()
-    if pruning is None:
+    search_changes: dict[str, object] = {}
+    ranking_changes: dict[str, object] = {}
+    if pruning is not None:
+        search_changes["pruning"] = pruning
+        ranking_changes["pruning"] = pruning
+    if shards is not None:
+        search_changes["shards"] = shards
+        ranking_changes["shards"] = shards
+    if not search_changes:
         return config
     return replace(
         config,
-        search=config.search.with_(pruning=pruning),
-        ranking=config.ranking.with_(pruning=pruning),
+        search=config.search.with_(**search_changes),
+        ranking=config.ranking.with_(**ranking_changes),
     )
 
 
@@ -166,7 +209,7 @@ def run_command(args: argparse.Namespace) -> int:
         print(compute_statistics(graph).summary())
         return 0
 
-    system = PivotE(graph, config=build_config(args.pruning))
+    system = PivotE(graph, config=build_config(args.pruning, args.shards))
     exit_code = _run_system_command(system, args)
     if exit_code == 0 and args.show_pruning:
         _print_pruning_info(system)
@@ -176,6 +219,19 @@ def run_command(args: argparse.Namespace) -> int:
 def _run_system_command(system: PivotE, args: argparse.Namespace) -> int:
     """Dispatch one engine-backed subcommand; return the process exit code."""
     if args.command == "search":
+        if args.batch:
+            queries = _read_batch_queries(args.keywords)
+            if not queries:
+                print("(no queries in batch input)")
+                return 0
+            for position, (query, hits) in enumerate(
+                zip(queries, system.search_many(queries, top_k=args.top_k))
+            ):
+                if position:
+                    print()
+                print(f"query: {query}")
+                _print_hit_lines(hits)
+            return 0
         _print_hits(system, args.keywords, args.top_k)
         return 0
 

@@ -71,12 +71,20 @@ class SearchConfig:
     #: subset-pool θ priming (LM family) on top, ``"off"`` keeps the
     #: plain accumulator path.  Rankings are byte-identical in all modes.
     pruning: str = "maxscore"
+    #: Document shards of the partitioned execution layer (see
+    #: :mod:`repro.exec`): ``1`` (the default) is the serial single-shard
+    #: path, ``N > 1`` partitions the document id space and fans the
+    #: pruned traversals out over shard workers with a cross-shard θ
+    #: broadcast.  Rankings are byte-identical for every shard count.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
             raise ValueError(f"unknown smoothing method: {self.smoothing!r}")
         if self.pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {self.pruning!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
         if self.dirichlet_mu <= 0:
             raise ValueError("dirichlet_mu must be positive")
         if not 0.0 <= self.jm_lambda <= 1.0:
@@ -127,12 +135,21 @@ class RankingConfig:
     #: boundary mid-walk; ``"off"`` keeps the plain accumulator path.
     #: Rankings are byte-identical in all modes.
     pruning: str = "maxscore"
+    #: Entity shards of the partitioned execution layer (see
+    #: :mod:`repro.exec`): ``1`` (the default) is the serial single-shard
+    #: path, ``N > 1`` partitions the candidate entity id space and fans
+    #: the type-group-pruned accumulator out over shard workers with a
+    #: cross-shard θ broadcast.  Rankings are byte-identical for every
+    #: shard count.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.top_entities <= 0 or self.top_features <= 0:
             raise ValueError("top_entities and top_features must be positive")
         if self.pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {self.pruning!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
         if self.max_candidates <= 0 or self.max_features <= 0:
             raise ValueError("max_candidates and max_features must be positive")
         if not 0 < self.epsilon < 1:

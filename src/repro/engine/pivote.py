@@ -34,7 +34,7 @@ from ..explore import (
     SubmitKeywords,
     UnpinFeature,
 )
-from ..features import SemanticFeature, SemanticFeatureIndex
+from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import EntityProfile, KnowledgeGraph
 from ..search import SearchEngine, SearchHit
 from ..viz import (
@@ -67,7 +67,12 @@ class PivotE:
         self._graph = graph
         self._config = config or PivotEConfig.default()
         self._search = SearchEngine.from_graph(graph, config=self._config.search)
-        self._feature_index = SemanticFeatureIndex.build(graph)
+        if self._config.ranking.shards > 1:
+            self._feature_index: SemanticFeatureIndex = (
+                ShardedSemanticFeatureIndex.build_sharded(graph, self._config.ranking.shards)
+            )
+        else:
+            self._feature_index = SemanticFeatureIndex.build(graph)
         self._recommender = RecommendationEngine(
             graph, feature_index=self._feature_index, config=self._config.ranking
         )
@@ -117,6 +122,28 @@ class PivotE:
         cache lookup instead of a postings traversal.
         """
         return self._search.search(keywords, top_k=top_k)
+
+    def search_many(
+        self, queries: Sequence[str], top_k: int | None = None
+    ) -> list[list[SearchHit]]:
+        """Answer a batch of keyword queries in one call (Fig 3-a, batched).
+
+        Runs through :meth:`SearchEngine.search_many`: the batch shares one
+        index snapshot, duplicate queries are computed once, and results
+        are byte-identical to issuing the queries one at a time.
+        """
+        return self._search.search_many(queries, top_k=top_k)
+
+    def recommend_many(
+        self, seed_lists: Sequence[Sequence[str]], **kwargs: object
+    ) -> list[Recommendation]:
+        """Entity/feature recommendations for a batch of seed sets.
+
+        Runs through :meth:`RecommendationEngine.recommend_many`: one
+        epoch's memoisation serves the whole batch and duplicate (or
+        permuted) seed sets are computed once.
+        """
+        return self._recommender.recommend_many(seed_lists, **kwargs)  # type: ignore[arg-type]
 
     def search_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of the search engine's LRU result cache."""

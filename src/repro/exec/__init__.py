@@ -1,0 +1,46 @@
+"""Sharded, batch-parallel execution layer shared by both pipelines.
+
+PRs 1–4 made a *single* query fast (accumulators → max-score → block-max);
+this package makes the system serve *many*: the classic shared-nothing
+partitioned execution pattern — partition the document/entity id space
+into shards, fan the existing pruned traversal drivers out over a worker
+pool, broadcast the live θ between shards so late workers start with the
+tightest bound found anywhere, then merge the per-shard survivor heaps
+and re-score in exhaustive operation order.  Because the final re-scoring
+pass is exactly the serial one, sharded (and batched) rankings stay
+byte-identical to the 1-shard path for any shard count — the invariant
+every prior PR has held.
+
+Building blocks:
+
+* :func:`~repro.exec.sharding.shard_of` / ``partition_ids`` /
+  ``split_frequencies`` — deterministic (CRC-based) id→shard routing and
+  the partition helpers the scorers use;
+* :class:`~repro.exec.executor.ShardExecutor` — a process-wide thread
+  pool running one traversal per shard (shard 0 runs inline on the
+  calling thread, so a 1-shard query never pays a dispatch);
+* :class:`~repro.topk.SharedThreshold` — the cross-shard θ broadcast
+  (lives in :mod:`repro.topk` with the rest of the θ machinery);
+* :func:`~repro.exec.executor.merge_shard_stats` — folds per-shard
+  :class:`~repro.topk.PruningStats` into a scorer's cumulative counters
+  without double-counting the logical query;
+* :func:`~repro.exec.batch.dedupe_batch` — the order-preserving
+  dedupe behind the engines' ``search_many`` / ``recommend_many`` batch
+  APIs.
+"""
+
+from .batch import dedupe_batch
+from .executor import ShardExecutor, default_executor, merge_shard_maps, merge_shard_stats
+from .sharding import partition_candidates, partition_ids, shard_of, split_frequencies
+
+__all__ = [
+    "ShardExecutor",
+    "dedupe_batch",
+    "default_executor",
+    "merge_shard_maps",
+    "merge_shard_stats",
+    "partition_candidates",
+    "partition_ids",
+    "shard_of",
+    "split_frequencies",
+]

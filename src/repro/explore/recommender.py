@@ -20,8 +20,9 @@ from dataclasses import dataclass, replace
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
+from ..exec import dedupe_batch
 from ..expansion import EntitySetExpander, ExpansionResult
-from ..features import SemanticFeature, SemanticFeatureIndex
+from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import KnowledgeGraph
 from ..ranking import (
     CorrelationMatrix,
@@ -61,7 +62,12 @@ class RecommendationEngine:
     ) -> None:
         self._graph = graph
         self._config = config or RankingConfig()
-        self._index = feature_index or SemanticFeatureIndex.build(graph)
+        if feature_index is not None:
+            self._index = feature_index
+        elif self._config.shards > 1:
+            self._index = ShardedSemanticFeatureIndex.build_sharded(graph, self._config.shards)
+        else:
+            self._index = SemanticFeatureIndex.build(graph)
         self._expander = EntitySetExpander(graph, feature_index=self._index, config=self._config)
         #: Epoch-keyed LRU recommendation cache: canonicalised query state ->
         #: Recommendation.  Cleared whenever the feature-index epoch moves
@@ -115,14 +121,65 @@ class RecommendationEngine:
         key = self._cache_key(query, top_entities, top_features)
         if key is None:
             return self._compute(query, top_entities, top_features)
+        epoch = self._graph.epoch
         cached = self._cache.get(key)
         if cached is not None:
             # Re-attach the caller's query (seed order may differ from the
             # canonical key the payload was computed under).
             return replace(cached, query=query)
         recommendation = self._compute(query, top_entities, top_features)
-        self._cache.put(key, recommendation)
+        # Epoch-guarded publication: if a concurrent mutation moved the
+        # cache to a newer epoch while this result was computed against
+        # the old snapshot, the put is atomically rejected — the result is
+        # still returned (it is correct for the epoch the query pinned),
+        # it just never masquerades as a current-epoch entry.
+        self._cache.put(key, recommendation, epoch=epoch)
         return recommendation
+
+    def recommend_many(
+        self,
+        seed_lists: Sequence[Sequence[str]],
+        pinned_features: Sequence[SemanticFeature] = (),
+        domain_type: str = "",
+        top_entities: int | None = None,
+        top_features: int | None = None,
+    ) -> list[Recommendation]:
+        """Recommend for a batch of seed sets (one payload per input).
+
+        The batch shares one epoch's memoisation (the snapshot-pinned
+        scoring support, base-probability rows and holder intersections
+        warm on the first miss), duplicate seed sets inside the batch are
+        computed once — including *permutations*, which canonicalise to
+        the same key — and every miss lands in the LRU cache.  Results
+        are byte-identical to calling :meth:`recommend_for_seeds` per
+        seed list.
+        """
+        def key_of(seeds: Sequence[str]) -> tuple[object, ...]:
+            return tuple(sorted(seeds))
+
+        results = dedupe_batch(
+            seed_lists,
+            key_of,
+            lambda seeds: self.recommend_for_seeds(
+                seeds,
+                pinned_features=pinned_features,
+                domain_type=domain_type,
+                top_entities=top_entities,
+                top_features=top_features,
+            ),
+        )
+        # Re-attach each caller's seed order: duplicates (including
+        # permutations) share one payload but keep their own query view,
+        # exactly as repeated serial calls through the cache would.
+        return [
+            result
+            if tuple(result.query.seed_entities) == tuple(seeds)
+            else replace(
+                result,
+                query=replace(result.query, seed_entities=tuple(seeds)),
+            )
+            for seeds, result in zip(seed_lists, results)
+        ]
 
     def _compute(
         self,

@@ -9,13 +9,16 @@ from .extraction import (
     features_of_entity,
     matching_entities,
 )
-from .feature_index import SemanticFeatureIndex
+from .feature_index import FeatureIndexSnapshot, SemanticFeatureIndex
 from .semantic_feature import Direction, SemanticFeature
+from .sharded import ShardedSemanticFeatureIndex
 
 __all__ = [
     "Direction",
+    "FeatureIndexSnapshot",
     "SemanticFeature",
     "SemanticFeatureIndex",
+    "ShardedSemanticFeatureIndex",
     "anchor_type_directions",
     "candidate_entities",
     "entity_matches",

@@ -11,18 +11,29 @@ refreshes when the graph has changed, so every accessor always reflects the
 current graph.  :attr:`epoch` is the cache key the recommendation layer uses
 to invalidate memoised scores and cached recommendations.
 
+Since PR 5 the materialised maps live in an immutable
+:class:`FeatureIndexSnapshot` that is *replaced atomically* on refresh
+instead of being patched in place: a refresh derives the successor (from
+the old snapshot plus the triple delta, under the graph's mutation lock so
+it folds a consistent graph state) and swaps one reference.  Readers — and
+the ranking layer's :class:`~repro.ranking.ranking_support.RankingSupport`,
+which pins a snapshot for a whole query — therefore never observe a
+half-applied refresh while mutations proceed: this is the feature-side
+half of the engines' snapshot-isolated serving contract.
+
 Refreshing is *incremental*: the graph's triple log is append-only, so the
-index remembers how many triples it has processed and applies only the
-delta — recomputing the features of the entities the new triples touch —
-falling back to a full rebuild when the delta outgrows
+snapshot remembers how many triples it reflects and the successor applies
+only the delta — recomputing the features of the entities the new triples
+touch — falling back to a full rebuild when the delta outgrows
 :attr:`SemanticFeatureIndex.max_delta_fraction` of the graph (a large
 delta touches most entities anyway, and the full pass has better
-constants).  A delta-applied index is *equal* to a freshly built one by
+constants).  A delta-applied snapshot is *equal* to a freshly built one by
 construction, enforced by ``tests/test_features_incremental.py``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, defaultdict
 from collections.abc import Iterable
 
@@ -33,6 +44,94 @@ from .semantic_feature import SemanticFeature
 #: Shared empty holder set returned for unknown features, so that misses on
 #: the hot candidate-generation path never allocate a throwaway set.
 _EMPTY_HOLDERS: frozenset[str] = frozenset()
+
+
+class FeatureIndexSnapshot:
+    """The materialised maps of one graph epoch, immutable once published.
+
+    Holder sets are shared structurally between successive snapshots
+    (copy-on-write: a delta refresh only replaces the sets of affected
+    features), so pinning a snapshot is O(1) and holding one costs no
+    copies.  The graph's type tables are pinned alongside
+    (:meth:`KnowledgeGraph.type_tables` — outer copies of immutable
+    inner sets), so dominant types and the per-(feature, type) smoothing
+    counts a pinned reader derives are *fully* this epoch's values, never
+    a blend with a concurrent mutation's.
+    """
+
+    __slots__ = (
+        "entity_features",
+        "feature_entities",
+        "entity_types",
+        "type_members",
+        "epoch",
+        "triples",
+        "_type_counts",
+    )
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        entity_features: dict[str, frozenset[SemanticFeature]],
+        feature_entities: dict[SemanticFeature, frozenset[str]],
+        epoch: int,
+        triples: int,
+    ) -> None:
+        self.entity_features = entity_features
+        self.feature_entities = feature_entities
+        #: Pinned ``entity → types`` / ``type → members`` tables of this
+        #: epoch (the constructor runs under the graph's lock).
+        self.entity_types, self.type_members = graph.type_tables()
+        self.epoch = epoch
+        self.triples = triples
+        #: Memoised ``(||E(pi) ∩ E(c)||, ||E(c)||)`` pairs for this epoch.
+        self._type_counts: dict[tuple[SemanticFeature, str], tuple[int, int]] = {}
+
+    def features_of(self, entity_id: str) -> frozenset[SemanticFeature]:
+        """Features held by an entity (empty set for unknown entities)."""
+        return self.entity_features.get(entity_id, _EMPTY_HOLDERS)  # type: ignore[return-value]
+
+    def holders_of(self, feature: SemanticFeature) -> frozenset[str]:
+        """``E(pi)`` without copying — the snapshot's holder set, read-only."""
+        return self.feature_entities.get(feature, _EMPTY_HOLDERS)
+
+    def holds(self, entity_id: str, feature: SemanticFeature) -> bool:
+        """``e |= pi`` from the materialised snapshot."""
+        return feature in self.entity_features.get(entity_id, _EMPTY_HOLDERS)
+
+    def dominant_type(self, entity_id: str) -> str:
+        """``c*(e)`` from the pinned type tables (empty string if untyped).
+
+        Same selection rule as :meth:`KnowledgeGraph.dominant_type` —
+        the least-populated (most specific) type, ties by name — but
+        evaluated against this snapshot's epoch, so a query pinned here
+        never sees a concurrent mutation's type assignments.
+        """
+        entity_types = self.entity_types.get(entity_id)
+        if not entity_types:
+            return ""
+        members = self.type_members
+        return min(entity_types, key=lambda t: (len(members.get(t, ())), t))
+
+    def type_conditional_count(self, feature: SemanticFeature, type_id: str) -> tuple[int, int]:
+        """``(||E(pi) ∩ E(c)||, ||E(c)||)`` for the type-based smoothing.
+
+        Memoised per snapshot and computed entirely from pinned state
+        (this epoch's holder sets against this epoch's type members), so
+        a pinned reader's smoothing never blends two epochs.
+        """
+        key = (feature, type_id)
+        cached = self._type_counts.get(key)
+        if cached is not None:
+            return cached
+        type_members = self.type_members.get(type_id)
+        if not type_members:
+            counts = (0, 0)
+        else:
+            matching = self.feature_entities.get(feature, _EMPTY_HOLDERS)
+            counts = (len(matching & type_members), len(type_members))
+        self._type_counts[key] = counts
+        return counts
 
 
 class SemanticFeatureIndex:
@@ -50,15 +149,10 @@ class SemanticFeatureIndex:
             if not 0.0 <= max_delta_fraction <= 1.0:
                 raise ValueError("max_delta_fraction must lie in [0, 1]")
             self.max_delta_fraction = max_delta_fraction
-        self._entity_features: dict[str, frozenset[SemanticFeature]] = {}
-        self._feature_entities: dict[SemanticFeature, set[str]] = defaultdict(set)
-        self._built = False
-        #: Graph epoch the materialised maps reflect (-1 = never built).
-        self._built_epoch = -1
-        #: How many triples of the append-only log are reflected.
-        self._built_triples = 0
-        #: Memoised ``(||E(pi) ∩ E(c)||, ||E(c)||)`` pairs, cleared on rebuild.
-        self._type_counts: dict[tuple[SemanticFeature, str], tuple[int, int]] = {}
+        self._snapshot_ref: FeatureIndexSnapshot | None = None
+        #: Serialises refreshes: concurrent readers that both notice a
+        #: stale snapshot build the successor once, not twice.
+        self._refresh_lock = threading.Lock()
         self._full_rebuilds = 0
         self._delta_rebuilds = 0
         self._delta_entities = 0
@@ -70,38 +164,50 @@ class SemanticFeatureIndex:
         index.rebuild()
         return index
 
-    def rebuild(self) -> None:
+    def _full_snapshot(self) -> FeatureIndexSnapshot:
         """Recompute the whole index from the graph's current contents."""
-        self._entity_features.clear()
-        self._feature_entities = defaultdict(set)
-        self._type_counts.clear()
+        entity_features: dict[str, frozenset[SemanticFeature]] = {}
+        feature_entities: dict[SemanticFeature, set[str]] = defaultdict(set)
         for entity_id in self._graph.entities():
             features = frozenset(features_of_entity(self._graph, entity_id))
-            self._entity_features[entity_id] = features
+            entity_features[entity_id] = features
             for feature in features:
-                self._feature_entities[feature].add(entity_id)
-        self._built = True
-        self._built_epoch = self._graph.epoch
-        self._built_triples = len(self._graph)
+                feature_entities[feature].add(entity_id)
         self._full_rebuilds += 1
+        return FeatureIndexSnapshot(
+            self._graph,
+            entity_features,
+            {feature: frozenset(holders) for feature, holders in feature_entities.items()},
+            self._graph.epoch,
+            len(self._graph),
+        )
 
-    def _apply_delta(self, new_triples: Iterable[Triple]) -> None:
-        """Fold the appended triples into the materialised maps.
+    def rebuild(self) -> None:
+        """Recompute the whole index from the graph's current contents."""
+        with self._refresh_lock, self._graph.lock:
+            self._snapshot_ref = self._full_snapshot()
+
+    def _delta_snapshot(
+        self, old: FeatureIndexSnapshot, new_triples: Iterable[Triple]
+    ) -> FeatureIndexSnapshot:
+        """The successor snapshot with the appended triples folded in.
 
         Only object-property edges change an entity's semantic features
         (see :func:`repro.features.extraction.features_of_entity`);
         structural triples merely introduce entities that need an (empty)
         feature entry.  The affected entities' features are recomputed
-        from the graph and the holder sets are patched in place; the
-        type-conditional memo is dropped wholesale because type
-        memberships may have changed.  The triple log is append-only, so
-        there is no remove side to the delta.
+        from the graph, and the holder sets of the features they gained
+        or lost are replaced copy-on-write — one new set per touched
+        feature, every untouched set shared with the old snapshot, so
+        readers pinned to ``old`` keep exactly what they saw.  The triple
+        log is append-only, so there is no remove side to the delta.
         """
         affected: set[str] = set()
+        old_features = old.entity_features
         for triple in new_triples:
             subject, predicate = triple.subject, triple.predicate
             if triple.is_literal:
-                if subject not in self._entity_features:
+                if subject not in old_features:
                     affected.add(subject)
                 continue
             if predicate not in STRUCTURAL_PREDICATES:
@@ -109,43 +215,75 @@ class SemanticFeatureIndex:
                 affected.add(subject)
                 affected.add(triple.object)
                 continue
-            if subject not in self._entity_features:
+            if subject not in old_features:
                 affected.add(subject)
             if predicate in (REDIRECT, DISAMBIGUATES) and (
-                triple.object not in self._entity_features
+                triple.object not in old_features
             ):
                 affected.add(triple.object)
+        entity_features = dict(old_features)
+        feature_entities = dict(old.feature_entities)
+        gained: dict[SemanticFeature, list[str]] = defaultdict(list)
+        lost: dict[SemanticFeature, list[str]] = defaultdict(list)
         for entity_id in affected:
-            old = self._entity_features.get(entity_id, frozenset())
-            new = frozenset(features_of_entity(self._graph, entity_id))
-            if new != old:
-                for feature in old - new:
-                    holders = self._feature_entities.get(feature)
-                    if holders is not None:
-                        holders.discard(entity_id)
-                        if not holders:
-                            del self._feature_entities[feature]
-                for feature in new - old:
-                    self._feature_entities[feature].add(entity_id)
-            self._entity_features[entity_id] = new
-        self._type_counts.clear()
-        self._built_epoch = self._graph.epoch
-        self._built_triples = len(self._graph)
+            before = entity_features.get(entity_id, _EMPTY_HOLDERS)
+            after = frozenset(features_of_entity(self._graph, entity_id))
+            if after != before:
+                for feature in before - after:  # type: ignore[operator]
+                    lost[feature].append(entity_id)
+                for feature in after - before:
+                    gained[feature].append(entity_id)
+            entity_features[entity_id] = after
+        # One copy-on-write replacement per touched feature, however many
+        # affected entities share it.
+        for feature in lost.keys() | gained.keys():
+            holders = set(feature_entities.get(feature, _EMPTY_HOLDERS))
+            holders.difference_update(lost.get(feature, ()))
+            holders.update(gained.get(feature, ()))
+            if holders:
+                feature_entities[feature] = frozenset(holders)
+            else:
+                feature_entities.pop(feature, None)
         self._delta_rebuilds += 1
         self._delta_entities += len(affected)
+        return FeatureIndexSnapshot(
+            self._graph,
+            entity_features,
+            feature_entities,
+            self._graph.epoch,
+            len(self._graph),
+        )
 
-    def _ensure_built(self) -> None:
-        if not self._built:
-            self.rebuild()
-            return
-        if self._built_epoch == self._graph.epoch:
-            return
-        total = len(self._graph)
-        delta = total - self._built_triples
-        if 0 <= delta <= self.max_delta_fraction * max(total, 1):
-            self._apply_delta(self._graph.triples_since(self._built_triples))
-        else:
-            self.rebuild()
+    def snapshot(self) -> FeatureIndexSnapshot:
+        """The current (refreshed-if-stale) snapshot, safe to pin.
+
+        The returned object never changes after publication; queries that
+        must see one consistent epoch end to end (the ranking layer's
+        scoring support) hold on to it while mutations advance the index.
+        """
+        snapshot = self._snapshot_ref
+        if snapshot is not None and snapshot.epoch == self._graph.epoch:
+            return snapshot
+        with self._refresh_lock:
+            # Double-check under the refresh lock: a concurrent reader may
+            # have refreshed while this one waited.
+            with self._graph.lock:
+                snapshot = self._snapshot_ref
+                if snapshot is not None and snapshot.epoch == self._graph.epoch:
+                    return snapshot
+                if snapshot is None:
+                    fresh = self._full_snapshot()
+                else:
+                    total = len(self._graph)
+                    delta = total - snapshot.triples
+                    if 0 <= delta <= self.max_delta_fraction * max(total, 1):
+                        fresh = self._delta_snapshot(
+                            snapshot, self._graph.triples_since(snapshot.triples)
+                        )
+                    else:
+                        fresh = self._full_snapshot()
+                self._snapshot_ref = fresh
+                return fresh
 
     def rebuild_info(self) -> dict[str, int]:
         """Full-vs-delta refresh counters (``cache_info()`` convention)."""
@@ -164,26 +302,25 @@ class SemanticFeatureIndex:
         Derived caches (memoised probabilities, recommendation results) key
         on this value and are invalidated by any graph mutation.
         """
-        self._ensure_built()
-        return self._built_epoch
+        return self.snapshot().epoch
 
     # ------------------------------------------------------------------ #
     # Lookups
     # ------------------------------------------------------------------ #
     def features_of(self, entity_id: str) -> frozenset[SemanticFeature]:
         """Features held by an entity (empty set for unknown entities)."""
-        self._ensure_built()
-        return self._entity_features.get(entity_id, frozenset())
+        return self.snapshot().features_of(entity_id)
 
-    def holders_of(self, feature: SemanticFeature) -> set[str]:
+    def holders_of(self, feature: SemanticFeature) -> frozenset[str]:
         """``E(pi)`` without copying — the internal holder set, read-only.
 
         This is the no-copy accessor the ranking layer's accumulator
-        traversal walks term-at-a-time; callers must not mutate the result.
-        Unknown features return a shared empty set (no allocation).
+        traversal walks term-at-a-time.  Since PR 5 the returned set is a
+        ``frozenset`` shared with the current snapshot (mutations publish
+        a successor snapshot instead of patching it).  Unknown features
+        return a shared empty set (no allocation).
         """
-        self._ensure_built()
-        return self._feature_entities.get(feature, _EMPTY_HOLDERS)
+        return self.snapshot().holders_of(feature)
 
     def entities_matching(self, feature: SemanticFeature) -> set[str]:
         """``E(pi)`` as an independent copy (safe for callers to mutate)."""
@@ -195,27 +332,24 @@ class SemanticFeatureIndex:
 
     def holds(self, entity_id: str, feature: SemanticFeature) -> bool:
         """``e |= pi`` from the materialised index."""
-        self._ensure_built()
-        return feature in self._entity_features.get(entity_id, frozenset())
+        return self.snapshot().holds(entity_id, feature)
 
     def all_features(self) -> list[SemanticFeature]:
         """Every distinct semantic feature in the graph."""
-        self._ensure_built()
-        return sorted(self._feature_entities.keys())
+        return sorted(self.snapshot().feature_entities.keys())
 
     def num_features(self) -> int:
-        self._ensure_built()
-        return len(self._feature_entities)
+        return len(self.snapshot().feature_entities)
 
     # ------------------------------------------------------------------ #
     # Aggregations used by ranking
     # ------------------------------------------------------------------ #
     def features_of_any(self, entity_ids: Iterable[str]) -> dict[SemanticFeature, set[str]]:
         """Features held by any of the entities, with their holders."""
-        self._ensure_built()
+        snapshot = self.snapshot()
         holders: dict[SemanticFeature, set[str]] = defaultdict(set)
         for entity_id in entity_ids:
-            for feature in self._entity_features.get(entity_id, frozenset()):
+            for feature in snapshot.features_of(entity_id):
                 holders[feature].add(entity_id)
         return dict(holders)
 
@@ -233,11 +367,11 @@ class SemanticFeatureIndex:
         materialised no-copy holder lists instead of per-feature graph
         queries.
         """
-        self._ensure_built()
+        snapshot = self.snapshot()
         excluded = set(exclude)
         counts: Counter[str] = Counter()
         for feature in features:
-            for entity_id in self._feature_entities.get(feature, _EMPTY_HOLDERS):
+            for entity_id in snapshot.holders_of(feature):
                 if entity_id not in excluded:
                     counts[entity_id] += 1
         ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
@@ -249,32 +383,19 @@ class SemanticFeatureIndex:
         """``(||E(pi) ∩ E(c)||, ||E(c)||)`` for the type-based smoothing.
 
         ``E(c)`` is the set of instances of ``type_id``.  Pairs are memoised
-        per index epoch (the memo is dropped on rebuild), so the ranking
+        per snapshot (successor snapshots start fresh), so the ranking
         layer's repeated smoothing lookups cost a dictionary hit.
         """
-        self._ensure_built()
-        key = (feature, type_id)
-        cached = self._type_counts.get(key)
-        if cached is not None:
-            return cached
-        type_members = self._graph.entities_of_type(type_id)
-        if not type_members:
-            counts = (0, 0)
-        else:
-            matching = self._feature_entities.get(feature, _EMPTY_HOLDERS)
-            counts = (len(matching & type_members), len(type_members))
-        self._type_counts[key] = counts
-        return counts
+        return self.snapshot().type_conditional_count(feature, type_id)
 
     def shared_features(self, left: str, right: str) -> frozenset[SemanticFeature]:
         """Features held by both entities — the explanation evidence."""
-        self._ensure_built()
-        return self.features_of(left) & self.features_of(right)
+        snapshot = self.snapshot()
+        return snapshot.features_of(left) & snapshot.features_of(right)
 
     def feature_frequency_histogram(self) -> dict[int, int]:
         """Histogram of ``||E(pi)||`` values, for dataset reporting."""
-        self._ensure_built()
         histogram: dict[int, int] = defaultdict(int)
-        for entities in self._feature_entities.values():
+        for entities in self.snapshot().feature_entities.values():
             histogram[len(entities)] += 1
         return dict(histogram)

@@ -1,0 +1,73 @@
+"""The sharded facade over the semantic-feature index.
+
+:class:`ShardedSemanticFeatureIndex` partitions the *entity id space*
+into N shards behind the exact read interface of
+:class:`SemanticFeatureIndex` — the recommendation-side sibling of
+:class:`~repro.index.sharded.ShardedFieldedIndex`.  Holder lists, feature
+maps and smoothing counts stay global (the type-grouped decomposition's
+arithmetic must match the serial path bit for bit); the facade adds the
+routing layer the entity accumulator fans out over, with a lazily-filled
+id→shard memo so partitioning a candidate list costs a dictionary lookup
+per entity after the first query (entity ids never change shard, so the
+memo survives every epoch).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..exec.sharding import shard_of
+from ..kg import KnowledgeGraph
+from .feature_index import SemanticFeatureIndex
+
+
+class ShardedSemanticFeatureIndex(SemanticFeatureIndex):
+    """A :class:`SemanticFeatureIndex` whose entities route into N shards."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        num_shards: int = 1,
+        max_delta_fraction: float | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        super().__init__(graph, max_delta_fraction=max_delta_fraction)
+        self._num_shards = num_shards
+        self._shard_by_entity: dict[str, int] = {}
+
+    @classmethod
+    def build_sharded(
+        cls, graph: KnowledgeGraph, num_shards: int
+    ) -> "ShardedSemanticFeatureIndex":
+        """Materialise the sharded index for every entity in the graph."""
+        index = cls(graph, num_shards=num_shards)
+        index.rebuild()
+        return index
+
+    @property
+    def num_shards(self) -> int:
+        """How many entity shards this index routes into."""
+        return self._num_shards
+
+    def shard_of_entity(self, entity_id: str) -> int:
+        """The shard an entity routes to (stable; memoised per id)."""
+        shard = self._shard_by_entity.get(entity_id)
+        if shard is None:
+            shard = shard_of(entity_id, self._num_shards)
+            self._shard_by_entity[entity_id] = shard
+        return shard
+
+    def partition_entities(self, entity_ids: Iterable[str]) -> list[list[str]]:
+        """Split candidate entities into per-shard buckets (all N returned).
+
+        Order within each bucket preserves the input order — the ranking
+        layer's candidate list is relevance-ordered and the per-shard
+        traversals must see their members in the same relative order the
+        serial traversal would.
+        """
+        buckets: list[list[str]] = [[] for _ in range(self._num_shards)]
+        route = self.shard_of_entity
+        for entity_id in entity_ids:
+            buckets[route(entity_id)].append(entity_id)
+        return buckets

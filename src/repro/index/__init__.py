@@ -12,6 +12,7 @@ from .postings import (
     union,
 )
 from .scoring_support import ScoringSupport, select_top_k, select_top_k_with_zero_fill
+from .sharded import ShardedFieldedIndex
 from .statistics import CollectionStatistics, FieldStatistics
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "Posting",
     "PostingList",
     "ScoringSupport",
+    "ShardedFieldedIndex",
     "intersect",
     "merge_frequencies",
     "select_top_k",

@@ -8,11 +8,18 @@ own inverted index, document lengths and collection statistics.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from itertools import count
 
 from ..exceptions import FieldNotFoundError
 from .inverted_index import InvertedIndex
 from .scoring_support import ScoringSupport
 from .statistics import CollectionStatistics
+
+#: Process-wide generation counter: every index instance (including
+#: copy-on-write successors) gets a distinct uid, so epoch-keyed caches
+#: can tell two index *instances* apart even when their mutation counters
+#: happen to coincide (a rebuild recounts from the document count).
+_GENERATIONS = count()
 
 
 class FieldedIndex:
@@ -29,6 +36,7 @@ class FieldedIndex:
         #: Mutation counter: bumped on every document addition so cached
         #: statistics / scoring support / query results can be invalidated.
         self._epoch = 0
+        self._uid = next(_GENERATIONS)
         self._statistics_cache: tuple[int, CollectionStatistics] | None = None
         self._support_cache: tuple[int, ScoringSupport] | None = None
 
@@ -41,6 +49,16 @@ class FieldedIndex:
     def epoch(self) -> int:
         """A counter incremented on every mutation of the index."""
         return self._epoch
+
+    @property
+    def uid(self) -> int:
+        """Process-unique instance id (distinct across rebuilds/snapshots).
+
+        ``(uid, epoch)`` is the collision-free cache key for anything
+        derived from the index's contents: the epoch alone can repeat
+        across rebuilt or copy-on-write instances.
+        """
+        return self._uid
 
     def _require_field(self, field: str) -> InvertedIndex:
         index = self._indexes.get(field)
@@ -67,6 +85,42 @@ class FieldedIndex:
         self._epoch += 1
         self._statistics_cache = None
         self._support_cache = None
+
+    def _cow_shell(self) -> "FieldedIndex":
+        """An empty same-schema instance for :meth:`with_added_document`.
+
+        Subclasses override this to carry their extra state (the sharded
+        facade copies its id→shard map) so copy-on-write preserves type.
+        """
+        return FieldedIndex(self._fields)
+
+    def with_added_document(
+        self, doc_id: str, field_terms: Mapping[str, Iterable[str]]
+    ) -> "FieldedIndex":
+        """A new index with the document added; this instance is untouched.
+
+        This is the snapshot-isolation mutation path: engines swap the
+        returned index in atomically while in-flight queries keep scoring
+        against the pre-mutation instance (whose postings, lengths and
+        memoised statistics can no longer change).  Per-field indexes are
+        copied copy-on-write (see :meth:`InvertedIndex.with_added_document`),
+        the epoch continues from this instance's counter, and the clone
+        gets a fresh :attr:`uid`.
+        """
+        for field in field_terms:
+            if field not in self._indexes:
+                raise FieldNotFoundError(field)
+        clone = self._cow_shell()
+        clone._indexes = {
+            field: self._indexes[field].with_added_document(
+                doc_id, list(field_terms.get(field, ()))
+            )
+            for field in self._fields
+        }
+        clone._documents = set(self._documents)
+        clone._documents.add(doc_id)
+        clone._epoch = self._epoch + 1
+        return clone
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -42,6 +42,34 @@ class InvertedIndex:
         self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + added
         self._total_terms += added
 
+    def with_added_document(self, doc_id: str, terms: Iterable[str]) -> "InvertedIndex":
+        """A new index with ``doc_id`` added; this one stays untouched.
+
+        The copy-on-write sibling of :meth:`add_document` behind snapshot-
+        isolated serving: the term map and length array are shallow-copied
+        (posting lists are shared by reference) and only the posting lists
+        of the document's own terms are copied before mutation — so every
+        structure a concurrent reader may already hold keeps its exact
+        pre-mutation contents, at O(documents + affected postings) cost.
+        """
+        clone = InvertedIndex(self.name)
+        clone._postings = dict(self._postings)
+        clone._doc_lengths = dict(self._doc_lengths)
+        clone._total_terms = self._total_terms
+        counts = Counter(terms)
+        added = sum(counts.values())
+        if added == 0:
+            clone._doc_lengths.setdefault(doc_id, 0)
+            return clone
+        for term, count in counts.items():
+            existing = clone._postings.get(term)
+            posting_list = PostingList() if existing is None else existing.copy()
+            posting_list.add(doc_id, count)
+            clone._postings[term] = posting_list
+        clone._doc_lengths[doc_id] = clone._doc_lengths.get(doc_id, 0) + added
+        clone._total_terms += added
+        return clone
+
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #

@@ -71,6 +71,15 @@ class PostingList:
         self._doc_ids.insert(position, doc_id)
         self._frequencies[doc_id] = count
 
+    def copy(self) -> "PostingList":
+        """An independent copy (the copy-on-write step of index snapshots).
+
+        Mutating the copy leaves this list untouched, so readers holding a
+        reference to it (scoring supports pinned to an older index epoch)
+        keep a consistent snapshot while the writer extends the copy.
+        """
+        return PostingList(list(self._doc_ids), dict(self._frequencies))
+
     def frequency(self, doc_id: str) -> int:
         """Term frequency in ``doc_id`` (0 when absent)."""
         return self._frequencies.get(doc_id, 0)

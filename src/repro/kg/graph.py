@@ -18,6 +18,7 @@ implementation would not change any caller.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from collections.abc import Iterable, Iterator, Sequence
 
@@ -70,11 +71,30 @@ class KnowledgeGraph:
         #: structures (feature index, recommendation caches) can detect
         #: staleness, mirroring ``FieldedIndex.epoch`` on the search side.
         self._epoch = 0
+        #: Serialises mutations against the readers that iterate or copy
+        #: shared containers (see :attr:`lock`); re-entrant so derived
+        #: structures (the semantic-feature index) can hold it across a
+        #: whole rebuild that itself calls locked accessors.
+        self._lock = threading.RLock()
 
     @property
     def epoch(self) -> int:
         """A counter incremented on every successful mutation of the graph."""
         return self._epoch
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The graph's mutation lock (re-entrant).
+
+        Concurrent-serving contract: :meth:`add_triple` holds it for every
+        mutation, the accessors that iterate or copy shared containers
+        hold it per call, and derived structures (the semantic-feature
+        index) hold it across a whole refresh so they fold a *consistent*
+        graph state into their snapshot.  Point lookups (`in`,
+        ``epoch``, dictionary ``get``) stay lock-free — they are atomic
+        under the GIL.
+        """
+        return self._lock
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -85,7 +105,15 @@ class KnowledgeGraph:
         return self.add_triple(triple)
 
     def add_triple(self, triple: Triple) -> bool:
-        """Add a :class:`Triple`; return False when it was already present."""
+        """Add a :class:`Triple`; return False when it was already present.
+
+        Runs under :attr:`lock` so readers that take it see either the
+        whole mutation or none of it.
+        """
+        with self._lock:
+            return self._add_triple_locked(triple)
+
+    def _add_triple_locked(self, triple: Triple) -> bool:
         key = triple.as_tuple()
         if key in self._triple_set:
             return False
@@ -106,8 +134,14 @@ class KnowledgeGraph:
         obj = triple.object
         assert isinstance(obj, str)
         if predicate == RDF_TYPE:
-            self._types[subject].add(obj)
-            self._type_members[obj].add(subject)
+            # Copy-on-write: the type containers are shared by reference
+            # with pinned feature-index snapshots (see
+            # :meth:`type_tables`), so mutations replace the sets instead
+            # of growing them in place.
+            types = self._types.get(subject)
+            self._types[subject] = {obj} if types is None else types | {obj}
+            members = self._type_members.get(obj)
+            self._type_members[obj] = {subject} if members is None else members | {subject}
             return True
         if predicate == DCT_SUBJECT:
             self._categories[subject].add(obj)
@@ -178,11 +212,13 @@ class KnowledgeGraph:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        return self._triples[count:]
+        with self._lock:
+            return self._triples[count:]
 
     def entities(self) -> set[str]:
         """All entity identifiers (subjects and object-entities)."""
-        return set(self._entities)
+        with self._lock:
+            return set(self._entities)
 
     def predicates(self) -> set[str]:
         """All predicates appearing in the graph."""
@@ -216,37 +252,43 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------ #
     def objects(self, subject: str, predicate: str) -> set[str]:
         """Entities ``o`` with ``<subject, predicate, o>`` in the graph."""
-        return set(self._spo.get(subject, {}).get(predicate, set()))
+        with self._lock:
+            return set(self._spo.get(subject, {}).get(predicate, set()))
 
     def subjects(self, predicate: str, obj: str) -> set[str]:
         """Entities ``s`` with ``<s, predicate, obj>`` in the graph."""
-        return set(self._pos.get(predicate, {}).get(obj, set()))
+        with self._lock:
+            return set(self._pos.get(predicate, {}).get(obj, set()))
 
     def predicates_between(self, subject: str, obj: str) -> set[str]:
         """Predicates ``p`` with ``<subject, p, obj>`` in the graph."""
-        return set(self._osp.get(obj, {}).get(subject, set()))
+        with self._lock:
+            return set(self._osp.get(obj, {}).get(subject, set()))
 
     def outgoing(self, entity_id: str) -> list[tuple[str, str]]:
         """Object-property edges leaving ``entity_id`` as ``(predicate, target)``."""
-        result: list[tuple[str, str]] = []
-        for predicate, objs in self._spo.get(entity_id, {}).items():
-            result.extend((predicate, obj) for obj in sorted(objs))
-        return result
+        with self._lock:
+            result: list[tuple[str, str]] = []
+            for predicate, objs in self._spo.get(entity_id, {}).items():
+                result.extend((predicate, obj) for obj in sorted(objs))
+            return result
 
     def incoming(self, entity_id: str) -> list[tuple[str, str]]:
         """Object-property edges arriving at ``entity_id`` as ``(predicate, source)``."""
-        result: list[tuple[str, str]] = []
-        for subject, predicates in self._osp.get(entity_id, {}).items():
-            result.extend((predicate, subject) for predicate in sorted(predicates))
-        return result
+        with self._lock:
+            result: list[tuple[str, str]] = []
+            for subject, predicates in self._osp.get(entity_id, {}).items():
+                result.extend((predicate, subject) for predicate in sorted(predicates))
+            return result
 
     def neighbours(self, entity_id: str) -> set[str]:
         """Entities one object-property hop away (either direction)."""
-        result: set[str] = set()
-        for objs in self._spo.get(entity_id, {}).values():
-            result.update(objs)
-        result.update(self._osp.get(entity_id, {}).keys())
-        return result
+        with self._lock:
+            result: set[str] = set()
+            for objs in self._spo.get(entity_id, {}).values():
+                result.update(objs)
+            result.update(self._osp.get(entity_id, {}).keys())
+            return result
 
     def degree(self, entity_id: str) -> int:
         """Number of object-property edges touching ``entity_id``."""
@@ -274,19 +316,34 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------ #
     def types_of(self, entity_id: str) -> set[str]:
         """Types of an entity (``rdf:type`` objects)."""
-        return set(self._types.get(entity_id, set()))
+        with self._lock:
+            return set(self._types.get(entity_id, set()))
 
     def entities_of_type(self, type_id: str) -> set[str]:
         """All instances of a type."""
-        return set(self._type_members.get(type_id, set()))
+        with self._lock:
+            return set(self._type_members.get(type_id, set()))
 
     def types(self) -> set[str]:
         """All entity types used in the graph."""
-        return set(self._type_members.keys())
+        with self._lock:
+            return set(self._type_members.keys())
 
     def type_count(self, type_id: str) -> int:
         """Number of instances of a type."""
         return len(self._type_members.get(type_id, set()))
+
+    def type_tables(self) -> tuple[dict[str, set[str]], dict[str, set[str]]]:
+        """One consistent ``(entity → types, type → members)`` snapshot.
+
+        The outer dictionaries are copies taken under :attr:`lock`; the
+        inner sets are shared by reference and — because type mutations
+        are copy-on-write — never change after publication.  This is what
+        lets a pinned feature-index snapshot keep the type smoothing of
+        *its* epoch while the live graph moves on.
+        """
+        with self._lock:
+            return dict(self._types), dict(self._type_members)
 
     def dominant_type(self, entity_id: str) -> str:
         """The most specific type of an entity.
@@ -295,14 +352,16 @@ class KnowledgeGraph:
         of an entity is its *least populated* type — the rarest type is the
         most specific one.  Entities without a type return ``""``.
         """
-        entity_types = self._types.get(entity_id)
-        if not entity_types:
-            return ""
-        return min(entity_types, key=lambda t: (len(self._type_members[t]), t))
+        with self._lock:
+            entity_types = self._types.get(entity_id)
+            if not entity_types:
+                return ""
+            return min(entity_types, key=lambda t: (len(self._type_members[t]), t))
 
     def labels_of(self, entity_id: str) -> list[str]:
         """Explicit labels of an entity (may be empty)."""
-        return list(self._labels.get(entity_id, []))
+        with self._lock:
+            return list(self._labels.get(entity_id, []))
 
     def label(self, entity_id: str) -> str:
         """Preferred display label, falling back to the identifier."""
@@ -313,15 +372,18 @@ class KnowledgeGraph:
 
     def categories_of(self, entity_id: str) -> set[str]:
         """Categories of an entity (``dct:subject`` objects)."""
-        return set(self._categories.get(entity_id, set()))
+        with self._lock:
+            return set(self._categories.get(entity_id, set()))
 
     def entities_in_category(self, category: str) -> set[str]:
         """All entities carrying the given category."""
-        return set(self._category_members.get(category, set()))
+        with self._lock:
+            return set(self._category_members.get(category, set()))
 
     def aliases_of(self, entity_id: str) -> set[str]:
         """Alias entities (redirects/disambiguations) of an entity."""
-        return set(self._aliases.get(entity_id, set()))
+        with self._lock:
+            return set(self._aliases.get(entity_id, set()))
 
     def attributes_of(self, entity_id: str) -> dict[str, list[str]]:
         """Literal attributes of an entity keyed by predicate.
@@ -329,12 +391,13 @@ class KnowledgeGraph:
         Structural literals (labels) are excluded — they are exposed via
         :meth:`labels_of`.
         """
-        result: dict[str, list[str]] = {}
-        for predicate, literals in self._literals.get(entity_id, {}).items():
-            if predicate == RDFS_LABEL:
-                continue
-            result[predicate] = [lit.value for lit in literals]
-        return result
+        with self._lock:
+            result: dict[str, list[str]] = {}
+            for predicate, literals in self._literals.get(entity_id, {}).items():
+                if predicate == RDFS_LABEL:
+                    continue
+                result[predicate] = [lit.value for lit in literals]
+            return result
 
     # ------------------------------------------------------------------ #
     # Entity snapshots

@@ -19,10 +19,11 @@ from dataclasses import dataclass
 
 from ..config import PRUNED_MODES, RankingConfig
 from ..exceptions import NoSeedEntitiesError
+from ..exec import default_executor, merge_shard_maps, merge_shard_stats, partition_ids
 from ..features import SemanticFeatureIndex
 from ..index import select_top_k
 from ..kg import KnowledgeGraph
-from ..topk import PruningStats
+from ..topk import PruningStats, SharedThreshold
 from ..topk import SELECTION_MARGIN as _SELECTION_MARGIN
 from .probability import FeatureProbabilityModel
 from .ranking_support import FrozenMapping
@@ -156,13 +157,20 @@ class EntityRanker:
         if candidates is None:
             candidates = self.candidates(seeds, scored_features)
         support = self._probability.support()
-        if self._config.pruning in PRUNED_MODES:
+        pruned = self._config.pruning in PRUNED_MODES
+        blockmax = self._config.pruning == "blockmax"
+        num_shards = self._config.shards
+        if num_shards > 1:
+            accumulators = self._score_sharded(
+                candidates, scored_features, top_k, support, num_shards, pruned, blockmax
+            )
+        elif pruned:
             accumulators = support.score_entities_pruned(
                 candidates,
                 scored_features,
                 top_k,
                 self._pruning_stats,
-                blockmax=self._config.pruning == "blockmax",
+                blockmax=blockmax,
             )
         else:
             accumulators = support.score_entities(candidates, scored_features)
@@ -183,6 +191,68 @@ class EntityRanker:
         ]
         rescored.sort(key=lambda item: (-item.score, item.entity_id))
         return rescored[:top_k]
+
+    def _score_sharded(
+        self,
+        candidates: Sequence[str],
+        scored_features: Sequence[ScoredFeature],
+        top_k: int,
+        support,
+        num_shards: int,
+        pruned: bool,
+        blockmax: bool,
+    ) -> dict[str, float]:
+        """Fan the entity accumulator out over candidate shards and merge.
+
+        The candidate id space is partitioned (via the sharded feature
+        index's routing memo when available, CRC otherwise — same
+        assignment either way); each shard worker scores its bucket
+        through the shared, snapshot-pinned support with a private
+        :class:`PruningStats` (merged afterwards, the logical query
+        counted once) and, in the pruned modes, the cross-shard θ
+        broadcast.  Survivor values are the exact accumulator floats the
+        serial walk produces (a candidate's decomposition never depends
+        on which other candidates share its map), so merging the disjoint
+        maps and re-scoring the margin-guarded selection — the caller's
+        existing epilogue — keeps the ranking byte-identical.
+        """
+        index = self._index
+        if (
+            hasattr(index, "partition_entities")
+            and getattr(index, "num_shards", None) == num_shards
+        ):
+            shards = index.partition_entities(candidates)
+        else:
+            shards = partition_ids(candidates, num_shards)
+        if pruned:
+            shared = SharedThreshold(top_k)
+
+            def worker(shard: Sequence[str]) -> tuple[dict[str, float], PruningStats]:
+                local = PruningStats()
+                survivors = support.score_entities_pruned(
+                    shard,
+                    scored_features,
+                    top_k,
+                    local,
+                    blockmax=blockmax,
+                    shared=shared.slot(),
+                )
+                return survivors, local
+
+            results = default_executor().run(
+                [lambda shard=shard: worker(shard) for shard in shards if shard]
+            )
+            merge_shard_stats(self._pruning_stats, [local for _, local in results])
+            shard_maps = [survivors for survivors, _ in results]
+        else:
+            shard_maps = default_executor().run(
+                [
+                    lambda shard=shard: support.score_entities(shard, scored_features)
+                    for shard in shards
+                    if shard
+                ]
+            )
+        return merge_shard_maps(shard_maps)
 
     def _score_entity_via_support(
         self, entity_id: str, scored_features: Sequence[ScoredFeature], support

@@ -36,7 +36,13 @@ from typing import TYPE_CHECKING
 
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
-from ..topk import PruningStats, safety_slack, threshold_of
+from ..topk import (
+    PruningStats,
+    SharedThresholdSlot,
+    safety_slack,
+    threshold_of,
+    top_k_bounds,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .sf_ranking import ScoredFeature
@@ -110,10 +116,16 @@ class RankingSupport:
         epsilon: float = 1e-9,
     ) -> None:
         self._graph = graph
-        self._index = index
+        #: The *pinned snapshot* of the feature index: every lookup this
+        #: support object makes for its whole lifetime reads one immutable
+        #: epoch state, so an in-flight query keeps the epoch it started
+        #: on while graph mutations publish successor snapshots (the
+        #: probability model hands out a fresh support after any epoch
+        #: change, so new queries see the new state).
+        self._index = index.snapshot() if hasattr(index, "snapshot") else index
         self._type_smoothing = type_smoothing
         self._epsilon = epsilon
-        self._epoch = index.epoch
+        self._epoch = self._index.epoch
         #: Memoised dominant types (``graph.dominant_type`` scans the type
         #: sets on every call; candidates repeat across session operations).
         self._dominant_types: dict[str, str] = {}
@@ -136,10 +148,16 @@ class RankingSupport:
     # Probability lookups
     # ------------------------------------------------------------------ #
     def dominant_type(self, entity_id: str) -> str:
-        """Memoised ``c*(e)`` (empty string for untyped entities)."""
+        """Memoised ``c*(e)`` (empty string for untyped entities).
+
+        Resolved against the pinned snapshot's type tables when one is
+        pinned, so an in-flight query's dominant types — like its holder
+        sets and smoothing counts — all belong to one epoch.
+        """
         cached = self._dominant_types.get(entity_id)
         if cached is None:
-            cached = self._graph.dominant_type(entity_id)
+            source = self._index if hasattr(self._index, "dominant_type") else self._graph
+            cached = source.dominant_type(entity_id)
             self._dominant_types[entity_id] = cached
         return cached
 
@@ -291,6 +309,7 @@ class RankingSupport:
         top_k: int,
         stats: PruningStats,
         blockmax: bool = False,
+        shared: SharedThresholdSlot | None = None,
     ) -> dict[str, float]:
         """Type-group-pruned accumulator scores (see :meth:`score_entities`).
 
@@ -314,6 +333,13 @@ class RankingSupport:
         place in the result map but drop out of every later (often much
         larger) holder walk.  Chunk decisions are reported through the
         ``blocks_total`` / ``blocks_skipped`` counters.
+
+        ``shared`` is this worker's slot on the sharded execution
+        layer's cross-shard θ broadcast: the shard offers its top-k
+        partial lower bounds (its candidates' base scores up front, the
+        θ-pool partials at every refresh), and the k-th best over all
+        shards' offers — the θ the serial walk derives from the merged
+        pool — drives the group kills everywhere.
         """
         relevance = [scored.score for scored in scored_features]
         entity_types: dict[str, str] = {}
@@ -372,6 +398,7 @@ class RankingSupport:
         # of scanning every accumulator.
         threshold = float("-inf")
         theta_pool: list[str] = []
+        initial_bounds: list[float] = []
         if 0 < top_k < len(entity_types):
             covered = 0
             pool_budget = 2 * top_k + len(type_members)
@@ -379,9 +406,26 @@ class RankingSupport:
                 members = type_members[type_id]
                 if covered < top_k:
                     threshold = base_scores[type_id]
+                    if shared is not None:
+                        # This shard's top-k witnesses: the base scores of
+                        # its k best-based candidates, distinct by
+                        # construction (each counted via its own type slot).
+                        needed = min(top_k - covered, len(members))
+                        initial_bounds.extend([base_scores[type_id]] * needed)
                 if len(theta_pool) < pool_budget:
                     theta_pool.extend(members)
                 covered += len(members)
+        elif shared is not None and top_k > 0:
+            # Fewer candidates than k in this shard: every base score is
+            # still a witness the global pool can use, and every member
+            # belongs in the θ-refresh pool.
+            for type_id, members in type_members.items():
+                initial_bounds.extend([base_scores[type_id]] * len(members))
+                theta_pool.extend(members)
+        if shared is not None:
+            offered = shared.offer(initial_bounds)
+            if offered > threshold:
+                threshold = offered
         cut = threshold - safety_slack(threshold) if threshold != float("-inf") else float("-inf")
 
         live_types: dict[str, list[float]] = {}
@@ -466,17 +510,29 @@ class RankingSupport:
                 if done not in (1, 4):
                     continue
                 rem_chunks = 0
-            if len(live_types) <= 1 or len(accumulators) <= top_k:
+            if shared is None and (len(live_types) <= 1 or len(accumulators) <= top_k):
                 continue
             lookup_or_dead = accumulators.get
-            refreshed = threshold_of(
-                (
-                    partial
-                    for partial in map(lookup_or_dead, theta_pool)
-                    if partial is not None
-                ),
-                top_k,
-            )
+            if shared is not None:
+                refreshed = shared.offer(
+                    top_k_bounds(
+                        (
+                            partial
+                            for partial in map(lookup_or_dead, theta_pool)
+                            if partial is not None
+                        ),
+                        top_k,
+                    )
+                )
+            else:
+                refreshed = threshold_of(
+                    (
+                        partial
+                        for partial in map(lookup_or_dead, theta_pool)
+                        if partial is not None
+                    ),
+                    top_k,
+                )
             if refreshed == float("-inf"):
                 continue
             cut = refreshed - safety_slack(refreshed)

@@ -20,16 +20,77 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..config import PRUNED_MODES, PRUNING_MODES
-from ..index import BLOCK_SIZE, FieldedIndex, select_top_k_with_zero_fill
+from ..exec import default_executor, merge_shard_maps, merge_shard_stats, split_frequencies
+from ..index import BLOCK_SIZE, CollectionStatistics, FieldedIndex, select_top_k_with_zero_fill
 from ..topk import (
     BlockedSparseTermEntry,
     PruningStats,
+    SharedThreshold,
     SparseTermEntry,
     maxscore_sparse,
     select_survivors,
 )
 from .mlm import ScoredDocument
 from .query import KeywordQuery
+
+
+def _shard_postings(
+    statistics: CollectionStatistics,
+    field: str,
+    term: str,
+    frequencies: Mapping[str, int],
+    num_shards: int,
+) -> tuple[dict[str, int], ...]:
+    """The term's postings split into per-shard sub-maps, memoised per epoch.
+
+    The split is scorer-independent (pure CRC routing over the doc ids),
+    so BM25 and BM25F scorers over the same index share one split per
+    (field, term, shard count) — the same amortisation contract as the
+    block summaries.
+    """
+    maps = statistics.memoised_blocks(
+        ("shard-split", field, term, num_shards),
+        lambda: tuple(split_frequencies(frequencies, num_shards)),
+    )
+    assert isinstance(maps, tuple)
+    return maps
+
+
+def _sharded_sparse_survivors(
+    entries_of,
+    num_shards: int,
+    top_k: int,
+    stats: PruningStats,
+    blockmax: bool,
+) -> list[str]:
+    """Fan the sparse driver out over postings shards; union the picks.
+
+    ``entries_of(shard)`` builds the shard's entry list (walking that
+    shard's postings sub-maps).  Workers run with private
+    :class:`PruningStats` (merged afterwards, the logical query counted
+    once) and the cross-shard θ broadcast.  Sparse survivors always hold
+    *exact* totals (every surviving accumulator saw every term, expanded
+    or refined), so the disjoint per-shard maps merge into exactly the
+    accumulator map the serial traversal would keep, and one global
+    margin-guarded selection — the serial epilogue — picks the ids the
+    caller re-scores.
+    """
+    shared = SharedThreshold(top_k)
+
+    def worker(shard: int) -> tuple[dict[str, float], PruningStats]:
+        local = PruningStats()
+        survivors = maxscore_sparse(
+            entries_of(shard), top_k, local, blockmax=blockmax, shared=shared.slot()
+        )
+        return survivors, local
+
+    results = default_executor().run(
+        [lambda shard=shard: worker(shard) for shard in range(num_shards)]
+    )
+    merge_shard_stats(stats, [local for _, local in results])
+    return select_survivors(
+        merge_shard_maps(survivors for survivors, _ in results), top_k
+    )
 
 
 @dataclass(frozen=True)
@@ -80,13 +141,17 @@ class BM25FieldScorer:
         field: str,
         params: BM25Params | None = None,
         pruning: str = "maxscore",
+        shards: int = 1,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
+        if shards < 1:
+            raise ValueError("shards must be positive")
         self._index = index
         self._field = field
         self._params = params or BM25Params()
         self._pruning = pruning
+        self._shards = shards
         self._pruning_stats = PruningStats()
         field_index = index.field_index(field)
         self._avg_length = field_index.average_document_length
@@ -142,6 +207,25 @@ class BM25FieldScorer:
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
+        if self._shards > 1:
+            # Unpruned fan-out: each shard accumulates over its own
+            # postings sub-maps with the identical arithmetic, so the
+            # merged (disjoint) maps hold exactly the serial values.
+            accumulators = merge_shard_maps(
+                default_executor().run(
+                    [
+                        lambda shard=shard: self._accumulate_plain(query, shard=shard)
+                        for shard in range(self._shards)
+                    ]
+                )
+            )
+        else:
+            accumulators = self._accumulate_plain(query)
+        top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
+        return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def _accumulate_plain(self, query: KeywordQuery, shard: int | None = None) -> dict[str, float]:
+        """Plain term-at-a-time accumulation, optionally over one shard."""
         support = self._index.scoring_support()
         params = self._params
         k1_plus_1 = params.k1 + 1
@@ -154,12 +238,18 @@ class BM25FieldScorer:
             # IDF from the construction-time document count, like
             # score_document: this scorer snapshots N and avg_length when
             # built, and both paths must agree even after index mutations.
+            # In shard mode the idf still weights by the *full* document
+            # frequency — the shard split only restricts the traversal.
             weight = idf(self._num_documents, len(frequencies))
             if weight == 0.0:
                 # Zero contribution for every posting (possible when the
                 # index grew past the snapshot N): leave these documents to
                 # the zero-scored tail so ties keep the global doc_id order.
                 continue
+            if shard is not None:
+                frequencies = _shard_postings(
+                    support.statistics, self._field, term, frequencies, self._shards
+                )[shard]
             for doc_id, tf in frequencies.items():
                 doc_len = lengths.get(doc_id, 0)
                 length_norm = 1.0 - params.b + params.b * (
@@ -167,11 +257,21 @@ class BM25FieldScorer:
                 )
                 contribution = weight * (tf * k1_plus_1) / (tf + params.k1 * length_norm)
                 accumulators[doc_id] = accumulators.get(doc_id, 0.0) + contribution
-        top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
-        return [self.score_document(query, doc_id) for doc_id, _ in top]
+        return accumulators
 
-    def _sparse_entries(self, query: KeywordQuery) -> list[SparseTermEntry]:
-        """One pruning entry per matching query term, bounds memoised."""
+    def _sparse_entries(
+        self, query: KeywordQuery, shard: int | None = None
+    ) -> list[SparseTermEntry]:
+        """One pruning entry per matching query term, bounds memoised.
+
+        With ``shard`` set, the expand/refine walks run over the term's
+        per-shard postings sub-map (memoised next to the bounds) while
+        idf weights, contribution bounds and block summaries stay derived
+        from the full list — a full-list bound is sound for any subset,
+        and the shared grids keep the memo footprint shard-independent.
+        Terms without postings in the shard contribute no entry, which
+        only tightens the shard's remaining-upper sums.
+        """
         support = self._index.scoring_support()
         statistics = support.statistics
         params = self._params
@@ -187,6 +287,13 @@ class BM25FieldScorer:
             weight = idf(self._num_documents, len(frequencies))
             if weight == 0.0:
                 continue  # zero everywhere: stays in the zero-scored tail
+            full_frequencies = frequencies
+            if shard is not None:
+                frequencies = _shard_postings(
+                    statistics, self._field, term, full_frequencies, self._shards
+                )[shard]
+                if not frequencies:
+                    continue
 
             def tf_part(term: str = term) -> float:
                 max_tf = statistics.field(self._field).max_frequency(term)
@@ -280,6 +387,30 @@ class BM25FieldScorer:
             )
         return entries
 
+    def _pruned_survivors(self, query: KeywordQuery, top_k: int) -> list[str]:
+        """Run the sparse driver (per shard when sharded); ids to re-score.
+
+        The sharded arm builds one entry list per shard (each walking its
+        own postings sub-maps), fans the drivers out with the cross-shard
+        θ broadcast, selects survivors per shard and unions the picks —
+        the union necessarily contains every globally-positive top-k
+        document, and the caller's exact re-scoring pass restores the
+        serial ranking bit for bit.
+        """
+        blockmax = self._pruning == "blockmax"
+        if self._shards > 1:
+            return _sharded_sparse_survivors(
+                lambda shard: self._sparse_entries(query, shard=shard),
+                self._shards,
+                top_k,
+                self._pruning_stats,
+                blockmax,
+            )
+        survivors = maxscore_sparse(
+            self._sparse_entries(query), top_k, self._pruning_stats, blockmax=blockmax
+        )
+        return select_survivors(survivors, top_k)
+
     def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
         """Threshold-pruned traversal + exact re-scoring of the survivors.
 
@@ -290,11 +421,7 @@ class BM25FieldScorer:
         """
         if top_k <= 0:
             return []
-        entries = self._sparse_entries(query)
-        survivors = maxscore_sparse(
-            entries, top_k, self._pruning_stats, blockmax=self._pruning == "blockmax"
-        )
-        to_rescore = select_survivors(survivors, top_k)
+        to_rescore = self._pruned_survivors(query, top_k)
         self._pruning_stats.rescored += len(to_rescore)
         support = self._index.scoring_support()
         params = self._params
@@ -344,12 +471,16 @@ class BM25FScorer:
         field_weights: Mapping[str, float],
         params: BM25Params | None = None,
         pruning: str = "maxscore",
+        shards: int = 1,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
+        if shards < 1:
+            raise ValueError("shards must be positive")
         self._index = index
         self._params = params or BM25Params()
         self._pruning = pruning
+        self._shards = shards
         self._pruning_stats = PruningStats()
         total = sum(field_weights.get(field, 0.0) for field in index.fields)
         if total <= 0:
@@ -413,6 +544,22 @@ class BM25FScorer:
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
+        if self._shards > 1:
+            accumulators = merge_shard_maps(
+                default_executor().run(
+                    [
+                        lambda shard=shard: self._accumulate_plain(query, shard=shard)
+                        for shard in range(self._shards)
+                    ]
+                )
+            )
+        else:
+            accumulators = self._accumulate_plain(query)
+        top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
+        return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def _accumulate_plain(self, query: KeywordQuery, shard: int | None = None) -> dict[str, float]:
+        """Plain term-at-a-time accumulation, optionally over one shard."""
         support = self._index.scoring_support()
         params = self._params
         weighted_fields = [
@@ -429,14 +576,30 @@ class BM25FScorer:
                 )
                 for field, weight in weighted_fields
             ]
-            matching: set[str] = set()
-            for _, frequencies, _, _ in components:
-                matching.update(frequencies)
-            if not matching:
+            if not any(frequencies for _, frequencies, _, _ in components):
                 continue
+            # The cross-field idf weights by the *full* document frequency
+            # even in shard mode — the shard split only restricts the walk.
             weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
             if weight_idf == 0.0:
                 continue  # zero contribution everywhere; keep the tail's doc_id order
+            if shard is not None:
+                components = [
+                    (
+                        weight,
+                        _shard_postings(
+                            support.statistics, field, term, frequencies, self._shards
+                        )[shard],
+                        lengths,
+                        avg_len,
+                    )
+                    for (weight, frequencies, lengths, avg_len), (field, _) in zip(
+                        components, weighted_fields
+                    )
+                ]
+            matching: set[str] = set()
+            for _, frequencies, _, _ in components:
+                matching.update(frequencies)
             for doc_id in matching:
                 weighted_tf = 0.0
                 for weight, frequencies, lengths, avg_len in components:
@@ -450,8 +613,7 @@ class BM25FScorer:
                     weighted_tf += weight * tf / length_norm
                 contribution = weight_idf * weighted_tf / (weighted_tf + params.k1)
                 accumulators[doc_id] = accumulators.get(doc_id, 0.0) + contribution
-        top = select_top_k_with_zero_fill(accumulators, candidates, top_k)
-        return [self.score_document(query, doc_id) for doc_id, _ in top]
+        return accumulators
 
     def _pruned_contribution(
         self,
@@ -471,8 +633,18 @@ class BM25FScorer:
             weighted_tf += weight * tf / length_norm
         return weight_idf * weighted_tf / (weighted_tf + params.k1)
 
-    def _sparse_entries(self, query: KeywordQuery) -> list[SparseTermEntry]:
-        """One pruning entry per matching query term, bounds memoised."""
+    def _sparse_entries(
+        self, query: KeywordQuery, shard: int | None = None
+    ) -> list[SparseTermEntry]:
+        """One pruning entry per matching query term, bounds memoised.
+
+        With ``shard`` set the expand/refine walks run over per-shard
+        postings sub-maps (one memoised split per field) while idf
+        weights, contribution bounds and the union block grid stay
+        derived from the full lists — sound for any subset, and shared
+        across the shard workers.  Terms with no postings in the shard
+        contribute no entry.
+        """
         support = self._index.scoring_support()
         statistics = support.statistics
         params = self._params
@@ -481,7 +653,7 @@ class BM25FScorer:
         ]
         entries: list[SparseTermEntry] = []
         for term in query.all_terms():
-            components = [
+            full_components = [
                 (
                     weight,
                     support.postings_frequencies(field, term),
@@ -490,11 +662,28 @@ class BM25FScorer:
                 )
                 for field, weight in weighted_fields
             ]
-            if not any(frequencies for _, frequencies, _, _ in components):
+            if not any(frequencies for _, frequencies, _, _ in full_components):
                 continue
             weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
             if weight_idf == 0.0:
                 continue  # zero everywhere: stays in the zero-scored tail
+            components = full_components
+            if shard is not None:
+                components = [
+                    (
+                        weight,
+                        _shard_postings(
+                            statistics, field, term, frequencies, self._shards
+                        )[shard],
+                        lengths,
+                        avg_len,
+                    )
+                    for (weight, frequencies, lengths, avg_len), (field, _) in zip(
+                        full_components, weighted_fields
+                    )
+                ]
+                if not any(frequencies for _, frequencies, _, _ in components):
+                    continue
 
             def weighted_tf_bound(term: str = term) -> float:
                 bound = 0.0
@@ -563,7 +752,7 @@ class BM25FScorer:
                 )
                 continue
 
-            def block_wtf_bounds(term: str = term, components=components) -> tuple:
+            def block_wtf_bounds(term: str = term, components=full_components) -> tuple:
                 # Blocks over the *union* of the fields' postings: the
                 # per-field grids differ, so per-block field maxima are
                 # taken over the actual documents of each union block
@@ -653,11 +842,20 @@ class BM25FScorer:
         """
         if top_k <= 0:
             return []
-        entries = self._sparse_entries(query)
-        survivors = maxscore_sparse(
-            entries, top_k, self._pruning_stats, blockmax=self._pruning == "blockmax"
-        )
-        to_rescore = select_survivors(survivors, top_k)
+        blockmax = self._pruning == "blockmax"
+        if self._shards > 1:
+            to_rescore = _sharded_sparse_survivors(
+                lambda shard: self._sparse_entries(query, shard=shard),
+                self._shards,
+                top_k,
+                self._pruning_stats,
+                blockmax,
+            )
+        else:
+            survivors = maxscore_sparse(
+                self._sparse_entries(query), top_k, self._pruning_stats, blockmax=blockmax
+            )
+            to_rescore = select_survivors(survivors, top_k)
         self._pruning_stats.rescored += len(to_rescore)
         support = self._index.scoring_support()
         weighted_fields = [

@@ -6,14 +6,28 @@ facade (and the examples) can use:
 
 >>> engine = SearchEngine.from_graph(kg)
 >>> hits = engine.search("forrest gump")
+
+Concurrency contract (snapshot-isolated serving): queries capture one
+scorer (and with it one index instance) when they start and score against
+it to completion.  Mutations never touch a published index — ``build()``
+constructs a fresh index and :meth:`add_entity` derives a copy-on-write
+successor (:meth:`~repro.index.fielded_index.FieldedIndex.with_added_document`)
+— then swap it in atomically under the engine's mutation lock.  In-flight
+queries therefore finish on the epoch they started on while mutations
+proceed, and the LRU result cache keys on the index instance
+(``uid, epoch``), so a result computed against an old snapshot can never
+be served for a new one.
 """
 
 from __future__ import annotations
 
+import threading
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..config import SearchConfig
-from ..index import FieldedIndex
+from ..exec import dedupe_batch
+from ..index import FieldedIndex, ShardedFieldedIndex
 from ..kg import KnowledgeGraph
 from ..utils import LRUCache
 from .bm25 import BM25FScorer, BM25FieldScorer
@@ -50,14 +64,25 @@ class SearchEngine:
         self._graph = graph
         self._config = config or SearchConfig()
         self._documents: dict[str, FieldedEntityDocument] = {}
-        self._index = FieldedIndex(self._config.fields)
+        self._index = self._new_index()
         self._scorer: MixtureLanguageModelScorer | None = None
-        #: LRU query-result cache: keyed by the parsed query, requested k and
-        #: the index epoch (so direct index mutations can never serve stale
-        #: hits); cleared explicitly on every engine-level mutation.
+        #: Serialises mutations (build / add_entity): each one publishes a
+        #: fresh index instance, so concurrent queries keep scoring their
+        #: captured snapshot.
+        self._mutation_lock = threading.Lock()
+        #: LRU query-result cache: keyed by the parsed query, requested k
+        #: and the index *instance* (uid + epoch, so neither mutations nor
+        #: rebuilds can ever serve stale hits); cleared explicitly on
+        #: every engine-level mutation.
         self._result_cache: LRUCache[tuple[object, ...], tuple[SearchHit, ...]] = LRUCache(
             self._config.result_cache_size
         )
+
+    def _new_index(self) -> FieldedIndex:
+        """An empty index matching the configuration's shard layout."""
+        if self._config.shards > 1:
+            return ShardedFieldedIndex(self._config.fields, self._config.shards)
+        return FieldedIndex(self._config.fields)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -70,28 +95,43 @@ class SearchEngine:
         return engine
 
     def build(self) -> "SearchEngine":
-        """(Re)build the index from the graph's current contents."""
-        self._documents = build_all_documents(self._graph)
-        self._index = FieldedIndex(self._config.fields)
-        for entity_id, document in self._documents.items():
-            self._index.add_document(entity_id, analyze_document(document))
-        self._scorer = MixtureLanguageModelScorer(self._index, self._config)
-        self._result_cache.clear()
+        """(Re)build the index from the graph's current contents.
+
+        The replacement index is fully constructed before the atomic swap,
+        so concurrent queries keep their pre-rebuild snapshot throughout.
+        """
+        with self._mutation_lock:
+            documents = build_all_documents(self._graph)
+            index = self._new_index()
+            for entity_id, document in documents.items():
+                index.add_document(entity_id, analyze_document(document))
+            self._documents = documents
+            self._scorer = MixtureLanguageModelScorer(index, self._config)
+            self._index = index
+            self._result_cache.clear()
         return self
 
     def add_entity(self, entity_id: str) -> None:
-        """Index (or re-index) one entity after the graph changed."""
-        document = build_entity_document(self._graph, entity_id)
-        self._documents[entity_id] = document
-        self._index.add_document(entity_id, analyze_document(document))
-        self._result_cache.clear()
+        """Index (or re-index) one entity after the graph changed.
+
+        Copy-on-write: the published index is never mutated — a successor
+        carrying the document is derived and swapped in, so queries
+        holding the old snapshot finish untouched.
+        """
+        with self._mutation_lock:
+            document = build_entity_document(self._graph, entity_id)
+            self._documents[entity_id] = document
+            index = self._index.with_added_document(entity_id, analyze_document(document))
+            self._scorer = MixtureLanguageModelScorer(index, self._config)
+            self._index = index
+            self._result_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
     @property
     def index(self) -> FieldedIndex:
-        """The underlying fielded inverted index."""
+        """The underlying fielded inverted index (the current snapshot)."""
         return self._index
 
     @property
@@ -109,10 +149,12 @@ class SearchEngine:
         return self._index.num_documents
 
     def _require_scorer(self) -> MixtureLanguageModelScorer:
-        if self._scorer is None:
+        scorer = self._scorer
+        if scorer is None:
             self.build()
-        assert self._scorer is not None
-        return self._scorer
+            scorer = self._scorer
+        assert scorer is not None
+        return scorer
 
     @property
     def mlm_scorer(self) -> MixtureLanguageModelScorer:
@@ -125,13 +167,56 @@ class SearchEngine:
     def search(self, query: str | KeywordQuery, top_k: int | None = None) -> list[SearchHit]:
         """Retrieve the top-k entities for a keyword query.
 
-        Repeated queries are served from an LRU result cache; the cache key
-        includes the index epoch and the cache is cleared by :meth:`build`
-        and :meth:`add_entity`, so mutations always invalidate it.
+        Repeated queries are served from an LRU result cache; the cache
+        key includes the captured index instance (uid and epoch) and the
+        cache is cleared by :meth:`build` and :meth:`add_entity`, so
+        mutations always invalidate it.  The whole query runs against the
+        scorer captured here — a concurrent mutation swaps in a new
+        snapshot without disturbing it.
         """
         parsed = query if isinstance(query, KeywordQuery) else parse_query(query)
-        scorer = self._require_scorer()  # may (re)build the index: key needs the final epoch
-        key = self._cache_key(parsed, top_k)
+        scorer = self._require_scorer()  # may (re)build; captures one snapshot
+        return self._search_with(scorer, parsed, top_k)
+
+    def search_many(
+        self, queries: Sequence[str | KeywordQuery], top_k: int | None = None
+    ) -> list[list[SearchHit]]:
+        """Answer a batch of keyword queries (one result list per query).
+
+        The whole batch runs against a single captured snapshot, so the
+        per-epoch memoisation (statistics, scorer bounds, block grids)
+        warms on the first miss and serves the rest, and *identical*
+        queries inside the batch are computed once and fanned back out.
+        Results are byte-identical to issuing the queries one at a time.
+        """
+        parsed = [
+            query if isinstance(query, KeywordQuery) else parse_query(query)
+            for query in queries
+        ]
+        scorer = self._require_scorer()
+        requested = top_k or self._config.top_k
+
+        def key_of(query: KeywordQuery) -> tuple[object, ...]:
+            restrictions = tuple(
+                (field, terms) for field, terms in query.field_restrictions.items()
+            )
+            return (query.terms, restrictions, requested)
+
+        results = dedupe_batch(
+            parsed, key_of, lambda query: self._search_with(scorer, query, top_k)
+        )
+        # Fresh list per position: duplicate queries share hit tuples, not
+        # the caller-mutable list object.
+        return [list(hits) for hits in results]
+
+    def _search_with(
+        self,
+        scorer: MixtureLanguageModelScorer,
+        parsed: KeywordQuery,
+        top_k: int | None,
+    ) -> list[SearchHit]:
+        """One query against one captured scorer snapshot, LRU-backed."""
+        key = self._cache_key(parsed, top_k, scorer.index)
         if key is not None:
             cached = self._result_cache.get(key)
             if cached is not None:
@@ -142,15 +227,27 @@ class SearchEngine:
         return hits
 
     def _cache_key(
-        self, parsed: KeywordQuery, top_k: int | None
+        self, parsed: KeywordQuery, top_k: int | None, index: FieldedIndex
     ) -> tuple[object, ...] | None:
-        """The result-cache key for a parsed query, or ``None`` when disabled."""
+        """The result-cache key for a parsed query, or ``None`` when disabled.
+
+        Keys carry the index snapshot's ``(uid, epoch)`` pair: the uid
+        separates rebuilt / copy-on-write instances whose epoch counters
+        coincide, so a result computed against an older snapshot can never
+        be served for a newer one.
+        """
         if self._config.result_cache_size <= 0:
             return None
         restrictions = tuple(
             (field, terms) for field, terms in parsed.field_restrictions.items()
         )
-        return (parsed.terms, restrictions, top_k or self._config.top_k, self._index.epoch)
+        return (
+            parsed.terms,
+            restrictions,
+            top_k or self._config.top_k,
+            index.uid,
+            index.epoch,
+        )
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the LRU result cache."""
@@ -177,11 +274,21 @@ class SearchEngine:
     # ------------------------------------------------------------------ #
     def bm25f_scorer(self) -> BM25FScorer:
         """A BM25F scorer over the same index and field weights."""
-        return BM25FScorer(self._index, self._config.field_weights, pruning=self._config.pruning)
+        return BM25FScorer(
+            self._index,
+            self._config.field_weights,
+            pruning=self._config.pruning,
+            shards=self._config.shards,
+        )
 
     def bm25_names_scorer(self) -> BM25FieldScorer:
         """A plain BM25 scorer restricted to the names field."""
-        return BM25FieldScorer(self._index, "names", pruning=self._config.pruning)
+        return BM25FieldScorer(
+            self._index,
+            "names",
+            pruning=self._config.pruning,
+            shards=self._config.shards,
+        )
 
     def single_field_scorer(self, field: str = "names") -> SingleFieldScorer:
         """A query-likelihood scorer over a single field."""

@@ -25,11 +25,19 @@ from collections.abc import Iterable, Mapping, MutableMapping, Sequence
 from dataclasses import dataclass
 
 from ..config import PRUNED_MODES, SearchConfig
+from ..exec import (
+    default_executor,
+    merge_shard_maps,
+    merge_shard_stats,
+    partition_candidates,
+)
 from ..index import FieldedIndex, select_top_k
 from ..index.scoring_support import ScoringSupport
 from ..topk import (
     DenseTermEntry,
     PruningStats,
+    SELECTION_MARGIN,
+    SharedThreshold,
     maxscore_dense,
     select_survivors,
     threshold_of,
@@ -41,31 +49,22 @@ from .query import KeywordQuery
 
 def _accumulate_mixture_term(
     accumulators: MutableMapping[str, float],
-    term: str,
-    weighted_fields: Sequence[tuple[str, float]],
-    support: ScoringSupport,
+    components: Sequence[tuple[float, Mapping[str, int], Mapping[str, int], float]],
     smoothing: SmoothingParams,
 ) -> None:
     """Add one term's log mixture probability to every open accumulator.
 
-    The per-(field, term) statistics — posting frequencies, document-length
-    arrays and the smoothing mass ``mu * p(t|C)`` (resp. ``lambda * p(t|C)``)
-    — are resolved once here, then reused across all candidate documents.
+    ``components`` carries the per-(field, term) statistics — posting
+    frequencies, document-length arrays and the smoothing mass
+    ``mu * p(t|C)`` (resp. ``lambda * p(t|C)``) — resolved once per query
+    term by :func:`_term_components` and reused across all candidate
+    documents (and, in the sharded fan-out, across every shard worker).
     The arithmetic mirrors :func:`~repro.search.language_model.smoothed_probability`
     operation-for-operation so accumulator scores match exhaustive scores
     exactly.
     """
     if smoothing.method == "dirichlet":
         mu = smoothing.dirichlet_mu
-        components = [
-            (
-                weight,
-                support.postings_frequencies(field, term),
-                support.field_lengths(field),
-                mu * support.collection_probability(field, term),
-            )
-            for field, weight in weighted_fields
-        ]
         for doc_id, partial in accumulators.items():
             probability = 0.0
             for weight, frequencies, lengths, mass in components:
@@ -74,17 +73,7 @@ def _accumulate_mixture_term(
                 )
             accumulators[doc_id] = partial + log_probability(probability)
     else:  # jelinek-mercer
-        lam = smoothing.jm_lambda
-        one_minus_lam = 1.0 - lam
-        components = [
-            (
-                weight,
-                support.postings_frequencies(field, term),
-                support.field_lengths(field),
-                lam * support.collection_probability(field, term),
-            )
-            for field, weight in weighted_fields
-        ]
+        one_minus_lam = 1.0 - smoothing.jm_lambda
         for doc_id, partial in accumulators.items():
             probability = 0.0
             for weight, frequencies, lengths, mass in components:
@@ -301,9 +290,7 @@ def _prime_threshold(
 def _accumulate_mixture_term_pruned(
     accumulators: MutableMapping[str, float],
     cut: float,
-    term: str,
-    weighted_fields: Sequence[tuple[str, float]],
-    support: ScoringSupport,
+    components: Sequence[tuple[float, Mapping[str, int], Mapping[str, int], float]],
     smoothing: SmoothingParams,
 ) -> MutableMapping[str, float]:
     """The fused pruning variant of :func:`_accumulate_mixture_term`.
@@ -315,20 +302,11 @@ def _accumulate_mixture_term_pruned(
     of every document.
     """
     if cut == float("-inf"):
-        _accumulate_mixture_term(accumulators, term, weighted_fields, support, smoothing)
+        _accumulate_mixture_term(accumulators, components, smoothing)
         return accumulators
     doomed: list[str] = []
     if smoothing.method == "dirichlet":
         mu = smoothing.dirichlet_mu
-        components = [
-            (
-                weight,
-                support.postings_frequencies(field, term),
-                support.field_lengths(field),
-                mu * support.collection_probability(field, term),
-            )
-            for field, weight in weighted_fields
-        ]
         for doc_id, partial in accumulators.items():
             if partial < cut:
                 doomed.append(doc_id)
@@ -340,17 +318,7 @@ def _accumulate_mixture_term_pruned(
                 )
             accumulators[doc_id] = partial + log_probability(probability)
     else:  # jelinek-mercer
-        lam = smoothing.jm_lambda
-        one_minus_lam = 1.0 - lam
-        components = [
-            (
-                weight,
-                support.postings_frequencies(field, term),
-                support.field_lengths(field),
-                lam * support.collection_probability(field, term),
-            )
-            for field, weight in weighted_fields
-        ]
+        one_minus_lam = 1.0 - smoothing.jm_lambda
         for doc_id, partial in accumulators.items():
             if partial < cut:
                 doomed.append(doc_id)
@@ -368,6 +336,57 @@ def _accumulate_mixture_term_pruned(
     for doc_id in doomed:
         del accumulators[doc_id]
     return accumulators
+
+
+def _sharded_dense_survivors(
+    shards: Sequence[Sequence[str]],
+    entries: Sequence[DenseTermEntry],
+    top_k: int,
+    stats: PruningStats,
+    prime_threshold: float,
+) -> list[str]:
+    """Fan the dense traversal out over candidate shards; union the picks.
+
+    Each shard worker runs :func:`maxscore_dense` over its own candidate
+    bucket with a private :class:`PruningStats` (merged afterwards, the
+    logical query counted once) and a slot on the shared θ broadcast —
+    every shard offers its top-k partial-plus-floor bounds and prunes
+    with the k-th best over all offers, which recovers the θ the serial
+    traversal derives from the merged pool (a caller-supplied primed θ
+    seeds the broadcast).
+
+    The merge distinguishes how each shard's traversal ended.  A shard
+    that ran every term pass holds *exact* accumulator values — the same
+    floats the serial walk computes for those candidates — so the exact
+    maps are merged and the top ``k + margin`` selected globally, exactly
+    like the serial epilogue.  A shard that early-stopped (at most
+    ``k + margin`` survivors left) holds possibly-partial values that are
+    only meaningful within its own traversal, so *all* of its survivors
+    join the union wholesale.  Either way the union contains the global
+    top-k, the caller re-scores it exactly, and the final ranking stays
+    byte-identical to the 1-shard path — while the re-scoring bill stays
+    ~``k + margin`` instead of shards × (``k + margin``).
+    """
+    shared = SharedThreshold(top_k, initial=prime_threshold)
+
+    def worker(shard: Sequence[str]) -> tuple[dict[str, float], PruningStats]:
+        local = PruningStats()
+        survivors = maxscore_dense(shard, entries, top_k, local, shared=shared.slot())
+        return survivors, local
+
+    tasks = [lambda shard=shard: worker(shard) for shard in shards if shard]
+    results = default_executor().run(tasks)
+    merge_shard_stats(stats, [local for _, local in results])
+    stop_budget = top_k + SELECTION_MARGIN  # the driver's early-stop bound
+    exact: dict[str, float] = {}
+    union: list[str] = []
+    for survivors, _ in results:
+        if len(survivors) <= stop_budget:
+            union.extend(survivors)
+        else:
+            exact.update(survivors)
+    union.extend(select_survivors(exact, top_k))
+    return union
 
 
 @dataclass(frozen=True)
@@ -403,6 +422,11 @@ class MixtureLanguageModelScorer:
             jm_lambda=self._config.jm_lambda,
         )
         self._pruning_stats = PruningStats()
+
+    @property
+    def index(self) -> FieldedIndex:
+        """The index snapshot this scorer was built over."""
+        return self._index
 
     @property
     def field_weights(self) -> Mapping[str, float]:
@@ -475,47 +499,89 @@ class MixtureLanguageModelScorer:
         ]
         if self._config.pruning in PRUNED_MODES:
             return self._search_maxscore(query, top_k, candidates, support, weighted_fields)
-        accumulators = dict.fromkeys(candidates, 0.0)
-        for term in query.terms:
-            _accumulate_mixture_term(accumulators, term, weighted_fields, support, self._smoothing)
-        for field, terms in query.field_restrictions.items():
-            for term in terms:
-                _accumulate_mixture_term(
-                    accumulators, term, ((field, 1.0),), support, self._smoothing
+        smoothing = self._smoothing
+        per_term = self._per_term_components(query, support, weighted_fields)
+
+        def accumulate(shard: Iterable[str]) -> dict[str, float]:
+            accumulators = dict.fromkeys(shard, 0.0)
+            for components in per_term:
+                _accumulate_mixture_term(accumulators, components, smoothing)
+            return accumulators
+
+        num_shards = self._config.shards
+        if num_shards > 1:
+            # Unpruned fan-out: per-shard accumulation is the identical
+            # arithmetic over a candidate partition, so the merged map
+            # holds exactly the serial path's values.
+            shards = partition_candidates(self._index, candidates, num_shards)
+            accumulators = merge_shard_maps(
+                default_executor().run(
+                    [lambda shard=shard: accumulate(shard) for shard in shards if shard]
                 )
+            )
+        else:
+            accumulators = accumulate(candidates)
         top = select_top_k(accumulators, top_k)
         return [self.score_document(query, doc_id) for doc_id, _ in top]
+
+    def _term_specs(
+        self, query: KeywordQuery, weighted_fields: Sequence[tuple[str, float]]
+    ) -> list[tuple[str, str, Sequence[tuple[str, float]]]]:
+        """The scored terms in scoring order as ``(key, term, fields)``."""
+        specs: list[tuple[str, str, Sequence[tuple[str, float]]]] = [
+            (term, term, weighted_fields) for term in query.terms
+        ]
+        for field, terms in query.field_restrictions.items():
+            restricted = ((field, 1.0),)
+            specs.extend((f"{field}:{term}", term, restricted) for term in terms)
+        return specs
+
+    def _per_term_components(
+        self,
+        query: KeywordQuery,
+        support: ScoringSupport,
+        weighted_fields: Sequence[tuple[str, float]],
+    ) -> list[list[tuple[float, Mapping[str, int], Mapping[str, int], float]]]:
+        """Each scored term's lookup components, resolved once per query.
+
+        Shared by the accumulate passes (every shard worker included), the
+        pruning entries and the exact re-scoring epilogue, so the
+        per-(field, term) statistics are resolved exactly once however
+        many shards fan out.
+        """
+        smoothing = self._smoothing
+        return [
+            _term_components(term, fields, support, smoothing)
+            for _, term, fields in self._term_specs(query, weighted_fields)
+        ]
 
     def _dense_entries(
         self,
         query: KeywordQuery,
         support: ScoringSupport,
         weighted_fields: Sequence[tuple[str, float]],
+        per_term: Sequence[list[tuple[float, Mapping[str, int], Mapping[str, int], float]]],
     ) -> list[DenseTermEntry]:
         """One pruning entry per query term, with mixture bounds attached."""
         bounds = LanguageModelBounds(support, self._smoothing)
         smoothing = self._smoothing
         entries: list[DenseTermEntry] = []
-
-        def entry(key: str, term: str, fields: Sequence[tuple[str, float]]) -> DenseTermEntry:
+        for (key, term, fields), components in zip(
+            self._term_specs(query, weighted_fields), per_term
+        ):
             floor, upper = bounds.mixture_bounds(term, fields)
-            return DenseTermEntry(
-                key=key,
-                floor=floor,
-                upper=upper,
-                accumulate=lambda accumulators, cut, term=term, fields=fields: (
-                    _accumulate_mixture_term_pruned(
-                        accumulators, cut, term, fields, support, smoothing
-                    )
-                ),
+            entries.append(
+                DenseTermEntry(
+                    key=key,
+                    floor=floor,
+                    upper=upper,
+                    accumulate=lambda accumulators, cut, components=components: (
+                        _accumulate_mixture_term_pruned(
+                            accumulators, cut, components, smoothing
+                        )
+                    ),
+                )
             )
-
-        for term in query.terms:
-            entries.append(entry(term, term, weighted_fields))
-        for field, terms in query.field_restrictions.items():
-            restricted = ((field, 1.0),)
-            for term in terms:
-                entries.append(entry(f"{field}:{term}", term, restricted))
         return entries
 
     def _search_maxscore(
@@ -539,23 +605,30 @@ class MixtureLanguageModelScorer:
         with an exact-score threshold instead of the loose
         partial-plus-floor bound.
         """
-        entries = self._dense_entries(query, support, weighted_fields)
         smoothing = self._smoothing
-        per_term = [
-            _term_components(term, weighted_fields, support, smoothing) for term in query.terms
-        ]
-        for field, terms in query.field_restrictions.items():
-            restricted = ((field, 1.0),)
-            per_term.extend(
-                _term_components(term, restricted, support, smoothing) for term in terms
-            )
+        per_term = self._per_term_components(query, support, weighted_fields)
+        entries = self._dense_entries(query, support, weighted_fields, per_term)
+        num_shards = self._config.shards
         prime = NO_THRESHOLD
-        if self._config.pruning == "blockmax" and 4 * top_k < len(candidates):
+        # Sharded traversals always prime: a shard's first passes only see
+        # its own slice of the pool, so the exactly-scored subset pool is
+        # what hands every worker a near-final θ from pass two on (the
+        # serial path reserves priming for blockmax — its partial-plus-
+        # floor θ over the full pool is already decent).
+        if (
+            self._config.pruning == "blockmax" or num_shards > 1
+        ) and 4 * top_k < len(candidates):
             prime = _prime_threshold(per_term, smoothing, top_k)
-        survivors = maxscore_dense(
-            candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
-        )
-        to_rescore = select_survivors(survivors, top_k)
+        if num_shards > 1:
+            shards = partition_candidates(self._index, candidates, num_shards)
+            to_rescore = _sharded_dense_survivors(
+                shards, entries, top_k, self._pruning_stats, prime
+            )
+        else:
+            survivors = maxscore_dense(
+                candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
+            )
+            to_rescore = select_survivors(survivors, top_k)
         self._pruning_stats.rescored += len(to_rescore)
         exact = _rescore_mixture(to_rescore, per_term, smoothing)
         exact.sort(key=_rank_key)
@@ -620,41 +693,64 @@ class SingleFieldScorer:
         support = self._index.scoring_support()
         single_field = ((self._field, 1.0),)
         smoothing = self._smoothing
+        per_term = [
+            _term_components(term, single_field, support, smoothing)
+            for term in query.all_terms()
+        ]
         if self._config.pruning in PRUNED_MODES:
             bounds = LanguageModelBounds(support, smoothing)
             entries: list[DenseTermEntry] = []
-            for term in query.all_terms():
+            for term, components in zip(query.all_terms(), per_term):
                 floor, upper = bounds.mixture_bounds(term, single_field)
                 entries.append(
                     DenseTermEntry(
                         key=term,
                         floor=floor,
                         upper=upper,
-                        accumulate=lambda accumulators, cut, term=term: (
+                        accumulate=lambda accumulators, cut, components=components: (
                             _accumulate_mixture_term_pruned(
-                                accumulators, cut, term, single_field, support, smoothing
+                                accumulators, cut, components, smoothing
                             )
                         ),
                     )
                 )
-            per_term = [
-                _term_components(term, single_field, support, smoothing)
-                for term in query.all_terms()
-            ]
+            num_shards = self._config.shards
             prime = NO_THRESHOLD
-            if self._config.pruning == "blockmax" and 4 * top_k < len(candidates):
+            if (
+                self._config.pruning == "blockmax" or num_shards > 1
+            ) and 4 * top_k < len(candidates):
                 prime = _prime_threshold(per_term, smoothing, top_k)
-            survivors = maxscore_dense(
-                candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
-            )
-            to_rescore = select_survivors(survivors, top_k)
+            if num_shards > 1:
+                shards = partition_candidates(self._index, candidates, num_shards)
+                to_rescore = _sharded_dense_survivors(
+                    shards, entries, top_k, self._pruning_stats, prime
+                )
+            else:
+                survivors = maxscore_dense(
+                    candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
+                )
+                to_rescore = select_survivors(survivors, top_k)
             self._pruning_stats.rescored += len(to_rescore)
             exact = _rescore_mixture(to_rescore, per_term, smoothing)
             exact.sort(key=_rank_key)
             return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
-        accumulators = dict.fromkeys(candidates, 0.0)
-        for term in query.all_terms():
-            _accumulate_mixture_term(accumulators, term, single_field, support, self._smoothing)
+
+        def accumulate(shard: Iterable[str]) -> dict[str, float]:
+            accumulators = dict.fromkeys(shard, 0.0)
+            for components in per_term:
+                _accumulate_mixture_term(accumulators, components, smoothing)
+            return accumulators
+
+        num_shards = self._config.shards
+        if num_shards > 1:
+            shards = partition_candidates(self._index, candidates, num_shards)
+            accumulators = merge_shard_maps(
+                default_executor().run(
+                    [lambda shard=shard: accumulate(shard) for shard in shards if shard]
+                )
+            )
+        else:
+            accumulators = accumulate(candidates)
         top = select_top_k(accumulators, top_k)
         return [self.score_document(query, doc_id) for doc_id, _ in top]
 

@@ -33,7 +33,15 @@ from .bounds import (
     ScorerBounds,
     SparseTermEntry,
 )
-from .heap import ThresholdHeap, safety_slack, threshold_of
+from .heap import (
+    NO_THRESHOLD,
+    SharedThreshold,
+    SharedThresholdSlot,
+    ThresholdHeap,
+    safety_slack,
+    threshold_of,
+    top_k_bounds,
+)
 from .maxscore import (
     SELECTION_MARGIN,
     maxscore_dense,
@@ -45,9 +53,12 @@ from .stats import PruningStats
 __all__ = [
     "BlockedSparseTermEntry",
     "DenseTermEntry",
+    "NO_THRESHOLD",
     "PruningStats",
     "SELECTION_MARGIN",
     "ScorerBounds",
+    "SharedThreshold",
+    "SharedThresholdSlot",
     "SparseTermEntry",
     "ThresholdHeap",
     "maxscore_dense",
@@ -55,4 +66,5 @@ __all__ = [
     "safety_slack",
     "select_survivors",
     "threshold_of",
+    "top_k_bounds",
 ]

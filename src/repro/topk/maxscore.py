@@ -24,7 +24,13 @@ from bisect import bisect_left
 from collections.abc import Iterable, Mapping, Sequence
 
 from .bounds import BlockedSparseTermEntry, DenseTermEntry, SparseTermEntry
-from .heap import NO_THRESHOLD, safety_slack, threshold_of
+from .heap import (
+    NO_THRESHOLD,
+    SharedThresholdSlot,
+    safety_slack,
+    threshold_of,
+    top_k_bounds,
+)
 from .stats import PruningStats
 
 #: Extra survivors selected beyond k before the exact re-scoring pass.
@@ -64,6 +70,7 @@ def maxscore_dense(
     stats: PruningStats,
     margin: int = SELECTION_MARGIN,
     prime_threshold: float = NO_THRESHOLD,
+    shared: SharedThresholdSlot | None = None,
 ) -> dict[str, float]:
     """Threshold-pruned dense traversal (smoothing language models).
 
@@ -84,6 +91,14 @@ def maxscore_dense(
     It is sound whenever it is witnessed by ``top_k`` real candidates'
     final scores, and tightens θ on the early passes where the
     partial-plus-floor bound is loose.
+
+    ``shared`` is this worker's slot on the cross-shard θ broadcast of
+    the sharded execution layer: after each pass the driver offers its
+    top-k partial-plus-floor lower bounds (distinct shard candidates —
+    see :class:`~repro.topk.heap.SharedThreshold` for why whole lists
+    compose where scalar k-th bests do not) and prunes with the global
+    θ over every shard's offer, so the cut matches what the serial
+    traversal would derive from the merged pool.
 
     ``candidates_total`` counts every candidate entering the traversal —
     the dense driver opens all accumulators up front, so unlike the
@@ -125,13 +140,20 @@ def maxscore_dense(
             # below θ is dropped by the final selection instead.
             cut = NO_THRESHOLD
             continue
-        threshold = threshold_of(accumulators.values(), top_k)
-        if threshold == NO_THRESHOLD:
-            total = prime_threshold
-        else:
-            total = threshold + rem_floor
+        if shared is not None:
+            total = shared.offer(
+                [bound + rem_floor for bound in top_k_bounds(accumulators.values(), top_k)]
+            )
             if prime_threshold > total:
                 total = prime_threshold
+        else:
+            threshold = threshold_of(accumulators.values(), top_k)
+            if threshold == NO_THRESHOLD:
+                total = prime_threshold
+            else:
+                total = threshold + rem_floor
+                if prime_threshold > total:
+                    total = prime_threshold
         if total == NO_THRESHOLD:
             cut = NO_THRESHOLD
             continue
@@ -144,6 +166,7 @@ def maxscore_sparse(
     top_k: int,
     stats: PruningStats,
     blockmax: bool = False,
+    shared: SharedThresholdSlot | None = None,
 ) -> dict[str, float]:
     """Threshold-pruned sparse traversal (BM25-family scorers).
 
@@ -164,6 +187,13 @@ def maxscore_sparse(
     the block boundaries, and a survivor whose partial plus the *block*
     upper bound plus the remaining terms' bound cannot reach θ is evicted
     without ever probing the postings (see :func:`_gallop_refine`).
+
+    ``shared`` is this worker's slot on the sharded execution layer's
+    cross-shard θ broadcast (see :func:`maxscore_dense`): the shard's
+    current top-k accumulators are offered after every pass — shorter
+    offers included, since a shard with three matches still contributes
+    three witnesses to the global pool — and the global θ over every
+    shard's offer drives the OR→AND switch and the evictions.
     """
     accumulators: dict[str, float] = {}
     stats.queries += 1
@@ -179,6 +209,8 @@ def maxscore_sparse(
     threshold = NO_THRESHOLD
     for position, index in enumerate(order):
         entry = entries[index]
+        if shared is not None and shared.value > threshold:
+            threshold = shared.value
         cut = (
             threshold - safety_slack(threshold)
             if threshold != NO_THRESHOLD
@@ -197,6 +229,7 @@ def maxscore_sparse(
                     top_k,
                     threshold,
                     stats,
+                    shared=shared,
                 )
                 return accumulators
             entry.refine(accumulators)
@@ -211,17 +244,24 @@ def maxscore_sparse(
             # documents added by one pass and evicted before the next.
             stats.candidates_total += len(accumulators) - before
         rem_upper = remaining_upper[position + 1]
-        if len(accumulators) > top_k:
+        refreshed = False
+        if shared is not None:
+            offered = shared.offer(top_k_bounds(accumulators.values(), top_k))
+            if offered > threshold:
+                threshold = offered
+            refreshed = True
+        elif len(accumulators) > top_k:
             threshold = threshold_of(accumulators.values(), top_k)
-            if threshold != NO_THRESHOLD and position + 1 < len(order):
-                cut = threshold - safety_slack(threshold) - rem_upper
-                before = len(accumulators)
-                accumulators = {
-                    doc_id: partial
-                    for doc_id, partial in accumulators.items()
-                    if partial >= cut
-                }
-                stats.candidates_pruned += before - len(accumulators)
+            refreshed = True
+        if refreshed and threshold != NO_THRESHOLD and position + 1 < len(order):
+            cut = threshold - safety_slack(threshold) - rem_upper
+            before = len(accumulators)
+            accumulators = {
+                doc_id: partial
+                for doc_id, partial in accumulators.items()
+                if partial >= cut
+            }
+            stats.candidates_pruned += before - len(accumulators)
     return accumulators
 
 
@@ -233,6 +273,7 @@ def _gallop_refine(
     top_k: int,
     threshold: float,
     stats: PruningStats,
+    shared: SharedThresholdSlot | None = None,
 ) -> None:
     """AND-mode block-max refinement over the surviving accumulators.
 
@@ -249,6 +290,8 @@ def _gallop_refine(
     survivors = sorted(accumulators)
     for offset, entry in enumerate(remaining):
         stats.terms_skipped += 1
+        if shared is not None and shared.value > threshold:
+            threshold = shared.value
         cut = threshold - safety_slack(threshold)
         if not isinstance(entry, BlockedSparseTermEntry) or not entry.block_lasts:
             entry.refine(accumulators)
@@ -287,7 +330,11 @@ def _gallop_refine(
                         accumulators[doc_id] += value
             stats.blocks_skipped += num_blocks - probed
             stats.candidates_pruned += evicted
-        if len(accumulators) > top_k:
+        if shared is not None:
+            offered = shared.offer(top_k_bounds(accumulators.values(), top_k))
+            if offered > threshold:
+                threshold = offered
+        elif len(accumulators) > top_k:
             refreshed = threshold_of(accumulators.values(), top_k)
             if refreshed > threshold:
                 threshold = refreshed

@@ -4,13 +4,18 @@ Both engines used to hand-roll the same ``OrderedDict`` LRU with hit/miss
 counters, a ``cache_info()`` report and epoch-based invalidation; this
 class keeps the two eviction/stats paths in sync (ROADMAP open item).
 
-The cache is deliberately *not* thread-safe and stores values by
-reference: engines are expected to cache immutable payloads (tuples,
-frozen dataclasses, read-only mappings).
+The cache is thread-safe: every operation runs under one internal mutex,
+so concurrent readers hammering ``get``/``put`` while a mutation thread
+calls ``clear``/``sync_epoch`` can neither corrupt the ``OrderedDict``
+(whose recency moves are multi-step) nor observe a half-applied epoch
+change, and ``cache_info()`` reads one consistent counter snapshot.
+Values are stored by reference: engines are expected to cache immutable
+payloads (tuples, frozen dataclasses, read-only mappings).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 from typing import Generic, TypeVar
@@ -33,7 +38,7 @@ class LRUCache(Generic[K, V]):
     configuration contract.
     """
 
-    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_epoch")
+    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_epoch", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 0:
@@ -44,6 +49,7 @@ class LRUCache(Generic[K, V]):
         self._misses = 0
         #: Epoch the entries are valid for (see :meth:`sync_epoch`).
         self._epoch: int | None = None
+        self._lock = threading.Lock()
 
     @property
     def maxsize(self) -> int:
@@ -56,30 +62,45 @@ class LRUCache(Generic[K, V]):
         A stored value of ``None`` is a hit (indistinguishable from a miss
         by return value alone, but counted and recency-refreshed as a hit).
         """
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            return None
-        self._data.move_to_end(key)
-        self._hits += 1
-        return value  # type: ignore[return-value]
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value  # type: ignore[return-value]
 
     def peek(self, key: K) -> V | None:
         """The cached value without touching recency or counters."""
-        return self._data.get(key)
+        with self._lock:
+            return self._data.get(key)
 
-    def put(self, key: K, value: V) -> None:
-        """Store a value, evicting the least recently used past ``maxsize``."""
+    def put(self, key: K, value: V, epoch: int | None = None) -> bool:
+        """Store a value, evicting the least recently used past ``maxsize``.
+
+        With ``epoch`` given, the store only happens when the cache is
+        still synced to that epoch — the atomic compare-and-put a
+        concurrent writer needs: a result computed against an old
+        snapshot is silently dropped instead of being published into a
+        cache that a mutation (via :meth:`sync_epoch`) has since moved
+        on.  Returns whether the value was stored.
+        """
         if self._maxsize <= 0:
-            return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self._maxsize:
-            self._data.popitem(last=False)
+            return False
+        with self._lock:
+            if epoch is not None and self._epoch is not None and epoch != self._epoch:
+                return False
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+            return True
 
     def clear(self) -> None:
         """Drop every entry; hit/miss counters are kept."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def sync_epoch(self, epoch: int) -> bool:
         """Clear the cache when ``epoch`` moved since the last sync.
@@ -89,26 +110,34 @@ class LRUCache(Generic[K, V]):
         invalidate all entries.  Returns ``True`` when the cache was
         cleared.
         """
-        if self._epoch is None:
-            self._epoch = epoch
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = epoch
+                return False
+            if epoch != self._epoch:
+                self._data.clear()
+                self._epoch = epoch
+                return True
             return False
-        if epoch != self._epoch:
-            self._data.clear()
-            self._epoch = epoch
-            return True
-        return False
 
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss counters and occupancy (``cache_info()`` convention)."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "size": len(self._data),
-            "maxsize": self._maxsize,
-        }
+        """Hit/miss counters and occupancy (``cache_info()`` convention).
+
+        The report is taken under the mutex, so the counters and the size
+        belong to one consistent moment even while other threads mutate.
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._data),
+                "maxsize": self._maxsize,
+            }
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data

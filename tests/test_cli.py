@@ -151,3 +151,57 @@ class TestPruningFlags:
         assert config.search.pruning == "blockmax"
         assert config.ranking.pruning == "blockmax"
         assert build_config(None).search.pruning == "maxscore"
+
+
+class TestShardAndBatchFlags:
+    """The PR 5 ``--shards`` / ``search --batch`` operator surface."""
+
+    def run(self, *argv: str) -> int:
+        return main(["--dataset", "movies-small", *argv])
+
+    @pytest.mark.parametrize("shards", ["1", "2", "4"])
+    def test_search_identical_across_shard_counts(self, shards, capsys):
+        assert self.run("--shards", shards, "search", "forrest gump", "--top-k", "3") == 0
+        out = capsys.readouterr().out
+        assert "Forrest Gump" in out
+
+    def test_shards_apply_to_recommendation(self, capsys):
+        assert self.run("--shards", "3", "recommend", "dbr:Forrest_Gump") == 0
+        out = capsys.readouterr().out
+        assert "entities:" in out
+
+    def test_invalid_shard_count_is_an_error(self, capsys):
+        assert self.run("--shards", "0", "search", "gump") == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_reads_one_query_per_line(self, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("forrest gump\n\ntom hanks\nforrest gump\n")
+        assert self.run("search", "--batch", str(batch), "--top-k", "2") == 0
+        out = capsys.readouterr().out
+        # Three non-blank queries, each echoed with its own hit block.
+        assert out.count("query:") == 3
+        assert out.count("query: forrest gump") == 2
+        assert "Forrest Gump" in out
+
+    def test_batch_with_shards_matches_serial_output(self, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("forrest gump\ntom hanks\n")
+        assert self.run("search", "--batch", str(batch), "--top-k", "3") == 0
+        serial_out = capsys.readouterr().out
+        assert self.run("--shards", "3", "search", "--batch", str(batch), "--top-k", "3") == 0
+        sharded_out = capsys.readouterr().out
+        assert sharded_out == serial_out
+
+    def test_batch_empty_input(self, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("\n\n")
+        assert self.run("search", "--batch", str(batch)) == 0
+        assert "no queries" in capsys.readouterr().out
+
+    def test_batch_reads_stdin_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("forrest gump\n"))
+        assert self.run("search", "--batch", "-", "--top-k", "2") == 0
+        assert "query: forrest gump" in capsys.readouterr().out

@@ -105,3 +105,21 @@ class TestExceptionHierarchy:
         error = EntityNotFoundError("dbr:X")
         assert error.entity_id == "dbr:X"
         assert "dbr:X" in str(error)
+
+
+class TestShardConfig:
+    """The PR 5 ``shards`` knob on both engine configurations."""
+
+    def test_default_is_single_shard(self):
+        assert SearchConfig().shards == 1
+        assert RankingConfig().shards == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchConfig(shards=0)
+        with pytest.raises(ValueError):
+            RankingConfig(shards=-1)
+
+    def test_with_override(self):
+        assert SearchConfig().with_(shards=4).shards == 4
+        assert RankingConfig().with_(shards=3).shards == 3

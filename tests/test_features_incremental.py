@@ -17,10 +17,11 @@ from repro.kg import KnowledgeGraph
 
 
 def _assert_index_equals_fresh(index: SemanticFeatureIndex, graph: KnowledgeGraph) -> None:
-    index.epoch  # trigger the lazy refresh before inspecting internals
+    snapshot = index.snapshot()  # trigger the lazy refresh before inspecting
     fresh = SemanticFeatureIndex.build(graph)
-    assert index._entity_features == fresh._entity_features
-    assert dict(index._feature_entities) == dict(fresh._feature_entities)
+    fresh_snapshot = fresh.snapshot()
+    assert snapshot.entity_features == fresh_snapshot.entity_features
+    assert snapshot.feature_entities == fresh_snapshot.feature_entities
     for feature in fresh.all_features()[:25]:
         for type_id in sorted(graph.types())[:5]:
             assert index.type_conditional_count(feature, type_id) == (
@@ -115,7 +116,7 @@ class TestDeltaEqualsFullRebuildProperty:
             target = entities[(kg_seed + 3 * number + 1) % len(entities)]
             graph.add(source, f"ex:delta_rel_{number % 2}", target)
             graph.add_type(source, "ex:DeltaType")
-        index.epoch
-        fresh = SemanticFeatureIndex.build(graph)
-        assert index._entity_features == fresh._entity_features
-        assert dict(index._feature_entities) == dict(fresh._feature_entities)
+        snapshot = index.snapshot()
+        fresh = SemanticFeatureIndex.build(graph).snapshot()
+        assert snapshot.entity_features == fresh.entity_features
+        assert snapshot.feature_entities == fresh.feature_entities

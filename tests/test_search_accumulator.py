@@ -413,8 +413,14 @@ class TestCachedStatisticsComponents:
         epoch = index.epoch
         tiny_kg.add_label("ex:NEW", "New Entity")
         engine.add_entity("ex:NEW")
-        assert index.epoch > epoch
-        assert index.statistics().num_documents == index.num_documents
+        # Mutations publish a copy-on-write successor (snapshot isolation):
+        # the captured instance is untouched, the engine's current index
+        # carries the advanced epoch and fresh statistics.
+        assert index.epoch == epoch
+        assert engine.index is not index
+        assert engine.index.epoch > epoch
+        assert engine.index.statistics().num_documents == engine.index.num_documents
+        assert "ex:NEW" not in index
 
 
 class TestTopKSelection:

@@ -101,3 +101,84 @@ class TestLRUCache:
         cache.put("c", 3)
         assert "b" not in cache
         assert cache.get("a") == 10
+
+
+class TestEpochGuardedPut:
+    def test_put_rejected_when_epoch_moved(self):
+        cache: LRUCache[str, int] = LRUCache(4)
+        cache.sync_epoch(1)
+        assert cache.put("a", 1, epoch=1)
+        # A concurrent mutation moved the cache on; the stale result is
+        # atomically dropped instead of masquerading as a fresh entry.
+        cache.sync_epoch(2)
+        assert not cache.put("b", 2, epoch=1)
+        assert "a" not in cache  # cleared by the sync
+        assert "b" not in cache
+
+    def test_put_without_epoch_is_unconditional(self):
+        cache: LRUCache[str, int] = LRUCache(4)
+        cache.sync_epoch(1)
+        cache.sync_epoch(2)
+        assert cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_put_with_epoch_before_any_sync_stores(self):
+        cache: LRUCache[str, int] = LRUCache(4)
+        assert cache.put("a", 1, epoch=7)
+        assert cache.get("a") == 1
+
+
+class TestThreadSafety:
+    """Satellite of PR 5: the cache must survive concurrent hammering."""
+
+    def test_concurrent_get_put_clear_consistent(self):
+        import threading
+
+        cache: LRUCache[int, int] = LRUCache(32)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def hammer(seed: int):
+            try:
+                for i in range(4000):
+                    key = (seed * 31 + i) % 64
+                    cache.put(key, i)
+                    cache.get(key)
+                    cache.get(key + 1)
+                    if i % 512 == 0:
+                        cache.clear()
+                    if i % 257 == 0:
+                        cache.sync_epoch(i)
+                    len(cache)
+                    cache.cache_info()
+            except BaseException as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+                stop.set()
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        info = cache.cache_info()
+        # Six threads, 4000 iterations, two gets each: every get counted
+        # exactly once as a hit or a miss — no lost updates.
+        assert info["hits"] + info["misses"] == 6 * 4000 * 2
+        assert info["size"] <= info["maxsize"]
+
+    def test_concurrent_puts_never_exceed_maxsize(self):
+        import threading
+
+        cache: LRUCache[int, int] = LRUCache(8)
+
+        def fill(base: int):
+            for i in range(2000):
+                cache.put(base * 10000 + i, i)
+
+        threads = [threading.Thread(target=fill, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 8
