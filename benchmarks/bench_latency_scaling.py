@@ -11,6 +11,13 @@ workload — duplicated ×2, as real traffic repeats queries — through one
 cache-free ``SearchEngine.search_many`` call against the same requests
 issued one at a time (``unbatched``).
 
+Since PR 6 the default engine scores through the columnar postings view
+and vectorized kernels (``repro.index.columnar`` + ``repro.topk.kernels``);
+the ``nocolumnar`` arm runs the identical maxscore traversal through the
+scalar per-posting loops (``columnar=False``), so ``columnar_ratio`` is
+the vectorization payoff at equal semantics.  The plain ``accumulator``
+arm stays scalar too — it is the historical term-at-a-time baseline.
+
 * recommendation latency vs. graph size and seed count (the original E8);
 * keyword-search latency in a five-way A/B: the exhaustive
   score-all-then-sort path (``search_exhaustive``), the plain term-at-a-time
@@ -108,10 +115,19 @@ def measure_search_ab(
     the pruned path's skip counters and an ``identical`` flag confirming
     every scoring path ranked identically.
     """
-    engine = SearchEngine.from_graph(graph)  # pruning="maxscore" by default
+    engine = SearchEngine.from_graph(graph)  # pruning="maxscore", columnar by default
     pruned = engine.mlm_scorer
-    plain = MixtureLanguageModelScorer(engine.index, SearchConfig(pruning="off"))
+    #: The accumulator baseline stays fully scalar (pruning and columnar
+    #: both off) — it is the historical term-at-a-time reference point.
+    plain = MixtureLanguageModelScorer(
+        engine.index, SearchConfig(pruning="off", columnar=False)
+    )
     blockmax = MixtureLanguageModelScorer(engine.index, SearchConfig(pruning="blockmax"))
+    #: The columnar A/B: the same maxscore traversal through the scalar
+    #: per-posting loops.  pruned/nocolumnar is the vectorization payoff.
+    nocolumnar = MixtureLanguageModelScorer(
+        engine.index, SearchConfig(pruning="maxscore", columnar=False)
+    )
     #: The sharded arm: the same maxscore traversal fanned out over
     #: SHARD_COUNT document shards with the cross-shard θ broadcast, on a
     #: properly sharded index (routing maps maintained at indexing time —
@@ -153,6 +169,8 @@ def measure_search_ab(
             identical = False
         if _results_signature(blockmax.search(query, top_k=top_k)) != slow:
             identical = False
+        if _results_signature(nocolumnar.search(query, top_k=top_k)) != slow:
+            identical = False
         if _results_signature(sharded.search(query, top_k=top_k)) != slow:
             identical = False
         engine.search(raw, top_k=top_k)  # warm the LRU so "cached" times hits only
@@ -172,6 +190,8 @@ def measure_search_ab(
                 pruned.search(query, top_k=top_k)
             with watch.measure("blockmax"):
                 blockmax.search(query, top_k=top_k)
+            with watch.measure("nocolumnar"):
+                nocolumnar.search(query, top_k=top_k)
             with watch.measure("sharded"):
                 sharded.search(query, top_k=top_k)
             with watch.measure("bm25_maxscore"):
@@ -192,6 +212,7 @@ def measure_search_ab(
     accumulator = watch.stats("accumulator").as_dict()
     pruned_stats = watch.stats("pruned").as_dict()
     blockmax_stats = watch.stats("blockmax").as_dict()
+    nocolumnar_stats = watch.stats("nocolumnar").as_dict()
     sharded_stats = watch.stats("sharded").as_dict()
     bm25_maxscore_stats = watch.stats("bm25_maxscore").as_dict()
     bm25_blockmax_stats = watch.stats("bm25_blockmax").as_dict()
@@ -217,6 +238,8 @@ def measure_search_ab(
         "pruned_p95_ms": pruned_stats["p95_ms"],
         "blockmax_mean_ms": blockmax_stats["mean_ms"],
         "blockmax_p95_ms": blockmax_stats["p95_ms"],
+        "nocolumnar_mean_ms": nocolumnar_stats["mean_ms"],
+        "nocolumnar_p95_ms": nocolumnar_stats["p95_ms"],
         "sharded_mean_ms": sharded_stats["mean_ms"],
         "sharded_p95_ms": sharded_stats["p95_ms"],
         "shards": SHARD_COUNT,
@@ -230,8 +253,16 @@ def measure_search_ab(
         "speedup_accumulator": _speedup(accumulator["mean_ms"]),
         "speedup_pruned": _speedup(pruned_stats["mean_ms"]),
         "speedup_blockmax": _speedup(blockmax_stats["mean_ms"]),
+        "speedup_nocolumnar": _speedup(nocolumnar_stats["mean_ms"]),
         "speedup_sharded": _speedup(sharded_stats["mean_ms"]),
         "speedup_cached": _speedup(cached["mean_ms"]),
+        # > 1.0 = the columnar kernels beat the scalar loops at equal
+        # semantics (both arms are the serial maxscore traversal).
+        "columnar_ratio": (
+            nocolumnar_stats["mean_ms"] / pruned_stats["mean_ms"]
+            if pruned_stats["mean_ms"] > 0
+            else float("inf")
+        ),
         # 1.0 = the 4-shard arm at 1-shard wall-clock; > 1.0 = ahead.
         "sharded_ratio": (
             pruned_stats["mean_ms"] / sharded_stats["mean_ms"]
@@ -323,12 +354,14 @@ def test_search_accumulator_vs_exhaustive_ab(graphs):
                 "accumulator_ms": row["accumulator_mean_ms"],
                 "pruned_ms": row["pruned_mean_ms"],
                 "blockmax_ms": row["blockmax_mean_ms"],
+                "nocolumnar_ms": row["nocolumnar_mean_ms"],
                 "sharded_ms": row["sharded_mean_ms"],
                 "batched_ms": row["batched_mean_ms"],
                 "cached_ms": row["cached_mean_ms"],
                 "speedup": row["speedup_accumulator"],
                 "speedup_pruned": row["speedup_pruned"],
                 "speedup_blockmax": row["speedup_blockmax"],
+                "columnar_ratio": row["columnar_ratio"],
                 "sharded_ratio": row["sharded_ratio"],
                 "batch_ratio": row["batch_ratio"],
                 "speedup_cached": row["speedup_cached"],
@@ -413,6 +446,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--min-columnar-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless nocolumnar_mean_ms over the columnar maxscore arm's "
+            "mean reaches this at the largest size (1.0 = the vectorized "
+            "kernels at-or-faster than the scalar per-posting loops)"
+        ),
+    )
+    parser.add_argument(
         "--min-batch-ratio",
         type=float,
         default=None,
@@ -437,10 +480,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"entities={row['entities']:>6}  exhaustive={row['exhaustive_mean_ms']:8.3f}ms  "
             f"accumulator={row['accumulator_mean_ms']:8.3f}ms  pruned={row['pruned_mean_ms']:8.3f}ms  "
-            f"blockmax={row['blockmax_mean_ms']:8.3f}ms  sharded={row['sharded_mean_ms']:8.3f}ms  "
+            f"blockmax={row['blockmax_mean_ms']:8.3f}ms  nocolumnar={row['nocolumnar_mean_ms']:8.3f}ms  "
+            f"sharded={row['sharded_mean_ms']:8.3f}ms  "
             f"batched={row['batched_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
             f"speedup={row['speedup_accumulator']:6.2f}x  pruned={row['speedup_pruned']:6.2f}x  "
-            f"blockmax={row['speedup_blockmax']:6.2f}x  shard_ratio={row['sharded_ratio']:5.2f}  "
+            f"blockmax={row['speedup_blockmax']:6.2f}x  columnar_ratio={row['columnar_ratio']:5.2f}  "
+            f"shard_ratio={row['sharded_ratio']:5.2f}  "
             f"batch_ratio={row['batch_ratio']:5.2f}  cached={row['speedup_cached']:8.2f}x  "
             f"identical={row['identical']}"
         )
@@ -449,7 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": "search_latency_scaling",
         "description": (
             "keyword search latency: blockmax vs maxscore-pruned vs accumulator "
-            "vs exhaustive vs LRU-cached (plus a BM25-names blockmax sub-A/B)"
+            "vs exhaustive vs LRU-cached (plus a BM25-names blockmax sub-A/B "
+            "and a columnar-vs-scalar maxscore A/B)"
         ),
         "config": {
             "sizes": sizes,
@@ -490,6 +536,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: sharded ratio {largest['sharded_ratio']:.2f} below required "
             f"{args.min_sharded_ratio:.2f} at {largest['entities']} entities",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_columnar_ratio is not None and largest["columnar_ratio"] < args.min_columnar_ratio:
+        print(
+            f"FAIL: columnar ratio {largest['columnar_ratio']:.2f} below required "
+            f"{args.min_columnar_ratio:.2f} at {largest['entities']} entities",
             file=sys.stderr,
         )
         return 1

@@ -98,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
             "shard count, 1 (the default) is the serial path"
         ),
     )
+    parser.add_argument(
+        "--columnar",
+        default=None,
+        choices=("on", "off"),
+        help=(
+            "score through the columnar postings view and vectorized "
+            "kernels ('on', the default) or the scalar per-posting loops "
+            "('off', the A/B arm); rankings are identical either way"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -174,8 +184,10 @@ def _print_recommendation(system: PivotE, recommendation, top_entities: int, top
         print(f"  {scored.score:10.4f}  {scored.feature.notation()}")
 
 
-def build_config(pruning: str | None, shards: int | None = None) -> PivotEConfig:
-    """The system configuration for the CLI's ``--pruning``/``--shards`` overrides."""
+def build_config(
+    pruning: str | None, shards: int | None = None, columnar: str | None = None
+) -> PivotEConfig:
+    """The system configuration for the CLI's execution-layer overrides."""
     config = PivotEConfig.default()
     search_changes: dict[str, object] = {}
     ranking_changes: dict[str, object] = {}
@@ -185,6 +197,9 @@ def build_config(pruning: str | None, shards: int | None = None) -> PivotEConfig
     if shards is not None:
         search_changes["shards"] = shards
         ranking_changes["shards"] = shards
+    if columnar is not None:
+        search_changes["columnar"] = columnar == "on"
+        ranking_changes["columnar"] = columnar == "on"
     if not search_changes:
         return config
     return replace(
@@ -195,10 +210,17 @@ def build_config(pruning: str | None, shards: int | None = None) -> PivotEConfig
 
 
 def _print_pruning_info(system: PivotE) -> None:
-    """Dump both engines' cumulative pruning counters (``--show-pruning``)."""
-    print(f"pruning mode: {system.config.search.pruning}")
-    print(f"pruning[search]:    {system.search_engine.pruning_info()}")
-    print(f"pruning[recommend]: {system.recommendation_engine.pruning_info()}")
+    """Dump both engines' cumulative pruning counters (``--show-pruning``).
+
+    Routed through the unified :meth:`PivotE.stats` record; the printed
+    dicts are the same counters the legacy ``pruning_info()`` shims
+    report.
+    """
+    stats = system.stats()
+    print(f"pruning mode: {stats.pruning} (columnar: {'on' if stats.columnar else 'off'})")
+    print(f"pruning[search]:    {stats.child('search').pruning_view('mlm').as_counters()}")
+    recommend = stats.child("recommendation").pruning_view("entity-ranker").as_counters()
+    print(f"pruning[recommend]: {recommend}")
 
 
 def run_command(args: argparse.Namespace) -> int:
@@ -209,7 +231,7 @@ def run_command(args: argparse.Namespace) -> int:
         print(compute_statistics(graph).summary())
         return 0
 
-    system = PivotE(graph, config=build_config(args.pruning, args.shards))
+    system = PivotE(graph, config=build_config(args.pruning, args.shards, args.columnar))
     exit_code = _run_system_command(system, args)
     if exit_code == 0 and args.show_pruning:
         _print_pruning_info(system)

@@ -77,6 +77,13 @@ class SearchConfig:
     #: pruned traversals out over shard workers with a cross-shard θ
     #: broadcast.  Rankings are byte-identical for every shard count.
     shards: int = 1
+    #: Columnar execution: score through the per-epoch structure-of-arrays
+    #: postings view (:mod:`repro.index.columnar`) and the vectorized
+    #: traversal kernels (:mod:`repro.topk.kernels`) instead of the
+    #: per-posting Python loops.  ``False`` keeps the scalar paths for
+    #: A/B comparison.  Rankings are byte-identical either way: both
+    #: paths feed the same exhaustive-order survivor re-scoring epilogue.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
@@ -142,6 +149,13 @@ class RankingConfig:
     #: cross-shard θ broadcast.  Rankings are byte-identical for every
     #: shard count.
     shards: int = 1
+    #: Columnar execution knob, mirroring :attr:`SearchConfig.columnar`.
+    #: The ranking side's hot path walks per-type feature groups rather
+    #: than postings; the knob is accepted (and reported by ``stats()``)
+    #: so both engines share one configuration surface, and it gates any
+    #: future columnar layout of the feature index.  Rankings are
+    #: identical either way.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.top_entities <= 0 or self.top_features <= 0:

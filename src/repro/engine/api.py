@@ -8,6 +8,56 @@ behaviour is reproducible and testable without a network stack.
 
 Every request is a dict with an ``"action"`` key; every response is a dict
 with ``"status"`` (``"ok"`` or ``"error"``) plus action-specific payloads.
+:meth:`PivotEApi.handle` never raises: malformed requests — unknown
+actions, missing or mistyped fields, unknown sessions or entities — come
+back as ``{"status": "error", "error": "<message>"}`` envelopes.
+
+Request/response schema per action (all requests may carry extra keys,
+which are ignored; every ok-response carries ``"status": "ok"``):
+
+``search``
+    Request: ``keywords`` (str), optional ``top_k`` (positive int, or a
+    string of digits).  Response: ``hits`` — list of
+    ``{"entity", "score", "label"}`` dicts.
+``start_session``
+    Request: optional ``session_id`` (str; generated when omitted).
+    Response: ``session_id``.
+``submit_keywords``
+    Request: ``session_id``, ``keywords``.  Response: a query-response
+    payload — ``hits`` plus, when seeds exist, ``recommendation`` and
+    ``matrix`` dicts.
+``select_entity`` / ``deselect_entity``
+    Request: ``session_id``, ``entity``.  Response: query-response
+    payload.
+``pin_feature`` / ``unpin_feature``
+    Request: ``session_id``, ``feature`` (the ``predicate::object``
+    notation of :meth:`SemanticFeature.parse`).  Response:
+    query-response payload.
+``set_domain``
+    Request: ``session_id``, ``domain`` (entity type IRI).  Response:
+    query-response payload.
+``pivot``
+    Request: ``session_id``, ``entity``.  Response: query-response
+    payload.
+``investigate``
+    Request: ``session_id``.  Response: query-response payload.
+``lookup``
+    Request: ``entity``, optional ``session_id`` (records the lookup in
+    the session when given).  Response: ``profile`` dict.
+``explain``
+    Request: ``left``, ``right`` (entity ids).  Response: ``text`` and
+    ``shared_features`` (list of feature notations).
+``session_state``
+    Request: ``session_id``.  Response: ``session`` dict (query state
+    and history).
+``revisit``
+    Request: ``session_id``, ``step`` (int index into the session
+    history).  Response: query-response payload.
+``stats``
+    Request: no fields.  Response: ``stats`` — the system's
+    :meth:`~repro.stats.EngineStats.as_dict` introspection tree
+    (caches, pruning counters, epochs, shard/columnar configuration,
+    feature-index rebuild counters).
 """
 
 from __future__ import annotations
@@ -49,6 +99,7 @@ class PivotEApi:
             "explain": self._handle_explain,
             "session_state": self._handle_session_state,
             "revisit": self._handle_revisit,
+            "stats": self._handle_stats,
         }
 
     # ------------------------------------------------------------------ #
@@ -63,7 +114,7 @@ class PivotEApi:
             return self._handlers[action](request)
         except PivotEError as exc:
             return {"status": "error", "error": str(exc)}
-        except (KeyError, ValueError, IndexError) as exc:
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
             return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
 
     # ------------------------------------------------------------------ #
@@ -92,12 +143,33 @@ class PivotEApi:
             raise KeyError("missing 'feature'")
         return SemanticFeature.parse(str(notation))
 
+    @staticmethod
+    def _as_int(value: object, key: str, minimum: int | None = None) -> int:
+        """Coerce a request field to an int, with an envelope-safe error.
+
+        Accepts ints and numeric strings; rejects booleans (JSON
+        ``true`` is not a count) and anything ``int()`` cannot parse,
+        raising ``ValueError`` so :meth:`handle` reports a clean error
+        envelope instead of letting a ``TypeError`` escape.
+        """
+        if isinstance(value, bool):
+            raise ValueError(f"{key!r} must be an integer, got {value!r}")
+        try:
+            coerced = int(value)  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            raise ValueError(f"{key!r} must be an integer, got {value!r}") from None
+        if minimum is not None and coerced < minimum:
+            raise ValueError(f"{key!r} must be >= {minimum}, got {coerced}")
+        return coerced
+
     # ------------------------------------------------------------------ #
     # Handlers
     # ------------------------------------------------------------------ #
     def _handle_search(self, request: Request) -> Response:
         keywords = str(request.get("keywords", ""))
         top_k = request.get("top_k")
+        if top_k is not None:
+            top_k = self._as_int(top_k, "top_k", minimum=1)
         hits = self._system.search(keywords, top_k=top_k)
         return {"status": "ok", "hits": [hit.as_dict() for hit in hits]}
 
@@ -169,7 +241,10 @@ class PivotEApi:
 
     def _handle_revisit(self, request: Request) -> Response:
         session = self._session(request)
-        step = int(request["step"])
+        step = self._as_int(request["step"], "step")
         session.revisit(step)
         response = self._system.investigate(session)
         return {"status": "ok", **self._query_response_payload(response)}
+
+    def _handle_stats(self, request: Request) -> Response:
+        return {"status": "ok", "stats": self._system.stats().as_dict()}

@@ -37,6 +37,7 @@ from ..explore import (
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import EntityProfile, KnowledgeGraph
 from ..search import SearchEngine, SearchHit
+from ..stats import EngineStats
 from ..viz import (
     Heatmap,
     MatrixView,
@@ -145,9 +146,33 @@ class PivotE:
         """
         return self._recommender.recommend_many(seed_lists, **kwargs)  # type: ignore[arg-type]
 
+    def stats(self) -> EngineStats:
+        """The whole system's typed introspection record.
+
+        One :class:`~repro.stats.EngineStats` whose children are the
+        search and recommendation engines' records (caches, pruning
+        counters, epochs, shard/columnar configuration) and whose own
+        ``rebuilds`` mapping carries the semantic feature index's
+        full-vs-delta refresh counters.  ``as_dict()`` renders the tree
+        as the JSON payload the ``"stats"`` API action returns.
+        """
+        return EngineStats(
+            component="pivote",
+            epoch=self._graph.epoch,
+            shards=self._config.search.shards,
+            columnar=self._config.search.columnar,
+            pruning=self._config.search.pruning,
+            rebuilds=self._feature_index.rebuild_info(),
+            children=(self._search.stats(), self._recommender.stats()),
+        )
+
     def search_cache_info(self) -> dict[str, int]:
-        """Hit/miss counters of the search engine's LRU result cache."""
-        return self._search.cache_info()
+        """Hit/miss counters of the search engine's LRU result cache.
+
+        Deprecated shim over :meth:`stats` (the search child's
+        ``"results"`` cache).
+        """
+        return self.stats().child("search").cache("results").as_info()
 
     def recommendation_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of the recommendation engine's LRU cache.
@@ -155,8 +180,10 @@ class PivotE:
         Session operations that revisit a query state — ``select`` followed
         by ``deselect``, re-running ``investigate``, rebuilding the matrix —
         are served from this epoch-keyed cache; any graph mutation clears it.
+        Deprecated shim over :meth:`stats` (the recommendation child's
+        ``"recommendations"`` cache).
         """
-        return self._recommender.cache_info()
+        return self.stats().child("recommendation").cache("recommendations").as_info()
 
     def recommend(self, seeds: Sequence[str], **kwargs: object) -> Recommendation:
         """Entity/feature recommendation for explicit seeds (LRU-cached)."""

@@ -31,6 +31,7 @@ from ..ranking import (
     build_correlation_matrix,
     build_correlation_matrix_exhaustive,
 )
+from ..stats import CacheStats, EngineStats, PruningStatsView
 from ..utils import LRUCache
 from .query_state import ExplorationQuery
 
@@ -252,20 +253,50 @@ class RecommendationEngine:
         self._cache.sync_epoch(epoch)
         return epoch
 
+    def stats(self) -> EngineStats:
+        """The engine's typed introspection record.
+
+        One :class:`~repro.stats.EngineStats` carrying the ranking
+        configuration echo, the current graph epoch, the epoch-keyed
+        recommendation cache's counters (``"recommendations"``) and the
+        entity ranker's pruning counters (``"entity-ranker"``).  Reads
+        the graph epoch first, so entries invalidated by a mutation are
+        already dropped from the reported cache ``size``.
+        """
+        epoch = self._refresh_epoch()
+        return EngineStats(
+            component="recommendation",
+            epoch=epoch,
+            shards=self._config.shards,
+            columnar=self._config.columnar,
+            pruning=self._config.pruning,
+            caches=(
+                CacheStats.from_info(
+                    "recommendations", self._cache.cache_info(), epoch=epoch
+                ),
+            ),
+            pruning_counters=(
+                PruningStatsView.from_counters(
+                    "entity-ranker", self._expander.entity_ranker.pruning_info()
+                ),
+            ),
+        )
+
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the LRU recommendation cache.
 
-        Reads the current feature-index epoch first, so entries invalidated
-        by a graph mutation are already dropped from the reported ``size``.
+        Deprecated shim over :meth:`stats` (the ``"recommendations"``
+        cache, whose ``epoch`` key reports the cache's keying epoch).
         """
-        epoch = self._refresh_epoch()
-        info = self._cache.cache_info()
-        info["epoch"] = epoch
-        return info
+        return self.stats().cache("recommendations").as_info()
 
     def pruning_info(self) -> dict[str, int]:
-        """Cumulative pruning counters of the underlying entity ranker."""
-        return self._expander.entity_ranker.pruning_info()
+        """Cumulative pruning counters of the underlying entity ranker.
+
+        Deprecated shim over :meth:`stats` (the ``"entity-ranker"``
+        counters).
+        """
+        return self.stats().pruning_view("entity-ranker").as_counters()
 
     def clear_cache(self) -> None:
         """Drop all cached recommendations (counters are kept)."""

@@ -1,5 +1,6 @@
 """Fielded inverted-index substrate used by the entity search engine."""
 
+from .columnar import ColumnarIndex, ColumnarPostings, columnar_view
 from .fielded_index import FieldedIndex
 from .inverted_index import InvertedIndex
 from .postings import (
@@ -19,6 +20,8 @@ __all__ = [
     "BLOCK_SIZE",
     "BlockSummary",
     "CollectionStatistics",
+    "ColumnarIndex",
+    "ColumnarPostings",
     "FieldStatistics",
     "FieldedIndex",
     "InvertedIndex",
@@ -26,6 +29,7 @@ __all__ = [
     "PostingList",
     "ScoringSupport",
     "ShardedFieldedIndex",
+    "columnar_view",
     "intersect",
     "merge_frequencies",
     "select_top_k",

@@ -1,0 +1,224 @@
+"""Columnar (structure-of-arrays) views over one index epoch.
+
+The scalar hot path walks Python dicts: ``doc_id -> tf`` postings maps,
+``doc_id -> length`` arrays, per-posting comparisons in interpreter
+loops.  This module materialises the same data as contiguous numpy
+arrays once per index epoch, so the traversal kernels in
+:mod:`repro.topk.kernels` can replace the per-posting loops with
+vectorized operations:
+
+* a doc-id ↔ ordinal table — ordinals are assigned in sorted-doc-id
+  order, so **ordinal order is exactly the ``doc_id`` tie-break order**
+  of the ranking contract (``(-score, doc_id)``), and vectorized
+  selections can break ties on the ordinal;
+* per-field document-length arrays indexed by ordinal;
+* :class:`ColumnarPostings` per (field, term): parallel arrays of doc
+  ordinals (ascending), term frequencies, and block maxima on the same
+  ``BLOCK_SIZE`` grid as the scalar
+  :meth:`~repro.index.postings.PostingList.block_summary`, so block
+  membership matches the scalar ``blockmax`` path posting for posting;
+* dense per-term frequency arrays (length ``num_documents``) for the
+  language-model family, whose smoothing gives *every* candidate a
+  non-zero per-term contribution;
+* CRC shard-ownership maps mirroring :func:`repro.exec.sharding.shard_of`,
+  so per-shard columnar slices route identically to the scalar
+  partitioners.
+
+The view is immutable after construction and is memoised per index epoch
+on :class:`~repro.index.statistics.CollectionStatistics` (via
+:func:`columnar_view`), next to the scorers' memoised bounds: any index
+mutation rebuilds the statistics object and therefore drops the view, so
+a stale view can never be observed.  Scorers memoise their own derived
+arrays (per-term contribution columns) on the view through
+:meth:`ColumnarIndex.memoised`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exec.sharding import shard_of
+from .postings import BLOCK_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fielded_index import FieldedIndex
+
+
+class ColumnarPostings:
+    """One (field, term) posting list as parallel arrays.
+
+    ``ordinals``              ascending document ordinals (int64);
+    ``frequencies``           term frequencies aligned with ``ordinals``
+                              (float64 — term frequencies are small
+                              integers, exactly representable);
+    ``block_last_ordinals``   last ordinal of each ``BLOCK_SIZE`` chunk
+                              of ``ordinals`` (ascending);
+    ``block_max_frequencies`` per-chunk maximum term frequency.
+
+    The block grid chunks the *same* sorted posting order as the scalar
+    :class:`~repro.index.postings.BlockSummary`, so the k-th block here
+    covers exactly the k-th block of the scalar summary.
+    """
+
+    __slots__ = ("ordinals", "frequencies", "block_last_ordinals", "block_max_frequencies")
+
+    def __init__(self, ordinals: np.ndarray, frequencies: np.ndarray, block_size: int) -> None:
+        self.ordinals = ordinals
+        self.frequencies = frequencies
+        count = ordinals.size
+        starts = np.arange(0, count, block_size)
+        last_positions = np.minimum(starts + block_size - 1, count - 1)
+        self.block_last_ordinals = ordinals[last_positions]
+        self.block_max_frequencies = np.maximum.reduceat(frequencies, starts)
+
+    def __len__(self) -> int:
+        return int(self.ordinals.size)
+
+
+class ColumnarIndex:
+    """The per-epoch columnar view over one :class:`FieldedIndex`.
+
+    Construction builds only the ordinal table; every array column is
+    materialised lazily on first use and memoised for the lifetime of
+    the view (one index epoch).
+    """
+
+    def __init__(self, index: "FieldedIndex") -> None:
+        self._index = index
+        self._doc_ids: list[str] = sorted(index.documents())
+        self._ord_of: dict[str, int] = {
+            doc_id: ordinal for ordinal, doc_id in enumerate(self._doc_ids)
+        }
+        self._lengths: dict[str, np.ndarray] = {}
+        self._postings: dict[tuple[str, str], ColumnarPostings | None] = {}
+        self._dense: dict[tuple[str, str], np.ndarray] = {}
+        self._shard_maps: dict[int, np.ndarray] = {}
+        self._derived: dict[tuple[object, ...], object] = {}
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def doc_ids(self) -> list[str]:
+        """All document ids in ordinal (= sorted) order; do not mutate."""
+        return self._doc_ids
+
+    # ------------------------------------------------------------------ #
+    # Ordinal table
+    # ------------------------------------------------------------------ #
+    def ordinals_of(self, doc_ids) -> np.ndarray:
+        """Ascending ordinals of a set/iterable of known document ids."""
+        ord_of = self._ord_of
+        ordinals = np.fromiter(
+            (ord_of[doc_id] for doc_id in doc_ids), dtype=np.int64
+        )
+        ordinals.sort()
+        return ordinals
+
+    def ids_of(self, ordinals: np.ndarray) -> list[str]:
+        """Document ids of an ordinal array (order preserved)."""
+        doc_ids = self._doc_ids
+        return [doc_ids[ordinal] for ordinal in ordinals]
+
+    # ------------------------------------------------------------------ #
+    # Array columns (lazy, memoised per view == per epoch)
+    # ------------------------------------------------------------------ #
+    def field_lengths(self, field: str) -> np.ndarray:
+        """One field's document lengths indexed by ordinal (float64)."""
+        cached = self._lengths.get(field)
+        if cached is not None:
+            return cached
+        lengths = np.zeros(len(self._doc_ids), dtype=np.float64)
+        ord_of = self._ord_of
+        for doc_id, length in self._index.field_index(field).document_lengths().items():
+            lengths[ord_of[doc_id]] = length
+        self._lengths[field] = lengths
+        return lengths
+
+    def postings(self, field: str, term: str) -> ColumnarPostings | None:
+        """The (field, term) columnar postings, or ``None`` when absent."""
+        key = (field, term)
+        if key in self._postings:
+            return self._postings[key]
+        posting_list = self._index.field_index(field).get_postings(term)
+        if posting_list is None or len(posting_list) == 0:
+            columnar = None
+        else:
+            frequencies = posting_list.frequencies()
+            doc_ids = posting_list.doc_ids()  # sorted ⇒ ordinals ascending
+            ord_of = self._ord_of
+            ordinals = np.fromiter(
+                (ord_of[doc_id] for doc_id in doc_ids), dtype=np.int64, count=len(doc_ids)
+            )
+            tfs = np.fromiter(
+                (frequencies[doc_id] for doc_id in doc_ids),
+                dtype=np.float64,
+                count=len(doc_ids),
+            )
+            columnar = ColumnarPostings(ordinals, tfs, BLOCK_SIZE)
+        self._postings[key] = columnar
+        return columnar
+
+    def dense_frequencies(self, field: str, term: str) -> np.ndarray:
+        """Length-``num_documents`` term-frequency column (zeros elsewhere)."""
+        key = (field, term)
+        cached = self._dense.get(key)
+        if cached is not None:
+            return cached
+        dense = np.zeros(len(self._doc_ids), dtype=np.float64)
+        columnar = self.postings(field, term)
+        if columnar is not None:
+            dense[columnar.ordinals] = columnar.frequencies
+        self._dense[key] = dense
+        return dense
+
+    def shard_map(self, num_shards: int) -> np.ndarray:
+        """Per-ordinal shard ownership under CRC routing (int64).
+
+        Matches :func:`repro.exec.sharding.shard_of` — and therefore the
+        sharded facades' incremental routing maps — entry for entry, so
+        columnar per-shard slices partition exactly like the scalar
+        ``partition_candidates`` / ``split_frequencies`` helpers.
+        """
+        cached = self._shard_maps.get(num_shards)
+        if cached is not None:
+            return cached
+        owners = np.fromiter(
+            (shard_of(doc_id, num_shards) for doc_id in self._doc_ids),
+            dtype=np.int64,
+            count=len(self._doc_ids),
+        )
+        self._shard_maps[num_shards] = owners
+        return owners
+
+    def memoised(self, key: tuple[object, ...], compute):
+        """Memoise a scorer-derived array on the view (per-epoch lifetime).
+
+        Scorers key their contribution columns by their own
+        hyper-parameters, mirroring the
+        :meth:`~repro.index.statistics.CollectionStatistics.memoised_bound`
+        convention of the scalar path.
+        """
+        cached = self._derived.get(key)
+        if cached is None:
+            cached = compute()
+            self._derived[key] = cached
+        return cached
+
+
+def columnar_view(index: "FieldedIndex") -> ColumnarIndex:
+    """The columnar view of an index, memoised per epoch.
+
+    Stored on the epoch's :class:`CollectionStatistics` object (the
+    memo that already holds scorer bounds and block summaries), so the
+    view shares the statistics' lifetime: any mutation rebuilds the
+    statistics and thereby drops the view.
+    """
+    view = index.statistics().memoised_blocks(
+        ("columnar-view",), lambda: ColumnarIndex(index)
+    )
+    assert isinstance(view, ColumnarIndex)
+    return view

@@ -19,15 +19,28 @@ import math
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import PRUNED_MODES, PRUNING_MODES
 from ..exec import default_executor, merge_shard_maps, merge_shard_stats, split_frequencies
-from ..index import BLOCK_SIZE, CollectionStatistics, FieldedIndex, select_top_k_with_zero_fill
+from ..index import (
+    BLOCK_SIZE,
+    CollectionStatistics,
+    ColumnarIndex,
+    FieldedIndex,
+    columnar_view,
+    select_top_k_with_zero_fill,
+)
 from ..topk import (
     BlockedSparseTermEntry,
     PruningStats,
     SharedThreshold,
+    SparseKernelTerm,
     SparseTermEntry,
+    accumulate_sparse,
+    columnar_sparse,
     maxscore_sparse,
+    select_survivor_ordinals,
     select_survivors,
 )
 from .mlm import ScoredDocument
@@ -93,6 +106,88 @@ def _sharded_sparse_survivors(
     )
 
 
+def _field_norms(view: ColumnarIndex, field: str, b: float, avg_length: float) -> np.ndarray:
+    """Per-ordinal BM25 length normalisers for one field, memoised per epoch.
+
+    The array counterpart of the scalar ``1.0 - b + b * (doc_len / avg)``
+    expression (``1.0`` everywhere when the average is degenerate).  The
+    key carries the scorer's construction-time average-length snapshot,
+    so BM25 and BM25F scorers over the same field share one column only
+    when their snapshots agree.
+    """
+
+    def compute() -> np.ndarray:
+        if avg_length <= 0:
+            return np.ones(view.num_documents, dtype=np.float64)
+        lengths = view.field_lengths(field)
+        return (1.0 - b) + b * (lengths / avg_length)
+
+    norms = view.memoised(("bm25-norms", b, avg_length, field), compute)
+    assert isinstance(norms, np.ndarray)
+    return norms
+
+
+def _sharded_columnar_sparse_survivors(
+    view: ColumnarIndex,
+    terms: list[SparseKernelTerm],
+    num_shards: int,
+    top_k: int,
+    stats: PruningStats,
+    blockmax: bool,
+) -> np.ndarray:
+    """Fan the sparse kernel out over ordinal shards; union the picks.
+
+    Each term's posting column is sliced by the view's CRC ownership map
+    (the exact split the scalar ``_shard_postings`` memo produces), while
+    upper bounds and block grids stay derived from the full column — a
+    full-list bound is sound for any subset.  Workers run with private
+    :class:`PruningStats` (merged afterwards, the logical query counted
+    once) and the cross-shard θ broadcast; the disjoint survivor columns
+    concatenate into exactly the survivor set a serial traversal would
+    keep, and one global margin-guarded selection picks the ordinals the
+    caller re-scores.
+    """
+    owners = view.shard_map(num_shards)
+    shard_terms: list[list[SparseKernelTerm]] = [[] for _ in range(num_shards)]
+    for entry in terms:
+        owner = owners[entry.ordinals]
+        for shard in range(num_shards):
+            mask = owner == shard
+            if not mask.any():
+                continue  # no postings here: tightens the shard's upper sums
+            shard_terms[shard].append(
+                SparseKernelTerm(
+                    key=entry.key,
+                    upper=entry.upper,
+                    ordinals=entry.ordinals[mask],
+                    contributions=entry.contributions[mask],
+                    block_last_ordinals=entry.block_last_ordinals,
+                    block_uppers=entry.block_uppers,
+                )
+            )
+    shared = SharedThreshold(top_k)
+
+    def worker(shard: int) -> tuple[np.ndarray, np.ndarray, PruningStats]:
+        local = PruningStats()
+        ordinals, partials = columnar_sparse(
+            shard_terms[shard],
+            top_k,
+            local,
+            view.num_documents,
+            blockmax=blockmax,
+            shared=shared.slot(),
+        )
+        return ordinals, partials, local
+
+    results = default_executor().run(
+        [lambda shard=shard: worker(shard) for shard in range(num_shards)]
+    )
+    merge_shard_stats(stats, [local for _, _, local in results])
+    all_ordinals = np.concatenate([ordinals for ordinals, _, _ in results])
+    all_partials = np.concatenate([partials for _, partials, _ in results])
+    return select_survivor_ordinals(all_ordinals, all_partials, top_k)
+
+
 @dataclass(frozen=True)
 class BM25Params:
     """BM25 hyper-parameters."""
@@ -142,6 +237,7 @@ class BM25FieldScorer:
         params: BM25Params | None = None,
         pruning: str = "maxscore",
         shards: int = 1,
+        columnar: bool = True,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
@@ -152,6 +248,7 @@ class BM25FieldScorer:
         self._params = params or BM25Params()
         self._pruning = pruning
         self._shards = shards
+        self._columnar = columnar
         self._pruning_stats = PruningStats()
         field_index = index.field_index(field)
         self._avg_length = field_index.average_document_length
@@ -207,6 +304,19 @@ class BM25FieldScorer:
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
+        if self._columnar:
+            # Unpruned columnar arm: one scatter-add over every term's
+            # posting column, margin-guarded selection, then the exact
+            # scalar re-scoring pass (the kernel values only guide
+            # selection, so the ranking stays byte-identical).  The
+            # accumulation is already one vectorized sweep, so the
+            # unpruned shard fan-out is not replicated here.
+            view = columnar_view(self._index)
+            ordinals, partials = accumulate_sparse(
+                self._columnar_sparse_terms(query, view), view.num_documents
+            )
+            picked = select_survivor_ordinals(ordinals, partials, top_k)
+            return self._rescore_and_rank(query, top_k, view.ids_of(picked))
         if self._shards > 1:
             # Unpruned fan-out: each shard accumulates over its own
             # postings sub-maps with the identical arithmetic, so the
@@ -387,6 +497,84 @@ class BM25FieldScorer:
             )
         return entries
 
+    def _columnar_sparse_terms(
+        self, query: KeywordQuery, view: ColumnarIndex
+    ) -> list[SparseKernelTerm]:
+        """One kernel term per matching query term, columns memoised.
+
+        The contribution column holds the same per-posting arithmetic as
+        the scalar expand/refine closures (values only guide selection:
+        the survivor re-scoring pass recomputes them with the scalar
+        operation order); the upper bound reuses the scalar memoised
+        bound verbatim, and the block arrays bound the identical
+        ``BLOCK_SIZE`` grid as the scalar block summaries.
+        """
+        support = self._index.scoring_support()
+        statistics = support.statistics
+        params = self._params
+        k1_plus_1 = params.k1 + 1
+        avg_length = self._avg_length
+        min_norm = self._min_length_norm()
+        field = self._field
+        norms = _field_norms(view, field, params.b, avg_length)
+        entries: list[SparseKernelTerm] = []
+        for term in query.all_terms():
+            frequencies = support.postings_frequencies(field, term)
+            if not frequencies:
+                continue
+            weight = idf(self._num_documents, len(frequencies))
+            if weight == 0.0:
+                continue  # zero everywhere: stays in the zero-scored tail
+            columnar = view.postings(field, term)
+            assert columnar is not None  # frequencies is non-empty
+
+            def tf_part(term: str = term) -> float:
+                max_tf = statistics.field(field).max_frequency(term)
+                return (max_tf * k1_plus_1) / (max_tf + params.k1 * min_norm)
+
+            upper = weight * statistics.memoised_bound(
+                ("bm25", params.k1, params.b, avg_length, field, term), tf_part
+            )
+
+            def tf_column(columnar=columnar) -> np.ndarray:
+                tfs = columnar.frequencies
+                return (tfs * k1_plus_1) / (tfs + params.k1 * norms[columnar.ordinals])
+
+            tf_parts = view.memoised(
+                ("bm25-kernel", params.k1, params.b, avg_length, field, term), tf_column
+            )
+            contributions = weight * tf_parts
+            if self._pruning != "blockmax":
+                entries.append(
+                    SparseKernelTerm(
+                        key=term,
+                        upper=upper,
+                        ordinals=columnar.ordinals,
+                        contributions=contributions,
+                    )
+                )
+                continue
+
+            def block_column(columnar=columnar) -> np.ndarray:
+                max_tfs = columnar.block_max_frequencies
+                return (max_tfs * k1_plus_1) / (max_tfs + params.k1 * min_norm)
+
+            block_parts = view.memoised(
+                ("bm25-kernel-blocks", params.k1, params.b, avg_length, field, term),
+                block_column,
+            )
+            entries.append(
+                SparseKernelTerm(
+                    key=term,
+                    upper=upper,
+                    ordinals=columnar.ordinals,
+                    contributions=contributions,
+                    block_last_ordinals=columnar.block_last_ordinals,
+                    block_uppers=weight * block_parts,
+                )
+            )
+        return entries
+
     def _pruned_survivors(self, query: KeywordQuery, top_k: int) -> list[str]:
         """Run the sparse driver (per shard when sharded); ids to re-score.
 
@@ -395,9 +583,24 @@ class BM25FieldScorer:
         θ broadcast, selects survivors per shard and unions the picks —
         the union necessarily contains every globally-positive top-k
         document, and the caller's exact re-scoring pass restores the
-        serial ranking bit for bit.
+        serial ranking bit for bit.  The columnar arm feeds the same
+        traversal decisions through the vectorized kernel, sharding by
+        slicing the posting columns with the view's ownership map.
         """
         blockmax = self._pruning == "blockmax"
+        if self._columnar:
+            view = columnar_view(self._index)
+            terms = self._columnar_sparse_terms(query, view)
+            if self._shards > 1:
+                picked = _sharded_columnar_sparse_survivors(
+                    view, terms, self._shards, top_k, self._pruning_stats, blockmax
+                )
+            else:
+                ordinals, partials = columnar_sparse(
+                    terms, top_k, self._pruning_stats, view.num_documents, blockmax=blockmax
+                )
+                picked = select_survivor_ordinals(ordinals, partials, top_k)
+            return view.ids_of(picked)
         if self._shards > 1:
             return _sharded_sparse_survivors(
                 lambda shard: self._sparse_entries(query, shard=shard),
@@ -412,17 +615,24 @@ class BM25FieldScorer:
         return select_survivors(survivors, top_k)
 
     def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
-        """Threshold-pruned traversal + exact re-scoring of the survivors.
-
-        Survivors are re-scored with the same floating-point operations in
-        the same (query) order as :meth:`score_document`, so the ranking is
-        byte-identical to the exhaustive path; only the final k documents
-        pay the full per-term breakdown construction.
-        """
+        """Threshold-pruned traversal + exact re-scoring of the survivors."""
         if top_k <= 0:
             return []
         to_rescore = self._pruned_survivors(query, top_k)
         self._pruning_stats.rescored += len(to_rescore)
+        return self._rescore_and_rank(query, top_k, to_rescore)
+
+    def _rescore_and_rank(
+        self, query: KeywordQuery, top_k: int, to_rescore: list[str]
+    ) -> list[ScoredDocument]:
+        """Exact re-scoring + ranking of a survivor superset.
+
+        Survivors are re-scored with the same floating-point operations in
+        the same (query) order as :meth:`score_document`, so the ranking is
+        byte-identical to the exhaustive path — regardless of which driver
+        (scalar or columnar, pruned or plain) picked the survivors; only
+        the final k documents pay the full per-term breakdown construction.
+        """
         support = self._index.scoring_support()
         params = self._params
         k1_plus_1 = params.k1 + 1
@@ -472,6 +682,7 @@ class BM25FScorer:
         params: BM25Params | None = None,
         pruning: str = "maxscore",
         shards: int = 1,
+        columnar: bool = True,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
@@ -481,6 +692,7 @@ class BM25FScorer:
         self._params = params or BM25Params()
         self._pruning = pruning
         self._shards = shards
+        self._columnar = columnar
         self._pruning_stats = PruningStats()
         total = sum(field_weights.get(field, 0.0) for field in index.fields)
         if total <= 0:
@@ -544,6 +756,16 @@ class BM25FScorer:
         candidates = self._index.candidate_documents(query.all_terms())
         if not candidates:
             return []
+        if self._columnar:
+            # Unpruned columnar arm: scatter-add over the union posting
+            # columns, margin-guarded selection, exact scalar re-scoring
+            # (same contract as :meth:`BM25FieldScorer.search`).
+            view = columnar_view(self._index)
+            ordinals, partials = accumulate_sparse(
+                self._columnar_sparse_terms(query, view), view.num_documents
+            )
+            picked = select_survivor_ordinals(ordinals, partials, top_k)
+            return self._rescore_and_rank(query, top_k, view.ids_of(picked))
         if self._shards > 1:
             accumulators = merge_shard_maps(
                 default_executor().run(
@@ -833,17 +1055,175 @@ class BM25FScorer:
             )
         return entries
 
-    def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
-        """Threshold-pruned traversal + exact re-scoring of the survivors.
+    def _columnar_sparse_terms(
+        self, query: KeywordQuery, view: ColumnarIndex
+    ) -> list[SparseKernelTerm]:
+        """One kernel term per matching query term over the union grid.
 
-        Survivor scores are rebuilt with :meth:`_pruned_contribution`,
-        whose arithmetic mirrors :meth:`score_document` term for term, so
-        the ranking is byte-identical to the exhaustive path.
+        The posting column lives on the union of the weighted fields'
+        ordinals (the same document set, in the same order, as the
+        scalar union block grid); the weighted-tf column accumulates
+        ``weight * tf / norm`` per field, saturated once per query by
+        the idf weight.  As everywhere on the columnar path, the values
+        only guide selection — survivors are re-scored exactly — while
+        upper bounds reuse the scalar memoised bounds and the block
+        grid chunks the identical union.
         """
+        support = self._index.scoring_support()
+        statistics = support.statistics
+        params = self._params
+        weighted_fields = [
+            (field, weight) for field, weight in self._weights.items() if weight != 0.0
+        ]
+        weights_key = tuple(sorted(self._weights.items()))
+        avgs_key = tuple(sorted(self._avg_lengths.items()))
+        entries: list[SparseKernelTerm] = []
+        for term in query.all_terms():
+            field_postings = [
+                (field, weight, view.postings(field, term))
+                for field, weight in weighted_fields
+            ]
+            if all(columnar is None for _, _, columnar in field_postings):
+                continue
+            weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
+            if weight_idf == 0.0:
+                continue  # zero everywhere: stays in the zero-scored tail
+
+            def weighted_tf_bound(term: str = term) -> float:
+                bound = 0.0
+                for field, weight in weighted_fields:
+                    field_stats = statistics.field(field)
+                    max_tf = field_stats.max_frequency(term)
+                    if max_tf == 0:
+                        continue
+                    avg_len = self._avg_lengths[field]
+                    if avg_len > 0:
+                        min_norm = 1.0 - params.b + params.b * (
+                            field_stats.min_length / avg_len
+                        )
+                    else:
+                        min_norm = 1.0
+                    bound += weight * max_tf / min_norm if min_norm > 0 else float("inf")
+                return bound
+
+            # Same memo (same key, same closure) as the scalar entries:
+            # whichever path runs first populates the epoch's bound.
+            max_weighted_tf = statistics.memoised_bound(
+                ("bm25f", params.k1, params.b, weights_key, avgs_key, term),
+                weighted_tf_bound,
+            )
+            if max_weighted_tf == float("inf"):
+                upper = weight_idf
+            else:
+                upper = weight_idf * max_weighted_tf / (max_weighted_tf + params.k1)
+
+            def union_column(field_postings=field_postings) -> tuple[np.ndarray, np.ndarray]:
+                union_ordinals = None
+                for _, _, columnar in field_postings:
+                    if columnar is None:
+                        continue
+                    union_ordinals = (
+                        columnar.ordinals
+                        if union_ordinals is None
+                        else np.union1d(union_ordinals, columnar.ordinals)
+                    )
+                weighted_tf = np.zeros(union_ordinals.size, dtype=np.float64)
+                for field, weight, columnar in field_postings:
+                    if columnar is None:
+                        continue
+                    norms = _field_norms(view, field, params.b, self._avg_lengths[field])
+                    positions = np.searchsorted(union_ordinals, columnar.ordinals)
+                    weighted_tf[positions] += (
+                        weight * columnar.frequencies / norms[columnar.ordinals]
+                    )
+                return union_ordinals, weighted_tf
+
+            union_ordinals, weighted_tf = view.memoised(
+                ("bm25f-kernel", params.b, weights_key, avgs_key, term), union_column
+            )
+            contributions = weight_idf * (weighted_tf / (weighted_tf + params.k1))
+            if self._pruning != "blockmax":
+                entries.append(
+                    SparseKernelTerm(
+                        key=term,
+                        upper=upper,
+                        ordinals=union_ordinals,
+                        contributions=contributions,
+                    )
+                )
+                continue
+
+            def block_column(
+                union_ordinals=union_ordinals, field_postings=field_postings
+            ) -> tuple[np.ndarray, np.ndarray]:
+                # The union grid chunks the same sorted document order as
+                # the scalar ``bm25f-blocks`` memo, so block membership
+                # matches block for block; bounds stay idf-free.
+                lasts = union_ordinals[BLOCK_SIZE - 1 :: BLOCK_SIZE]
+                if union_ordinals.size % BLOCK_SIZE:
+                    lasts = np.append(lasts, union_ordinals[-1])
+                wtf_bounds = np.zeros(lasts.size, dtype=np.float64)
+                for field, weight, columnar in field_postings:
+                    if columnar is None:
+                        continue
+                    field_stats = statistics.field(field)
+                    avg_len = self._avg_lengths[field]
+                    if avg_len > 0:
+                        min_norm = 1.0 - params.b + params.b * (
+                            field_stats.min_length / avg_len
+                        )
+                    else:
+                        min_norm = 1.0
+                    max_tfs = np.zeros(lasts.size, dtype=np.float64)
+                    blocks = np.searchsorted(lasts, columnar.ordinals, side="left")
+                    np.maximum.at(max_tfs, blocks, columnar.frequencies)
+                    if min_norm > 0:
+                        wtf_bounds += weight * max_tfs / min_norm
+                    else:
+                        # Degenerate normaliser: the block bound for any
+                        # block with a matching posting is unbounded (the
+                        # saturation below caps it at the idf weight).
+                        wtf_bounds[max_tfs > 0] = np.inf
+                return lasts, wtf_bounds
+
+            lasts, wtf_bounds = view.memoised(
+                ("bm25f-kernel-blocks", params.b, weights_key, avgs_key, term),
+                block_column,
+            )
+            finite = np.isfinite(wtf_bounds)
+            saturated = np.ones_like(wtf_bounds)
+            np.divide(wtf_bounds, wtf_bounds + params.k1, out=saturated, where=finite)
+            entries.append(
+                SparseKernelTerm(
+                    key=term,
+                    upper=upper,
+                    ordinals=union_ordinals,
+                    contributions=contributions,
+                    block_last_ordinals=lasts,
+                    block_uppers=weight_idf * saturated,
+                )
+            )
+        return entries
+
+    def _search_maxscore(self, query: KeywordQuery, top_k: int) -> list[ScoredDocument]:
+        """Threshold-pruned traversal + exact re-scoring of the survivors."""
         if top_k <= 0:
             return []
         blockmax = self._pruning == "blockmax"
-        if self._shards > 1:
+        if self._columnar:
+            view = columnar_view(self._index)
+            terms = self._columnar_sparse_terms(query, view)
+            if self._shards > 1:
+                picked = _sharded_columnar_sparse_survivors(
+                    view, terms, self._shards, top_k, self._pruning_stats, blockmax
+                )
+            else:
+                ordinals, partials = columnar_sparse(
+                    terms, top_k, self._pruning_stats, view.num_documents, blockmax=blockmax
+                )
+                picked = select_survivor_ordinals(ordinals, partials, top_k)
+            to_rescore = view.ids_of(picked)
+        elif self._shards > 1:
             to_rescore = _sharded_sparse_survivors(
                 lambda shard: self._sparse_entries(query, shard=shard),
                 self._shards,
@@ -857,6 +1237,18 @@ class BM25FScorer:
             )
             to_rescore = select_survivors(survivors, top_k)
         self._pruning_stats.rescored += len(to_rescore)
+        return self._rescore_and_rank(query, top_k, to_rescore)
+
+    def _rescore_and_rank(
+        self, query: KeywordQuery, top_k: int, to_rescore: list[str]
+    ) -> list[ScoredDocument]:
+        """Exact re-scoring + ranking of a survivor superset.
+
+        Survivor scores are rebuilt with :meth:`_pruned_contribution`,
+        whose arithmetic mirrors :meth:`score_document` term for term, so
+        the ranking is byte-identical to the exhaustive path — regardless
+        of which driver picked the survivors.
+        """
         support = self._index.scoring_support()
         weighted_fields = [
             (field, weight) for field, weight in self._weights.items() if weight != 0.0

@@ -29,6 +29,7 @@ from ..config import SearchConfig
 from ..exec import dedupe_batch
 from ..index import FieldedIndex, ShardedFieldedIndex
 from ..kg import KnowledgeGraph
+from ..stats import CacheStats, EngineStats, PruningStatsView
 from ..utils import LRUCache
 from .bm25 import BM25FScorer, BM25FieldScorer
 from .fields import (
@@ -249,13 +250,41 @@ class SearchEngine:
             index.epoch,
         )
 
+    def stats(self) -> EngineStats:
+        """The engine's typed introspection record.
+
+        One :class:`~repro.stats.EngineStats` carrying the execution
+        configuration echo (pruning mode, shard layout, columnar
+        on/off), the current index epoch, the result cache's counters
+        (``"results"``) and the primary scorer's pruning counters
+        (``"mlm"``).  Builds the index on demand, like any query would.
+        """
+        scorer = self._require_scorer()
+        return EngineStats(
+            component="search",
+            epoch=self._index.epoch,
+            shards=self._config.shards,
+            columnar=self._config.columnar,
+            pruning=self._config.pruning,
+            caches=(CacheStats.from_info("results", self._result_cache.cache_info()),),
+            pruning_counters=(
+                PruningStatsView.from_counters("mlm", scorer.pruning_info()),
+            ),
+        )
+
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss counters and occupancy of the LRU result cache."""
-        return self._result_cache.cache_info()
+        """Hit/miss counters and occupancy of the LRU result cache.
+
+        Deprecated shim over :meth:`stats` (the ``"results"`` cache).
+        """
+        return self.stats().cache("results").as_info()
 
     def pruning_info(self) -> dict[str, int]:
-        """Cumulative pruning counters of the primary (MLM) scorer."""
-        return self._require_scorer().pruning_info()
+        """Cumulative pruning counters of the primary (MLM) scorer.
+
+        Deprecated shim over :meth:`stats` (the ``"mlm"`` counters).
+        """
+        return self.stats().pruning_view("mlm").as_counters()
 
     def explain(self, query: str | KeywordQuery, entity_id: str) -> ScoredDocument:
         """Score a single entity and return the per-term breakdown."""
@@ -279,6 +308,7 @@ class SearchEngine:
             self._config.field_weights,
             pruning=self._config.pruning,
             shards=self._config.shards,
+            columnar=self._config.columnar,
         )
 
     def bm25_names_scorer(self) -> BM25FieldScorer:
@@ -288,6 +318,7 @@ class SearchEngine:
             "names",
             pruning=self._config.pruning,
             shards=self._config.shards,
+            columnar=self._config.columnar,
         )
 
     def single_field_scorer(self, field: str = "names") -> SingleFieldScorer:

@@ -24,6 +24,8 @@ import heapq
 from collections.abc import Iterable, Mapping, MutableMapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import PRUNED_MODES, SearchConfig
 from ..exec import (
     default_executor,
@@ -32,13 +34,18 @@ from ..exec import (
     partition_candidates,
 )
 from ..index import FieldedIndex, select_top_k
+from ..index.columnar import ColumnarIndex, columnar_view
 from ..index.scoring_support import ScoringSupport
 from ..topk import (
+    DenseKernelTerm,
     DenseTermEntry,
     PruningStats,
     SELECTION_MARGIN,
     SharedThreshold,
+    accumulate_dense,
+    columnar_dense,
     maxscore_dense,
+    select_survivor_ordinals,
     select_survivors,
     threshold_of,
 )
@@ -389,6 +396,133 @@ def _sharded_dense_survivors(
     return union
 
 
+def _columnar_term_column(
+    view: ColumnarIndex,
+    support: ScoringSupport,
+    term: str,
+    weighted_fields: Sequence[tuple[str, float]],
+    smoothing: SmoothingParams,
+) -> np.ndarray:
+    """One term's exact log-mixture contribution for every ordinal.
+
+    The vectorized sibling of :func:`_accumulate_mixture_term`: the same
+    per-field smoothing arithmetic broadcast over the whole document
+    column (elementwise numpy arithmetic is IEEE-identical to the scalar
+    expressions; only ``np.log`` may differ from ``math.log`` by ulps,
+    which the drivers' safety slack and the exact re-scoring epilogue
+    absorb).  Memoised on the view — i.e. per (term, fields, smoothing)
+    per index epoch — like the scalar path's memoised bounds.
+    """
+    if smoothing.method == "dirichlet":
+        key = ("lm-column", "dirichlet", smoothing.dirichlet_mu, tuple(weighted_fields), term)
+    else:
+        key = ("lm-column", "jm", smoothing.jm_lambda, tuple(weighted_fields), term)
+
+    def compute() -> np.ndarray:
+        probability = np.zeros(view.num_documents, dtype=np.float64)
+        if smoothing.method == "dirichlet":
+            mu = smoothing.dirichlet_mu
+            for field, weight in weighted_fields:
+                mass = mu * support.collection_probability(field, term)
+                frequencies = view.dense_frequencies(field, term)
+                lengths = view.field_lengths(field)
+                probability += weight * ((frequencies + mass) / (lengths + mu))
+        else:  # jelinek-mercer
+            one_minus_lam = 1.0 - smoothing.jm_lambda
+            for field, weight in weighted_fields:
+                mass = smoothing.jm_lambda * support.collection_probability(field, term)
+                frequencies = view.dense_frequencies(field, term)
+                lengths = view.field_lengths(field)
+                # Zero-length documents fall back to the collection mass
+                # (0.0 * anything + mass == mass, bitwise).
+                ratio = np.divide(
+                    frequencies, lengths, out=np.zeros_like(frequencies), where=lengths > 0
+                )
+                probability += weight * (one_minus_lam * ratio + mass)
+        # The 1e-12 probability floor of ``log_probability``.
+        return np.log(np.maximum(probability, 1e-12))
+
+    column = view.memoised(key, compute)
+    assert isinstance(column, np.ndarray)
+    return column
+
+
+def _dense_kernel_entries(
+    view: ColumnarIndex,
+    support: ScoringSupport,
+    smoothing: SmoothingParams,
+    term_specs: Sequence[tuple[str, str, Sequence[tuple[str, float]]]],
+) -> list[DenseKernelTerm]:
+    """One vectorized kernel term per scored term, bounds attached."""
+    bounds = LanguageModelBounds(support, smoothing)
+    entries: list[DenseKernelTerm] = []
+    for key, term, fields in term_specs:
+        floor, upper = bounds.mixture_bounds(term, fields)
+        entries.append(
+            DenseKernelTerm(
+                key=key,
+                floor=floor,
+                upper=upper,
+                contributions=_columnar_term_column(view, support, term, fields, smoothing),
+            )
+        )
+    return entries
+
+
+def _sharded_columnar_dense_survivors(
+    view: ColumnarIndex,
+    candidate_ordinals: np.ndarray,
+    entries: list[DenseKernelTerm],
+    top_k: int,
+    stats: PruningStats,
+    prime_threshold: float,
+    num_shards: int,
+) -> np.ndarray:
+    """The columnar twin of :func:`_sharded_dense_survivors`.
+
+    Candidate ordinals are partitioned with the view's CRC shard map
+    (identical routing to the scalar partitioners); each worker runs the
+    dense kernel with a slot on the shared θ broadcast.  The merge keeps
+    the scalar rule: early-stopped shards contribute their survivors
+    wholesale (their partials are not comparable across shards), shards
+    that ran every pass hold full-accumulation values — identical for
+    the same candidate regardless of shard — and are selected globally.
+    """
+    shared = SharedThreshold(top_k, initial=prime_threshold)
+    owners = view.shard_map(num_shards)[candidate_ordinals]
+
+    def worker(shard_ordinals: np.ndarray):
+        local = PruningStats()
+        ordinals, partials = columnar_dense(
+            shard_ordinals, entries, top_k, local, shared=shared.slot()
+        )
+        return ordinals, partials, local
+
+    buckets = [candidate_ordinals[owners == shard] for shard in range(num_shards)]
+    tasks = [lambda bucket=bucket: worker(bucket) for bucket in buckets if bucket.size]
+    results = default_executor().run(tasks)
+    merge_shard_stats(stats, [local for _, _, local in results])
+    stop_budget = top_k + SELECTION_MARGIN  # the driver's early-stop bound
+    union: list[np.ndarray] = []
+    exact_ordinals: list[np.ndarray] = []
+    exact_partials: list[np.ndarray] = []
+    for ordinals, partials, _ in results:
+        if ordinals.size <= stop_budget:
+            union.append(ordinals)
+        else:
+            exact_ordinals.append(ordinals)
+            exact_partials.append(partials)
+    if exact_ordinals:
+        union.append(
+            select_survivor_ordinals(
+                np.concatenate(exact_ordinals), np.concatenate(exact_partials), top_k
+            )
+        )
+    if not union:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(union)
+
+
 @dataclass(frozen=True)
 class ScoredDocument:
     """A retrieval result: document identifier, score and per-term detail."""
@@ -501,6 +635,20 @@ class MixtureLanguageModelScorer:
             return self._search_maxscore(query, top_k, candidates, support, weighted_fields)
         smoothing = self._smoothing
         per_term = self._per_term_components(query, support, weighted_fields)
+        if self._config.columnar:
+            # Vectorized plain accumulation: gather-add every term column,
+            # select a margin-guarded superset, re-score it exactly —
+            # identical output to the scalar accumulate-then-select path.
+            view = columnar_view(self._index)
+            entries = _dense_kernel_entries(
+                view, support, smoothing, self._term_specs(query, weighted_fields)
+            )
+            candidate_ordinals = view.ordinals_of(candidates)
+            partials = accumulate_dense(candidate_ordinals, entries)
+            picked = select_survivor_ordinals(candidate_ordinals, partials, top_k)
+            exact = _rescore_mixture(view.ids_of(picked), per_term, smoothing)
+            exact.sort(key=_rank_key)
+            return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
 
         def accumulate(shard: Iterable[str]) -> dict[str, float]:
             accumulators = dict.fromkeys(shard, 0.0)
@@ -607,7 +755,6 @@ class MixtureLanguageModelScorer:
         """
         smoothing = self._smoothing
         per_term = self._per_term_components(query, support, weighted_fields)
-        entries = self._dense_entries(query, support, weighted_fields, per_term)
         num_shards = self._config.shards
         prime = NO_THRESHOLD
         # Sharded traversals always prime: a shard's first passes only see
@@ -619,12 +766,40 @@ class MixtureLanguageModelScorer:
             self._config.pruning == "blockmax" or num_shards > 1
         ) and 4 * top_k < len(candidates):
             prime = _prime_threshold(per_term, smoothing, top_k)
-        if num_shards > 1:
+        if self._config.columnar:
+            view = columnar_view(self._index)
+            kernel_entries = _dense_kernel_entries(
+                view, support, smoothing, self._term_specs(query, weighted_fields)
+            )
+            candidate_ordinals = view.ordinals_of(candidates)
+            if num_shards > 1:
+                picked = _sharded_columnar_dense_survivors(
+                    view,
+                    candidate_ordinals,
+                    kernel_entries,
+                    top_k,
+                    self._pruning_stats,
+                    prime,
+                    num_shards,
+                )
+            else:
+                ordinals, partials = columnar_dense(
+                    candidate_ordinals,
+                    kernel_entries,
+                    top_k,
+                    self._pruning_stats,
+                    prime_threshold=prime,
+                )
+                picked = select_survivor_ordinals(ordinals, partials, top_k)
+            to_rescore = view.ids_of(picked)
+        elif num_shards > 1:
+            entries = self._dense_entries(query, support, weighted_fields, per_term)
             shards = partition_candidates(self._index, candidates, num_shards)
             to_rescore = _sharded_dense_survivors(
                 shards, entries, top_k, self._pruning_stats, prime
             )
         else:
+            entries = self._dense_entries(query, support, weighted_fields, per_term)
             survivors = maxscore_dense(
                 candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
             )
@@ -697,41 +872,79 @@ class SingleFieldScorer:
             _term_components(term, single_field, support, smoothing)
             for term in query.all_terms()
         ]
+        term_specs: list[tuple[str, str, Sequence[tuple[str, float]]]] = [
+            (term, term, single_field) for term in query.all_terms()
+        ]
         if self._config.pruning in PRUNED_MODES:
-            bounds = LanguageModelBounds(support, smoothing)
-            entries: list[DenseTermEntry] = []
-            for term, components in zip(query.all_terms(), per_term):
-                floor, upper = bounds.mixture_bounds(term, single_field)
-                entries.append(
-                    DenseTermEntry(
-                        key=term,
-                        floor=floor,
-                        upper=upper,
-                        accumulate=lambda accumulators, cut, components=components: (
-                            _accumulate_mixture_term_pruned(
-                                accumulators, cut, components, smoothing
-                            )
-                        ),
-                    )
-                )
             num_shards = self._config.shards
             prime = NO_THRESHOLD
             if (
                 self._config.pruning == "blockmax" or num_shards > 1
             ) and 4 * top_k < len(candidates):
                 prime = _prime_threshold(per_term, smoothing, top_k)
-            if num_shards > 1:
-                shards = partition_candidates(self._index, candidates, num_shards)
-                to_rescore = _sharded_dense_survivors(
-                    shards, entries, top_k, self._pruning_stats, prime
-                )
+            if self._config.columnar:
+                view = columnar_view(self._index)
+                kernel_entries = _dense_kernel_entries(view, support, smoothing, term_specs)
+                candidate_ordinals = view.ordinals_of(candidates)
+                if num_shards > 1:
+                    picked = _sharded_columnar_dense_survivors(
+                        view,
+                        candidate_ordinals,
+                        kernel_entries,
+                        top_k,
+                        self._pruning_stats,
+                        prime,
+                        num_shards,
+                    )
+                else:
+                    ordinals, partials = columnar_dense(
+                        candidate_ordinals,
+                        kernel_entries,
+                        top_k,
+                        self._pruning_stats,
+                        prime_threshold=prime,
+                    )
+                    picked = select_survivor_ordinals(ordinals, partials, top_k)
+                to_rescore = view.ids_of(picked)
             else:
-                survivors = maxscore_dense(
-                    candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
-                )
-                to_rescore = select_survivors(survivors, top_k)
+                bounds = LanguageModelBounds(support, smoothing)
+                entries: list[DenseTermEntry] = []
+                for term, components in zip(query.all_terms(), per_term):
+                    floor, upper = bounds.mixture_bounds(term, single_field)
+                    entries.append(
+                        DenseTermEntry(
+                            key=term,
+                            floor=floor,
+                            upper=upper,
+                            accumulate=lambda accumulators, cut, components=components: (
+                                _accumulate_mixture_term_pruned(
+                                    accumulators, cut, components, smoothing
+                                )
+                            ),
+                        )
+                    )
+                if num_shards > 1:
+                    shards = partition_candidates(self._index, candidates, num_shards)
+                    to_rescore = _sharded_dense_survivors(
+                        shards, entries, top_k, self._pruning_stats, prime
+                    )
+                else:
+                    survivors = maxscore_dense(
+                        candidates, entries, top_k, self._pruning_stats, prime_threshold=prime
+                    )
+                    to_rescore = select_survivors(survivors, top_k)
             self._pruning_stats.rescored += len(to_rescore)
             exact = _rescore_mixture(to_rescore, per_term, smoothing)
+            exact.sort(key=_rank_key)
+            return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
+
+        if self._config.columnar:
+            view = columnar_view(self._index)
+            kernel_entries = _dense_kernel_entries(view, support, smoothing, term_specs)
+            candidate_ordinals = view.ordinals_of(candidates)
+            partials = accumulate_dense(candidate_ordinals, kernel_entries)
+            picked = select_survivor_ordinals(candidate_ordinals, partials, top_k)
+            exact = _rescore_mixture(view.ids_of(picked), per_term, smoothing)
             exact.sort(key=_rank_key)
             return [self.score_document(query, doc_id) for doc_id, _ in exact[:top_k]]
 

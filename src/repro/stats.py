@@ -1,0 +1,183 @@
+"""Unified typed introspection surface for the engines.
+
+Historically every component grew its own ``*_info()`` dict accessor —
+``cache_info()`` on the caches, ``pruning_info()`` on the scorers and
+rankers, ``rebuild_info()`` on the feature index — each returning a plain
+dict with its own key conventions.  This module unifies them behind one
+typed, frozen object graph:
+
+* :class:`CacheStats` — one LRU cache's counters (hits, misses,
+  occupancy, optionally the epoch the cache is keyed by);
+* :class:`PruningStatsView` — an immutable snapshot of one pruned
+  traversal's :class:`~repro.topk.stats.PruningStats` counters;
+* :class:`EngineStats` — one component's full introspection record:
+  configuration echo (pruning mode, shard layout, columnar on/off),
+  epoch, caches, pruning counters, rebuild counters and child
+  components.
+
+``stats()`` on :class:`~repro.search.engine.SearchEngine`,
+:class:`~repro.explore.recommender.RecommendationEngine` and
+:class:`~repro.engine.pivote.PivotE` returns one :class:`EngineStats`;
+the legacy dict accessors remain as thin shims over it and report the
+identical numbers.  :meth:`EngineStats.as_dict` renders the whole tree
+as JSON-able plain dicts (the shape the ``"stats"`` API action returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one LRU cache (`hits`/`misses`/occupancy).
+
+    ``epoch`` is carried by epoch-keyed caches (the recommendation
+    cache) and ``None`` for instance-keyed ones (the search result
+    cache, which keys on the index ``(uid, epoch)`` pair instead).
+    """
+
+    name: str
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    epoch: int | None = None
+
+    @classmethod
+    def from_info(
+        cls, name: str, info: Mapping[str, int], epoch: int | None = None
+    ) -> "CacheStats":
+        """Wrap a legacy ``cache_info()`` dict."""
+        return cls(
+            name=name,
+            hits=info["hits"],
+            misses=info["misses"],
+            size=info["size"],
+            maxsize=info["maxsize"],
+            epoch=info.get("epoch", epoch),
+        )
+
+    def as_info(self) -> dict[str, int]:
+        """The legacy ``cache_info()`` dict (epoch key only when tracked)."""
+        info = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "maxsize": self.maxsize,
+        }
+        if self.epoch is not None:
+            info["epoch"] = self.epoch
+        return info
+
+
+@dataclass(frozen=True)
+class PruningStatsView:
+    """Immutable snapshot of one traversal's pruning counters.
+
+    Field semantics are documented on :class:`~repro.topk.stats.PruningStats`;
+    this view adds a ``name`` identifying which scorer/ranker the counters
+    belong to inside an :class:`EngineStats` record.
+    """
+
+    name: str
+    queries: int
+    terms_total: int
+    terms_skipped: int
+    candidates_total: int
+    candidates_pruned: int
+    groups_total: int
+    groups_skipped: int
+    blocks_total: int
+    blocks_skipped: int
+    rescored: int
+
+    @classmethod
+    def from_counters(cls, name: str, counters: Mapping[str, int]) -> "PruningStatsView":
+        """Wrap a legacy ``pruning_info()`` dict."""
+        return cls(name=name, **counters)
+
+    def as_counters(self) -> dict[str, int]:
+        """The legacy ``pruning_info()`` dict."""
+        return {
+            "queries": self.queries,
+            "terms_total": self.terms_total,
+            "terms_skipped": self.terms_skipped,
+            "candidates_total": self.candidates_total,
+            "candidates_pruned": self.candidates_pruned,
+            "groups_total": self.groups_total,
+            "groups_skipped": self.groups_skipped,
+            "blocks_total": self.blocks_total,
+            "blocks_skipped": self.blocks_skipped,
+            "rescored": self.rescored,
+        }
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One component's full introspection record.
+
+    ``component`` names the component (``"search"``,
+    ``"recommendation"``, ``"pivote"``); ``epoch`` is the component's
+    current index/graph epoch; ``shards``/``columnar``/``pruning`` echo
+    the execution configuration the component runs with.  ``caches``
+    and ``pruning_counters`` carry the component's own counters, and a
+    facade lists its components as ``children``.
+    """
+
+    component: str
+    epoch: int
+    shards: int
+    columnar: bool
+    pruning: str
+    caches: tuple[CacheStats, ...] = ()
+    pruning_counters: tuple[PruningStatsView, ...] = ()
+    rebuilds: Mapping[str, int] | None = None
+    children: tuple["EngineStats", ...] = ()
+
+    def cache(self, name: str) -> CacheStats:
+        """The named cache's counters (raises ``KeyError`` when absent)."""
+        for entry in self.caches:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"unknown cache: {name!r}")
+
+    def pruning_view(self, name: str) -> PruningStatsView:
+        """The named traversal's counters (raises ``KeyError`` when absent)."""
+        for entry in self.pruning_counters:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"unknown pruning counters: {name!r}")
+
+    def child(self, component: str) -> "EngineStats":
+        """The named child component (raises ``KeyError`` when absent)."""
+        for entry in self.children:
+            if entry.component == component:
+                return entry
+        raise KeyError(f"unknown component: {component!r}")
+
+    def as_dict(self) -> dict[str, object]:
+        """The whole record as JSON-able plain dicts.
+
+        ``rebuilds`` appears only when the component tracks rebuild
+        counters; ``children`` only when the component has any.
+        """
+        payload: dict[str, object] = {
+            "component": self.component,
+            "epoch": self.epoch,
+            "shards": self.shards,
+            "columnar": self.columnar,
+            "pruning": self.pruning,
+            "caches": {entry.name: entry.as_info() for entry in self.caches},
+            "pruning_counters": {
+                entry.name: entry.as_counters() for entry in self.pruning_counters
+            },
+        }
+        if self.rebuilds is not None:
+            payload["rebuilds"] = dict(self.rebuilds)
+        if self.children:
+            payload["children"] = {
+                entry.component: entry.as_dict() for entry in self.children
+            }
+        return payload

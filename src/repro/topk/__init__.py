@@ -18,7 +18,12 @@ term, candidate or whole type group whose score *upper bound* cannot beat
   :func:`~repro.topk.maxscore.maxscore_sparse` — the two max-score
   traversal drivers (smoothing scorers score every candidate and need the
   dense driver; BM25-family scorers only ever touch postings and use the
-  sparse one).
+  sparse one);
+* :func:`~repro.topk.kernels.columnar_dense` /
+  :func:`~repro.topk.kernels.columnar_sparse` — the vectorized
+  counterparts of the two drivers, operating on the columnar postings
+  view of :mod:`repro.index.columnar` (the ``columnar`` config knob
+  selects between the scalar and vectorized drivers).
 
 Pruning never changes results: every driver only narrows the candidate
 set using sound upper bounds (with a rounding-safety slack, see
@@ -42,6 +47,15 @@ from .heap import (
     threshold_of,
     top_k_bounds,
 )
+from .kernels import (
+    DenseKernelTerm,
+    SparseKernelTerm,
+    accumulate_dense,
+    accumulate_sparse,
+    columnar_dense,
+    columnar_sparse,
+    select_survivor_ordinals,
+)
 from .maxscore import (
     SELECTION_MARGIN,
     maxscore_dense,
@@ -52,6 +66,7 @@ from .stats import PruningStats
 
 __all__ = [
     "BlockedSparseTermEntry",
+    "DenseKernelTerm",
     "DenseTermEntry",
     "NO_THRESHOLD",
     "PruningStats",
@@ -59,11 +74,17 @@ __all__ = [
     "ScorerBounds",
     "SharedThreshold",
     "SharedThresholdSlot",
+    "SparseKernelTerm",
     "SparseTermEntry",
     "ThresholdHeap",
+    "accumulate_dense",
+    "accumulate_sparse",
+    "columnar_dense",
+    "columnar_sparse",
     "maxscore_dense",
     "maxscore_sparse",
     "safety_slack",
+    "select_survivor_ordinals",
     "select_survivors",
     "threshold_of",
     "top_k_bounds",

@@ -1,0 +1,397 @@
+"""Vectorized max-score traversal kernels over columnar postings.
+
+These are the array-driven counterparts of the scalar drivers in
+:mod:`repro.topk.maxscore`: the same traversal structure (term order,
+θ derivation, OR→AND switch, block-max refinement, cross-shard θ
+offers, pruning counters), but candidates live in numpy arrays — an
+accumulator column plus an alive mask — and every per-candidate loop
+becomes a vectorized operation.  Term inputs are precomputed
+*contribution columns* (see :mod:`repro.index.columnar`): the dense
+kernel gathers one value per live candidate per term, the sparse kernel
+scatter-adds each term's posting range.
+
+The equivalence contract is inherited from the scalar drivers: a kernel
+returns a *superset* of the true top-k with margin-guarded partials,
+and the caller re-scores the survivors through the exhaustive scalar
+path with the exhaustive ``(-score, doc_id)`` tie-break — so columnar
+rankings are byte-identical to scalar rankings by construction, and the
+kernels' θ arithmetic only has to be *sound*, not bit-equal.  Every cut
+keeps the :func:`~repro.topk.heap.safety_slack` rounding guard, which
+also absorbs the ulp differences between ``numpy`` reductions and the
+scalar accumulation order.
+
+Ordinals are assigned in sorted-doc-id order (see
+:class:`~repro.index.columnar.ColumnarIndex`), so ordinal comparisons
+reproduce the ``doc_id`` tie-break and
+:func:`select_survivor_ordinals` can rank with one ``lexsort``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .heap import NO_THRESHOLD, SharedThresholdSlot, safety_slack
+from .maxscore import SELECTION_MARGIN
+from .stats import PruningStats
+
+
+@dataclass(frozen=True)
+class DenseKernelTerm:
+    """One query term of the dense (language-model) kernel.
+
+    ``contributions`` holds the term's exact per-document contribution
+    for *every* ordinal (smoothing scores all documents), so one pass is
+    a single gather-and-add over the live candidates.
+    """
+
+    key: str
+    floor: float
+    upper: float
+    contributions: np.ndarray
+
+    @property
+    def spread(self) -> float:
+        """Bound width — the term-ordering key of the dense traversal."""
+        return self.upper - self.floor
+
+
+@dataclass(frozen=True)
+class SparseKernelTerm:
+    """One query term of the sparse (BM25-family) kernel.
+
+    ``ordinals``/``contributions`` are the term's posting column (exact
+    contribution per matching document, ascending ordinals); the
+    optional block arrays carry the ``blockmax`` range bounds on the
+    same grid as the scalar block summaries.  Sharded runs slice
+    ``ordinals``/``contributions`` per shard and keep the block arrays
+    global — a superset grid is still a sound bound source.
+    """
+
+    key: str
+    upper: float
+    ordinals: np.ndarray
+    contributions: np.ndarray
+    block_last_ordinals: np.ndarray | None = None
+    block_uppers: np.ndarray | None = None
+
+
+# --------------------------------------------------------------------- #
+# θ helpers over value arrays
+# --------------------------------------------------------------------- #
+def _kth_largest(values: np.ndarray, k: int) -> float:
+    """θ over a value column: the k-th largest, or ``-inf``.
+
+    Mirrors :func:`~repro.topk.heap.threshold_of` including the NaN
+    rule — a NaN anywhere near the top degrades θ to ``-inf`` (pruning
+    disabled, which is sound) instead of poisoning comparisons.
+    """
+    if k <= 0 or values.size < k:
+        return NO_THRESHOLD
+    top = np.partition(values, values.size - k)[values.size - k :]
+    if np.isnan(top).any():
+        return NO_THRESHOLD
+    return float(top[0])
+
+
+def _top_bounds(values: np.ndarray, k: int) -> list[float]:
+    """Up-to-``k`` largest values as witnesses for the θ broadcast.
+
+    The array sibling of :func:`~repro.topk.heap.top_k_bounds`: short
+    results are kept, NaNs are dropped.
+    """
+    if k <= 0 or values.size == 0:
+        return []
+    if values.size > k:
+        top = np.partition(values, values.size - k)[values.size - k :]
+    else:
+        top = values
+    top = top[~np.isnan(top)]
+    return top.tolist()
+
+
+def select_survivor_ordinals(
+    ordinals: np.ndarray,
+    values: np.ndarray,
+    top_k: int,
+    margin: int = SELECTION_MARGIN,
+) -> np.ndarray:
+    """The ordinals worth re-scoring exactly: top ``k + margin``.
+
+    The array counterpart of
+    :func:`~repro.topk.maxscore.select_survivors`, with the same
+    ``(-value, doc_id)`` ordering: ordinal order *is* doc-id order, so
+    one ``lexsort`` on ``(ordinal, -value)`` reproduces the tie-break.
+    """
+    budget = top_k + margin
+    if ordinals.size <= budget:
+        return ordinals
+    ranking = np.lexsort((ordinals, -values))
+    return ordinals[ranking[:budget]]
+
+
+# --------------------------------------------------------------------- #
+# Dense kernel (language-model family)
+# --------------------------------------------------------------------- #
+def columnar_dense(
+    candidate_ordinals: np.ndarray,
+    entries: list[DenseKernelTerm],
+    top_k: int,
+    stats: PruningStats,
+    margin: int = SELECTION_MARGIN,
+    prime_threshold: float = NO_THRESHOLD,
+    shared: SharedThresholdSlot | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`~repro.topk.maxscore.maxscore_dense`.
+
+    Same traversal: terms in decreasing spread order, θ from the live
+    partials (plus the remaining floor sum), evictions fused into the
+    next pass, remaining passes skipped once at most ``top_k + margin``
+    candidates survive.  Returns the surviving ``(ordinals, partials)``
+    columns.
+    """
+    stats.queries += 1
+    stats.terms_total += len(entries)
+    stats.candidates_total += int(candidate_ordinals.size)
+    accumulators = np.zeros(candidate_ordinals.size, dtype=np.float64)
+    if not entries or candidate_ordinals.size == 0:
+        return candidate_ordinals, accumulators
+
+    order = sorted(range(len(entries)), key=lambda i: (-entries[i].spread, i))
+    remaining_floor = [0.0] * (len(order) + 1)
+    remaining_upper = [0.0] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        entry = entries[order[position]]
+        remaining_floor[position] = remaining_floor[position + 1] + entry.floor
+        remaining_upper[position] = remaining_upper[position + 1] + entry.upper
+
+    stop_budget = top_k + margin
+    alive = np.ones(candidate_ordinals.size, dtype=bool)
+    alive_count = int(candidate_ordinals.size)
+    cut = NO_THRESHOLD
+    for position, index in enumerate(order):
+        if alive_count <= stop_budget:
+            stats.terms_skipped += len(order) - position
+            break
+        if cut != NO_THRESHOLD:
+            doomed = alive & (accumulators < cut)
+            evicted = int(np.count_nonzero(doomed))
+            if evicted:
+                alive &= ~doomed
+                alive_count -= evicted
+                stats.candidates_pruned += evicted
+        accumulators[alive] += entries[index].contributions[candidate_ordinals[alive]]
+        rem_floor = remaining_floor[position + 1]
+        rem_upper = remaining_upper[position + 1]
+        if rem_upper <= rem_floor:
+            cut = NO_THRESHOLD
+            continue
+        live = accumulators[alive]
+        if shared is not None:
+            total = shared.offer([bound + rem_floor for bound in _top_bounds(live, top_k)])
+            if prime_threshold > total:
+                total = prime_threshold
+        else:
+            threshold = _kth_largest(live, top_k)
+            if threshold == NO_THRESHOLD:
+                total = prime_threshold
+            else:
+                total = threshold + rem_floor
+                if prime_threshold > total:
+                    total = prime_threshold
+        if total == NO_THRESHOLD:
+            cut = NO_THRESHOLD
+            continue
+        cut = total - safety_slack(total) - rem_upper
+    return candidate_ordinals[alive], accumulators[alive]
+
+
+def accumulate_dense(
+    candidate_ordinals: np.ndarray, entries: list[DenseKernelTerm]
+) -> np.ndarray:
+    """Plain (``pruning="off"``) dense accumulation: gather-add all terms."""
+    accumulators = np.zeros(candidate_ordinals.size, dtype=np.float64)
+    for entry in entries:
+        accumulators += entry.contributions[candidate_ordinals]
+    return accumulators
+
+
+# --------------------------------------------------------------------- #
+# Sparse kernel (BM25 family)
+# --------------------------------------------------------------------- #
+def columnar_sparse(
+    entries: list[SparseKernelTerm],
+    top_k: int,
+    stats: PruningStats,
+    num_documents: int,
+    blockmax: bool = False,
+    shared: SharedThresholdSlot | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`~repro.topk.maxscore.maxscore_sparse`.
+
+    The accumulator map becomes a length-``num_documents`` value column
+    plus an alive mask; postings expansion is a scatter-add over the
+    term's ordinal range (re-entering documents reset to zero first,
+    like the scalar ``accumulators.get(doc_id, 0.0)``), refinement adds
+    only where alive, and the OR→AND switch plus evictions follow the
+    scalar driver decision for decision.  Returns the surviving
+    ``(ordinals, partials)`` columns.
+    """
+    stats.queries += 1
+    stats.terms_total += len(entries)
+    if not entries:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+
+    accumulators = np.zeros(num_documents, dtype=np.float64)
+    alive = np.zeros(num_documents, dtype=bool)
+    alive_count = 0
+
+    order = sorted(range(len(entries)), key=lambda i: (-entries[i].upper, i))
+    remaining_upper = [0.0] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        remaining_upper[position] = remaining_upper[position + 1] + entries[order[position]].upper
+
+    threshold = NO_THRESHOLD
+    for position, index in enumerate(order):
+        entry = entries[index]
+        if shared is not None and shared.value > threshold:
+            threshold = shared.value
+        cut = (
+            threshold - safety_slack(threshold)
+            if threshold != NO_THRESHOLD
+            else NO_THRESHOLD
+        )
+        if cut != NO_THRESHOLD and remaining_upper[position] < cut:
+            if blockmax:
+                _columnar_gallop(
+                    accumulators,
+                    alive,
+                    [entries[i] for i in order[position:]],
+                    remaining_upper,
+                    position,
+                    top_k,
+                    threshold,
+                    stats,
+                    shared=shared,
+                )
+                break
+            ordinals = entry.ordinals
+            matched = alive[ordinals]
+            accumulators[ordinals[matched]] += entry.contributions[matched]
+            stats.terms_skipped += 1
+        else:
+            ordinals = entry.ordinals
+            present = alive[ordinals]
+            # Scatter-add with re-entry reset: a document evicted by an
+            # earlier θ re-enters with only this term's contribution.
+            accumulators[ordinals] = (
+                np.where(present, accumulators[ordinals], 0.0) + entry.contributions
+            )
+            entered = int(ordinals.size - np.count_nonzero(present))
+            alive[ordinals] = True
+            alive_count += entered
+            stats.candidates_total += entered
+        rem_upper = remaining_upper[position + 1]
+        refreshed = False
+        if shared is not None:
+            offered = shared.offer(_top_bounds(accumulators[alive], top_k))
+            if offered > threshold:
+                threshold = offered
+            refreshed = True
+        elif alive_count > top_k:
+            threshold = _kth_largest(accumulators[alive], top_k)
+            refreshed = True
+        if refreshed and threshold != NO_THRESHOLD and position + 1 < len(order):
+            cut = threshold - safety_slack(threshold) - rem_upper
+            doomed = alive & (accumulators < cut)
+            evicted = int(np.count_nonzero(doomed))
+            if evicted:
+                alive &= ~doomed
+                alive_count -= evicted
+                stats.candidates_pruned += evicted
+    survivors = np.flatnonzero(alive)
+    return survivors, accumulators[survivors]
+
+
+def _columnar_gallop(
+    accumulators: np.ndarray,
+    alive: np.ndarray,
+    remaining: list[SparseKernelTerm],
+    remaining_upper: list[float],
+    base_position: int,
+    top_k: int,
+    threshold: float,
+    stats: PruningStats,
+    shared: SharedThresholdSlot | None = None,
+) -> None:
+    """AND-mode block-max refinement, vectorized.
+
+    The scalar :func:`~repro.topk.maxscore._gallop_refine` gallops a
+    block cursor over the survivors with ``bisect``; here one
+    ``searchsorted`` maps every survivor to its block at once, the
+    block-bound eviction is a mask, and the posting probe is a second
+    ``searchsorted`` intersection.  Counter semantics match: every
+    remaining term counts as skipped, ``blocks_total`` accrues the full
+    grid per blocked term, and ``blocks_skipped`` the blocks no kept
+    survivor landed in.
+    """
+    for offset, entry in enumerate(remaining):
+        stats.terms_skipped += 1
+        if shared is not None and shared.value > threshold:
+            threshold = shared.value
+        cut = threshold - safety_slack(threshold)
+        block_lasts = entry.block_last_ordinals
+        if block_lasts is None or block_lasts.size == 0:
+            ordinals = entry.ordinals
+            matched = alive[ordinals]
+            accumulators[ordinals[matched]] += entry.contributions[matched]
+        else:
+            rem_after = remaining_upper[base_position + offset + 1]
+            block_uppers = entry.block_uppers
+            num_blocks = int(block_lasts.size)
+            stats.blocks_total += num_blocks
+            survivors = np.flatnonzero(alive)
+            blocks = np.searchsorted(block_lasts, survivors, side="left")
+            in_grid = blocks < num_blocks
+            bounds = np.where(
+                in_grid, block_uppers[np.minimum(blocks, num_blocks - 1)], 0.0
+            )
+            doomed = accumulators[survivors] + bounds + rem_after < cut
+            evicted = int(np.count_nonzero(doomed))
+            if evicted:
+                alive[survivors[doomed]] = False
+                stats.candidates_pruned += evicted
+            keep = ~doomed & in_grid
+            probe = survivors[keep]
+            probe_blocks = blocks[keep]
+            if entry.ordinals.size and probe.size:
+                positions = np.searchsorted(entry.ordinals, probe)
+                positions = np.minimum(positions, entry.ordinals.size - 1)
+                matched = entry.ordinals[positions] == probe
+                accumulators[probe[matched]] += entry.contributions[positions[matched]]
+            probed = int(np.unique(probe_blocks).size)
+            stats.blocks_skipped += num_blocks - probed
+        live = accumulators[alive]
+        if shared is not None:
+            offered = shared.offer(_top_bounds(live, top_k))
+            if offered > threshold:
+                threshold = offered
+        elif live.size > top_k:
+            refreshed = _kth_largest(live, top_k)
+            if refreshed > threshold:
+                threshold = refreshed
+
+
+def accumulate_sparse(
+    entries: list[SparseKernelTerm], num_documents: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain (``pruning="off"``) sparse accumulation: scatter-add all terms."""
+    accumulators = np.zeros(num_documents, dtype=np.float64)
+    alive = np.zeros(num_documents, dtype=bool)
+    for entry in entries:
+        accumulators[entry.ordinals] += entry.contributions
+        alive[entry.ordinals] = True
+    survivors = np.flatnonzero(alive)
+    return survivors, accumulators[survivors]

@@ -132,3 +132,129 @@ class TestActions:
             {"action": "deselect_entity", "session_id": session_id, "entity": "dbr:Forrest_Gump"}
         )
         assert deselected["status"] == "ok"
+
+
+class TestEnvelopeSchemas:
+    """Golden top-level key sets: one ok and one error envelope per action.
+
+    The module docstring of :mod:`repro.engine.api` documents these
+    schemas; this class pins them.  Query-state actions share the
+    query-response payload — ``hits`` always, ``recommendation`` and
+    ``matrix`` exactly when the session has seeds.
+    """
+
+    QUERY_KEYS = {"status", "hits", "recommendation", "matrix"}
+
+    def test_ok_envelopes(self, api: PivotEApi):
+        session_id = start_session(api)
+        seeded = [
+            ("submit_keywords", {"session_id": session_id, "keywords": "forrest gump"}),
+            ("select_entity", {"session_id": session_id, "entity": "dbr:Forrest_Gump"}),
+            ("pin_feature", {"session_id": session_id, "feature": "dbr:Tom_Hanks:dbo:starring"}),
+            ("unpin_feature", {"session_id": session_id, "feature": "dbr:Tom_Hanks:dbo:starring"}),
+            ("set_domain", {"session_id": session_id, "domain": "dbo:Film"}),
+            ("investigate", {"session_id": session_id}),
+            ("pivot", {"session_id": session_id, "entity": "dbr:Tom_Hanks"}),
+            # Step 1 is the post-select state, which has seeds (step 0
+            # is the keyword-only state, covered by the seedless test).
+            ("revisit", {"session_id": session_id, "step": 1}),
+        ]
+        for action, fields in seeded:
+            response = api.handle({"action": action, **fields})
+            assert response["status"] == "ok", (action, response)
+            assert set(response) == self.QUERY_KEYS, action
+
+        flat = [
+            ("search", {"keywords": "forrest gump"}, {"status", "hits"}),
+            ("start_session", {}, {"status", "session_id"}),
+            ("lookup", {"entity": "dbr:Forrest_Gump"}, {"status", "profile"}),
+            (
+                "explain",
+                {"left": "dbr:Forrest_Gump", "right": "dbr:Apollo_13_(film)"},
+                {"status", "text", "shared_features"},
+            ),
+            ("session_state", {"session_id": session_id}, {"status", "session"}),
+            ("stats", {}, {"status", "stats"}),
+        ]
+        for action, fields, expected_keys in flat:
+            response = api.handle({"action": action, **fields})
+            assert response["status"] == "ok", (action, response)
+            assert set(response) == expected_keys, action
+
+    def test_seedless_query_response_has_no_recommendation(self, api: PivotEApi):
+        session_id = start_session(api)
+        response = api.handle({"action": "investigate", "session_id": session_id})
+        assert set(response) == {"status", "hits"}
+        assert response == {"status": "ok", "hits": []}
+
+    def test_error_envelopes(self, api: PivotEApi):
+        session_id = start_session(api)
+        malformed = [
+            {"action": "bogus"},
+            {},
+            {"action": "search", "keywords": "x", "top_k": "five"},
+            {"action": "submit_keywords"},
+            {"action": "select_entity", "session_id": session_id},
+            {"action": "select_entity", "session_id": session_id, "entity": "dbr:Nope"},
+            {"action": "pin_feature", "session_id": session_id},
+            {"action": "pin_feature", "session_id": session_id, "feature": "not-a-feature"},
+            {"action": "pivot", "session_id": "ghost", "entity": "dbr:Tom_Hanks"},
+            {"action": "lookup"},
+            {"action": "explain", "left": "dbr:Forrest_Gump"},
+            {"action": "revisit", "session_id": session_id},
+            {"action": "revisit", "session_id": session_id, "step": 99},
+        ]
+        for request in malformed:
+            response = api.handle(request)
+            assert set(response) == {"status", "error"}, request
+            assert response["status"] == "error", request
+            assert isinstance(response["error"], str) and response["error"], request
+
+
+class TestRequestHardening:
+    """Type coercion/validation of integer request fields."""
+
+    def test_top_k_string_of_digits_is_accepted(self, api: PivotEApi):
+        response = api.handle({"action": "search", "keywords": "forrest gump", "top_k": "3"})
+        assert response["status"] == "ok"
+        assert len(response["hits"]) <= 3
+
+    @pytest.mark.parametrize("top_k", ["five", [5], True, False, 0, -2])
+    def test_bad_top_k_is_an_error_envelope_not_a_raise(self, api: PivotEApi, top_k):
+        # Regression: a non-numeric top_k used to escape handle() as an
+        # uncaught TypeError instead of an error envelope.
+        response = api.handle(
+            {"action": "search", "keywords": "forrest gump", "top_k": top_k}
+        )
+        assert response["status"] == "error"
+        assert "top_k" in response["error"]
+
+    def test_revisit_step_is_coerced_and_validated(self, api: PivotEApi):
+        session_id = start_session(api)
+        api.handle(
+            {"action": "submit_keywords", "session_id": session_id, "keywords": "forrest gump"}
+        )
+        assert (
+            api.handle({"action": "revisit", "session_id": session_id, "step": "0"})["status"]
+            == "ok"
+        )
+        bad = api.handle({"action": "revisit", "session_id": session_id, "step": "first"})
+        assert bad["status"] == "error"
+        assert "step" in bad["error"]
+
+    def test_extra_request_keys_are_ignored(self, api: PivotEApi):
+        response = api.handle(
+            {"action": "search", "keywords": "forrest gump", "trace_id": "abc123"}
+        )
+        assert response["status"] == "ok"
+
+
+class TestStatsAction:
+    def test_stats_payload_matches_system_stats(self, api: PivotEApi, movie_system):
+        response = api.handle({"action": "stats"})
+        assert response["status"] == "ok"
+        json.dumps(response)
+        payload = response["stats"]
+        assert payload["component"] == "pivote"
+        assert set(payload["children"]) == {"search", "recommendation"}
+        assert payload == movie_system.stats().as_dict()
