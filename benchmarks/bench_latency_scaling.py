@@ -11,6 +11,15 @@ workload — duplicated ×2, as real traffic repeats queries — through one
 cache-free ``SearchEngine.search_many`` call against the same requests
 issued one at a time (``unbatched``).
 
+Since PR 7 the A/B carries a ``parallel`` arm: the same sharded maxscore
+traversal with ``executor="process"`` — survivor selection runs in warm
+worker processes attached to the shared-memory snapshot of the columnar
+index (``repro.exec.shm`` / ``repro.exec.procpool``), with the
+cross-process θ slab standing in for the thread-level broadcast.
+``parallel_ratio`` is pruned-serial over process wall-clock; it only
+exceeds 1.0 on multi-core hosts (``cpu_cores`` is recorded so gates can
+stay honest on single-core CI runners).
+
 Since PR 6 the default engine scores through the columnar postings view
 and vectorized kernels (``repro.index.columnar`` + ``repro.topk.kernels``);
 the ``nocolumnar`` arm runs the identical maxscore traversal through the
@@ -47,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -73,6 +83,11 @@ SIZES = (200, 500, 1000, 2000)
 #: committed baseline records the 4-shard fan-out against the 1-shard
 #: serial path on the same workload.
 SHARD_COUNT = 4
+
+#: Worker processes of the ``parallel`` arm: capped by the shard count
+#: (one worker per dispatched shard is the useful maximum) but at least
+#: two so the pool actually fans out even on small CI runners.
+PROCESS_WORKERS = min(SHARD_COUNT, max(2, os.cpu_count() or 1))
 
 
 def _search_queries(graph, num_queries: int = 8) -> list[str]:
@@ -134,6 +149,14 @@ def measure_search_ab(
     #: the production configuration, not the CRC-per-candidate fallback).
     sharded_engine = SearchEngine.from_graph(graph, SearchConfig(shards=SHARD_COUNT))
     sharded = sharded_engine.mlm_scorer
+    #: The parallel arm (PR 7): the same sharded traversal with worker
+    #: *processes* attached to the shared-memory snapshot; byte-identical
+    #: rankings, real core parallelism where the host has the cores.
+    parallel_engine = SearchEngine.from_graph(
+        graph,
+        SearchConfig(shards=SHARD_COUNT, executor="process", workers=PROCESS_WORKERS),
+    )
+    parallel = parallel_engine.mlm_scorer
     #: The batch arm runs cache-free so it measures search_many's
     #: amortisation (shared snapshot + in-batch dedupe), not LRU hits.
     batch_engine = SearchEngine.from_graph(graph, SearchConfig(result_cache_size=0))
@@ -173,6 +196,8 @@ def measure_search_ab(
             identical = False
         if _results_signature(sharded.search(query, top_k=top_k)) != slow:
             identical = False
+        if _results_signature(parallel.search(query, top_k=top_k)) != slow:
+            identical = False
         engine.search(raw, top_k=top_k)  # warm the LRU so "cached" times hits only
     batched_hits = batch_engine.search_many(batch_input, top_k=top_k)
     serial_hits = [batch_engine.search(raw, top_k=top_k) for raw in batch_input]
@@ -194,6 +219,8 @@ def measure_search_ab(
                 nocolumnar.search(query, top_k=top_k)
             with watch.measure("sharded"):
                 sharded.search(query, top_k=top_k)
+            with watch.measure("parallel"):
+                parallel.search(query, top_k=top_k)
             with watch.measure("bm25_maxscore"):
                 bm25_maxscore.search(long_query, top_k=bm25_top_k)
             with watch.measure("bm25_blockmax"):
@@ -214,6 +241,9 @@ def measure_search_ab(
     blockmax_stats = watch.stats("blockmax").as_dict()
     nocolumnar_stats = watch.stats("nocolumnar").as_dict()
     sharded_stats = watch.stats("sharded").as_dict()
+    parallel_stats = watch.stats("parallel").as_dict()
+    executor_record = parallel_engine.stats().executor
+    parallel_engine.close()  # unlink the published snapshot segment
     bm25_maxscore_stats = watch.stats("bm25_maxscore").as_dict()
     bm25_blockmax_stats = watch.stats("bm25_blockmax").as_dict()
     cached = watch.stats("cached").as_dict()
@@ -243,6 +273,10 @@ def measure_search_ab(
         "sharded_mean_ms": sharded_stats["mean_ms"],
         "sharded_p95_ms": sharded_stats["p95_ms"],
         "shards": SHARD_COUNT,
+        "parallel_mean_ms": parallel_stats["mean_ms"],
+        "parallel_p95_ms": parallel_stats["p95_ms"],
+        "workers": PROCESS_WORKERS,
+        "cpu_cores": os.cpu_count() or 1,
         "bm25_maxscore_mean_ms": bm25_maxscore_stats["mean_ms"],
         "bm25_blockmax_mean_ms": bm25_blockmax_stats["mean_ms"],
         "cached_mean_ms": cached["mean_ms"],
@@ -269,6 +303,14 @@ def measure_search_ab(
             if sharded_stats["mean_ms"] > 0
             else float("inf")
         ),
+        # Serial maxscore over the process arm: > 1.0 = real core
+        # parallelism paid off (only expected on multi-core hosts).
+        "parallel_ratio": (
+            pruned_stats["mean_ms"] / parallel_stats["mean_ms"]
+            if parallel_stats["mean_ms"] > 0
+            else float("inf")
+        ),
+        "executor_parallel": None if executor_record is None else executor_record.as_dict(),
         # > 1.0 = one search_many call beats the same requests one-by-one.
         "batch_ratio": (
             unbatched["mean_ms"] / batched["mean_ms"]
@@ -356,6 +398,7 @@ def test_search_accumulator_vs_exhaustive_ab(graphs):
                 "blockmax_ms": row["blockmax_mean_ms"],
                 "nocolumnar_ms": row["nocolumnar_mean_ms"],
                 "sharded_ms": row["sharded_mean_ms"],
+                "parallel_ms": row["parallel_mean_ms"],
                 "batched_ms": row["batched_mean_ms"],
                 "cached_ms": row["cached_mean_ms"],
                 "speedup": row["speedup_accumulator"],
@@ -363,6 +406,7 @@ def test_search_accumulator_vs_exhaustive_ab(graphs):
                 "speedup_blockmax": row["speedup_blockmax"],
                 "columnar_ratio": row["columnar_ratio"],
                 "sharded_ratio": row["sharded_ratio"],
+                "parallel_ratio": row["parallel_ratio"],
                 "batch_ratio": row["batch_ratio"],
                 "speedup_cached": row["speedup_cached"],
             }
@@ -446,6 +490,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--min-parallel-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail unless pruned_mean_ms over the process-executor arm's "
+            "mean reaches this at the largest size (1.0 = process "
+            "fan-out at-or-faster than the 1-shard serial path); the "
+            "gate is skipped with a warning on single-core hosts, where "
+            "worker processes cannot overlap"
+        ),
+    )
+    parser.add_argument(
         "--min-columnar-ratio",
         type=float,
         default=None,
@@ -482,10 +538,12 @@ def main(argv: list[str] | None = None) -> int:
             f"accumulator={row['accumulator_mean_ms']:8.3f}ms  pruned={row['pruned_mean_ms']:8.3f}ms  "
             f"blockmax={row['blockmax_mean_ms']:8.3f}ms  nocolumnar={row['nocolumnar_mean_ms']:8.3f}ms  "
             f"sharded={row['sharded_mean_ms']:8.3f}ms  "
+            f"parallel={row['parallel_mean_ms']:8.3f}ms  "
             f"batched={row['batched_mean_ms']:8.3f}ms  cached={row['cached_mean_ms']:8.3f}ms  "
             f"speedup={row['speedup_accumulator']:6.2f}x  pruned={row['speedup_pruned']:6.2f}x  "
             f"blockmax={row['speedup_blockmax']:6.2f}x  columnar_ratio={row['columnar_ratio']:5.2f}  "
             f"shard_ratio={row['sharded_ratio']:5.2f}  "
+            f"parallel_ratio={row['parallel_ratio']:5.2f}  "
             f"batch_ratio={row['batch_ratio']:5.2f}  cached={row['speedup_cached']:8.2f}x  "
             f"identical={row['identical']}"
         )
@@ -539,6 +597,21 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_parallel_ratio is not None:
+        if largest["cpu_cores"] <= 1:
+            print(
+                f"WARN: skipping --min-parallel-ratio {args.min_parallel_ratio:.2f} gate "
+                f"on a single-core host (parallel_ratio={largest['parallel_ratio']:.2f})",
+                file=sys.stderr,
+            )
+        elif largest["parallel_ratio"] < args.min_parallel_ratio:
+            print(
+                f"FAIL: parallel ratio {largest['parallel_ratio']:.2f} below required "
+                f"{args.min_parallel_ratio:.2f} at {largest['entities']} entities "
+                f"({largest['cpu_cores']} cores)",
+                file=sys.stderr,
+            )
+            return 1
     if args.min_columnar_ratio is not None and largest["columnar_ratio"] < args.min_columnar_ratio:
         print(
             f"FAIL: columnar ratio {largest['columnar_ratio']:.2f} below required "

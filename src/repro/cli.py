@@ -30,7 +30,7 @@ import sys
 from collections.abc import Callable, Sequence
 from dataclasses import replace
 
-from .config import PRUNING_MODES, PivotEConfig
+from .config import EXECUTOR_CHOICES, PRUNING_MODES, PivotEConfig
 from .datasets import build_academic_kg, build_geography_kg, build_movie_kg, small_movie_kg
 from .engine import PivotE
 from .features import SemanticFeature
@@ -106,6 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
             "score through the columnar postings view and vectorized "
             "kernels ('on', the default) or the scalar per-posting loops "
             "('off', the A/B arm); rankings are identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=EXECUTOR_CHOICES,
+        help=(
+            "how shard fan-outs run: 'inline' (serial), 'thread' (the "
+            "in-process pool), 'process' (worker processes attached to "
+            "the shared-memory snapshot) or 'auto' (the default: inline "
+            "for 1 shard, threads otherwise); rankings are identical in "
+            "every mode"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker count for the thread/process executors (0, the "
+            "default, sizes the pool from the CPU count)"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -185,7 +207,11 @@ def _print_recommendation(system: PivotE, recommendation, top_entities: int, top
 
 
 def build_config(
-    pruning: str | None, shards: int | None = None, columnar: str | None = None
+    pruning: str | None,
+    shards: int | None = None,
+    columnar: str | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> PivotEConfig:
     """The system configuration for the CLI's execution-layer overrides."""
     config = PivotEConfig.default()
@@ -200,6 +226,12 @@ def build_config(
     if columnar is not None:
         search_changes["columnar"] = columnar == "on"
         ranking_changes["columnar"] = columnar == "on"
+    if executor is not None:
+        search_changes["executor"] = executor
+        ranking_changes["executor"] = executor
+    if workers is not None:
+        search_changes["workers"] = workers
+        ranking_changes["workers"] = workers
     if not search_changes:
         return config
     return replace(
@@ -221,6 +253,9 @@ def _print_pruning_info(system: PivotE) -> None:
     print(f"pruning[search]:    {stats.child('search').pruning_view('mlm').as_counters()}")
     recommend = stats.child("recommendation").pruning_view("entity-ranker").as_counters()
     print(f"pruning[recommend]: {recommend}")
+    executor = stats.child("search").executor
+    if executor is not None:
+        print(f"executor[search]:   {executor.as_dict()}")
 
 
 def run_command(args: argparse.Namespace) -> int:
@@ -231,7 +266,12 @@ def run_command(args: argparse.Namespace) -> int:
         print(compute_statistics(graph).summary())
         return 0
 
-    system = PivotE(graph, config=build_config(args.pruning, args.shards, args.columnar))
+    system = PivotE(
+        graph,
+        config=build_config(
+            args.pruning, args.shards, args.columnar, args.executor, args.workers
+        ),
+    )
     exit_code = _run_system_command(system, args)
     if exit_code == 0 and args.show_pruning:
         _print_pruning_info(system)

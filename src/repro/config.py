@@ -24,6 +24,15 @@ PRUNING_MODES: tuple[str, ...] = ("off", "maxscore", "blockmax")
 #: traversals (the dispatch scorers and rankers branch on).
 PRUNED_MODES: tuple[str, ...] = ("maxscore", "blockmax")
 
+#: Recognised shard-executor choices of both engines (mirrored by
+#: ``repro.exec.EXECUTOR_CHOICES``; kept literal here so the config
+#: module stays dependency-free): ``"auto"`` is platform-aware (inline
+#: under the GIL, thread pool on a free-threaded multi-core build),
+#: ``"inline"``/``"thread"`` force those tiers, and ``"process"`` opts
+#: into the multiprocess tier over shared-memory columnar snapshots.
+#: Rankings are byte-identical under every choice.
+EXECUTOR_CHOICES: tuple[str, ...] = ("auto", "inline", "thread", "process")
+
 #: The five retrieval fields of Table 1 in the paper.
 DEFAULT_FIELDS: tuple[str, ...] = (
     "names",
@@ -84,6 +93,14 @@ class SearchConfig:
     #: A/B comparison.  Rankings are byte-identical either way: both
     #: paths feed the same exhaustive-order survivor re-scoring epilogue.
     columnar: bool = True
+    #: Shard-executor tier (one of :data:`EXECUTOR_CHOICES`):
+    #: ``"process"`` runs the columnar pruned shard fan-out in a warm
+    #: multiprocess pool over shared-memory snapshots (see
+    #: :mod:`repro.exec.procpool`); effective with ``shards > 1``.
+    executor: str = "auto"
+    #: Worker cap of the selected executor tier; ``0`` sizes the pool to
+    #: the machine.
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
@@ -92,6 +109,10 @@ class SearchConfig:
             raise ValueError(f"unknown pruning mode: {self.pruning!r}")
         if self.shards < 1:
             raise ValueError("shards must be positive")
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ValueError(f"unknown executor: {self.executor!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
         if self.dirichlet_mu <= 0:
             raise ValueError("dirichlet_mu must be positive")
         if not 0.0 <= self.jm_lambda <= 1.0:
@@ -156,6 +177,14 @@ class RankingConfig:
     #: future columnar layout of the feature index.  Rankings are
     #: identical either way.
     columnar: bool = True
+    #: Shard-executor tier, mirroring :attr:`SearchConfig.executor`.
+    #: The ranker's fan-out is closure-based, so ``"process"`` degrades
+    #: to inline execution there (the knob is honoured for the thread
+    #: and inline tiers and echoed by ``stats()``).
+    executor: str = "auto"
+    #: Worker cap of the selected executor tier; ``0`` sizes the pool to
+    #: the machine.
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.top_entities <= 0 or self.top_features <= 0:
@@ -164,6 +193,10 @@ class RankingConfig:
             raise ValueError(f"unknown pruning mode: {self.pruning!r}")
         if self.shards < 1:
             raise ValueError("shards must be positive")
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ValueError(f"unknown executor: {self.executor!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
         if self.max_candidates <= 0 or self.max_features <= 0:
             raise ValueError("max_candidates and max_features must be positive")
         if not 0 < self.epsilon < 1:

@@ -166,6 +166,17 @@ class PivotE:
             children=(self._search.stats(), self._recommender.stats()),
         )
 
+    def close(self) -> None:
+        """Release both engines' caches and shared-memory snapshots."""
+        self._search.close()
+        self._recommender.close()
+
+    def __enter__(self) -> "PivotE":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def search_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of the search engine's LRU result cache.
 

@@ -30,17 +30,84 @@ Building blocks:
 """
 
 from .batch import dedupe_batch
-from .executor import ShardExecutor, default_executor, merge_shard_maps, merge_shard_stats
+from .executor import (
+    EXECUTOR_CHOICES,
+    ShardExecutor,
+    default_executor,
+    merge_shard_maps,
+    merge_shard_stats,
+    resolve_executor,
+    shutdown_executors,
+)
 from .sharding import partition_candidates, partition_ids, shard_of, split_frequencies
+from .shm import (
+    AttachedSnapshot,
+    PublishedSnapshot,
+    SnapshotUnavailable,
+    ThetaSlab,
+    publish_snapshot,
+    release_snapshots,
+    snapshot_registry,
+)
+
+# Imported last: its transitive imports (topk kernels, columnar index)
+# re-enter this partially-initialised package for the names above.
+from .procpool import (  # noqa: E402  isort: skip
+    ProcessShardExecutor,
+    ProcessTask,
+    shard_stats_from,
+    shutdown_process_executors,
+)
+
+
+def executor_stats(mode: str, workers: int):
+    """One engine's :class:`~repro.stats.ExecutorStats` record.
+
+    Resolves the engine's configured executor (creating it lazily is
+    cheap — pools spawn on first dispatch, not construction) and pairs
+    its dispatch counters with the process-wide snapshot registry's
+    publish counters.
+    """
+    from ..stats import ExecutorStats
+
+    executor = resolve_executor(mode, workers)
+    registry = snapshot_registry()
+    return ExecutorStats(
+        mode=mode,
+        effective=executor.effective_mode(),
+        workers=executor.max_workers,
+        tasks_dispatched=executor.tasks_dispatched,
+        tasks_inlined=executor.tasks_inlined,
+        snapshots_published=registry.publishes,
+        snapshot_bytes=registry.published_bytes,
+        snapshot_attaches=getattr(executor, "snapshot_attaches", 0),
+        snapshots_active=registry.active(),
+    )
+
 
 __all__ = [
+    "EXECUTOR_CHOICES",
+    "AttachedSnapshot",
+    "ProcessShardExecutor",
+    "ProcessTask",
+    "PublishedSnapshot",
     "ShardExecutor",
+    "SnapshotUnavailable",
+    "ThetaSlab",
     "dedupe_batch",
     "default_executor",
+    "executor_stats",
     "merge_shard_maps",
     "merge_shard_stats",
     "partition_candidates",
     "partition_ids",
+    "publish_snapshot",
+    "release_snapshots",
+    "resolve_executor",
     "shard_of",
+    "shard_stats_from",
+    "shutdown_executors",
+    "shutdown_process_executors",
+    "snapshot_registry",
     "split_frequencies",
 ]

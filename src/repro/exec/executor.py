@@ -22,6 +22,7 @@ are the same — ``mode`` only decides where the workers run.
 
 from __future__ import annotations
 
+import atexit
 import os
 import sys
 import threading
@@ -41,6 +42,13 @@ _MAX_WORKERS = 8
 #: overlap work, ``"threads"`` always pools, ``"inline"`` never does.
 EXECUTOR_MODES = ("auto", "threads", "inline")
 
+#: Config-level executor choices (``SearchConfig.executor`` /
+#: ``RankingConfig.executor`` / CLI ``--executor``): ``"process"`` adds
+#: the multiprocess tier of :mod:`repro.exec.procpool`, ``"thread"``
+#: forces the thread pool, ``"inline"`` forces serial execution and
+#: ``"auto"`` (the default) keeps the platform-aware behaviour.
+EXECUTOR_CHOICES = ("auto", "inline", "thread", "process")
+
 
 def threads_can_parallelise() -> bool:
     """Whether pool threads can actually overlap the shard traversals.
@@ -58,6 +66,8 @@ def threads_can_parallelise() -> bool:
 class ShardExecutor:
     """Runs one task per shard, first shard inline, the rest pooled."""
 
+    is_process = False
+
     def __init__(self, max_workers: int | None = None, mode: str = "auto") -> None:
         if max_workers is None:
             max_workers = min(_MAX_WORKERS, os.cpu_count() or 1)
@@ -69,6 +79,8 @@ class ShardExecutor:
         self._mode = mode
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self.tasks_dispatched = 0
+        self.tasks_inlined = 0
 
     @property
     def max_workers(self) -> int:
@@ -77,6 +89,10 @@ class ShardExecutor:
     @property
     def mode(self) -> str:
         return self._mode
+
+    def effective_mode(self) -> str:
+        """Where tasks actually run under the current platform."""
+        return "thread" if self._use_pool() else "inline"
 
     def _use_pool(self) -> bool:
         if self._mode == "threads":
@@ -113,7 +129,10 @@ class ShardExecutor:
         if not tasks:
             return []
         if len(tasks) == 1 or not self._use_pool():
+            self.tasks_inlined += len(tasks)
             return [task() for task in tasks]
+        self.tasks_inlined += 1
+        self.tasks_dispatched += len(tasks) - 1
         pool = self._ensure_pool()
         futures = [pool.submit(task) for task in tasks[1:]]
         try:
@@ -132,6 +151,16 @@ class ShardExecutor:
                 self._pool.shutdown(wait=True)
                 self._pool = None
 
+    def close(self) -> None:
+        """Alias of :meth:`shutdown` (uniform lifecycle with the process pool)."""
+        self.shutdown()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 _DEFAULT_EXECUTOR = ShardExecutor()
 
@@ -139,6 +168,58 @@ _DEFAULT_EXECUTOR = ShardExecutor()
 def default_executor() -> ShardExecutor:
     """The process-wide executor shared by every engine."""
     return _DEFAULT_EXECUTOR
+
+
+#: Executors resolved from config knobs, shared per (mode, workers) so
+#: every engine with the same configuration reuses one warm pool.
+_RESOLVED: dict[tuple[str, int], object] = {}
+_RESOLVE_LOCK = threading.Lock()
+
+
+def resolve_executor(mode: str = "auto", workers: int = 0):
+    """The executor for a config's ``executor``/``workers`` knobs.
+
+    ``"auto"`` with the default worker count is the process-wide
+    platform-aware executor (inline under the GIL, threaded on a
+    free-threaded multi-core build — never multiprocess, which stays
+    opt-in); explicit modes get a dedicated, memoised executor.  The
+    returned object always offers ``run(closures)`` — the multiprocess
+    executor degrades closure batches to inline execution and only
+    parallelises recipe-based :class:`~repro.exec.procpool.ProcessTask`
+    batches via ``run_tasks``.
+    """
+    if mode not in EXECUTOR_CHOICES:
+        raise ValueError(f"unknown executor: {mode!r}")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    if mode == "auto" and workers == 0:
+        return default_executor()
+    key = (mode, workers)
+    with _RESOLVE_LOCK:
+        executor = _RESOLVED.get(key)
+        if executor is None or getattr(executor, "_closed", False):
+            if mode == "process":
+                from .procpool import process_executor
+
+                executor = process_executor(workers)
+            else:
+                thread_mode = {"auto": "auto", "thread": "threads", "inline": "inline"}[mode]
+                executor = ShardExecutor(max_workers=workers or None, mode=thread_mode)
+            _RESOLVED[key] = executor
+        return executor
+
+
+def shutdown_executors() -> None:
+    """Close the default and every resolved executor (tests / exit)."""
+    with _RESOLVE_LOCK:
+        executors = list(_RESOLVED.values())
+        _RESOLVED.clear()
+    for executor in executors:
+        executor.close()  # type: ignore[attr-defined]
+    _DEFAULT_EXECUTOR.close()
+
+
+atexit.register(shutdown_executors)
 
 
 def merge_shard_maps(shard_maps: Iterable[Mapping[str, float]]) -> dict[str, float]:

@@ -1,0 +1,528 @@
+"""Shared-memory snapshots of the columnar index and the cross-process θ slab.
+
+The process-parallel execution tier (``executor="process"``) ships no
+posting data through queues: the parent serialises one per-epoch
+:class:`~repro.index.columnar.ColumnarIndex` into a single
+``multiprocessing.shared_memory`` segment — a compact JSON manifest
+followed by the raw array bytes — and workers reconstruct numpy views
+over the same physical pages zero-copy.  The PR 6 columnar arrays are
+contiguous and immutable per epoch, which is exactly what makes this
+safe: a published segment is never written again.
+
+Layout of a snapshot segment::
+
+    [0:8)    int64  manifest length in bytes
+    [8:16)   int64  arrays base offset (64-byte aligned)
+    [16:..)  UTF-8 JSON manifest
+    [base:.) the arrays, each 64-byte aligned, offsets relative to base
+
+The manifest carries ``uid``/``epoch`` of the source index so attachers
+can reject stale segments (:class:`SnapshotUnavailable`), the per-field
+document-length columns, every (field, term) posting column pair
+(ordinals + frequencies) and a per-document CRC column from which any
+shard count's ownership map is derived (``crcs % num_shards`` matches
+:func:`repro.exec.sharding.shard_of` exactly).
+
+The θ broadcast between processes is a :class:`ThetaSlab`: one float64
+shared-memory slab with a per-shard seqlocked slot of top-k score lower
+bounds plus a monotone global-max cell.  Readers that observe a torn
+slot simply skip it — a missing offer only loosens θ, and the pruned
+drivers are sound under any θ that never exceeds the true k-th best
+bound, so races cost tightness, never correctness.  The slab presents
+the same duck-type as :class:`~repro.topk.SharedThresholdSlot`
+(``.value`` / ``.offer(bounds) -> float``), so the traversal kernels
+cannot tell a cross-process θ from a cross-thread one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import threading
+import zlib
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..index.postings import BLOCK_SIZE
+from ..topk import NO_THRESHOLD, threshold_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.columnar import ColumnarIndex, ColumnarPostings
+    from ..index.fielded_index import FieldedIndex
+
+#: Array alignment inside a snapshot segment (cache-line friendly).
+_ALIGN = 64
+
+#: Header: two little-endian int64 (manifest length, arrays base).
+_HEADER_BYTES = 16
+
+
+class SnapshotUnavailable(RuntimeError):
+    """The requested snapshot segment is missing, stale or malformed."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    On 3.13+ ``track=False`` expresses this directly; earlier
+    interpreters register every attach with the resource tracker, which
+    would unlink the (still-published) segment when the attaching
+    process exits (bpo-38119) — there the registration is suppressed for
+    the duration of the attach instead.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:  # pragma: no cover - interpreter-version dependent
+        original = resource_tracker.register
+
+        def register(name: str, rtype: str, _original=original) -> None:
+            if rtype != "shared_memory":
+                _original(name, rtype)
+
+        resource_tracker.register = register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+# --------------------------------------------------------------------- #
+# Publishing
+# --------------------------------------------------------------------- #
+class PublishedSnapshot:
+    """A snapshot segment owned (and eventually unlinked) by this process."""
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, uid: int, epoch: int, nbytes: int
+    ) -> None:
+        self._segment = segment
+        self.uid = uid
+        self.epoch = epoch
+        self.nbytes = nbytes
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def descriptor(self) -> dict[str, object]:
+        """The picklable attach handle workers receive in task payloads."""
+        return {"name": self._segment.name, "uid": self.uid, "epoch": self.epoch}
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent).
+
+        Workers already attached keep their mapping (POSIX unlink
+        semantics); late attachers get :class:`SnapshotUnavailable` and
+        the dispatcher falls back to inline execution.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+            self._segment.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover - already gone
+            pass
+
+
+def publish_snapshot(index: FieldedIndex, view: ColumnarIndex) -> PublishedSnapshot:
+    """Serialise one columnar index epoch into a shared-memory segment.
+
+    Every posting column of the full vocabulary is placed (workers must
+    be able to serve any query against the snapshot), together with the
+    per-field length columns and the per-document CRC column.  Array
+    offsets in the manifest are relative to the arrays base, so the
+    manifest can be encoded before the base is known.
+    """
+    arrays: list[np.ndarray] = []
+    cursor = 0
+
+    def place(array: np.ndarray) -> list[object]:
+        nonlocal cursor
+        array = np.ascontiguousarray(array)
+        offset = _align(cursor)
+        cursor = offset + array.nbytes
+        arrays.append(array)
+        return [offset, array.dtype.str, list(array.shape)]
+
+    crcs = np.fromiter(
+        (zlib.crc32(doc_id.encode("utf-8")) for doc_id in view.doc_ids),
+        dtype=np.uint32,
+        count=view.num_documents,
+    )
+    manifest: dict[str, object] = {
+        "uid": index.uid,
+        "epoch": index.epoch,
+        "num_documents": view.num_documents,
+        "fields": list(index.fields),
+        "crcs": place(crcs),
+        "lengths": {},
+        "postings": {},
+    }
+    for field in index.fields:
+        manifest["lengths"][field] = place(view.field_lengths(field))
+        columns: dict[str, list[object]] = {}
+        for term in index.field_index(field).vocabulary():
+            columnar = view.postings(field, term)
+            if columnar is None:
+                continue
+            columns[term] = [place(columnar.ordinals), place(columnar.frequencies)]
+        manifest["postings"][field] = columns
+
+    encoded = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+    arrays_base = _align(_HEADER_BYTES + len(encoded))
+    total = max(arrays_base + cursor, _HEADER_BYTES + len(encoded))
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        header = np.ndarray(2, dtype=np.int64, buffer=segment.buf)
+        header[0] = len(encoded)
+        header[1] = arrays_base
+        segment.buf[_HEADER_BYTES : _HEADER_BYTES + len(encoded)] = encoded
+        offset_cursor = 0
+        for array in arrays:
+            offset = _align(offset_cursor)
+            offset_cursor = offset + array.nbytes
+            if array.nbytes:
+                target = np.ndarray(
+                    array.shape,
+                    dtype=array.dtype,
+                    buffer=segment.buf,
+                    offset=arrays_base + offset,
+                )
+                target[...] = array
+        del header
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return PublishedSnapshot(segment, index.uid, index.epoch, total)
+
+
+# --------------------------------------------------------------------- #
+# Attaching (worker side)
+# --------------------------------------------------------------------- #
+class AttachedSnapshot:
+    """Zero-copy numpy views over a published snapshot segment.
+
+    Presents the subset of the :class:`~repro.index.columnar.ColumnarIndex`
+    surface the traversal kernels consume — length columns, posting
+    columns (with block grids rebuilt locally), dense frequency columns,
+    CRC-derived shard ownership — plus the same ``memoised`` hook the
+    scorers use for derived contribution columns.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        expected_uid: int | None = None,
+        expected_epoch: int | None = None,
+    ) -> None:
+        try:
+            self._segment = attach_shared_memory(name)
+        except (FileNotFoundError, ValueError) as error:
+            raise SnapshotUnavailable(f"snapshot segment {name!r} is gone") from error
+        try:
+            header = np.frombuffer(self._segment.buf, dtype=np.int64, count=2)
+            manifest_length = int(header[0])
+            self._arrays_base = int(header[1])
+            del header
+            raw = bytes(self._segment.buf[_HEADER_BYTES : _HEADER_BYTES + manifest_length])
+            self._manifest = json.loads(raw.decode("utf-8"))
+        except Exception as error:
+            self.close()
+            raise SnapshotUnavailable(f"snapshot segment {name!r} is malformed") from error
+        self.uid = int(self._manifest["uid"])
+        self.epoch = int(self._manifest["epoch"])
+        if (expected_uid is not None and self.uid != expected_uid) or (
+            expected_epoch is not None and self.epoch != expected_epoch
+        ):
+            stale = (self.uid, self.epoch)
+            self.close()
+            raise SnapshotUnavailable(
+                f"snapshot {name!r} carries {stale}, "
+                f"expected ({expected_uid}, {expected_epoch})"
+            )
+        self._derived: dict[tuple[object, ...], object] = {}
+
+    @property
+    def num_documents(self) -> int:
+        return int(self._manifest["num_documents"])
+
+    @property
+    def fields(self) -> list[str]:
+        return list(self._manifest["fields"])
+
+    def _view(self, desc: list[object]) -> np.ndarray:
+        offset, dtype, shape = desc
+        array = np.ndarray(
+            tuple(shape),
+            dtype=np.dtype(dtype),
+            buffer=self._segment.buf,
+            offset=self._arrays_base + int(offset),
+        )
+        array.flags.writeable = False
+        return array
+
+    def field_lengths(self, field: str) -> np.ndarray:
+        return self.memoised(("lengths", field), lambda: self._view(self._manifest["lengths"][field]))
+
+    def postings(self, field: str, term: str) -> ColumnarPostings | None:
+        def build() -> ColumnarPostings | None:
+            columns = self._manifest["postings"].get(field, {})
+            desc = columns.get(term)
+            if desc is None:
+                return None
+            from ..index.columnar import ColumnarPostings
+
+            return ColumnarPostings(self._view(desc[0]), self._view(desc[1]), BLOCK_SIZE)
+
+        return self.memoised(("postings", field, term), build)
+
+    def dense_frequencies(self, field: str, term: str) -> np.ndarray:
+        def build() -> np.ndarray:
+            dense = np.zeros(self.num_documents, dtype=np.float64)
+            columnar = self.postings(field, term)
+            if columnar is not None:
+                dense[columnar.ordinals] = columnar.frequencies
+            return dense
+
+        return self.memoised(("dense", field, term), build)
+
+    def shard_owners(self, num_shards: int) -> np.ndarray:
+        """Per-ordinal shard ownership, identical to ``shard_of`` routing."""
+
+        def build() -> np.ndarray:
+            if num_shards <= 1:
+                return np.zeros(self.num_documents, dtype=np.int64)
+            crcs = self._view(self._manifest["crcs"]).astype(np.int64)
+            return crcs % num_shards
+
+        return self.memoised(("owners", num_shards), build)
+
+    def memoised(self, key: tuple[object, ...], compute):
+        cached = self._derived.get(key)
+        if cached is None and key not in self._derived:
+            cached = compute()
+            self._derived[key] = cached
+        return cached
+
+    def close(self) -> None:
+        """Drop cached views and detach (never unlinks — not the owner)."""
+        self._derived = {}
+        self._manifest = getattr(self, "_manifest", {})
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - caller still holds views
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Registry (parent side)
+# --------------------------------------------------------------------- #
+class SnapshotRegistry:
+    """Process-wide cache of published snapshots, one per index uid.
+
+    Publishing a newer epoch of the same uid unlinks the older segment
+    (attached workers keep serving their mapping; late attachers fall
+    back inline).  Publish failures are memoised per (uid, epoch) so a
+    segment that cannot be built is attempted once, not per query.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots: dict[int, PublishedSnapshot] = {}
+        self._failed: set[tuple[int, int]] = set()
+        self.publishes = 0
+        self.published_bytes = 0
+
+    def publish(self, index: FieldedIndex, view: ColumnarIndex) -> PublishedSnapshot | None:
+        key = (index.uid, index.epoch)
+        with self._lock:
+            current = self._snapshots.get(index.uid)
+            if current is not None and current.epoch == index.epoch:
+                return current
+            if key in self._failed:
+                return None
+            try:
+                fresh = publish_snapshot(index, view)
+            except Exception:  # noqa: BLE001 - degrade to inline execution
+                self._failed.add(key)
+                return None
+            if current is not None:
+                current.close()
+            self._snapshots[index.uid] = fresh
+            self.publishes += 1
+            self.published_bytes += fresh.nbytes
+            return fresh
+
+    def release(self, uid: int | None = None) -> None:
+        """Unlink one uid's snapshot (or every snapshot when ``None``)."""
+        with self._lock:
+            if uid is None:
+                doomed = list(self._snapshots.values())
+                self._snapshots.clear()
+            else:
+                snapshot = self._snapshots.pop(uid, None)
+                doomed = [snapshot] if snapshot is not None else []
+        for snapshot in doomed:
+            snapshot.close()
+
+    def active(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+
+_REGISTRY = SnapshotRegistry()
+atexit.register(_REGISTRY.release)
+
+
+def snapshot_registry() -> SnapshotRegistry:
+    """The process-wide snapshot registry shared by every engine."""
+    return _REGISTRY
+
+
+def release_snapshots(uid: int | None = None) -> None:
+    """Convenience shim over :meth:`SnapshotRegistry.release`."""
+    _REGISTRY.release(uid)
+
+
+# --------------------------------------------------------------------- #
+# Cross-process θ slab
+# --------------------------------------------------------------------- #
+class ThetaSlabSlot:
+    """One shard's writer handle — the ``SharedThresholdSlot`` duck-type."""
+
+    __slots__ = ("_slab", "_slot")
+
+    def __init__(self, slab: ThetaSlab, slot: int) -> None:
+        self._slab = slab
+        self._slot = slot
+
+    @property
+    def value(self) -> float:
+        return self._slab.value()
+
+    def offer(self, bounds) -> float:
+        return self._slab.offer(self._slot, bounds)
+
+
+class ThetaSlab:
+    """Cross-process θ broadcast over one shared float64 slab.
+
+    Layout: ``[k, num_slots, primed, global_max]`` then ``num_slots``
+    slots of ``[seq, count, bounds[k]]``.  Writers seqlock their own
+    slot (odd during write); readers retry a few times and skip torn
+    slots.  ``value()`` is the k-th largest of the union pool, floored
+    by the primed threshold and the monotone global-max cell — mirroring
+    :class:`~repro.topk.SharedThreshold`'s only-rises semantics without
+    any cross-process lock.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory, owner: bool) -> None:
+        self._segment = segment
+        self._owner = owner
+        header = np.ndarray(4, dtype=np.float64, buffer=segment.buf)
+        self._k = int(header[0])
+        self._num_slots = int(header[1])
+        del header
+        count = 4 + self._num_slots * (2 + self._k)
+        self._array = np.ndarray(count, dtype=np.float64, buffer=segment.buf)
+        self._closed = False
+
+    @classmethod
+    def create(cls, k: int, num_slots: int, primed: float = NO_THRESHOLD) -> ThetaSlab:
+        count = 4 + num_slots * (2 + k)
+        segment = shared_memory.SharedMemory(create=True, size=count * 8)
+        array = np.ndarray(count, dtype=np.float64, buffer=segment.buf)
+        array[:] = 0.0
+        array[0] = float(k)
+        array[1] = float(num_slots)
+        array[2] = primed if primed == primed else NO_THRESHOLD
+        array[3] = NO_THRESHOLD
+        del array
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: dict[str, object]) -> ThetaSlab:
+        try:
+            segment = attach_shared_memory(str(descriptor["name"]))
+        except (FileNotFoundError, ValueError) as error:
+            raise SnapshotUnavailable("θ slab is gone") from error
+        return cls(segment, owner=False)
+
+    @property
+    def descriptor(self) -> dict[str, object]:
+        return {"name": self._segment.name, "k": self._k, "slots": self._num_slots}
+
+    def slot(self, slot: int) -> ThetaSlabSlot:
+        if not 0 <= slot < self._num_slots:
+            raise IndexError(f"slot {slot} out of range (have {self._num_slots})")
+        return ThetaSlabSlot(self, slot)
+
+    def offer(self, slot: int, bounds) -> float:
+        """Replace one shard's bound pool and return the refreshed θ."""
+        clean = [bound for bound in bounds if bound == bound][: self._k]
+        array = self._array
+        base = 4 + slot * (2 + self._k)
+        seq = array[base]
+        array[base] = seq + 1.0  # odd: write in progress
+        array[base + 1] = float(len(clean))
+        if clean:
+            array[base + 2 : base + 2 + len(clean)] = clean
+        array[base] = seq + 2.0  # even: stable
+        return self.value()
+
+    def value(self) -> float:
+        """The live θ: never exceeds the true k-th best lower bound."""
+        array = self._array
+        pool: list[float] = []
+        for slot in range(self._num_slots):
+            base = 4 + slot * (2 + self._k)
+            for _ in range(4):
+                first = array[base]
+                if first != first or int(first) % 2:
+                    continue  # torn write — retry, then skip (sound)
+                count = int(array[base + 1])
+                count = max(0, min(count, self._k))
+                values = array[base + 2 : base + 2 + count].tolist()
+                if array[base] == first:
+                    pool.extend(values)
+                    break
+        threshold = threshold_of(pool, self._k) if len(pool) >= self._k else NO_THRESHOLD
+        primed = array[2]
+        if primed > threshold:
+            threshold = primed
+        best = array[3]
+        if best > threshold:
+            threshold = best
+        elif threshold > best:
+            array[3] = threshold  # racy max: losers only loosen θ
+        return threshold
+
+    def close(self) -> None:
+        """Detach; the creating side also unlinks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._array = None  # type: ignore[assignment]
+        try:
+            self._segment.close()
+            if self._owner:
+                self._segment.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover
+            pass

@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
-from ..exec import dedupe_batch
+from ..exec import dedupe_batch, executor_stats
 from ..expansion import EntitySetExpander, ExpansionResult
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import KnowledgeGraph
@@ -280,7 +280,23 @@ class RecommendationEngine:
                     "entity-ranker", self._expander.entity_ranker.pruning_info()
                 ),
             ),
+            executor=executor_stats(self._config.executor, self._config.workers),
         )
+
+    def close(self) -> None:
+        """Drop cached recommendations (uniform lifecycle with the facade).
+
+        The ranker publishes no shared-memory snapshots (its process
+        choice degrades to inline execution) and the worker pools are
+        process-wide, so releasing the cache is the whole teardown.
+        """
+        self._cache.clear()
+
+    def __enter__(self) -> "RecommendationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the LRU recommendation cache.

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from ..config import PRUNED_MODES, RankingConfig
 from ..exceptions import NoSeedEntitiesError
-from ..exec import default_executor, merge_shard_maps, merge_shard_stats, partition_ids
+from ..exec import merge_shard_maps, merge_shard_stats, partition_ids, resolve_executor
 from ..features import SemanticFeatureIndex
 from ..index import select_top_k
 from ..kg import KnowledgeGraph
@@ -78,6 +78,16 @@ class EntityRanker:
     def pruning_info(self) -> dict[str, int]:
         """Cumulative pruning counters (``cache_info()`` convention)."""
         return self._pruning_stats.as_dict()
+
+    def _executor(self):
+        """The shard executor resolved from the config knobs.
+
+        The ranker's fan-out is closure-based (the feature walk has no
+        columnar snapshot to ship), so a ``"process"`` choice degrades
+        to inline execution here — see
+        :meth:`~repro.exec.procpool.ProcessShardExecutor.run`.
+        """
+        return resolve_executor(self._config.executor, self._config.workers)
 
     # ------------------------------------------------------------------ #
     # Candidate generation
@@ -239,13 +249,13 @@ class EntityRanker:
                 )
                 return survivors, local
 
-            results = default_executor().run(
+            results = self._executor().run(
                 [lambda shard=shard: worker(shard) for shard in shards if shard]
             )
             merge_shard_stats(self._pruning_stats, [local for _, local in results])
             shard_maps = [survivors for survivors, _ in results]
         else:
-            shard_maps = default_executor().run(
+            shard_maps = self._executor().run(
                 [
                     lambda shard=shard: support.score_entities(shard, scored_features)
                     for shard in shards

@@ -21,8 +21,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import PRUNED_MODES, PRUNING_MODES
-from ..exec import default_executor, merge_shard_maps, merge_shard_stats, split_frequencies
+from ..config import EXECUTOR_CHOICES, PRUNED_MODES, PRUNING_MODES
+from ..exec import (
+    ProcessTask,
+    ThetaSlab,
+    default_executor,
+    merge_shard_maps,
+    merge_shard_stats,
+    resolve_executor,
+    shard_stats_from,
+    snapshot_registry,
+    split_frequencies,
+)
 from ..index import (
     BLOCK_SIZE,
     CollectionStatistics,
@@ -75,6 +85,7 @@ def _sharded_sparse_survivors(
     top_k: int,
     stats: PruningStats,
     blockmax: bool,
+    executor=None,
 ) -> list[str]:
     """Fan the sparse driver out over postings shards; union the picks.
 
@@ -97,7 +108,7 @@ def _sharded_sparse_survivors(
         )
         return survivors, local
 
-    results = default_executor().run(
+    results = (executor or default_executor()).run(
         [lambda shard=shard: worker(shard) for shard in range(num_shards)]
     )
     merge_shard_stats(stats, [local for _, local in results])
@@ -127,27 +138,18 @@ def _field_norms(view: ColumnarIndex, field: str, b: float, avg_length: float) -
     return norms
 
 
-def _sharded_columnar_sparse_survivors(
-    view: ColumnarIndex,
-    terms: list[SparseKernelTerm],
-    num_shards: int,
-    top_k: int,
-    stats: PruningStats,
-    blockmax: bool,
-) -> np.ndarray:
-    """Fan the sparse kernel out over ordinal shards; union the picks.
+def _shard_sliced_terms(
+    terms: list[SparseKernelTerm], owners: np.ndarray, num_shards: int
+) -> list[list[SparseKernelTerm]]:
+    """Each term's posting column sliced by the CRC ownership map.
 
-    Each term's posting column is sliced by the view's CRC ownership map
-    (the exact split the scalar ``_shard_postings`` memo produces), while
-    upper bounds and block grids stay derived from the full column — a
-    full-list bound is sound for any subset.  Workers run with private
-    :class:`PruningStats` (merged afterwards, the logical query counted
-    once) and the cross-shard θ broadcast; the disjoint survivor columns
-    concatenate into exactly the survivor set a serial traversal would
-    keep, and one global margin-guarded selection picks the ordinals the
-    caller re-scores.
+    Upper bounds and block grids stay derived from the full column — a
+    full-list bound is sound for any subset — and terms without postings
+    in a shard contribute no entry there, which only tightens the
+    shard's remaining-upper sums.  The worker processes apply the same
+    cut against their snapshot columns (see
+    :func:`repro.exec.procpool._slice_for_shard`).
     """
-    owners = view.shard_map(num_shards)
     shard_terms: list[list[SparseKernelTerm]] = [[] for _ in range(num_shards)]
     for entry in terms:
         owner = owners[entry.ordinals]
@@ -165,6 +167,107 @@ def _sharded_columnar_sparse_survivors(
                     block_uppers=entry.block_uppers,
                 )
             )
+    return shard_terms
+
+
+def _process_columnar_sparse_survivors(
+    view: ColumnarIndex,
+    terms: list[SparseKernelTerm],
+    num_shards: int,
+    top_k: int,
+    stats: PruningStats,
+    blockmax: bool,
+    executor,
+    plan: dict,
+) -> np.ndarray | None:
+    """Dispatch the sparse shard fan-out to the multiprocess tier.
+
+    One task per shard: the parent runs shard 0 inline (its fallback
+    holds a slot on the shared θ slab), the remaining shards ship only
+    the scorer's term recipes — each worker rebuilds the full posting
+    columns from its snapshot and applies its own ownership cut.
+    Returns ``None`` when the snapshot cannot be published, so the
+    caller falls through to the thread/inline fan-out.
+    """
+    if num_shards < 2:
+        return None
+    snapshot = snapshot_registry().publish(plan["index"], view)
+    if snapshot is None:
+        return None
+    owners = view.shard_map(num_shards)
+    shard_terms = _shard_sliced_terms(terms, owners, num_shards)
+    slab = ThetaSlab.create(top_k, num_shards)
+    try:
+        tasks = []
+        for shard in range(num_shards):
+            payload = {
+                "kind": plan["kind"],
+                "snapshot": snapshot.descriptor,
+                "theta": slab.descriptor,
+                "slot": shard,
+                "top_k": top_k,
+                "blockmax": blockmax,
+                "num_shards": num_shards,
+                "shard": shard,
+                **plan["recipe"],
+            }
+
+            def fallback(shard=shard):
+                local = PruningStats()
+                ordinals, partials = columnar_sparse(
+                    shard_terms[shard],
+                    top_k,
+                    local,
+                    view.num_documents,
+                    blockmax=blockmax,
+                    shared=slab.slot(shard),
+                )
+                return ordinals, partials, local
+
+            tasks.append(ProcessTask(payload, fallback))
+        results = executor.run_tasks(tasks)
+    finally:
+        slab.close()
+    merge_shard_stats(stats, [shard_stats_from(counters) for _, _, counters in results])
+    all_ordinals = np.concatenate([ordinals for ordinals, _, _ in results])
+    all_partials = np.concatenate([partials for _, partials, _ in results])
+    return select_survivor_ordinals(all_ordinals, all_partials, top_k)
+
+
+def _sharded_columnar_sparse_survivors(
+    view: ColumnarIndex,
+    terms: list[SparseKernelTerm],
+    num_shards: int,
+    top_k: int,
+    stats: PruningStats,
+    blockmax: bool,
+    executor=None,
+    process_plan: dict | None = None,
+) -> np.ndarray:
+    """Fan the sparse kernel out over ordinal shards; union the picks.
+
+    Each term's posting column is sliced by the view's CRC ownership map
+    (the exact split the scalar ``_shard_postings`` memo produces), while
+    upper bounds and block grids stay derived from the full column — a
+    full-list bound is sound for any subset.  Workers run with private
+    :class:`PruningStats` (merged afterwards, the logical query counted
+    once) and the cross-shard θ broadcast; the disjoint survivor columns
+    concatenate into exactly the survivor set a serial traversal would
+    keep, and one global margin-guarded selection picks the ordinals the
+    caller re-scores.  With a process executor and a recipe plan the
+    fan-out goes to the multiprocess tier first (falling back here if
+    the snapshot cannot be served); either tier feeds the same global
+    selection, so rankings stay byte-identical across executors.
+    """
+    executor = executor or default_executor()
+    if process_plan is not None and getattr(executor, "is_process", False):
+        picked = _process_columnar_sparse_survivors(
+            view, terms, num_shards, top_k, stats, blockmax, executor, process_plan
+        )
+        if picked is not None:
+            return picked
+    owners = view.shard_map(num_shards)
+    shard_terms = _shard_sliced_terms(terms, owners, num_shards)
     shared = SharedThreshold(top_k)
 
     def worker(shard: int) -> tuple[np.ndarray, np.ndarray, PruningStats]:
@@ -179,7 +282,7 @@ def _sharded_columnar_sparse_survivors(
         )
         return ordinals, partials, local
 
-    results = default_executor().run(
+    results = executor.run(
         [lambda shard=shard: worker(shard) for shard in range(num_shards)]
     )
     merge_shard_stats(stats, [local for _, _, local in results])
@@ -238,17 +341,25 @@ class BM25FieldScorer:
         pruning: str = "maxscore",
         shards: int = 1,
         columnar: bool = True,
+        executor: str = "auto",
+        workers: int = 0,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
         if shards < 1:
             raise ValueError("shards must be positive")
+        if executor not in EXECUTOR_CHOICES:
+            raise ValueError(f"unknown executor: {executor!r}")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
         self._index = index
         self._field = field
         self._params = params or BM25Params()
         self._pruning = pruning
         self._shards = shards
         self._columnar = columnar
+        self._executor_mode = executor
+        self._workers = workers
         self._pruning_stats = PruningStats()
         field_index = index.field_index(field)
         self._avg_length = field_index.average_document_length
@@ -257,6 +368,53 @@ class BM25FieldScorer:
     def pruning_info(self) -> dict[str, int]:
         """Cumulative pruning counters (``cache_info()`` convention)."""
         return self._pruning_stats.as_dict()
+
+    def _executor(self):
+        """The shard executor resolved from the construction knobs."""
+        return resolve_executor(self._executor_mode, self._workers)
+
+    def _process_plan(self, query: KeywordQuery) -> dict:
+        """This query's picklable recipe bundle for the process tier.
+
+        Only scalars travel: per-term idf weights and memoised upper
+        bounds plus the scorer's normaliser snapshot, from which a
+        worker rebuilds the exact contribution columns against its
+        snapshot views (see :func:`repro.exec.procpool._bm25_entries`).
+        """
+        support = self._index.scoring_support()
+        statistics = support.statistics
+        params = self._params
+        k1_plus_1 = params.k1 + 1
+        min_norm = self._min_length_norm()
+        terms = []
+        for term in query.all_terms():
+            frequencies = support.postings_frequencies(self._field, term)
+            if not frequencies:
+                continue
+            weight = idf(self._num_documents, len(frequencies))
+            if weight == 0.0:
+                continue  # zero everywhere: stays in the zero-scored tail
+
+            def tf_part(term: str = term) -> float:
+                max_tf = statistics.field(self._field).max_frequency(term)
+                return (max_tf * k1_plus_1) / (max_tf + params.k1 * min_norm)
+
+            upper = weight * statistics.memoised_bound(
+                ("bm25", params.k1, params.b, self._avg_length, self._field, term), tf_part
+            )
+            terms.append({"term": term, "weight": weight, "upper": upper})
+        return {
+            "index": self._index,
+            "kind": "bm25",
+            "recipe": {
+                "field": self._field,
+                "k1": params.k1,
+                "b": params.b,
+                "avg_length": self._avg_length,
+                "min_norm": min_norm,
+                "terms": terms,
+            },
+        }
 
     def _min_length_norm(self) -> float:
         """Smallest possible BM25 length normaliser over the collection."""
@@ -322,7 +480,7 @@ class BM25FieldScorer:
             # postings sub-maps with the identical arithmetic, so the
             # merged (disjoint) maps hold exactly the serial values.
             accumulators = merge_shard_maps(
-                default_executor().run(
+                self._executor().run(
                     [
                         lambda shard=shard: self._accumulate_plain(query, shard=shard)
                         for shard in range(self._shards)
@@ -592,8 +750,19 @@ class BM25FieldScorer:
             view = columnar_view(self._index)
             terms = self._columnar_sparse_terms(query, view)
             if self._shards > 1:
+                executor = self._executor()
+                plan = None
+                if getattr(executor, "is_process", False):
+                    plan = self._process_plan(query)
                 picked = _sharded_columnar_sparse_survivors(
-                    view, terms, self._shards, top_k, self._pruning_stats, blockmax
+                    view,
+                    terms,
+                    self._shards,
+                    top_k,
+                    self._pruning_stats,
+                    blockmax,
+                    executor=executor,
+                    process_plan=plan,
                 )
             else:
                 ordinals, partials = columnar_sparse(
@@ -608,6 +777,7 @@ class BM25FieldScorer:
                 top_k,
                 self._pruning_stats,
                 blockmax,
+                executor=self._executor(),
             )
         survivors = maxscore_sparse(
             self._sparse_entries(query), top_k, self._pruning_stats, blockmax=blockmax
@@ -683,16 +853,24 @@ class BM25FScorer:
         pruning: str = "maxscore",
         shards: int = 1,
         columnar: bool = True,
+        executor: str = "auto",
+        workers: int = 0,
     ) -> None:
         if pruning not in PRUNING_MODES:
             raise ValueError(f"unknown pruning mode: {pruning!r}")
         if shards < 1:
             raise ValueError("shards must be positive")
+        if executor not in EXECUTOR_CHOICES:
+            raise ValueError(f"unknown executor: {executor!r}")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
         self._index = index
         self._params = params or BM25Params()
         self._pruning = pruning
         self._shards = shards
         self._columnar = columnar
+        self._executor_mode = executor
+        self._workers = workers
         self._pruning_stats = PruningStats()
         total = sum(field_weights.get(field, 0.0) for field in index.fields)
         if total <= 0:
@@ -706,6 +884,79 @@ class BM25FScorer:
     def pruning_info(self) -> dict[str, int]:
         """Cumulative pruning counters (``cache_info()`` convention)."""
         return self._pruning_stats.as_dict()
+
+    def _executor(self):
+        """The shard executor resolved from the construction knobs."""
+        return resolve_executor(self._executor_mode, self._workers)
+
+    def _field_min_norm(self, field: str) -> float:
+        """One field's smallest BM25 length normaliser (recipe scalar)."""
+        avg_len = self._avg_lengths[field]
+        if avg_len <= 0:
+            return 1.0
+        min_length = self._index.statistics().field(field).min_length
+        return 1.0 - self._params.b + self._params.b * (min_length / avg_len)
+
+    def _process_plan(self, query: KeywordQuery) -> dict:
+        """This query's picklable recipe bundle for the process tier.
+
+        Per-term idf weights and memoised union-grid bounds plus the
+        per-field weight/normaliser snapshot — everything a worker needs
+        to rebuild the exact union columns against its snapshot views
+        (see :func:`repro.exec.procpool._bm25f_entries`).
+        """
+        support = self._index.scoring_support()
+        statistics = support.statistics
+        params = self._params
+        weighted_fields = [
+            (field, weight) for field, weight in self._weights.items() if weight != 0.0
+        ]
+        weights_key = tuple(sorted(self._weights.items()))
+        avgs_key = tuple(sorted(self._avg_lengths.items()))
+        terms = []
+        for term in query.all_terms():
+            if all(
+                not support.postings_frequencies(field, term)
+                for field, _ in weighted_fields
+            ):
+                continue
+            weight_idf = idf(self._num_documents, support.document_frequency_any_field(term))
+            if weight_idf == 0.0:
+                continue  # zero everywhere: stays in the zero-scored tail
+
+            def weighted_tf_bound(term: str = term) -> float:
+                bound = 0.0
+                for field, weight in weighted_fields:
+                    field_stats = statistics.field(field)
+                    max_tf = field_stats.max_frequency(term)
+                    if max_tf == 0:
+                        continue
+                    min_norm = self._field_min_norm(field)
+                    bound += weight * max_tf / min_norm if min_norm > 0 else float("inf")
+                return bound
+
+            max_weighted_tf = statistics.memoised_bound(
+                ("bm25f", params.k1, params.b, weights_key, avgs_key, term),
+                weighted_tf_bound,
+            )
+            if max_weighted_tf == float("inf"):
+                upper = weight_idf
+            else:
+                upper = weight_idf * max_weighted_tf / (max_weighted_tf + params.k1)
+            terms.append({"term": term, "weight_idf": weight_idf, "upper": upper})
+        return {
+            "index": self._index,
+            "kind": "bm25f",
+            "recipe": {
+                "k1": params.k1,
+                "b": params.b,
+                "fields": [
+                    (field, weight, self._avg_lengths[field], self._field_min_norm(field))
+                    for field, weight in weighted_fields
+                ],
+                "terms": terms,
+            },
+        }
 
     def _weighted_tf(self, term: str, doc_id: str) -> float:
         weighted = 0.0
@@ -768,7 +1019,7 @@ class BM25FScorer:
             return self._rescore_and_rank(query, top_k, view.ids_of(picked))
         if self._shards > 1:
             accumulators = merge_shard_maps(
-                default_executor().run(
+                self._executor().run(
                     [
                         lambda shard=shard: self._accumulate_plain(query, shard=shard)
                         for shard in range(self._shards)
@@ -1214,8 +1465,19 @@ class BM25FScorer:
             view = columnar_view(self._index)
             terms = self._columnar_sparse_terms(query, view)
             if self._shards > 1:
+                executor = self._executor()
+                plan = None
+                if getattr(executor, "is_process", False):
+                    plan = self._process_plan(query)
                 picked = _sharded_columnar_sparse_survivors(
-                    view, terms, self._shards, top_k, self._pruning_stats, blockmax
+                    view,
+                    terms,
+                    self._shards,
+                    top_k,
+                    self._pruning_stats,
+                    blockmax,
+                    executor=executor,
+                    process_plan=plan,
                 )
             else:
                 ordinals, partials = columnar_sparse(
@@ -1230,6 +1492,7 @@ class BM25FScorer:
                 top_k,
                 self._pruning_stats,
                 blockmax,
+                executor=self._executor(),
             )
         else:
             survivors = maxscore_sparse(

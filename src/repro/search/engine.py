@@ -26,7 +26,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..config import SearchConfig
-from ..exec import dedupe_batch
+from ..exec import dedupe_batch, executor_stats, release_snapshots
 from ..index import FieldedIndex, ShardedFieldedIndex
 from ..kg import KnowledgeGraph
 from ..stats import CacheStats, EngineStats, PruningStatsView
@@ -108,8 +108,14 @@ class SearchEngine:
                 index.add_document(entity_id, analyze_document(document))
             self._documents = documents
             self._scorer = MixtureLanguageModelScorer(index, self._config)
-            self._index = index
+            replaced, self._index = self._index, index
             self._result_cache.clear()
+        # A rebuild allocates a fresh uid, so the replaced instance's
+        # shared-memory snapshot (if the process tier published one) can
+        # never be requested again — unlink it.  Workers still attached
+        # keep their mapping (POSIX unlink semantics); late attachers
+        # fall back inline.
+        release_snapshots(replaced.uid)
         return self
 
     def add_entity(self, entity_id: str) -> None:
@@ -126,6 +132,9 @@ class SearchEngine:
             self._scorer = MixtureLanguageModelScorer(index, self._config)
             self._index = index
             self._result_cache.clear()
+        # Copy-on-write successors share the uid: the registry replaces
+        # the old epoch's segment on the next process-tier publish, so
+        # nothing needs releasing here.
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -257,7 +266,9 @@ class SearchEngine:
         configuration echo (pruning mode, shard layout, columnar
         on/off), the current index epoch, the result cache's counters
         (``"results"``) and the primary scorer's pruning counters
-        (``"mlm"``).  Builds the index on demand, like any query would.
+        (``"mlm"``), plus the engine's shard-execution record
+        (``executor``).  Builds the index on demand, like any query
+        would.
         """
         scorer = self._require_scorer()
         return EngineStats(
@@ -270,7 +281,25 @@ class SearchEngine:
             pruning_counters=(
                 PruningStatsView.from_counters("mlm", scorer.pruning_info()),
             ),
+            executor=executor_stats(self._config.executor, self._config.workers),
         )
+
+    def close(self) -> None:
+        """Release the engine's shared-memory snapshots and cached results.
+
+        The worker pools themselves are process-wide (shared by every
+        engine) and stay warm; only this engine's published segments are
+        unlinked.  Safe to call repeatedly — the engine remains usable,
+        the next process-tier query simply republishes.
+        """
+        release_snapshots(self._index.uid)
+        self._result_cache.clear()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the LRU result cache.
@@ -309,6 +338,8 @@ class SearchEngine:
             pruning=self._config.pruning,
             shards=self._config.shards,
             columnar=self._config.columnar,
+            executor=self._config.executor,
+            workers=self._config.workers,
         )
 
     def bm25_names_scorer(self) -> BM25FieldScorer:
@@ -319,6 +350,8 @@ class SearchEngine:
             pruning=self._config.pruning,
             shards=self._config.shards,
             columnar=self._config.columnar,
+            executor=self._config.executor,
+            workers=self._config.workers,
         )
 
     def single_field_scorer(self, field: str = "names") -> SingleFieldScorer:

@@ -28,10 +28,15 @@ import numpy as np
 
 from ..config import PRUNED_MODES, SearchConfig
 from ..exec import (
+    ProcessTask,
+    ThetaSlab,
     default_executor,
     merge_shard_maps,
     merge_shard_stats,
     partition_candidates,
+    resolve_executor,
+    shard_stats_from,
+    snapshot_registry,
 )
 from ..index import FieldedIndex, select_top_k
 from ..index.columnar import ColumnarIndex, columnar_view
@@ -351,6 +356,7 @@ def _sharded_dense_survivors(
     top_k: int,
     stats: PruningStats,
     prime_threshold: float,
+    executor=None,
 ) -> list[str]:
     """Fan the dense traversal out over candidate shards; union the picks.
 
@@ -382,7 +388,7 @@ def _sharded_dense_survivors(
         return survivors, local
 
     tasks = [lambda shard=shard: worker(shard) for shard in shards if shard]
-    results = default_executor().run(tasks)
+    results = (executor or default_executor()).run(tasks)
     merge_shard_stats(stats, [local for _, local in results])
     stop_budget = top_k + SELECTION_MARGIN  # the driver's early-stop bound
     exact: dict[str, float] = {}
@@ -469,39 +475,15 @@ def _dense_kernel_entries(
     return entries
 
 
-def _sharded_columnar_dense_survivors(
-    view: ColumnarIndex,
-    candidate_ordinals: np.ndarray,
-    entries: list[DenseKernelTerm],
-    top_k: int,
-    stats: PruningStats,
-    prime_threshold: float,
-    num_shards: int,
-) -> np.ndarray:
-    """The columnar twin of :func:`_sharded_dense_survivors`.
+def _merge_dense_shard_survivors(results, top_k: int) -> np.ndarray:
+    """Union per-shard ``(ordinals, partials, counters)`` dense results.
 
-    Candidate ordinals are partitioned with the view's CRC shard map
-    (identical routing to the scalar partitioners); each worker runs the
-    dense kernel with a slot on the shared θ broadcast.  The merge keeps
-    the scalar rule: early-stopped shards contribute their survivors
-    wholesale (their partials are not comparable across shards), shards
-    that ran every pass hold full-accumulation values — identical for
-    the same candidate regardless of shard — and are selected globally.
+    The scalar merge rule, vectorized: early-stopped shards (at most
+    ``k + margin`` survivors left) contribute their survivors wholesale
+    — their partials are not comparable across shards — while shards
+    that ran every pass hold full-accumulation values, identical for the
+    same candidate regardless of shard, and are selected globally.
     """
-    shared = SharedThreshold(top_k, initial=prime_threshold)
-    owners = view.shard_map(num_shards)[candidate_ordinals]
-
-    def worker(shard_ordinals: np.ndarray):
-        local = PruningStats()
-        ordinals, partials = columnar_dense(
-            shard_ordinals, entries, top_k, local, shared=shared.slot()
-        )
-        return ordinals, partials, local
-
-    buckets = [candidate_ordinals[owners == shard] for shard in range(num_shards)]
-    tasks = [lambda bucket=bucket: worker(bucket) for bucket in buckets if bucket.size]
-    results = default_executor().run(tasks)
-    merge_shard_stats(stats, [local for _, _, local in results])
     stop_budget = top_k + SELECTION_MARGIN  # the driver's early-stop bound
     union: list[np.ndarray] = []
     exact_ordinals: list[np.ndarray] = []
@@ -521,6 +503,159 @@ def _sharded_columnar_dense_survivors(
     if not union:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(union)
+
+
+def _dense_process_plan(
+    index: FieldedIndex,
+    support: ScoringSupport,
+    smoothing: SmoothingParams,
+    term_specs: Sequence[tuple[str, str, Sequence[tuple[str, float]]]],
+) -> dict:
+    """One dense query's picklable recipe bundle for the process tier.
+
+    Carries only scalars: per-term bounds plus the per-field smoothing
+    masses (``mu·p(t|C)`` resp. ``lambda·p(t|C)``), from which a worker
+    rebuilds the exact contribution columns against its snapshot views
+    (see :func:`repro.exec.procpool._dense_entries`).
+    """
+    bounds = LanguageModelBounds(support, smoothing)
+    if smoothing.method == "dirichlet":
+        method, param = "dirichlet", smoothing.dirichlet_mu
+        factor = smoothing.dirichlet_mu
+    else:
+        method, param = "jm", smoothing.jm_lambda
+        factor = smoothing.jm_lambda
+    terms = []
+    for key, term, fields in term_specs:
+        floor, upper = bounds.mixture_bounds(term, fields)
+        terms.append(
+            {
+                "key": key,
+                "term": term,
+                "floor": floor,
+                "upper": upper,
+                "fields": [
+                    (field, weight, factor * support.collection_probability(field, term))
+                    for field, weight in fields
+                ],
+            }
+        )
+    return {"index": index, "smoothing": (method, param), "terms": terms}
+
+
+def _process_columnar_dense_survivors(
+    view: ColumnarIndex,
+    candidate_ordinals: np.ndarray,
+    entries: list[DenseKernelTerm],
+    top_k: int,
+    stats: PruningStats,
+    prime_threshold: float,
+    num_shards: int,
+    executor,
+    plan: dict,
+) -> np.ndarray | None:
+    """Dispatch the dense shard fan-out to the multiprocess tier.
+
+    The parent runs shard 0 inline (its fallback participates in the θ
+    broadcast through its own slab slot); the remaining shards ship only
+    their recipe payloads.  Returns ``None`` when the process tier cannot
+    serve the query — snapshot publish failed, or fewer than two shards
+    hold candidates — so the caller falls through to the thread/inline
+    fan-out.
+    """
+    snapshot = snapshot_registry().publish(plan["index"], view)
+    if snapshot is None:
+        return None
+    owners = view.shard_map(num_shards)[candidate_ordinals]
+    buckets = [
+        bucket
+        for shard in range(num_shards)
+        if (bucket := candidate_ordinals[owners == shard]).size
+    ]
+    if len(buckets) < 2:
+        return None
+    slab = ThetaSlab.create(top_k, len(buckets), primed=prime_threshold)
+    try:
+        tasks = []
+        for slot, bucket in enumerate(buckets):
+            payload = {
+                "kind": "dense",
+                "snapshot": snapshot.descriptor,
+                "theta": slab.descriptor,
+                "slot": slot,
+                "top_k": top_k,
+                "smoothing": plan["smoothing"],
+                "terms": plan["terms"],
+                "candidates": bucket,
+            }
+
+            def fallback(bucket=bucket, slot=slot):
+                local = PruningStats()
+                ordinals, partials = columnar_dense(
+                    bucket, entries, top_k, local, shared=slab.slot(slot)
+                )
+                return ordinals, partials, local
+
+            tasks.append(ProcessTask(payload, fallback))
+        results = executor.run_tasks(tasks)
+    finally:
+        slab.close()
+    merge_shard_stats(stats, [shard_stats_from(counters) for _, _, counters in results])
+    return _merge_dense_shard_survivors(results, top_k)
+
+
+def _sharded_columnar_dense_survivors(
+    view: ColumnarIndex,
+    candidate_ordinals: np.ndarray,
+    entries: list[DenseKernelTerm],
+    top_k: int,
+    stats: PruningStats,
+    prime_threshold: float,
+    num_shards: int,
+    executor=None,
+    process_plan: dict | None = None,
+) -> np.ndarray:
+    """The columnar twin of :func:`_sharded_dense_survivors`.
+
+    Candidate ordinals are partitioned with the view's CRC shard map
+    (identical routing to the scalar partitioners); each worker runs the
+    dense kernel with a slot on the shared θ broadcast.  With a process
+    executor and a recipe plan the fan-out goes to the multiprocess tier
+    first (falling back here if the snapshot cannot be served).  The
+    merge keeps the scalar rule either way — see
+    :func:`_merge_dense_shard_survivors` — so rankings stay
+    byte-identical across executor tiers.
+    """
+    executor = executor or default_executor()
+    if process_plan is not None and getattr(executor, "is_process", False):
+        picked = _process_columnar_dense_survivors(
+            view,
+            candidate_ordinals,
+            entries,
+            top_k,
+            stats,
+            prime_threshold,
+            num_shards,
+            executor,
+            process_plan,
+        )
+        if picked is not None:
+            return picked
+    shared = SharedThreshold(top_k, initial=prime_threshold)
+    owners = view.shard_map(num_shards)[candidate_ordinals]
+
+    def worker(shard_ordinals: np.ndarray):
+        local = PruningStats()
+        ordinals, partials = columnar_dense(
+            shard_ordinals, entries, top_k, local, shared=shared.slot()
+        )
+        return ordinals, partials, local
+
+    buckets = [candidate_ordinals[owners == shard] for shard in range(num_shards)]
+    tasks = [lambda bucket=bucket: worker(bucket) for bucket in buckets if bucket.size]
+    results = executor.run(tasks)
+    merge_shard_stats(stats, [local for _, _, local in results])
+    return _merge_dense_shard_survivors(results, top_k)
 
 
 @dataclass(frozen=True)
@@ -570,6 +705,10 @@ class MixtureLanguageModelScorer:
     def pruning_info(self) -> dict[str, int]:
         """Cumulative pruning counters (``cache_info()`` convention)."""
         return self._pruning_stats.as_dict()
+
+    def _executor(self):
+        """The shard executor resolved from the config knobs."""
+        return resolve_executor(self._config.executor, self._config.workers)
 
     def term_probability(self, term: str, doc_id: str) -> float:
         """Mixture probability ``sum_f w_f * p(term | d_f)``."""
@@ -663,7 +802,7 @@ class MixtureLanguageModelScorer:
             # holds exactly the serial path's values.
             shards = partition_candidates(self._index, candidates, num_shards)
             accumulators = merge_shard_maps(
-                default_executor().run(
+                self._executor().run(
                     [lambda shard=shard: accumulate(shard) for shard in shards if shard]
                 )
             )
@@ -773,6 +912,12 @@ class MixtureLanguageModelScorer:
             )
             candidate_ordinals = view.ordinals_of(candidates)
             if num_shards > 1:
+                executor = self._executor()
+                plan = None
+                if getattr(executor, "is_process", False):
+                    plan = _dense_process_plan(
+                        self._index, support, smoothing, self._term_specs(query, weighted_fields)
+                    )
                 picked = _sharded_columnar_dense_survivors(
                     view,
                     candidate_ordinals,
@@ -781,6 +926,8 @@ class MixtureLanguageModelScorer:
                     self._pruning_stats,
                     prime,
                     num_shards,
+                    executor=executor,
+                    process_plan=plan,
                 )
             else:
                 ordinals, partials = columnar_dense(
@@ -796,7 +943,7 @@ class MixtureLanguageModelScorer:
             entries = self._dense_entries(query, support, weighted_fields, per_term)
             shards = partition_candidates(self._index, candidates, num_shards)
             to_rescore = _sharded_dense_survivors(
-                shards, entries, top_k, self._pruning_stats, prime
+                shards, entries, top_k, self._pruning_stats, prime, executor=self._executor()
             )
         else:
             entries = self._dense_entries(query, support, weighted_fields, per_term)
@@ -846,6 +993,10 @@ class SingleFieldScorer:
         """Cumulative pruning counters (``cache_info()`` convention)."""
         return self._pruning_stats.as_dict()
 
+    def _executor(self):
+        """The shard executor resolved from the config knobs."""
+        return resolve_executor(self._config.executor, self._config.workers)
+
     def score_document(self, query: KeywordQuery, doc_id: str) -> ScoredDocument:
         score = 0.0
         term_scores: dict[str, float] = {}
@@ -887,6 +1038,12 @@ class SingleFieldScorer:
                 kernel_entries = _dense_kernel_entries(view, support, smoothing, term_specs)
                 candidate_ordinals = view.ordinals_of(candidates)
                 if num_shards > 1:
+                    executor = self._executor()
+                    plan = None
+                    if getattr(executor, "is_process", False):
+                        plan = _dense_process_plan(
+                            self._index, support, smoothing, term_specs
+                        )
                     picked = _sharded_columnar_dense_survivors(
                         view,
                         candidate_ordinals,
@@ -895,6 +1052,8 @@ class SingleFieldScorer:
                         self._pruning_stats,
                         prime,
                         num_shards,
+                        executor=executor,
+                        process_plan=plan,
                     )
                 else:
                     ordinals, partials = columnar_dense(
@@ -926,7 +1085,8 @@ class SingleFieldScorer:
                 if num_shards > 1:
                     shards = partition_candidates(self._index, candidates, num_shards)
                     to_rescore = _sharded_dense_survivors(
-                        shards, entries, top_k, self._pruning_stats, prime
+                        shards, entries, top_k, self._pruning_stats, prime,
+                        executor=self._executor(),
                     )
                 else:
                     survivors = maxscore_dense(
@@ -958,7 +1118,7 @@ class SingleFieldScorer:
         if num_shards > 1:
             shards = partition_candidates(self._index, candidates, num_shards)
             accumulators = merge_shard_maps(
-                default_executor().run(
+                self._executor().run(
                     [lambda shard=shard: accumulate(shard) for shard in shards if shard]
                 )
             )

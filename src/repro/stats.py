@@ -115,6 +115,45 @@ class PruningStatsView:
 
 
 @dataclass(frozen=True)
+class ExecutorStats:
+    """One engine's shard-execution record.
+
+    ``mode`` echoes the configured ``executor`` knob; ``effective`` is
+    where shard tasks actually run under the current platform
+    (``"inline"``, ``"thread"`` or ``"process"``); ``workers`` is the
+    pool's size cap.  ``tasks_dispatched``/``tasks_inlined`` count shard
+    tasks sent to pool workers vs run on the calling thread (the first
+    shard of every query is always inline), and the ``snapshot_*``
+    counters track the shared-memory tier: segments published by this
+    process, bytes they occupy, cold attaches performed by the worker
+    processes and segments currently live.
+    """
+
+    mode: str
+    effective: str
+    workers: int
+    tasks_dispatched: int
+    tasks_inlined: int
+    snapshots_published: int
+    snapshot_bytes: int
+    snapshot_attaches: int
+    snapshots_active: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "effective": self.effective,
+            "workers": self.workers,
+            "tasks_dispatched": self.tasks_dispatched,
+            "tasks_inlined": self.tasks_inlined,
+            "snapshots_published": self.snapshots_published,
+            "snapshot_bytes": self.snapshot_bytes,
+            "snapshot_attaches": self.snapshot_attaches,
+            "snapshots_active": self.snapshots_active,
+        }
+
+
+@dataclass(frozen=True)
 class EngineStats:
     """One component's full introspection record.
 
@@ -135,6 +174,7 @@ class EngineStats:
     pruning_counters: tuple[PruningStatsView, ...] = ()
     rebuilds: Mapping[str, int] | None = None
     children: tuple["EngineStats", ...] = ()
+    executor: ExecutorStats | None = None
 
     def cache(self, name: str) -> CacheStats:
         """The named cache's counters (raises ``KeyError`` when absent)."""
@@ -160,7 +200,8 @@ class EngineStats:
     def as_dict(self) -> dict[str, object]:
         """The whole record as JSON-able plain dicts.
 
-        ``rebuilds`` appears only when the component tracks rebuild
+        ``executor`` appears only when the component reports its shard
+        execution; ``rebuilds`` only when the component tracks rebuild
         counters; ``children`` only when the component has any.
         """
         payload: dict[str, object] = {
@@ -174,6 +215,8 @@ class EngineStats:
                 entry.name: entry.as_counters() for entry in self.pruning_counters
             },
         }
+        if self.executor is not None:
+            payload["executor"] = self.executor.as_dict()
         if self.rebuilds is not None:
             payload["rebuilds"] = dict(self.rebuilds)
         if self.children:
