@@ -130,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
             "default, sizes the pool from the CPU count)"
         ),
     )
+    parser.add_argument(
+        "--feature-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "feature columns per correction chunk of the recommendation "
+            "ranker's blockmax mode (default 2): type groups are "
+            "re-checked against θ and retired at every chunk boundary; "
+            "rankings are identical for every chunk size"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -212,6 +224,7 @@ def build_config(
     columnar: str | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    feature_chunk: int | None = None,
 ) -> PivotEConfig:
     """The system configuration for the CLI's execution-layer overrides."""
     config = PivotEConfig.default()
@@ -232,7 +245,9 @@ def build_config(
     if workers is not None:
         search_changes["workers"] = workers
         ranking_changes["workers"] = workers
-    if not search_changes:
+    if feature_chunk is not None:
+        ranking_changes["feature_chunk"] = feature_chunk
+    if not search_changes and not ranking_changes:
         return config
     return replace(
         config,
@@ -269,7 +284,12 @@ def run_command(args: argparse.Namespace) -> int:
     system = PivotE(
         graph,
         config=build_config(
-            args.pruning, args.shards, args.columnar, args.executor, args.workers
+            args.pruning,
+            args.shards,
+            args.columnar,
+            args.executor,
+            args.workers,
+            args.feature_chunk,
         ),
     )
     exit_code = _run_system_command(system, args)

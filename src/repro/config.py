@@ -170,17 +170,26 @@ class RankingConfig:
     #: cross-shard θ broadcast.  Rankings are byte-identical for every
     #: shard count.
     shards: int = 1
-    #: Columnar execution knob, mirroring :attr:`SearchConfig.columnar`.
-    #: The ranking side's hot path walks per-type feature groups rather
-    #: than postings; the knob is accepted (and reported by ``stats()``)
-    #: so both engines share one configuration surface, and it gates any
-    #: future columnar layout of the feature index.  Rankings are
-    #: identical either way.
+    #: Columnar execution knob, mirroring :attr:`SearchConfig.columnar`:
+    #: score through the per-epoch feature tables
+    #: (:mod:`repro.features.columnar`) and the vectorized entity-ranking
+    #: kernel (:func:`repro.topk.kernels.columnar_rank`) instead of the
+    #: scalar type-group walk.  ``False`` keeps the scalar path for A/B
+    #: comparison.  Rankings are byte-identical either way: both paths
+    #: feed the same exhaustive-order survivor re-scoring epilogue.
     columnar: bool = True
-    #: Shard-executor tier, mirroring :attr:`SearchConfig.executor`.
-    #: The ranker's fan-out is closure-based, so ``"process"`` degrades
-    #: to inline execution there (the knob is honoured for the thread
-    #: and inline tiers and echoed by ``stats()``).
+    #: Feature columns per correction chunk of the ``blockmax`` entity
+    #: accumulator (the recommendation-side block size): type groups are
+    #: re-checked against θ, and retired once they can gain nothing more,
+    #: at every chunk boundary.  Smaller chunks retire groups earlier but
+    #: check more often.
+    feature_chunk: int = 2
+    #: Shard-executor tier, mirroring :attr:`SearchConfig.executor`:
+    #: ``"process"`` runs the columnar pruned shard fan-out in a warm
+    #: multiprocess pool over the shared-memory feature tables (see
+    #: :mod:`repro.exec.procpool`); effective with ``shards > 1``.  The
+    #: scalar (``columnar=False``) fan-out stays closure-based and runs
+    #: on the thread or inline tier.
     executor: str = "auto"
     #: Worker cap of the selected executor tier; ``0`` sizes the pool to
     #: the machine.
@@ -197,6 +206,8 @@ class RankingConfig:
             raise ValueError(f"unknown executor: {self.executor!r}")
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.feature_chunk < 1:
+            raise ValueError("feature_chunk must be positive")
         if self.max_candidates <= 0 or self.max_features <= 0:
             raise ValueError("max_candidates and max_features must be positive")
         if not 0 < self.epsilon < 1:

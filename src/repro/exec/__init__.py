@@ -43,8 +43,10 @@ from .sharding import partition_candidates, partition_ids, shard_of, split_frequ
 from .shm import (
     AttachedSnapshot,
     PublishedSnapshot,
+    SnapshotSource,
     SnapshotUnavailable,
     ThetaSlab,
+    publish_feature_tables,
     publish_snapshot,
     release_snapshots,
     snapshot_registry,
@@ -92,6 +94,7 @@ __all__ = [
     "ProcessTask",
     "PublishedSnapshot",
     "ShardExecutor",
+    "SnapshotSource",
     "SnapshotUnavailable",
     "ThetaSlab",
     "dedupe_batch",
@@ -101,6 +104,7 @@ __all__ = [
     "merge_shard_stats",
     "partition_candidates",
     "partition_ids",
+    "publish_feature_tables",
     "publish_snapshot",
     "release_snapshots",
     "resolve_executor",

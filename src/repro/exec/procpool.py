@@ -12,6 +12,14 @@ Rebuilt columns are memoised per attached snapshot, so a warm worker
 serves a query stream against one epoch with the same amortisation as
 the parent's per-epoch view memo.
 
+The recommendation ranker rides the same pool: a ``"rank"`` payload
+names a feature-table snapshot (:func:`repro.exec.shm.publish_feature_tables`)
+and carries the query recipe — feature-key triples, relevance scores,
+the shard's candidate ordinals and the smoothing knobs — from which the
+worker assembles the exact :func:`~repro.topk.columnar_rank` inputs
+against the zero-copy tables (intersection columns memoised per
+attached snapshot, like the search side's contribution columns).
+
 Dispatch contract (mirrors :class:`~repro.exec.executor.ShardExecutor`):
 the first task of every query runs inline on the calling thread via its
 ``fallback`` closure — the parent is shard 0's worker and participates
@@ -37,7 +45,7 @@ from typing import Any
 
 import numpy as np
 
-from ..topk import PruningStats, SparseKernelTerm, columnar_dense, columnar_sparse
+from ..topk import PruningStats, SparseKernelTerm, columnar_dense, columnar_rank, columnar_sparse
 from .shm import AttachedSnapshot, SnapshotUnavailable, ThetaSlab
 
 #: Upper bound on worker processes (same rationale as the thread pool).
@@ -127,7 +135,7 @@ class ProcessShardExecutor:
         return "process"
 
     def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
-        """Closure batches run inline (scalar/ranking paths need no pool)."""
+        """Closure batches run inline (the scalar A/B arms need no pool)."""
         self.tasks_inlined += len(tasks)
         return [task() for task in tasks]
 
@@ -501,7 +509,26 @@ def _execute(payload: dict[str, Any], meta: dict[str, int]) -> Any:
     try:
         slot = slab.slot(int(payload["slot"]))
         stats = PruningStats()
-        if kind == "dense":
+        if kind == "rank":
+            from ..features.columnar import build_ranker_inputs
+
+            inputs = build_ranker_inputs(
+                snapshot.feature_tables(),
+                [tuple(key) for key in payload["features"]],
+                payload["relevance"],
+                np.asarray(payload["candidates"], dtype=np.int64),
+                float(payload["epsilon"]),
+                type_smoothing=bool(payload["type_smoothing"]),
+            )
+            ordinals, partials = columnar_rank(
+                inputs,
+                int(payload["top_k"]),
+                stats,
+                blockmax=bool(payload["blockmax"]),
+                feature_chunk=int(payload["feature_chunk"]),
+                shared=slot,
+            )
+        elif kind == "dense":
             entries = _dense_entries(snapshot, payload)
             candidates = np.asarray(payload["candidates"], dtype=np.int64)
             ordinals, partials = columnar_dense(

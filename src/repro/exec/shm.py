@@ -23,6 +23,18 @@ document-length columns, every (field, term) posting column pair
 shard count's ownership map is derived (``crcs % num_shards`` matches
 :func:`repro.exec.sharding.shard_of` exactly).
 
+The recommendation ranker publishes the same way:
+:func:`publish_feature_tables` serialises one epoch's
+:class:`~repro.features.columnar.ColumnarFeatureTables` — the holder
+CSR, dominant-type ordinals, type populations and the entity→type
+membership CSR, plus the feature-key triples in ordinal order — into an
+identically laid out segment (``"kind": "feature-tables"`` in the
+manifest), and workers rebuild the tables zero-copy via
+:meth:`AttachedSnapshot.feature_tables`.  Both kinds share one
+:class:`SnapshotRegistry` keyed by index uid
+(:func:`repro.index.fielded_index.next_index_uid` is allocated from one
+process-wide counter, so search and feature uids never collide).
+
 The θ broadcast between processes is a :class:`ThetaSlab`: one float64
 shared-memory slab with a per-shard seqlocked slot of top-k score lower
 bounds plus a monotone global-max cell.  Readers that observe a torn
@@ -41,7 +53,7 @@ import json
 import threading
 import zlib
 from multiprocessing import shared_memory
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
@@ -49,8 +61,22 @@ from ..index.postings import BLOCK_SIZE
 from ..topk import NO_THRESHOLD, threshold_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..features.columnar import ColumnarFeatureTables
     from ..index.columnar import ColumnarIndex, ColumnarPostings
     from ..index.fielded_index import FieldedIndex
+
+
+class SnapshotSource(NamedTuple):
+    """Minimal ``(uid, epoch)`` publish handle.
+
+    The registry only reads ``uid``/``epoch`` off whatever it is asked to
+    publish; passing this explicit pair lets a caller pin the *pinned
+    view's* epoch (e.g. the feature tables a query snapshot carries)
+    rather than a live index property that may have advanced since.
+    """
+
+    uid: int
+    epoch: int
 
 #: Array alignment inside a snapshot segment (cache-line friendly).
 _ALIGN = 64
@@ -140,25 +166,66 @@ class PublishedSnapshot:
             pass
 
 
+class _SegmentBuilder:
+    """Accumulates manifest array descriptors, then writes one segment.
+
+    ``place`` assigns each array a 64-aligned offset (relative to the
+    arrays base, so the manifest can be encoded before the base is
+    known) and returns its ``[offset, dtype, shape]`` descriptor;
+    ``build`` encodes the manifest and copies everything into a fresh
+    shared-memory segment.  Shared by every snapshot kind.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: list[np.ndarray] = []
+        self._cursor = 0
+
+    def place(self, array: np.ndarray) -> list[object]:
+        array = np.ascontiguousarray(array)
+        offset = _align(self._cursor)
+        self._cursor = offset + array.nbytes
+        self._arrays.append(array)
+        return [offset, array.dtype.str, list(array.shape)]
+
+    def build(self, manifest: dict[str, object], uid: int, epoch: int) -> PublishedSnapshot:
+        encoded = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+        arrays_base = _align(_HEADER_BYTES + len(encoded))
+        total = max(arrays_base + self._cursor, _HEADER_BYTES + len(encoded))
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            header = np.ndarray(2, dtype=np.int64, buffer=segment.buf)
+            header[0] = len(encoded)
+            header[1] = arrays_base
+            segment.buf[_HEADER_BYTES : _HEADER_BYTES + len(encoded)] = encoded
+            offset_cursor = 0
+            for array in self._arrays:
+                offset = _align(offset_cursor)
+                offset_cursor = offset + array.nbytes
+                if array.nbytes:
+                    target = np.ndarray(
+                        array.shape,
+                        dtype=array.dtype,
+                        buffer=segment.buf,
+                        offset=arrays_base + offset,
+                    )
+                    target[...] = array
+            del header
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+        return PublishedSnapshot(segment, uid, epoch, total)
+
+
 def publish_snapshot(index: FieldedIndex, view: ColumnarIndex) -> PublishedSnapshot:
     """Serialise one columnar index epoch into a shared-memory segment.
 
     Every posting column of the full vocabulary is placed (workers must
     be able to serve any query against the snapshot), together with the
-    per-field length columns and the per-document CRC column.  Array
-    offsets in the manifest are relative to the arrays base, so the
-    manifest can be encoded before the base is known.
+    per-field length columns and the per-document CRC column.
     """
-    arrays: list[np.ndarray] = []
-    cursor = 0
-
-    def place(array: np.ndarray) -> list[object]:
-        nonlocal cursor
-        array = np.ascontiguousarray(array)
-        offset = _align(cursor)
-        cursor = offset + array.nbytes
-        arrays.append(array)
-        return [offset, array.dtype.str, list(array.shape)]
+    builder = _SegmentBuilder()
+    place = builder.place
 
     crcs = np.fromiter(
         (zlib.crc32(doc_id.encode("utf-8")) for doc_id in view.doc_ids),
@@ -184,33 +251,37 @@ def publish_snapshot(index: FieldedIndex, view: ColumnarIndex) -> PublishedSnaps
             columns[term] = [place(columnar.ordinals), place(columnar.frequencies)]
         manifest["postings"][field] = columns
 
-    encoded = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
-    arrays_base = _align(_HEADER_BYTES + len(encoded))
-    total = max(arrays_base + cursor, _HEADER_BYTES + len(encoded))
-    segment = shared_memory.SharedMemory(create=True, size=total)
-    try:
-        header = np.ndarray(2, dtype=np.int64, buffer=segment.buf)
-        header[0] = len(encoded)
-        header[1] = arrays_base
-        segment.buf[_HEADER_BYTES : _HEADER_BYTES + len(encoded)] = encoded
-        offset_cursor = 0
-        for array in arrays:
-            offset = _align(offset_cursor)
-            offset_cursor = offset + array.nbytes
-            if array.nbytes:
-                target = np.ndarray(
-                    array.shape,
-                    dtype=array.dtype,
-                    buffer=segment.buf,
-                    offset=arrays_base + offset,
-                )
-                target[...] = array
-        del header
-    except BaseException:
-        segment.close()
-        segment.unlink()
-        raise
-    return PublishedSnapshot(segment, index.uid, index.epoch, total)
+    return builder.build(manifest, index.uid, index.epoch)
+
+
+def publish_feature_tables(
+    source: SnapshotSource, tables: ColumnarFeatureTables
+) -> PublishedSnapshot:
+    """Serialise one epoch's columnar feature tables into a segment.
+
+    The manifest carries the feature-key triples in ordinal order (the
+    only string payload — entities travel purely as ordinals) plus the
+    holder CSR, dominant-type ordinals, type populations and the
+    entity→type membership CSR.  ``source`` pins the publishing feature
+    index's uid and the *tables'* epoch, so attach checks reject a
+    segment left over from an earlier epoch of the same index.
+    """
+    builder = _SegmentBuilder()
+    place = builder.place
+    manifest: dict[str, object] = {
+        "uid": source.uid,
+        "epoch": source.epoch,
+        "kind": "feature-tables",
+        "num_entities": tables.num_entities,
+        "features": sorted(tables.feature_ord, key=tables.feature_ord.__getitem__),
+        "holder_offsets": place(tables.holder_offsets),
+        "holder_ordinals": place(tables.holder_ordinals),
+        "dominant_ords": place(tables.dominant_ords),
+        "type_populations": place(tables.type_populations),
+        "member_offsets": place(tables.member_offsets),
+        "member_type_ords": place(tables.member_type_ords),
+    }
+    return builder.build(manifest, source.uid, source.epoch)
 
 
 # --------------------------------------------------------------------- #
@@ -223,7 +294,10 @@ class AttachedSnapshot:
     surface the traversal kernels consume — length columns, posting
     columns (with block grids rebuilt locally), dense frequency columns,
     CRC-derived shard ownership — plus the same ``memoised`` hook the
-    scorers use for derived contribution columns.
+    scorers use for derived contribution columns.  Feature-table
+    segments instead rebuild their
+    :class:`~repro.features.columnar.ColumnarFeatureTables` via
+    :meth:`feature_tables` over the same zero-copy views.
     """
 
     def __init__(
@@ -303,6 +377,37 @@ class AttachedSnapshot:
 
         return self.memoised(("dense", field, term), build)
 
+    def manifest_array(self, key: str) -> np.ndarray:
+        """Zero-copy view of a top-level manifest array by key (memoised)."""
+        return self.memoised(("array", key), lambda: self._view(self._manifest[key]))
+
+    def feature_tables(self) -> "ColumnarFeatureTables":
+        """The segment's columnar feature tables, rebuilt zero-copy.
+
+        Only valid on ``"kind": "feature-tables"`` segments; raises
+        :class:`SnapshotUnavailable` otherwise so a mixed-up descriptor
+        degrades to the fallback path instead of a KeyError deep in a
+        worker.
+        """
+        if self._manifest.get("kind") != "feature-tables":
+            raise SnapshotUnavailable("segment does not carry feature tables")
+
+        def build() -> "ColumnarFeatureTables":
+            from ..features.columnar import ColumnarFeatureTables
+
+            return ColumnarFeatureTables.from_arrays(
+                epoch=self.epoch,
+                feature_keys=[tuple(key) for key in self._manifest["features"]],
+                holder_offsets=self.manifest_array("holder_offsets"),
+                holder_ordinals=self.manifest_array("holder_ordinals"),
+                dominant_ords=self.manifest_array("dominant_ords"),
+                type_populations=self.manifest_array("type_populations"),
+                member_offsets=self.manifest_array("member_offsets"),
+                member_type_ords=self.manifest_array("member_type_ords"),
+            )
+
+        return self.memoised(("feature-tables",), build)
+
     def shard_owners(self, num_shards: int) -> np.ndarray:
         """Per-ordinal shard ownership, identical to ``shard_of`` routing."""
 
@@ -350,22 +455,30 @@ class SnapshotRegistry:
         self.publishes = 0
         self.published_bytes = 0
 
-    def publish(self, index: FieldedIndex, view: ColumnarIndex) -> PublishedSnapshot | None:
-        key = (index.uid, index.epoch)
+    def publish(self, source, view, builder=publish_snapshot) -> PublishedSnapshot | None:
+        """Publish (or reuse) one ``(uid, epoch)``'s segment.
+
+        ``source`` is anything with ``uid``/``epoch`` (a live index or an
+        explicit :class:`SnapshotSource`); ``builder`` is the snapshot
+        serialiser for the view's kind — :func:`publish_snapshot` for
+        columnar postings (the default), :func:`publish_feature_tables`
+        for the ranker's feature tables.
+        """
+        key = (source.uid, source.epoch)
         with self._lock:
-            current = self._snapshots.get(index.uid)
-            if current is not None and current.epoch == index.epoch:
+            current = self._snapshots.get(source.uid)
+            if current is not None and current.epoch == source.epoch:
                 return current
             if key in self._failed:
                 return None
             try:
-                fresh = publish_snapshot(index, view)
+                fresh = builder(source, view)
             except Exception:  # noqa: BLE001 - degrade to inline execution
                 self._failed.add(key)
                 return None
             if current is not None:
                 current.close()
-            self._snapshots[index.uid] = fresh
+            self._snapshots[source.uid] = fresh
             self.publishes += 1
             self.published_bytes += fresh.nbytes
             return fresh

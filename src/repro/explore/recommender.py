@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
-from ..exec import dedupe_batch, executor_stats
+from ..exec import dedupe_batch, executor_stats, release_snapshots
 from ..expansion import EntitySetExpander, ExpansionResult
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import KnowledgeGraph
@@ -284,12 +284,18 @@ class RecommendationEngine:
         )
 
     def close(self) -> None:
-        """Drop cached recommendations (uniform lifecycle with the facade).
+        """Release the engine's shared-memory snapshots and cached results.
 
-        The ranker publishes no shared-memory snapshots (its process
-        choice degrades to inline execution) and the worker pools are
-        process-wide, so releasing the cache is the whole teardown.
+        A ``"process"`` executor publishes the feature index's columnar
+        tables under the index uid (see
+        :func:`repro.exec.shm.publish_feature_tables`); only this
+        engine's segment is unlinked — the worker pools are process-wide
+        and stay warm.  Safe to call repeatedly: the engine remains
+        usable and the next process-tier query simply republishes.
         """
+        uid = getattr(self._index, "uid", None)
+        if uid is not None:
+            release_snapshots(uid)
         self._cache.clear()
 
     def __enter__(self) -> "RecommendationEngine":

@@ -37,6 +37,7 @@ import threading
 from collections import Counter, defaultdict
 from collections.abc import Iterable
 
+from ..index.fielded_index import next_index_uid
 from ..kg import DISAMBIGUATES, KnowledgeGraph, REDIRECT, STRUCTURAL_PREDICATES, Triple
 from .extraction import features_of_entity
 from .semantic_feature import SemanticFeature
@@ -67,6 +68,7 @@ class FeatureIndexSnapshot:
         "epoch",
         "triples",
         "_type_counts",
+        "_columnar",
     )
 
     def __init__(
@@ -86,6 +88,9 @@ class FeatureIndexSnapshot:
         self.triples = triples
         #: Memoised ``(||E(pi) ∩ E(c)||, ||E(c)||)`` pairs for this epoch.
         self._type_counts: dict[tuple[SemanticFeature, str], tuple[int, int]] = {}
+        #: Lazily built per-epoch array tables
+        #: (:func:`repro.features.columnar.columnar_tables`).
+        self._columnar = None
 
     def features_of(self, entity_id: str) -> frozenset[SemanticFeature]:
         """Features held by an entity (empty set for unknown entities)."""
@@ -149,6 +154,10 @@ class SemanticFeatureIndex:
             if not 0.0 <= max_delta_fraction <= 1.0:
                 raise ValueError("max_delta_fraction must lie in [0, 1]")
             self.max_delta_fraction = max_delta_fraction
+        #: Process-unique instance id: ``(uid, epoch)`` keys this index's
+        #: published shared-memory feature tables, collision-free against
+        #: the search indexes sharing the snapshot registry.
+        self._uid = next_index_uid()
         self._snapshot_ref: FeatureIndexSnapshot | None = None
         #: Serialises refreshes: concurrent readers that both notice a
         #: stale snapshot build the successor once, not twice.
@@ -303,6 +312,15 @@ class SemanticFeatureIndex:
         on this value and are invalidated by any graph mutation.
         """
         return self.snapshot().epoch
+
+    @property
+    def uid(self) -> int:
+        """Process-unique instance id (see :meth:`FieldedIndex.uid`).
+
+        ``(uid, epoch)`` keys this index's published shared-memory
+        feature tables in the snapshot registry.
+        """
+        return self._uid
 
     # ------------------------------------------------------------------ #
     # Lookups

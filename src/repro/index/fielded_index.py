@@ -22,6 +22,17 @@ from .statistics import CollectionStatistics
 _GENERATIONS = count()
 
 
+def next_index_uid() -> int:
+    """Allocate one process-unique index uid.
+
+    Shared by every uid-bearing index family (the fielded search index
+    here, the semantic feature index on the recommendation side), so the
+    ``(uid, epoch)`` keys of the shared-memory snapshot registry never
+    collide across index kinds living in one registry.
+    """
+    return next(_GENERATIONS)
+
+
 class FieldedIndex:
     """A collection of per-field inverted indexes sharing a document space."""
 
@@ -36,7 +47,7 @@ class FieldedIndex:
         #: Mutation counter: bumped on every document addition so cached
         #: statistics / scoring support / query results can be invalidated.
         self._epoch = 0
-        self._uid = next(_GENERATIONS)
+        self._uid = next_index_uid()
         self._statistics_cache: tuple[int, CollectionStatistics] | None = None
         self._support_cache: tuple[int, ScoringSupport] | None = None
 

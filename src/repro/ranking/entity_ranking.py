@@ -17,13 +17,26 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import PRUNED_MODES, RankingConfig
 from ..exceptions import NoSeedEntitiesError
-from ..exec import merge_shard_maps, merge_shard_stats, partition_ids, resolve_executor
+from ..exec import (
+    ProcessTask,
+    SnapshotSource,
+    ThetaSlab,
+    merge_shard_maps,
+    merge_shard_stats,
+    partition_ids,
+    publish_feature_tables,
+    resolve_executor,
+    shard_stats_from,
+    snapshot_registry,
+)
 from ..features import SemanticFeatureIndex
 from ..index import select_top_k
 from ..kg import KnowledgeGraph
-from ..topk import PruningStats, SharedThreshold
+from ..topk import PruningStats, SharedThreshold, columnar_rank
 from ..topk import SELECTION_MARGIN as _SELECTION_MARGIN
 from .probability import FeatureProbabilityModel
 from .ranking_support import FrozenMapping
@@ -82,10 +95,11 @@ class EntityRanker:
     def _executor(self):
         """The shard executor resolved from the config knobs.
 
-        The ranker's fan-out is closure-based (the feature walk has no
-        columnar snapshot to ship), so a ``"process"`` choice degrades
-        to inline execution here — see
-        :meth:`~repro.exec.procpool.ProcessShardExecutor.run`.
+        With ``columnar`` on, a ``"process"`` choice runs the pruned
+        shard fan-out in the multiprocess tier over the published
+        shared-memory feature tables (see :meth:`_process_columnar_rank`);
+        the scalar fan-out stays closure-based on the thread/inline
+        tiers.
         """
         return resolve_executor(self._config.executor, self._config.workers)
 
@@ -152,10 +166,15 @@ class EntityRanker:
         cannot reach the live θ (see
         :meth:`RankingSupport.score_entities_pruned`); ``"blockmax"``
         additionally chunks the feature corrections so groups are killed
-        or retired at every chunk boundary mid-walk.  The top-k survivors
-        of a bounded-heap selection are then re-scored through
-        :meth:`score_entity`, so the returned entities carry exactly the
-        scores and per-feature contributions of the exhaustive path.
+        or retired at every chunk boundary mid-walk.  With
+        ``RankingConfig.columnar`` on (the default) the same decomposition
+        runs as array kernels over the per-epoch feature tables
+        (:func:`repro.topk.kernels.columnar_rank`); the kernels only
+        *select* a survivor superset, so the ranking stays byte-identical
+        to the scalar arm.  The top-k survivors of a bounded-heap
+        selection are then re-scored through :meth:`score_entity`, so the
+        returned entities carry exactly the scores and per-feature
+        contributions of the exhaustive path.
         """
         if not seeds:
             raise NoSeedEntitiesError("cannot rank entities for an empty seed set")
@@ -169,21 +188,40 @@ class EntityRanker:
         support = self._probability.support()
         pruned = self._config.pruning in PRUNED_MODES
         blockmax = self._config.pruning == "blockmax"
+        columnar = self._config.columnar
         num_shards = self._config.shards
+        accumulators = None
         if num_shards > 1:
             accumulators = self._score_sharded(
-                candidates, scored_features, top_k, support, num_shards, pruned, blockmax
+                candidates, scored_features, top_k, support, num_shards, pruned, blockmax, columnar
             )
         elif pruned:
-            accumulators = support.score_entities_pruned(
-                candidates,
-                scored_features,
-                top_k,
-                self._pruning_stats,
-                blockmax=blockmax,
-            )
+            # The columnar wrappers return None when the pinned index has
+            # no feature tables or a candidate id is unknown to them; the
+            # scalar walk is then the recovery path, not an error.
+            if columnar:
+                accumulators = support.score_entities_pruned_columnar(
+                    candidates,
+                    scored_features,
+                    top_k,
+                    self._pruning_stats,
+                    blockmax=blockmax,
+                    feature_chunk=self._config.feature_chunk,
+                )
+            if accumulators is None:
+                accumulators = support.score_entities_pruned(
+                    candidates,
+                    scored_features,
+                    top_k,
+                    self._pruning_stats,
+                    blockmax=blockmax,
+                    feature_chunk=self._config.feature_chunk,
+                )
         else:
-            accumulators = support.score_entities(candidates, scored_features)
+            if columnar:
+                accumulators = support.score_entities_columnar(candidates, scored_features)
+            if accumulators is None:
+                accumulators = support.score_entities(candidates, scored_features)
         # Accumulator totals can differ from exhaustive scores by float
         # rounding (the decomposition associates the same terms
         # differently), so select with a safety margin, re-score the
@@ -211,6 +249,7 @@ class EntityRanker:
         num_shards: int,
         pruned: bool,
         blockmax: bool,
+        columnar: bool,
     ) -> dict[str, float]:
         """Fan the entity accumulator out over candidate shards and merge.
 
@@ -224,7 +263,13 @@ class EntityRanker:
         serial walk produces (a candidate's decomposition never depends
         on which other candidates share its map), so merging the disjoint
         maps and re-scoring the margin-guarded selection — the caller's
-        existing epilogue — keeps the ranking byte-identical.
+        existing epilogue — keeps the ranking byte-identical.  With
+        ``columnar`` on, pruned shards run the array kernel (in the
+        multiprocess tier when the executor is a process pool, closures
+        otherwise); each shard keeps only its top-(k+margin) survivors,
+        which is still a superset of the global top-(k+margin) because
+        the global selection is contained in the union of the per-shard
+        ones.
         """
         index = self._index
         if (
@@ -235,6 +280,12 @@ class EntityRanker:
         else:
             shards = partition_ids(candidates, num_shards)
         if pruned:
+            if columnar:
+                merged = self._columnar_sharded_pruned(
+                    shards, scored_features, top_k, support, blockmax
+                )
+                if merged is not None:
+                    return merged
             shared = SharedThreshold(top_k)
 
             def worker(shard: Sequence[str]) -> tuple[dict[str, float], PruningStats]:
@@ -246,6 +297,7 @@ class EntityRanker:
                     local,
                     blockmax=blockmax,
                     shared=shared.slot(),
+                    feature_chunk=self._config.feature_chunk,
                 )
                 return survivors, local
 
@@ -254,6 +306,17 @@ class EntityRanker:
             )
             merge_shard_stats(self._pruning_stats, [local for _, local in results])
             shard_maps = [survivors for survivors, _ in results]
+        elif columnar:
+
+            def accumulate(shard: Sequence[str]) -> dict[str, float]:
+                survivors = support.score_entities_columnar(shard, scored_features)
+                if survivors is None:
+                    survivors = support.score_entities(shard, scored_features)
+                return survivors
+
+            shard_maps = self._executor().run(
+                [lambda shard=shard: accumulate(shard) for shard in shards if shard]
+            )
         else:
             shard_maps = self._executor().run(
                 [
@@ -263,6 +326,159 @@ class EntityRanker:
                 ]
             )
         return merge_shard_maps(shard_maps)
+
+    def _columnar_sharded_pruned(
+        self,
+        shards: Sequence[Sequence[str]],
+        scored_features: Sequence[ScoredFeature],
+        top_k: int,
+        support,
+        blockmax: bool,
+    ) -> dict[str, float] | None:
+        """The columnar pruned fan-out (``None`` → scalar closures).
+
+        A process executor first tries the multiprocess tier (published
+        shared-memory feature tables + picklable shard recipes); the
+        thread/inline tiers run the kernel per shard through closures
+        over the parent's tables.  A shard whose candidates miss the
+        tables recovers through the scalar walk on its own θ slot —
+        survivor values are exact accumulators in both arms, so mixed
+        shards still merge byte-identically.
+        """
+        if support.columnar_tables() is None:
+            return None
+        feature_chunk = self._config.feature_chunk
+        executor = self._executor()
+        if getattr(executor, "is_process", False):
+            merged = self._process_columnar_rank(
+                shards, scored_features, top_k, support, blockmax, executor
+            )
+            if merged is not None:
+                return merged
+        shared = SharedThreshold(top_k)
+
+        def worker(shard: Sequence[str]) -> tuple[dict[str, float], PruningStats]:
+            local = PruningStats()
+            slot = shared.slot()
+            survivors = support.score_entities_pruned_columnar(
+                shard,
+                scored_features,
+                top_k,
+                local,
+                blockmax=blockmax,
+                shared=slot,
+                feature_chunk=feature_chunk,
+            )
+            if survivors is None:
+                survivors = support.score_entities_pruned(
+                    shard,
+                    scored_features,
+                    top_k,
+                    local,
+                    blockmax=blockmax,
+                    shared=slot,
+                    feature_chunk=feature_chunk,
+                )
+            return survivors, local
+
+        results = self._executor().run(
+            [lambda shard=shard: worker(shard) for shard in shards if shard]
+        )
+        merge_shard_stats(self._pruning_stats, [local for _, local in results])
+        return merge_shard_maps([survivors for survivors, _ in results])
+
+    def _process_columnar_rank(
+        self,
+        shards: Sequence[Sequence[str]],
+        scored_features: Sequence[ScoredFeature],
+        top_k: int,
+        support,
+        blockmax: bool,
+        executor,
+    ) -> dict[str, float] | None:
+        """Dispatch the ranker shard fan-out to the multiprocess tier.
+
+        One task per shard: the parent runs shard 0 inline through its
+        fallback closure (holding a slot on the shared θ slab) and ships
+        the rest a picklable plan — the descriptor of the published
+        feature-table snapshot plus the query recipe (feature-key
+        triples, relevance scores, candidate ordinals, smoothing knobs)
+        from which the worker rebuilds the exact kernel inputs against
+        its zero-copy tables.  Returns ``None`` when the tables cannot
+        be published or a candidate id has no ordinal, so the caller
+        falls through to the closure-based fan-out.
+        """
+        tables = support.columnar_tables()
+        if tables is None or tables.ordinal_of is None:
+            return None
+        uid = getattr(self._index, "uid", None)
+        if uid is None:
+            return None
+        ordinal_of = tables.ordinal_of
+        shard_ordinals: list[np.ndarray] = []
+        for shard in shards:
+            ordinals = np.empty(len(shard), dtype=np.int64)
+            for position, entity_id in enumerate(shard):
+                ordinal = ordinal_of.get(entity_id)
+                if ordinal is None:
+                    return None
+                ordinals[position] = ordinal
+            shard_ordinals.append(np.unique(ordinals))
+        snapshot = snapshot_registry().publish(
+            SnapshotSource(uid, tables.epoch), tables, builder=publish_feature_tables
+        )
+        if snapshot is None:
+            return None
+        feature_keys = [list(scored.feature.key) for scored in scored_features]
+        relevance = [scored.score for scored in scored_features]
+        feature_chunk = self._config.feature_chunk
+        slab = ThetaSlab.create(top_k, len(shard_ordinals))
+        try:
+            tasks = []
+            for shard, ordinals in enumerate(shard_ordinals):
+                payload = {
+                    "kind": "rank",
+                    "snapshot": snapshot.descriptor,
+                    "theta": slab.descriptor,
+                    "slot": shard,
+                    "top_k": top_k,
+                    "blockmax": blockmax,
+                    "feature_chunk": feature_chunk,
+                    "features": feature_keys,
+                    "relevance": relevance,
+                    "candidates": ordinals,
+                    "epsilon": support.epsilon,
+                    "type_smoothing": self._config.type_smoothing,
+                }
+
+                def fallback(shard=shard, ordinals=ordinals):
+                    local = PruningStats()
+                    inputs = support.kernel_inputs(tables, ordinals, scored_features)
+                    picked, values = columnar_rank(
+                        inputs,
+                        top_k,
+                        local,
+                        blockmax=blockmax,
+                        feature_chunk=feature_chunk,
+                        shared=slab.slot(shard),
+                    )
+                    return picked, values, local
+
+                tasks.append(ProcessTask(payload, fallback))
+            results = executor.run_tasks(tasks)
+        finally:
+            slab.close()
+        merge_shard_stats(
+            self._pruning_stats, [shard_stats_from(counters) for _, _, counters in results]
+        )
+        ids = tables.entity_ids
+        merged: dict[str, float] = {}
+        for ordinals, values, _ in results:
+            for ordinal, value in zip(
+                np.asarray(ordinals).tolist(), np.asarray(values).tolist()
+            ):
+                merged[ids[int(ordinal)]] = value
+        return merged
 
     def _score_entity_via_support(
         self, entity_id: str, scored_features: Sequence[ScoredFeature], support

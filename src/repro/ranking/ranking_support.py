@@ -34,11 +34,17 @@ import heapq
 from collections.abc import Iterator, Mapping, Sequence
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..features import SemanticFeature, SemanticFeatureIndex
+from ..features.columnar import build_ranker_inputs, columnar_tables
 from ..kg import KnowledgeGraph
 from ..topk import (
     PruningStats,
     SharedThresholdSlot,
+    accumulate_rank,
+    ceil_div,
+    columnar_rank,
     safety_slack,
     threshold_of,
     top_k_bounds,
@@ -47,11 +53,25 @@ from ..topk import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .sf_ranking import ScoredFeature
 
-#: Feature columns per correction chunk of the ``blockmax`` entity
+#: Default feature columns per correction chunk of the ``blockmax`` entity
 #: accumulator: type groups are re-checked against θ (and retired once
 #: they can gain nothing more) at every chunk boundary, the
 #: recommendation-side mirror of the posting blocks of the search side.
+#: Tunable per workload via ``RankingConfig.feature_chunk``.
 FEATURE_CHUNK = 2
+
+
+def _sorted_unique(ordinals: "np.ndarray") -> "np.ndarray":
+    """Ascending unique ordinals, without ``np.unique``'s always-on copy.
+
+    Candidate lists are deduplicated by every internal caller, so the
+    common case is a plain in-place sort of a freshly-built array; the
+    full dedupe only runs when a (public-API) caller passed duplicates.
+    """
+    ordinals.sort()
+    if ordinals.size > 1 and bool(np.any(ordinals[1:] == ordinals[:-1])):
+        return np.unique(ordinals)
+    return ordinals
 
 
 class FrozenMapping(Mapping[str, float]):
@@ -310,6 +330,7 @@ class RankingSupport:
         stats: PruningStats,
         blockmax: bool = False,
         shared: SharedThresholdSlot | None = None,
+        feature_chunk: int = FEATURE_CHUNK,
     ) -> dict[str, float]:
         """Type-group-pruned accumulator scores (see :meth:`score_entities`).
 
@@ -386,7 +407,7 @@ class RankingSupport:
         # dead before the walk) are reported as skipped blocks.
         num_chunks = 0
         if blockmax and num_columns:
-            num_chunks = -(-num_columns // FEATURE_CHUNK)
+            num_chunks = ceil_div(num_columns, feature_chunk)
             stats.blocks_total += num_chunks * len(type_members)
 
         # Initial θ: the k-th largest base score over the candidate pool,
@@ -484,12 +505,12 @@ class RankingSupport:
             if done >= num_columns or not live_types:
                 continue
             if blockmax:
-                if done != 1 and done % FEATURE_CHUNK != 0:
+                if done != 1 and done % feature_chunk != 0:
                     continue
                 # Chunks not yet *started*: a partially-walked chunk (the
                 # done=1 checkpoint sits mid-chunk) counts as walked, so
                 # the skip counters never overstate the avoided work.
-                rem_chunks = num_chunks - -(-done // FEATURE_CHUNK)
+                rem_chunks = num_chunks - ceil_div(done, feature_chunk)
                 finished = [
                     type_id
                     for type_id in live_types
@@ -553,6 +574,107 @@ class RankingSupport:
                 stats.candidates_pruned += len(members)
                 stats.blocks_skipped += rem_chunks
         return accumulators
+
+    # ------------------------------------------------------------------ #
+    # Columnar traversal (vectorized kernels over the epoch feature tables)
+    # ------------------------------------------------------------------ #
+    def columnar_tables(self):
+        """The pinned snapshot's per-epoch array tables (``None`` when the
+        pinned index object has no snapshot memo slot)."""
+        return columnar_tables(self._index)
+
+    def _kernel_candidates(
+        self, entity_ids: Sequence[str]
+    ) -> tuple["np.ndarray", object] | None:
+        """Candidate ordinals + tables, or ``None`` → scalar fallback.
+
+        Unknown entity ids (callers may rank arbitrary candidate lists)
+        have no ordinal, so any miss routes the whole query back through
+        the scalar walk rather than silently dropping candidates.
+        """
+        tables = self.columnar_tables()
+        if tables is None or tables.ordinal_of is None:
+            return None
+        ordinal_of = tables.ordinal_of
+        try:
+            ordinals = np.fromiter(
+                (ordinal_of[entity_id] for entity_id in entity_ids),
+                dtype=np.int64,
+                count=len(entity_ids),
+            )
+        except KeyError:
+            return None
+        return ordinals, tables
+
+    def kernel_inputs(self, tables, ordinals, scored_features):
+        """One query's :class:`~repro.topk.RankerKernelInputs` over the
+        epoch tables, with this support's smoothing knobs applied (shared
+        with the process tier's inline fallback closures)."""
+        return build_ranker_inputs(
+            tables,
+            [scored.feature.key for scored in scored_features],
+            [scored.score for scored in scored_features],
+            ordinals,
+            self._epsilon,
+            type_smoothing=self._type_smoothing,
+        )
+
+    def score_entities_columnar(
+        self,
+        entity_ids: Sequence[str],
+        scored_features: Sequence["ScoredFeature"],
+    ) -> dict[str, float] | None:
+        """Vectorized :meth:`score_entities` (``None`` → scalar fallback)."""
+        resolved = self._kernel_candidates(entity_ids)
+        if resolved is None:
+            return None
+        ordinals, tables = resolved
+        ordinals = _sorted_unique(ordinals)
+        inputs = self.kernel_inputs(tables, ordinals, scored_features)
+        values = accumulate_rank(inputs)
+        ids = tables.entity_ids
+        return {
+            ids[ordinal]: value
+            for ordinal, value in zip(inputs.ordinals.tolist(), values.tolist())
+        }
+
+    def score_entities_pruned_columnar(
+        self,
+        entity_ids: Sequence[str],
+        scored_features: Sequence["ScoredFeature"],
+        top_k: int,
+        stats: PruningStats,
+        blockmax: bool = False,
+        shared: SharedThresholdSlot | None = None,
+        feature_chunk: int = FEATURE_CHUNK,
+    ) -> dict[str, float] | None:
+        """Vectorized :meth:`score_entities_pruned` (``None`` → fallback).
+
+        Returns the margin-selected survivor accumulators — a *subset* of
+        what the scalar walk returns, but a superset of the true top-k,
+        which is all the exact re-scoring epilogue needs (the scalar
+        caller applies the same ``top_k + margin`` selection to its full
+        accumulator map before re-scoring).
+        """
+        resolved = self._kernel_candidates(entity_ids)
+        if resolved is None:
+            return None
+        ordinals, tables = resolved
+        ordinals = _sorted_unique(ordinals)
+        inputs = self.kernel_inputs(tables, ordinals, scored_features)
+        survivors, values = columnar_rank(
+            inputs,
+            top_k,
+            stats,
+            blockmax=blockmax,
+            feature_chunk=feature_chunk,
+            shared=shared,
+        )
+        ids = tables.entity_ids
+        return {
+            ids[ordinal]: value
+            for ordinal, value in zip(survivors.tolist(), values.tolist())
+        }
 
     def contribution_rows(
         self,

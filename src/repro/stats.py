@@ -92,6 +92,7 @@ class PruningStatsView:
     blocks_total: int
     blocks_skipped: int
     rescored: int
+    kernel_queries: int = 0
 
     @classmethod
     def from_counters(cls, name: str, counters: Mapping[str, int]) -> "PruningStatsView":
@@ -111,6 +112,7 @@ class PruningStatsView:
             "blocks_total": self.blocks_total,
             "blocks_skipped": self.blocks_skipped,
             "rescored": self.rescored,
+            "kernel_queries": self.kernel_queries,
         }
 
 

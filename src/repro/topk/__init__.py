@@ -23,7 +23,11 @@ term, candidate or whole type group whose score *upper bound* cannot beat
   :func:`~repro.topk.kernels.columnar_sparse` — the vectorized
   counterparts of the two drivers, operating on the columnar postings
   view of :mod:`repro.index.columnar` (the ``columnar`` config knob
-  selects between the scalar and vectorized drivers).
+  selects between the scalar and vectorized drivers);
+* :func:`~repro.topk.kernels.columnar_rank` — the recommendation-side
+  kernel: the vectorized counterpart of the scalar type-grouped entity
+  walk, operating on :class:`~repro.topk.kernels.RankerKernelInputs`
+  columns built from :mod:`repro.features.columnar` feature tables.
 
 Pruning never changes results: every driver only narrows the candidate
 set using sound upper bounds (with a rounding-safety slack, see
@@ -43,16 +47,20 @@ from .heap import (
     SharedThreshold,
     SharedThresholdSlot,
     ThresholdHeap,
+    ceil_div,
     safety_slack,
     threshold_of,
     top_k_bounds,
 )
 from .kernels import (
     DenseKernelTerm,
+    RankerKernelInputs,
     SparseKernelTerm,
     accumulate_dense,
+    accumulate_rank,
     accumulate_sparse,
     columnar_dense,
+    columnar_rank,
     columnar_sparse,
     select_survivor_ordinals,
 )
@@ -70,6 +78,7 @@ __all__ = [
     "DenseTermEntry",
     "NO_THRESHOLD",
     "PruningStats",
+    "RankerKernelInputs",
     "SELECTION_MARGIN",
     "ScorerBounds",
     "SharedThreshold",
@@ -78,8 +87,11 @@ __all__ = [
     "SparseTermEntry",
     "ThresholdHeap",
     "accumulate_dense",
+    "accumulate_rank",
     "accumulate_sparse",
+    "ceil_div",
     "columnar_dense",
+    "columnar_rank",
     "columnar_sparse",
     "maxscore_dense",
     "maxscore_sparse",

@@ -28,6 +28,17 @@ from collections.abc import Iterable
 NO_THRESHOLD = float("-inf")
 
 
+def ceil_div(numerator: int, denominator: int) -> int:
+    """``ceil(numerator / denominator)`` in exact integer arithmetic.
+
+    The block/chunk grids (posting blocks, feature-correction chunks)
+    all need the number of fixed-size slices covering ``numerator``
+    items; the floor-division identity keeps it exact for the int sizes
+    float ``math.ceil`` would round.
+    """
+    return -(-numerator // denominator)
+
+
 def safety_slack(threshold: float) -> float:
     """Rounding guard subtracted from θ before any bound comparison.
 

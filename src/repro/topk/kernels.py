@@ -24,6 +24,14 @@ Ordinals are assigned in sorted-doc-id order (see
 :class:`~repro.index.columnar.ColumnarIndex`), so ordinal comparisons
 reproduce the ``doc_id`` tie-break and
 :func:`select_survivor_ordinals` can rank with one ``lexsort``.
+
+The recommendation side gets the same treatment: :func:`columnar_rank`
+is the array counterpart of the scalar type-grouped entity walk in
+:meth:`repro.ranking.ranking_support.RankingSupport.score_entities_pruned`
+— per-type base scatter, per-feature holder scatter-adds, chunked
+correction-bound retirement and whole-group kills as mask operations —
+over the precomputed :class:`RankerKernelInputs` columns (see
+:func:`repro.features.columnar.build_ranker_inputs`).
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .heap import NO_THRESHOLD, SharedThresholdSlot, safety_slack
+from .heap import NO_THRESHOLD, SharedThresholdSlot, ceil_div, safety_slack
 from .maxscore import SELECTION_MARGIN
 from .stats import PruningStats
 
@@ -152,6 +160,7 @@ def columnar_dense(
     columns.
     """
     stats.queries += 1
+    stats.kernel_queries += 1
     stats.terms_total += len(entries)
     stats.candidates_total += int(candidate_ordinals.size)
     accumulators = np.zeros(candidate_ordinals.size, dtype=np.float64)
@@ -239,6 +248,7 @@ def columnar_sparse(
     ``(ordinals, partials)`` columns.
     """
     stats.queries += 1
+    stats.kernel_queries += 1
     stats.terms_total += len(entries)
     if not entries:
         empty = np.empty(0, dtype=np.int64)
@@ -395,3 +405,193 @@ def accumulate_sparse(
         alive[entry.ordinals] = True
     survivors = np.flatnonzero(alive)
     return survivors, accumulators[survivors]
+
+
+# --------------------------------------------------------------------- #
+# Ranker kernel (two-stage recommendation, §2.3)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RankerKernelInputs:
+    """Per-query columns of the type-grouped entity accumulator.
+
+    Built per (candidate set, scored features) pair by
+    :func:`repro.features.columnar.build_ranker_inputs` from the
+    per-epoch :class:`~repro.features.columnar.ColumnarFeatureTables`.
+    ``ordinals`` are candidate entity ordinals in ascending order
+    (ordinal order *is* entity-id order, so
+    :func:`select_survivor_ordinals` reproduces the ``entity_id``
+    tie-break); ``type_index`` maps each candidate to its local dominant
+    type row; the per-type columns carry the base scores
+    ``B(c) = sum base(pi, c) * r(pi)``, the exact per-column correction
+    add values ``(1 - base) * r``, and the suffix correction bounds
+    (``possible``-gated, shape ``(types, columns + 1)``).
+    ``holder_positions`` holds, per feature column, the candidate
+    positions that hold the feature — a precomputed scatter index.
+    """
+
+    ordinals: np.ndarray
+    type_index: np.ndarray
+    type_counts: np.ndarray
+    base_scores: np.ndarray
+    corrections: np.ndarray
+    suffix_bounds: np.ndarray
+    holder_positions: tuple[np.ndarray, ...]
+
+
+def columnar_rank(
+    inputs: RankerKernelInputs,
+    top_k: int,
+    stats: PruningStats,
+    blockmax: bool = False,
+    feature_chunk: int = 2,
+    shared: SharedThresholdSlot | None = None,
+    margin: int = SELECTION_MARGIN,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``RankingSupport.score_entities_pruned``.
+
+    Same traversal as the scalar walk: per-type base scatter, initial θ
+    from the candidate base scores, up-front group kills (``blockmax``
+    additionally retires zero-bound groups), per-feature holder
+    scatter-adds with the identical checkpoint schedule — maxscore
+    refreshes after columns 1 and 4, blockmax retires finished groups at
+    every ``feature_chunk`` boundary and runs the kill scan on the
+    maxscore checkpoints plus every eighth column.  Partials are exact
+    accumulator values (same ``(1 - base) * r`` products), θ arithmetic
+    only has to be sound: the mid-walk refresh reads *all* live
+    accumulators (a superset of the scalar θ pool, hence ≥ its θ) and
+    every cut keeps the safety slack.  Returns the margin-selected
+    ``(ordinals, partials)`` survivor columns — a superset of the true
+    top-k for the parent's exact re-scoring epilogue.
+    """
+    ordinals = inputs.ordinals
+    type_index = inputs.type_index
+    num_candidates = int(ordinals.size)
+    num_types = int(inputs.base_scores.size)
+    num_columns = len(inputs.holder_positions)
+
+    stats.queries += 1
+    stats.kernel_queries += 1
+    stats.candidates_total += num_candidates
+    stats.groups_total += num_types
+    num_chunks = 0
+    if blockmax and num_columns:
+        num_chunks = ceil_div(num_columns, feature_chunk)
+        stats.blocks_total += num_chunks * num_types
+
+    accumulators = inputs.base_scores[type_index]
+    if num_candidates == 0:
+        return ordinals, accumulators
+
+    threshold = _kth_largest(accumulators, top_k)
+    if shared is not None and top_k > 0:
+        offered = shared.offer(_top_bounds(accumulators, top_k))
+        if offered > threshold:
+            threshold = offered
+    cut = threshold - safety_slack(threshold) if threshold != NO_THRESHOLD else NO_THRESHOLD
+
+    # Up-front group kills (and blockmax retirement): whole dominant-type
+    # groups leave the walk as one mask update.  ``walking`` tracks types
+    # still earning corrections; ``killed`` tracks candidates evicted from
+    # the accumulator (retired members keep their — already final — value).
+    if cut != NO_THRESHOLD:
+        dead = inputs.base_scores + inputs.suffix_bounds[:, 0] < cut
+    else:
+        dead = np.zeros(num_types, dtype=bool)
+    dead_count = int(np.count_nonzero(dead))
+    if dead_count:
+        stats.groups_skipped += dead_count
+        stats.candidates_pruned += int(inputs.type_counts[dead].sum())
+        stats.blocks_skipped += num_chunks * dead_count
+    walking = ~dead
+    if blockmax:
+        retired = walking & (inputs.suffix_bounds[:, 0] == 0.0)
+        retired_count = int(np.count_nonzero(retired))
+        if retired_count:
+            stats.blocks_skipped += num_chunks * retired_count
+            walking &= ~retired
+    killed = dead[type_index]
+    walk_mask = walking[type_index]
+
+    all_walking = not dead_count and bool(walking.all())
+    for column in range(num_columns):
+        positions = inputs.holder_positions[column]
+        if positions.size:
+            # All groups still walking (the common early-walk state):
+            # every holder position adds — skip the mask gather.
+            adding = positions if all_walking else positions[walk_mask[positions]]
+            if adding.size:
+                accumulators[adding] += inputs.corrections[type_index[adding], column]
+        done = column + 1
+        if done >= num_columns or not walking.any():
+            continue
+        if blockmax:
+            if done != 1 and done % feature_chunk != 0:
+                continue
+            rem_chunks = num_chunks - ceil_div(done, feature_chunk)
+            finished = walking & (inputs.suffix_bounds[:, done] == 0.0)
+            finished_count = int(np.count_nonzero(finished))
+            if finished_count:
+                stats.blocks_skipped += rem_chunks * finished_count
+                walking &= ~finished
+                walk_mask = walking[type_index]
+                all_walking = False
+            if done not in (1, 4) and done % 8 != 0:
+                continue
+        else:
+            if done not in (1, 4):
+                continue
+            rem_chunks = 0
+        alive_count = num_candidates - int(np.count_nonzero(killed))
+        if shared is None and (
+            int(np.count_nonzero(walking)) <= 1 or alive_count <= top_k
+        ):
+            continue
+        live = accumulators[~killed]
+        if shared is not None:
+            refreshed = shared.offer(_top_bounds(live, top_k))
+        else:
+            refreshed = _kth_largest(live, top_k)
+        if refreshed == NO_THRESHOLD:
+            continue
+        cut = refreshed - safety_slack(refreshed)
+        # Kill scan: per-walking-type best partial via one scatter-max
+        # (walking members are never killed, so their partials are live).
+        type_best = np.full(num_types, NO_THRESHOLD)
+        np.maximum.at(type_best, type_index[walk_mask], accumulators[walk_mask])
+        doomed = walking & (type_best + inputs.suffix_bounds[:, done] < cut)
+        doomed_count = int(np.count_nonzero(doomed))
+        if doomed_count:
+            stats.groups_skipped += doomed_count
+            stats.candidates_pruned += int(inputs.type_counts[doomed].sum())
+            stats.blocks_skipped += rem_chunks * doomed_count
+            walking &= ~doomed
+            killed |= doomed[type_index]
+            walk_mask = walking[type_index]
+            all_walking = False
+
+    alive = ~killed
+    survivor_ordinals = ordinals[alive]
+    survivor_values = accumulators[alive]
+    picked = select_survivor_ordinals(survivor_ordinals, survivor_values, top_k, margin)
+    if picked.size < survivor_ordinals.size:
+        # Survivor ordinals stay ascending (subset of an ascending
+        # column), so the picked values gather with one searchsorted.
+        gathered = np.searchsorted(survivor_ordinals, picked)
+        return picked, survivor_values[gathered]
+    return survivor_ordinals, survivor_values
+
+
+def accumulate_rank(inputs: RankerKernelInputs) -> np.ndarray:
+    """Plain (``pruning="off"``) entity accumulation.
+
+    The vectorized ``RankingSupport.score_entities``: per-type base
+    scatter plus every holder correction, no kills — returns the full
+    accumulator column aligned with ``inputs.ordinals``.
+    """
+    accumulators = inputs.base_scores[inputs.type_index]
+    for column, positions in enumerate(inputs.holder_positions):
+        if positions.size:
+            accumulators[positions] += inputs.corrections[
+                inputs.type_index[positions], column
+            ]
+    return accumulators

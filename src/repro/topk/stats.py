@@ -33,7 +33,10 @@ class PruningStats:
                            range or the block-max bound fell below θ, and
                            per-type chunks abandoned mid-walk;
     ``rescored``           survivors re-scored exactly for the final
-                           ranking (the price of byte-identical output).
+                           ranking (the price of byte-identical output);
+    ``kernel_queries``     traversals served by a vectorized columnar
+                           kernel rather than the scalar walk (the
+                           ``columnar`` knob's observable footprint).
     """
 
     __slots__ = (
@@ -47,6 +50,7 @@ class PruningStats:
         "blocks_total",
         "blocks_skipped",
         "rescored",
+        "kernel_queries",
     )
 
     def __init__(self) -> None:

@@ -19,6 +19,7 @@ import pytest
 from repro.config import PRUNING_MODES, RankingConfig, SearchConfig
 from repro.datasets import RandomKGConfig, build_random_kg
 from repro.explore import RecommendationEngine
+from repro.features import SemanticFeatureIndex
 from repro.search import BM25FieldScorer, BM25FScorer, SearchEngine, parse_query
 
 EXECUTORS = ("inline", "thread", "process")
@@ -133,29 +134,64 @@ class TestSearchExecutorEquivalence:
         ] == expected
 
 
+@pytest.fixture(scope="module")
+def ranking_index(random_graph):
+    """One shared feature index: engines differ only in config knobs."""
+    return SemanticFeatureIndex.build(random_graph)
+
+
+@pytest.fixture(scope="module")
+def serial_recommend(random_graph, ranking_index):
+    """Per-pruning-mode recommendation baselines from the serial engine."""
+    largest = max(random_graph.types(), key=lambda t: (random_graph.type_count(t), t))
+    seeds = sorted(random_graph.entities_of_type(largest))[:2]
+    baselines = {}
+    for pruning in PRUNING_MODES:
+        engine = RecommendationEngine(
+            random_graph,
+            feature_index=ranking_index,
+            config=RankingConfig(pruning=pruning),
+        )
+        result = engine.recommend_for_seeds(seeds)
+        baselines[pruning] = (
+            [(e.entity_id, e.score) for e in result.entities],
+            [(f.feature.notation(), f.score) for f in result.features],
+        )
+    return seeds, baselines
+
+
 class TestRankingExecutorEquivalence:
-    """Both rankers (entity + semantic feature) under every executor."""
+    """Both rankers (entity + semantic feature) under every executor.
+
+    The PR 8 axis on top: every executor × shard count runs with the
+    columnar ranker kernels on (the default) *and* off — the kernels only
+    move survivor selection; the exact re-scoring epilogue pins the
+    floats, so every cell must be byte-identical to the serial baseline.
+    """
 
     @pytest.mark.parametrize("pruning", PRUNING_MODES)
     @pytest.mark.parametrize("executor", EXECUTORS)
-    def test_recommendation_byte_identical(self, random_graph, pruning, executor):
-        largest = max(random_graph.types(), key=lambda t: (random_graph.type_count(t), t))
-        seeds = sorted(random_graph.entities_of_type(largest))[:2]
-        serial = RecommendationEngine(random_graph, config=RankingConfig(pruning=pruning))
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("columnar", (True, False))
+    def test_recommendation_byte_identical(
+        self, random_graph, ranking_index, serial_recommend, pruning, executor, shards, columnar
+    ):
+        seeds, baselines = serial_recommend
         parallel = RecommendationEngine(
             random_graph,
+            feature_index=ranking_index,
             config=RankingConfig(
-                pruning=pruning, shards=2, executor=executor, workers=WORKERS
+                pruning=pruning,
+                shards=shards,
+                executor=executor,
+                workers=WORKERS,
+                columnar=columnar,
             ),
         )
-        expected = serial.recommend_for_seeds(seeds)
+        expected_entities, expected_features = baselines[pruning]
         actual = parallel.recommend_for_seeds(seeds)
-        assert [(e.entity_id, e.score) for e in actual.entities] == [
-            (e.entity_id, e.score) for e in expected.entities
-        ]
-        assert [(f.feature.notation(), f.score) for f in actual.features] == [
-            (f.feature.notation(), f.score) for f in expected.features
-        ]
+        assert [(e.entity_id, e.score) for e in actual.entities] == expected_entities
+        assert [(f.feature.notation(), f.score) for f in actual.features] == expected_features
 
 
 class TestProcessExecutorStats:

@@ -47,6 +47,7 @@ class TestRecordTypes:
             "blocks_total": 3,
             "blocks_skipped": 1,
             "rescored": 12,
+            "kernel_queries": 4,
         }
         view = PruningStatsView.from_counters("mlm", counters)
         assert view.as_counters() == counters
