@@ -13,6 +13,8 @@ Subcommands
 ``profile``     show an entity's profile (Fig 3-d)
 ``explain``     explain why two entities are related (the explanation area)
 ``explore``     replay a scripted exploration session and print the path (Fig 4)
+``save``        build the system and persist a durable snapshot directory
+``load``        cold-start from a durable snapshot and print a summary
 
 Usage::
 
@@ -21,6 +23,9 @@ Usage::
     python -m repro.cli matrix dbr:Forrest_Gump --top-entities 6
     python -m repro.cli explain dbr:Forrest_Gump "dbr:Apollo_13_(film)"
     python -m repro.cli --pruning blockmax --show-pruning search "forrest gump"
+    python -m repro.cli --dataset movies save /tmp/pivote-snap
+    python -m repro.cli load /tmp/pivote-snap
+    python -m repro.cli --snapshot-dir /tmp/pivote-snap search "forrest gump"
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ import sys
 from collections.abc import Callable, Sequence
 from dataclasses import replace
 
-from .config import EXECUTOR_CHOICES, PRUNING_MODES, PivotEConfig
+from .config import EXECUTOR_CHOICES, PRUNING_MODES, STORAGE_MODES, PivotEConfig
 from .datasets import build_academic_kg, build_geography_kg, build_movie_kg, small_movie_kg
 from .engine import PivotE
 from .features import SemanticFeature
@@ -142,6 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
             "rankings are identical for every chunk size"
         ),
     )
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable snapshot directory: engine-backed commands cold-start "
+            "from it when it holds a saved system (falling back to a fresh "
+            "build), and implies --storage disk unless overridden"
+        ),
+    )
+    parser.add_argument(
+        "--storage",
+        default=None,
+        choices=STORAGE_MODES,
+        help=(
+            "snapshot storage backend: 'shm' (shared-memory segments for "
+            "the process executor, the default), 'disk' (additionally "
+            "persist each build under --snapshot-dir) or 'off' (publish "
+            "nothing; process-tier workers score inline)"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -184,6 +210,26 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--select", action="append", default=[], help="entity to select as example")
     explore.add_argument("--pivot", default=None, help="entity to pivot on at the end")
 
+    save = subparsers.add_parser(
+        "save", help="build the system and persist a durable snapshot"
+    )
+    save.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="target directory (defaults to --snapshot-dir)",
+    )
+
+    load = subparsers.add_parser(
+        "load", help="cold-start from a durable snapshot and print a summary"
+    )
+    load.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="snapshot directory (defaults to --snapshot-dir)",
+    )
+
     return parser
 
 
@@ -225,11 +271,21 @@ def build_config(
     executor: str | None = None,
     workers: int | None = None,
     feature_chunk: int | None = None,
+    snapshot_dir: str | None = None,
+    storage: str | None = None,
 ) -> PivotEConfig:
     """The system configuration for the CLI's execution-layer overrides."""
     config = PivotEConfig.default()
     search_changes: dict[str, object] = {}
     ranking_changes: dict[str, object] = {}
+    if snapshot_dir is not None and storage is None:
+        storage = "disk"  # a snapshot directory implies the durable backend
+    if snapshot_dir is not None:
+        search_changes["snapshot_dir"] = snapshot_dir
+        ranking_changes["snapshot_dir"] = snapshot_dir
+    if storage is not None:
+        search_changes["storage"] = storage
+        ranking_changes["storage"] = storage
     if pruning is not None:
         search_changes["pruning"] = pruning
         ranking_changes["pruning"] = pruning
@@ -273,29 +329,93 @@ def _print_pruning_info(system: PivotE) -> None:
         print(f"executor[search]:   {executor.as_dict()}")
 
 
+def _print_load_summary(directory: str, system: PivotE) -> None:
+    storage = system.stats().storage
+    print(
+        f"loaded {directory}: graph {system.graph.name!r} at epoch "
+        f"{system.graph.epoch} ({len(system.graph)} triples), "
+        f"{system.search_engine.num_indexed()} entities indexed"
+    )
+    if storage is not None:
+        print(
+            f"cold start: {storage.cold_start_ms:.1f} ms "
+            f"({storage.attaches} snapshots attached, "
+            f"{storage.attached_bytes} bytes, {storage.failures} failures)"
+        )
+
+
 def run_command(args: argparse.Namespace) -> int:
     """Execute a parsed CLI command; return the process exit code."""
+    config = build_config(
+        args.pruning,
+        args.shards,
+        args.columnar,
+        args.executor,
+        args.workers,
+        args.feature_chunk,
+        args.snapshot_dir,
+        args.storage,
+    )
+
+    if args.command == "load":
+        directory = args.directory or args.snapshot_dir
+        if not directory:
+            raise SystemExit("load needs a directory argument (or --snapshot-dir)")
+        system = PivotE.load(directory, config=config)
+        _print_load_summary(directory, system)
+        return 0
+
     graph = load_graph(args.dataset, args.graph_file)
 
     if args.command == "stats":
         print(compute_statistics(graph).summary())
         return 0
 
-    system = PivotE(
-        graph,
-        config=build_config(
-            args.pruning,
-            args.shards,
-            args.columnar,
-            args.executor,
-            args.workers,
-            args.feature_chunk,
-        ),
-    )
+    if args.command == "save":
+        directory = args.directory or args.snapshot_dir
+        if not directory:
+            raise SystemExit("save needs a directory argument (or --snapshot-dir)")
+        system = PivotE(graph, config=config)
+        manifest = system.save(directory)
+        info = manifest["graph"]
+        print(
+            f"saved {directory}: graph {info['name']!r} at epoch "
+            f"{info['epoch']} ({info['triples']} triples), "
+            f"keys {manifest['keys']}"
+        )
+        return 0
+
+    system = _load_or_build(graph, config, args.snapshot_dir)
     exit_code = _run_system_command(system, args)
     if exit_code == 0 and args.show_pruning:
         _print_pruning_info(system)
     return exit_code
+
+
+def _load_or_build(
+    graph: KnowledgeGraph, config: PivotEConfig, snapshot_dir: str | None
+) -> PivotE:
+    """Cold-start from the snapshot directory when possible, else build.
+
+    The snapshot must describe the same graph the CLI just loaded
+    (epoch and triple count match) — anything else, including an empty
+    or missing directory, silently falls back to the fresh build.
+    """
+    if snapshot_dir:
+        from .storage import SnapshotUnavailable
+
+        try:
+            system = PivotE.load(snapshot_dir, config=config)
+        except SnapshotUnavailable:
+            pass
+        else:
+            if (
+                system.graph.epoch == graph.epoch
+                and len(system.graph) == len(graph)
+            ):
+                return system
+            system.close()
+    return PivotE(graph, config=config)
 
 
 def _run_system_command(system: PivotE, args: argparse.Namespace) -> int:

@@ -33,6 +33,16 @@ PRUNED_MODES: tuple[str, ...] = ("maxscore", "blockmax")
 #: Rankings are byte-identical under every choice.
 EXECUTOR_CHOICES: tuple[str, ...] = ("auto", "inline", "thread", "process")
 
+#: Recognised snapshot-storage modes of both engines: ``"shm"`` (the
+#: default) publishes per-epoch columnar snapshots into the
+#: shared-memory registry for the process executor tier, ``"disk"``
+#: additionally persists each published epoch into the configured
+#: ``snapshot_dir`` (see :mod:`repro.storage.diskstore`), and ``"off"``
+#: disables snapshot publication entirely (the process tier then
+#: degrades to its inline fallback).  Rankings are byte-identical in
+#: every mode.
+STORAGE_MODES: tuple[str, ...] = ("shm", "disk", "off")
+
 #: The five retrieval fields of Table 1 in the paper.
 DEFAULT_FIELDS: tuple[str, ...] = (
     "names",
@@ -101,8 +111,20 @@ class SearchConfig:
     #: Worker cap of the selected executor tier; ``0`` sizes the pool to
     #: the machine.
     workers: int = 0
+    #: Snapshot-storage mode (one of :data:`STORAGE_MODES`): ``"disk"``
+    #: persists every published index epoch into :attr:`snapshot_dir`
+    #: so cold starts attach instead of rebuilding, ``"off"`` suppresses
+    #: snapshot publication for this engine.
+    storage: str = "shm"
+    #: Directory of the durable snapshot tier (required when
+    #: ``storage="disk"``); ``None`` keeps everything in RAM.
+    snapshot_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.storage not in STORAGE_MODES:
+            raise ValueError(f"unknown storage mode: {self.storage!r}")
+        if self.storage == "disk" and not self.snapshot_dir:
+            raise ValueError('storage="disk" requires a snapshot_dir')
         if self.smoothing not in ("dirichlet", "jelinek-mercer"):
             raise ValueError(f"unknown smoothing method: {self.smoothing!r}")
         if self.pruning not in PRUNING_MODES:
@@ -194,8 +216,19 @@ class RankingConfig:
     #: Worker cap of the selected executor tier; ``0`` sizes the pool to
     #: the machine.
     workers: int = 0
+    #: Snapshot-storage mode, mirroring :attr:`SearchConfig.storage`:
+    #: ``"disk"`` persists the published feature tables into
+    #: :attr:`snapshot_dir`, ``"off"`` suppresses publication.
+    storage: str = "shm"
+    #: Directory of the durable snapshot tier (required when
+    #: ``storage="disk"``); ``None`` keeps everything in RAM.
+    snapshot_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.storage not in STORAGE_MODES:
+            raise ValueError(f"unknown storage mode: {self.storage!r}")
+        if self.storage == "disk" and not self.snapshot_dir:
+            raise ValueError('storage="disk" requires a snapshot_dir')
         if self.top_entities <= 0 or self.top_features <= 0:
             raise ValueError("top_entities and top_features must be positive")
         if self.pruning not in PRUNING_MODES:

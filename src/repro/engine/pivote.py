@@ -17,6 +17,7 @@ interface model (sessions), the search engine and the recommendation engine
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -37,7 +38,7 @@ from ..explore import (
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import EntityProfile, KnowledgeGraph
 from ..search import SearchEngine, SearchHit
-from ..stats import EngineStats
+from ..stats import EngineStats, StorageStats
 from ..viz import (
     Heatmap,
     MatrixView,
@@ -67,23 +68,130 @@ class PivotE:
     def __init__(self, graph: KnowledgeGraph, config: PivotEConfig | None = None) -> None:
         self._graph = graph
         self._config = config or PivotEConfig.default()
-        self._search = SearchEngine.from_graph(graph, config=self._config.search)
-        if self._config.ranking.shards > 1:
-            self._feature_index: SemanticFeatureIndex = (
-                ShardedSemanticFeatureIndex.build_sharded(graph, self._config.ranking.shards)
-            )
-        else:
-            self._feature_index = SemanticFeatureIndex.build(graph)
+        search = SearchEngine.from_graph(graph, config=self._config.search)
+        self._wire(search, self._build_feature_index(graph, self._config))
+
+    @staticmethod
+    def _build_feature_index(
+        graph: KnowledgeGraph, config: PivotEConfig
+    ) -> SemanticFeatureIndex:
+        """Materialise the semantic feature index for the configured layout."""
+        if config.ranking.shards > 1:
+            return ShardedSemanticFeatureIndex.build_sharded(graph, config.ranking.shards)
+        return SemanticFeatureIndex.build(graph)
+
+    def _wire(self, search: SearchEngine, feature_index: SemanticFeatureIndex) -> None:
+        """Wire the three components around already-built engines.
+
+        Shared tail of the two construction paths — :meth:`__init__`
+        (build everything in RAM) and :meth:`load` (adopt components
+        restored from a durable snapshot).
+        """
+        self._search = search
+        self._feature_index = feature_index
         self._recommender = RecommendationEngine(
-            graph, feature_index=self._feature_index, config=self._config.ranking
+            self._graph, feature_index=self._feature_index, config=self._config.ranking
         )
         self._explainer = ExplanationBuilder(
-            graph,
+            self._graph,
             self._feature_index,
             probability_model=self._recommender.expander.feature_ranker.probability_model,
         )
         self._sessions: dict[str, ExplorationSession] = {}
         self._session_counter = 0
+        self._cold_start_ms = 0.0
+        #: Cumulative durable-tier counters across this facade's
+        #: ``save()`` / ``load()`` calls (the search engine's own
+        #: build-time disk publishes live on its child record).
+        self._storage_counters = {
+            "publishes": 0,
+            "published_bytes": 0,
+            "attaches": 0,
+            "attached_bytes": 0,
+            "failures": 0,
+        }
+
+    def _accumulate_storage(self, store: object) -> None:
+        for key in self._storage_counters:
+            self._storage_counters[key] += int(getattr(store, key, 0))
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | None = None) -> dict[str, object]:
+        """Persist the whole system (graph + derived tiers) to ``directory``.
+
+        Defaults to the configured ``snapshot_dir``.  Everything a later
+        :meth:`load` needs lands under the directory: the graph's triple
+        log at full fidelity plus CRC-checksummed snapshot segments of
+        the fielded index and the feature tables.  Returns the written
+        system manifest.
+        """
+        from ..storage.kgstore import save_system, system_store
+
+        directory = directory or self._config.search.snapshot_dir
+        if not directory:
+            raise ValueError("save() needs a directory (or a configured snapshot_dir)")
+        store = system_store(directory)
+        manifest = save_system(
+            directory, self._graph, self._search.index, self._feature_index, store=store
+        )
+        self._accumulate_storage(store)
+        return manifest
+
+    @classmethod
+    def load(cls, directory: str, config: PivotEConfig | None = None) -> "PivotE":
+        """Cold-start a system from a :meth:`save` directory.
+
+        Attaches instead of rebuilding: the graph replays its triple
+        log, the fielded index replays stored term counts (no document
+        building, no tokenisation) and the feature index adopts the
+        stored holder tables (no per-entity extraction).  Any missing or
+        corrupt component degrades to rebuilding just that component
+        from the loaded graph; rankings are byte-identical either way.
+        A missing or corrupt graph raises
+        :class:`~repro.storage.SnapshotUnavailable` — there is nothing
+        to fall back to.
+        """
+        from ..storage.kgstore import load_system
+
+        config = config or PivotEConfig.default()
+        started = time.perf_counter()
+        loaded = load_system(
+            directory,
+            fields=config.search.fields,
+            search_shards=config.search.shards,
+        )
+        graph = loaded.graph
+        if loaded.index is not None:
+            search = SearchEngine.restore(graph, loaded.index, config=config.search)
+        else:
+            search = SearchEngine.from_graph(graph, config=config.search)
+        feature_index: SemanticFeatureIndex | None = None
+        if loaded.feature_snapshot is not None:
+            try:
+                if config.ranking.shards > 1:
+                    feature_index = ShardedSemanticFeatureIndex.restore(
+                        graph,
+                        loaded.feature_snapshot,
+                        num_shards=config.ranking.shards,
+                    )
+                else:
+                    feature_index = SemanticFeatureIndex.restore(
+                        graph, loaded.feature_snapshot
+                    )
+            except ValueError:
+                loaded.store.failures += 1
+        if feature_index is None:
+            feature_index = cls._build_feature_index(graph, config)
+
+        system = cls.__new__(cls)
+        system._graph = graph
+        system._config = config
+        system._wire(search, feature_index)
+        system._accumulate_storage(loaded.store)
+        system._cold_start_ms = (time.perf_counter() - started) * 1000.0
+        return system
 
     # ------------------------------------------------------------------ #
     # Component access
@@ -164,6 +272,29 @@ class PivotE:
             pruning=self._config.search.pruning,
             rebuilds=self._feature_index.rebuild_info(),
             children=(self._search.stats(), self._recommender.stats()),
+            storage=self._storage_stats(),
+        )
+
+    def _storage_stats(self) -> StorageStats | None:
+        """The facade's durable-tier record (``None`` for plain shm systems).
+
+        Counts this facade's :meth:`save` / :meth:`load` traffic;
+        ``cold_start_ms`` is how long the last :meth:`load` took end to
+        end (graph replay + component restore + wiring).
+        """
+        counters = self._storage_counters
+        if (
+            self._config.search.storage == "shm"
+            and not self._config.search.snapshot_dir
+            and not any(counters.values())
+            and not self._cold_start_ms
+        ):
+            return None
+        return StorageStats(
+            backend=self._config.search.storage,
+            snapshot_dir=self._config.search.snapshot_dir,
+            cold_start_ms=self._cold_start_ms,
+            **counters,
         )
 
     def close(self) -> None:

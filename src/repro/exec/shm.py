@@ -1,20 +1,21 @@
-"""Shared-memory snapshots of the columnar index and the cross-process θ slab.
+"""Shared-memory snapshot store and the cross-process θ slab.
 
 The process-parallel execution tier (``executor="process"``) ships no
 posting data through queues: the parent serialises one per-epoch
 :class:`~repro.index.columnar.ColumnarIndex` into a single
-``multiprocessing.shared_memory`` segment — a compact JSON manifest
-followed by the raw array bytes — and workers reconstruct numpy views
-over the same physical pages zero-copy.  The PR 6 columnar arrays are
-contiguous and immutable per epoch, which is exactly what makes this
-safe: a published segment is never written again.
+``multiprocessing.shared_memory`` segment and workers reconstruct numpy
+views over the same physical pages zero-copy.  The PR 6 columnar arrays
+are contiguous and immutable per epoch, which is exactly what makes
+this safe: a published segment is never written again.
 
-Layout of a snapshot segment::
-
-    [0:8)    int64  manifest length in bytes
-    [8:16)   int64  arrays base offset (64-byte aligned)
-    [16:..)  UTF-8 JSON manifest
-    [base:.) the arrays, each 64-byte aligned, offsets relative to base
+Since PR 9 the segment *format* lives in :mod:`repro.storage.codec`
+(magic + version header, JSON manifest, 64-aligned array blobs,
+per-array CRC32) and this module is the shared-memory **backend**:
+:func:`publish_snapshot` / :func:`publish_feature_tables` run the
+codec's encoders into a fresh ``SharedMemory`` mapping, and
+:class:`AttachedSnapshot` is the codec's :class:`SegmentView` bound to
+an attached segment.  The mmap'd-file backend over the same codec is
+:mod:`repro.storage.diskstore`.
 
 The manifest carries ``uid``/``epoch`` of the source index so attachers
 can reject stale segments (:class:`SnapshotUnavailable`), the per-field
@@ -25,9 +26,7 @@ shard count's ownership map is derived (``crcs % num_shards`` matches
 
 The recommendation ranker publishes the same way:
 :func:`publish_feature_tables` serialises one epoch's
-:class:`~repro.features.columnar.ColumnarFeatureTables` — the holder
-CSR, dominant-type ordinals, type populations and the entity→type
-membership CSR, plus the feature-key triples in ordinal order — into an
+:class:`~repro.features.columnar.ColumnarFeatureTables` into an
 identically laid out segment (``"kind": "feature-tables"`` in the
 manifest), and workers rebuild the tables zero-copy via
 :meth:`AttachedSnapshot.feature_tables`.  Both kinds share one
@@ -49,21 +48,40 @@ cannot tell a cross-process θ from a cross-thread one.
 from __future__ import annotations
 
 import atexit
-import json
 import threading
-import zlib
 from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
-from ..index.postings import BLOCK_SIZE
+from ..storage.codec import (
+    SegmentBuilder,
+    SegmentView,
+    SnapshotUnavailable,
+    encode_feature_tables,
+    encode_index_snapshot,
+)
 from ..topk import NO_THRESHOLD, threshold_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..features.columnar import ColumnarFeatureTables
-    from ..index.columnar import ColumnarIndex, ColumnarPostings
+    from ..index.columnar import ColumnarIndex
     from ..index.fielded_index import FieldedIndex
+
+__all__ = [
+    "AttachedSnapshot",
+    "PublishedSnapshot",
+    "SnapshotRegistry",
+    "SnapshotSource",
+    "SnapshotUnavailable",
+    "ThetaSlab",
+    "ThetaSlabSlot",
+    "attach_shared_memory",
+    "publish_feature_tables",
+    "publish_snapshot",
+    "release_snapshots",
+    "snapshot_registry",
+]
 
 
 class SnapshotSource(NamedTuple):
@@ -77,20 +95,6 @@ class SnapshotSource(NamedTuple):
 
     uid: int
     epoch: int
-
-#: Array alignment inside a snapshot segment (cache-line friendly).
-_ALIGN = 64
-
-#: Header: two little-endian int64 (manifest length, arrays base).
-_HEADER_BYTES = 16
-
-
-class SnapshotUnavailable(RuntimeError):
-    """The requested snapshot segment is missing, stale or malformed."""
-
-
-def _align(offset: int) -> int:
-    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
 
 
 _ATTACH_LOCK = threading.Lock()
@@ -166,55 +170,20 @@ class PublishedSnapshot:
             pass
 
 
-class _SegmentBuilder:
-    """Accumulates manifest array descriptors, then writes one segment.
-
-    ``place`` assigns each array a 64-aligned offset (relative to the
-    arrays base, so the manifest can be encoded before the base is
-    known) and returns its ``[offset, dtype, shape]`` descriptor;
-    ``build`` encodes the manifest and copies everything into a fresh
-    shared-memory segment.  Shared by every snapshot kind.
-    """
-
-    def __init__(self) -> None:
-        self._arrays: list[np.ndarray] = []
-        self._cursor = 0
-
-    def place(self, array: np.ndarray) -> list[object]:
-        array = np.ascontiguousarray(array)
-        offset = _align(self._cursor)
-        self._cursor = offset + array.nbytes
-        self._arrays.append(array)
-        return [offset, array.dtype.str, list(array.shape)]
-
-    def build(self, manifest: dict[str, object], uid: int, epoch: int) -> PublishedSnapshot:
-        encoded = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
-        arrays_base = _align(_HEADER_BYTES + len(encoded))
-        total = max(arrays_base + self._cursor, _HEADER_BYTES + len(encoded))
-        segment = shared_memory.SharedMemory(create=True, size=total)
-        try:
-            header = np.ndarray(2, dtype=np.int64, buffer=segment.buf)
-            header[0] = len(encoded)
-            header[1] = arrays_base
-            segment.buf[_HEADER_BYTES : _HEADER_BYTES + len(encoded)] = encoded
-            offset_cursor = 0
-            for array in self._arrays:
-                offset = _align(offset_cursor)
-                offset_cursor = offset + array.nbytes
-                if array.nbytes:
-                    target = np.ndarray(
-                        array.shape,
-                        dtype=array.dtype,
-                        buffer=segment.buf,
-                        offset=arrays_base + offset,
-                    )
-                    target[...] = array
-            del header
-        except BaseException:
-            segment.close()
-            segment.unlink()
-            raise
-        return PublishedSnapshot(segment, uid, epoch, total)
+def _publish_segment(
+    manifest: dict[str, object], builder: SegmentBuilder, uid: int, epoch: int
+) -> PublishedSnapshot:
+    """Write one encoded snapshot into a fresh shared-memory segment."""
+    encoded = SegmentBuilder.encode_manifest(manifest)
+    total, _ = builder.total_size(encoded)
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        builder.write_into(segment.buf, encoded)
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return PublishedSnapshot(segment, uid, epoch, total)
 
 
 def publish_snapshot(index: FieldedIndex, view: ColumnarIndex) -> PublishedSnapshot:
@@ -224,34 +193,8 @@ def publish_snapshot(index: FieldedIndex, view: ColumnarIndex) -> PublishedSnaps
     be able to serve any query against the snapshot), together with the
     per-field length columns and the per-document CRC column.
     """
-    builder = _SegmentBuilder()
-    place = builder.place
-
-    crcs = np.fromiter(
-        (zlib.crc32(doc_id.encode("utf-8")) for doc_id in view.doc_ids),
-        dtype=np.uint32,
-        count=view.num_documents,
-    )
-    manifest: dict[str, object] = {
-        "uid": index.uid,
-        "epoch": index.epoch,
-        "num_documents": view.num_documents,
-        "fields": list(index.fields),
-        "crcs": place(crcs),
-        "lengths": {},
-        "postings": {},
-    }
-    for field in index.fields:
-        manifest["lengths"][field] = place(view.field_lengths(field))
-        columns: dict[str, list[object]] = {}
-        for term in index.field_index(field).vocabulary():
-            columnar = view.postings(field, term)
-            if columnar is None:
-                continue
-            columns[term] = [place(columnar.ordinals), place(columnar.frequencies)]
-        manifest["postings"][field] = columns
-
-    return builder.build(manifest, index.uid, index.epoch)
+    manifest, builder = encode_index_snapshot(index, view)
+    return _publish_segment(manifest, builder, index.uid, index.epoch)
 
 
 def publish_feature_tables(
@@ -266,38 +209,20 @@ def publish_feature_tables(
     index's uid and the *tables'* epoch, so attach checks reject a
     segment left over from an earlier epoch of the same index.
     """
-    builder = _SegmentBuilder()
-    place = builder.place
-    manifest: dict[str, object] = {
-        "uid": source.uid,
-        "epoch": source.epoch,
-        "kind": "feature-tables",
-        "num_entities": tables.num_entities,
-        "features": sorted(tables.feature_ord, key=tables.feature_ord.__getitem__),
-        "holder_offsets": place(tables.holder_offsets),
-        "holder_ordinals": place(tables.holder_ordinals),
-        "dominant_ords": place(tables.dominant_ords),
-        "type_populations": place(tables.type_populations),
-        "member_offsets": place(tables.member_offsets),
-        "member_type_ords": place(tables.member_type_ords),
-    }
-    return builder.build(manifest, source.uid, source.epoch)
+    manifest, builder = encode_feature_tables(source, tables)
+    return _publish_segment(manifest, builder, source.uid, source.epoch)
 
 
 # --------------------------------------------------------------------- #
 # Attaching (worker side)
 # --------------------------------------------------------------------- #
-class AttachedSnapshot:
-    """Zero-copy numpy views over a published snapshot segment.
+class AttachedSnapshot(SegmentView):
+    """The codec's :class:`SegmentView` over an attached shm segment.
 
-    Presents the subset of the :class:`~repro.index.columnar.ColumnarIndex`
-    surface the traversal kernels consume — length columns, posting
-    columns (with block grids rebuilt locally), dense frequency columns,
-    CRC-derived shard ownership — plus the same ``memoised`` hook the
-    scorers use for derived contribution columns.  Feature-table
-    segments instead rebuild their
-    :class:`~repro.features.columnar.ColumnarFeatureTables` via
-    :meth:`feature_tables` over the same zero-copy views.
+    Checksum verification is skipped on this hot worker-attach path: a
+    shared-memory segment cannot outlive the publishing process, so the
+    only integrity risks are the uid/epoch staleness the constructor
+    already checks.
     """
 
     def __init__(
@@ -311,129 +236,26 @@ class AttachedSnapshot:
         except (FileNotFoundError, ValueError) as error:
             raise SnapshotUnavailable(f"snapshot segment {name!r} is gone") from error
         try:
-            header = np.frombuffer(self._segment.buf, dtype=np.int64, count=2)
-            manifest_length = int(header[0])
-            self._arrays_base = int(header[1])
-            del header
-            raw = bytes(self._segment.buf[_HEADER_BYTES : _HEADER_BYTES + manifest_length])
-            self._manifest = json.loads(raw.decode("utf-8"))
-        except Exception as error:
-            self.close()
-            raise SnapshotUnavailable(f"snapshot segment {name!r} is malformed") from error
-        self.uid = int(self._manifest["uid"])
-        self.epoch = int(self._manifest["epoch"])
-        if (expected_uid is not None and self.uid != expected_uid) or (
-            expected_epoch is not None and self.epoch != expected_epoch
-        ):
-            stale = (self.uid, self.epoch)
-            self.close()
-            raise SnapshotUnavailable(
-                f"snapshot {name!r} carries {stale}, "
-                f"expected ({expected_uid}, {expected_epoch})"
+            super().__init__(
+                self._segment.buf,
+                name=name,
+                expected_uid=expected_uid,
+                expected_epoch=expected_epoch,
             )
-        self._derived: dict[tuple[object, ...], object] = {}
+        except BaseException:
+            self._detach()
+            raise
 
-    @property
-    def num_documents(self) -> int:
-        return int(self._manifest["num_documents"])
-
-    @property
-    def fields(self) -> list[str]:
-        return list(self._manifest["fields"])
-
-    def _view(self, desc: list[object]) -> np.ndarray:
-        offset, dtype, shape = desc
-        array = np.ndarray(
-            tuple(shape),
-            dtype=np.dtype(dtype),
-            buffer=self._segment.buf,
-            offset=self._arrays_base + int(offset),
-        )
-        array.flags.writeable = False
-        return array
-
-    def field_lengths(self, field: str) -> np.ndarray:
-        return self.memoised(("lengths", field), lambda: self._view(self._manifest["lengths"][field]))
-
-    def postings(self, field: str, term: str) -> ColumnarPostings | None:
-        def build() -> ColumnarPostings | None:
-            columns = self._manifest["postings"].get(field, {})
-            desc = columns.get(term)
-            if desc is None:
-                return None
-            from ..index.columnar import ColumnarPostings
-
-            return ColumnarPostings(self._view(desc[0]), self._view(desc[1]), BLOCK_SIZE)
-
-        return self.memoised(("postings", field, term), build)
-
-    def dense_frequencies(self, field: str, term: str) -> np.ndarray:
-        def build() -> np.ndarray:
-            dense = np.zeros(self.num_documents, dtype=np.float64)
-            columnar = self.postings(field, term)
-            if columnar is not None:
-                dense[columnar.ordinals] = columnar.frequencies
-            return dense
-
-        return self.memoised(("dense", field, term), build)
-
-    def manifest_array(self, key: str) -> np.ndarray:
-        """Zero-copy view of a top-level manifest array by key (memoised)."""
-        return self.memoised(("array", key), lambda: self._view(self._manifest[key]))
-
-    def feature_tables(self) -> "ColumnarFeatureTables":
-        """The segment's columnar feature tables, rebuilt zero-copy.
-
-        Only valid on ``"kind": "feature-tables"`` segments; raises
-        :class:`SnapshotUnavailable` otherwise so a mixed-up descriptor
-        degrades to the fallback path instead of a KeyError deep in a
-        worker.
-        """
-        if self._manifest.get("kind") != "feature-tables":
-            raise SnapshotUnavailable("segment does not carry feature tables")
-
-        def build() -> "ColumnarFeatureTables":
-            from ..features.columnar import ColumnarFeatureTables
-
-            return ColumnarFeatureTables.from_arrays(
-                epoch=self.epoch,
-                feature_keys=[tuple(key) for key in self._manifest["features"]],
-                holder_offsets=self.manifest_array("holder_offsets"),
-                holder_ordinals=self.manifest_array("holder_ordinals"),
-                dominant_ords=self.manifest_array("dominant_ords"),
-                type_populations=self.manifest_array("type_populations"),
-                member_offsets=self.manifest_array("member_offsets"),
-                member_type_ords=self.manifest_array("member_type_ords"),
-            )
-
-        return self.memoised(("feature-tables",), build)
-
-    def shard_owners(self, num_shards: int) -> np.ndarray:
-        """Per-ordinal shard ownership, identical to ``shard_of`` routing."""
-
-        def build() -> np.ndarray:
-            if num_shards <= 1:
-                return np.zeros(self.num_documents, dtype=np.int64)
-            crcs = self._view(self._manifest["crcs"]).astype(np.int64)
-            return crcs % num_shards
-
-        return self.memoised(("owners", num_shards), build)
-
-    def memoised(self, key: tuple[object, ...], compute):
-        cached = self._derived.get(key)
-        if cached is None and key not in self._derived:
-            cached = compute()
-            self._derived[key] = cached
-        return cached
-
-    def close(self) -> None:
-        """Drop cached views and detach (never unlinks — not the owner)."""
-        self._derived = {}
-        self._manifest = getattr(self, "_manifest", {})
+    def _detach(self) -> None:
         try:
             self._segment.close()
         except BufferError:  # pragma: no cover - caller still holds views
             pass
+
+    def close(self) -> None:
+        """Drop cached views and detach (never unlinks — not the owner)."""
+        self.release_views()
+        self._detach()
 
 
 # --------------------------------------------------------------------- #
@@ -446,12 +268,17 @@ class SnapshotRegistry:
     (attached workers keep serving their mapping; late attachers fall
     back inline).  Publish failures are memoised per (uid, epoch) so a
     segment that cannot be built is attempted once, not per query.
+
+    Uids can be *disabled* (``storage="off"``): a disabled uid's publish
+    requests return ``None`` without building anything, so the process
+    tier degrades to its inline fallback for that engine only.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._snapshots: dict[int, PublishedSnapshot] = {}
         self._failed: set[tuple[int, int]] = set()
+        self._disabled: set[int] = set()
         self.publishes = 0
         self.published_bytes = 0
 
@@ -466,6 +293,8 @@ class SnapshotRegistry:
         """
         key = (source.uid, source.epoch)
         with self._lock:
+            if source.uid in self._disabled:
+                return None
             current = self._snapshots.get(source.uid)
             if current is not None and current.epoch == source.epoch:
                 return current
@@ -483,8 +312,25 @@ class SnapshotRegistry:
             self.published_bytes += fresh.nbytes
             return fresh
 
+    def disable(self, uid: int) -> None:
+        """Stop publishing for ``uid`` (``storage="off"``); release any segment."""
+        with self._lock:
+            self._disabled.add(uid)
+            snapshot = self._snapshots.pop(uid, None)
+        if snapshot is not None:
+            snapshot.close()
+
+    def enable(self, uid: int) -> None:
+        """Re-allow publishing for a previously disabled ``uid``."""
+        with self._lock:
+            self._disabled.discard(uid)
+
     def release(self, uid: int | None = None) -> None:
-        """Unlink one uid's snapshot (or every snapshot when ``None``)."""
+        """Unlink one uid's snapshot (or every snapshot when ``None``).
+
+        Idempotent: releasing an unknown or already released uid is a
+        no-op, and the underlying segments tolerate double-close.
+        """
         with self._lock:
             if uid is None:
                 doomed = list(self._snapshots.values())
@@ -501,7 +347,19 @@ class SnapshotRegistry:
 
 
 _REGISTRY = SnapshotRegistry()
-atexit.register(_REGISTRY.release)
+
+
+def _release_registry_at_exit() -> None:
+    """Release whatever registry is current *at exit time*.
+
+    Registered once at import; reads ``_REGISTRY`` late so tests (or
+    anything else) that swap the module-level registry never leave the
+    atexit hook holding — and unlinking through — a stale instance.
+    """
+    _REGISTRY.release()
+
+
+atexit.register(_release_registry_at_exit)
 
 
 def snapshot_registry() -> SnapshotRegistry:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
-from ..exec import dedupe_batch, executor_stats, release_snapshots
+from ..exec import dedupe_batch, executor_stats, release_snapshots, snapshot_registry
 from ..expansion import EntitySetExpander, ExpansionResult
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
 from ..kg import KnowledgeGraph
@@ -79,6 +79,13 @@ class RecommendationEngine:
             self._config.recommendation_cache_size
         )
         self._cache.sync_epoch(graph.epoch)
+        # ``storage="off"``: the feature index's uid is stable for the
+        # engine's lifetime (snapshot refreshes keep the instance), so one
+        # registry disable stops all process-tier segment publishing.
+        if self._config.storage == "off":
+            uid = getattr(self._index, "uid", None)
+            if uid is not None:
+                snapshot_registry().disable(uid)
 
     @property
     def feature_index(self) -> SemanticFeatureIndex:

@@ -173,6 +173,32 @@ class SemanticFeatureIndex:
         index.rebuild()
         return index
 
+    @classmethod
+    def restore(
+        cls,
+        graph: KnowledgeGraph,
+        snapshot: FeatureIndexSnapshot,
+        **kwargs: object,
+    ) -> "SemanticFeatureIndex":
+        """Adopt a pre-materialised snapshot instead of rebuilding.
+
+        The durable-storage cold-start path: a snapshot deserialised from
+        disk (see :mod:`repro.storage.kgstore`) is installed directly,
+        skipping the per-entity feature extraction pass.  The snapshot
+        must reflect the graph's current epoch — anything else would
+        immediately trigger the refresh this constructor exists to avoid,
+        and signals a snapshot/graph mismatch.
+        """
+        if snapshot.epoch != graph.epoch or snapshot.triples != len(graph):
+            raise ValueError(
+                f"snapshot reflects epoch {snapshot.epoch} "
+                f"({snapshot.triples} triples), graph is at epoch "
+                f"{graph.epoch} ({len(graph)} triples)"
+            )
+        index = cls(graph, **kwargs)  # type: ignore[arg-type]
+        index._snapshot_ref = snapshot
+        return index
+
     def _full_snapshot(self) -> FeatureIndexSnapshot:
         """Recompute the whole index from the graph's current contents."""
         entity_features: dict[str, frozenset[SemanticFeature]] = {}

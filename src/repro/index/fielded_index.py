@@ -12,6 +12,7 @@ from itertools import count
 
 from ..exceptions import FieldNotFoundError
 from .inverted_index import InvertedIndex
+from .postings import PostingList
 from .scoring_support import ScoringSupport
 from .statistics import CollectionStatistics
 
@@ -94,6 +95,57 @@ class FieldedIndex:
             terms = list(field_terms.get(field, ()))
             self._indexes[field].add_document(doc_id, terms)
         self._epoch += 1
+        self._statistics_cache = None
+        self._support_cache = None
+
+    def add_document_counts(
+        self, doc_id: str, field_counts: Mapping[str, Mapping[str, int]]
+    ) -> None:
+        """Index a document from precomputed per-field term counts.
+
+        The snapshot-restore sibling of :meth:`add_document`: replaying a
+        durable snapshot's posting columns goes straight from stored
+        frequencies to posting lists without re-analysing any document.
+        Epoch/caching semantics are identical — one epoch bump per
+        document, whatever the field count.
+        """
+        for field in field_counts:
+            if field not in self._indexes:
+                raise FieldNotFoundError(field)
+        self._documents.add(doc_id)
+        empty: dict[str, int] = {}
+        for field in self._fields:
+            self._indexes[field].add_document_counts(
+                doc_id, field_counts.get(field, empty)
+            )
+        self._epoch += 1
+        self._statistics_cache = None
+        self._support_cache = None
+
+    def adopt_snapshot(
+        self,
+        doc_ids: Sequence[str],
+        field_postings: Mapping[str, dict[str, PostingList]],
+        field_lengths: Mapping[str, dict[str, int]],
+    ) -> None:
+        """Bulk-adopt a snapshot's pre-sorted postings and lengths.
+
+        Equivalent to :meth:`add_document_counts` called once per document
+        in ``doc_ids`` order — same final postings, lengths, document set
+        and epoch (one bump per document) — but without the per-posting
+        sorted-insert replay, which a durable snapshot makes redundant:
+        its columns are already in ordinal (sorted doc-id) order.  Only
+        valid on an empty index; the adopted containers become owned by
+        the per-field indexes.
+        """
+        if self._documents:
+            raise ValueError("adopt_snapshot requires an empty index")
+        self._documents = set(doc_ids)
+        for field in self._fields:
+            self._indexes[field].adopt_postings(
+                field_postings.get(field, {}), field_lengths.get(field, {})
+            )
+        self._epoch = len(doc_ids)
         self._statistics_cache = None
         self._support_cache = None
 

@@ -8,7 +8,7 @@ retrieval field.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 
 from .postings import PostingList
 
@@ -41,6 +41,44 @@ class InvertedIndex:
             posting_list.add(doc_id, count)
         self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + added
         self._total_terms += added
+
+    def add_document_counts(self, doc_id: str, counts: Mapping[str, int]) -> None:
+        """Index a document from precomputed ``term -> count`` pairs.
+
+        The snapshot-restore sibling of :meth:`add_document`: a durable
+        snapshot already stores per-term frequencies, so replaying it
+        through tokenised term streams would rebuild the ``Counter`` this
+        method skips.  Equivalent to ``add_document`` called with each
+        term repeated ``count`` times.
+        """
+        added = sum(counts.values())
+        if added == 0 and doc_id not in self._doc_lengths:
+            self._doc_lengths.setdefault(doc_id, 0)
+            return
+        for term, count in counts.items():
+            posting_list = self._postings.get(term)
+            if posting_list is None:
+                posting_list = PostingList()
+                self._postings[term] = posting_list
+            posting_list.add(doc_id, count)
+        self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + added
+        self._total_terms += added
+
+    def adopt_postings(
+        self, postings: dict[str, PostingList], doc_lengths: dict[str, int]
+    ) -> None:
+        """Adopt pre-built posting lists and lengths wholesale.
+
+        The bulk sibling of :meth:`add_document_counts` for snapshot
+        restore: the caller guarantees each posting list's doc ids are
+        already sorted and ``doc_lengths`` covers every document (zeros
+        included), so this replaces the per-document insert replay with
+        three assignments.  The adopted containers become owned by the
+        index — callers must not mutate them afterwards.
+        """
+        self._postings = postings
+        self._doc_lengths = doc_lengths
+        self._total_terms = sum(doc_lengths.values())
 
     def with_added_document(self, doc_id: str, terms: Iterable[str]) -> "InvertedIndex":
         """A new index with ``doc_id`` added; this one stays untouched.

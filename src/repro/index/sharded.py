@@ -52,6 +52,17 @@ class ShardedFieldedIndex(FieldedIndex):
         super().add_document(doc_id, field_terms)
         self._route(doc_id)
 
+    def add_document_counts(
+        self, doc_id: str, field_counts: Mapping[str, Mapping[str, int]]
+    ) -> None:
+        super().add_document_counts(doc_id, field_counts)
+        self._route(doc_id)
+
+    def adopt_snapshot(self, doc_ids, field_postings, field_lengths) -> None:
+        super().adopt_snapshot(doc_ids, field_postings, field_lengths)
+        for doc_id in doc_ids:
+            self._route(doc_id)
+
     def _cow_shell(self) -> "ShardedFieldedIndex":
         clone = ShardedFieldedIndex(self.fields, self._num_shards)
         clone._shard_by_doc = dict(self._shard_by_doc)

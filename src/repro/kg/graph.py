@@ -160,8 +160,9 @@ class KnowledgeGraph:
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; return how many were new."""
-        return sum(1 for triple in triples if self.add_triple(triple))
+        """Add many triples under one lock acquisition; return how many were new."""
+        with self._lock:
+            return sum(1 for triple in triples if self._add_triple_locked(triple))
 
     def add_label(self, entity: str, label: str) -> None:
         """Attach an ``rdfs:label`` to ``entity``."""

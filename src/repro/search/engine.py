@@ -21,15 +21,16 @@ be served for a new one.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..config import SearchConfig
-from ..exec import dedupe_batch, executor_stats, release_snapshots
+from ..exec import dedupe_batch, executor_stats, release_snapshots, snapshot_registry
 from ..index import FieldedIndex, ShardedFieldedIndex
 from ..kg import KnowledgeGraph
-from ..stats import CacheStats, EngineStats, PruningStatsView
+from ..stats import CacheStats, EngineStats, PruningStatsView, StorageStats
 from ..utils import LRUCache
 from .bm25 import BM25FScorer, BM25FieldScorer
 from .fields import (
@@ -78,12 +79,63 @@ class SearchEngine:
         self._result_cache: LRUCache[tuple[object, ...], tuple[SearchHit, ...]] = LRUCache(
             self._config.result_cache_size
         )
+        #: Lazily created durable store (``storage="disk"`` only).
+        self._disk_store = None
+        self._apply_storage_policy(self._index)
 
     def _new_index(self) -> FieldedIndex:
         """An empty index matching the configuration's shard layout."""
         if self._config.shards > 1:
             return ShardedFieldedIndex(self._config.fields, self._config.shards)
         return FieldedIndex(self._config.fields)
+
+    def _apply_storage_policy(self, index: FieldedIndex) -> None:
+        """Honour ``storage="off"`` for a freshly installed index instance.
+
+        Rebuilds allocate fresh uids, so the registry is told about each
+        one; a disabled uid makes the process tier score inline instead
+        of publishing shared-memory segments.
+        """
+        if self._config.storage == "off":
+            snapshot_registry().disable(index.uid)
+
+    def _ensure_disk_store(self):
+        if self._disk_store is None:
+            from ..storage.diskstore import DiskSnapshotStore
+
+            assert self._config.snapshot_dir is not None
+            self._disk_store = DiskSnapshotStore(
+                os.path.join(self._config.snapshot_dir, "store")
+            )
+        return self._disk_store
+
+    def _publish_to_disk(self, index: FieldedIndex) -> None:
+        """Best-effort durable publish of a freshly built index.
+
+        ``storage="disk"`` persists each successor epoch under the
+        configured ``snapshot_dir`` so a later cold start can attach
+        instead of rebuilding.  Failures are counted, never raised — the
+        in-RAM index is already serving.
+        """
+        if self._config.storage != "disk" or not self._config.snapshot_dir:
+            return
+        store = self._ensure_disk_store()
+        try:
+            from ..index.columnar import columnar_view
+            from ..storage.codec import encode_index_snapshot
+            from ..storage.kgstore import SEARCH_INDEX_KEY
+
+            manifest, builder = encode_index_snapshot(
+                index, columnar_view(index), include_doc_ids=True
+            )
+            store.publish(
+                SEARCH_INDEX_KEY,
+                manifest,
+                builder,
+                extra={"graph_epoch": self._graph.epoch},
+            )
+        except (OSError, ValueError, RuntimeError):
+            store.failures += 1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -93,6 +145,30 @@ class SearchEngine:
         """Build and index the search engine for a whole graph."""
         engine = cls(graph, config=config)
         engine.build()
+        return engine
+
+    @classmethod
+    def restore(
+        cls,
+        graph: KnowledgeGraph,
+        index: FieldedIndex,
+        config: SearchConfig | None = None,
+    ) -> "SearchEngine":
+        """Adopt a pre-built index (replayed from a durable snapshot).
+
+        The cold-start path: the index arrives already populated (see
+        :func:`repro.storage.kgstore.restore_fielded_index`), so no
+        documents are built and nothing is tokenised.  The documents
+        mapping stays empty — :meth:`document` rebuilds entries lazily
+        on first access, exactly as post-``build()`` misses do.
+        """
+        engine = cls(graph, config=config)
+        with engine._mutation_lock:
+            engine._scorer = MixtureLanguageModelScorer(index, engine._config)
+            replaced, engine._index = engine._index, index
+            engine._result_cache.clear()
+        release_snapshots(replaced.uid)
+        engine._apply_storage_policy(index)
         return engine
 
     def build(self) -> "SearchEngine":
@@ -116,6 +192,8 @@ class SearchEngine:
         # keep their mapping (POSIX unlink semantics); late attachers
         # fall back inline.
         release_snapshots(replaced.uid)
+        self._apply_storage_policy(index)
+        self._publish_to_disk(index)
         return self
 
     def add_entity(self, entity_id: str) -> None:
@@ -135,6 +213,7 @@ class SearchEngine:
         # Copy-on-write successors share the uid: the registry replaces
         # the old epoch's segment on the next process-tier publish, so
         # nothing needs releasing here.
+        self._apply_storage_policy(index)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -282,6 +361,28 @@ class SearchEngine:
                 PruningStatsView.from_counters("mlm", scorer.pruning_info()),
             ),
             executor=executor_stats(self._config.executor, self._config.workers),
+            storage=self.storage_stats(),
+        )
+
+    def storage_stats(self, cold_start_ms: float = 0.0) -> StorageStats | None:
+        """The engine's durable-snapshot record, or ``None`` on plain shm.
+
+        Reported only when the storage knob deviates from the default
+        (``"disk"`` / ``"off"``) or a snapshot directory is configured —
+        the common shm-only setup keeps its stats record unchanged.
+        """
+        if self._config.storage == "shm" and not self._config.snapshot_dir:
+            return None
+        store = self._disk_store
+        return StorageStats(
+            backend=self._config.storage,
+            snapshot_dir=self._config.snapshot_dir,
+            publishes=store.publishes if store is not None else 0,
+            published_bytes=store.published_bytes if store is not None else 0,
+            attaches=store.attaches if store is not None else 0,
+            attached_bytes=store.attached_bytes if store is not None else 0,
+            failures=store.failures if store is not None else 0,
+            cold_start_ms=cold_start_ms,
         )
 
     def close(self) -> None:

@@ -156,6 +156,43 @@ class ExecutorStats:
 
 
 @dataclass(frozen=True)
+class StorageStats:
+    """One system's durable-snapshot record.
+
+    ``backend`` echoes the configured ``storage`` knob (``"shm"``,
+    ``"disk"`` or ``"off"``) and ``snapshot_dir`` the durable tier's
+    directory (``None`` without one).  ``publishes``/``published_bytes``
+    count snapshot segments written to the disk store,
+    ``attaches``/``attached_bytes`` segments mapped (and CRC-verified)
+    back in, ``failures`` publish or attach attempts that raised
+    ``SnapshotUnavailable`` and degraded to a rebuild.  ``cold_start_ms``
+    is how long the last ``PivotE.load`` spent restoring the system
+    (0.0 for systems built in RAM).
+    """
+
+    backend: str
+    snapshot_dir: str | None
+    publishes: int
+    published_bytes: int
+    attaches: int
+    attached_bytes: int
+    failures: int
+    cold_start_ms: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "snapshot_dir": self.snapshot_dir,
+            "publishes": self.publishes,
+            "published_bytes": self.published_bytes,
+            "attaches": self.attaches,
+            "attached_bytes": self.attached_bytes,
+            "failures": self.failures,
+            "cold_start_ms": self.cold_start_ms,
+        }
+
+
+@dataclass(frozen=True)
 class EngineStats:
     """One component's full introspection record.
 
@@ -177,6 +214,7 @@ class EngineStats:
     rebuilds: Mapping[str, int] | None = None
     children: tuple["EngineStats", ...] = ()
     executor: ExecutorStats | None = None
+    storage: StorageStats | None = None
 
     def cache(self, name: str) -> CacheStats:
         """The named cache's counters (raises ``KeyError`` when absent)."""
@@ -219,6 +257,8 @@ class EngineStats:
         }
         if self.executor is not None:
             payload["executor"] = self.executor.as_dict()
+        if self.storage is not None:
+            payload["storage"] = self.storage.as_dict()
         if self.rebuilds is not None:
             payload["rebuilds"] = dict(self.rebuilds)
         if self.children:

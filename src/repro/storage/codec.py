@@ -1,0 +1,482 @@
+"""The backend-agnostic snapshot segment codec.
+
+PR 7 invented an epoch-tagged serialisation format for columnar index
+snapshots — a compact JSON manifest followed by the raw array bytes —
+but welded it to ``multiprocessing.shared_memory`` inside
+``repro.exec.shm``.  This module lifts the codec out: everything about
+*bytes* lives here (alignment, header packing, array placement,
+checksums, decoding), while the storage backends — the shared-memory
+registry in :mod:`repro.exec.shm` and the mmap'd file store in
+:mod:`repro.storage.diskstore` — only decide *where* a segment's bytes
+live.
+
+Layout of a snapshot segment (format version 2)::
+
+    [0:8)    the 8-byte magic ``PVTESNAP``
+    [8:16)   int64  format version
+    [16:24)  int64  manifest length in bytes
+    [24:32)  int64  arrays base offset (64-byte aligned)
+    [32:..)  UTF-8 JSON manifest
+    [base:.) the arrays, each 64-byte aligned, offsets relative to base
+
+Version 1 was the PR 7 shared-memory layout (16-byte header, no magic,
+no checksums); it never touched disk, so nothing decodes it any more.
+Version 2 adds the magic + version preamble and a CRC32 per placed
+array: every array descriptor in the manifest is a
+``[offset, dtype, shape, crc32]`` quadruple, and
+:meth:`SegmentView.verify_checksums` can prove a segment's array bytes
+intact before anything scores against them — the disk store does this
+eagerly on every attach (a file survives process restarts and can rot;
+a shared-memory segment cannot outlive its creator, so the hot
+worker-attach path skips the pass).
+
+The decoded read surface is :class:`SegmentView`: zero-copy numpy views
+over any buffer (a shared-memory mapping, an ``np.memmap``, plain
+``bytes``), presenting the subset of the
+:class:`~repro.index.columnar.ColumnarIndex` surface the traversal
+kernels consume plus the
+:class:`~repro.features.columnar.ColumnarFeatureTables` reconstruction
+for feature-table segments.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..index.postings import BLOCK_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..features.columnar import ColumnarFeatureTables
+    from ..index.columnar import ColumnarIndex, ColumnarPostings
+    from ..index.fielded_index import FieldedIndex
+
+#: Array alignment inside a snapshot segment (cache-line friendly).
+ALIGN = 64
+
+#: The segment preamble: magic + version + manifest length + arrays base.
+MAGIC = b"PVTESNAP"
+FORMAT_VERSION = 2
+HEADER_BYTES = 32
+
+
+class SnapshotUnavailable(RuntimeError):
+    """The requested snapshot segment is missing, stale or malformed."""
+
+
+def align(offset: int) -> int:
+    """Round ``offset`` up to the next :data:`ALIGN` boundary."""
+    return (offset + ALIGN - 1) & ~(ALIGN - 1)
+
+
+class SegmentBuilder:
+    """Accumulates manifest array descriptors, then writes one segment.
+
+    ``place`` assigns each array a 64-aligned offset (relative to the
+    arrays base, so the manifest can be encoded before the base is
+    known) and returns its ``[offset, dtype, shape, crc32]`` descriptor;
+    ``write_into`` encodes the header + manifest and copies every placed
+    array into a caller-provided buffer (a shared-memory mapping, a
+    file-backed mmap, a bytearray).  Shared by every snapshot kind and
+    every backend — this is the single home of the alignment / ceil-div
+    / header-packing logic the shm publish paths used to copy-paste.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: list[np.ndarray] = []
+        self._cursor = 0
+
+    def place(self, array: np.ndarray) -> list[object]:
+        array = np.ascontiguousarray(array)
+        offset = align(self._cursor)
+        self._cursor = offset + array.nbytes
+        self._arrays.append(array)
+        crc = zlib.crc32(array.tobytes()) if array.nbytes else 0
+        return [offset, array.dtype.str, list(array.shape), crc]
+
+    @staticmethod
+    def encode_manifest(manifest: dict[str, object]) -> bytes:
+        return json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+
+    def total_size(self, encoded_manifest: bytes) -> tuple[int, int]:
+        """``(total segment bytes, arrays base offset)`` for a manifest."""
+        arrays_base = align(HEADER_BYTES + len(encoded_manifest))
+        total = max(arrays_base + self._cursor, HEADER_BYTES + len(encoded_manifest))
+        return total, arrays_base
+
+    def write_into(self, buf, encoded_manifest: bytes) -> int:
+        """Write header, manifest and arrays into ``buf``; return total bytes.
+
+        ``buf`` must support the buffer protocol and be at least
+        :meth:`total_size` bytes long.
+        """
+        total, arrays_base = self.total_size(encoded_manifest)
+        view = memoryview(buf)
+        view[:8] = MAGIC
+        header = np.ndarray(3, dtype=np.int64, buffer=view, offset=8)
+        header[0] = FORMAT_VERSION
+        header[1] = len(encoded_manifest)
+        header[2] = arrays_base
+        del header
+        view[HEADER_BYTES : HEADER_BYTES + len(encoded_manifest)] = encoded_manifest
+        cursor = 0
+        for array in self._arrays:
+            offset = align(cursor)
+            cursor = offset + array.nbytes
+            if array.nbytes:
+                target = np.ndarray(
+                    array.shape,
+                    dtype=array.dtype,
+                    buffer=view,
+                    offset=arrays_base + offset,
+                )
+                target[...] = array
+                del target
+        del view
+        return total
+
+
+def decode_header(buf, name: str = "snapshot") -> tuple[dict[str, object], int]:
+    """Parse a segment's preamble; return ``(manifest, arrays base)``.
+
+    Raises :class:`SnapshotUnavailable` for anything that is not a
+    well-formed current-version segment: short buffers, a foreign magic,
+    a stale format version, a manifest that overruns the buffer or fails
+    to parse.
+    """
+    view = memoryview(buf)
+    if len(view) < HEADER_BYTES:
+        raise SnapshotUnavailable(f"snapshot {name!r} is truncated (no header)")
+    if bytes(view[:8]) != MAGIC:
+        raise SnapshotUnavailable(f"snapshot {name!r} carries a foreign magic")
+    header = np.frombuffer(view, dtype=np.int64, count=3, offset=8)
+    version, manifest_length, arrays_base = (int(value) for value in header)
+    del header
+    if version != FORMAT_VERSION:
+        raise SnapshotUnavailable(
+            f"snapshot {name!r} has format version {version}, "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    if manifest_length < 0 or HEADER_BYTES + manifest_length > len(view):
+        raise SnapshotUnavailable(f"snapshot {name!r} is truncated (manifest overruns)")
+    try:
+        raw = bytes(view[HEADER_BYTES : HEADER_BYTES + manifest_length])
+        manifest = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotUnavailable(f"snapshot {name!r} manifest is malformed") from error
+    if not isinstance(manifest, dict):
+        raise SnapshotUnavailable(f"snapshot {name!r} manifest is malformed")
+    return manifest, arrays_base
+
+
+def _is_descriptor(value: object) -> bool:
+    return (
+        isinstance(value, list)
+        and len(value) == 4
+        and isinstance(value[0], int)
+        and isinstance(value[1], str)
+        and isinstance(value[2], list)
+        and isinstance(value[3], int)
+    )
+
+
+def iter_descriptors(node: object) -> Iterator[list[object]]:
+    """Every array descriptor reachable inside a (decoded) manifest."""
+    if _is_descriptor(node):
+        yield node  # type: ignore[misc]
+        return
+    if isinstance(node, dict):
+        for value in node.values():
+            yield from iter_descriptors(value)
+    elif isinstance(node, list):
+        for value in node:
+            yield from iter_descriptors(value)
+
+
+class SegmentView:
+    """Zero-copy numpy views over one decoded snapshot segment.
+
+    Backend-agnostic: the constructor takes any buffer (shared-memory
+    mapping, ``np.memmap``, ``bytes``) plus the uid/epoch the caller
+    expects, and presents the subset of the
+    :class:`~repro.index.columnar.ColumnarIndex` surface the traversal
+    kernels consume — length columns, posting columns (with block grids
+    rebuilt locally), dense frequency columns, CRC-derived shard
+    ownership — plus the same ``memoised`` hook the scorers use for
+    derived contribution columns.  Feature-table segments instead
+    rebuild their :class:`~repro.features.columnar.ColumnarFeatureTables`
+    via :meth:`feature_tables` over the same zero-copy views.
+    """
+
+    def __init__(
+        self,
+        buf,
+        *,
+        name: str = "snapshot",
+        expected_uid: int | None = None,
+        expected_epoch: int | None = None,
+        verify: bool = False,
+    ) -> None:
+        self._buf = buf
+        self._name = name
+        self._manifest, self._arrays_base = decode_header(buf, name)
+        try:
+            self.uid = int(self._manifest["uid"])
+            self.epoch = int(self._manifest["epoch"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotUnavailable(
+                f"snapshot {name!r} manifest lacks uid/epoch"
+            ) from error
+        if (expected_uid is not None and self.uid != expected_uid) or (
+            expected_epoch is not None and self.epoch != expected_epoch
+        ):
+            stale = (self.uid, self.epoch)
+            raise SnapshotUnavailable(
+                f"snapshot {name!r} carries {stale}, "
+                f"expected ({expected_uid}, {expected_epoch})"
+            )
+        self._derived: dict[tuple[object, ...], object] = {}
+        if verify:
+            self.verify_checksums()
+
+    @property
+    def manifest(self) -> dict[str, object]:
+        """The decoded JSON manifest (treat as read-only)."""
+        return self._manifest
+
+    @property
+    def kind(self) -> str:
+        """The segment's payload kind (``"columnar-index"`` by default)."""
+        return str(self._manifest.get("kind", "columnar-index"))
+
+    @property
+    def num_documents(self) -> int:
+        return int(self._manifest["num_documents"])
+
+    @property
+    def fields(self) -> list[str]:
+        return list(self._manifest["fields"])
+
+    def _view(self, desc: list[object]) -> np.ndarray:
+        offset, dtype, shape = desc[0], desc[1], desc[2]
+        try:
+            array = np.ndarray(
+                tuple(shape),
+                dtype=np.dtype(dtype),
+                buffer=self._buf,
+                offset=self._arrays_base + int(offset),
+            )
+        except (TypeError, ValueError) as error:
+            raise SnapshotUnavailable(
+                f"snapshot {self._name!r} array overruns the segment"
+            ) from error
+        array.flags.writeable = False
+        return array
+
+    def verify_checksums(self) -> None:
+        """CRC-check every placed array against its descriptor.
+
+        Raises :class:`SnapshotUnavailable` on the first mismatch (or on
+        an array whose descriptor overruns the buffer — a truncated
+        segment).  The disk store runs this eagerly on attach; the
+        shared-memory attach path skips it (segments cannot outlive
+        their creating process, and the pass would cost a full read of
+        the mapping on the hot worker path).
+        """
+        for desc in iter_descriptors(self._manifest):
+            array = self._view(desc)
+            actual = zlib.crc32(array.tobytes()) if array.nbytes else 0
+            if actual != int(desc[3]):  # type: ignore[index]
+                raise SnapshotUnavailable(
+                    f"snapshot {self._name!r} failed its checksum "
+                    f"(array at offset {desc[0]})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Columnar-index surface
+    # ------------------------------------------------------------------ #
+    def field_lengths(self, field: str) -> np.ndarray:
+        return self.memoised(
+            ("lengths", field), lambda: self._view(self._manifest["lengths"][field])
+        )
+
+    def postings(self, field: str, term: str) -> "ColumnarPostings | None":
+        def build() -> "ColumnarPostings | None":
+            columns = self._manifest["postings"].get(field, {})
+            desc = columns.get(term)
+            if desc is None:
+                return None
+            from ..index.columnar import ColumnarPostings
+
+            return ColumnarPostings(self._view(desc[0]), self._view(desc[1]), BLOCK_SIZE)
+
+        return self.memoised(("postings", field, term), build)
+
+    def iter_posting_columns(self, field: str):
+        """Yield ``(term, ordinals, frequencies)`` raw views of one field.
+
+        The restore path's bulk accessor: unlike :meth:`postings` it
+        builds no per-term block grids, so replaying a whole snapshot
+        into an index touches each column exactly once.
+        """
+        for term, desc in self._manifest["postings"].get(field, {}).items():
+            yield term, self._view(desc[0]), self._view(desc[1])
+
+    def dense_frequencies(self, field: str, term: str) -> np.ndarray:
+        def build() -> np.ndarray:
+            dense = np.zeros(self.num_documents, dtype=np.float64)
+            columnar = self.postings(field, term)
+            if columnar is not None:
+                dense[columnar.ordinals] = columnar.frequencies
+            return dense
+
+        return self.memoised(("dense", field, term), build)
+
+    def manifest_array(self, key: str) -> np.ndarray:
+        """Zero-copy view of a top-level manifest array by key (memoised)."""
+        return self.memoised(("array", key), lambda: self._view(self._manifest[key]))
+
+    def feature_tables(self) -> "ColumnarFeatureTables":
+        """The segment's columnar feature tables, rebuilt zero-copy.
+
+        Only valid on ``"kind": "feature-tables"`` segments; raises
+        :class:`SnapshotUnavailable` otherwise so a mixed-up descriptor
+        degrades to the fallback path instead of a KeyError deep in a
+        worker.
+        """
+        if self._manifest.get("kind") != "feature-tables":
+            raise SnapshotUnavailable("segment does not carry feature tables")
+
+        def build() -> "ColumnarFeatureTables":
+            from ..features.columnar import ColumnarFeatureTables
+
+            return ColumnarFeatureTables.from_arrays(
+                epoch=self.epoch,
+                feature_keys=[tuple(key) for key in self._manifest["features"]],
+                holder_offsets=self.manifest_array("holder_offsets"),
+                holder_ordinals=self.manifest_array("holder_ordinals"),
+                dominant_ords=self.manifest_array("dominant_ords"),
+                type_populations=self.manifest_array("type_populations"),
+                member_offsets=self.manifest_array("member_offsets"),
+                member_type_ords=self.manifest_array("member_type_ords"),
+            )
+
+        return self.memoised(("feature-tables",), build)
+
+    def shard_owners(self, num_shards: int) -> np.ndarray:
+        """Per-ordinal shard ownership, identical to ``shard_of`` routing."""
+
+        def build() -> np.ndarray:
+            if num_shards <= 1:
+                return np.zeros(self.num_documents, dtype=np.int64)
+            crcs = self._view(self._manifest["crcs"]).astype(np.int64)
+            return crcs % num_shards
+
+        return self.memoised(("owners", num_shards), build)
+
+    def memoised(self, key: tuple[object, ...], compute):
+        cached = self._derived.get(key)
+        if cached is None and key not in self._derived:
+            cached = compute()
+            self._derived[key] = cached
+        return cached
+
+    def release_views(self) -> None:
+        """Drop every cached view so the backing buffer can be released."""
+        self._derived = {}
+        self._manifest = {}
+
+
+# --------------------------------------------------------------------- #
+# Payload encoders (one per snapshot kind, shared by every backend)
+# --------------------------------------------------------------------- #
+def encode_index_snapshot(
+    index: "FieldedIndex",
+    view: "ColumnarIndex",
+    *,
+    include_doc_ids: bool = False,
+) -> tuple[dict[str, object], SegmentBuilder]:
+    """Serialise one columnar index epoch into ``(manifest, builder)``.
+
+    Every posting column of the full vocabulary is placed (attachers
+    must be able to serve any query against the snapshot), together with
+    the per-field length columns and the per-document CRC column from
+    which any shard count's ownership map derives.  ``include_doc_ids``
+    additionally embeds the document identifiers in ordinal order —
+    worker processes never need the strings (they select by ordinal),
+    but the durable store does: they are what lets a cold-starting
+    process rebuild the full :class:`FieldedIndex` without re-tokenising
+    a single document.
+    """
+    builder = SegmentBuilder()
+    place = builder.place
+
+    crcs = np.fromiter(
+        (zlib.crc32(doc_id.encode("utf-8")) for doc_id in view.doc_ids),
+        dtype=np.uint32,
+        count=view.num_documents,
+    )
+    manifest: dict[str, object] = {
+        "uid": index.uid,
+        "epoch": index.epoch,
+        "num_documents": view.num_documents,
+        "fields": list(index.fields),
+        "crcs": place(crcs),
+        "lengths": {},
+        "postings": {},
+    }
+    if include_doc_ids:
+        manifest["doc_ids"] = list(view.doc_ids)
+    for field in index.fields:
+        manifest["lengths"][field] = place(view.field_lengths(field))
+        columns: dict[str, list[object]] = {}
+        for term in index.field_index(field).vocabulary():
+            columnar = view.postings(field, term)
+            if columnar is None:
+                continue
+            columns[term] = [place(columnar.ordinals), place(columnar.frequencies)]
+        manifest["postings"][field] = columns
+    return manifest, builder
+
+
+def encode_feature_tables(
+    source,
+    tables: "ColumnarFeatureTables",
+    *,
+    include_entity_ids: bool = False,
+) -> tuple[dict[str, object], SegmentBuilder]:
+    """Serialise one epoch's columnar feature tables into ``(manifest, builder)``.
+
+    The manifest carries the feature-key triples in ordinal order plus
+    the holder CSR, dominant-type ordinals, type populations and the
+    entity→type membership CSR.  ``source`` is anything with
+    ``uid``/``epoch`` pinning the publishing feature index's uid and the
+    *tables'* epoch.  ``include_entity_ids`` additionally embeds the
+    entity identifiers in ordinal order (parent-side tables carry them)
+    so a cold-starting process can invert the holder CSR back into the
+    ``entity → features`` / ``feature → holders`` maps of a
+    :class:`~repro.features.feature_index.FeatureIndexSnapshot`.
+    """
+    builder = SegmentBuilder()
+    place = builder.place
+    manifest: dict[str, object] = {
+        "uid": source.uid,
+        "epoch": source.epoch,
+        "kind": "feature-tables",
+        "num_entities": tables.num_entities,
+        "features": sorted(tables.feature_ord, key=tables.feature_ord.__getitem__),
+        "holder_offsets": place(tables.holder_offsets),
+        "holder_ordinals": place(tables.holder_ordinals),
+        "dominant_ords": place(tables.dominant_ords),
+        "type_populations": place(tables.type_populations),
+        "member_offsets": place(tables.member_offsets),
+        "member_type_ords": place(tables.member_type_ords),
+    }
+    if include_entity_ids:
+        if tables.entity_ids is None:
+            raise ValueError("entity ids requested but the tables carry none")
+        manifest["entity_ids"] = list(tables.entity_ids)
+    return manifest, builder

@@ -1,0 +1,238 @@
+"""Unit + corruption coverage of the snapshot codec and the disk store.
+
+The codec (format version 2) is the single home of the segment layout —
+magic/version preamble, compact JSON manifest, 64-aligned array blobs,
+per-array CRC32 — shared by the shared-memory and mmap'd-file backends.
+These tests pin the layout invariants and prove that every corruption
+mode a durable file can suffer (truncation, flipped bytes, stale format
+versions, swapped uid/epoch pairs, tampered store manifests) surfaces as
+:class:`SnapshotUnavailable` instead of silently serving garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    ALIGN,
+    FORMAT_VERSION,
+    HEADER_BYTES,
+    MAGIC,
+    DiskSnapshotStore,
+    SegmentBuilder,
+    SegmentView,
+    SnapshotUnavailable,
+    iter_descriptors,
+)
+from repro.storage.codec import align, decode_header
+
+
+def _build_segment(
+    arrays: dict[str, np.ndarray], uid: int = 7, epoch: int = 3
+) -> tuple[bytearray, dict[str, object]]:
+    builder = SegmentBuilder()
+    manifest: dict[str, object] = {"uid": uid, "epoch": epoch}
+    for name, array in arrays.items():
+        manifest[name] = builder.place(array)
+    encoded = SegmentBuilder.encode_manifest(manifest)
+    total, _ = builder.total_size(encoded)
+    buf = bytearray(total)
+    assert builder.write_into(buf, encoded) == total
+    return buf, manifest
+
+
+SAMPLE = {
+    "ordinals": np.array([0, 3, 5, 11], dtype=np.int64),
+    "frequencies": np.array([1.0, 2.0, 1.0, 4.0], dtype=np.float64),
+    "grid": np.arange(12, dtype=np.float32).reshape(3, 4),
+    "empty": np.array([], dtype=np.int64),
+}
+
+
+class TestCodecRoundTrip:
+    def test_align_rounds_up_to_boundary(self):
+        assert align(0) == 0
+        assert align(1) == ALIGN
+        assert align(ALIGN) == ALIGN
+        assert align(ALIGN + 1) == 2 * ALIGN
+
+    def test_round_trip_views_are_equal_and_read_only(self):
+        buf, _ = _build_segment(SAMPLE)
+        view = SegmentView(buf, name="unit", expected_uid=7, expected_epoch=3)
+        for name, array in SAMPLE.items():
+            restored = view.manifest_array(name)
+            assert restored.dtype == array.dtype
+            assert restored.shape == array.shape
+            assert np.array_equal(restored, array)
+            assert not restored.flags.writeable
+        assert view.uid == 7 and view.epoch == 3
+
+    def test_header_layout(self):
+        buf, _ = _build_segment(SAMPLE)
+        assert bytes(buf[:8]) == MAGIC
+        version, manifest_len, arrays_base = np.frombuffer(
+            buf, dtype=np.int64, count=3, offset=8
+        )
+        assert int(version) == FORMAT_VERSION
+        assert int(arrays_base) % ALIGN == 0
+        assert int(arrays_base) >= HEADER_BYTES + int(manifest_len)
+
+    def test_descriptors_are_aligned_and_checksummed(self):
+        _, manifest = _build_segment(SAMPLE)
+        descriptors = list(iter_descriptors(manifest))
+        assert len(descriptors) == len(SAMPLE)
+        for offset, _dtype, _shape, crc in descriptors:
+            assert offset % ALIGN == 0
+            assert isinstance(crc, int)
+        # An empty array carries the sentinel checksum 0.
+        assert manifest["empty"][3] == 0
+
+    def test_verify_checksums_passes_on_clean_segment(self):
+        buf, _ = _build_segment(SAMPLE)
+        SegmentView(buf, name="unit", verify=True).verify_checksums()
+
+
+class TestCodecCorruption:
+    def test_short_buffer_is_rejected(self):
+        with pytest.raises(SnapshotUnavailable, match="truncated"):
+            decode_header(b"\x00" * (HEADER_BYTES - 1), "short")
+
+    def test_foreign_magic_is_rejected(self):
+        buf, _ = _build_segment(SAMPLE)
+        buf[:8] = b"NOTASNAP"
+        with pytest.raises(SnapshotUnavailable, match="foreign magic"):
+            SegmentView(buf, name="magic")
+
+    def test_stale_format_version_is_rejected(self):
+        buf, _ = _build_segment(SAMPLE)
+        np.frombuffer(memoryview(buf)[8:16], dtype=np.int64)  # sanity: readable
+        buf[8:16] = int(FORMAT_VERSION + 5).to_bytes(8, "little")
+        with pytest.raises(SnapshotUnavailable, match="format version"):
+            SegmentView(buf, name="version")
+
+    def test_manifest_overrun_is_rejected(self):
+        buf, _ = _build_segment(SAMPLE)
+        buf[16:24] = (len(buf) * 2).to_bytes(8, "little")
+        with pytest.raises(SnapshotUnavailable, match="manifest overruns"):
+            SegmentView(buf, name="overrun")
+
+    def test_flipped_array_byte_fails_checksum(self):
+        buf, _ = _build_segment(SAMPLE)
+        arrays_base = int.from_bytes(buf[24:32], "little")
+        buf[arrays_base] ^= 0xFF  # first byte of the first placed array
+        view = SegmentView(buf, name="flip")
+        with pytest.raises(SnapshotUnavailable, match="checksum"):
+            view.verify_checksums()
+        with pytest.raises(SnapshotUnavailable, match="checksum"):
+            SegmentView(buf, name="flip", verify=True)
+
+    def test_truncated_arrays_are_rejected(self):
+        buf, _ = _build_segment(SAMPLE)
+        truncated = buf[: len(buf) // 2]
+        view = SegmentView(truncated, name="trunc")
+        with pytest.raises(SnapshotUnavailable):
+            view.verify_checksums()
+
+    def test_uid_epoch_mismatch_is_rejected(self):
+        buf, _ = _build_segment(SAMPLE, uid=7, epoch=3)
+        with pytest.raises(SnapshotUnavailable, match="expected"):
+            SegmentView(buf, name="stale", expected_uid=7, expected_epoch=4)
+        with pytest.raises(SnapshotUnavailable, match="expected"):
+            SegmentView(buf, name="stale", expected_uid=8, expected_epoch=3)
+
+    def test_missing_uid_epoch_is_rejected(self):
+        builder = SegmentBuilder()
+        encoded = SegmentBuilder.encode_manifest({"kind": "mystery"})
+        total, _ = builder.total_size(encoded)
+        buf = bytearray(total)
+        builder.write_into(buf, encoded)
+        with pytest.raises(SnapshotUnavailable, match="uid/epoch"):
+            SegmentView(buf, name="anon")
+
+
+def _publish_sample(store: DiskSnapshotStore, key: str, epoch: int = 3):
+    builder = SegmentBuilder()
+    manifest: dict[str, object] = {"uid": 7, "epoch": epoch}
+    for name, array in SAMPLE.items():
+        manifest[name] = builder.place(array)
+    return store.publish(key, manifest, builder, extra={"graph_epoch": 11})
+
+
+class TestDiskSnapshotStore:
+    def test_publish_then_attach_round_trips(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        entry = _publish_sample(store, "sample")
+        assert entry["file"] == "sample/3.snap"
+        assert entry["graph_epoch"] == 11
+        assert os.path.exists(tmp_path / "sample" / "3.snap")
+        assert store.publishes == 1 and store.published_bytes > 0
+
+        snapshot = store.attach("sample")
+        try:
+            assert snapshot.uid == 7 and snapshot.epoch == 3
+            assert np.array_equal(snapshot.manifest_array("ordinals"), SAMPLE["ordinals"])
+        finally:
+            snapshot.close()
+        assert store.attaches == 1
+        assert store.attached_bytes == entry["nbytes"]
+        assert store.failures == 0
+
+    def test_new_epoch_flips_pointer_and_collects_stale(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        _publish_sample(store, "sample", epoch=3)
+        _publish_sample(store, "sample", epoch=4)
+        assert store.entry("sample")["epoch"] == 4
+        names = sorted(os.listdir(tmp_path / "sample"))
+        assert names == ["4.snap"], "stale epoch file must be garbage-collected"
+
+    def test_missing_key_counts_one_failure(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        with pytest.raises(SnapshotUnavailable, match="no snapshot"):
+            store.attach("absent")
+        assert store.failures == 1
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        entry = _publish_sample(store, "sample")
+        path = tmp_path / str(entry["file"])
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(SnapshotUnavailable):
+            store.attach("sample")
+        assert store.failures == 1
+
+    def test_flipped_byte_is_rejected(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        entry = _publish_sample(store, "sample")
+        path = tmp_path / str(entry["file"])
+        payload = bytearray(path.read_bytes())
+        arrays_base = int.from_bytes(payload[24:32], "little")
+        payload[arrays_base] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        with pytest.raises(SnapshotUnavailable, match="checksum"):
+            store.attach("sample")
+        assert store.failures == 1
+
+    def test_tampered_manifest_entry_is_rejected(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        _publish_sample(store, "sample")
+        manifest_path = tmp_path / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["sample"]["epoch"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotUnavailable, match="expected"):
+            store.attach("sample")
+        assert store.failures == 1
+
+    def test_malformed_store_manifest_is_rejected(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        (tmp_path / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(SnapshotUnavailable, match="unreadable"):
+            store.read_manifest()
+
+    def test_empty_store_reads_as_empty(self, tmp_path):
+        store = DiskSnapshotStore(str(tmp_path))
+        assert store.read_manifest() == {}

@@ -1,0 +1,543 @@
+"""Disk round-trip equivalence: cold-started systems vs in-RAM builds.
+
+The PR 9 contract extends the executor-equivalence invariant to the
+durable tier: a system cold-started from ``PivotE.save(dir)`` via
+``PivotE.load(dir)`` must produce *byte-identical* search and
+recommendation rankings to the in-RAM build it was saved from — across
+all four search scorers, every pruning mode, shard counts 1–3 and every
+executor.  A corrupted or missing component must degrade to rebuilding
+exactly that component from the (sound) replayed graph, with the same
+rankings and a counted failure; a corrupt graph fails the whole load.
+Also here: the snapshot-registry lifecycle regressions (double close,
+rebuild after close, atexit hook under registry replacement) and the
+``storage`` knob's "off"/"disk" behaviours.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.config import PRUNING_MODES, PivotEConfig, RankingConfig, SearchConfig
+from repro.datasets import RandomKGConfig, build_random_kg
+from repro.engine import PivotE
+from repro.exec import snapshot_registry
+from repro.search import BM25FieldScorer, BM25FScorer, SearchEngine, parse_query
+from repro.storage import SnapshotUnavailable
+
+EXECUTORS = ("inline", "thread", "process")
+SHARD_COUNTS = (1, 2, 3)
+WORKERS = 2
+
+
+def _signature(results) -> list[tuple[str, float]]:
+    return [(result.doc_id, result.score) for result in results]
+
+
+def _hit_signature(hits) -> list[tuple[str, float]]:
+    return [(hit.entity_id, hit.score) for hit in hits]
+
+
+def _queries(graph, count: int = 5) -> list[str]:
+    entities = sorted(graph.entities())
+    step = max(1, len(entities) // count)
+    labels = [graph.label(entities[index]) for index in range(0, len(entities), step)]
+    queries = []
+    for position, label in enumerate(labels[:count]):
+        if position % 2 == 0:
+            queries.append(label)
+        else:
+            queries.append(f"{label} {labels[(position + 2) % len(labels)]}")
+    return queries
+
+
+def _system_config(pruning="maxscore", shards=1, executor="auto", workers=0):
+    return PivotEConfig(
+        search=SearchConfig(
+            pruning=pruning, shards=shards, executor=executor, workers=workers
+        ),
+        ranking=RankingConfig(
+            pruning=pruning, shards=shards, executor=executor, workers=workers
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return build_random_kg(RandomKGConfig(num_entities=160, seed=17))
+
+
+@pytest.fixture(scope="module")
+def seeds(random_graph):
+    largest = max(
+        random_graph.types(), key=lambda t: (random_graph.type_count(t), t)
+    )
+    return sorted(random_graph.entities_of_type(largest))[:2]
+
+
+@pytest.fixture(scope="module")
+def saved_dir(tmp_path_factory, random_graph):
+    """One system saved once; every cold-start test loads from here."""
+    directory = str(tmp_path_factory.mktemp("pivote-snapshot"))
+    system = PivotE(random_graph)
+    manifest = system.save(directory)
+    assert manifest["keys"] == ["search-index", "feature-tables"]
+    system.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def serial_baselines(random_graph, seeds):
+    """Per-pruning-mode search + recommendation baselines, built in RAM."""
+    queries = _queries(random_graph)
+    search = {}
+    recommend = {}
+    for pruning in PRUNING_MODES:
+        system = PivotE(random_graph, config=_system_config(pruning=pruning))
+        search[pruning] = {
+            query: _hit_signature(system.search(query)) for query in queries
+        }
+        result = system.recommend(seeds)
+        recommend[pruning] = (
+            [(e.entity_id, e.score) for e in result.entities],
+            [(f.feature.notation(), f.score) for f in result.features],
+        )
+        system.close()
+    return queries, search, recommend
+
+
+@pytest.fixture(scope="module")
+def scorer_baselines(random_graph):
+    """Serial baselines of the three non-engine scorers, per pruning mode."""
+    engine = SearchEngine.from_graph(random_graph)
+    index = engine.index
+    weights = engine.config.field_weights
+    queries = _queries(random_graph)
+    baselines = {}
+    for pruning in PRUNING_MODES:
+        bm25 = BM25FieldScorer(index, "names", pruning=pruning)
+        bm25f = BM25FScorer(index, weights, pruning=pruning)
+        single = SearchEngine.from_graph(
+            random_graph, SearchConfig(pruning=pruning)
+        ).single_field_scorer()
+        baselines[pruning] = {
+            query: (
+                _signature(bm25.search(parse_query(query), top_k=15)),
+                _signature(bm25f.search(parse_query(query), top_k=15)),
+                _signature(single.search(parse_query(query), top_k=15)),
+            )
+            for query in queries
+        }
+    return baselines
+
+
+def _load_clean(directory, config=None) -> PivotE:
+    """Cold-start and assert every component attached (no silent rebuild)."""
+    system = PivotE.load(directory, config=config)
+    storage = system.stats().storage
+    assert storage is not None
+    assert storage.failures == 0
+    assert storage.attaches == 2
+    assert storage.cold_start_ms > 0.0
+    return system
+
+
+class TestColdStartEquivalence:
+    """Loaded systems vs in-RAM builds: the full executor matrix."""
+
+    @pytest.mark.parametrize("pruning", PRUNING_MODES)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_engine_mlm_byte_identical(
+        self, saved_dir, serial_baselines, pruning, executor, shards
+    ):
+        queries, search_base, _ = serial_baselines
+        system = _load_clean(
+            saved_dir,
+            _system_config(
+                pruning=pruning, shards=shards, executor=executor, workers=WORKERS
+            ),
+        )
+        try:
+            for query in queries:
+                assert _hit_signature(system.search(query)) == search_base[pruning][query]
+        finally:
+            system.close()
+
+    @pytest.mark.parametrize("pruning", PRUNING_MODES)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_baseline_scorers_byte_identical(
+        self, saved_dir, serial_baselines, scorer_baselines, pruning, executor
+    ):
+        """The other three scorers, driven off the *restored* index."""
+        queries, _, _ = serial_baselines
+        system = _load_clean(
+            saved_dir,
+            _system_config(
+                pruning=pruning, shards=3, executor=executor, workers=WORKERS
+            ),
+        )
+        try:
+            engine = system.search_engine
+            bm25 = BM25FieldScorer(
+                engine.index,
+                "names",
+                pruning=pruning,
+                shards=3,
+                executor=executor,
+                workers=WORKERS,
+            )
+            bm25f = BM25FScorer(
+                engine.index,
+                engine.config.field_weights,
+                pruning=pruning,
+                shards=3,
+                executor=executor,
+                workers=WORKERS,
+            )
+            single = engine.single_field_scorer()
+            for query in queries:
+                parsed = parse_query(query)
+                expected_bm25, expected_bm25f, expected_single = scorer_baselines[
+                    pruning
+                ][query]
+                assert _signature(bm25.search(parsed, top_k=15)) == expected_bm25
+                assert _signature(bm25f.search(parsed, top_k=15)) == expected_bm25f
+                assert _signature(single.search(parsed, top_k=15)) == expected_single
+        finally:
+            system.close()
+
+    @pytest.mark.parametrize("pruning", PRUNING_MODES)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_recommendation_byte_identical(
+        self, saved_dir, serial_baselines, seeds, pruning, executor, shards
+    ):
+        _, _, recommend_base = serial_baselines
+        system = _load_clean(
+            saved_dir,
+            _system_config(
+                pruning=pruning, shards=shards, executor=executor, workers=WORKERS
+            ),
+        )
+        try:
+            expected_entities, expected_features = recommend_base[pruning]
+            result = system.recommend(seeds)
+            assert [(e.entity_id, e.score) for e in result.entities] == expected_entities
+            assert [
+                (f.feature.notation(), f.score) for f in result.features
+            ] == expected_features
+        finally:
+            system.close()
+
+    def test_lazy_documents_and_mutations_after_load(
+        self, saved_dir, serial_baselines, random_graph
+    ):
+        """The restored engine stays a full engine: documents rebuild
+        lazily, graph mutations index incrementally, rebuilds work."""
+        queries, search_base, _ = serial_baselines
+        system = _load_clean(saved_dir)
+        try:
+            entity = next(iter(system.graph.entities()))
+            document = system.search_engine.document(entity)
+            assert document.entity_id == entity
+            graph = system.graph
+            graph.add_label("ex:PR9", "Durable Snapshot Epic")
+            graph.add_type("ex:PR9", "ex:Film")
+            system.search_engine.add_entity("ex:PR9")
+            assert any(
+                hit.entity_id == "ex:PR9"
+                for hit in system.search("durable snapshot epic")
+            )
+            system.search_engine.build()
+            assert any(
+                hit.entity_id == "ex:PR9"
+                for hit in system.search("durable snapshot epic")
+            )
+        finally:
+            system.close()
+
+
+class TestFreshProcessColdStart:
+    def test_subprocess_load_matches_parent_build(
+        self, saved_dir, serial_baselines, seeds
+    ):
+        """A brand-new interpreter loads the snapshot and agrees exactly."""
+        queries, search_base, recommend_base = serial_baselines
+        script = textwrap.dedent(
+            """
+            import json, sys
+            from repro.engine import PivotE
+
+            directory, queries, seeds = (
+                sys.argv[1], json.loads(sys.argv[2]), json.loads(sys.argv[3])
+            )
+            system = PivotE.load(directory)
+            storage = system.stats().storage
+            result = system.recommend(seeds)
+            print(json.dumps({
+                "failures": storage.failures,
+                "attaches": storage.attaches,
+                "search": {
+                    q: [[h.entity_id, h.score] for h in system.search(q)]
+                    for q in queries
+                },
+                "entities": [[e.entity_id, e.score] for e in result.entities],
+                "features": [
+                    [f.feature.notation(), f.score] for f in result.features
+                ],
+            }))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.dirname(os.path.dirname(repro.__file__))]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                script,
+                saved_dir,
+                json.dumps(queries),
+                json.dumps(list(seeds)),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["failures"] == 0
+        assert payload["attaches"] == 2
+        default_pruning = SearchConfig().pruning
+        for query in queries:
+            assert payload["search"][query] == [
+                list(pair) for pair in search_base[default_pruning][query]
+            ]
+        expected_entities, expected_features = recommend_base[
+            RankingConfig().pruning
+        ]
+        assert payload["entities"] == [list(pair) for pair in expected_entities]
+        assert payload["features"] == [list(pair) for pair in expected_features]
+
+
+def _corrupt_copy(saved_dir, tmp_path) -> str:
+    target = str(tmp_path / "corrupt")
+    shutil.copytree(saved_dir, target)
+    return target
+
+
+def _snap_path(directory: str, key: str) -> str:
+    key_dir = os.path.join(directory, "store", key)
+    (name,) = [n for n in os.listdir(key_dir) if n.endswith(".snap")]
+    return os.path.join(key_dir, name)
+
+
+class TestCorruptionFallback:
+    """Every corruption mode degrades to a fresh in-RAM build of the
+    affected component — identical rankings, counted failure."""
+
+    def _assert_degraded_but_identical(self, directory, serial_baselines, seeds):
+        queries, search_base, recommend_base = serial_baselines
+        system = PivotE.load(directory)
+        try:
+            storage = system.stats().storage
+            assert storage is not None
+            assert storage.failures >= 1
+            for query in queries:
+                assert (
+                    _hit_signature(system.search(query))
+                    == search_base[SearchConfig().pruning][query]
+                )
+            expected_entities, _ = recommend_base[RankingConfig().pruning]
+            result = system.recommend(seeds)
+            assert [
+                (e.entity_id, e.score) for e in result.entities
+            ] == expected_entities
+        finally:
+            system.close()
+
+    def test_truncated_index_file_falls_back(
+        self, saved_dir, tmp_path, serial_baselines, seeds
+    ):
+        directory = _corrupt_copy(saved_dir, tmp_path)
+        path = _snap_path(directory, "search-index")
+        with open(path, "rb") as handle:
+            head = handle.read(100)
+        with open(path, "wb") as handle:
+            handle.write(head)
+        self._assert_degraded_but_identical(directory, serial_baselines, seeds)
+
+    def test_flipped_byte_fails_crc_and_falls_back(
+        self, saved_dir, tmp_path, serial_baselines, seeds
+    ):
+        directory = _corrupt_copy(saved_dir, tmp_path)
+        path = _snap_path(directory, "feature-tables")
+        with open(path, "r+b") as handle:
+            payload = bytearray(handle.read())
+            arrays_base = int.from_bytes(payload[24:32], "little")
+            payload[arrays_base] ^= 0xFF
+            handle.seek(0)
+            handle.write(payload)
+        self._assert_degraded_but_identical(directory, serial_baselines, seeds)
+
+    def test_stale_format_version_falls_back(
+        self, saved_dir, tmp_path, serial_baselines, seeds
+    ):
+        directory = _corrupt_copy(saved_dir, tmp_path)
+        for key in ("search-index", "feature-tables"):
+            path = _snap_path(directory, key)
+            with open(path, "r+b") as handle:
+                handle.seek(8)
+                handle.write(int(99).to_bytes(8, "little"))
+        self._assert_degraded_but_identical(directory, serial_baselines, seeds)
+
+    def test_tampered_manifest_epoch_falls_back(
+        self, saved_dir, tmp_path, serial_baselines, seeds
+    ):
+        directory = _corrupt_copy(saved_dir, tmp_path)
+        manifest_path = os.path.join(directory, "store", "MANIFEST.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["search-index"]["epoch"] = 999999
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        self._assert_degraded_but_identical(directory, serial_baselines, seeds)
+
+    def test_corrupt_graph_fails_the_whole_load(self, saved_dir, tmp_path):
+        directory = _corrupt_copy(saved_dir, tmp_path)
+        graph_path = os.path.join(directory, "graph.jsonl")
+        with open(graph_path, "a") as handle:
+            handle.write("{this is not json\n")
+        with pytest.raises(SnapshotUnavailable, match="malformed"):
+            PivotE.load(directory)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SnapshotUnavailable, match="no loadable system"):
+            PivotE.load(str(tmp_path / "nowhere"))
+
+
+class TestRegistryLifecycle:
+    """Satellite: close-ordering regressions of the snapshot registry."""
+
+    def test_double_close_and_rebuild_after_close(self, random_graph):
+        system = PivotE(
+            random_graph,
+            config=_system_config(shards=2, executor="process", workers=WORKERS),
+        )
+        query = _queries(random_graph, count=1)[0]
+        expected = _hit_signature(system.search(query))
+        system.close()
+        system.close()  # second close must be a no-op, not an error
+        # The engines stay usable after close: the next process-tier
+        # query simply republishes its snapshot segment.
+        assert _hit_signature(system.search(query)) == expected
+        system.search_engine.build()  # rebuild after close
+        assert _hit_signature(system.search(query)) == expected
+        system.close()
+
+    def test_engine_close_is_idempotent_under_registry_replacement(
+        self, random_graph
+    ):
+        from repro.exec import shm
+
+        engine = SearchEngine.from_graph(
+            random_graph,
+            SearchConfig(shards=2, executor="process", workers=WORKERS),
+        )
+        engine.search(_queries(random_graph, count=1)[0])
+        original = shm._REGISTRY
+        try:
+            shm._REGISTRY = shm.SnapshotRegistry()
+            engine.close()  # old registry's segment stays; new one is empty
+            engine.close()
+        finally:
+            replacement = shm._REGISTRY
+            shm._REGISTRY = original
+            replacement.release()
+        engine.close()  # now actually releases against the original registry
+
+    def test_atexit_hook_reads_current_registry(self):
+        from repro.exec import shm
+
+        original = shm._REGISTRY
+        try:
+            shm._REGISTRY = shm.SnapshotRegistry()
+            shm._release_registry_at_exit()  # releases the *current* registry
+            shm._release_registry_at_exit()  # and is idempotent
+            assert shm._REGISTRY.active() == 0
+        finally:
+            shm._REGISTRY = original
+
+
+class TestStorageKnobs:
+    def test_storage_off_publishes_nothing(self, random_graph):
+        registry = snapshot_registry()
+        serial = SearchEngine.from_graph(random_graph)
+        engine = SearchEngine.from_graph(
+            random_graph,
+            SearchConfig(
+                shards=2, executor="process", workers=WORKERS, storage="off"
+            ),
+        )
+        before = registry.publishes
+        try:
+            for query in _queries(random_graph, count=3):
+                assert _hit_signature(engine.search(query)) == _hit_signature(
+                    serial.search(query)
+                )
+            assert registry.publishes == before
+            record = engine.stats().storage
+            assert record is not None
+            assert record.backend == "off"
+            assert record.publishes == 0
+        finally:
+            engine.close()
+            serial.close()
+
+    def test_storage_disk_build_publishes_epoch(self, random_graph, tmp_path):
+        engine = SearchEngine.from_graph(
+            random_graph,
+            SearchConfig(storage="disk", snapshot_dir=str(tmp_path)),
+        )
+        try:
+            record = engine.stats().storage
+            assert record is not None
+            assert record.backend == "disk"
+            assert record.publishes == 1
+            assert record.published_bytes > 0
+            assert record.failures == 0
+            manifest_path = tmp_path / "store" / "MANIFEST.json"
+            manifest = json.loads(manifest_path.read_text())
+            assert manifest["search-index"]["epoch"] == engine.index.epoch
+            # A rebuild publishes the successor epoch and GCs the old file.
+            engine.build()
+            manifest = json.loads(manifest_path.read_text())
+            assert manifest["search-index"]["epoch"] == engine.index.epoch
+            snaps = [
+                name
+                for name in os.listdir(tmp_path / "store" / "search-index")
+                if name.endswith(".snap")
+            ]
+            assert len(snaps) == 1
+            assert engine.stats().storage.publishes == 2
+        finally:
+            engine.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="snapshot_dir"):
+            SearchConfig(storage="disk")
+        with pytest.raises(ValueError, match="storage"):
+            SearchConfig(storage="bogus")
+        with pytest.raises(ValueError, match="snapshot_dir"):
+            RankingConfig(storage="disk")
