@@ -114,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--graph-topology",
+        default=None,
+        choices=("on", "off"),
+        help=(
+            "traverse through the columnar graph topology — CSR adjacency "
+            "plus interval-encoded type reachability — ('on', the default) "
+            "or the scalar per-edge walks ('off', the A/B arm); results "
+            "are identical either way"
+        ),
+    )
+    parser.add_argument(
         "--executor",
         default=None,
         choices=EXECUTOR_CHOICES,
@@ -273,6 +284,7 @@ def build_config(
     feature_chunk: int | None = None,
     snapshot_dir: str | None = None,
     storage: str | None = None,
+    graph_topology: str | None = None,
 ) -> PivotEConfig:
     """The system configuration for the CLI's execution-layer overrides."""
     config = PivotEConfig.default()
@@ -303,6 +315,9 @@ def build_config(
         ranking_changes["workers"] = workers
     if feature_chunk is not None:
         ranking_changes["feature_chunk"] = feature_chunk
+    if graph_topology is not None:
+        search_changes["graph_topology"] = graph_topology == "on"
+        ranking_changes["graph_topology"] = graph_topology == "on"
     if not search_changes and not ranking_changes:
         return config
     return replace(
@@ -327,6 +342,8 @@ def _print_pruning_info(system: PivotE) -> None:
     executor = stats.child("search").executor
     if executor is not None:
         print(f"executor[search]:   {executor.as_dict()}")
+    if stats.traversal is not None:
+        print(f"traversal[topology]: {stats.traversal.as_dict()}")
 
 
 def _print_load_summary(directory: str, system: PivotE) -> None:
@@ -355,6 +372,7 @@ def run_command(args: argparse.Namespace) -> int:
         args.feature_chunk,
         args.snapshot_dir,
         args.storage,
+        args.graph_topology,
     )
 
     if args.command == "load":

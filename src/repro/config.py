@@ -111,6 +111,13 @@ class SearchConfig:
     #: Worker cap of the selected executor tier; ``0`` sizes the pool to
     #: the machine.
     workers: int = 0
+    #: Columnar graph-topology traversal (see :mod:`repro.kg.topology`):
+    #: routes graph reachability through the per-epoch CSR adjacency and
+    #: interval-encoded type tables.  The search engine itself does not
+    #: traverse the graph — the knob is plumbed symmetrically with
+    #: :attr:`RankingConfig.graph_topology` so one CLI flag configures
+    #: both engines.  Results are byte-identical either way.
+    graph_topology: bool = True
     #: Snapshot-storage mode (one of :data:`STORAGE_MODES`): ``"disk"``
     #: persists every published index epoch into :attr:`snapshot_dir`
     #: so cold starts attach instead of rebuilding, ``"off"`` suppresses
@@ -216,6 +223,14 @@ class RankingConfig:
     #: Worker cap of the selected executor tier; ``0`` sizes the pool to
     #: the machine.
     workers: int = 0
+    #: Columnar graph-topology traversal (see :mod:`repro.kg.topology`):
+    #: the expander's domain-type restriction runs as a ``searchsorted``
+    #: intersect against the interval-encoded per-epoch member ranges
+    #: instead of the per-candidate ``in members`` set probe, and the
+    #: path utilities route through the frontier-at-a-time CSR kernels.
+    #: ``False`` keeps the scalar graph walk as the A/B arm.  Results
+    #: are byte-identical either way.
+    graph_topology: bool = True
     #: Snapshot-storage mode, mirroring :attr:`SearchConfig.storage`:
     #: ``"disk"`` persists the published feature tables into
     #: :attr:`snapshot_dir`, ``"off"`` suppresses publication.

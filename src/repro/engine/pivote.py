@@ -36,7 +36,7 @@ from ..explore import (
     UnpinFeature,
 )
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
-from ..kg import EntityProfile, KnowledgeGraph
+from ..kg import EntityProfile, KnowledgeGraph, install_topology, traversal_stats
 from ..search import SearchEngine, SearchHit
 from ..stats import EngineStats, StorageStats
 from ..viz import (
@@ -184,6 +184,10 @@ class PivotE:
                 loaded.store.failures += 1
         if feature_index is None:
             feature_index = cls._build_feature_index(graph, config)
+        if loaded.topology is not None:
+            # Seed the per-epoch memo so the first traversal attaches the
+            # persisted CSR + intervals instead of paying an O(n) rebuild.
+            install_topology(graph, loaded.topology)
 
         system = cls.__new__(cls)
         system._graph = graph
@@ -273,6 +277,7 @@ class PivotE:
             rebuilds=self._feature_index.rebuild_info(),
             children=(self._search.stats(), self._recommender.stats()),
             storage=self._storage_stats(),
+            traversal=traversal_stats(self._graph),
         )
 
     def _storage_stats(self) -> StorageStats | None:

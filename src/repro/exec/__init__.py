@@ -47,6 +47,7 @@ from .shm import (
     SnapshotUnavailable,
     ThetaSlab,
     publish_feature_tables,
+    publish_graph_topology,
     publish_snapshot,
     release_snapshots,
     snapshot_registry,
@@ -105,6 +106,7 @@ __all__ = [
     "partition_candidates",
     "partition_ids",
     "publish_feature_tables",
+    "publish_graph_topology",
     "publish_snapshot",
     "release_snapshots",
     "resolve_executor",

@@ -59,6 +59,7 @@ from ..storage.codec import (
     SegmentView,
     SnapshotUnavailable,
     encode_feature_tables,
+    encode_graph_topology,
     encode_index_snapshot,
 )
 from ..topk import NO_THRESHOLD, threshold_of
@@ -67,6 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..features.columnar import ColumnarFeatureTables
     from ..index.columnar import ColumnarIndex
     from ..index.fielded_index import FieldedIndex
+    from ..kg.topology import GraphTopology
 
 __all__ = [
     "AttachedSnapshot",
@@ -78,6 +80,7 @@ __all__ = [
     "ThetaSlabSlot",
     "attach_shared_memory",
     "publish_feature_tables",
+    "publish_graph_topology",
     "publish_snapshot",
     "release_snapshots",
     "snapshot_registry",
@@ -210,6 +213,21 @@ def publish_feature_tables(
     segment left over from an earlier epoch of the same index.
     """
     manifest, builder = encode_feature_tables(source, tables)
+    return _publish_segment(manifest, builder, source.uid, source.epoch)
+
+
+def publish_graph_topology(
+    source: SnapshotSource, topology: GraphTopology
+) -> PublishedSnapshot:
+    """Serialise one epoch's columnar graph topology into a segment.
+
+    The manifest carries the sorted entity/predicate/type string tables
+    plus both CSR adjacency directions, the per-type member-ordinal CSR
+    and the pre/post interval encoding.  ``source`` pins the publishing
+    graph's identity and the *topology's* epoch, so attach checks reject
+    a segment left over from an earlier graph state.
+    """
+    manifest, builder = encode_graph_topology(source, topology)
     return _publish_segment(manifest, builder, source.uid, source.epoch)
 
 

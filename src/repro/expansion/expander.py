@@ -18,10 +18,13 @@ from collections import Counter
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import RankingConfig
 from ..exceptions import NoSeedEntitiesError
 from ..features import SemanticFeature, SemanticFeatureIndex
 from ..kg import KnowledgeGraph
+from ..kg.topology import graph_topology, topology_counters
 from ..ranking import EntityRanker, ScoredEntity, ScoredFeature, SemanticFeatureRanker
 
 
@@ -82,9 +85,8 @@ class EntitySetExpander:
         """The most common dominant type among the seeds (may be "")."""
         if not seeds:
             return ""
-        counts = Counter(
-            self._graph.dominant_type(seed) for seed in seeds if self._graph.dominant_type(seed)
-        )
+        seed_types = (self._graph.dominant_type(seed) for seed in seeds)
+        counts = Counter(seed_type for seed_type in seed_types if seed_type)
         if not counts:
             return ""
         # Most common; ties broken by type name for determinism.
@@ -163,8 +165,7 @@ class EntitySetExpander:
         elif restrict_to_seed_type:
             restricted_type = self.dominant_seed_type(seeds)
         if restricted_type:
-            members = self._graph.entities_of_type(restricted_type)
-            candidates = [entity_id for entity_id in candidates if entity_id in members]
+            candidates = self.restrict_candidates(candidates, restricted_type)
         if pinned:
             candidates = [
                 entity_id
@@ -185,3 +186,32 @@ class EntitySetExpander:
             features=tuple(scored_features[: self._config.top_features]),
             restricted_type=restricted_type,
         )
+
+    def restrict_candidates(self, candidates: list[str], restricted_type: str) -> list[str]:
+        """Keep only candidates that are instances of ``restricted_type``.
+
+        With the ``graph_topology`` knob on (default) this is an
+        order-preserving ``searchsorted`` intersect of the candidates'
+        ordinals against the type's interval-encoded member range; off,
+        it is the scalar per-candidate ``in members`` set probe.  Both
+        arms return the identical list.
+        """
+        if not self._config.graph_topology:
+            members = self._graph.entities_of_type(restricted_type)
+            return [entity_id for entity_id in candidates if entity_id in members]
+        topology = graph_topology(self._graph)
+        counters = topology_counters(self._graph)
+        counters.interval_filters += 1
+        if not candidates:
+            return []
+        member_ordinals = topology.entities_under_id(restricted_type)
+        if not member_ordinals.size:
+            return []
+        ordinals, known = topology.ordinals_of(candidates)
+        positions = np.searchsorted(member_ordinals, ordinals)
+        safe = np.minimum(positions, member_ordinals.size - 1)
+        keep = known & (member_ordinals[safe] == ordinals)
+        counters.interval_hits += int(keep.sum())
+        return [
+            entity_id for entity_id, kept in zip(candidates, keep.tolist()) if kept
+        ]

@@ -23,7 +23,7 @@ from ..exceptions import NoSeedEntitiesError
 from ..exec import dedupe_batch, executor_stats, release_snapshots, snapshot_registry
 from ..expansion import EntitySetExpander, ExpansionResult
 from ..features import SemanticFeature, SemanticFeatureIndex, ShardedSemanticFeatureIndex
-from ..kg import KnowledgeGraph
+from ..kg import KnowledgeGraph, traversal_stats
 from ..ranking import (
     CorrelationMatrix,
     ScoredEntity,
@@ -288,6 +288,7 @@ class RecommendationEngine:
                 ),
             ),
             executor=executor_stats(self._config.executor, self._config.workers),
+            traversal=traversal_stats(self._graph),
         )
 
     def close(self) -> None:

@@ -33,9 +33,19 @@ from .paths import (
     Path,
     PathStep,
     bfs_reachable,
+    bfs_reachable_scalar,
     connecting_entities,
+    connecting_entities_scalar,
     paths_between,
     shortest_path,
+)
+from .topology import (
+    GraphTopology,
+    TraversalCounters,
+    graph_topology,
+    install_topology,
+    topology_counters,
+    traversal_stats,
 )
 from .query import Binding, Filter, QueryEngine, SelectQuery, TriplePattern
 from .statistics import (
@@ -60,6 +70,7 @@ __all__ = [
     "EntityProfile",
     "GraphBuilder",
     "GraphStatistics",
+    "GraphTopology",
     "KnowledgeGraph",
     "Literal",
     "NamespaceRegistry",
@@ -70,13 +81,18 @@ __all__ = [
     "REDIRECT",
     "STRUCTURAL_PREDICATES",
     "Triple",
+    "TraversalCounters",
     "TypeCoupling",
     "bfs_reachable",
+    "bfs_reachable_scalar",
     "build_profile",
     "compute_statistics",
     "connecting_entities",
+    "connecting_entities_scalar",
     "graph_from_dict",
     "graph_to_dict",
+    "graph_topology",
+    "install_topology",
     "label_from_identifier",
     "load_json",
     "load_ntriples",
@@ -87,6 +103,8 @@ __all__ = [
     "save_ntriples",
     "save_tsv",
     "shortest_path",
+    "topology_counters",
+    "traversal_stats",
     "type_couplings",
     "type_distribution_of_neighbours",
     "wikipedia_url",

@@ -6,6 +6,13 @@ are both performed by Tom Hanks") are length-two paths through a shared
 anchor.  This module provides the small amount of graph traversal the rest
 of the library needs: shortest paths, bounded breadth-first expansion and
 connecting-path enumeration between entity pairs.
+
+The two hot traversals — :func:`bfs_reachable` and
+:func:`connecting_entities` — route through the per-epoch columnar
+:class:`~repro.kg.topology.GraphTopology` by default (frontier-at-a-time
+CSR kernels); the original scalar queue walks survive as
+:func:`bfs_reachable_scalar` / :func:`connecting_entities_scalar` and
+remain the byte-identical A/B arm (``topology=False``).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from .graph import KnowledgeGraph
+from .topology import graph_topology, topology_counters
 
 
 @dataclass(frozen=True)
@@ -61,8 +69,31 @@ def _expand(graph: KnowledgeGraph, entity: str) -> Iterator[PathStep]:
         yield PathStep(predicate=predicate, forward=False, entity=source)
 
 
-def bfs_reachable(graph: KnowledgeGraph, start: str, max_hops: int = 2) -> dict[str, int]:
-    """Entities reachable from ``start`` within ``max_hops``, with distances."""
+def bfs_reachable(
+    graph: KnowledgeGraph, start: str, max_hops: int = 2, *, topology: bool = True
+) -> dict[str, int]:
+    """Entities reachable from ``start`` within ``max_hops``, with distances.
+
+    Runs the frontier-at-a-time columnar kernel by default; pass
+    ``topology=False`` for the scalar queue walk (the A/B arm) —
+    results are identical either way.
+    """
+    if not topology:
+        return bfs_reachable_scalar(graph, start, max_hops)
+    graph.require_entity(start)
+    topo = graph_topology(graph)
+    counters = topology_counters(graph)
+    counters.bfs_queries += 1
+    reached, depths = topo.bfs_reachable_ords(topo.ordinal_of[start], max_hops, counters)
+    entity_ids = topo.entity_ids
+    return {
+        entity_ids[ordinal]: depth
+        for ordinal, depth in zip(reached.tolist(), depths.tolist())
+    }
+
+
+def bfs_reachable_scalar(graph: KnowledgeGraph, start: str, max_hops: int = 2) -> dict[str, int]:
+    """The scalar queue-walk arm of :func:`bfs_reachable`."""
     graph.require_entity(start)
     distances: dict[str, int] = {start: 0}
     frontier = deque([start])
@@ -113,13 +144,42 @@ def _reconstruct(start: str, end: str, parents: dict[str, tuple[str, PathStep]])
     return Path(start=start, steps=tuple(steps))
 
 
-def connecting_entities(graph: KnowledgeGraph, left: str, right: str) -> list[tuple[str, str, str]]:
+def connecting_entities(
+    graph: KnowledgeGraph, left: str, right: str, *, topology: bool = True
+) -> list[tuple[str, str, str]]:
     """Entities that connect ``left`` and ``right`` through length-two paths.
 
     Returns ``(anchor_entity, predicate_from_left, predicate_from_right)``
     tuples — exactly the evidence the explanation area verbalises ("both are
-    performed by Tom Hanks").
+    performed by Tom Hanks").  Runs the sorted-array intersect kernel by
+    default; ``topology=False`` selects the scalar walk (identical output).
     """
+    if not topology:
+        return connecting_entities_scalar(graph, left, right)
+    graph.require_entity(left)
+    graph.require_entity(right)
+    topo = graph_topology(graph)
+    counters = topology_counters(graph)
+    counters.connect_queries += 1
+    anchors, left_preds, right_preds = topo.connecting_ords(
+        topo.ordinal_of[left], topo.ordinal_of[right], counters
+    )
+    entity_ids = topo.entity_ids
+    predicates = topo.predicates
+    # Ordinals are assigned in string-sorted order, so the kernel's
+    # lexsort already equals the scalar walk's final tuple sort.
+    return [
+        (entity_ids[anchor], predicates[left_pred], predicates[right_pred])
+        for anchor, left_pred, right_pred in zip(
+            anchors.tolist(), left_preds.tolist(), right_preds.tolist()
+        )
+    ]
+
+
+def connecting_entities_scalar(
+    graph: KnowledgeGraph, left: str, right: str
+) -> list[tuple[str, str, str]]:
+    """The scalar-walk arm of :func:`connecting_entities`."""
     graph.require_entity(left)
     graph.require_entity(right)
     left_anchors: dict[str, set[str]] = {}

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from ..config import SearchConfig
 from ..exec import dedupe_batch, executor_stats, release_snapshots, snapshot_registry
 from ..index import FieldedIndex, ShardedFieldedIndex
-from ..kg import KnowledgeGraph
+from ..kg import KnowledgeGraph, traversal_stats
 from ..stats import CacheStats, EngineStats, PruningStatsView, StorageStats
 from ..utils import LRUCache
 from .bm25 import BM25FScorer, BM25FieldScorer
@@ -362,6 +362,7 @@ class SearchEngine:
             ),
             executor=executor_stats(self._config.executor, self._config.workers),
             storage=self.storage_stats(),
+            traversal=traversal_stats(self._graph),
         )
 
     def storage_stats(self, cold_start_ms: float = 0.0) -> StorageStats | None:

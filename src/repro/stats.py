@@ -193,6 +193,44 @@ class StorageStats:
 
 
 @dataclass(frozen=True)
+class TraversalStats:
+    """One graph's columnar-topology traversal record.
+
+    ``bfs_queries``/``connect_queries`` count vectorized
+    ``bfs_reachable``/``connecting_entities`` calls;
+    ``frontier_entities`` sums the BFS frontier sizes those queries
+    advanced and ``edges_touched`` the CSR adjacency rows they gathered.
+    ``interval_filters``/``interval_hits`` count the expander's
+    interval-encoded type restrictions and the candidates that survived
+    them, and ``cache_hits``/``rebuilds`` track the per-epoch
+    :class:`~repro.kg.topology.GraphTopology` memo.  The counters live
+    on the graph itself, so every component traversing the same graph
+    reports identical numbers.
+    """
+
+    bfs_queries: int
+    connect_queries: int
+    frontier_entities: int
+    edges_touched: int
+    interval_filters: int
+    interval_hits: int
+    cache_hits: int
+    rebuilds: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "bfs_queries": self.bfs_queries,
+            "connect_queries": self.connect_queries,
+            "frontier_entities": self.frontier_entities,
+            "edges_touched": self.edges_touched,
+            "interval_filters": self.interval_filters,
+            "interval_hits": self.interval_hits,
+            "cache_hits": self.cache_hits,
+            "rebuilds": self.rebuilds,
+        }
+
+
+@dataclass(frozen=True)
 class EngineStats:
     """One component's full introspection record.
 
@@ -215,6 +253,7 @@ class EngineStats:
     children: tuple["EngineStats", ...] = ()
     executor: ExecutorStats | None = None
     storage: StorageStats | None = None
+    traversal: TraversalStats | None = None
 
     def cache(self, name: str) -> CacheStats:
         """The named cache's counters (raises ``KeyError`` when absent)."""
@@ -259,6 +298,8 @@ class EngineStats:
             payload["executor"] = self.executor.as_dict()
         if self.storage is not None:
             payload["storage"] = self.storage.as_dict()
+        if self.traversal is not None:
+            payload["traversal"] = self.traversal.as_dict()
         if self.rebuilds is not None:
             payload["rebuilds"] = dict(self.rebuilds)
         if self.children:

@@ -25,6 +25,7 @@ from .codec import (
     SegmentView,
     SnapshotUnavailable,
     encode_feature_tables,
+    encode_graph_topology,
     encode_index_snapshot,
     iter_descriptors,
 )
@@ -32,6 +33,7 @@ from .diskstore import DiskSnapshot, DiskSnapshotStore
 
 _KGSTORE_NAMES = (
     "FEATURE_TABLES_KEY",
+    "GRAPH_TOPOLOGY_KEY",
     "SEARCH_INDEX_KEY",
     "LoadedSystem",
     "graph_path",
@@ -39,6 +41,7 @@ _KGSTORE_NAMES = (
     "load_system",
     "restore_feature_snapshot",
     "restore_fielded_index",
+    "restore_graph_topology",
     "save_graph",
     "save_system",
     "system_store",
@@ -55,6 +58,7 @@ __all__ = [
     "SegmentView",
     "SnapshotUnavailable",
     "encode_feature_tables",
+    "encode_graph_topology",
     "encode_index_snapshot",
     "iter_descriptors",
     *_KGSTORE_NAMES,

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..features.columnar import ColumnarFeatureTables
     from ..index.columnar import ColumnarIndex, ColumnarPostings
     from ..index.fielded_index import FieldedIndex
+    from ..kg.topology import GraphTopology
 
 #: Array alignment inside a snapshot segment (cache-line friendly).
 ALIGN = 64
@@ -366,6 +367,43 @@ class SegmentView:
 
         return self.memoised(("feature-tables",), build)
 
+    def graph_topology(self) -> "GraphTopology":
+        """The segment's columnar graph topology, rebuilt zero-copy.
+
+        Only valid on ``"kind": "graph-topology"`` segments; raises
+        :class:`SnapshotUnavailable` otherwise, mirroring
+        :meth:`feature_tables`.  The string tables (entity ids,
+        predicates, type ids) travel in the JSON manifest; every CSR and
+        interval array stays a read-only view over the segment buffer.
+        """
+        if self._manifest.get("kind") != "graph-topology":
+            raise SnapshotUnavailable("segment does not carry a graph topology")
+
+        def build() -> "GraphTopology":
+            from ..kg.topology import GraphTopology
+
+            return GraphTopology.from_arrays(
+                epoch=self.epoch,
+                entity_ids=list(self._manifest["entity_ids"]),
+                predicates=list(self._manifest["predicates"]),
+                type_ids=list(self._manifest["type_ids"]),
+                out_offsets=self.manifest_array("out_offsets"),
+                out_targets=self.manifest_array("out_targets"),
+                out_preds=self.manifest_array("out_preds"),
+                in_offsets=self.manifest_array("in_offsets"),
+                in_sources=self.manifest_array("in_sources"),
+                in_preds=self.manifest_array("in_preds"),
+                type_offsets=self.manifest_array("type_offsets"),
+                type_members=self.manifest_array("type_members"),
+                type_parents=self.manifest_array("type_parents"),
+                type_pre=self.manifest_array("type_pre"),
+                type_post=self.manifest_array("type_post"),
+                pre_order=self.manifest_array("pre_order"),
+                subtree_sizes=self.manifest_array("subtree_sizes"),
+            )
+
+        return self.memoised(("graph-topology",), build)
+
     def shard_owners(self, num_shards: int) -> np.ndarray:
         """Per-ordinal shard ownership, identical to ``shard_of`` routing."""
 
@@ -480,3 +518,41 @@ def encode_feature_tables(
             raise ValueError("entity ids requested but the tables carry none")
         manifest["entity_ids"] = list(tables.entity_ids)
     return manifest, builder
+
+
+def encode_graph_topology(
+    source, topology: "GraphTopology"
+) -> tuple[dict[str, object], SegmentBuilder]:
+    """Serialise one epoch's columnar graph topology into ``(manifest, builder)``.
+
+    The manifest carries the sorted entity/predicate/type string tables
+    plus both CSR adjacency directions (neighbour + parallel
+    predicate-ordinal columns), the per-type sorted member-ordinal CSR
+    and the pre/post-order interval encoding of the containment forest.
+    ``source`` is anything with ``uid``/``epoch`` pinning the publishing
+    graph's identity and the topology's epoch.
+    """
+    builder = SegmentBuilder()
+    place = builder.place
+    return {
+        "uid": source.uid,
+        "epoch": source.epoch,
+        "kind": "graph-topology",
+        "num_entities": topology.num_entities,
+        "entity_ids": list(topology.entity_ids),
+        "predicates": list(topology.predicates),
+        "type_ids": list(topology.type_ids),
+        "out_offsets": place(topology.out_offsets),
+        "out_targets": place(topology.out_targets),
+        "out_preds": place(topology.out_preds),
+        "in_offsets": place(topology.in_offsets),
+        "in_sources": place(topology.in_sources),
+        "in_preds": place(topology.in_preds),
+        "type_offsets": place(topology.type_offsets),
+        "type_members": place(topology.type_members),
+        "type_parents": place(topology.type_parents),
+        "type_pre": place(topology.type_pre),
+        "type_post": place(topology.type_post),
+        "pre_order": place(topology.pre_order),
+        "subtree_sizes": place(topology.subtree_sizes),
+    }, builder

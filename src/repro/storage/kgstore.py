@@ -14,6 +14,7 @@ and the orchestration that makes ``PivotE.save(dir)`` /
             MANIFEST.json
             search-index/<epoch>.snap
             feature-tables/<epoch>.snap
+            graph-topology/<epoch>.snap
 
 Cold start then *attaches instead of rebuilding*: the graph replays its
 append-only triple log (epoch invariant: one bump per unique triple, so
@@ -38,10 +39,13 @@ from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from .codec import (
     SegmentView,
     SnapshotUnavailable,
     encode_feature_tables,
+    encode_graph_topology,
     encode_index_snapshot,
 )
 from .diskstore import DiskSnapshotStore, _atomic_write_bytes
@@ -50,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..features.feature_index import FeatureIndexSnapshot, SemanticFeatureIndex
     from ..index.fielded_index import FieldedIndex
     from ..kg import KnowledgeGraph
+    from ..kg.topology import GraphTopology
 
 #: Stable role keys inside the snapshot store.  Index uids are
 #: process-local counters and mean nothing across restarts, so durable
@@ -57,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: segment still pins which build produced it.
 SEARCH_INDEX_KEY = "search-index"
 FEATURE_TABLES_KEY = "feature-tables"
+GRAPH_TOPOLOGY_KEY = "graph-topology"
 
 _SYSTEM_MANIFEST = "pivote.json"
 _GRAPH_FILE = "graph.jsonl"
@@ -178,6 +184,7 @@ def save_system(
     """
     from ..features.columnar import columnar_tables
     from ..index.columnar import columnar_view
+    from ..kg.topology import graph_topology
 
     os.makedirs(directory, exist_ok=True)
     if store is None:
@@ -204,6 +211,17 @@ def save_system(
             FEATURE_TABLES_KEY, manifest, builder, extra={"graph_epoch": graph_epoch}
         )
 
+        # The columnar topology takes the remaining O(triples) replay term
+        # out of cold start: loads install it straight into the graph's
+        # memo instead of re-walking the adjacency.  Durable segments are
+        # addressed by role, so the uid slot is unused (0) here.
+        topology = graph_topology(graph)
+        source = SimpleNamespace(uid=0, epoch=graph_epoch)
+        manifest, builder = encode_graph_topology(source, topology)
+        store.publish(
+            GRAPH_TOPOLOGY_KEY, manifest, builder, extra={"graph_epoch": graph_epoch}
+        )
+
     system_manifest: dict[str, object] = {
         "format": _SYSTEM_FORMAT,
         "graph": {
@@ -213,7 +231,7 @@ def save_system(
             "triples": num_triples,
         },
         "store": _STORE_DIR,
-        "keys": [SEARCH_INDEX_KEY, FEATURE_TABLES_KEY],
+        "keys": [SEARCH_INDEX_KEY, FEATURE_TABLES_KEY, GRAPH_TOPOLOGY_KEY],
     }
     _atomic_write_bytes(
         os.path.join(directory, _SYSTEM_MANIFEST),
@@ -359,18 +377,81 @@ def restore_feature_snapshot(
     )
 
 
+def restore_graph_topology(graph: "KnowledgeGraph", view: SegmentView) -> "GraphTopology":
+    """Rebuild a :class:`~repro.kg.topology.GraphTopology` from one segment.
+
+    Unlike the worker-side zero-copy attach, every array is *copied* out
+    of the (CRC-verified) view: the caller closes the backing memmap
+    right after the restore, and the topology outlives it as the graph's
+    per-epoch memo.  The epoch cross-check mirrors
+    :func:`restore_feature_snapshot` — a topology from another graph
+    state must not be installed.
+    """
+    from ..kg.topology import GraphTopology
+
+    if view.epoch != graph.epoch:
+        raise SnapshotUnavailable(
+            f"topology snapshot is for graph epoch {view.epoch}, "
+            f"loaded graph is at {graph.epoch}"
+        )
+    manifest = view.manifest
+    strings: dict[str, list[str]] = {}
+    for key in ("entity_ids", "predicates", "type_ids"):
+        values = manifest.get(key)
+        if not isinstance(values, list):
+            raise SnapshotUnavailable(f"topology snapshot carries no {key}")
+        strings[key] = [str(value) for value in values]
+
+    def copied(key: str) -> np.ndarray:
+        try:
+            return np.array(view.manifest_array(key))
+        except KeyError as error:
+            raise SnapshotUnavailable(
+                f"topology snapshot lacks the {key!r} array"
+            ) from error
+
+    topology = GraphTopology.from_arrays(
+        epoch=view.epoch,
+        entity_ids=strings["entity_ids"],
+        predicates=strings["predicates"],
+        type_ids=strings["type_ids"],
+        out_offsets=copied("out_offsets"),
+        out_targets=copied("out_targets"),
+        out_preds=copied("out_preds"),
+        in_offsets=copied("in_offsets"),
+        in_sources=copied("in_sources"),
+        in_preds=copied("in_preds"),
+        type_offsets=copied("type_offsets"),
+        type_members=copied("type_members"),
+        type_parents=copied("type_parents"),
+        type_pre=copied("type_pre"),
+        type_post=copied("type_post"),
+        pre_order=copied("pre_order"),
+        subtree_sizes=copied("subtree_sizes"),
+    )
+    if (
+        topology.out_offsets.shape != (topology.num_entities + 1,)
+        or topology.in_offsets.shape != (topology.num_entities + 1,)
+        or topology.type_offsets.shape != (len(topology.type_ids) + 1,)
+    ):
+        raise SnapshotUnavailable("topology snapshot CSR offsets are malformed")
+    return topology
+
+
 @dataclass
 class LoadedSystem:
     """What :func:`load_system` recovered from disk.
 
-    ``index`` / ``feature_snapshot`` are ``None`` when that component's
-    snapshot was missing or corrupt — the graph always loads (or the
-    whole call raises), so callers rebuild just the missing piece.
+    ``index`` / ``feature_snapshot`` / ``topology`` are ``None`` when
+    that component's snapshot was missing or corrupt — the graph always
+    loads (or the whole call raises), so callers rebuild just the
+    missing piece (the topology lazily, on first traversal).
     """
 
     graph: "KnowledgeGraph"
     index: "FieldedIndex | None"
     feature_snapshot: "FeatureIndexSnapshot | None"
+    topology: "GraphTopology | None"
     store: DiskSnapshotStore
 
 
@@ -452,13 +533,31 @@ def load_system(
         finally:
             view.close()
 
+    topology = None
+    try:
+        view = attach_component(GRAPH_TOPOLOGY_KEY)
+    except SnapshotUnavailable:
+        pass
+    else:
+        try:
+            topology = restore_graph_topology(graph, view)
+        except SnapshotUnavailable:
+            store.failures += 1
+        finally:
+            view.close()
+
     return LoadedSystem(
-        graph=graph, index=index, feature_snapshot=feature_snapshot, store=store
+        graph=graph,
+        index=index,
+        feature_snapshot=feature_snapshot,
+        topology=topology,
+        store=store,
     )
 
 
 __all__ = [
     "FEATURE_TABLES_KEY",
+    "GRAPH_TOPOLOGY_KEY",
     "SEARCH_INDEX_KEY",
     "LoadedSystem",
     "graph_path",
@@ -466,6 +565,7 @@ __all__ = [
     "load_system",
     "restore_feature_snapshot",
     "restore_fielded_index",
+    "restore_graph_topology",
     "save_graph",
     "save_system",
     "system_store",

@@ -153,6 +153,42 @@ class TestPruningFlags:
         assert build_config(None).search.pruning == "maxscore"
 
 
+class TestGraphTopologyFlag:
+    """The PR 10 ``--graph-topology`` operator surface."""
+
+    def run(self, *argv: str) -> int:
+        return main(["--dataset", "movies-small", *argv])
+
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    def test_recommend_identical_across_modes(self, mode, capsys):
+        assert self.run("--graph-topology", mode, "recommend", "dbr:Forrest_Gump") == 0
+        assert "entities:" in capsys.readouterr().out
+
+    def test_show_pruning_dumps_traversal_counters(self, capsys):
+        code = self.run("--show-pruning", "recommend", "dbr:Forrest_Gump")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traversal[topology]:" in out
+        assert "'rebuilds':" in out
+
+    def test_build_config_threads_knob_to_both_engines(self):
+        from repro.cli import build_config
+
+        config = build_config(None, graph_topology="off")
+        assert config.search.graph_topology is False
+        assert config.ranking.graph_topology is False
+        on = build_config(None, graph_topology="on")
+        assert on.search.graph_topology is True
+        assert on.ranking.graph_topology is True
+        default = build_config(None)
+        assert default.search.graph_topology is True
+        assert default.ranking.graph_topology is True
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--graph-topology", "maybe", "search", "x"])
+
+
 class TestShardAndBatchFlags:
     """The PR 5 ``--shards`` / ``search --batch`` operator surface."""
 

@@ -48,6 +48,10 @@ class TestSearchConfig:
         assert config.top_k == 5
         assert SearchConfig().top_k == 20
 
+    def test_graph_topology_defaults_on(self):
+        assert SearchConfig().graph_topology is True
+        assert SearchConfig().with_(graph_topology=False).graph_topology is False
+
 
 class TestRankingConfig:
     def test_defaults(self):
@@ -65,6 +69,10 @@ class TestRankingConfig:
 
     def test_with_override(self):
         assert RankingConfig().with_(top_features=5).top_features == 5
+
+    def test_graph_topology_defaults_on(self):
+        assert RankingConfig().graph_topology is True
+        assert RankingConfig().with_(graph_topology=False).graph_topology is False
 
 
 class TestHeatmapConfig:

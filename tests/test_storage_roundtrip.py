@@ -29,6 +29,7 @@ from repro.config import PRUNING_MODES, PivotEConfig, RankingConfig, SearchConfi
 from repro.datasets import RandomKGConfig, build_random_kg
 from repro.engine import PivotE
 from repro.exec import snapshot_registry
+from repro.kg import bfs_reachable
 from repro.search import BM25FieldScorer, BM25FScorer, SearchEngine, parse_query
 from repro.storage import SnapshotUnavailable
 
@@ -88,7 +89,7 @@ def saved_dir(tmp_path_factory, random_graph):
     directory = str(tmp_path_factory.mktemp("pivote-snapshot"))
     system = PivotE(random_graph)
     manifest = system.save(directory)
-    assert manifest["keys"] == ["search-index", "feature-tables"]
+    assert manifest["keys"] == ["search-index", "feature-tables", "graph-topology"]
     system.close()
     return directory
 
@@ -144,7 +145,7 @@ def _load_clean(directory, config=None) -> PivotE:
     storage = system.stats().storage
     assert storage is not None
     assert storage.failures == 0
-    assert storage.attaches == 2
+    assert storage.attaches == 3
     assert storage.cold_start_ms > 0.0
     return system
 
@@ -318,7 +319,7 @@ class TestFreshProcessColdStart:
         assert completed.returncode == 0, completed.stderr
         payload = json.loads(completed.stdout)
         assert payload["failures"] == 0
-        assert payload["attaches"] == 2
+        assert payload["attaches"] == 3
         default_pruning = SearchConfig().pruning
         for query in queries:
             assert payload["search"][query] == [
@@ -414,6 +415,32 @@ class TestCorruptionFallback:
             json.dump(manifest, handle)
         self._assert_degraded_but_identical(directory, serial_baselines, seeds)
 
+    def test_corrupt_topology_degrades_to_counted_rebuild(
+        self, saved_dir, tmp_path, serial_baselines, seeds
+    ):
+        """A bad topology segment falls back to the scalar-walk rebuild:
+        the failure is counted, the first traversal re-derives the CSR
+        from the replayed graph, rankings stay identical."""
+        directory = _corrupt_copy(saved_dir, tmp_path)
+        path = _snap_path(directory, "graph-topology")
+        with open(path, "rb") as handle:
+            head = handle.read(100)
+        with open(path, "wb") as handle:
+            handle.write(head)
+        system = PivotE.load(directory)
+        try:
+            storage = system.stats().storage
+            assert storage is not None
+            assert storage.failures >= 1
+            entity = sorted(system.graph.entities())[0]
+            bfs_reachable(system.graph, entity, max_hops=2)
+            traversal = system.stats().traversal
+            assert traversal is not None
+            assert traversal.rebuilds == 1
+        finally:
+            system.close()
+        self._assert_degraded_but_identical(directory, serial_baselines, seeds)
+
     def test_corrupt_graph_fails_the_whole_load(self, saved_dir, tmp_path):
         directory = _corrupt_copy(saved_dir, tmp_path)
         graph_path = os.path.join(directory, "graph.jsonl")
@@ -425,6 +452,40 @@ class TestCorruptionFallback:
     def test_missing_directory_raises(self, tmp_path):
         with pytest.raises(SnapshotUnavailable, match="no loadable system"):
             PivotE.load(str(tmp_path / "nowhere"))
+
+
+class TestTopologyAttach:
+    def test_load_installs_persisted_topology(self, saved_dir):
+        """A clean load seeds the per-epoch topology memo from the
+        snapshot: the first traversal is a cache hit, never a rebuild."""
+        system = _load_clean(saved_dir)
+        try:
+            entity = sorted(system.graph.entities())[0]
+            reached = bfs_reachable(system.graph, entity, max_hops=2)
+            assert reached[entity] == 0
+            traversal = system.stats().traversal
+            assert traversal is not None
+            assert traversal.rebuilds == 0
+            assert traversal.cache_hits >= 1
+            assert traversal.bfs_queries >= 1
+        finally:
+            system.close()
+
+    def test_attached_topology_matches_scalar_walks(self, saved_dir):
+        """Kernels over the restored (mmap-copied) arrays agree byte-for-
+        byte with the scalar walks over the replayed graph."""
+        from repro.kg import bfs_reachable_scalar
+
+        system = _load_clean(saved_dir)
+        try:
+            graph = system.graph
+            probes = sorted(graph.entities())[:6]
+            for probe in probes:
+                assert bfs_reachable(graph, probe, max_hops=2) == (
+                    bfs_reachable_scalar(graph, probe, max_hops=2)
+                )
+        finally:
+            system.close()
 
 
 class TestRegistryLifecycle:
